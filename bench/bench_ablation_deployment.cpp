@@ -1,0 +1,62 @@
+// Deployment ablation (refs. [6][7], paper Sec. 3 / 6.1): trace the
+// max-temperature U-curve as TEC cells are added hotspot-first, for a heavy
+// benchmark. Reproduces the rationale for leaving the caches uncovered:
+// past the hot region, every extra TEC only adds Joule and lateral heat.
+#include <cstdio>
+
+#include "common.h"
+#include "core/deployment.h"
+#include "floorplan/grid_map.h"
+#include "util/units.h"
+
+int main() {
+  using namespace oftec;
+  using namespace oftec::bench;
+
+  print_header("TEC deployment U-curve (refs. [6][7])",
+               "covering the hot region helps; excessive deployment heats "
+               "the chip through Joule and lateral coupling");
+
+  core::DeploymentOptions opts;
+  opts.system.grid_nx = opts.system.grid_ny = 8;
+  opts.omega = 524.0;
+  opts.current = 1.5;
+  opts.patience = 8;   // walk well past the optimum to show the U-curve
+  opts.max_cells = 24;
+  opts.system.package.filler_conductivity =
+      opts.system.package.tec.layer_conductivity();
+
+  const power::PowerMap peak = workload::peak_power_map(
+      workload::profile_for(workload::Benchmark::kQuicksort),
+      paper_floorplan());
+
+  const core::DeploymentResult r = core::optimize_deployment(
+      paper_floorplan(), peak, paper_leakage(), opts);
+
+  const floorplan::GridMap grid(paper_floorplan(), opts.system.grid_nx,
+                                opts.system.grid_ny);
+  std::printf("\nWorkload: Quicksort (%.1f W), evaluated at %.0f RPM / %.1f A"
+              "\nBaseline (no TECs, high-k filler): %.2f C\n\n",
+              peak.total(), units::rad_s_to_rpm(opts.omega), opts.current,
+              units::kelvin_to_celsius(r.baseline_temperature));
+  std::printf("  cells covered   hottest unit     Tmax [C]\n");
+  std::printf("  -----------------------------------------\n");
+  for (std::size_t i = 0; i < r.steps.size(); ++i) {
+    const auto& s = r.steps[i];
+    std::printf("  %13zu   %-14s %9.2f%s\n", i + 1,
+                paper_floorplan()
+                    .blocks()[grid.dominant_block(s.cell)]
+                    .name.c_str(),
+                units::kelvin_to_celsius(s.max_chip_temperature),
+                i + 1 == r.covered_cells ? "   <- best placement" : "");
+  }
+  std::printf("\nBest placement: %zu cells, Tmax = %.2f C "
+              "(%.2f C below baseline); trajectory explored %zu cells "
+              "before the patience rule fired.\n",
+              r.covered_cells,
+              units::kelvin_to_celsius(r.max_chip_temperature),
+              r.baseline_temperature - r.max_chip_temperature,
+              r.steps.size());
+  std::printf("Thermal solves: %zu\n", r.evaluations);
+  return 0;
+}

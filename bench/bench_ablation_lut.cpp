@@ -1,0 +1,91 @@
+// Section 6.2 extension: the look-up-table controller. Build the LUT from
+// the eight benchmark power vectors, then query it with perturbed loads
+// (±5 % scaling — a new input the exact optimizer has never seen) and
+// compare the LUT's instant answer against a fresh OFTEC run.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "core/lut_controller.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace oftec;
+  using namespace oftec::bench;
+
+  print_header("LUT controller ablation (Sec. 6.2 extension)",
+               "pre-computed OFTEC solutions can be served from a look-up "
+               "table immediately, trading a little optimality for ~1e4x "
+               "lower control latency");
+
+  const floorplan::Floorplan& fp = paper_floorplan();
+  std::vector<power::PowerMap> training;
+  for (const workload::Benchmark b : workload::all_benchmarks()) {
+    training.push_back(
+        workload::peak_power_map(workload::profile_for(b), fp));
+  }
+
+  util::Stopwatch build_watch;
+  const core::LutController lut =
+      core::LutController::build(training, fp, paper_leakage());
+  const double build_ms = build_watch.elapsed_ms();
+
+  util::Table table;
+  table.set_header({"query", "LUT (w,I)", "LUT T [C]", "exact (w,I)",
+                    "exact P [W]", "LUT P [W]", "LUT us", "exact ms"});
+
+  double worst_excess = 0.0;
+  std::size_t lut_safe = 0, total = 0;
+  for (const workload::Benchmark b : workload::all_benchmarks()) {
+    for (const double scale : {0.95, 1.05}) {
+      power::PowerMap query =
+          workload::peak_power_map(workload::profile_for(b), fp);
+      query.scale(scale);
+
+      util::Stopwatch lut_watch;
+      const auto hit = lut.lookup(query);
+      const double lut_us = lut_watch.elapsed_ms() * 1e3;
+
+      const core::CoolingSystem sys(fp, query, paper_leakage(), {});
+      util::Stopwatch exact_watch;
+      const core::OftecResult exact = core::run_oftec(sys);
+      const double exact_ms = exact_watch.elapsed_ms();
+
+      // Evaluate the LUT's control on the true load.
+      const core::Evaluation& lut_ev = sys.evaluate(hit.omega, hit.current);
+      const bool safe = !lut_ev.runaway &&
+                        lut_ev.max_chip_temperature <= sys.t_max() + 0.5;
+      ++total;
+      if (safe) ++lut_safe;
+      const double lut_p = lut_ev.runaway ? -1.0 : lut_ev.cooling_power();
+      if (safe && exact.success) {
+        worst_excess =
+            std::max(worst_excess, lut_p / exact.power.total() - 1.0);
+      }
+
+      table.add_row(
+          {workload::benchmark_name(b) + (scale < 1.0 ? " x0.95" : " x1.05"),
+           format_rpm(hit.omega) + "," + util::format_double(hit.current, 2),
+           lut_ev.runaway ? "RUNAWAY"
+                          : format_celsius(lut_ev.max_chip_temperature),
+           exact.success
+               ? format_rpm(exact.omega) + "," +
+                     util::format_double(exact.current, 2)
+               : std::string("-"),
+           exact.success ? format_watts(exact.power.total()) : std::string("-"),
+           lut_p < 0.0 ? std::string("-") : format_watts(lut_p),
+           util::format_double(lut_us, 1),
+           util::format_double(exact_ms, 0)});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nLUT build time: %.0f ms for 8 entries.\n", build_ms);
+  std::printf("LUT control kept the chip within Tmax+0.5C on %zu of %zu "
+              "perturbed queries; worst power excess vs exact OFTEC: "
+              "%.1f%%.\n", lut_safe, total, 100.0 * worst_excess);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Model-fidelity ablation (DESIGN.md): why the paper's leakage
+// linearization (Eq. 4) matters, and what the direct banded solver buys over
+// a Jacobi-preconditioned BiCGSTAB on the same system.
+//
+//   (1) Leakage treatment: constant-at-ambient vs 10-point chord (paper)
+//       vs exact Newton — compare predicted max temperature for Basicmath.
+//   (2) Linear solver: banded LU vs BiCGSTAB on the assembled matrix.
+#include <cstdio>
+
+#include "common.h"
+#include "la/banded_lu.h"
+#include "la/iterative.h"
+#include "thermal/steady.h"
+#include "util/stopwatch.h"
+#include "util/units.h"
+
+int main() {
+  using namespace oftec;
+  using namespace oftec::bench;
+
+  print_header("Model ablation: leakage linearization & solver choice",
+               "constant leakage underestimates the die temperature; the "
+               "Eq. 4 chord tracks the exact exponential closely at ~zero "
+               "extra cost");
+
+  const floorplan::Floorplan& fp = paper_floorplan();
+  const power::PowerMap peak = workload::peak_power_map(
+      workload::profile_for(workload::Benchmark::kBasicmath), fp);
+
+  const thermal::ThermalModel model(package::PackageConfig::paper_default(),
+                                    fp, 10, 10);
+  const la::Vector dyn = model.distribute(peak);
+  const auto leak_terms = model.cell_leakage(paper_leakage());
+
+  std::printf("\n(1) Leakage treatment at (2000 RPM, I = 0.5 A), Basicmath:\n");
+  const double omega = units::rpm_to_rad_s(2000.0);
+  struct ModeRow {
+    const char* name;
+    thermal::LeakageMode mode;
+  };
+  const ModeRow modes[] = {
+      {"constant at ambient (no feedback)", thermal::LeakageMode::kConstant},
+      {"10-pt chord regression (paper Eq. 4)",
+       thermal::LeakageMode::kChordLinear},
+      {"exact exponential (Newton)", thermal::LeakageMode::kNewtonExact},
+  };
+  double exact_temp = 0.0;
+  for (const ModeRow& m : modes) {
+    thermal::SteadyOptions opts;
+    opts.mode = m.mode;
+    const thermal::SteadySolver solver(model, dyn, leak_terms, opts);
+    util::Stopwatch watch;
+    const thermal::SteadyResult r = solver.solve(omega, 0.5);
+    const double ms = watch.elapsed_ms();
+    if (m.mode == thermal::LeakageMode::kNewtonExact) {
+      exact_temp = r.max_chip_temperature;
+    }
+    std::printf("  %-38s Tmax = %6.2f C, leak = %5.2f W, "
+                "%zu solve(s), %.1f ms\n",
+                m.name, units::kelvin_to_celsius(r.max_chip_temperature),
+                r.leakage_power, r.iterations, ms);
+  }
+  {
+    thermal::SteadyOptions opts;
+    opts.mode = thermal::LeakageMode::kConstant;
+    const thermal::SteadySolver solver(model, dyn, leak_terms, opts);
+    const thermal::SteadyResult r = solver.solve(omega, 0.5);
+    std::printf("  -> constant-leakage model under-predicts by %.2f C\n",
+                units::kelvin_to_celsius(exact_temp) -
+                    units::kelvin_to_celsius(r.max_chip_temperature));
+  }
+
+  std::printf("\n(2) Linear solver on the assembled system "
+              "(n = %zu, bandwidth = %zu):\n",
+              model.layout().node_count(), model.layout().bandwidth());
+  std::vector<power::TaylorCoefficients> taylor(dyn.size());
+  for (std::size_t i = 0; i < dyn.size(); ++i) {
+    taylor[i] = power::tangent_linearize(leak_terms[i],
+                                         model.config().ambient + 30.0);
+  }
+  const thermal::AssembledSystem sys =
+      model.assemble(omega, 0.5, dyn, taylor);
+
+  util::Stopwatch direct_watch;
+  const la::Vector x_direct = la::BandedLu(sys.matrix).solve(sys.rhs);
+  const double direct_ms = direct_watch.elapsed_ms();
+
+  // Rebuild as CSR for the iterative solver.
+  la::TripletBuilder builder(sys.rhs.size());
+  for (std::size_t r = 0; r < sys.rhs.size(); ++r) {
+    const std::size_t bw = model.layout().bandwidth();
+    const std::size_t lo = r > bw ? r - bw : 0;
+    const std::size_t hi = std::min(sys.rhs.size() - 1, r + bw);
+    for (std::size_t c = lo; c <= hi; ++c) {
+      const double v = sys.matrix.get(r, c);
+      if (v != 0.0) builder.add(r, c, v);
+    }
+  }
+  const la::CsrMatrix csr = builder.build();
+  util::Stopwatch iter_watch;
+  const la::IterativeResult it = la::solve_bicgstab(csr, sys.rhs);
+  const double iter_ms = iter_watch.elapsed_ms();
+
+  std::printf("  banded LU : %.2f ms\n", direct_ms);
+  std::printf("  BiCGSTAB  : %.2f ms, %zu iterations, converged=%s, "
+              "max |dx| vs direct = %.2e K\n",
+              iter_ms, it.iterations, it.converged ? "yes" : "NO",
+              la::max_abs_diff(it.x, x_direct));
+  return 0;
+}

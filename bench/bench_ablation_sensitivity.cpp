@@ -1,0 +1,83 @@
+// TEC device-parameter sensitivity (calibration transparency): sweep the
+// Seebeck coefficient, electrical resistance, and thermal conductance of the
+// TEC unit around the library defaults and report how OFTEC's optimum moves.
+// This is the knob-set DESIGN.md §6 calibrates; the sweep shows the
+// reproduction's conclusions are not an artifact of one lucky parameter
+// point.
+#include <cstdio>
+
+#include "common.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace oftec;
+using namespace oftec::bench;
+
+struct SweepPoint {
+  const char* label;
+  double seebeck_scale = 1.0;
+  double resistance_scale = 1.0;
+  double conductance_scale = 1.0;
+};
+
+}  // namespace
+
+int main() {
+  print_header("TEC parameter sensitivity (calibration ablation)",
+               "the qualitative result — OFTEC feasible where fan-only "
+               "fails, I* in the low-ampere range — holds across a 2x "
+               "device-parameter window");
+
+  const floorplan::Floorplan& fp = paper_floorplan();
+  const power::PowerMap peak = workload::peak_power_map(
+      workload::profile_for(workload::Benchmark::kQuicksort), fp);
+
+  const SweepPoint points[] = {
+      {"defaults", 1.0, 1.0, 1.0},
+      {"alpha x0.7", 0.7, 1.0, 1.0},
+      {"alpha x1.3", 1.3, 1.0, 1.0},
+      {"R x0.5", 1.0, 0.5, 1.0},
+      {"R x2.0", 1.0, 2.0, 1.0},
+      {"K x0.5", 1.0, 1.0, 0.5},
+      {"K x2.0", 1.0, 1.0, 2.0},
+      {"weak device", 0.7, 2.0, 2.0},
+      {"strong device", 1.3, 0.5, 0.5},
+  };
+
+  std::printf("\nWorkload: Quicksort (%.1f W). Each row re-runs OFTEC with "
+              "scaled TEC unit parameters.\n\n", peak.total());
+  std::printf("  %-14s %-9s %-7s %-9s %-9s %-8s\n", "variant", "feasible",
+              "I* [A]", "w* [RPM]", "P* [W]", "T [C]");
+  std::printf("  ------------------------------------------------------------\n");
+
+  for (const SweepPoint& pt : points) {
+    core::CoolingSystem::Config cfg;
+    cfg.package.tec.seebeck *= pt.seebeck_scale;
+    cfg.package.tec.resistance *= pt.resistance_scale;
+    cfg.package.tec.conductance *= pt.conductance_scale;
+    // Keep the TEC-layer bulk conductivity consistent with the device.
+    for (auto& layer : cfg.package.layers) {
+      if (layer.role == package::LayerRole::kTec) {
+        layer.material.conductivity = cfg.package.tec.layer_conductivity();
+      }
+    }
+
+    const core::CoolingSystem sys(fp, peak, paper_leakage(), cfg);
+    const core::OftecResult r = core::run_oftec(sys);
+    if (r.success) {
+      std::printf("  %-14s %-9s %7.2f %9.0f %9.2f %8.2f\n", pt.label, "yes",
+                  r.current, units::rad_s_to_rpm(r.omega), r.power.total(),
+                  units::kelvin_to_celsius(r.max_chip_temperature));
+    } else {
+      std::printf("  %-14s %-9s %7s %9s %9s %8.2f\n", pt.label, "NO", "-",
+                  "-", "-", units::kelvin_to_celsius(r.opt2_temperature));
+    }
+  }
+
+  std::printf("\nReading: weaker Peltier pumping (lower alpha, higher R) "
+              "demands more current, fan speed, and power to hold Tmax; "
+              "stronger devices relax all three. The feasibility verdict "
+              "is stable across the whole 2x window.\n");
+  return 0;
+}

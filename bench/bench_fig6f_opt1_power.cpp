@@ -1,0 +1,56 @@
+// Figure 6(f): cooling power after Optimization 1 — the paper's headline
+// power-saving comparison. OFTEC must be the cheapest of the three methods
+// on the benchmarks where all three are feasible.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace oftec;
+  using namespace oftec::bench;
+
+  print_header("Figure 6(f): cooling power after Optimization 1",
+               "OFTEC consumes the least power; on the comparable "
+               "benchmarks it saves ~2.6% vs variable-w and ~8.1% vs "
+               "fixed-w (~5.4% on average)");
+
+  const std::vector<SweepRow> rows = run_paper_sweep();
+
+  util::Table table;
+  table.set_header({"Benchmark", "OFTEC [W]", "Var-w [W]", "Fixed-w [W]"});
+  double var_saving = 0.0, fixed_saving = 0.0, var_abs = 0.0, fixed_abs = 0.0;
+  std::size_t comparable = 0;
+  for (const SweepRow& r : rows) {
+    table.add_row({r.name, format_watts(r.oftec.power.total()),
+                   r.variable_fan.success
+                       ? format_watts(r.variable_fan.power.total())
+                       : std::string("-"),
+                   r.fixed_fan.success ? format_watts(r.fixed_fan.power.total())
+                                       : std::string("-")});
+    if (r.variable_fan.success && r.fixed_fan.success && r.oftec.success) {
+      ++comparable;
+      var_saving +=
+          1.0 - r.oftec.power.total() / r.variable_fan.power.total();
+      fixed_saving +=
+          1.0 - r.oftec.power.total() / r.fixed_fan.power.total();
+      var_abs += r.variable_fan.power.total() - r.oftec.power.total();
+      fixed_abs += r.fixed_fan.power.total() - r.oftec.power.total();
+    }
+  }
+  table.print(std::cout);
+  if (comparable > 0) {
+    const auto n = static_cast<double>(comparable);
+    std::printf("\nComparable benchmarks: %zu (paper: 3).\n", comparable);
+    std::printf("Average saving vs variable-w: %.2f W (%.1f%%)  "
+                "[paper: 0.35 W / 2.6%%]\n", var_abs / n,
+                100.0 * var_saving / n);
+    std::printf("Average saving vs fixed-w:    %.2f W (%.1f%%)  "
+                "[paper: 1.04 W / 8.1%%]\n", fixed_abs / n,
+                100.0 * fixed_saving / n);
+    std::printf("Combined average saving: %.1f%%  [paper abstract: 5.4%%]\n",
+                50.0 * (var_saving + fixed_saving) / n);
+  }
+  return 0;
+}

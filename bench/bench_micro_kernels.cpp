@@ -1,0 +1,91 @@
+// Google-benchmark microbenchmarks of the numerical kernels behind OFTEC:
+// network assembly, the banded direct solve, one full nonlinear steady
+// evaluation, and a complete Algorithm 1 run. These are the per-call costs
+// that Table 2's runtime column decomposes into.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common.h"
+#include "core/problems.h"
+#include "la/banded_lu.h"
+#include "thermal/steady.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace oftec;
+using namespace oftec::bench;
+
+const power::PowerMap& quicksort_peak() {
+  static const power::PowerMap map = workload::peak_power_map(
+      workload::profile_for(workload::Benchmark::kQuicksort),
+      paper_floorplan());
+  return map;
+}
+
+const thermal::ThermalModel& model_for_grid(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<thermal::ThermalModel>> cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    slot = std::make_unique<thermal::ThermalModel>(
+        package::PackageConfig::paper_default(), paper_floorplan(), n, n);
+  }
+  return *slot;
+}
+
+void BM_NetworkAssembly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const thermal::ThermalModel& model = model_for_grid(n);
+  const la::Vector dyn = model.distribute(quicksort_peak());
+  std::vector<power::TaylorCoefficients> taylor(dyn.size());
+  for (auto& tc : taylor) tc = {0.01, 0.1, 330.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.assemble(300.0, 1.0, dyn, taylor));
+  }
+  state.SetLabel(std::to_string(model.layout().node_count()) + " nodes");
+}
+BENCHMARK(BM_NetworkAssembly)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_BandedSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const thermal::ThermalModel& model = model_for_grid(n);
+  const la::Vector dyn = model.distribute(quicksort_peak());
+  std::vector<power::TaylorCoefficients> taylor(dyn.size());
+  for (auto& tc : taylor) tc = {0.01, 0.1, 330.0};
+  const thermal::AssembledSystem sys =
+      model.assemble(300.0, 1.0, dyn, taylor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::BandedLu(sys.matrix).solve(sys.rhs));
+  }
+  state.SetLabel(std::to_string(model.layout().node_count()) + " nodes");
+}
+BENCHMARK(BM_BandedSolve)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_SteadyEvaluation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const thermal::ThermalModel& model = model_for_grid(n);
+  const thermal::SteadySolver solver(model, model.distribute(quicksort_peak()),
+                                     model.cell_leakage(paper_leakage()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(units::rpm_to_rad_s(3000.0), 1.0));
+  }
+}
+BENCHMARK(BM_SteadyEvaluation)->Arg(6)->Arg(10);
+
+void BM_FullOftecRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::CoolingSystem::Config cfg;
+    cfg.grid_nx = cfg.grid_ny = n;
+    const core::CoolingSystem sys(paper_floorplan(), quicksort_peak(),
+                                  paper_leakage(), cfg);
+    benchmark::DoNotOptimize(core::run_oftec(sys));
+  }
+}
+BENCHMARK(BM_FullOftecRun)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Section 6.2 claim: "a system which adopts TECs as the only cooling method
+// cannot avoid the thermal runaway situation in these benchmarks."
+// Sweep I_TEC over [0, I_max] at ω = 0 for every benchmark and report
+// whether any operating point survives.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace oftec;
+  using namespace oftec::bench;
+
+  print_header("TEC-only configuration (w = 0)",
+               "TECs alone cannot avoid thermal runaway on any benchmark — "
+               "the pumped heat has nowhere to go");
+
+  SweepOptions opts;  // tec-only sweep included by default
+  const std::vector<SweepRow> rows = run_paper_sweep(opts);
+
+  util::Table table;
+  table.set_header({"Benchmark", "best I [A]", "outcome"});
+  std::size_t runaway_count = 0;
+  for (const SweepRow& r : rows) {
+    if (r.tec_only.runaway) ++runaway_count;
+    table.add_row({r.name,
+                   r.tec_only.runaway
+                       ? std::string("-")
+                       : util::format_double(r.tec_only.current, 2),
+                   r.tec_only.runaway
+                       ? "RUNAWAY at every current"
+                       : format_celsius(r.tec_only.max_chip_temperature) +
+                             " C"});
+  }
+  table.print(std::cout);
+  std::printf("\nThermal runaway on %zu of %zu benchmarks (paper: all).\n",
+              runaway_count, rows.size());
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "common.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace oftec::bench {
+
+const floorplan::Floorplan& paper_floorplan() {
+  static const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
+  return fp;
+}
+
+const power::LeakageModel& paper_leakage() {
+  static const power::LeakageModel model =
+      power::characterize_leakage(paper_floorplan(), power::ProcessConfig{});
+  return model;
+}
+
+std::vector<SweepRow> run_paper_sweep(const SweepOptions& options) {
+  const floorplan::Floorplan& fp = paper_floorplan();
+  const power::LeakageModel& leak = paper_leakage();
+  const double fixed_omega = units::rpm_to_rad_s(options.fixed_fan_rpm);
+
+  std::vector<SweepRow> rows;
+  for (const workload::Benchmark b : workload::all_benchmarks()) {
+    const workload::BenchmarkProfile& prof = workload::profile_for(b);
+    const power::PowerMap peak = workload::peak_power_map(prof, fp);
+
+    core::CoolingSystem::Config hybrid_cfg;
+    hybrid_cfg.grid_nx = options.grid_nx;
+    hybrid_cfg.grid_ny = options.grid_ny;
+    core::CoolingSystem::Config fan_cfg = hybrid_cfg;
+    fan_cfg.package = hybrid_cfg.package.without_tecs();
+
+    const core::CoolingSystem hybrid(fp, peak, leak, hybrid_cfg);
+    const core::CoolingSystem fan_only(fp, peak, leak, fan_cfg);
+
+    SweepRow row;
+    row.benchmark = b;
+    row.name = prof.name;
+    row.dynamic_power = peak.total();
+    row.oftec = core::run_oftec(hybrid, options.oftec);
+    row.variable_fan = core::run_variable_fan_baseline(fan_only, options.oftec);
+    row.fixed_fan = core::run_fixed_fan_baseline(fan_only, fixed_omega);
+    row.oftec_min_temp = core::run_min_temperature(hybrid, options.oftec);
+    row.variable_min_temp =
+        core::run_min_temperature(fan_only, options.oftec);
+    if (options.run_tec_only) {
+      row.tec_only = core::run_tec_only(hybrid, 11);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string format_celsius(double kelvin, int decimals) {
+  return util::format_double(units::kelvin_to_celsius(kelvin), decimals);
+}
+
+std::string format_watts(double watts, int decimals) {
+  return util::format_double(watts, decimals);
+}
+
+std::string format_rpm(double rad_s, int decimals) {
+  return util::format_double(units::rad_s_to_rpm(rad_s), decimals);
+}
+
+std::string format_temperature_outcome(double kelvin, double t_max_kelvin) {
+  if (!std::isfinite(kelvin)) return "RUNAWAY";
+  std::string out = format_celsius(kelvin);
+  if (kelvin > t_max_kelvin) out += " (>Tmax)";
+  return out;
+}
+
+void print_header(const std::string& figure, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("OFTEC reproduction — %s\n", figure.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace oftec::bench

@@ -1,0 +1,63 @@
+// Shared machinery for the paper-reproduction bench binaries.
+//
+// Every Figure-6 panel compares the same three systems over the same eight
+// benchmarks; run_paper_sweep() executes that sweep once (OFTEC + variable-ω
+// + fixed-ω + TEC-only per benchmark) and the per-figure binaries print
+// their slice of it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/cooling_system.h"
+#include "core/oftec.h"
+#include "floorplan/ev6.h"
+#include "power/mcpat_like.h"
+#include "workload/benchmarks.h"
+
+namespace oftec::bench {
+
+/// Everything measured for one benchmark.
+struct SweepRow {
+  workload::Benchmark benchmark;
+  std::string name;
+  double dynamic_power = 0.0;  ///< peak total [W]
+  core::OftecResult oftec;
+  core::BaselineResult variable_fan;
+  core::BaselineResult fixed_fan;
+  core::BaselineResult tec_only;
+  /// Standalone Optimization 2 runs (Fig. 6(c,d)) for the hybrid system and
+  /// the fan-only baseline.
+  core::MinTemperatureResult oftec_min_temp;
+  core::MinTemperatureResult variable_min_temp;
+};
+
+struct SweepOptions {
+  std::size_t grid_nx = 10;
+  std::size_t grid_ny = 10;
+  double fixed_fan_rpm = 2000.0;  ///< paper's baseline #2
+  core::OftecOptions oftec;
+  bool run_tec_only = true;
+};
+
+/// Shared floorplan / leakage singletons (paper defaults).
+[[nodiscard]] const floorplan::Floorplan& paper_floorplan();
+[[nodiscard]] const power::LeakageModel& paper_leakage();
+
+/// Run the full three-system sweep over all eight benchmarks.
+[[nodiscard]] std::vector<SweepRow> run_paper_sweep(
+    const SweepOptions& options = {});
+
+/// Format helpers shared by the binaries.
+[[nodiscard]] std::string format_celsius(double kelvin, int decimals = 2);
+[[nodiscard]] std::string format_watts(double watts, int decimals = 2);
+[[nodiscard]] std::string format_rpm(double rad_s, int decimals = 0);
+/// "RUNAWAY" / "> Tmax" / plain value — the way Fig. 6 marks failures.
+[[nodiscard]] std::string format_temperature_outcome(double kelvin,
+                                                     double t_max_kelvin);
+
+/// Standard bench preamble: figure id + what the paper shows.
+void print_header(const std::string& figure, const std::string& claim);
+
+}  // namespace oftec::bench

@@ -1,0 +1,73 @@
+// Quickstart: cool one workload with OFTEC in ~30 lines of user code.
+//
+//   1. Build the Alpha-21264-style floorplan and the paper's cooling package.
+//   2. Characterize leakage for the process (McPAT-substitute).
+//   3. Describe the workload as per-unit peak dynamic power.
+//   4. Run OFTEC → optimal fan speed ω* and TEC current I*.
+#include <cstdio>
+
+#include "core/oftec.h"
+#include "floorplan/ev6.h"
+#include "power/mcpat_like.h"
+#include "util/units.h"
+
+int main() {
+  using namespace oftec;
+
+  // 1. Floorplan (15.9 mm × 15.9 mm die) — the cooling package defaults to
+  //    the paper's Table 1 stack inside CoolingSystem::Config.
+  const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
+
+  // 2. Leakage model for a 22 nm process, 6 W at the 45 °C ambient.
+  power::ProcessConfig process;
+  process.node_nm = 22.0;
+  process.total_leakage_at_t0 = 6.0;
+  const power::LeakageModel leakage = power::characterize_leakage(fp, process);
+
+  // 3. Workload: a hot integer kernel, ~40 W peak, concentrated on the
+  //    execution units. (Real flows extract this from a power trace — see
+  //    the online_controller example.)
+  power::PowerMap workload(fp);
+  workload.set("L2", 5.0);
+  workload.set("L2_left", 0.8);
+  workload.set("L2_right", 0.8);
+  workload.set("Icache", 3.4);
+  workload.set("Dcache", 3.8);
+  workload.set("Bpred", 1.9);
+  workload.set("ITB", 0.8);
+  workload.set("DTB", 1.0);
+  workload.set("LdStQ", 2.9);
+  workload.set("IntMap", 1.6);
+  workload.set("IntQ", 1.8);
+  workload.set("IntReg", 4.6);
+  workload.set("IntExec", 6.6);
+  workload.set("FPMap", 0.4);
+  workload.set("FPQ", 0.6);
+  workload.set("FPReg", 1.2);
+  workload.set("FPAdd", 1.4);
+  workload.set("FPMul", 1.8);
+  std::printf("Workload: %.1f W peak dynamic power\n", workload.total());
+
+  // 4. Bind everything into a CoolingSystem and run Algorithm 1.
+  const core::CoolingSystem system(fp, workload, leakage);
+  const core::OftecResult result = core::run_oftec(system);
+
+  if (!result.success) {
+    std::printf("OFTEC: infeasible — even maximum cooling leaves the die at "
+                "%.1f C\n", units::kelvin_to_celsius(result.opt2_temperature));
+    return 1;
+  }
+
+  std::printf("OFTEC solution (found in %.0f ms, %zu thermal solves):\n",
+              result.runtime_ms, result.thermal_solves);
+  std::printf("  fan speed   w* = %.0f RPM\n",
+              units::rad_s_to_rpm(result.omega));
+  std::printf("  TEC current I* = %.2f A\n", result.current);
+  std::printf("  max die temperature = %.2f C (limit 90 C)\n",
+              units::kelvin_to_celsius(result.max_chip_temperature));
+  std::printf("  cooling power = %.2f W  (leakage %.2f + TEC %.2f + fan "
+              "%.2f)\n",
+              result.power.total(), result.power.leakage, result.power.tec,
+              result.power.fan);
+  return 0;
+}

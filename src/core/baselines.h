@@ -1,0 +1,45 @@
+// The paper's comparison systems (Sec. 6.1).
+//
+//   1. Variable-ω fan-only: no TECs (boosted-TIM1 fairness package); the fan
+//      speed is set "using a method similar to OFTEC" — i.e. Algorithm 1
+//      with a one-dimensional decision vector.
+//   2. Fixed-ω fan-only: ω pinned at 2000 RPM, no optimization.
+//   3. TEC-only: ω = 0, only I_TEC optimized — the configuration the paper
+//      shows cannot avoid thermal runaway.
+#pragma once
+
+#include "core/cooling_system.h"
+#include "core/oftec.h"
+
+namespace oftec::core {
+
+/// Outcome of a baseline run, aligned with OftecResult for table building.
+struct BaselineResult {
+  bool success = false;  ///< thermal constraint met
+  bool runaway = false;
+  double omega = 0.0;
+  double current = 0.0;
+  double max_chip_temperature = 0.0;  ///< [K]; +inf on runaway
+  CoolingBreakdown power;
+  /// Min-temperature phase outcome (Optimization 2 analogue).
+  double opt2_omega = 0.0;
+  double opt2_temperature = 0.0;
+  CoolingBreakdown opt2_power;
+};
+
+/// Variable-ω baseline on a no-TEC system (build the system from
+/// PackageConfig::without_tecs()).
+[[nodiscard]] BaselineResult run_variable_fan_baseline(
+    const CoolingSystem& fan_only_system, const OftecOptions& options = {});
+
+/// Fixed-speed baseline (paper: 2000 RPM) on a no-TEC system.
+[[nodiscard]] BaselineResult run_fixed_fan_baseline(
+    const CoolingSystem& fan_only_system, double omega_fixed);
+
+/// TEC-only: ω = 0 on the hybrid system; sweeps I over [0, I_max] looking
+/// for any non-runaway point (grid sweep — optimization is pointless if the
+/// whole axis diverges, which is the claim under test).
+[[nodiscard]] BaselineResult run_tec_only(const CoolingSystem& hybrid_system,
+                                          std::size_t current_samples = 26);
+
+}  // namespace oftec::core

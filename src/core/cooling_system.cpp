@@ -1,0 +1,92 @@
+#include "core/cooling_system.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace oftec::core {
+
+double Evaluation::cooling_power() const noexcept {
+  if (runaway) return std::numeric_limits<double>::infinity();
+  return power.total();
+}
+
+CoolingSystem::CoolingSystem(const floorplan::Floorplan& fp,
+                             const power::PowerMap& dynamic_power,
+                             const power::LeakageModel& leakage,
+                             Config config)
+    : cache_limit_(config.cache_limit) {
+  model_ = std::make_unique<thermal::ThermalModel>(
+      std::move(config.package), fp, config.grid_nx, config.grid_ny,
+      std::move(config.tec_coverage));
+  solver_ = std::make_unique<thermal::SteadySolver>(
+      *model_, model_->distribute(dynamic_power), model_->cell_leakage(leakage),
+      config.steady);
+}
+
+const Evaluation& CoolingSystem::evaluate(double omega, double current) const {
+  if (!(omega >= 0.0) || omega > omega_max() * (1.0 + 1e-9)) {
+    throw std::invalid_argument("CoolingSystem::evaluate: omega out of range");
+  }
+  if (!(current >= 0.0) || current > current_max() * (1.0 + 1e-9) ||
+      (!has_tec() && current != 0.0)) {
+    throw std::invalid_argument(
+        "CoolingSystem::evaluate: current out of range");
+  }
+
+  const auto key = std::make_pair(omega, current);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  if (cache_.size() >= cache_limit_) cache_.clear();
+
+  const thermal::SteadyResult sr =
+      warm_start_.empty() ? solver_->solve(omega, current)
+                          : solver_->solve(omega, current, warm_start_);
+  ++solve_count_;
+
+  Evaluation ev;
+  if (sr.runaway || !sr.converged) {
+    ev.runaway = true;
+    ev.max_chip_temperature = std::numeric_limits<double>::infinity();
+  } else {
+    warm_start_ = sr.chip_temperatures;
+    ev.max_chip_temperature = sr.max_chip_temperature;
+    ev.power.leakage = sr.leakage_power;
+    ev.power.tec = sr.tec_power;
+    ev.power.fan = model_->config().fan.power(omega);
+  }
+  ev.solver_iterations = sr.iterations;
+
+  return cache_.emplace(key, std::move(ev)).first->second;
+}
+
+double CoolingSystem::t_max() const noexcept { return model_->config().t_max; }
+
+double CoolingSystem::ambient() const noexcept {
+  return model_->config().ambient;
+}
+
+double CoolingSystem::omega_max() const noexcept {
+  return model_->config().fan.max_speed;
+}
+
+double CoolingSystem::current_max() const noexcept {
+  return has_tec() ? model_->config().tec.max_current : 0.0;
+}
+
+bool CoolingSystem::has_tec() const noexcept {
+  return model_->tec_array() != nullptr;
+}
+
+const la::Vector& CoolingSystem::cell_dynamic_power() const noexcept {
+  return solver_->cell_dynamic_power();
+}
+
+const std::vector<power::ExponentialTerm>& CoolingSystem::cell_leakage()
+    const noexcept {
+  return solver_->cell_leakage();
+}
+
+}  // namespace oftec::core

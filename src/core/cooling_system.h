@@ -1,0 +1,106 @@
+// CoolingSystem: the facade the optimizers drive.
+//
+// Binds one workload (max dynamic-power map + leakage model) to one package
+// on one floorplan, and evaluates the two quantities OFTEC's formulations
+// need at a given (ω, I_TEC):
+//   𝒯(ω, I) — maximum chip-layer temperature (Optimization 2 objective,
+//              Optimization 1 constraint), +inf in thermal runaway;
+//   𝒫(ω, I) — cooling-related power P_leakage + P_TEC + P_fan (Eq. 10).
+// Evaluations are memoized: the SQP evaluates 𝒯 and 𝒫 at identical points
+// (objective + constraint + finite differences), and each uncached point
+// costs a full nonlinear thermal solve.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "floorplan/floorplan.h"
+#include "package/package_config.h"
+#include "power/leakage.h"
+#include "power/power_map.h"
+#include "thermal/model.h"
+#include "thermal/steady.h"
+
+namespace oftec::core {
+
+/// Cooling-power breakdown (the three terms of Eq. 10).
+struct CoolingBreakdown {
+  double leakage = 0.0;  ///< Σ p_leak over chip cells, exact exponential [W]
+  double tec = 0.0;      ///< Eq. 3 over the array [W]
+  double fan = 0.0;      ///< Eq. 8 [W]
+
+  [[nodiscard]] double total() const noexcept { return leakage + tec + fan; }
+};
+
+/// One evaluated operating point.
+struct Evaluation {
+  bool runaway = false;
+  double max_chip_temperature = 0.0;  ///< 𝒯 [K]; +inf when runaway
+  CoolingBreakdown power;             ///< valid only when !runaway
+  std::size_t solver_iterations = 0;
+
+  /// 𝒫 [K]; +inf when runaway.
+  [[nodiscard]] double cooling_power() const noexcept;
+};
+
+class CoolingSystem {
+ public:
+  struct Config {
+    package::PackageConfig package;  ///< default-constructed → paper_default()
+    std::size_t grid_nx = 10;
+    std::size_t grid_ny = 10;
+    thermal::SteadyOptions steady;
+    std::size_t cache_limit = 1 << 14;
+    /// Explicit TEC placement; empty → the paper's default policy (cover
+    /// every core-majority cell).
+    std::optional<std::vector<bool>> tec_coverage;
+
+    Config() : package(package::PackageConfig::paper_default()) {}
+  };
+
+  /// The floorplan and models are copied/bound; `fp` must outlive the system.
+  CoolingSystem(const floorplan::Floorplan& fp,
+                const power::PowerMap& dynamic_power,
+                const power::LeakageModel& leakage, Config config = {});
+
+  /// Evaluate (memoized). ω in [0, ω_max] rad/s, I in [0, I_max] A; I must be
+  /// 0 for packages without TECs.
+  [[nodiscard]] const Evaluation& evaluate(double omega, double current) const;
+
+  [[nodiscard]] double t_max() const noexcept;     ///< [K]
+  [[nodiscard]] double ambient() const noexcept;   ///< [K]
+  [[nodiscard]] double omega_max() const noexcept; ///< [rad/s]
+  [[nodiscard]] double current_max() const noexcept;  ///< [A]; 0 if no TECs
+  [[nodiscard]] bool has_tec() const noexcept;
+
+  [[nodiscard]] const thermal::ThermalModel& thermal_model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const thermal::SteadySolver& solver() const noexcept {
+    return *solver_;
+  }
+  /// Per-cell inputs (for transient experiments sharing this workload).
+  [[nodiscard]] const la::Vector& cell_dynamic_power() const noexcept;
+  [[nodiscard]] const std::vector<power::ExponentialTerm>& cell_leakage()
+      const noexcept;
+
+  [[nodiscard]] std::size_t evaluation_count() const noexcept {
+    return solve_count_;
+  }
+  [[nodiscard]] std::size_t cache_hits() const noexcept { return cache_hits_; }
+
+ private:
+  std::unique_ptr<thermal::ThermalModel> model_;
+  std::unique_ptr<thermal::SteadySolver> solver_;
+  std::size_t cache_limit_;
+  mutable std::map<std::pair<double, double>, Evaluation> cache_;
+  /// Chip temperatures of the last convergent solve — warm start for the
+  /// next one (optimizer sweeps move in small steps).
+  mutable la::Vector warm_start_;
+  mutable std::size_t solve_count_ = 0;
+  mutable std::size_t cache_hits_ = 0;
+};
+
+}  // namespace oftec::core

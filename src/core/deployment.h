@@ -1,0 +1,69 @@
+// Selective TEC deployment (the "Deployment" half of the paper's title;
+// formulated as an optimization by refs. [6][7], Long et al.).
+//
+// "Excessive deployment of TECs adversely affects the temperature of the
+// device because of lateral heating among TECs. Moreover, deploying
+// unnecessary TECs increases the power consumption of the cooling
+// solution." (Sec. 3)
+//
+// Placement heuristic (the hotspot-chasing scheme of refs. [6][7]): start
+// from an empty placement and repeatedly cover the currently hottest
+// uncovered candidate cell, re-simulating after each addition. The maximum
+// die temperature traces a U-curve — it falls while the hot region gets
+// covered, then rises once additional TECs only contribute Joule heat and
+// lateral heating — and the optimizer returns the placement at the bottom
+// of that curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cooling_system.h"
+#include "floorplan/floorplan.h"
+#include "power/leakage.h"
+#include "power/power_map.h"
+
+namespace oftec::core {
+
+struct DeploymentOptions {
+  /// Hard cap on covered cells; 0 → candidates.size().
+  std::size_t max_cells = 0;
+  /// Operating point the placement is evaluated at.
+  double omega = 524.0;   ///< [rad/s]
+  double current = 2.0;   ///< [A]
+  /// Stop after this many consecutive additions without improving the best
+  /// maximum temperature (the over-deployment side of the U-curve).
+  std::size_t patience = 3;
+  /// Restrict candidates to core-majority cells (the paper's policy space);
+  /// false allows covering cache cells too.
+  bool core_cells_only = true;
+  /// Note: with the default paste filler (PackageConfig::paper_default()),
+  /// a *sparse* placement leaves most of the TEC layer at low conductivity
+  /// and light placements may be infeasible at any fan speed. To study
+  /// active pumping in isolation, raise `system.package.filler_conductivity`
+  /// to the TEC composite value (tec.layer_conductivity()).
+  CoolingSystem::Config system;
+};
+
+struct DeploymentStep {
+  std::size_t cell = 0;  ///< cell covered at this step (hottest at the time)
+  double max_chip_temperature = 0.0;  ///< 𝒯 after the addition [K]
+};
+
+struct DeploymentResult {
+  std::vector<bool> coverage;          ///< best placement found
+  std::size_t covered_cells = 0;       ///< cells in the best placement
+  double max_chip_temperature = 0.0;   ///< 𝒯 at the best placement [K]
+  double baseline_temperature = 0.0;   ///< 𝒯 with no TECs covered [K]
+  std::vector<DeploymentStep> steps;   ///< full trajectory (may overshoot)
+  std::size_t evaluations = 0;         ///< thermal solves spent
+};
+
+/// Hotspot-chasing placement for one workload. Throws std::invalid_argument
+/// on a runaway operating point (pick a fan speed the bare package
+/// survives).
+[[nodiscard]] DeploymentResult optimize_deployment(
+    const floorplan::Floorplan& fp, const power::PowerMap& dynamic_power,
+    const power::LeakageModel& leakage, const DeploymentOptions& options = {});
+
+}  // namespace oftec::core

@@ -1,0 +1,183 @@
+#include "core/dtm_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/banded_lu.h"
+#include "thermal/model.h"
+#include "thermal/steady.h"
+#include "util/stopwatch.h"
+
+namespace oftec::core {
+
+namespace {
+
+/// Per-unit max over trace samples [begin, end).
+power::PowerMap window_max(const workload::PowerTrace& trace,
+                           const floorplan::Floorplan& fp, std::size_t begin,
+                           std::size_t end) {
+  power::PowerMap out(fp);
+  for (std::size_t s = begin; s < end && s < trace.size(); ++s) {
+    out.max_with(trace.samples[s]);
+  }
+  return out;
+}
+
+struct Setting {
+  double omega = 0.0;
+  double current = 0.0;
+};
+
+}  // namespace
+
+DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
+                       const workload::PowerTrace& trace,
+                       const power::LeakageModel& leakage,
+                       const DtmOptions& options) {
+  if (trace.samples.empty()) {
+    throw std::invalid_argument("run_dtm_loop: empty trace");
+  }
+  if (options.policy == DtmPolicy::kLut && options.lut == nullptr) {
+    throw std::invalid_argument("run_dtm_loop: LUT policy needs a table");
+  }
+  if (options.control_period <= 0.0 || options.time_step <= 0.0) {
+    throw std::invalid_argument("run_dtm_loop: bad timing parameters");
+  }
+
+  const thermal::ThermalModel model(options.system.package, fp,
+                                    options.system.grid_nx,
+                                    options.system.grid_ny);
+  const auto leak_terms = model.cell_leakage(leakage);
+  const double t_max = model.config().t_max;
+  const double dt = options.time_step;
+  const std::size_t cells = model.layout().cells_per_layer();
+  const std::size_t n = model.layout().node_count();
+  const la::Vector& cap = model.capacitances();
+
+  // Per-sample cell power, computed lazily.
+  std::vector<la::Vector> cell_power(trace.size());
+  auto power_at = [&](std::size_t sample) -> const la::Vector& {
+    sample = std::min(sample, trace.size() - 1);
+    if (cell_power[sample].empty()) {
+      cell_power[sample] = model.distribute(trace.samples[sample]);
+    }
+    return cell_power[sample];
+  };
+
+  const std::size_t samples_per_period = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.control_period /
+                                  trace.sample_interval));
+
+  DtmResult result;
+
+  // Control decision for the window starting at trace sample `begin`.
+  auto decide = [&](std::size_t begin) -> Setting {
+    const power::PowerMap window =
+        options.policy == DtmPolicy::kStatic
+            ? window_max(trace, fp, 0, trace.size())
+            : window_max(trace, fp, begin, begin + samples_per_period);
+    const util::Stopwatch watch;
+    Setting setting;
+    switch (options.policy) {
+      case DtmPolicy::kLut: {
+        const LutController::LookupResult hit = options.lut->lookup(window);
+        setting = {hit.omega, hit.current};
+        break;
+      }
+      case DtmPolicy::kExactOftec:
+      case DtmPolicy::kStatic: {
+        const CoolingSystem system(fp, window, leakage, options.system);
+        const OftecResult r = run_oftec(system, options.oftec);
+        setting = r.success ? Setting{r.omega, r.current}
+                            : Setting{r.opt2_omega, r.opt2_current};
+        break;
+      }
+    }
+    result.control_time_ms += watch.elapsed_ms();
+    ++result.reoptimizations;
+    return setting;
+  };
+
+  // Initial state: steady at the first decision.
+  Setting setting = decide(0);
+  thermal::SteadySolver steady(model, power_at(0), leak_terms,
+                               options.system.steady);
+  const thermal::SteadyResult initial =
+      steady.solve(setting.omega, setting.current);
+  if (initial.runaway) {
+    result.runaway = true;
+    return result;
+  }
+  la::Vector temps = initial.temperatures;
+
+  const auto total_steps = static_cast<std::size_t>(
+      std::ceil(trace.duration() / dt));
+  const std::size_t record_stride =
+      std::max<std::size_t>(1, total_steps / 400);
+  std::vector<power::TaylorCoefficients> taylor(cells);
+
+  double power_acc = 0.0;
+  std::size_t power_count = 0;
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double time = static_cast<double>(step) * dt;
+    const auto sample =
+        static_cast<std::size_t>(time / trace.sample_interval);
+
+    // Re-optimize at control-period boundaries (the first decision was
+    // made before the loop).
+    if (step > 0 && options.policy != DtmPolicy::kStatic &&
+        sample % samples_per_period == 0 &&
+        static_cast<std::size_t>((time - dt) / trace.sample_interval) %
+                samples_per_period !=
+            0) {
+      setting = decide(sample);
+    }
+
+    const la::Vector chip = model.slab_temperatures(temps, thermal::Slab::kChip);
+    for (std::size_t i = 0; i < cells; ++i) {
+      taylor[i] = power::tangent_linearize(leak_terms[i], chip[i]);
+    }
+    thermal::AssembledSystem sys =
+        model.assemble(setting.omega, setting.current, power_at(sample),
+                       taylor);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c_dt = cap[i] / dt;
+      sys.matrix.add(i, i, c_dt);
+      sys.rhs[i] += c_dt * temps[i];
+    }
+    try {
+      temps = la::BandedLu(sys.matrix).solve(sys.rhs);
+    } catch (const std::runtime_error&) {
+      result.runaway = true;
+      return result;
+    }
+
+    const double max_chip =
+        model.max_slab_temperature(temps, thermal::Slab::kChip);
+    if (!std::isfinite(max_chip) || max_chip > 500.0) {
+      result.runaway = true;
+      return result;
+    }
+    result.peak_temperature = std::max(result.peak_temperature, max_chip);
+    if (max_chip > t_max) result.violation_time += dt;
+
+    const double cooling = model.leakage_power(temps, leak_terms) +
+                           model.tec_power(temps, setting.current) +
+                           model.config().fan.power(setting.omega);
+    power_acc += cooling;
+    ++power_count;
+
+    if (step % record_stride == 0 || step + 1 == total_steps) {
+      result.samples.push_back({time + dt, max_chip, setting.omega,
+                                setting.current, cooling});
+    }
+  }
+
+  result.average_cooling_power =
+      power_count > 0 ? power_acc / static_cast<double>(power_count) : 0.0;
+  return result;
+}
+
+}  // namespace oftec::core

@@ -1,0 +1,74 @@
+// Dynamic thermal management loop: trace replay with periodic
+// re-optimization.
+//
+// The paper's deployment story (Sec. 6.2): OFTEC is fast enough (sub-second)
+// to run "as an online controlling algorithm", optionally fronted by the
+// LUT for instant reactions. This harness closes that loop against the
+// transient thermal model:
+//
+//   every control period:
+//     1. reduce the trace window ahead to its per-unit max-power vector;
+//     2. obtain (ω, I) — exact OFTEC, or LUT lookup;
+//     3. hold the setting while the transient model integrates the *actual*
+//        (time-varying) trace power.
+//
+// Reported metrics: temperature envelope, thermal-violation time, average
+// cooling power, and control-latency spent in the optimizer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cooling_system.h"
+#include "core/lut_controller.h"
+#include "core/oftec.h"
+#include "floorplan/floorplan.h"
+#include "power/leakage.h"
+#include "thermal/transient.h"
+#include "workload/trace.h"
+
+namespace oftec::core {
+
+/// How the loop obtains its control settings.
+enum class DtmPolicy {
+  kExactOftec,  ///< run Algorithm 1 every control period
+  kLut,         ///< nearest-neighbor lookup in a prebuilt table
+  kStatic,      ///< one OFTEC run on the whole-trace max vector, then hold
+};
+
+struct DtmOptions {
+  DtmPolicy policy = DtmPolicy::kExactOftec;
+  double control_period = 0.5;  ///< [s] between re-optimizations
+  CoolingSystem::Config system;
+  OftecOptions oftec;
+  /// Required when policy == kLut.
+  const LutController* lut = nullptr;
+  double time_step = 10e-3;  ///< transient integration step [s]
+};
+
+struct DtmSample {
+  double time = 0.0;
+  double max_chip_temperature = 0.0;  ///< [K]
+  double omega = 0.0;
+  double current = 0.0;
+  double cooling_power = 0.0;  ///< leakage + TEC + fan at this instant [W]
+};
+
+struct DtmResult {
+  std::vector<DtmSample> samples;
+  double peak_temperature = 0.0;        ///< [K]
+  double violation_time = 0.0;          ///< seconds above T_max
+  double average_cooling_power = 0.0;   ///< [W]
+  double control_time_ms = 0.0;         ///< total optimizer latency
+  std::size_t reoptimizations = 0;
+  bool runaway = false;
+};
+
+/// Replay `trace` through the transient model under the chosen policy.
+/// The loop starts from the steady state of the first control decision.
+[[nodiscard]] DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
+                                     const workload::PowerTrace& trace,
+                                     const power::LeakageModel& leakage,
+                                     const DtmOptions& options = {});
+
+}  // namespace oftec::core

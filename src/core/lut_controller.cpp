@@ -1,0 +1,77 @@
+#include "core/lut_controller.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace oftec::core {
+
+la::Vector LutController::feature_of(const power::PowerMap& power) {
+  return power.values();
+}
+
+LutController LutController::build(const std::vector<power::PowerMap>& training,
+                                   const floorplan::Floorplan& fp,
+                                   const power::LeakageModel& leakage,
+                                   const CoolingSystem::Config& config,
+                                   const OftecOptions& oftec_options) {
+  if (training.empty()) {
+    throw std::invalid_argument("LutController::build: no training maps");
+  }
+  LutController lut;
+  lut.entries_.reserve(training.size());
+  for (const power::PowerMap& map : training) {
+    CoolingSystem system(fp, map, leakage, config);
+    const OftecResult r = run_oftec(system, oftec_options);
+    Entry e;
+    e.feature = feature_of(map);
+    e.feasible = r.success;
+    if (r.success) {
+      e.omega = r.omega;
+      e.current = r.current;
+      e.max_chip_temperature = r.max_chip_temperature;
+    } else {
+      // Store the min-temperature setting so the controller still reacts
+      // sensibly to loads it cannot fully cool.
+      e.omega = r.opt2_omega;
+      e.current = r.opt2_current;
+      e.max_chip_temperature = r.opt2_temperature;
+    }
+    lut.entries_.push_back(std::move(e));
+  }
+  return lut;
+}
+
+LutController::LookupResult LutController::lookup(
+    const power::PowerMap& power) const {
+  if (entries_.empty()) {
+    throw std::logic_error("LutController::lookup: empty table");
+  }
+  const la::Vector query = feature_of(power);
+
+  LookupResult best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.feature.size() != query.size()) {
+      throw std::invalid_argument("LutController::lookup: floorplan mismatch");
+    }
+    double dist2 = 0.0;
+    for (std::size_t j = 0; j < query.size(); ++j) {
+      const double d = query[j] - e.feature[j];
+      dist2 += d * d;
+    }
+    if (dist2 < best_dist) {
+      best_dist = dist2;
+      best.entry_index = i;
+    }
+  }
+  const Entry& chosen = entries_[best.entry_index];
+  best.omega = chosen.omega;
+  best.current = chosen.current;
+  best.feasible = chosen.feasible;
+  best.feature_distance = std::sqrt(best_dist);
+  return best;
+}
+
+}  // namespace oftec::core

@@ -1,0 +1,64 @@
+// Look-up-table controller (paper Sec. 6.2 extension).
+//
+// "With the current runtime of OFTEC, one can classify the input dynamic
+// power vector to different categories and pre-calculate optimization
+// solutions and store them in a look-up table. In this way, the desired
+// controlling values can be accessed immediately."
+//
+// Build time: run OFTEC for each training power map and store
+// (power-vector feature → (ω*, I*)). Run time: nearest-neighbor lookup in
+// feature space, O(#entries) with no thermal solves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cooling_system.h"
+#include "core/oftec.h"
+#include "floorplan/floorplan.h"
+#include "power/leakage.h"
+#include "power/power_map.h"
+
+namespace oftec::core {
+
+class LutController {
+ public:
+  struct Entry {
+    la::Vector feature;  ///< per-block power vector [W]
+    double omega = 0.0;
+    double current = 0.0;
+    bool feasible = false;
+    double max_chip_temperature = 0.0;  ///< at build time [K]
+  };
+
+  struct LookupResult {
+    double omega = 0.0;
+    double current = 0.0;
+    bool feasible = false;
+    std::size_t entry_index = 0;
+    double feature_distance = 0.0;  ///< ‖query − entry‖₂ [W]
+  };
+
+  /// Pre-compute the table: one OFTEC run per training power map. The
+  /// floorplan and leakage model must match the deployment target.
+  static LutController build(const std::vector<power::PowerMap>& training,
+                             const floorplan::Floorplan& fp,
+                             const power::LeakageModel& leakage,
+                             const CoolingSystem::Config& config = {},
+                             const OftecOptions& oftec_options = {});
+
+  /// Nearest-neighbor control lookup — no thermal solves.
+  [[nodiscard]] LookupResult lookup(const power::PowerMap& power) const;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Feature extraction used by both build and lookup.
+  [[nodiscard]] static la::Vector feature_of(const power::PowerMap& power);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace oftec::core

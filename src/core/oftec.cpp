@@ -1,0 +1,144 @@
+#include "core/oftec.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/problems.h"
+#include "opt/grid_search.h"
+#include "opt/interior_point.h"
+#include "opt/trust_region.h"
+#include "util/stopwatch.h"
+
+namespace oftec::core {
+
+std::string solver_name(Solver s) {
+  switch (s) {
+    case Solver::kActiveSetSqp: return "active-set-SQP";
+    case Solver::kInteriorPoint: return "interior-point";
+    case Solver::kTrustRegion: return "trust-region";
+    case Solver::kGridSearch: return "grid-search";
+  }
+  throw std::invalid_argument("solver_name: unknown solver");
+}
+
+namespace {
+
+[[nodiscard]] opt::OptResult dispatch(Solver solver, const opt::Problem& problem,
+                                      const la::Vector& x0,
+                                      const OftecOptions& options,
+                                      const opt::StopPredicate& stop) {
+  switch (solver) {
+    case Solver::kActiveSetSqp:
+      return opt::solve_sqp(problem, x0, options.sqp, stop);
+    case Solver::kInteriorPoint:
+      return opt::solve_interior_point(problem, x0);
+    case Solver::kTrustRegion:
+      return opt::solve_trust_region(problem, x0);
+    case Solver::kGridSearch: {
+      opt::GridSearchOptions gs;
+      gs.points_per_dimension = options.grid_points;
+      return opt::solve_grid_search(problem, gs);
+    }
+  }
+  throw std::invalid_argument("dispatch: unknown solver");
+}
+
+}  // namespace
+
+MinTemperatureResult run_min_temperature(const CoolingSystem& system,
+                                         const OftecOptions& options) {
+  const util::Stopwatch watch;
+  const std::size_t solves_before = system.evaluation_count();
+
+  const CoolingProblem opt2(system, CoolingProblem::Objective::kMaxTemperature,
+                            /*temperature_constraint=*/false);
+  const opt::OptResult r =
+      dispatch(options.solver, opt2, opt2.midpoint(), options, nullptr);
+
+  MinTemperatureResult result;
+  result.omega = opt2.omega_of(r.x);
+  result.current = opt2.current_of(r.x);
+  result.max_chip_temperature = r.objective;
+  result.finite = std::isfinite(r.objective);
+  if (result.finite) {
+    result.power = system.evaluate(result.omega, result.current).power;
+  }
+  result.runtime_ms = watch.elapsed_ms();
+  result.thermal_solves = system.evaluation_count() - solves_before;
+  return result;
+}
+
+OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) {
+  const util::Stopwatch watch;
+  const std::size_t solves_before = system.evaluation_count();
+
+  OftecResult result;
+
+  const CoolingProblem opt2(system, CoolingProblem::Objective::kMaxTemperature,
+                            /*temperature_constraint=*/false);
+  const CoolingProblem opt1(system, CoolingProblem::Objective::kCoolingPower,
+                            /*temperature_constraint=*/true);
+
+  const double t_max = system.t_max();
+  const double stop_threshold = t_max - options.feasibility_margin;
+
+  // Line 1: start at the middle of the (ω, I) box.
+  la::Vector x = opt2.midpoint();
+  double temperature = opt2.objective(x);
+
+  // Lines 2–5: bootstrap feasibility via Optimization 2.
+  if (!(temperature < t_max)) {
+    result.used_opt2 = true;
+    const opt::StopPredicate early_stop =
+        [&](const la::Vector&, double objective) {
+          return objective < stop_threshold;
+        };
+    const opt::OptResult r2 = dispatch(options.solver, opt2, x, options,
+                                       early_stop);
+    x = r2.x;
+    temperature = r2.objective;
+    if (!(temperature < t_max)) {
+      // Line 5: infeasible — report the best temperature found.
+      result.success = false;
+      result.opt2_omega = opt2.omega_of(x);
+      result.opt2_current = opt2.current_of(x);
+      result.opt2_temperature = temperature;
+      if (std::isfinite(temperature)) {
+        result.opt2_power =
+            system.evaluate(result.opt2_omega, result.opt2_current).power;
+      }
+      result.runtime_ms = watch.elapsed_ms();
+      result.thermal_solves = system.evaluation_count() - solves_before;
+      return result;
+    }
+  }
+  result.opt2_omega = opt2.omega_of(x);
+  result.opt2_current = opt2.current_of(x);
+  result.opt2_temperature = temperature;
+  result.opt2_power =
+      system.evaluate(result.opt2_omega, result.opt2_current).power;
+
+  // Line 6: minimize cooling power from the feasible start.
+  const opt::OptResult r1 = dispatch(options.solver, opt1, x, options, nullptr);
+
+  // Guard against a solver returning an infeasible "optimum": fall back to
+  // the Optimization 2 point, which is feasible by construction.
+  la::Vector x_star = r1.x;
+  const Evaluation* ev = &system.evaluate(opt1.omega_of(x_star),
+                                          opt1.current_of(x_star));
+  if (ev->runaway || !(ev->max_chip_temperature < t_max)) {
+    x_star = x;
+    ev = &system.evaluate(opt1.omega_of(x_star), opt1.current_of(x_star));
+  }
+
+  result.success = true;
+  result.omega = opt1.omega_of(x_star);
+  result.current = opt1.current_of(x_star);
+  result.max_chip_temperature = ev->max_chip_temperature;
+  result.power = ev->power;
+  result.runtime_ms = watch.elapsed_ms();
+  result.thermal_solves = system.evaluation_count() - solves_before;
+  return result;
+}
+
+}  // namespace oftec::core

@@ -1,0 +1,79 @@
+// OFTEC — Algorithm 1 of the paper.
+//
+//   1. x0 ← (ω_max/2, I_max/2)
+//   2. if 𝒯(x0) > T_max:
+//   3.     x1 ← active-set SQP on Optimization 2 from x0,
+//          stopping early as soon as 𝒯 < T_max
+//   4.     if 𝒯(x1) > T_max: return failed (problem infeasible)
+//   5. x* ← active-set SQP on Optimization 1 from x1
+//   6. return (ω*, I_TEC*)
+//
+// The NLP engine is pluggable (SQP / interior point / trust region /
+// exhaustive search) to reproduce the paper's solver comparison.
+#pragma once
+
+#include <string>
+
+#include "core/cooling_system.h"
+#include "opt/sqp.h"
+
+namespace oftec::core {
+
+/// Which nonlinear solver drives both phases.
+enum class Solver { kActiveSetSqp, kInteriorPoint, kTrustRegion, kGridSearch };
+
+[[nodiscard]] std::string solver_name(Solver s);
+
+struct OftecOptions {
+  Solver solver = Solver::kActiveSetSqp;
+  opt::SqpOptions sqp;
+  /// Stop the Optimization 2 phase as soon as 𝒯 < T_max − margin [K]
+  /// (margin keeps the Optimization 1 start strictly feasible).
+  double feasibility_margin = 0.25;
+  /// Grid resolution when solver == kGridSearch.
+  std::size_t grid_points = 41;
+};
+
+struct OftecResult {
+  bool success = false;      ///< a feasible (ω*, I*) was found
+  bool used_opt2 = false;    ///< the bootstrap phase ran
+  double omega = 0.0;        ///< ω* [rad/s]
+  double current = 0.0;      ///< I_TEC* [A]
+  double max_chip_temperature = 0.0;  ///< 𝒯 at the solution [K]
+  CoolingBreakdown power;    ///< 𝒫 breakdown at the solution
+  /// 𝒯-minimizing point found by the Optimization 2 phase (valid when
+  /// used_opt2; equals the start otherwise).
+  double opt2_omega = 0.0;
+  double opt2_current = 0.0;
+  double opt2_temperature = 0.0;
+  CoolingBreakdown opt2_power;
+  double runtime_ms = 0.0;
+  std::size_t thermal_solves = 0;  ///< uncached simulator invocations
+};
+
+/// Run Algorithm 1 on a hybrid (TEC + fan) system. Also accepts fan-only
+/// systems (decision vector degenerates to ω) — that is exactly the paper's
+/// variable-ω baseline ("the speed is set using a method similar to OFTEC
+/// with the difference that no TEC current is required to be found").
+[[nodiscard]] OftecResult run_oftec(const CoolingSystem& system,
+                                    const OftecOptions& options = {});
+
+/// Result of a standalone Optimization 2 run (minimize the maximum die
+/// temperature over the box, no early stop). This is the experiment behind
+/// Fig. 6(c,d) — "an interesting problem by itself ... as long as the
+/// cooling power consumption is not a concern" (Sec. 5.2).
+struct MinTemperatureResult {
+  bool finite = false;  ///< a non-runaway operating point was found
+  double omega = 0.0;
+  double current = 0.0;
+  double max_chip_temperature = 0.0;  ///< the minimized 𝒯 [K]
+  CoolingBreakdown power;             ///< 𝒫 at the 𝒯-minimizing point
+  double runtime_ms = 0.0;
+  std::size_t thermal_solves = 0;
+};
+
+/// Minimize 𝒯(ω, I) to convergence (Optimization 2 run in isolation).
+[[nodiscard]] MinTemperatureResult run_min_temperature(
+    const CoolingSystem& system, const OftecOptions& options = {});
+
+}  // namespace oftec::core

@@ -1,0 +1,45 @@
+#include "core/pareto.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace oftec::core {
+
+std::vector<ParetoPoint> sweep_pareto_front(
+    const floorplan::Floorplan& fp, const power::PowerMap& dynamic_power,
+    const power::LeakageModel& leakage, const ParetoOptions& options) {
+  if (options.points < 2 || options.t_limit_hi_c <= options.t_limit_lo_c) {
+    throw std::invalid_argument("sweep_pareto_front: bad threshold range");
+  }
+
+  std::vector<ParetoPoint> front;
+  front.reserve(options.points);
+  for (std::size_t i = 0; i < options.points; ++i) {
+    const double t_limit_c =
+        options.t_limit_lo_c +
+        (options.t_limit_hi_c - options.t_limit_lo_c) *
+            static_cast<double>(i) / static_cast<double>(options.points - 1);
+
+    CoolingSystem::Config cfg = options.system;
+    cfg.package.t_max = units::celsius_to_kelvin(t_limit_c);
+    const CoolingSystem system(fp, dynamic_power, leakage, cfg);
+    const OftecResult r = run_oftec(system, options.oftec);
+
+    ParetoPoint point;
+    point.t_limit = cfg.package.t_max;
+    point.feasible = r.success;
+    if (r.success) {
+      point.cooling_power = r.power.total();
+      point.max_chip_temperature = r.max_chip_temperature;
+      point.omega = r.omega;
+      point.current = r.current;
+    } else {
+      point.max_chip_temperature = r.opt2_temperature;
+    }
+    front.push_back(point);
+  }
+  return front;
+}
+
+}  // namespace oftec::core

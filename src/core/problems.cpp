@@ -1,0 +1,66 @@
+#include "core/problems.h"
+
+#include <stdexcept>
+
+namespace oftec::core {
+
+CoolingProblem::CoolingProblem(const CoolingSystem& system, Objective objective,
+                               bool temperature_constraint, double strictness)
+    : system_(&system),
+      objective_(objective),
+      temperature_constraint_(temperature_constraint),
+      strictness_(strictness) {
+  if (system.has_tec()) {
+    bounds_.lower = {0.0, 0.0};
+    bounds_.upper = {system.omega_max(), system.current_max()};
+  } else {
+    bounds_.lower = {0.0};
+    bounds_.upper = {system.omega_max()};
+  }
+}
+
+std::size_t CoolingProblem::dimension() const {
+  return bounds_.lower.size();
+}
+
+std::size_t CoolingProblem::constraint_count() const {
+  return temperature_constraint_ ? 1 : 0;
+}
+
+const opt::Bounds& CoolingProblem::bounds() const { return bounds_; }
+
+double CoolingProblem::omega_of(const la::Vector& x) const {
+  if (x.size() != dimension()) {
+    throw std::invalid_argument("CoolingProblem: bad decision vector");
+  }
+  return x[0];
+}
+
+double CoolingProblem::current_of(const la::Vector& x) const {
+  if (x.size() != dimension()) {
+    throw std::invalid_argument("CoolingProblem: bad decision vector");
+  }
+  return dimension() == 2 ? x[1] : 0.0;
+}
+
+double CoolingProblem::objective(const la::Vector& x) const {
+  const Evaluation& ev = system_->evaluate(omega_of(x), current_of(x));
+  return objective_ == Objective::kCoolingPower ? ev.cooling_power()
+                                                : ev.max_chip_temperature;
+}
+
+la::Vector CoolingProblem::constraints(const la::Vector& x) const {
+  if (!temperature_constraint_) return {};
+  const Evaluation& ev = system_->evaluate(omega_of(x), current_of(x));
+  return {ev.max_chip_temperature - (system_->t_max() - strictness_)};
+}
+
+la::Vector CoolingProblem::midpoint() const {
+  la::Vector x(dimension());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.5 * (bounds_.lower[i] + bounds_.upper[i]);
+  }
+  return x;
+}
+
+}  // namespace oftec::core

@@ -1,0 +1,47 @@
+#include "core/reactive_controllers.h"
+
+#include <stdexcept>
+
+namespace oftec::core {
+
+HysteresisController::HysteresisController(const Params& params)
+    : params_(params) {
+  if (params.off_temperature > params.on_temperature) {
+    throw std::invalid_argument(
+        "HysteresisController: off_temperature must not exceed "
+        "on_temperature");
+  }
+  if (params.omega < 0.0 || params.on_current < 0.0) {
+    throw std::invalid_argument("HysteresisController: negative actuation");
+  }
+}
+
+thermal::ControlSetting HysteresisController::control(
+    double /*time*/, double max_chip_temperature) {
+  if (!on_ && max_chip_temperature > params_.on_temperature) {
+    on_ = true;
+    ++switches_;
+  } else if (on_ && max_chip_temperature < params_.off_temperature) {
+    on_ = false;
+    ++switches_;
+  }
+  return {params_.omega, on_ ? params_.on_current : 0.0};
+}
+
+thermal::FeedbackControl HysteresisController::as_feedback() {
+  return [this](double time, double max_chip_temperature) {
+    return control(time, max_chip_temperature);
+  };
+}
+
+HysteresisController make_threshold_controller(double omega, double on_current,
+                                               double trip_temperature) {
+  HysteresisController::Params params;
+  params.omega = omega;
+  params.on_current = on_current;
+  params.on_temperature = trip_temperature;
+  params.off_temperature = trip_temperature;
+  return HysteresisController(params);
+}
+
+}  // namespace oftec::core

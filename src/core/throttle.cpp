@@ -1,0 +1,84 @@
+#include "core/throttle.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oftec::core {
+
+namespace {
+
+/// Run OFTEC on the workload scaled by factor^exponent.
+OftecResult probe(const floorplan::Floorplan& fp,
+                  const power::PowerMap& full_power,
+                  const power::LeakageModel& leakage,
+                  const ThrottleOptions& options, double frequency_factor) {
+  power::PowerMap scaled = full_power;
+  scaled.scale(std::pow(frequency_factor, options.power_exponent));
+  const CoolingSystem system(fp, scaled, leakage, options.system);
+  return run_oftec(system, options.oftec);
+}
+
+}  // namespace
+
+ThrottleResult find_minimum_throttle(const floorplan::Floorplan& fp,
+                                     const power::PowerMap& full_power,
+                                     const power::LeakageModel& leakage,
+                                     const ThrottleOptions& options) {
+  if (options.min_factor <= 0.0 || options.min_factor >= 1.0) {
+    throw std::invalid_argument(
+        "find_minimum_throttle: min_factor must be in (0, 1)");
+  }
+  if (options.tolerance <= 0.0) {
+    throw std::invalid_argument("find_minimum_throttle: bad tolerance");
+  }
+
+  ThrottleResult result;
+
+  // Full speed first — most workloads need no throttling at all.
+  OftecResult at_full = probe(fp, full_power, leakage, options, 1.0);
+  ++result.probes;
+  if (at_full.success) {
+    result.feasible = true;
+    result.frequency_factor = 1.0;
+    result.power_factor = 1.0;
+    result.oftec = std::move(at_full);
+    return result;
+  }
+
+  // Check the floor: if even the deepest allowed throttle fails, report so.
+  OftecResult at_floor =
+      probe(fp, full_power, leakage, options, options.min_factor);
+  ++result.probes;
+  if (!at_floor.success) {
+    result.feasible = false;
+    result.frequency_factor = options.min_factor;
+    result.power_factor =
+        std::pow(options.min_factor, options.power_exponent);
+    result.oftec = std::move(at_floor);
+    return result;
+  }
+
+  // Bisection on the frequency factor: lo always feasible, hi infeasible.
+  double lo = options.min_factor;
+  double hi = 1.0;
+  OftecResult best = std::move(at_floor);
+  while (hi - lo > options.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    OftecResult r = probe(fp, full_power, leakage, options, mid);
+    ++result.probes;
+    if (r.success) {
+      lo = mid;
+      best = std::move(r);
+    } else {
+      hi = mid;
+    }
+  }
+
+  result.feasible = true;
+  result.frequency_factor = lo;
+  result.power_factor = std::pow(lo, options.power_exponent);
+  result.oftec = std::move(best);
+  return result;
+}
+
+}  // namespace oftec::core

@@ -1,0 +1,49 @@
+// Throttling fallback (paper Sec. 6.2): "These five cases should be further
+// cooled down using other thermal management techniques such as reducing the
+// voltage/frequency of the chip or throttling different functional units
+// which leads to performance degradation."
+//
+// When even OFTEC cannot meet T_max for a workload, this module finds the
+// smallest dynamic-power reduction that makes the problem feasible again —
+// the performance price of an undersized cooling assembly. Throttling scales
+// the dynamic power uniformly (frequency scaling ∝ f; combined DVFS would be
+// steeper — the scaling exponent is configurable).
+#pragma once
+
+#include "core/cooling_system.h"
+#include "core/oftec.h"
+#include "floorplan/floorplan.h"
+#include "power/leakage.h"
+#include "power/power_map.h"
+
+namespace oftec::core {
+
+struct ThrottleOptions {
+  /// Smallest frequency factor considered (below this, give up).
+  double min_factor = 0.4;
+  /// Bisection resolution on the frequency factor.
+  double tolerance = 0.01;
+  /// Dynamic power ∝ factor^exponent (1 = frequency-only throttling,
+  /// ~3 = full DVFS where voltage tracks frequency).
+  double power_exponent = 1.0;
+  CoolingSystem::Config system;
+  OftecOptions oftec;
+};
+
+struct ThrottleResult {
+  bool feasible = false;       ///< a factor ≥ min_factor works
+  double frequency_factor = 1.0;  ///< smallest throttle that meets T_max
+  double power_factor = 1.0;   ///< resulting dynamic-power scale
+  OftecResult oftec;           ///< OFTEC solution at the throttled load
+  std::size_t probes = 0;      ///< OFTEC invocations spent searching
+};
+
+/// Find the largest frequency factor in [min_factor, 1] whose scaled
+/// workload OFTEC can cool, by bisection on the factor (feasibility is
+/// monotone in power). Returns factor 1.0 untouched when the full-speed
+/// workload is already feasible.
+[[nodiscard]] ThrottleResult find_minimum_throttle(
+    const floorplan::Floorplan& fp, const power::PowerMap& full_power,
+    const power::LeakageModel& leakage, const ThrottleOptions& options = {});
+
+}  // namespace oftec::core

@@ -1,0 +1,66 @@
+#include "core/transient_boost.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oftec::core {
+
+BoostExperiment run_transient_boost(const CoolingSystem& system,
+                                    double omega_star, double current_star,
+                                    const BoostOptions& options) {
+  if (!system.has_tec()) {
+    throw std::invalid_argument("run_transient_boost: expected hybrid system");
+  }
+  const double i_max = system.current_max();
+  const double boosted =
+      std::min(current_star + options.boost_current, i_max);
+
+  // Steady state at the operating point = initial condition.
+  const thermal::SteadyResult steady =
+      system.solver().solve(omega_star, current_star);
+  if (steady.runaway) {
+    throw std::invalid_argument(
+        "run_transient_boost: operating point is in thermal runaway");
+  }
+
+  thermal::TransientOptions topt = options.transient;
+  topt.duration = options.boost_duration + options.settle_duration;
+
+  thermal::TransientSolver transient(system.thermal_model(),
+                                     system.cell_dynamic_power(),
+                                     system.cell_leakage(), topt);
+
+  const thermal::ControlSchedule boosted_schedule =
+      [&](double time) -> thermal::ControlSetting {
+    const double current =
+        time < options.boost_duration ? boosted : current_star;
+    return {omega_star, current};
+  };
+  const thermal::ControlSchedule control_schedule =
+      [&](double) -> thermal::ControlSetting {
+    return {omega_star, current_star};
+  };
+
+  BoostExperiment exp;
+  exp.steady_temperature = steady.max_chip_temperature;
+  exp.trace = transient.run(boosted_schedule, steady.temperatures);
+  exp.control = transient.run(control_schedule, steady.temperatures);
+
+  exp.min_boost_temperature = exp.steady_temperature;
+  exp.post_boost_peak = exp.steady_temperature;
+  for (const thermal::TransientSample& s : exp.trace.samples) {
+    if (s.time <= options.boost_duration) {
+      if (s.max_chip_temperature < exp.min_boost_temperature) {
+        exp.min_boost_temperature = s.max_chip_temperature;
+        exp.time_of_minimum = s.time;
+      }
+    } else {
+      exp.post_boost_peak =
+          std::max(exp.post_boost_peak, s.max_chip_temperature);
+    }
+  }
+  exp.transient_benefit = exp.steady_temperature - exp.min_boost_temperature;
+  return exp;
+}
+
+}  // namespace oftec::core

@@ -1,0 +1,42 @@
+// Transient TEC over-drive (paper Sec. 6.2 / Ref. [8] extension).
+//
+// The Peltier effect responds to a current step immediately while Joule heat
+// arrives with the package RC delay, so briefly raising I_TEC above its
+// steady-state optimum buys extra cooling "for a short period of time (i.e.,
+// order of a second)". This module runs the experiment: start from the
+// steady state at (ω*, I*), step the current to I* + boost for a window, and
+// record the chip-temperature dip and the post-boost recovery.
+#pragma once
+
+#include "core/cooling_system.h"
+#include "thermal/transient.h"
+
+namespace oftec::core {
+
+struct BoostOptions {
+  double boost_current = 1.0;   ///< ΔI above I* [A] (Ref. [8]: ≈ 1 A)
+  double boost_duration = 1.0;  ///< [s] (Ref. [8]: ≈ 1 s)
+  double settle_duration = 2.0; ///< observation window after the boost [s]
+  thermal::TransientOptions transient{.time_step = 5e-3,
+                                      .duration = 0.0,  // derived
+                                      .record_stride = 4};
+};
+
+struct BoostExperiment {
+  thermal::TransientResult trace;   ///< boosted run
+  thermal::TransientResult control; ///< constant-I* run, same duration
+  double steady_temperature = 0.0;  ///< 𝒯 at (ω*, I*) [K]
+  double min_boost_temperature = 0.0;  ///< lowest 𝒯 during the boost [K]
+  double time_of_minimum = 0.0;        ///< [s]
+  double post_boost_peak = 0.0;        ///< highest 𝒯 after boost ends [K]
+  double transient_benefit = 0.0;      ///< steady − min during boost [K]
+};
+
+/// Run the boost experiment on a hybrid system at operating point (ω*, I*).
+/// The boost current is clamped to the device limit I_max.
+[[nodiscard]] BoostExperiment run_transient_boost(const CoolingSystem& system,
+                                                  double omega_star,
+                                                  double current_star,
+                                                  const BoostOptions& options = {});
+
+}  // namespace oftec::core

@@ -1,0 +1,29 @@
+// Chip-multiprocessor (CMP) floorplan factory.
+//
+// The paper motivates TECs for "cooling high-end multi-core processor
+// chips"; this factory builds an N-core floorplan — a grid of scaled-down
+// EV6-style core tiles over a shared L2 slab — so the library's generality
+// beyond the single-core Alpha die is exercised end-to-end (OFTEC, TEC
+// coverage, deployment, multi-zone control all operate on any floorplan).
+#pragma once
+
+#include <cstddef>
+
+#include "floorplan/floorplan.h"
+
+namespace oftec::floorplan {
+
+struct CmpOptions {
+  std::size_t cores_x = 2;      ///< core tiles per row
+  std::size_t cores_y = 2;      ///< core tiles per column
+  double die_side = 22.0e-3;    ///< square die edge [m]
+  /// Fraction of the die height given to the shared L2 slab at the bottom.
+  double shared_l2_fraction = 0.30;
+};
+
+/// Build the CMP floorplan. Core-tile units are named "c<k>_<unit>"
+/// (e.g. "c0_IntExec"); the shared cache is "L2_shared". Tiles replicate a
+/// simplified 8-unit core (caches + int/fp clusters) that tiles exactly.
+[[nodiscard]] Floorplan make_cmp_floorplan(const CmpOptions& options = {});
+
+}  // namespace oftec::floorplan

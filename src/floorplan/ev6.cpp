@@ -1,0 +1,75 @@
+#include "floorplan/ev6.h"
+
+#include <stdexcept>
+
+namespace oftec::floorplan {
+
+namespace {
+
+/// Fractional layout rows (unit square), chosen to tile exactly:
+///   y 0.00–0.45 : L2 (full width)
+///   y 0.45–1.00 : L2_left (x 0–0.18) and L2_right (x 0.82–1.0) flanks,
+///                 core region in between (x 0.18–0.82)
+/// Core region rows:
+///   y 0.45–0.62 : Icache (left half), Dcache (right half)
+///   y 0.62–0.75 : Bpred, ITB, DTB, LdStQ     (each 0.16 wide)
+///   y 0.75–0.88 : IntMap, IntQ, IntReg, IntExec (0.12/0.14/0.14/0.24)
+///   y 0.88–1.00 : FPMap, FPQ, FPReg, FPAdd, FPMul (0.10/0.10/0.12/0.16/0.16)
+struct FracBlock {
+  const char* name;
+  double x, y, w, h;
+  UnitKind kind;
+};
+
+constexpr FracBlock kEv6Blocks[] = {
+    {"L2", 0.00, 0.00, 1.00, 0.45, UnitKind::kCache},
+    {"L2_left", 0.00, 0.45, 0.18, 0.55, UnitKind::kCache},
+    {"L2_right", 0.82, 0.45, 0.18, 0.55, UnitKind::kCache},
+    {"Icache", 0.18, 0.45, 0.32, 0.17, UnitKind::kCache},
+    {"Dcache", 0.50, 0.45, 0.32, 0.17, UnitKind::kCache},
+    {"Bpred", 0.18, 0.62, 0.16, 0.13, UnitKind::kCore},
+    {"ITB", 0.34, 0.62, 0.16, 0.13, UnitKind::kCore},
+    {"DTB", 0.50, 0.62, 0.16, 0.13, UnitKind::kCore},
+    {"LdStQ", 0.66, 0.62, 0.16, 0.13, UnitKind::kCore},
+    {"IntMap", 0.18, 0.75, 0.12, 0.13, UnitKind::kCore},
+    {"IntQ", 0.30, 0.75, 0.14, 0.13, UnitKind::kCore},
+    {"IntReg", 0.44, 0.75, 0.14, 0.13, UnitKind::kCore},
+    {"IntExec", 0.58, 0.75, 0.24, 0.13, UnitKind::kCore},
+    {"FPMap", 0.18, 0.88, 0.10, 0.12, UnitKind::kCore},
+    {"FPQ", 0.28, 0.88, 0.10, 0.12, UnitKind::kCore},
+    {"FPReg", 0.38, 0.88, 0.12, 0.12, UnitKind::kCore},
+    {"FPAdd", 0.50, 0.88, 0.16, 0.12, UnitKind::kCore},
+    {"FPMul", 0.66, 0.88, 0.16, 0.12, UnitKind::kCore},
+};
+
+}  // namespace
+
+Floorplan make_ev6_floorplan(double die_side) {
+  if (die_side <= 0.0) {
+    throw std::invalid_argument("make_ev6_floorplan: die_side must be > 0");
+  }
+  Floorplan fp(die_side, die_side);
+  for (const FracBlock& fb : kEv6Blocks) {
+    Block b;
+    b.name = fb.name;
+    b.x = fb.x * die_side;
+    b.y = fb.y * die_side;
+    b.width = fb.w * die_side;
+    b.height = fb.h * die_side;
+    b.kind = fb.kind;
+    fp.add_block(std::move(b));
+  }
+  fp.require_full_coverage(1e-9);
+  return fp;
+}
+
+const std::vector<std::string>& ev6_unit_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const FracBlock& fb : kEv6Blocks) out.emplace_back(fb.name);
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace oftec::floorplan

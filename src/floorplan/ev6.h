@@ -1,0 +1,24 @@
+// EV6-style (Alpha 21264) floorplan factory.
+//
+// The paper targets the Alpha 21264 with a 15.9 mm × 15.9 mm die (Table 1) —
+// the same die size as HotSpot's classic ev6 floorplan. The original ev6.flp
+// coordinates are not redistributable here, so this factory re-derives a
+// floorplan with the same 18 functional units and the same overall
+// organization (L2 banks along the bottom and flanks, I/D caches in the core
+// belt, integer/floating-point clusters at the top), with block fractions
+// chosen to tile the die exactly.
+#pragma once
+
+#include "floorplan/floorplan.h"
+
+namespace oftec::floorplan {
+
+/// Build the EV6-style floorplan scaled to a square die of side
+/// `die_side` meters (defaults to the paper's 15.9 mm).
+[[nodiscard]] Floorplan make_ev6_floorplan(double die_side = 15.9e-3);
+
+/// The functional units of the EV6 floorplan, in the order the factory adds
+/// them (stable order — power vectors index by this).
+[[nodiscard]] const std::vector<std::string>& ev6_unit_names();
+
+}  // namespace oftec::floorplan

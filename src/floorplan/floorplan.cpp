@@ -1,0 +1,84 @@
+#include "floorplan/floorplan.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oftec::floorplan {
+
+namespace {
+
+constexpr double kGeomTol = 1e-12;
+
+[[nodiscard]] bool overlaps(const Block& a, const Block& b) noexcept {
+  const double overlap_w =
+      std::min(a.right(), b.right()) - std::max(a.x, b.x);
+  const double overlap_h = std::min(a.top(), b.top()) - std::max(a.y, b.y);
+  return overlap_w > kGeomTol && overlap_h > kGeomTol;
+}
+
+}  // namespace
+
+Floorplan::Floorplan(double die_width, double die_height)
+    : die_width_(die_width), die_height_(die_height) {
+  if (die_width <= 0.0 || die_height <= 0.0) {
+    throw std::invalid_argument("Floorplan: die dimensions must be positive");
+  }
+}
+
+void Floorplan::add_block(Block block) {
+  if (block.name.empty()) {
+    throw std::invalid_argument("Floorplan: block needs a name");
+  }
+  if (block.width <= 0.0 || block.height <= 0.0) {
+    throw std::invalid_argument("Floorplan: degenerate block " + block.name);
+  }
+  if (block.x < -kGeomTol || block.y < -kGeomTol ||
+      block.right() > die_width_ + kGeomTol ||
+      block.top() > die_height_ + kGeomTol) {
+    throw std::invalid_argument("Floorplan: block outside die: " + block.name);
+  }
+  if (find(block.name).has_value()) {
+    throw std::invalid_argument("Floorplan: duplicate block " + block.name);
+  }
+  for (const Block& existing : blocks_) {
+    if (overlaps(existing, block)) {
+      throw std::invalid_argument("Floorplan: block " + block.name +
+                                  " overlaps " + existing.name);
+    }
+  }
+  blocks_.push_back(std::move(block));
+}
+
+std::optional<std::size_t> Floorplan::find(std::string_view name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Floorplan::block_at(double x, double y) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (x >= b.x - kGeomTol && x < b.right() - kGeomTol &&
+        y >= b.y - kGeomTol && y < b.top() - kGeomTol) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+double Floorplan::coverage() const noexcept {
+  double area = 0.0;
+  for (const Block& b : blocks_) area += b.area();
+  return area / die_area();
+}
+
+void Floorplan::require_full_coverage(double tol) const {
+  const double c = coverage();
+  if (std::abs(c - 1.0) > tol) {
+    throw std::runtime_error("Floorplan: blocks cover " + std::to_string(c) +
+                             " of the die, expected full tiling");
+  }
+}
+
+}  // namespace oftec::floorplan

@@ -1,0 +1,82 @@
+// Chip floorplan: a set of rectangular functional-unit blocks tiling the die.
+//
+// The floorplan drives two things in the OFTEC flow (paper Fig. 5): mapping
+// per-unit dynamic/leakage power onto thermal grid cells, and deciding which
+// cells are covered by TECs ("the entire surface of the processor is tiled
+// with TECs except the instruction and data caches", Sec. 6.1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oftec::floorplan {
+
+/// Functional-unit category; used by the TEC deployment policy.
+enum class UnitKind {
+  kCore,   ///< datapath / control logic (TEC-covered by default)
+  kCache,  ///< I/D/L2 cache arrays (left uncovered by default)
+};
+
+/// One rectangular block. Coordinates in meters, origin at the die's
+/// bottom-left corner.
+struct Block {
+  std::string name;
+  double x = 0.0;       ///< left edge [m]
+  double y = 0.0;       ///< bottom edge [m]
+  double width = 0.0;   ///< extent in x [m]
+  double height = 0.0;  ///< extent in y [m]
+  UnitKind kind = UnitKind::kCore;
+
+  [[nodiscard]] double area() const noexcept { return width * height; }
+  [[nodiscard]] double right() const noexcept { return x + width; }
+  [[nodiscard]] double top() const noexcept { return y + height; }
+};
+
+/// A validated floorplan: blocks within the die, pairwise non-overlapping.
+class Floorplan {
+ public:
+  /// Die of the given dimensions with no blocks yet.
+  Floorplan(double die_width, double die_height);
+
+  /// Add a block. Throws std::invalid_argument if the block is degenerate,
+  /// sticks out of the die, or overlaps an existing block (beyond a 1e-12 m
+  /// tolerance).
+  void add_block(Block block);
+
+  [[nodiscard]] double die_width() const noexcept { return die_width_; }
+  [[nodiscard]] double die_height() const noexcept { return die_height_; }
+  [[nodiscard]] double die_area() const noexcept {
+    return die_width_ * die_height_;
+  }
+
+  [[nodiscard]] const std::vector<Block>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+  /// Index of the named block, if present.
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view name) const;
+
+  /// Block containing point (x, y); blocks own their left/bottom edges.
+  [[nodiscard]] std::optional<std::size_t> block_at(double x, double y) const;
+
+  /// Sum of block areas / die area. 1.0 (within tolerance) means the
+  /// floorplan tiles the die exactly.
+  [[nodiscard]] double coverage() const noexcept;
+
+  /// Throws std::runtime_error unless the blocks tile the die exactly
+  /// (coverage within `tol` of 1).
+  void require_full_coverage(double tol = 1e-9) const;
+
+ private:
+  double die_width_;
+  double die_height_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace oftec::floorplan

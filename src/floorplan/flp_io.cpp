@@ -1,0 +1,113 @@
+#include "floorplan/flp_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace oftec::floorplan {
+
+bool looks_like_cache(std::string_view unit_name) {
+  const std::string lower = util::to_lower(unit_name);
+  return lower.find("cache") != std::string::npos ||
+         lower.find("l2") != std::string::npos ||
+         lower.find("l3") != std::string::npos;
+}
+
+Floorplan read_flp(std::istream& in, const FlpReadOptions& options) {
+  struct RawBlock {
+    std::string name;
+    double width, height, x, y;
+  };
+  std::vector<RawBlock> raw;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+
+    std::istringstream fields{std::string(trimmed)};
+    RawBlock block;
+    if (!(fields >> block.name >> block.width >> block.height >> block.x >>
+          block.y)) {
+      throw std::runtime_error("read_flp: malformed line " +
+                               std::to_string(line_number) + ": '" +
+                               std::string(trimmed) + "'");
+    }
+    raw.push_back(std::move(block));
+  }
+  if (raw.empty()) {
+    throw std::runtime_error("read_flp: no blocks found");
+  }
+
+  double die_w = 0.0, die_h = 0.0;
+  for (const RawBlock& b : raw) {
+    die_w = std::max(die_w, b.x + b.width);
+    die_h = std::max(die_h, b.y + b.height);
+  }
+
+  auto is_cache = [&](const std::string& name) {
+    if (!options.cache_units.empty()) {
+      return std::find(options.cache_units.begin(), options.cache_units.end(),
+                       name) != options.cache_units.end();
+    }
+    return looks_like_cache(name);
+  };
+
+  Floorplan fp(die_w, die_h);
+  for (const RawBlock& b : raw) {
+    Block block;
+    block.name = b.name;
+    block.x = b.x;
+    block.y = b.y;
+    block.width = b.width;
+    block.height = b.height;
+    block.kind = is_cache(b.name) ? UnitKind::kCache : UnitKind::kCore;
+    fp.add_block(std::move(block));
+  }
+  if (options.require_full_coverage) {
+    fp.require_full_coverage(options.coverage_tolerance);
+  }
+  return fp;
+}
+
+Floorplan read_flp_file(const std::string& path,
+                        const FlpReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_flp_file: cannot open " + path);
+  }
+  return read_flp(in, options);
+}
+
+void write_flp(const Floorplan& fp, std::ostream& out) {
+  out << "# Floorplan (HotSpot .flp format)\n";
+  out << "# Line format: <unit-name> <width> <height> <left-x> <bottom-y>\n";
+  out << "# all dimensions are in meters\n";
+  char buf[256];
+  for (const Block& b : fp.blocks()) {
+    std::snprintf(buf, sizeof(buf), "%s\t%.9f\t%.9f\t%.9f\t%.9f\n",
+                  b.name.c_str(), b.width, b.height, b.x, b.y);
+    out << buf;
+  }
+}
+
+void write_flp_file(const Floorplan& fp, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_flp_file: cannot open " + path);
+  }
+  write_flp(fp, out);
+  if (!out) {
+    throw std::runtime_error("write_flp_file: write failed for " + path);
+  }
+}
+
+}  // namespace oftec::floorplan

@@ -1,0 +1,49 @@
+// HotSpot-compatible floorplan file I/O.
+//
+// Reads and writes the classic `.flp` format used by HotSpot (paper ref.
+// [12]) and the tools around it:
+//
+//     # comment
+//     <unit-name> <width-m> <height-m> <left-x-m> <bottom-y-m>
+//
+// so users can drop in their own floorplans instead of the built-in EV6
+// factory. Units whose name contains "cache"/"L2"/"L3" (case-insensitive)
+// are classified as UnitKind::kCache for the TEC deployment policy; an
+// explicit override list can replace that heuristic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+
+namespace oftec::floorplan {
+
+struct FlpReadOptions {
+  /// Names to force-classify as caches (bypasses the name heuristic).
+  std::vector<std::string> cache_units;
+  /// Require the blocks to tile the die exactly (within tolerance).
+  bool require_full_coverage = true;
+  double coverage_tolerance = 1e-6;
+};
+
+/// Parse a .flp stream. The die size is the bounding box of all blocks.
+/// Throws std::runtime_error with a line number on malformed input.
+[[nodiscard]] Floorplan read_flp(std::istream& in,
+                                 const FlpReadOptions& options = {});
+
+/// Parse a .flp file from disk.
+[[nodiscard]] Floorplan read_flp_file(const std::string& path,
+                                      const FlpReadOptions& options = {});
+
+/// Serialize a floorplan to .flp (5 significant columns, '#' header).
+void write_flp(const Floorplan& fp, std::ostream& out);
+
+/// Serialize to a file; throws std::runtime_error on I/O failure.
+void write_flp_file(const Floorplan& fp, const std::string& path);
+
+/// The name heuristic used when FlpReadOptions::cache_units is empty.
+[[nodiscard]] bool looks_like_cache(std::string_view unit_name);
+
+}  // namespace oftec::floorplan

@@ -1,0 +1,108 @@
+#include "floorplan/grid_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oftec::floorplan {
+
+GridMap::GridMap(const Floorplan& fp, std::size_t nx, std::size_t ny)
+    : fp_(&fp), nx_(nx), ny_(ny) {
+  if (nx == 0 || ny == 0) {
+    throw std::invalid_argument("GridMap: grid dimensions must be positive");
+  }
+  cell_w_ = fp.die_width() / static_cast<double>(nx);
+  cell_h_ = fp.die_height() / static_cast<double>(ny);
+  cells_.resize(nx * ny);
+
+  const double cell_area = cell_w_ * cell_h_;
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    const Block& blk = fp.blocks()[b];
+    // Cells potentially intersecting this block.
+    const auto ix_lo = static_cast<std::size_t>(
+        std::max(0.0, std::floor(blk.x / cell_w_)));
+    const auto iy_lo = static_cast<std::size_t>(
+        std::max(0.0, std::floor(blk.y / cell_h_)));
+    const std::size_t ix_hi = std::min(
+        nx_ - 1,
+        static_cast<std::size_t>(std::max(0.0, std::ceil(blk.right() / cell_w_) - 1.0)));
+    const std::size_t iy_hi = std::min(
+        ny_ - 1,
+        static_cast<std::size_t>(std::max(0.0, std::ceil(blk.top() / cell_h_) - 1.0)));
+
+    for (std::size_t iy = iy_lo; iy <= iy_hi; ++iy) {
+      for (std::size_t ix = ix_lo; ix <= ix_hi; ++ix) {
+        const double cx0 = static_cast<double>(ix) * cell_w_;
+        const double cy0 = static_cast<double>(iy) * cell_h_;
+        const double ow =
+            std::min(cx0 + cell_w_, blk.right()) - std::max(cx0, blk.x);
+        const double oh =
+            std::min(cy0 + cell_h_, blk.top()) - std::max(cy0, blk.y);
+        if (ow <= 0.0 || oh <= 0.0) continue;
+        const double frac = (ow * oh) / cell_area;
+        if (frac <= 0.0) continue;
+        cells_[cell_index(ix, iy)].push_back({b, frac});
+      }
+    }
+  }
+}
+
+const std::vector<CellContribution>& GridMap::contributions(
+    std::size_t cell) const {
+  if (cell >= cells_.size()) {
+    throw std::out_of_range("GridMap::contributions");
+  }
+  return cells_[cell];
+}
+
+std::vector<double> GridMap::distribute_power(
+    const std::vector<double>& block_power) const {
+  if (block_power.size() != fp_->block_count()) {
+    throw std::invalid_argument("GridMap::distribute_power: arity mismatch");
+  }
+  const double cell_area = this->cell_area();
+  std::vector<double> cell_power(cell_count(), 0.0);
+  for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
+    double acc = 0.0;
+    for (const CellContribution& contrib : cells_[cell]) {
+      const Block& blk = fp_->blocks()[contrib.block_index];
+      // Power density of the block times the overlap area.
+      const double density = block_power[contrib.block_index] / blk.area();
+      acc += density * contrib.fraction * cell_area;
+    }
+    cell_power[cell] = acc;
+  }
+  return cell_power;
+}
+
+std::size_t GridMap::dominant_block(std::size_t cell) const {
+  const auto& contribs = contributions(cell);
+  if (contribs.empty()) {
+    throw std::runtime_error("GridMap::dominant_block: uncovered cell");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < contribs.size(); ++i) {
+    if (contribs[i].fraction > contribs[best].fraction) best = i;
+  }
+  return contribs[best].block_index;
+}
+
+double GridMap::kind_fraction(std::size_t cell, UnitKind kind) const {
+  double frac = 0.0;
+  for (const CellContribution& contrib : contributions(cell)) {
+    if (fp_->blocks()[contrib.block_index].kind == kind) {
+      frac += contrib.fraction;
+    }
+  }
+  return frac;
+}
+
+std::vector<bool> GridMap::tec_coverage() const {
+  std::vector<bool> covered(cell_count(), false);
+  for (std::size_t cell = 0; cell < cell_count(); ++cell) {
+    covered[cell] = kind_fraction(cell, UnitKind::kCore) >= 0.5;
+  }
+  return covered;
+}
+
+}  // namespace oftec::floorplan

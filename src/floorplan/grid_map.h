@@ -1,0 +1,70 @@
+// Floorplan → thermal-grid mapping.
+//
+// The thermal model discretizes each package layer into an nx×ny grid over
+// the die area. GridMap precomputes, for every cell, the fraction of its area
+// covered by each floorplan block, which is then used to (1) distribute
+// per-unit power onto cells and (2) decide TEC coverage per cell.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+
+namespace oftec::floorplan {
+
+/// A (block, area-fraction) contribution to one grid cell.
+struct CellContribution {
+  std::size_t block_index = 0;
+  double fraction = 0.0;  ///< fraction of the *cell* area covered by the block
+};
+
+class GridMap {
+ public:
+  /// Overlay an nx×ny grid on the floorplan's die and compute overlaps.
+  GridMap(const Floorplan& fp, std::size_t nx, std::size_t ny);
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return nx_ * ny_; }
+  [[nodiscard]] double cell_width() const noexcept { return cell_w_; }
+  [[nodiscard]] double cell_height() const noexcept { return cell_h_; }
+  [[nodiscard]] double cell_area() const noexcept { return cell_w_ * cell_h_; }
+
+  /// Row-major cell index for (ix, iy).
+  [[nodiscard]] std::size_t cell_index(std::size_t ix,
+                                       std::size_t iy) const noexcept {
+    return iy * nx_ + ix;
+  }
+
+  /// Block contributions for a cell (fractions sum to 1 for fully tiled
+  /// floorplans).
+  [[nodiscard]] const std::vector<CellContribution>& contributions(
+      std::size_t cell) const;
+
+  /// Distribute per-block powers [W] (indexed like Floorplan::blocks()) onto
+  /// cells proportionally to overlap area. Conserves total power for fully
+  /// tiled floorplans.
+  [[nodiscard]] std::vector<double> distribute_power(
+      const std::vector<double>& block_power) const;
+
+  /// Index of the block owning the majority of the cell's area.
+  [[nodiscard]] std::size_t dominant_block(std::size_t cell) const;
+
+  /// Fraction of the cell covered by blocks of the given kind.
+  [[nodiscard]] double kind_fraction(std::size_t cell, UnitKind kind) const;
+
+  /// Per-cell TEC coverage under the paper's deployment policy: a cell is
+  /// TEC-covered iff at least half of its area belongs to non-cache units.
+  [[nodiscard]] std::vector<bool> tec_coverage() const;
+
+ private:
+  const Floorplan* fp_;
+  std::size_t nx_;
+  std::size_t ny_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<std::vector<CellContribution>> cells_;
+};
+
+}  // namespace oftec::floorplan

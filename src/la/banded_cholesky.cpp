@@ -1,0 +1,79 @@
+#include "la/banded_cholesky.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace oftec::la {
+
+BandedCholesky::BandedCholesky(const BandedMatrix& a)
+    : n_(a.size()), k_(a.lower_bandwidth()) {
+  if (a.lower_bandwidth() != a.upper_bandwidth()) {
+    throw std::invalid_argument(
+        "BandedCholesky: matrix must have symmetric bandwidths");
+  }
+  factor_.assign((k_ + 1) * n_, 0.0);
+  min_diag_ = std::numeric_limits<double>::infinity();
+
+  // Copy the lower band of A into the factor storage.
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t i_hi = std::min(n_ - 1, j + k_);
+    for (std::size_t i = j; i <= i_hi; ++i) {
+      l(i, j) = a.get(i, j);
+    }
+  }
+
+  // Band Cholesky (unblocked, column version).
+  for (std::size_t j = 0; j < n_; ++j) {
+    double diag = l(j, j);
+    // Subtract Σ_{m} L(j,m)² for m in the band left of j.
+    const std::size_t m_lo = j > k_ ? j - k_ : 0;
+    for (std::size_t m = m_lo; m < j; ++m) {
+      diag -= l(j, m) * l(j, m);
+    }
+    if (!(diag > 0.0)) {
+      throw std::runtime_error("BandedCholesky: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    min_diag_ = std::min(min_diag_, ljj);
+
+    const std::size_t i_hi = std::min(n_ - 1, j + k_);
+    for (std::size_t i = j + 1; i <= i_hi; ++i) {
+      double acc = l(i, j);
+      const std::size_t m_lo_i = i > k_ ? i - k_ : 0;
+      for (std::size_t m = std::max(m_lo, m_lo_i); m < j; ++m) {
+        acc -= l(i, m) * l(j, m);
+      }
+      l(i, j) = acc / ljj;
+    }
+  }
+}
+
+Vector BandedCholesky::solve(const Vector& b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("BandedCholesky::solve: size mismatch");
+  }
+  Vector x = b;
+  // Forward: L y = b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = x[i];
+    const std::size_t j_lo = i > k_ ? i - k_ : 0;
+    for (std::size_t j = j_lo; j < i; ++j) {
+      acc -= l(i, j) * x[j];
+    }
+    x[i] = acc / l(i, i);
+  }
+  // Backward: Lᵀ x = y.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    const std::size_t i_hi = std::min(n_ - 1, ii + k_);
+    for (std::size_t i = ii + 1; i <= i_hi; ++i) {
+      acc -= l(i, ii) * x[i];
+    }
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace oftec::la

@@ -1,0 +1,51 @@
+// Banded Cholesky factorization (LLᵀ) for symmetric positive definite
+// band matrices.
+//
+// The *pure conduction* thermal matrix G (no TEC current, no leakage slope)
+// is SPD, and transient steps with C/Δt on the diagonal usually keep it that
+// way; Cholesky then halves the flop count and storage versus the pivoted
+// LU. Construction throws when the matrix is not positive definite — which
+// the steady solver exploits as a cheap SPD test before choosing a path.
+#pragma once
+
+#include <cstddef>
+
+#include "la/banded_matrix.h"
+#include "la/vector_ops.h"
+
+namespace oftec::la {
+
+class BandedCholesky {
+ public:
+  /// Factor the SPD matrix `a` (only the lower band is read; the matrix
+  /// must be symmetric with kl == ku). Throws std::runtime_error if a
+  /// non-positive pivot appears (matrix not positive definite) and
+  /// std::invalid_argument on kl != ku.
+  explicit BandedCholesky(const BandedMatrix& a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t bandwidth() const noexcept { return k_; }
+
+  /// Smallest diagonal entry of L — a conditioning indicator.
+  [[nodiscard]] double min_diagonal() const noexcept { return min_diag_; }
+
+ private:
+  /// L stored as (k+1) × n: entry L(i,j) for 0 ≤ i−j ≤ k at
+  /// factor_[(i-j)*n + j].
+  [[nodiscard]] double& l(std::size_t i, std::size_t j) noexcept {
+    return factor_[(i - j) * n_ + j];
+  }
+  [[nodiscard]] double l(std::size_t i, std::size_t j) const noexcept {
+    return factor_[(i - j) * n_ + j];
+  }
+
+  std::size_t n_ = 0;
+  std::size_t k_ = 0;
+  Vector factor_;
+  double min_diag_ = 0.0;
+};
+
+}  // namespace oftec::la

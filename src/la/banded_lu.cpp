@@ -1,0 +1,101 @@
+#include "la/banded_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace oftec::la {
+
+BandedLu::BandedLu(BandedMatrix a) : ab_(std::move(a)) {
+  const std::size_t n = ab_.size();
+  const std::size_t kl = ab_.lower_bandwidth();
+  const std::size_t ku = ab_.upper_bandwidth();
+  const std::size_t kv = kl + ku;  // effective upper bandwidth after pivoting
+  ipiv_.resize(n);
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Number of sub-diagonal entries in column j.
+    const std::size_t km = std::min(kl, n - 1 - j);
+
+    // Partial pivoting within the column's band.
+    std::size_t p = 0;
+    double best = std::abs(ab_.storage(kv, j));
+    for (std::size_t r = 1; r <= km; ++r) {
+      const double v = std::abs(ab_.storage(kv + r, j));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    ipiv_[j] = j + p;
+    if (best == 0.0) {
+      throw std::runtime_error("BandedLu: singular matrix");
+    }
+    min_pivot_ = std::min(min_pivot_, best);
+
+    if (p != 0) {
+      // Swap rows j and j+p across columns j..min(n-1, j+kv).
+      const std::size_t c_hi = std::min(n - 1, j + kv);
+      for (std::size_t c = j; c <= c_hi; ++c) {
+        std::swap(ab_.storage(kv + j - c, c), ab_.storage(kv + j + p - c, c));
+      }
+    }
+
+    // Compute multipliers.
+    const double inv_pivot = 1.0 / ab_.storage(kv, j);
+    for (std::size_t r = 1; r <= km; ++r) {
+      ab_.storage(kv + r, j) *= inv_pivot;
+    }
+
+    // Rank-1 update of the trailing band.
+    const std::size_t c_hi = std::min(n - 1, j + kv);
+    for (std::size_t c = j + 1; c <= c_hi; ++c) {
+      const double u_jc = ab_.storage(kv + j - c, c);
+      if (u_jc == 0.0) continue;
+      for (std::size_t r = 1; r <= km; ++r) {
+        ab_.storage(kv + j + r - c, c) -= ab_.storage(kv + r, j) * u_jc;
+      }
+    }
+  }
+}
+
+Vector BandedLu::solve(const Vector& b) const {
+  const std::size_t n = ab_.size();
+  if (b.size() != n) {
+    throw std::invalid_argument("BandedLu::solve: size mismatch");
+  }
+  const std::size_t kl = ab_.lower_bandwidth();
+  const std::size_t ku = ab_.upper_bandwidth();
+  const std::size_t kv = kl + ku;
+
+  Vector x = b;
+  // Apply P and L (forward substitution).
+  for (std::size_t j = 0; j < n; ++j) {
+    if (ipiv_[j] != j) std::swap(x[j], x[ipiv_[j]]);
+    const std::size_t km = std::min(kl, n - 1 - j);
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (std::size_t r = 1; r <= km; ++r) {
+      x[j + r] -= ab_.storage(kv + r, j) * xj;
+    }
+  }
+  // Back substitution with U (bandwidth kv).
+  for (std::size_t jj = n; jj-- > 0;) {
+    double acc = x[jj];
+    const std::size_t c_hi = std::min(n - 1, jj + kv);
+    for (std::size_t c = jj + 1; c <= c_hi; ++c) {
+      acc -= ab_.storage(kv + jj - c, c) * x[c];
+    }
+    x[jj] = acc / ab_.storage(kv, jj);
+  }
+  return x;
+}
+
+Vector solve_banded(const BandedMatrix& a, const Vector& b) {
+  return BandedLu(a).solve(b);
+}
+
+}  // namespace oftec::la

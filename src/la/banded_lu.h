@@ -1,0 +1,40 @@
+// Banded LU factorization with partial pivoting (LAPACK dgbtf2-style).
+//
+// Partial pivoting matters here: near thermal runaway the modified
+// conductance matrix (G − A) loses diagonal dominance, and an unpivoted band
+// factorization would be unstable exactly in the operating region the paper's
+// Figure 6(a,b) explores.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/banded_matrix.h"
+#include "la/vector_ops.h"
+
+namespace oftec::la {
+
+class BandedLu {
+ public:
+  /// Factor `a` in place (copied). Throws std::runtime_error if singular.
+  explicit BandedLu(BandedMatrix a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ab_.size(); }
+
+  /// Smallest |pivot| encountered; a tiny value signals near-singularity
+  /// (used by the thermal solver to flag approaching runaway).
+  [[nodiscard]] double min_abs_pivot() const noexcept { return min_pivot_; }
+
+ private:
+  BandedMatrix ab_;
+  std::vector<std::size_t> ipiv_;
+  double min_pivot_ = 0.0;
+};
+
+/// One-shot convenience: solve A x = b by banded LU.
+[[nodiscard]] Vector solve_banded(const BandedMatrix& a, const Vector& b);
+
+}  // namespace oftec::la

@@ -1,0 +1,56 @@
+#include "la/banded_matrix.h"
+
+#include <stdexcept>
+
+namespace oftec::la {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku)
+    : n_(n), kl_(kl), ku_(ku), data_((2 * kl + ku + 1) * n, 0.0) {}
+
+bool BandedMatrix::in_band(std::size_t r, std::size_t c) const noexcept {
+  if (r >= n_ || c >= n_) return false;
+  if (r >= c) return r - c <= kl_;
+  return c - r <= ku_;
+}
+
+bool BandedMatrix::in_storage(std::size_t r, std::size_t c) const noexcept {
+  if (r >= n_ || c >= n_) return false;
+  if (r >= c) return r - c <= kl_;
+  return c - r <= ku_ + kl_;  // fill-in region extends the upper bandwidth
+}
+
+double& BandedMatrix::at(std::size_t r, std::size_t c) {
+  if (!in_storage(r, c)) {
+    throw std::out_of_range("BandedMatrix::at: outside band");
+  }
+  return storage(kl_ + ku_ + r - c, c);
+}
+
+double BandedMatrix::get(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) {
+    throw std::out_of_range("BandedMatrix::get: outside matrix");
+  }
+  if (!in_storage(r, c)) return 0.0;
+  return storage(kl_ + ku_ + r - c, c);
+}
+
+void BandedMatrix::add(std::size_t r, std::size_t c, double v) { at(r, c) += v; }
+
+Vector BandedMatrix::multiply(const Vector& x) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("BandedMatrix::multiply: size mismatch");
+  }
+  Vector y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c_lo = r > kl_ ? r - kl_ : 0;
+    const std::size_t c_hi = std::min(n_ - 1, r + ku_);
+    double acc = 0.0;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) {
+      acc += storage(kl_ + ku_ + r - c, c) * x[c];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace oftec::la

@@ -1,0 +1,68 @@
+// Banded matrix in LAPACK-style band storage.
+//
+// The layered thermal grid produces matrices whose bandwidth equals one grid
+// slab (nx*ny); band storage plus banded LU is the primary direct solver for
+// the steady-state thermal system. Storage reserves `kl` extra super-diagonal
+// rows so banded LU with partial pivoting can fill in without reallocating.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace oftec::la {
+
+class BandedMatrix {
+ public:
+  BandedMatrix() = default;
+
+  /// n×n matrix with `kl` sub-diagonals and `ku` super-diagonals, zero-filled.
+  BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t lower_bandwidth() const noexcept { return kl_; }
+  [[nodiscard]] std::size_t upper_bandwidth() const noexcept { return ku_; }
+
+  /// True if (r, c) lies inside the declared band (excluding the pivoting
+  /// fill-in region).
+  [[nodiscard]] bool in_band(std::size_t r, std::size_t c) const noexcept;
+
+  /// True if (r, c) lies inside the storage (band plus fill-in region).
+  [[nodiscard]] bool in_storage(std::size_t r, std::size_t c) const noexcept;
+
+  /// Checked element access; writing outside the band throws.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+
+  /// Checked read; entries outside the band read as zero.
+  [[nodiscard]] double get(std::size_t r, std::size_t c) const;
+
+  /// Add `v` to element (r, c); throws if outside the band.
+  void add(std::size_t r, std::size_t c, double v);
+
+  /// y = A x.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  /// Direct access to the band storage for the LU factorization.
+  /// Layout: entry (r, c) lives at storage(kl + ku + r - c, c).
+  [[nodiscard]] double& storage(std::size_t band_row, std::size_t col) noexcept {
+    return data_[band_row * n_ + col];
+  }
+  [[nodiscard]] double storage(std::size_t band_row,
+                               std::size_t col) const noexcept {
+    return data_[band_row * n_ + col];
+  }
+
+  /// Number of band-storage rows (= 2*kl + ku + 1).
+  [[nodiscard]] std::size_t storage_rows() const noexcept {
+    return 2 * kl_ + ku_ + 1;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t kl_ = 0;
+  std::size_t ku_ = 0;
+  std::vector<double> data_;  // (2*kl+ku+1) × n, row-major
+};
+
+}  // namespace oftec::la

@@ -1,0 +1,91 @@
+#include "la/dense_lu.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace oftec::la {
+
+DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) {
+    throw std::invalid_argument("DenseLu: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      throw std::runtime_error("DenseLu: singular matrix");
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot, c));
+      }
+      std::swap(perm_[k], perm_[pivot]);
+      det_ = -det_;
+    }
+    det_ *= lu_(k, k);
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mult = lu_(r, k) * inv_pivot;
+      lu_(r, k) = mult;
+      if (mult == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= mult * lu_(k, c);
+      }
+    }
+  }
+}
+
+Vector DenseLu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("DenseLu::solve: size mismatch");
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_dense(const DenseMatrix& a, const Vector& b) {
+  return DenseLu(a).solve(b);
+}
+
+DenseMatrix invert_dense(const DenseMatrix& a) {
+  const DenseLu lu(a);
+  const std::size_t n = a.rows();
+  DenseMatrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e.assign(n, 0.0);
+    e[c] = 1.0;
+    const Vector col = lu.solve(e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace oftec::la

@@ -1,0 +1,41 @@
+// Dense LU factorization with partial pivoting.
+//
+// Used for small systems (QP subproblems, regression normal equations) and as
+// the reference solver in thermal-network tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "la/vector_ops.h"
+
+namespace oftec::la {
+
+/// Factors A = P·L·U once and solves repeatedly.
+class DenseLu {
+ public:
+  /// Factor `a` (copied). Throws std::runtime_error if numerically singular.
+  explicit DenseLu(DenseMatrix a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Determinant of A (product of pivots with permutation sign).
+  [[nodiscard]] double determinant() const noexcept { return det_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  double det_ = 1.0;
+};
+
+/// One-shot convenience: solve A x = b by dense LU.
+[[nodiscard]] Vector solve_dense(const DenseMatrix& a, const Vector& b);
+
+/// Invert a small dense matrix (used for 2x2 Hessian manipulation in tests).
+[[nodiscard]] DenseMatrix invert_dense(const DenseMatrix& a);
+
+}  // namespace oftec::la

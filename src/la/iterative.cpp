@@ -1,0 +1,142 @@
+#include "la/iterative.h"
+
+#include <cmath>
+
+namespace oftec::la {
+
+namespace {
+
+[[nodiscard]] Vector jacobi_inverse_diagonal(const CsrMatrix& a,
+                                             bool enabled) {
+  Vector inv_d(a.size(), 1.0);
+  if (!enabled) return inv_d;
+  const Vector d = a.diagonal();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    inv_d[i] = d[i] != 0.0 ? 1.0 / d[i] : 1.0;
+  }
+  return inv_d;
+}
+
+[[nodiscard]] Vector apply_diag(const Vector& d, const Vector& v) {
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = d[i] * v[i];
+  return out;
+}
+
+}  // namespace
+
+IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
+                         const IterativeOptions& opts) {
+  const std::size_t n = a.size();
+  const std::size_t max_iter =
+      opts.max_iterations != 0 ? opts.max_iterations : 10 * n;
+  const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
+
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  Vector r = b;  // r = b - A*0
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  Vector z = apply_diag(inv_d, r);
+  Vector p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const Vector ap = a.multiply(p);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // matrix not SPD — bail to caller
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, res.x);
+    axpy(-alpha, ap, r);
+    res.iterations = it + 1;
+    res.residual_norm = norm2(r);
+    if (res.residual_norm <= opts.tolerance * b_norm) {
+      res.converged = true;
+      return res;
+    }
+    z = apply_diag(inv_d, r);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  res.residual_norm = norm2(r);
+  return res;
+}
+
+IterativeResult solve_bicgstab(const CsrMatrix& a, const Vector& b,
+                               const IterativeOptions& opts) {
+  const std::size_t n = a.size();
+  const std::size_t max_iter =
+      opts.max_iterations != 0 ? opts.max_iterations : 10 * n;
+  const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
+
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  Vector r = b;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  const Vector r_hat = r;  // shadow residual
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  Vector v(n, 0.0), p(n, 0.0);
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const double rho_new = dot(r_hat, r);
+    if (rho_new == 0.0) break;  // breakdown
+    if (it == 0) {
+      p = r;
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    rho = rho_new;
+
+    const Vector p_hat = apply_diag(inv_d, p);
+    v = a.multiply(p_hat);
+    const double rhv = dot(r_hat, v);
+    if (rhv == 0.0) break;
+    alpha = rho / rhv;
+
+    Vector s = r;
+    axpy(-alpha, v, s);
+    res.iterations = it + 1;
+    if (norm2(s) <= opts.tolerance * b_norm) {
+      axpy(alpha, p_hat, res.x);
+      res.residual_norm = norm2(s);
+      res.converged = true;
+      return res;
+    }
+
+    const Vector s_hat = apply_diag(inv_d, s);
+    const Vector t = a.multiply(s_hat);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+
+    axpy(alpha, p_hat, res.x);
+    axpy(omega, s_hat, res.x);
+    r = s;
+    axpy(-omega, t, r);
+
+    res.residual_norm = norm2(r);
+    if (res.residual_norm <= opts.tolerance * b_norm) {
+      res.converged = true;
+      return res;
+    }
+    if (omega == 0.0) break;
+  }
+  res.residual_norm = norm2(r);
+  return res;
+}
+
+}  // namespace oftec::la

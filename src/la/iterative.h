@@ -1,0 +1,41 @@
+// Iterative Krylov solvers: CG (SPD systems) and BiCGSTAB (general).
+//
+// The unmodified conductance matrix G is symmetric positive definite, so CG
+// applies; once the TEC Peltier terms are folded into the left-hand side the
+// system becomes nonsymmetric and BiCGSTAB is used. Both are
+// Jacobi-preconditioned. The direct banded solver remains the default in the
+// thermal module; these exist for large grids and as cross-checks.
+#pragma once
+
+#include <cstddef>
+
+#include "la/sparse.h"
+#include "la/vector_ops.h"
+
+namespace oftec::la {
+
+/// Result of an iterative solve.
+struct IterativeResult {
+  Vector x;                 ///< solution (last iterate if not converged)
+  bool converged = false;   ///< residual tolerance reached
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  ///< final ‖b − A·x‖₂
+};
+
+/// Options shared by both solvers.
+struct IterativeOptions {
+  double tolerance = 1e-10;      ///< relative residual target ‖r‖/‖b‖
+  std::size_t max_iterations = 0;  ///< 0 → 10·n
+  bool jacobi_precondition = true;
+};
+
+/// Preconditioned conjugate gradient; caller asserts A is SPD.
+[[nodiscard]] IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
+                                       const IterativeOptions& opts = {});
+
+/// Preconditioned BiCGSTAB for general square systems.
+[[nodiscard]] IterativeResult solve_bicgstab(const CsrMatrix& a,
+                                             const Vector& b,
+                                             const IterativeOptions& opts = {});
+
+}  // namespace oftec::la

@@ -1,0 +1,57 @@
+#include "la/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/dense_lu.h"
+
+namespace oftec::la {
+
+LinearFit fit_line(const Vector& x, const Vector& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_line: need >= 2 paired points");
+  }
+  const double n = static_cast<double>(x.size());
+  const double sx = sum(x);
+  const double sy = sum(y);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("fit_line: x values are all identical");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+Vector least_squares(const DenseMatrix& x, const Vector& y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("least_squares: row mismatch");
+  }
+  if (x.rows() < x.cols()) {
+    throw std::invalid_argument("least_squares: underdetermined system");
+  }
+  // Normal equations: (XᵀX) beta = Xᵀ y. Fine for the small, well-conditioned
+  // design matrices used in calibration.
+  const DenseMatrix xt = x.transposed();
+  const DenseMatrix xtx = xt.matmul(x);
+  const Vector xty = xt.multiply(y);
+  return solve_dense(xtx, xty);
+}
+
+}  // namespace oftec::la

@@ -1,0 +1,31 @@
+// Ordinary least squares.
+//
+// Two uses in the library: (1) the paper's leakage calibration flow — fit the
+// Taylor coefficients (a, b) of Eq. (4) to 10 leakage samples over
+// [300 K, 390 K]; (2) fitting the heat-sink conductance law g = p·ln(ω) + r
+// (Eq. 9) to sampled HotSpot-style conductance values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "la/vector_ops.h"
+
+namespace oftec::la {
+
+/// Result of a 1-D linear fit y ≈ slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Least-squares straight-line fit. Requires ≥ 2 points with distinct x.
+[[nodiscard]] LinearFit fit_line(const Vector& x, const Vector& y);
+
+/// General least squares: minimize ‖X·beta − y‖₂ via normal equations.
+/// X is (m×k) with m ≥ k and full column rank.
+[[nodiscard]] Vector least_squares(const DenseMatrix& x, const Vector& y);
+
+}  // namespace oftec::la

@@ -1,0 +1,98 @@
+// Compressed-sparse-row matrix with a triplet (COO) builder.
+//
+// The thermal network assembler emits (row, col, value) triplets; the builder
+// coalesces duplicates and produces a CSR matrix for matvec-based iterative
+// solvers and for conversion to band storage for the direct solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/banded_matrix.h"
+#include "la/vector_ops.h"
+
+namespace oftec::la {
+
+/// One (row, col, value) entry of a matrix under construction.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+class CsrMatrix;
+
+/// Accumulates triplets; duplicates are summed on build().
+class TripletBuilder {
+ public:
+  explicit TripletBuilder(std::size_t n) : n_(n) {}
+
+  /// Add `v` at (r, c). Throws std::out_of_range for bad indices.
+  void add(std::size_t r, std::size_t c, double v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t triplet_count() const noexcept {
+    return triplets_.size();
+  }
+
+  /// Coalesce into a CSR matrix.
+  [[nodiscard]] CsrMatrix build() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Triplet> triplets_;
+};
+
+/// Square CSR matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t n, std::vector<std::size_t> row_ptr,
+            std::vector<std::size_t> col_idx, std::vector<double> values);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// y = A x.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  /// Diagonal entries (0 where absent) — Jacobi preconditioner input.
+  [[nodiscard]] Vector diagonal() const;
+
+  /// Entry (r, c), 0 if not stored.
+  [[nodiscard]] double get(std::size_t r, std::size_t c) const;
+
+  /// Maximum of max(r−c) and max(c−r) over stored nonzeros — the band
+  /// widths needed to hold this matrix.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> bandwidths() const;
+
+  /// Convert to band storage (for BandedLu). Throws if an entry falls outside
+  /// the provided bandwidths.
+  [[nodiscard]] BandedMatrix to_banded(std::size_t kl, std::size_t ku) const;
+
+  /// True if A is structurally and numerically symmetric within tol.
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Extract the nonzeros of a banded matrix into CSR form (used to hand the
+/// thermal system to the iterative solvers).
+[[nodiscard]] CsrMatrix banded_to_csr(const BandedMatrix& banded,
+                                      double drop_tolerance = 0.0);
+
+}  // namespace oftec::la

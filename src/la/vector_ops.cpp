@@ -1,0 +1,69 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oftec::la {
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+  double m = 0.0;
+  for (const double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("axpy: size mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double max_element_value(const Vector& a) {
+  if (a.empty()) throw std::invalid_argument("max_element_value: empty");
+  double m = a.front();
+  for (const double v : a) m = std::max(m, v);
+  return m;
+}
+
+std::size_t argmax(const Vector& a) {
+  if (a.empty()) throw std::invalid_argument("argmax: empty");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+double sum(const Vector& a) {
+  double acc = 0.0;
+  for (const double v : a) acc += v;
+  return acc;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace oftec::la

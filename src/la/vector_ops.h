@@ -1,0 +1,41 @@
+// Dense vector primitives.
+//
+// The library represents vectors as std::vector<double>; these free functions
+// supply the handful of BLAS-1 operations the solvers need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oftec::la {
+
+using Vector = std::vector<double>;
+
+/// Dot product. Requires a.size() == b.size().
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& a);
+
+/// Infinity norm (max |a_i|); 0 for the empty vector.
+[[nodiscard]] double norm_inf(const Vector& a);
+
+/// y += alpha * x. Requires x.size() == y.size().
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// x *= alpha.
+void scale(double alpha, Vector& x);
+
+/// Element-wise maximum value; throws std::invalid_argument on empty input.
+[[nodiscard]] double max_element_value(const Vector& a);
+
+/// Index of the maximum element; throws std::invalid_argument on empty input.
+[[nodiscard]] std::size_t argmax(const Vector& a);
+
+/// Sum of all elements.
+[[nodiscard]] double sum(const Vector& a);
+
+/// max_i |a_i - b_i|. Requires equal sizes.
+[[nodiscard]] double max_abs_diff(const Vector& a, const Vector& b);
+
+}  // namespace oftec::la

@@ -1,0 +1,86 @@
+#include "opt/grid_search.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace oftec::opt {
+
+namespace {
+
+/// Iterate all points of the nd-grid, invoking fn(x).
+void for_each_grid_point(const Bounds& bounds, std::size_t points,
+                         const std::function<void(const la::Vector&)>& fn) {
+  const std::size_t n = bounds.lower.size();
+  std::vector<std::size_t> idx(n, 0);
+  la::Vector x(n);
+  while (true) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = points == 1
+                           ? 0.0
+                           : static_cast<double>(idx[i]) /
+                                 static_cast<double>(points - 1);
+      x[i] = bounds.lower[i] + t * (bounds.upper[i] - bounds.lower[i]);
+    }
+    fn(x);
+    // Odometer increment.
+    std::size_t dim = 0;
+    while (dim < n && ++idx[dim] == points) {
+      idx[dim] = 0;
+      ++dim;
+    }
+    if (dim == n) break;
+  }
+}
+
+}  // namespace
+
+OptResult solve_grid_search(const Problem& problem,
+                            const GridSearchOptions& options) {
+  if (options.points_per_dimension < 2) {
+    throw std::invalid_argument("solve_grid_search: need >= 2 points");
+  }
+  OptResult result;
+  result.objective = std::numeric_limits<double>::infinity();
+
+  for_each_grid_point(
+      problem.bounds(), options.points_per_dimension,
+      [&](const la::Vector& x) {
+        ++result.iterations;
+        const double f = problem.objective(x);
+        ++result.evaluations;
+        if (!std::isfinite(f) || f >= result.objective) return;
+        const la::Vector g = problem.constraints(x);
+        ++result.evaluations;
+        for (const double gi : g) {
+          if (!(gi <= 0.0)) return;
+        }
+        result.objective = f;
+        result.x = x;
+        result.feasible = true;
+      });
+
+  result.converged = result.feasible;
+  return result;
+}
+
+std::vector<SurfaceSample> sweep_surface(const Problem& problem,
+                                         const GridSearchOptions& options) {
+  std::vector<SurfaceSample> samples;
+  for_each_grid_point(problem.bounds(), options.points_per_dimension,
+                      [&](const la::Vector& x) {
+                        SurfaceSample s;
+                        s.x = x;
+                        s.objective = problem.objective(x);
+                        const la::Vector g = problem.constraints(x);
+                        s.max_constraint =
+                            -std::numeric_limits<double>::infinity();
+                        for (const double gi : g) {
+                          s.max_constraint = std::max(s.max_constraint, gi);
+                        }
+                        samples.push_back(std::move(s));
+                      });
+  return samples;
+}
+
+}  // namespace oftec::opt

@@ -1,0 +1,37 @@
+// Exhaustive grid-search oracle.
+//
+// Not part of OFTEC itself — this is the ground-truth instrument used to
+// (a) verify that the active-set SQP lands near the global optimum despite
+// the "minor non-convexities" of Fig. 6(a,b), and (b) regenerate those
+// surface figures.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "opt/problem.h"
+
+namespace oftec::opt {
+
+struct GridSearchOptions {
+  std::size_t points_per_dimension = 41;
+};
+
+/// Evaluate the problem on a regular grid over the box and return the best
+/// feasible point (objective +inf / infeasible cells skipped).
+[[nodiscard]] OptResult solve_grid_search(
+    const Problem& problem, const GridSearchOptions& options = {});
+
+/// One sampled cell of an objective surface sweep.
+struct SurfaceSample {
+  la::Vector x;
+  double objective = 0.0;   ///< +inf inside the runaway region
+  double max_constraint = 0.0;
+};
+
+/// Full sweep (for the Fig. 6(a,b) benches): every grid cell with objective
+/// and worst constraint value.
+[[nodiscard]] std::vector<SurfaceSample> sweep_surface(
+    const Problem& problem, const GridSearchOptions& options = {});
+
+}  // namespace oftec::opt

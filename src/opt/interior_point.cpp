@@ -1,0 +1,137 @@
+#include "opt/interior_point.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/dense_lu.h"
+#include "opt/finite_diff.h"
+
+namespace oftec::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+OptResult solve_interior_point(const Problem& problem, const la::Vector& x0,
+                               const InteriorPointOptions& options) {
+  const std::size_t n = problem.dimension();
+  const Bounds& bounds = problem.bounds();
+
+  OptResult result;
+
+  // Clamp strictly inside the box.
+  la::Vector x = x0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double width = bounds.upper[i] - bounds.lower[i];
+    const double margin = 1e-6 * width;
+    x[i] = std::min(std::max(x[i], bounds.lower[i] + margin),
+                    bounds.upper[i] - margin);
+  }
+
+  auto barrier = [&](const la::Vector& p, double mu) -> double {
+    // Box membership first: problems may refuse to evaluate outside it.
+    double box_terms = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lo = p[i] - bounds.lower[i];
+      const double hi = bounds.upper[i] - p[i];
+      if (!(lo > 0.0) || !(hi > 0.0)) return kInf;
+      box_terms -= mu * (std::log(lo) + std::log(hi));
+    }
+    ++result.evaluations;
+    const double f = problem.objective(p);
+    if (!std::isfinite(f)) return kInf;
+    ++result.evaluations;
+    const la::Vector g = problem.constraints(p);
+    double total = f + box_terms;
+    for (const double gi : g) {
+      if (!(gi < 0.0)) return kInf;  // infeasible or on the boundary
+      total -= mu * std::log(-gi);
+    }
+    return total;
+  };
+
+  // Verify strict feasibility of the start.
+  {
+    const la::Vector g0 = problem.constraints(x);
+    ++result.evaluations;
+    for (const double gi : g0) {
+      if (!(gi < 0.0)) {
+        result.x = x;
+        result.objective = problem.objective(x);
+        ++result.evaluations;
+        return result;  // infeasible start — caller must bootstrap
+      }
+    }
+  }
+
+  FiniteDiffOptions fd;
+  fd.step_rel = options.finite_diff_step;
+
+  double mu = options.mu_initial;
+  for (std::size_t outer = 0; outer < options.max_outer && mu >= options.mu_min;
+       ++outer) {
+    auto phi = [&](const la::Vector& p) { return barrier(p, mu); };
+
+    for (std::size_t inner = 0; inner < options.max_inner; ++inner) {
+      ++result.iterations;
+      const la::Vector grad = gradient(phi, x, bounds, fd);
+      bool ok = true;
+      for (const double v : grad) ok = ok && std::isfinite(v);
+      if (!ok) break;
+      if (la::norm_inf(grad) < options.gradient_tolerance / mu) break;
+
+      la::DenseMatrix hess = hessian(phi, x, bounds, fd);
+      // Newton direction with Levenberg fallback when the Hessian is not PD.
+      la::Vector d;
+      double damping = 0.0;
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        la::DenseMatrix h_mod = hess;
+        for (std::size_t i = 0; i < n; ++i) h_mod(i, i) += damping;
+        try {
+          d = la::solve_dense(h_mod, grad);
+          // Descent check.
+          if (la::dot(d, grad) > 0.0) break;
+        } catch (const std::runtime_error&) {
+        }
+        damping = damping == 0.0 ? 1e-6 : damping * 100.0;
+        d.clear();
+      }
+      if (d.empty()) {
+        d = grad;  // steepest descent fallback
+      }
+
+      // Backtracking line search on the barrier (handles +inf naturally).
+      const double phi0 = phi(x);
+      double alpha = 1.0;
+      bool moved = false;
+      for (int ls = 0; ls < 30; ++ls) {
+        la::Vector x_new = x;
+        la::axpy(-alpha, d, x_new);
+        const double phi_new = phi(x_new);
+        if (std::isfinite(phi_new) && phi_new < phi0) {
+          x = std::move(x_new);
+          moved = true;
+          break;
+        }
+        alpha *= 0.5;
+      }
+      if (!moved) break;
+    }
+    mu *= options.mu_factor;
+  }
+
+  result.x = x;
+  result.objective = problem.objective(x);
+  ++result.evaluations;
+  const la::Vector g = problem.constraints(x);
+  ++result.evaluations;
+  result.feasible = true;
+  for (const double gi : g) result.feasible = result.feasible && gi <= 1e-6;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace oftec::opt

@@ -1,0 +1,33 @@
+// Log-barrier interior-point method (comparator, paper Sec. 5.2).
+//
+// The paper reports experimenting with interior-point, trust-region, and
+// active-set SQP, picking SQP for quality × speed. This module provides the
+// interior-point comparator: minimize
+//   f(x) − μ·[ Σ log(−g_i(x)) + Σ log(x−lb) + Σ log(ub−x) ]
+// by damped Newton (finite-difference Hessian) with a decreasing barrier
+// parameter. Requires a strictly feasible start.
+#pragma once
+
+#include "opt/problem.h"
+
+namespace oftec::opt {
+
+struct InteriorPointOptions {
+  double mu_initial = 1.0;
+  double mu_factor = 0.2;        ///< μ ← factor·μ per outer iteration
+  double mu_min = 1e-6;
+  std::size_t max_outer = 12;
+  std::size_t max_inner = 25;    ///< Newton steps per barrier value
+  double gradient_tolerance = 1e-5;
+  double finite_diff_step = 1e-4;
+};
+
+/// Minimize from a strictly feasible x0 (clamped slightly inside the box).
+/// If x0 violates a nonlinear constraint, returns infeasible immediately —
+/// pair with Optimization 2 to find a strictly feasible start, exactly as
+/// OFTEC does for SQP.
+[[nodiscard]] OptResult solve_interior_point(
+    const Problem& problem, const la::Vector& x0,
+    const InteriorPointOptions& options = {});
+
+}  // namespace oftec::opt

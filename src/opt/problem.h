@@ -1,0 +1,61 @@
+// Constrained nonlinear program interface.
+//
+// OFTEC's two formulations (Optimizations 1 and 2) are CNLPs over
+// x = (ω, I_TEC) whose objective and constraints are evaluated numerically
+// by the thermal simulator — they can return +infinity inside the thermal
+// runaway region, and every solver in this module must treat +inf as
+// "reject and back off", exactly as the paper's Fig. 6(a,b) surfaces demand.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "la/vector_ops.h"
+
+namespace oftec::opt {
+
+/// Box bounds for the decision vector.
+struct Bounds {
+  la::Vector lower;
+  la::Vector upper;
+};
+
+/// Minimize objective(x) subject to constraints(x) <= 0 (component-wise) and
+/// bounds. Implementations must be deterministic for a given x.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  [[nodiscard]] virtual std::size_t dimension() const = 0;
+  [[nodiscard]] virtual std::size_t constraint_count() const = 0;
+  [[nodiscard]] virtual const Bounds& bounds() const = 0;
+
+  /// Objective value; may be +inf (e.g. thermal runaway).
+  [[nodiscard]] virtual double objective(const la::Vector& x) const = 0;
+
+  /// Constraint values g(x); feasible iff every entry <= 0. Entries may be
+  /// +inf in the runaway region.
+  [[nodiscard]] virtual la::Vector constraints(const la::Vector& x) const = 0;
+};
+
+/// Solution report shared by all solvers.
+struct OptResult {
+  la::Vector x;
+  double objective = std::numeric_limits<double>::infinity();
+  bool feasible = false;     ///< constraints satisfied within tolerance
+  bool converged = false;    ///< solver's own stopping test fired
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;  ///< objective+constraint evaluations
+};
+
+/// Clamp a point into the problem's box.
+[[nodiscard]] inline la::Vector clamp_to_bounds(const la::Vector& x,
+                                                const Bounds& b) {
+  la::Vector out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::min(std::max(out[i], b.lower[i]), b.upper[i]);
+  }
+  return out;
+}
+
+}  // namespace oftec::opt

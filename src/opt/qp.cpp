@@ -1,0 +1,146 @@
+#include "opt/qp.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/dense_lu.h"
+
+namespace oftec::opt {
+
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+/// Solve the equality-constrained QP with active set S via the KKT system
+///   [H  A_Sᵀ][d]   [−g ]
+///   [A_S  0 ][λ] = [b_S].
+/// Returns false if the KKT matrix is singular (degenerate active set).
+bool solve_kkt(const la::DenseMatrix& h, const la::Vector& g,
+               const la::DenseMatrix& a, const la::Vector& rhs,
+               const std::vector<std::size_t>& active, la::Vector& d,
+               la::Vector& lambda) {
+  const std::size_t n = g.size();
+  const std::size_t m = active.size();
+  la::DenseMatrix kkt(n + m, n + m);
+  la::Vector b(n + m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) kkt(i, j) = h(i, j);
+    b[i] = -g[i];
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t row = active[k];
+    for (std::size_t j = 0; j < n; ++j) {
+      kkt(n + k, j) = a(row, j);
+      kkt(j, n + k) = a(row, j);
+    }
+    b[n + k] = rhs[row];
+  }
+  la::Vector sol;
+  try {
+    sol = la::solve_dense(kkt, b);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  d.assign(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+  lambda.assign(sol.begin() + static_cast<std::ptrdiff_t>(n), sol.end());
+  return true;
+}
+
+[[nodiscard]] double qp_objective(const la::DenseMatrix& h, const la::Vector& g,
+                                  const la::Vector& d) {
+  const la::Vector hd = h.multiply(d);
+  return 0.5 * la::dot(d, hd) + la::dot(g, d);
+}
+
+[[nodiscard]] double max_violation(const la::DenseMatrix& a,
+                                   const la::Vector& rhs, const la::Vector& d) {
+  double v = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double ad = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) ad += a(r, j) * d[j];
+    v = std::max(v, ad - rhs[r]);
+  }
+  return v;
+}
+
+/// Enumerate subsets of {0..m−1} of size ≤ n (n ≤ 3 in this library).
+void enumerate_subsets(std::size_t m, std::size_t max_size,
+                       std::vector<std::vector<std::size_t>>& out) {
+  out.push_back({});
+  std::vector<std::size_t> current;
+  auto rec = [&](auto&& self, std::size_t start) -> void {
+    if (current.size() == max_size) return;
+    for (std::size_t i = start; i < m; ++i) {
+      current.push_back(i);
+      out.push_back(current);
+      self(self, i + 1);
+      current.pop_back();
+    }
+  };
+  rec(rec, 0);
+}
+
+}  // namespace
+
+QpResult solve_qp(const la::DenseMatrix& h, const la::Vector& g,
+                  const la::DenseMatrix& a, const la::Vector& rhs) {
+  const std::size_t n = g.size();
+  const std::size_t m = a.rows();
+  if (h.rows() != n || h.cols() != n || (m != 0 && a.cols() != n) ||
+      rhs.size() != m) {
+    throw std::invalid_argument("solve_qp: shape mismatch");
+  }
+  if (n > 4) {
+    throw std::invalid_argument(
+        "solve_qp: enumeration solver is intended for tiny QPs (n <= 4)");
+  }
+
+  std::vector<std::vector<std::size_t>> subsets;
+  enumerate_subsets(m, n, subsets);
+
+  QpResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  double best_violation = std::numeric_limits<double>::infinity();
+  la::Vector best_violation_d(n, 0.0);
+
+  for (const auto& active : subsets) {
+    la::Vector d, lambda;
+    if (!solve_kkt(h, g, a, rhs, active, d, lambda)) continue;
+
+    bool lambda_ok = true;
+    for (const double l : lambda) {
+      if (l < -kFeasTol) {
+        lambda_ok = false;
+        break;
+      }
+    }
+    const double viol = max_violation(a, rhs, d);
+    if (lambda_ok && viol <= kFeasTol) {
+      const double obj = qp_objective(h, g, d);
+      if (obj < best.objective) {
+        best.d = d;
+        best.objective = obj;
+        best.feasible = true;
+        best.multipliers.assign(m, 0.0);
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          best.multipliers[active[k]] = std::max(0.0, lambda[k]);
+        }
+      }
+    }
+    if (viol < best_violation) {
+      best_violation = viol;
+      best_violation_d = d;
+    }
+  }
+
+  if (!best.feasible) {
+    // Elastic fallback: the least-violating KKT candidate.
+    best.d = best_violation_d;
+    best.multipliers.assign(m, 0.0);
+    best.objective = qp_objective(h, g, best.d);
+  }
+  return best;
+}
+
+}  // namespace oftec::opt

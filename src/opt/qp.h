@@ -1,0 +1,39 @@
+// Small dense convex quadratic program solver.
+//
+// The SQP subproblem at each iterate is
+//     min_d  ½ dᵀH d + gᵀd    s.t.  A d ≤ b,
+// with H positive definite (damped BFGS), dimension 2 and a handful of rows
+// (linearized temperature constraint + box bounds). At this size the exact
+// approach is active-set *enumeration*: solve the equality-constrained KKT
+// system for every candidate active set (|S| ≤ n), keep the candidates whose
+// multipliers are nonnegative and that satisfy the inactive rows, and return
+// the best. This is exact for convex QPs and has no cycling/degeneracy
+// corner cases — the property the paper leans on when it argues the
+// active-set method "produces high quality results very quickly".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "la/vector_ops.h"
+
+namespace oftec::opt {
+
+struct QpResult {
+  la::Vector d;            ///< minimizer
+  la::Vector multipliers;  ///< λ ≥ 0 per constraint row (0 if inactive)
+  bool feasible = false;   ///< a feasible KKT point was found
+  double objective = 0.0;  ///< ½dᵀHd + gᵀd at d
+};
+
+/// Solve min ½dᵀHd + gᵀd s.t. rows of (a, rhs): aᵀd ≤ rhs.
+/// H must be symmetric positive definite. If the constraint set is
+/// infeasible (possible when the outer SQP iterate violates a linearized
+/// constraint badly), returns feasible=false and `d` minimizing the largest
+/// violation along the unconstrained direction — callers treat that as an
+/// elastic fallback step.
+[[nodiscard]] QpResult solve_qp(const la::DenseMatrix& h, const la::Vector& g,
+                                const la::DenseMatrix& a, const la::Vector& rhs);
+
+}  // namespace oftec::opt

@@ -1,0 +1,253 @@
+#include "opt/sqp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/dense_matrix.h"
+#include "opt/finite_diff.h"
+#include "opt/qp.h"
+#include "util/log.h"
+
+namespace oftec::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// ℓ1 merit: f + μ·Σ max(0, g_i). +inf propagates.
+[[nodiscard]] double merit(double f, const la::Vector& g, double mu) {
+  if (!std::isfinite(f)) return kInf;
+  double penalty = 0.0;
+  for (const double gi : g) {
+    if (!std::isfinite(gi)) return kInf;
+    penalty += std::max(0.0, gi);
+  }
+  return f + mu * penalty;
+}
+
+[[nodiscard]] double violation(const la::Vector& g) {
+  double v = 0.0;
+  for (const double gi : g) {
+    if (!std::isfinite(gi)) return kInf;
+    v = std::max(v, gi);
+  }
+  return v;
+}
+
+}  // namespace
+
+OptResult solve_sqp(const Problem& problem, const la::Vector& x0,
+                    const SqpOptions& options, const StopPredicate& stop) {
+  const std::size_t n = problem.dimension();
+  const std::size_t m = problem.constraint_count();
+  const Bounds& bounds = problem.bounds();
+  if (x0.size() != n) {
+    throw std::invalid_argument("solve_sqp: start dimension mismatch");
+  }
+
+  OptResult result;
+  la::Vector x = clamp_to_bounds(x0, bounds);
+
+  FiniteDiffOptions fd;
+  fd.step_rel = options.finite_diff_step;
+
+  auto eval_f = [&](const la::Vector& p) {
+    ++result.evaluations;
+    return problem.objective(p);
+  };
+  auto eval_g = [&](const la::Vector& p) {
+    ++result.evaluations;
+    return problem.constraints(p);
+  };
+
+  double f = eval_f(x);
+  la::Vector g = eval_g(x);
+  if (!std::isfinite(f)) {
+    // Runaway start: nothing sensible to do from here.
+    result.x = x;
+    result.objective = f;
+    return result;
+  }
+
+  la::DenseMatrix hess = la::DenseMatrix::identity(n);
+  // Scale the initial Hessian so unit steps are a fraction of the box.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double width = bounds.upper[i] - bounds.lower[i];
+    hess(i, i) = width > 0.0 ? 1.0 / (width * width) : 1.0;
+  }
+
+  double mu = 1.0;
+  std::size_t consecutive_failures = 0;
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // Gradients of objective and constraints.
+    const la::Vector grad_f = gradient(
+        [&](const la::Vector& p) { return eval_f(p); }, x, bounds, fd);
+    bool grad_ok = true;
+    for (const double gi : grad_f) grad_ok = grad_ok && std::isfinite(gi);
+    if (!grad_ok) break;  // boxed in by runaway; accept current iterate
+
+    std::vector<la::Vector> grad_g(m);
+    for (std::size_t c = 0; c < m; ++c) {
+      grad_g[c] = gradient(
+          [&](const la::Vector& p) {
+            const la::Vector gc = eval_g(p);
+            return gc[c];
+          },
+          x, bounds, fd);
+      for (double& entry : grad_g[c]) {
+        if (!std::isfinite(entry)) entry = 0.0;  // flat fallback
+      }
+    }
+
+    // QP rows: linearized constraints then box bounds.
+    const std::size_t rows = m + 2 * n;
+    la::DenseMatrix a(rows, n);
+    la::Vector rhs(rows, 0.0);
+    for (std::size_t c = 0; c < m; ++c) {
+      for (std::size_t j = 0; j < n; ++j) a(c, j) = grad_g[c][j];
+      rhs[c] = std::isfinite(g[c]) ? -g[c] : 0.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      a(m + j, j) = 1.0;                 // d_j ≤ ub_j − x_j
+      rhs[m + j] = bounds.upper[j] - x[j];
+      a(m + n + j, j) = -1.0;            // −d_j ≤ x_j − lb_j
+      rhs[m + n + j] = x[j] - bounds.lower[j];
+    }
+
+    const QpResult qp = solve_qp(hess, grad_f, a, rhs);
+    const la::Vector& d = qp.d;
+
+    // Convergence: step small relative to the box.
+    double step_rel = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double width = bounds.upper[j] - bounds.lower[j];
+      step_rel = std::max(step_rel, std::abs(d[j]) / std::max(width, 1e-300));
+    }
+    if (step_rel < options.step_tolerance &&
+        violation(g) <= options.constraint_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Penalty update: μ must dominate the multipliers for the ℓ1 merit to be
+    // exact.
+    double max_lambda = 0.0;
+    for (std::size_t c = 0; c < m; ++c) {
+      max_lambda = std::max(max_lambda, qp.multipliers[c]);
+    }
+    mu = std::max(mu, options.merit_penalty_margin * max_lambda + 1.0);
+
+    // Backtracking line search on the ℓ1 merit.
+    const double merit0 = merit(f, g, mu);
+    // Directional derivative model: ∇fᵀd − μ·Σ max(0, g_i).
+    double pred_decrease = la::dot(grad_f, d);
+    for (std::size_t c = 0; c < m; ++c) {
+      if (std::isfinite(g[c])) pred_decrease -= mu * std::max(0.0, g[c]);
+    }
+    // Require some predicted decrease; if the model predicts ascent the QP
+    // step is unreliable — shrink aggressively.
+    double alpha = 1.0;
+    bool accepted = false;
+    la::Vector x_new;
+    double f_new = kInf;
+    la::Vector g_new;
+    for (std::size_t ls = 0; ls < options.max_line_search_steps; ++ls) {
+      x_new = x;
+      la::axpy(alpha, d, x_new);
+      x_new = clamp_to_bounds(x_new, bounds);
+      f_new = eval_f(x_new);
+      if (std::isfinite(f_new)) {
+        g_new = eval_g(x_new);
+        const double merit_new = merit(f_new, g_new, mu);
+        const double required =
+            merit0 + 1e-4 * alpha * std::min(pred_decrease, 0.0);
+        if (merit_new <= required) {
+          accepted = true;
+          break;
+        }
+      }
+      alpha *= 0.5;
+    }
+    if (log::enabled(log::Level::kDebug)) {
+      log::debug("sqp iter ", iter, ": f=", f, " viol=", violation(g),
+                 " |d|=", la::norm2(d), " alpha=", alpha,
+                 " accepted=", accepted, " x0=", x[0],
+                 n > 1 ? " x1=" : "", n > 1 ? std::to_string(x[1]) : "");
+    }
+    if (!accepted) {
+      // No merit progress along d. Inflate the model curvature (shorter QP
+      // steps next round, trust-region style) and retry before giving up —
+      // near-active constraints often reject the first full QP step.
+      ++consecutive_failures;
+      if (consecutive_failures >= 3) {
+        result.converged = true;
+        break;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) hess(i, j) *= 4.0;
+      }
+      continue;
+    }
+    consecutive_failures = 0;
+
+    // Damped BFGS update with the Lagrangian gradient difference.
+    const la::Vector grad_f_new = gradient(
+        [&](const la::Vector& p) { return eval_f(p); }, x_new, bounds, fd);
+    bool new_grad_ok = true;
+    for (const double v : grad_f_new) new_grad_ok = new_grad_ok && std::isfinite(v);
+
+    if (new_grad_ok) {
+      la::Vector s = x_new;
+      la::axpy(-1.0, x, s);
+      la::Vector y = grad_f_new;
+      la::axpy(-1.0, grad_f, y);
+      // Include constraint curvature via multipliers (gradients reused from
+      // the old point — adequate for the mild nonconvexity at hand).
+      const double sy = la::dot(s, y);
+      const la::Vector hs = hess.multiply(s);
+      const double shs = la::dot(s, hs);
+      if (shs > 0.0 && la::norm2(s) > 0.0) {
+        // Powell damping keeps the update positive definite.
+        double theta = 1.0;
+        if (sy < 0.2 * shs) {
+          theta = 0.8 * shs / (shs - sy);
+        }
+        la::Vector y_bar = y;
+        la::scale(theta, y_bar);
+        la::Vector hs_scaled = hs;
+        la::scale(1.0 - theta, hs_scaled);
+        la::axpy(1.0, hs_scaled, y_bar);
+        const double s_ybar = la::dot(s, y_bar);
+        if (s_ybar > 1e-14) {
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              hess(i, j) += y_bar[i] * y_bar[j] / s_ybar -
+                            hs[i] * hs[j] / shs;
+            }
+          }
+        }
+      }
+    }
+
+    x = std::move(x_new);
+    f = f_new;
+    g = std::move(g_new);
+
+    if (stop && stop(x, f)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.x = x;
+  result.objective = f;
+  result.feasible = violation(g) <= options.constraint_tolerance;
+  return result;
+}
+
+}  // namespace oftec::opt

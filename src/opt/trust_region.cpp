@@ -1,0 +1,152 @@
+#include "opt/trust_region.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/dense_lu.h"
+#include "opt/finite_diff.h"
+
+namespace oftec::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+OptResult solve_trust_region(const Problem& problem, const la::Vector& x0,
+                             const TrustRegionOptions& options) {
+  const std::size_t n = problem.dimension();
+  const Bounds& bounds = problem.bounds();
+
+  OptResult result;
+  la::Vector x = clamp_to_bounds(x0, bounds);
+  double rho = options.penalty;
+
+  auto penalized = [&](const la::Vector& p) -> double {
+    ++result.evaluations;
+    const double f = problem.objective(p);
+    if (!std::isfinite(f)) return kInf;
+    ++result.evaluations;
+    const la::Vector g = problem.constraints(p);
+    double total = f;
+    for (const double gi : g) {
+      if (!std::isfinite(gi)) return kInf;
+      total += rho * std::max(0.0, gi);
+    }
+    return total;
+  };
+
+  double box_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = bounds.upper[i] - bounds.lower[i];
+    box_diag += w * w;
+  }
+  box_diag = std::sqrt(box_diag);
+  double radius = options.initial_radius_fraction * box_diag;
+  const double min_radius = options.min_radius_fraction * box_diag;
+
+  FiniteDiffOptions fd;
+  fd.step_rel = options.finite_diff_step;
+
+  double p_current = penalized(x);
+  if (!std::isfinite(p_current)) {
+    result.x = x;
+    result.objective = problem.objective(x);
+    return result;
+  }
+
+  std::size_t stall_count = 0;
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    if (radius < min_radius) {
+      result.converged = true;
+      break;
+    }
+
+    const la::Vector grad = gradient(penalized, x, bounds, fd);
+    bool grad_ok = true;
+    for (const double v : grad) grad_ok = grad_ok && std::isfinite(v);
+    if (!grad_ok) break;
+
+    la::DenseMatrix hess = hessian(penalized, x, bounds, fd);
+
+    // Solve the model min gᵀd + ½dᵀHd, ‖d‖ ≤ radius (Levenberg iteration).
+    la::Vector d;
+    double damping = 0.0;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      la::DenseMatrix h_mod = hess;
+      for (std::size_t i = 0; i < n; ++i) h_mod(i, i) += damping;
+      bool solved = true;
+      try {
+        d = la::solve_dense(h_mod, grad);
+      } catch (const std::runtime_error&) {
+        solved = false;
+      }
+      if (solved) {
+        la::scale(-1.0, d);
+        if (la::norm2(d) <= radius && la::dot(d, grad) < 0.0) break;
+      }
+      damping = damping == 0.0 ? la::norm_inf(grad) / radius + 1e-8
+                               : damping * 2.0;
+      d.clear();
+    }
+    if (d.empty() || la::dot(d, grad) >= 0.0) {
+      // Cauchy fallback: steepest descent clipped to the radius.
+      d = grad;
+      la::scale(-radius / std::max(la::norm2(grad), 1e-300), d);
+    }
+    if (la::norm2(d) > radius) {
+      la::scale(radius / la::norm2(d), d);
+    }
+
+    la::Vector x_trial = x;
+    la::axpy(1.0, d, x_trial);
+    x_trial = clamp_to_bounds(x_trial, bounds);
+
+    const double p_trial = penalized(x_trial);
+    const la::Vector hd = hess.multiply(d);
+    const double model_decrease = -(la::dot(grad, d) + 0.5 * la::dot(d, hd));
+    const double actual_decrease =
+        std::isfinite(p_trial) ? p_current - p_trial : -kInf;
+
+    const double ratio = model_decrease > 0.0
+                             ? actual_decrease / model_decrease
+                             : (actual_decrease > 0.0 ? 1.0 : -1.0);
+
+    if (ratio >= options.eta_accept && actual_decrease > 0.0) {
+      x = std::move(x_trial);
+      p_current = p_trial;
+      if (ratio > 0.75) radius = std::min(2.0 * radius, box_diag);
+      stall_count = 0;
+    } else {
+      radius *= 0.5;
+      ++stall_count;
+    }
+
+    // If stuck and infeasible, make the penalty harder.
+    if (stall_count >= 8) {
+      ++result.evaluations;
+      const la::Vector g = problem.constraints(x);
+      double viol = 0.0;
+      for (const double gi : g) viol = std::max(viol, gi);
+      if (viol > 1e-6) {
+        rho *= options.penalty_growth;
+        p_current = penalized(x);
+      }
+      stall_count = 0;
+    }
+  }
+
+  result.x = x;
+  ++result.evaluations;
+  result.objective = problem.objective(x);
+  ++result.evaluations;
+  const la::Vector g = problem.constraints(x);
+  result.feasible = true;
+  for (const double gi : g) result.feasible = result.feasible && gi <= 1e-6;
+  return result;
+}
+
+}  // namespace oftec::opt

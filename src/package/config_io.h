@@ -1,0 +1,43 @@
+// Key–value configuration I/O for the cooling package and process.
+//
+// A small INI-style format (`key = value`, `#` comments, optional
+// `[section]` headers which are ignored) covering the knobs a user
+// realistically tunes without recompiling: geometry and conductivity of
+// every layer, fan/heat-sink law constants, TEC device parameters, ambient
+// and threshold temperatures, and the leakage-process description.
+//
+//     # paper defaults, 80 C limit
+//     t_max_c            = 80
+//     fan.max_rpm        = 5000
+//     tec.seebeck        = 0.0025
+//     heat_sink.width_mm = 60
+//
+// Unknown keys are errors (typos should not silently do nothing).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "package/package_config.h"
+#include "power/mcpat_like.h"
+
+namespace oftec::package {
+
+/// Parsed configuration bundle.
+struct ConfigBundle {
+  PackageConfig package;
+  power::ProcessConfig process;
+};
+
+/// Apply `key = value` overrides from a stream onto the paper defaults.
+/// Throws std::runtime_error with the offending line on parse errors or
+/// unknown keys; the resulting package is validate()d.
+[[nodiscard]] ConfigBundle read_config(std::istream& in);
+
+/// File variant.
+[[nodiscard]] ConfigBundle read_config_file(const std::string& path);
+
+/// Serialize the full bundle in a form read_config accepts (round-trips).
+void write_config(const ConfigBundle& bundle, std::ostream& out);
+
+}  // namespace oftec::package

@@ -1,0 +1,66 @@
+#include "package/heatsink.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/regression.h"
+
+namespace oftec::package {
+
+double HeatSinkFanModel::conductance(double omega) const {
+  if (omega < 0.0) {
+    throw std::invalid_argument("HeatSinkFanModel::conductance: negative speed");
+  }
+  if (omega <= 0.0) return g_natural;
+  const double g = p * std::log(q * omega) + r;
+  return std::max(g, g_natural);
+}
+
+double HeatSinkFanModel::conductance_derivative(double omega) const {
+  if (omega <= 0.0) return 0.0;
+  const double g = p * std::log(q * omega) + r;
+  if (g < g_natural) return 0.0;  // floored region
+  return p / omega;
+}
+
+double HeatSinkFanModel::crossover_speed() const {
+  // p·ln(q·ω) + r = g_natural  →  ω = exp((g_natural − r)/p) / q.
+  return std::exp((g_natural - r) / p) / q;
+}
+
+HeatSinkFanModel HeatSinkFanModel::fit(const std::vector<double>& omegas,
+                                       const std::vector<double>& conductances,
+                                       double q, double g_natural) {
+  if (omegas.size() != conductances.size() || omegas.size() < 2) {
+    throw std::invalid_argument("HeatSinkFanModel::fit: need >= 2 samples");
+  }
+  la::Vector x(omegas.size()), y = conductances;
+  for (std::size_t i = 0; i < omegas.size(); ++i) {
+    if (omegas[i] <= 0.0) {
+      throw std::invalid_argument("HeatSinkFanModel::fit: omega must be > 0");
+    }
+    x[i] = std::log(q * omegas[i]);
+  }
+  const la::LinearFit fit_result = la::fit_line(x, y);
+  HeatSinkFanModel model;
+  model.p = fit_result.slope;
+  model.q = q;
+  model.r = fit_result.intercept;
+  model.g_natural = g_natural;
+  model.validate();
+  return model;
+}
+
+void HeatSinkFanModel::validate() const {
+  if (p <= 0.0) {
+    throw std::invalid_argument("HeatSinkFanModel: p must be > 0");
+  }
+  if (q <= 0.0) {
+    throw std::invalid_argument("HeatSinkFanModel: q must be > 0");
+  }
+  if (g_natural <= 0.0) {
+    throw std::invalid_argument("HeatSinkFanModel: g_natural must be > 0");
+  }
+}
+
+}  // namespace oftec::package

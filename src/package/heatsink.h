@@ -1,0 +1,42 @@
+// Heat-sink + fan collective thermal conductance (paper Eq. 9).
+//
+// The sink-to-ambient conductance grows logarithmically with fan speed:
+//   g(ω) = p·ln(q·ω) + r          for ω ≫ 1 rad/s,
+// floored at the natural-convection conductance g_HS for small ω. The
+// paper obtains p and r by curve-fitting the HotSpot-5 calculation; the
+// `fit` factory reproduces that flow from (ω, g) samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oftec::package {
+
+struct HeatSinkFanModel {
+  double p = 0.97;        ///< fit parameter [W/K]
+  double q = 1.0;         ///< dimensional normalizer [s]; paper sets 1 s
+  double r = -0.25;       ///< fit parameter [W/K]
+  double g_natural = 0.525;///< g_HS: natural-convection floor [W/K]
+
+  /// Collective conductance [W/K] at fan speed ω [rad/s].
+  [[nodiscard]] double conductance(double omega) const;
+
+  /// dg/dω [W/(K·rad/s)]; 0 in the floored region. Useful for analytic
+  /// sensitivity checks in tests.
+  [[nodiscard]] double conductance_derivative(double omega) const;
+
+  /// Fan speed at which the log law crosses the natural floor.
+  [[nodiscard]] double crossover_speed() const;
+
+  /// Least-squares fit of (p, r) from sampled (ω, g) pairs at fixed q,
+  /// mirroring the paper's "HotSpot 5 + curve fitting" calibration.
+  [[nodiscard]] static HeatSinkFanModel fit(const std::vector<double>& omegas,
+                                            const std::vector<double>& conductances,
+                                            double q = 1.0,
+                                            double g_natural = 0.525);
+
+  /// Throws std::invalid_argument on non-physical parameters.
+  void validate() const;
+};
+
+}  // namespace oftec::package

@@ -1,0 +1,21 @@
+#include "package/materials.h"
+
+namespace oftec::package::materials {
+
+Material silicon() { return {"silicon", 100.0, 1.75e6}; }
+
+Material thermal_paste() { return {"thermal-paste", 1.75, 4.0e6}; }
+
+Material copper() { return {"copper", 400.0, 3.55e6}; }
+
+Material fr4() { return {"FR4", 0.3, 1.3e6}; }
+
+Material tec_composite() {
+  // Effective bulk conductivity of the TEC layer (superlattice pellets plus
+  // metal headers). Notably higher than thermal paste — the paper leans on
+  // this ("the thermal conductivity of the material that TECs are built from
+  // is much higher than that of common thermal pastes").
+  return {"TEC-composite", 90.0, 1.2e6};
+}
+
+}  // namespace oftec::package::materials

@@ -1,0 +1,27 @@
+// Material properties for the package stack.
+#pragma once
+
+#include <string>
+
+namespace oftec::package {
+
+/// Homogeneous isotropic material.
+struct Material {
+  std::string name;
+  double conductivity = 0.0;            ///< k [W/(m·K)]
+  double volumetric_heat_capacity = 0.0;///< ρ·c_p [J/(m³·K)]
+};
+
+/// Standard materials used by the paper's package (Table 1 conductivities;
+/// heat capacities at HotSpot-default scale for the transient solver).
+namespace materials {
+
+[[nodiscard]] Material silicon();       ///< chip: k = 100
+[[nodiscard]] Material thermal_paste(); ///< TIM1/TIM2: k = 1.75
+[[nodiscard]] Material copper();        ///< spreader & heat sink: k = 400
+[[nodiscard]] Material fr4();           ///< PCB substrate
+[[nodiscard]] Material tec_composite(); ///< TEC layer bulk (Bi₂Te₃ superlattice + metallization)
+
+}  // namespace materials
+
+}  // namespace oftec::package

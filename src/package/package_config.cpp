@@ -1,0 +1,183 @@
+#include "package/package_config.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace oftec::package {
+
+const LayerSpec& PackageConfig::layer(LayerRole role) const {
+  for (const LayerSpec& l : layers) {
+    if (l.role == role) return l;
+  }
+  throw std::runtime_error("PackageConfig::layer: role not present");
+}
+
+PackageConfig PackageConfig::paper_default() {
+  using units::mm;
+  using units::um;
+
+  PackageConfig cfg;
+
+  LayerSpec pcb;
+  pcb.name = "PCB";
+  pcb.role = LayerRole::kPcb;
+  pcb.material = materials::fr4();
+  pcb.thickness = mm(1.0);
+  pcb.width = pcb.height = mm(15.9);
+  cfg.layers.push_back(pcb);
+
+  LayerSpec chip;
+  chip.name = "chip";
+  chip.role = LayerRole::kChip;
+  chip.material = materials::silicon();  // Table 1: k = 100
+  chip.thickness = um(15.0);
+  chip.width = chip.height = mm(15.9);
+  cfg.layers.push_back(chip);
+
+  LayerSpec tim1;
+  tim1.name = "TIM1";
+  tim1.role = LayerRole::kTim1;
+  tim1.material = materials::thermal_paste();  // Table 1: k = 1.75
+  tim1.thickness = um(20.0);
+  tim1.width = tim1.height = mm(15.9);
+  cfg.layers.push_back(tim1);
+
+  LayerSpec tec_layer;
+  tec_layer.name = "TEC";
+  tec_layer.role = LayerRole::kTec;
+  tec_layer.material = materials::tec_composite();
+  tec_layer.thickness = um(100.0);
+  tec_layer.width = tec_layer.height = mm(15.9);
+  cfg.layers.push_back(tec_layer);
+
+  LayerSpec spreader;
+  spreader.name = "heat-spreader";
+  spreader.role = LayerRole::kSpreader;
+  spreader.material = materials::copper();  // Table 1: k = 400
+  spreader.thickness = mm(1.0);
+  spreader.width = spreader.height = mm(30.0);
+  cfg.layers.push_back(spreader);
+
+  LayerSpec tim2;
+  tim2.name = "TIM2";
+  tim2.role = LayerRole::kTim2;
+  tim2.material = materials::thermal_paste();
+  tim2.thickness = um(20.0);
+  tim2.width = tim2.height = mm(30.0);
+  cfg.layers.push_back(tim2);
+
+  LayerSpec sink;
+  sink.name = "heat-sink";
+  sink.role = LayerRole::kHeatSink;
+  sink.material = materials::copper();  // Table 1: k = 400
+  sink.thickness = mm(7.0);
+  sink.width = sink.height = mm(60.0);
+  cfg.layers.push_back(sink);
+
+  // TEC device: defaults in TecDeviceParams; I_TEC,max from the paper.
+  cfg.tec.max_current = 5.0;
+  // Make the TEC-layer bulk conductivity and the per-device conductance
+  // consistent (k = K·t/A).
+  cfg.layers[3].material.conductivity = cfg.tec.layer_conductivity();
+
+  cfg.fan = FanModel{};          // c = 1.6e-7, ω_max = 524 rad/s
+  cfg.sink_fan = HeatSinkFanModel{};  // p = 0.97, q = 1 s, r = −0.25, g_HS = 0.525
+
+  cfg.ambient = units::celsius_to_kelvin(45.0);
+  cfg.t_max = units::celsius_to_kelvin(90.0);
+  cfg.validate();
+  return cfg;
+}
+
+PackageConfig PackageConfig::without_tecs() const {
+  PackageConfig cfg = *this;
+  cfg.has_tec = false;
+  // Fairness rule (Sec. 6.1): the baseline keeps the TEC layer as a passive
+  // conduction slab at the composite conductivity, preserving the combined
+  // TIM1+TEC vertical conductance of the hybrid package. The uncovered-cell
+  // filler is irrelevant now; make it uniform too.
+  for (LayerSpec& l : cfg.layers) {
+    if (l.role == LayerRole::kTec) {
+      l.material.conductivity = tec.layer_conductivity();
+    }
+  }
+  cfg.filler_conductivity = tec.layer_conductivity();
+  return cfg;
+}
+
+PackageConfig PackageConfig::scaled_to_die(double die_width,
+                                           double die_height) const {
+  if (die_width <= 0.0 || die_height <= 0.0) {
+    throw std::invalid_argument(
+        "PackageConfig::scaled_to_die: die must be positive");
+  }
+  PackageConfig cfg = *this;
+  const LayerSpec& chip = layer(LayerRole::kChip);
+  const double scale_w = die_width / chip.width;
+  const double scale_h = die_height / chip.height;
+  for (LayerSpec& l : cfg.layers) {
+    const bool die_sized =
+        l.role == LayerRole::kPcb || l.role == LayerRole::kChip ||
+        l.role == LayerRole::kTim1 || l.role == LayerRole::kTec;
+    if (die_sized) {
+      l.width = die_width;
+      l.height = die_height;
+    } else {
+      l.width *= scale_w;
+      l.height *= scale_h;
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+void PackageConfig::validate() const {
+  static constexpr LayerRole kExpectedOrder[] = {
+      LayerRole::kPcb,     LayerRole::kChip, LayerRole::kTim1,
+      LayerRole::kTec,     LayerRole::kSpreader, LayerRole::kTim2,
+      LayerRole::kHeatSink};
+  if (layers.size() != std::size(kExpectedOrder)) {
+    throw std::invalid_argument("PackageConfig: expected 7 layers");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerSpec& l = layers[i];
+    if (l.role != kExpectedOrder[i]) {
+      throw std::invalid_argument("PackageConfig: layer order mismatch at " +
+                                  l.name);
+    }
+    if (l.thickness <= 0.0 || l.width <= 0.0 || l.height <= 0.0) {
+      throw std::invalid_argument("PackageConfig: non-positive geometry in " +
+                                  l.name);
+    }
+    if (l.material.conductivity <= 0.0) {
+      throw std::invalid_argument("PackageConfig: non-positive conductivity in " +
+                                  l.name);
+    }
+  }
+  // Upper layers must be at least die-sized.
+  const LayerSpec& chip = layer(LayerRole::kChip);
+  for (const LayerSpec& l : layers) {
+    if (l.width < chip.width - 1e-12 || l.height < chip.height - 1e-12) {
+      if (l.role != LayerRole::kPcb) {
+        throw std::invalid_argument("PackageConfig: layer smaller than die: " +
+                                    l.name);
+      }
+    }
+  }
+  if (has_tec) tec.validate();
+  fan.validate();
+  sink_fan.validate();
+  if (ambient <= 0.0 || t_max <= ambient) {
+    throw std::invalid_argument("PackageConfig: need t_max > ambient > 0");
+  }
+  if (pcb_to_ambient_conductance < 0.0) {
+    throw std::invalid_argument(
+        "PackageConfig: negative PCB-ambient conductance");
+  }
+  if (filler_conductivity <= 0.0) {
+    throw std::invalid_argument("PackageConfig: filler conductivity must be > 0");
+  }
+}
+
+}  // namespace oftec::package

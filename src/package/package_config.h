@@ -1,0 +1,76 @@
+// The cooling package assembly (paper Fig. 2 + Table 1).
+//
+// Stack, bottom to top: PCB, chip, TIM1, TEC layer (three thermal sub-layers:
+// absorb / generate / reject), heat spreader, TIM2, heat sink; a fan above
+// the sink sets the sink-to-ambient conductance. PackageConfig carries the
+// full physical description the thermal-network assembler consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "package/fan.h"
+#include "package/heatsink.h"
+#include "package/materials.h"
+#include "tec/device.h"
+
+namespace oftec::package {
+
+/// Role of a layer in the stack; the thermal assembler dispatches on this.
+enum class LayerRole { kPcb, kChip, kTim1, kTec, kSpreader, kTim2, kHeatSink };
+
+/// One physical layer. Layers are centered on the die axis; `width`/`height`
+/// may exceed the die (spreader, sink) — the overhang is modeled by
+/// peripheral ring nodes in the thermal network.
+struct LayerSpec {
+  std::string name;
+  LayerRole role = LayerRole::kChip;
+  Material material;
+  double thickness = 0.0;  ///< [m]
+  double width = 0.0;      ///< [m]
+  double height = 0.0;     ///< [m]
+
+  [[nodiscard]] double area() const noexcept { return width * height; }
+};
+
+/// Complete package description.
+struct PackageConfig {
+  std::vector<LayerSpec> layers;  ///< bottom→top; roles must appear in stack order
+  tec::TecDeviceParams tec;
+  bool has_tec = true;            ///< false → baseline package (fairness rule applied)
+  FanModel fan;
+  HeatSinkFanModel sink_fan;
+  double ambient = 318.15;        ///< T_amb [K]; paper uses 45 °C
+  double t_max = 363.15;          ///< thermal threshold [K]; paper uses 90 °C
+  /// Secondary heat path: total PCB-to-ambient conductance [W/K].
+  double pcb_to_ambient_conductance = 0.5;
+  /// Conductivity of the filler occupying TEC-layer cells not covered by a
+  /// TEC unit (thermal paste fills the gap) [W/(m·K)].
+  double filler_conductivity = 1.75;
+
+  /// Find the (single) layer with the given role.
+  [[nodiscard]] const LayerSpec& layer(LayerRole role) const;
+
+  /// The paper's package: Table 1 geometry/conductivities, Eq. 8/9 fan and
+  /// sink constants, 45 °C ambient, 90 °C threshold, 5 A TEC limit.
+  [[nodiscard]] static PackageConfig paper_default();
+
+  /// Baseline package without TECs. Per the paper's fairness rule, the TEC
+  /// layer is kept as a pure conduction layer at the TEC composite
+  /// conductivity (equivalently: TIM1+TEC series conductance is preserved),
+  /// so the no-TEC package is not penalized with a thinner stack.
+  [[nodiscard]] PackageConfig without_tecs() const;
+
+  /// Resize the package to a different die: die-sized layers (PCB, chip,
+  /// TIM1, TEC) take the new dimensions exactly; overhanging layers
+  /// (spreader, TIM2, sink) scale by the same ratio so they keep
+  /// overhanging. Thicknesses are untouched.
+  [[nodiscard]] PackageConfig scaled_to_die(double die_width,
+                                            double die_height) const;
+
+  /// Throws std::invalid_argument / std::runtime_error on an inconsistent
+  /// stack (bad order, non-positive geometry, missing roles).
+  void validate() const;
+};
+
+}  // namespace oftec::package

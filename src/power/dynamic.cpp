@@ -1,0 +1,78 @@
+#include "power/dynamic.h"
+
+#include <stdexcept>
+
+namespace oftec::power {
+
+DynamicPowerModel::DynamicPowerModel(const floorplan::Floorplan& fp,
+                                     std::vector<double> effective_capacitance,
+                                     VfPoint nominal)
+    : fp_(&fp), c_eff_(std::move(effective_capacitance)), nominal_(nominal) {
+  if (c_eff_.size() != fp.block_count()) {
+    throw std::invalid_argument("DynamicPowerModel: C_eff arity mismatch");
+  }
+  for (const double c : c_eff_) {
+    if (c < 0.0) {
+      throw std::invalid_argument("DynamicPowerModel: negative capacitance");
+    }
+  }
+  if (nominal_.voltage <= 0.0 || nominal_.frequency_ghz <= 0.0) {
+    throw std::invalid_argument("DynamicPowerModel: bad nominal V/f");
+  }
+}
+
+DynamicPowerModel DynamicPowerModel::calibrate(const floorplan::Floorplan& fp,
+                                               double total_watts,
+                                               double core_density_ratio,
+                                               VfPoint nominal) {
+  if (total_watts <= 0.0 || core_density_ratio <= 0.0) {
+    throw std::invalid_argument("DynamicPowerModel::calibrate: bad inputs");
+  }
+  std::vector<double> weights(fp.block_count());
+  double weight_sum = 0.0;
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    const floorplan::Block& blk = fp.blocks()[b];
+    const double density =
+        blk.kind == floorplan::UnitKind::kCore ? core_density_ratio : 1.0;
+    weights[b] = blk.area() * density;
+    weight_sum += weights[b];
+  }
+  const double vf_factor =
+      nominal.voltage * nominal.voltage * nominal.frequency_ghz;
+  std::vector<double> c_eff(fp.block_count());
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    c_eff[b] = total_watts * weights[b] / (weight_sum * vf_factor);
+  }
+  return DynamicPowerModel(fp, std::move(c_eff), nominal);
+}
+
+PowerMap DynamicPowerModel::power(const std::vector<double>& activity,
+                                  const VfPoint& vf) const {
+  if (activity.size() != c_eff_.size()) {
+    throw std::invalid_argument("DynamicPowerModel::power: activity arity");
+  }
+  if (vf.voltage <= 0.0 || vf.frequency_ghz <= 0.0) {
+    throw std::invalid_argument("DynamicPowerModel::power: bad V/f point");
+  }
+  const double vf_factor = vf.voltage * vf.voltage * vf.frequency_ghz;
+  PowerMap map(*fp_);
+  for (std::size_t b = 0; b < c_eff_.size(); ++b) {
+    if (activity[b] < 0.0 || activity[b] > 1.0) {
+      throw std::invalid_argument(
+          "DynamicPowerModel::power: activity must be in [0, 1]");
+    }
+    map.set(b, activity[b] * c_eff_[b] * vf_factor);
+  }
+  return map;
+}
+
+PowerMap DynamicPowerModel::power(const std::vector<double>& activity) const {
+  return power(activity, nominal_);
+}
+
+double DynamicPowerModel::scale_of(const VfPoint& vf) const noexcept {
+  const double v_ratio = vf.voltage / nominal_.voltage;
+  return v_ratio * v_ratio * (vf.frequency_ghz / nominal_.frequency_ghz);
+}
+
+}  // namespace oftec::power

@@ -1,0 +1,50 @@
+#include "power/mcpat_like.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oftec::power {
+
+double leakage_beta_for_node(double node_nm) {
+  if (node_nm <= 0.0) {
+    throw std::invalid_argument("leakage_beta_for_node: node must be > 0");
+  }
+  // Doubling interval Δ₂ shrinks with the node: ~32 K at 65 nm down to
+  // ~23 K at 22 nm. β = ln(2)/Δ₂.
+  const double delta2 = 12.0 + 5.6 * std::log2(node_nm / 5.6);
+  return std::log(2.0) / delta2;
+}
+
+LeakageModel characterize_leakage(const floorplan::Floorplan& fp,
+                                  const ProcessConfig& process) {
+  if (process.total_leakage_at_t0 <= 0.0) {
+    throw std::invalid_argument(
+        "characterize_leakage: total leakage must be positive");
+  }
+  if (process.cache_density_ratio <= 0.0) {
+    throw std::invalid_argument(
+        "characterize_leakage: cache density ratio must be positive");
+  }
+
+  // Unnormalized per-block weights: area × kind density.
+  std::vector<double> weights(fp.block_count(), 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    const floorplan::Block& blk = fp.blocks()[b];
+    const double density =
+        blk.kind == floorplan::UnitKind::kCache ? process.cache_density_ratio
+                                                : 1.0;
+    weights[b] = blk.area() * density;
+    weight_sum += weights[b];
+  }
+
+  std::vector<double> p0(fp.block_count(), 0.0);
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    p0[b] = process.total_leakage_at_t0 * weights[b] / weight_sum;
+  }
+
+  return LeakageModel(fp, std::move(p0), leakage_beta_for_node(process.node_nm),
+                      process.t0);
+}
+
+}  // namespace oftec::power

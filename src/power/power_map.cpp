@@ -1,0 +1,62 @@
+#include "power/power_map.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace oftec::power {
+
+PowerMap::PowerMap(const floorplan::Floorplan& fp)
+    : fp_(&fp), values_(fp.block_count(), 0.0) {}
+
+void PowerMap::set(std::size_t block, double watts) {
+  if (block >= values_.size()) throw std::out_of_range("PowerMap::set");
+  values_[block] = watts;
+}
+
+double PowerMap::get(std::size_t block) const {
+  if (block >= values_.size()) throw std::out_of_range("PowerMap::get");
+  return values_[block];
+}
+
+void PowerMap::set(std::string_view name, double watts) {
+  const auto idx = fp_->find(name);
+  if (!idx) {
+    throw std::invalid_argument("PowerMap::set: unknown block " +
+                                std::string(name));
+  }
+  values_[*idx] = watts;
+}
+
+double PowerMap::get(std::string_view name) const {
+  const auto idx = fp_->find(name);
+  if (!idx) {
+    throw std::invalid_argument("PowerMap::get: unknown block " +
+                                std::string(name));
+  }
+  return values_[*idx];
+}
+
+void PowerMap::add(std::string_view name, double watts) {
+  set(name, get(name) + watts);
+}
+
+double PowerMap::total() const noexcept {
+  double acc = 0.0;
+  for (const double v : values_) acc += v;
+  return acc;
+}
+
+void PowerMap::scale(double factor) noexcept {
+  for (double& v : values_) v *= factor;
+}
+
+void PowerMap::max_with(const PowerMap& other) {
+  if (other.fp_ != fp_ || other.values_.size() != values_.size()) {
+    throw std::invalid_argument("PowerMap::max_with: floorplan mismatch");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] = std::max(values_[i], other.values_[i]);
+  }
+}
+
+}  // namespace oftec::power

@@ -1,0 +1,52 @@
+// Per-functional-unit power vector bound to a floorplan.
+//
+// This is the hand-off format between the workload substrate (PTscalar
+// replacement) and OFTEC: one watt value per floorplan block.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+
+namespace oftec::power {
+
+class PowerMap {
+ public:
+  /// Zero power for every block of `fp`. The floorplan must outlive the map.
+  explicit PowerMap(const floorplan::Floorplan& fp);
+
+  [[nodiscard]] const floorplan::Floorplan& floorplan() const noexcept {
+    return *fp_;
+  }
+
+  /// Set/get by block index.
+  void set(std::size_t block, double watts);
+  [[nodiscard]] double get(std::size_t block) const;
+
+  /// Set/get by block name; throws std::invalid_argument on unknown names.
+  void set(std::string_view name, double watts);
+  [[nodiscard]] double get(std::string_view name) const;
+
+  /// Add `watts` to a named block.
+  void add(std::string_view name, double watts);
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  [[nodiscard]] double total() const noexcept;
+
+  /// Multiply every entry by `factor`.
+  void scale(double factor) noexcept;
+
+  /// Element-wise max with another map over the same floorplan (used to
+  /// extract the max-power vector from a trace, Sec. 6.1).
+  void max_with(const PowerMap& other);
+
+ private:
+  const floorplan::Floorplan* fp_;
+  std::vector<double> values_;
+};
+
+}  // namespace oftec::power

@@ -1,0 +1,79 @@
+#include "tec/array.h"
+
+#include <stdexcept>
+
+namespace oftec::tec {
+
+TecArray::TecArray(TecDeviceParams params, std::vector<bool> coverage,
+                   double cell_area)
+    : params_(params) {
+  params_.validate();
+  if (cell_area <= 0.0) {
+    throw std::invalid_argument("TecArray: cell_area must be positive");
+  }
+  const double m = cell_area / params_.footprint;
+  cells_.reserve(coverage.size());
+  for (const bool covered : coverage) {
+    CellTec cell;
+    if (covered) {
+      cell.covered = true;
+      cell.multiplier = m;
+      cell.seebeck = m * params_.seebeck;
+      cell.resistance = m * params_.resistance;
+      cell.conductance = m * params_.conductance;
+    }
+    cells_.push_back(cell);
+  }
+}
+
+const CellTec& TecArray::cell(std::size_t i) const {
+  if (i >= cells_.size()) throw std::out_of_range("TecArray::cell");
+  return cells_[i];
+}
+
+std::size_t TecArray::covered_cell_count() const noexcept {
+  std::size_t n = 0;
+  for (const CellTec& c : cells_) n += c.covered ? 1 : 0;
+  return n;
+}
+
+double TecArray::total_units() const noexcept {
+  double n = 0.0;
+  for (const CellTec& c : cells_) n += c.multiplier;
+  return n;
+}
+
+double TecArray::electrical_power(const std::vector<double>& t_cold,
+                                  const std::vector<double>& t_hot,
+                                  double current) const {
+  if (t_cold.size() != cells_.size() || t_hot.size() != cells_.size()) {
+    throw std::invalid_argument("TecArray::electrical_power: arity mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellTec& c = cells_[i];
+    if (!c.covered) continue;
+    const double delta_t = t_hot[i] - t_cold[i];
+    acc += c.seebeck * delta_t * current + c.resistance * current * current;
+  }
+  return acc;
+}
+
+double TecArray::total_cold_heat(const std::vector<double>& t_cold,
+                                 const std::vector<double>& t_hot,
+                                 double current) const {
+  if (t_cold.size() != cells_.size() || t_hot.size() != cells_.size()) {
+    throw std::invalid_argument("TecArray::total_cold_heat: arity mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellTec& c = cells_[i];
+    if (!c.covered) continue;
+    const double delta_t = t_hot[i] - t_cold[i];
+    acc += c.seebeck * t_cold[i] * current - c.conductance * delta_t -
+           0.5 * c.resistance * current * current;
+  }
+  return acc;
+}
+
+}  // namespace oftec::tec

@@ -1,0 +1,60 @@
+#include "tec/device.h"
+
+#include <stdexcept>
+
+namespace oftec::tec {
+
+void TecDeviceParams::validate() const {
+  if (seebeck <= 0.0) {
+    throw std::invalid_argument("TecDeviceParams: seebeck must be > 0");
+  }
+  if (resistance <= 0.0) {
+    throw std::invalid_argument("TecDeviceParams: resistance must be > 0");
+  }
+  if (conductance <= 0.0) {
+    throw std::invalid_argument("TecDeviceParams: conductance must be > 0");
+  }
+  if (max_current <= 0.0) {
+    throw std::invalid_argument("TecDeviceParams: max_current must be > 0");
+  }
+  if (footprint <= 0.0 || thickness <= 0.0) {
+    throw std::invalid_argument("TecDeviceParams: geometry must be positive");
+  }
+}
+
+double cold_side_heat(const TecDeviceParams& p, double t_cold, double t_hot,
+                      double current) noexcept {
+  const double delta_t = t_hot - t_cold;
+  return p.seebeck * t_cold * current - p.conductance * delta_t -
+         0.5 * p.resistance * current * current;
+}
+
+double hot_side_heat(const TecDeviceParams& p, double t_cold, double t_hot,
+                     double current) noexcept {
+  const double delta_t = t_hot - t_cold;
+  return p.seebeck * t_hot * current - p.conductance * delta_t +
+         0.5 * p.resistance * current * current;
+}
+
+double electrical_power(const TecDeviceParams& p, double t_cold, double t_hot,
+                        double current) noexcept {
+  const double delta_t = t_hot - t_cold;
+  return p.seebeck * delta_t * current + p.resistance * current * current;
+}
+
+double cop(const TecDeviceParams& p, double t_cold, double t_hot,
+           double current) noexcept {
+  const double power = electrical_power(p, t_cold, t_hot, current);
+  if (power <= 0.0) return 0.0;
+  return cold_side_heat(p, t_cold, t_hot, current) / power;
+}
+
+double max_cooling_current(const TecDeviceParams& p, double t_cold) noexcept {
+  return p.seebeck * t_cold / p.resistance;
+}
+
+double max_delta_t(const TecDeviceParams& p, double t_cold) noexcept {
+  return 0.5 * p.figure_of_merit() * t_cold * t_cold;
+}
+
+}  // namespace oftec::tec

@@ -1,0 +1,68 @@
+// Thermoelectric cooler device physics (paper Sec. 2, Eqs. 1–3).
+//
+// One "TEC unit" is a thin-film module with a nominal footprint; the chip is
+// tiled with such units wired electrically in series (same I_TEC everywhere)
+// and thermally in parallel. All classic Peltier-device figures of merit
+// (optimal current, ΔT_max, COP) are provided both because OFTEC's tests use
+// them as invariants and because they are useful to downstream users sizing a
+// deployment.
+#pragma once
+
+namespace oftec::tec {
+
+/// Parameters of one TEC unit. Defaults model a superlattice thin-film unit
+/// (Chowdhury et al., Nat. Nanotech. 2009 scale) with a 1 mm² footprint.
+struct TecDeviceParams {
+  double seebeck = 0.0025;        ///< α: module Seebeck coefficient [V/K]
+  double resistance = 0.04;       ///< R: electrical resistance [Ω]
+  double conductance = 0.06;      ///< K: thermal conductance [W/K]
+  double max_current = 5.0;       ///< damage threshold I_TEC,max [A]
+  double footprint = 1.0e-6;      ///< device area [m²]
+  double thickness = 100.0e-6;    ///< TEC layer thickness [m]
+
+  /// Effective vertical thermal conductivity of the TEC layer [W/(m·K)]
+  /// implied by K, thickness, and footprint: k = K·t/A. Used to model the
+  /// TEC layer as a conduction layer in no-current regions and to compute
+  /// the paper's "boosted TIM1" baseline fairness rule.
+  [[nodiscard]] double layer_conductivity() const noexcept {
+    return conductance * thickness / footprint;
+  }
+
+  /// Figure of merit Z = α²/(R·K) [1/K].
+  [[nodiscard]] double figure_of_merit() const noexcept {
+    return seebeck * seebeck / (resistance * conductance);
+  }
+
+  /// Throws std::invalid_argument if any parameter is non-physical.
+  void validate() const;
+};
+
+/// Heat absorbed per unit time at the cold side (Eq. 1 with N = 1):
+///   q̇_c = α·T_c·I − K·(T_h − T_c) − ½·R·I².
+[[nodiscard]] double cold_side_heat(const TecDeviceParams& p, double t_cold,
+                                    double t_hot, double current) noexcept;
+
+/// Heat released per unit time at the hot side (Eq. 2 with N = 1):
+///   q̇_h = α·T_h·I − K·(T_h − T_c) + ½·R·I².
+[[nodiscard]] double hot_side_heat(const TecDeviceParams& p, double t_cold,
+                                   double t_hot, double current) noexcept;
+
+/// Electrical power drawn by the device (Eq. 3 with N = 1):
+///   P = q̇_h − q̇_c = α·ΔT·I + R·I².
+[[nodiscard]] double electrical_power(const TecDeviceParams& p, double t_cold,
+                                      double t_hot, double current) noexcept;
+
+/// Coefficient of performance q̇_c / P. Returns 0 when P ≤ 0.
+[[nodiscard]] double cop(const TecDeviceParams& p, double t_cold, double t_hot,
+                         double current) noexcept;
+
+/// Current maximizing q̇_c at fixed temperatures: I_opt = α·T_c / R.
+[[nodiscard]] double max_cooling_current(const TecDeviceParams& p,
+                                         double t_cold) noexcept;
+
+/// Largest sustainable temperature difference at zero heat load:
+/// ΔT_max = ½·Z·T_c².
+[[nodiscard]] double max_delta_t(const TecDeviceParams& p,
+                                 double t_cold) noexcept;
+
+}  // namespace oftec::tec

@@ -1,0 +1,31 @@
+#include "thermal/layout.h"
+
+#include <stdexcept>
+
+namespace oftec::thermal {
+
+NodeLayout::NodeLayout(std::size_t nx, std::size_t ny)
+    : nx_(nx), ny_(ny), cells_(nx * ny) {
+  if (nx == 0 || ny == 0) {
+    throw std::invalid_argument("NodeLayout: grid dimensions must be positive");
+  }
+}
+
+std::size_t NodeLayout::node(Slab slab, std::size_t cell) const {
+  if (cell >= cells_) throw std::out_of_range("NodeLayout::node: bad cell");
+  const auto s = static_cast<std::size_t>(slab);
+  // Slabs 0..6 are contiguous; tim2 cells sit after the spreader ring and
+  // sink cells after the tim2 ring.
+  if (s <= 6) return s * cells_ + cell;
+  if (slab == Slab::kTim2) return 7 * cells_ + 1 + cell;
+  return 8 * cells_ + 2 + cell;  // kSink
+}
+
+std::size_t NodeLayout::cell_index(std::size_t ix, std::size_t iy) const {
+  if (ix >= nx_ || iy >= ny_) {
+    throw std::out_of_range("NodeLayout::cell_index");
+  }
+  return iy * nx_ + ix;
+}
+
+}  // namespace oftec::thermal

@@ -1,0 +1,74 @@
+// Node numbering for the layered thermal grid.
+//
+// Every package layer is discretized into the same nx×ny grid over the die
+// area. The TEC layer contributes three thermal sub-layers (absorb /
+// generate / reject, paper Fig. 4). Layers larger than the die (spreader,
+// TIM2, heat sink) get one additional lumped "ring" node modeling the
+// overhang.
+//
+// Node order is chosen to keep the matrix bandwidth at one grid slab:
+//   [pcb][chip][tim1][tec_abs][tec_gen][tec_rej][spreader] (cells each)
+//   [spreader_ring]
+//   [tim2 cells][tim2_ring]
+//   [sink cells][sink_ring]
+// so every edge in the network spans at most cells_per_layer + 1 indices.
+#pragma once
+
+#include <cstddef>
+
+namespace oftec::thermal {
+
+/// Thermal sub-layer identifiers, bottom to top.
+enum class Slab : std::size_t {
+  kPcb = 0,
+  kChip = 1,
+  kTim1 = 2,
+  kTecAbs = 3,  ///< TEC cold-side interface (heat absorption, Eq. 5)
+  kTecGen = 4,  ///< TEC body mid-plane (Joule generation)
+  kTecRej = 5,  ///< TEC hot-side interface (heat rejection, Eq. 6)
+  kSpreader = 6,
+  kTim2 = 7,
+  kSink = 8,
+};
+
+inline constexpr std::size_t kSlabCount = 9;
+
+/// Maps (slab, cell) and ring identifiers to flat node indices.
+class NodeLayout {
+ public:
+  NodeLayout(std::size_t nx, std::size_t ny);
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t cells_per_layer() const noexcept { return cells_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return kSlabCount * cells_ + 3;
+  }
+
+  /// Flat node index of `cell` (row-major over the grid) in `slab`.
+  [[nodiscard]] std::size_t node(Slab slab, std::size_t cell) const;
+
+  [[nodiscard]] std::size_t spreader_ring() const noexcept {
+    return 7 * cells_;
+  }
+  [[nodiscard]] std::size_t tim2_ring() const noexcept {
+    return 8 * cells_ + 1;
+  }
+  [[nodiscard]] std::size_t sink_ring() const noexcept {
+    return 9 * cells_ + 2;
+  }
+
+  /// Row-major cell index for grid coordinates.
+  [[nodiscard]] std::size_t cell_index(std::size_t ix, std::size_t iy) const;
+
+  /// Maximum |i − j| over all edges the assembler creates — the band width
+  /// the matrix needs (cells_per_layer + 1).
+  [[nodiscard]] std::size_t bandwidth() const noexcept { return cells_ + 1; }
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  std::size_t cells_;
+};
+
+}  // namespace oftec::thermal

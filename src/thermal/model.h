@@ -1,0 +1,146 @@
+// Compact thermal model of the hybrid cooling assembly (paper Sec. 4).
+//
+// Builds the electrical-dual RC network for the 7-layer package over an
+// nx×ny grid and assembles, for a given fan speed ω and TEC current I_TEC,
+// the linear system
+//
+//     M(ω, I)·T = rhs(ω, I),        M = G − A,
+//
+// where G is the conductance matrix (Eq. 18; the sink-to-ambient entries
+// depend on ω through Eq. 9) and A collects the temperature-proportional
+// power terms folded onto the left-hand side: the Taylor-linearized leakage
+// slope on chip cells (Eq. 4) and the Peltier sources ±α·I·T on the TEC
+// absorb/reject interface nodes (Eqs. 5–6). The Joule term R·I² (Eq. 7 heat
+// part) and all constant powers land in rhs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+#include "floorplan/grid_map.h"
+#include "la/banded_matrix.h"
+#include "la/vector_ops.h"
+#include "package/package_config.h"
+#include "power/leakage.h"
+#include "power/power_map.h"
+#include "tec/array.h"
+#include "thermal/layout.h"
+
+namespace oftec::thermal {
+
+/// Assembled linear system for one (ω, I, linearization) operating point.
+struct AssembledSystem {
+  la::BandedMatrix matrix;
+  la::Vector rhs;
+};
+
+class ThermalModel {
+ public:
+  /// Build the network geometry for `cfg` over `fp` with an nx×ny grid.
+  /// The floorplan must outlive the model. `coverage_override`, when given,
+  /// replaces the default deployment policy (cover all core-majority cells)
+  /// with an explicit per-cell TEC placement — the hook used by the
+  /// selective-deployment optimizer (refs. [6][7]).
+  ThermalModel(package::PackageConfig cfg, const floorplan::Floorplan& fp,
+               std::size_t nx, std::size_t ny,
+               std::optional<std::vector<bool>> coverage_override =
+                   std::nullopt);
+
+  [[nodiscard]] const NodeLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const package::PackageConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] const floorplan::GridMap& grid() const noexcept {
+    return *grid_;
+  }
+  /// TEC deployment, or nullptr when the package has no TECs.
+  [[nodiscard]] const tec::TecArray* tec_array() const noexcept {
+    return tec_array_ ? &*tec_array_ : nullptr;
+  }
+
+  /// Distribute a per-block power map onto chip grid cells [W].
+  [[nodiscard]] la::Vector distribute(const power::PowerMap& map) const;
+
+  /// Per-cell exponential leakage terms derived from a per-block model.
+  [[nodiscard]] std::vector<power::ExponentialTerm> cell_leakage(
+      const power::LeakageModel& model) const;
+
+  /// Assemble M(ω,I)·T = rhs. `cell_dynamic_power` and `cell_taylor` are
+  /// indexed by chip grid cell (size = cells_per_layer).
+  [[nodiscard]] AssembledSystem assemble(
+      double omega, double current, const la::Vector& cell_dynamic_power,
+      const std::vector<power::TaylorCoefficients>& cell_taylor) const;
+
+  /// Multi-zone generalization: an independent driving current per cell
+  /// (cells in the same electrical zone share a value; uncovered cells'
+  /// entries are ignored). The paper wires all TECs in series — one shared
+  /// I_TEC — and names finer-grained control as the natural extension.
+  [[nodiscard]] AssembledSystem assemble(
+      double omega, const la::Vector& cell_current,
+      const la::Vector& cell_dynamic_power,
+      const std::vector<power::TaylorCoefficients>& cell_taylor) const;
+
+  /// Per-node thermal capacitance [J/K] for the transient solver.
+  [[nodiscard]] const la::Vector& capacitances() const noexcept {
+    return capacitance_;
+  }
+
+  /// Extract one slab's cell temperatures from a full node vector.
+  [[nodiscard]] la::Vector slab_temperatures(const la::Vector& temperatures,
+                                             Slab slab) const;
+
+  /// Max cell temperature within a slab.
+  [[nodiscard]] double max_slab_temperature(const la::Vector& temperatures,
+                                            Slab slab) const;
+
+  /// Total TEC electrical power (Eq. 3 / Eq. 7 summed) at the given node
+  /// temperatures and current. Zero for packages without TECs.
+  [[nodiscard]] double tec_power(const la::Vector& temperatures,
+                                 double current) const;
+
+  /// Per-cell-current variant of tec_power.
+  [[nodiscard]] double tec_power(const la::Vector& temperatures,
+                                 const la::Vector& cell_current) const;
+
+  /// Exact (exponential) total leakage power at the given node temperatures.
+  [[nodiscard]] double leakage_power(
+      const la::Vector& temperatures,
+      const std::vector<power::ExponentialTerm>& cell_terms) const;
+
+  /// Heat leaving the package to ambient [W] at the given temperatures and
+  /// fan speed: Σ g_amb,i · (T_i − T_amb) over the PCB bottom and heat-sink
+  /// top couplings. At a converged steady state this equals the total power
+  /// injected (dynamic + leakage + TEC electrical) — first-law book-keeping
+  /// exposed for diagnostics and tests.
+  [[nodiscard]] double ambient_outflow(const la::Vector& temperatures,
+                                       double omega) const;
+
+ private:
+  void build_static_network();
+  void add_edge(std::size_t i, std::size_t j, double conductance);
+
+  package::PackageConfig cfg_;
+  const floorplan::Floorplan* fp_;
+  NodeLayout layout_;
+  std::unique_ptr<floorplan::GridMap> grid_;
+  std::optional<tec::TecArray> tec_array_;
+  std::vector<bool> coverage_;
+
+  /// ω- and I-independent conduction edges (i < j, conductance g).
+  struct Edge {
+    std::size_t i;
+    std::size_t j;
+    double g;
+  };
+  std::vector<Edge> edges_;
+  /// ω-independent ambient couplings (node, g): PCB bottom.
+  std::vector<std::pair<std::size_t, double>> static_ambient_;
+  /// Sink-node share of the ω-dependent g_HS&fan (node, area fraction).
+  std::vector<std::pair<std::size_t, double>> sink_ambient_share_;
+  la::Vector capacitance_;
+};
+
+}  // namespace oftec::thermal

@@ -1,0 +1,72 @@
+#include "thermal/stack_report.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "thermal/thermal_map.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace oftec::thermal {
+
+StackReport make_stack_report(const ThermalModel& model,
+                              const la::Vector& temperatures) {
+  if (temperatures.size() != model.layout().node_count()) {
+    throw std::invalid_argument("make_stack_report: arity mismatch");
+  }
+  StackReport report;
+  report.ambient = model.config().ambient;
+
+  const la::Vector chip = model.slab_temperatures(temperatures, Slab::kChip);
+  report.hottest_cell = la::argmax(chip);
+
+  for (std::size_t s = 0; s < kSlabCount; ++s) {
+    const auto slab = static_cast<Slab>(s);
+    const la::Vector cells = model.slab_temperatures(temperatures, slab);
+    SlabSummary summary;
+    summary.slab = slab;
+    summary.min = cells.front();
+    summary.max = cells.front();
+    double acc = 0.0;
+    for (const double t : cells) {
+      summary.min = std::min(summary.min, t);
+      summary.max = std::max(summary.max, t);
+      acc += t;
+    }
+    summary.mean = acc / static_cast<double>(cells.size());
+    report.slabs[s] = summary;
+    report.hottest_column[s] = cells[report.hottest_cell];
+  }
+  return report;
+}
+
+std::string format_stack_report(const StackReport& report) {
+  std::ostringstream os;
+  os << "slab       min [C]   mean [C]   max [C]   @hotspot [C]   drop [K]\n";
+  os << "-----------------------------------------------------------------\n";
+  // Print top of the stack first (sink) down to the PCB; the vertical drop
+  // column shows hotspot-column temperature steps between adjacent slabs.
+  for (std::size_t s = kSlabCount; s-- > 0;) {
+    const SlabSummary& sum = report.slabs[s];
+    const double here = report.hottest_column[s];
+    const double drop =
+        s + 1 < kSlabCount ? here - report.hottest_column[s + 1] : 0.0;
+    auto col = [](double kelvin) {
+      return util::format_double(units::kelvin_to_celsius(kelvin), 2);
+    };
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-9s %8s %10s %9s %14s %10s\n",
+                  slab_name(sum.slab).c_str(), col(sum.min).c_str(),
+                  col(sum.mean).c_str(), col(sum.max).c_str(),
+                  col(here).c_str(),
+                  s + 1 < kSlabCount ? util::format_double(drop, 2).c_str()
+                                     : "-");
+    os << line;
+  }
+  os << "ambient: "
+     << util::format_double(units::kelvin_to_celsius(report.ambient), 2)
+     << " C\n";
+  return os.str();
+}
+
+}  // namespace oftec::thermal

@@ -1,0 +1,41 @@
+// Per-layer thermal stack report.
+//
+// For a solved temperature field, summarize each slab (min / mean / max cell
+// temperature) and the vertical drop between adjacent slabs at the hottest
+// chip column — the quickest way to see where the thermal budget goes
+// (TIM1? the TEC layer? the sink-to-ambient interface?).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "la/vector_ops.h"
+#include "thermal/layout.h"
+#include "thermal/model.h"
+
+namespace oftec::thermal {
+
+struct SlabSummary {
+  Slab slab = Slab::kChip;
+  double min = 0.0;   ///< [K]
+  double mean = 0.0;  ///< [K]
+  double max = 0.0;   ///< [K]
+};
+
+struct StackReport {
+  std::array<SlabSummary, kSlabCount> slabs;
+  /// Cell index of the hottest chip cell.
+  std::size_t hottest_cell = 0;
+  /// Temperature at the hottest chip column, per slab [K].
+  std::array<double, kSlabCount> hottest_column;
+  double ambient = 0.0;  ///< [K]
+};
+
+/// Build the report from a full node-temperature vector.
+[[nodiscard]] StackReport make_stack_report(const ThermalModel& model,
+                                            const la::Vector& temperatures);
+
+/// Render the report as a fixed-width text table (temperatures in °C).
+[[nodiscard]] std::string format_stack_report(const StackReport& report);
+
+}  // namespace oftec::thermal

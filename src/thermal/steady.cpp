@@ -1,0 +1,173 @@
+#include "thermal/steady.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/banded_lu.h"
+#include "la/iterative.h"
+#include "la/sparse.h"
+
+namespace oftec::thermal {
+
+SteadySolver::SteadySolver(const ThermalModel& model,
+                           la::Vector cell_dynamic_power,
+                           std::vector<power::ExponentialTerm> cell_leakage,
+                           SteadyOptions options)
+    : model_(&model),
+      dynamic_(std::move(cell_dynamic_power)),
+      leakage_(std::move(cell_leakage)),
+      options_(options) {
+  const std::size_t cells = model.layout().cells_per_layer();
+  if (dynamic_.size() != cells || leakage_.size() != cells) {
+    throw std::invalid_argument("SteadySolver: per-cell arity mismatch");
+  }
+  for (const double p : dynamic_) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      throw std::invalid_argument("SteadySolver: bad dynamic power");
+    }
+  }
+}
+
+SteadyResult SteadySolver::runaway_result(std::size_t iterations) {
+  SteadyResult res;
+  res.runaway = true;
+  res.iterations = iterations;
+  return res;
+}
+
+SteadyResult SteadySolver::finalize(la::Vector temperatures, bool converged,
+                                    std::size_t iterations,
+                                    const la::Vector& cell_current) const {
+  SteadyResult res;
+  res.temperatures = std::move(temperatures);
+  res.converged = converged;
+  res.iterations = iterations;
+  res.chip_temperatures =
+      model_->slab_temperatures(res.temperatures, Slab::kChip);
+  res.cold_side_temperatures =
+      model_->slab_temperatures(res.temperatures, Slab::kTecAbs);
+  res.hot_side_temperatures =
+      model_->slab_temperatures(res.temperatures, Slab::kTecRej);
+  res.max_chip_temperature = la::max_element_value(res.chip_temperatures);
+  res.leakage_power = model_->leakage_power(res.temperatures, leakage_);
+  res.tec_power = model_->tec_power(res.temperatures, cell_current);
+  return res;
+}
+
+SteadyResult SteadySolver::solve(double omega, double current) const {
+  return solve_cells(
+      omega, la::Vector(model_->layout().cells_per_layer(), current));
+}
+
+SteadyResult SteadySolver::solve(double omega, double current,
+                                 const la::Vector& chip_guess) const {
+  return solve_cells(
+      omega, la::Vector(model_->layout().cells_per_layer(), current),
+      chip_guess);
+}
+
+SteadyResult SteadySolver::solve_cells(double omega,
+                                       const la::Vector& cell_current) const {
+  const la::Vector guess(model_->layout().cells_per_layer(),
+                         model_->config().ambient + 10.0);
+  return solve_cells(omega, cell_current, guess);
+}
+
+SteadyResult SteadySolver::solve_cells(double omega,
+                                       const la::Vector& cell_current,
+                                       const la::Vector& chip_guess) const {
+  const std::size_t cells = model_->layout().cells_per_layer();
+  if (chip_guess.size() != cells) {
+    throw std::invalid_argument("SteadySolver::solve: guess arity mismatch");
+  }
+
+  std::vector<power::TaylorCoefficients> taylor(cells);
+
+  auto physical = [&](const la::Vector& out) {
+    for (const double t : out) {
+      if (!std::isfinite(t) || t <= 0.0 || t > options_.runaway_temperature) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  auto solve_linear = [&](la::Vector& out) -> bool {
+    const AssembledSystem sys =
+        model_->assemble(omega, cell_current, dynamic_, taylor);
+    if (options_.prefer_iterative) {
+      la::IterativeOptions iopts;
+      iopts.tolerance = options_.iterative_tolerance;
+      iopts.max_iterations = 4 * sys.rhs.size();
+      const la::IterativeResult it =
+          la::solve_bicgstab(la::banded_to_csr(sys.matrix), sys.rhs, iopts);
+      if (it.converged && physical(it.x)) {
+        out = it.x;
+        return true;
+      }
+      // Stalled or unphysical — let the pivoted direct solver decide
+      // whether the system is genuinely runaway or just ill-conditioned.
+    }
+    try {
+      out = la::BandedLu(sys.matrix).solve(sys.rhs);
+    } catch (const std::runtime_error&) {
+      return false;  // singular: leakage slope swallowed the conduction path
+    }
+    return physical(out);
+  };
+
+  switch (options_.mode) {
+    case LeakageMode::kConstant: {
+      for (std::size_t i = 0; i < cells; ++i) {
+        taylor[i] = {0.0, leakage_[i].evaluate(model_->config().ambient),
+                     model_->config().ambient};
+      }
+      la::Vector temps;
+      if (!solve_linear(temps)) return runaway_result(1);
+      return finalize(std::move(temps), true, 1, cell_current);
+    }
+
+    case LeakageMode::kChordLinear: {
+      // The chord line p(T) = a·T + const is independent of the expansion
+      // point, so a single solve is exact for the chord model (this is why
+      // the paper's Eq. 4 "adds no computational complexity" to Eq. 14).
+      for (std::size_t i = 0; i < cells; ++i) {
+        taylor[i] = power::chord_linearize(
+            leakage_[i], model_->config().ambient, options_.chord_t_lo,
+            options_.chord_t_hi, options_.chord_samples);
+      }
+      la::Vector temps;
+      if (!solve_linear(temps)) return runaway_result(1);
+      return finalize(std::move(temps), true, 1, cell_current);
+    }
+
+    case LeakageMode::kNewtonExact: {
+      la::Vector t_ref = chip_guess;
+      la::Vector temps;
+      for (std::size_t it = 1; it <= options_.max_iterations; ++it) {
+        for (std::size_t i = 0; i < cells; ++i) {
+          taylor[i] = power::tangent_linearize(leakage_[i], t_ref[i]);
+        }
+        if (!solve_linear(temps)) return runaway_result(it);
+        const la::Vector chip = model_->slab_temperatures(temps, Slab::kChip);
+        const double diff = la::max_abs_diff(chip, t_ref);
+        t_ref = chip;
+        if (diff < options_.tolerance) {
+          return finalize(std::move(temps), true, it, cell_current);
+        }
+      }
+      // No convergence within budget: either slow drift (report best
+      // effort) or a divergent runaway climb — distinguish by magnitude.
+      const double max_chip =
+          model_->max_slab_temperature(temps, Slab::kChip);
+      if (max_chip > options_.runaway_temperature - 50.0) {
+        return runaway_result(options_.max_iterations);
+      }
+      return finalize(std::move(temps), false, options_.max_iterations,
+                      cell_current);
+    }
+  }
+  throw std::logic_error("SteadySolver::solve: unknown leakage mode");
+}
+
+}  // namespace oftec::thermal

@@ -1,0 +1,117 @@
+// Steady-state thermal solve for one (ω, I_TEC) operating point.
+//
+// With the Taylor-linearized leakage and the Peltier terms on the LHS, the
+// system is linear for a fixed linearization point; the exact exponential
+// leakage is recovered by an outer Newton loop that re-linearizes at the
+// current chip temperatures (the "iterative method" of Sec. 4, accelerated
+// by the linear term exactly as reference [13] prescribes).
+//
+// Thermal runaway — the paper's "𝒯 → ∞" dark-red region of Fig. 6(a,b) —
+// appears here as the outer loop diverging (or the modified matrix going
+// singular): the leakage slope exceeds what the cooling path can sink. The
+// result then reports runaway=true and max_chip_temperature = +inf.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "la/vector_ops.h"
+#include "power/leakage.h"
+#include "thermal/model.h"
+
+namespace oftec::thermal {
+
+/// How chip leakage enters the solve.
+enum class LeakageMode {
+  /// Paper default: chord linearization over [300 K, 390 K] (10-sample
+  /// regression, Sec. 6.1). The chord line does not depend on the operating
+  /// point, so one linear solve is exact for this model.
+  kChordLinear,
+  /// Outer Newton loop with tangent re-linearization — converges to the true
+  /// exponential-leakage solution. Library default.
+  kNewtonExact,
+  /// Leakage frozen at its ambient-temperature value (ablation only).
+  kConstant,
+};
+
+struct SteadyOptions {
+  LeakageMode mode = LeakageMode::kNewtonExact;
+  double tolerance = 1e-3;            ///< outer-loop ΔT convergence [K]
+  std::size_t max_iterations = 50;
+  /// Temperatures beyond this are declared runaway [K].
+  double runaway_temperature = 500.0;
+  /// Chord-fit sampling window and count (paper: 10 pts over [300, 390] K).
+  double chord_t_lo = 300.0;
+  double chord_t_hi = 390.0;
+  std::size_t chord_samples = 10;
+  /// Try Jacobi-preconditioned BiCGSTAB before the banded LU (≈5–10× faster
+  /// on well-conditioned systems; the direct solver remains the fallback
+  /// near runaway where the Krylov iteration stalls).
+  bool prefer_iterative = true;
+  double iterative_tolerance = 1e-9;
+};
+
+struct SteadyResult {
+  la::Vector temperatures;  ///< all nodes [K]; empty on runaway
+  bool converged = false;
+  bool runaway = false;
+  std::size_t iterations = 0;
+  double max_chip_temperature = std::numeric_limits<double>::infinity();
+  la::Vector chip_temperatures;       ///< per chip cell [K]
+  la::Vector cold_side_temperatures;  ///< TEC absorb interface [K]
+  la::Vector hot_side_temperatures;   ///< TEC reject interface [K]
+  double leakage_power = std::numeric_limits<double>::infinity();  ///< exact [W]
+  double tec_power = std::numeric_limits<double>::infinity();      ///< Eq. 3 [W]
+};
+
+/// Binds a thermal model to one workload (dynamic power + leakage terms) and
+/// solves repeatedly for different (ω, I) — the "thermal simulator" box of
+/// the paper's Fig. 5 evaluation flow.
+class SteadySolver {
+ public:
+  SteadySolver(const ThermalModel& model, la::Vector cell_dynamic_power,
+               std::vector<power::ExponentialTerm> cell_leakage,
+               SteadyOptions options = {});
+
+  [[nodiscard]] const ThermalModel& model() const noexcept { return *model_; }
+  [[nodiscard]] const SteadyOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const la::Vector& cell_dynamic_power() const noexcept {
+    return dynamic_;
+  }
+  [[nodiscard]] const std::vector<power::ExponentialTerm>& cell_leakage()
+      const noexcept {
+    return leakage_;
+  }
+
+  /// Solve at (ω [rad/s], I [A]).
+  [[nodiscard]] SteadyResult solve(double omega, double current) const;
+
+  /// Solve with a warm-start chip-temperature guess (speeds up the Newton
+  /// loop during optimizer sweeps).
+  [[nodiscard]] SteadyResult solve(double omega, double current,
+                                   const la::Vector& chip_guess) const;
+
+  /// Multi-zone variant: an independent driving current per cell (entries
+  /// for uncovered cells are ignored).
+  [[nodiscard]] SteadyResult solve_cells(double omega,
+                                         const la::Vector& cell_current) const;
+  [[nodiscard]] SteadyResult solve_cells(double omega,
+                                         const la::Vector& cell_current,
+                                         const la::Vector& chip_guess) const;
+
+ private:
+  [[nodiscard]] SteadyResult finalize(la::Vector temperatures, bool converged,
+                                      std::size_t iterations,
+                                      const la::Vector& cell_current) const;
+  [[nodiscard]] static SteadyResult runaway_result(std::size_t iterations);
+
+  const ThermalModel* model_;
+  la::Vector dynamic_;
+  std::vector<power::ExponentialTerm> leakage_;
+  SteadyOptions options_;
+};
+
+}  // namespace oftec::thermal

@@ -1,0 +1,74 @@
+#include "thermal/thermal_map.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace oftec::thermal {
+
+std::string slab_name(Slab slab) {
+  switch (slab) {
+    case Slab::kPcb: return "pcb";
+    case Slab::kChip: return "chip";
+    case Slab::kTim1: return "tim1";
+    case Slab::kTecAbs: return "tec-abs";
+    case Slab::kTecGen: return "tec-gen";
+    case Slab::kTecRej: return "tec-rej";
+    case Slab::kSpreader: return "spreader";
+    case Slab::kTim2: return "tim2";
+    case Slab::kSink: return "sink";
+  }
+  throw std::invalid_argument("slab_name: unknown slab");
+}
+
+void write_slab_csv(const ThermalModel& model, const la::Vector& temperatures,
+                    Slab slab, std::ostream& out) {
+  const la::Vector cells = model.slab_temperatures(temperatures, slab);
+  const std::size_t nx = model.layout().nx();
+  const std::size_t ny = model.layout().ny();
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      if (ix != 0) out << ',';
+      out << util::format_double(cells[model.layout().cell_index(ix, iy)], 4);
+    }
+    out << '\n';
+  }
+}
+
+std::string render_slab_ascii(const ThermalModel& model,
+                              const la::Vector& temperatures, Slab slab) {
+  const la::Vector cells = model.slab_temperatures(temperatures, slab);
+  const std::size_t nx = model.layout().nx();
+  const std::size_t ny = model.layout().ny();
+
+  double lo = cells.front(), hi = cells.front();
+  for (const double t : cells) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+
+  static const char ramp[] = " .:-=+*%@#";
+  const double span = hi - lo;
+
+  std::ostringstream os;
+  os << slab_name(slab) << " temperature ["
+     << util::format_double(units::kelvin_to_celsius(lo), 2) << " C = ' ', "
+     << util::format_double(units::kelvin_to_celsius(hi), 2) << " C = '#']\n";
+  // Top row of the die first (matches how floorplans are usually drawn).
+  for (std::size_t iy = ny; iy-- > 0;) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double t = cells[model.layout().cell_index(ix, iy)];
+      const double norm = span > 0.0 ? (t - lo) / span : 0.0;
+      const auto idx = static_cast<std::size_t>(norm * 9.0);
+      os << ramp[std::min<std::size_t>(idx, 9)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace oftec::thermal

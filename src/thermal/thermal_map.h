@@ -1,0 +1,33 @@
+// Temperature-field rendering: CSV and ASCII heat maps of a slab.
+//
+// Debugging a thermal controller without seeing the field is miserable;
+// these helpers dump any slab of a solved temperature vector as a grid CSV
+// (for external plotting) or a quick ASCII shade map (for terminals and
+// logs). Used by the examples and handy in tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "la/vector_ops.h"
+#include "thermal/layout.h"
+#include "thermal/model.h"
+
+namespace oftec::thermal {
+
+/// Write one slab's cell temperatures as an ny-row × nx-column CSV grid
+/// (row 0 = bottom of the die, values in kelvin).
+void write_slab_csv(const ThermalModel& model, const la::Vector& temperatures,
+                    Slab slab, std::ostream& out);
+
+/// Render one slab as an ASCII shade map, one character per cell, darker =
+/// hotter, scaled between the slab's min and max. Includes a legend line
+/// with the extremes in °C.
+[[nodiscard]] std::string render_slab_ascii(const ThermalModel& model,
+                                            const la::Vector& temperatures,
+                                            Slab slab);
+
+/// Human-readable slab name ("chip", "tec-abs", ...).
+[[nodiscard]] std::string slab_name(Slab slab);
+
+}  // namespace oftec::thermal

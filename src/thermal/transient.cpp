@@ -1,0 +1,121 @@
+#include "thermal/transient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/banded_lu.h"
+
+namespace oftec::thermal {
+
+TransientSolver::TransientSolver(const ThermalModel& model,
+                                 la::Vector cell_dynamic_power,
+                                 std::vector<power::ExponentialTerm> cell_leakage,
+                                 TransientOptions options)
+    : model_(&model),
+      dynamic_(std::move(cell_dynamic_power)),
+      leakage_(std::move(cell_leakage)),
+      options_(options) {
+  const std::size_t cells = model.layout().cells_per_layer();
+  if (dynamic_.size() != cells || leakage_.size() != cells) {
+    throw std::invalid_argument("TransientSolver: per-cell arity mismatch");
+  }
+  if (options_.time_step <= 0.0 || options_.duration <= 0.0) {
+    throw std::invalid_argument("TransientSolver: bad time parameters");
+  }
+  if (options_.record_stride == 0) {
+    throw std::invalid_argument("TransientSolver: record_stride must be >= 1");
+  }
+}
+
+la::Vector TransientSolver::ambient_state() const {
+  return la::Vector(model_->layout().node_count(), model_->config().ambient);
+}
+
+TransientResult TransientSolver::run(
+    const ControlSchedule& control,
+    const la::Vector& initial_temperatures) const {
+  return run_closed_loop(
+      [&control](double time, double) { return control(time); },
+      initial_temperatures);
+}
+
+TransientResult TransientSolver::run_closed_loop(
+    const FeedbackControl& control,
+    const la::Vector& initial_temperatures) const {
+  const std::size_t n = model_->layout().node_count();
+  const std::size_t cells = model_->layout().cells_per_layer();
+  if (initial_temperatures.size() != n) {
+    throw std::invalid_argument("TransientSolver::run: state arity mismatch");
+  }
+
+  const la::Vector& cap = model_->capacitances();
+  const double dt = options_.time_step;
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(options_.duration / dt));
+
+  TransientResult result;
+  la::Vector temps = initial_temperatures;
+  std::vector<power::TaylorCoefficients> taylor(cells);
+
+  auto record = [&](double time, double omega, double current) {
+    TransientSample s;
+    s.time = time;
+    s.max_chip_temperature =
+        model_->max_slab_temperature(temps, Slab::kChip);
+    s.tec_power = model_->tec_power(temps, current);
+    s.fan_power = model_->config().fan.power(omega);
+    s.leakage_power = model_->leakage_power(temps, leakage_);
+    result.samples.push_back(s);
+  };
+
+  {
+    const ControlSetting initial = control(
+        0.0, model_->max_slab_temperature(temps, Slab::kChip));
+    record(0.0, initial.omega, initial.current);
+  }
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double time = static_cast<double>(step) * dt;
+    // Tangent-linearize leakage at the current chip temperatures.
+    const la::Vector chip = model_->slab_temperatures(temps, Slab::kChip);
+    const ControlSetting setting =
+        control(time, la::max_element_value(chip));
+    for (std::size_t i = 0; i < cells; ++i) {
+      taylor[i] = power::tangent_linearize(leakage_[i], chip[i]);
+    }
+
+    AssembledSystem sys =
+        model_->assemble(setting.omega, setting.current, dynamic_, taylor);
+    // Backward Euler: (C/dt + M)·T_next = C/dt·T_now + rhs.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c_dt = cap[i] / dt;
+      sys.matrix.add(i, i, c_dt);
+      sys.rhs[i] += c_dt * temps[i];
+    }
+
+    try {
+      temps = la::BandedLu(sys.matrix).solve(sys.rhs);
+    } catch (const std::runtime_error&) {
+      result.runaway = true;
+      result.steps = step;
+      return result;
+    }
+    for (const double t : temps) {
+      if (!std::isfinite(t) || t > options_.runaway_temperature) {
+        result.runaway = true;
+        result.steps = step;
+        return result;
+      }
+    }
+
+    if ((step + 1) % options_.record_stride == 0 || step + 1 == steps) {
+      record(time + dt, setting.omega, setting.current);
+    }
+  }
+
+  result.final_temperatures = std::move(temps);
+  result.steps = steps;
+  return result;
+}
+
+}  // namespace oftec::thermal

@@ -1,0 +1,86 @@
+// Transient thermal simulation (backward Euler on the RC network).
+//
+// Used for the paper's Sec. 6.2 extension experiments: the Peltier effect
+// responds instantly to a current step while Joule heat accumulates with the
+// package RC delay, so briefly over-driving I_TEC above its steady-state
+// optimum buys extra transient cooling (Ref. [8] suggests ≈ +1 A for ≈ 1 s).
+// The solver integrates C·dT/dt = −M(ω,I)·T + rhs(ω,I) with the leakage
+// tangent re-linearized every step (semi-implicit in the exponential).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "la/vector_ops.h"
+#include "power/leakage.h"
+#include "thermal/model.h"
+
+namespace oftec::thermal {
+
+/// Fan speed / TEC current applied at a time instant.
+struct ControlSetting {
+  double omega = 0.0;    ///< [rad/s]
+  double current = 0.0;  ///< [A]
+};
+
+/// Control schedule: maps simulation time [s] to a setting.
+using ControlSchedule = std::function<ControlSetting(double time)>;
+
+/// Closed-loop controller: sees the current maximum chip temperature (the
+/// on-die sensor reading) in addition to time. Used by the reactive
+/// threshold/hysteresis controllers of Alexandrov et al. (paper ref. [5]).
+using FeedbackControl =
+    std::function<ControlSetting(double time, double max_chip_temperature)>;
+
+struct TransientOptions {
+  double time_step = 1e-3;   ///< [s]
+  double duration = 1.0;     ///< [s]
+  /// Record a sample every `record_stride` steps (1 = every step).
+  std::size_t record_stride = 1;
+  double runaway_temperature = 500.0;  ///< [K]
+};
+
+struct TransientSample {
+  double time = 0.0;
+  double max_chip_temperature = 0.0;
+  double tec_power = 0.0;
+  double fan_power = 0.0;
+  double leakage_power = 0.0;
+};
+
+struct TransientResult {
+  std::vector<TransientSample> samples;
+  la::Vector final_temperatures;  ///< empty if runaway
+  bool runaway = false;
+  std::size_t steps = 0;
+};
+
+class TransientSolver {
+ public:
+  TransientSolver(const ThermalModel& model, la::Vector cell_dynamic_power,
+                  std::vector<power::ExponentialTerm> cell_leakage,
+                  TransientOptions options = {});
+
+  /// Integrate from `initial_temperatures` (all nodes; pass the ambient
+  /// vector or a steady solution) under the given control schedule.
+  [[nodiscard]] TransientResult run(const ControlSchedule& control,
+                                    const la::Vector& initial_temperatures) const;
+
+  /// Closed-loop variant: the controller is consulted every step with the
+  /// current max chip temperature.
+  [[nodiscard]] TransientResult run_closed_loop(
+      const FeedbackControl& control,
+      const la::Vector& initial_temperatures) const;
+
+  /// All-nodes-at-ambient initial condition.
+  [[nodiscard]] la::Vector ambient_state() const;
+
+ private:
+  const ThermalModel* model_;
+  la::Vector dynamic_;
+  std::vector<power::ExponentialTerm> leakage_;
+  TransientOptions options_;
+};
+
+}  // namespace oftec::thermal

@@ -1,0 +1,68 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace oftec::util {
+
+namespace {
+
+[[nodiscard]] std::string escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::set_header(std::vector<std::string> columns) {
+  if (!rows_.empty()) {
+    throw std::logic_error("CsvWriter: header must be set before rows");
+  }
+  header_ = std::move(columns);
+}
+
+void CsvWriter::add_row(std::vector<std::string> fields) {
+  if (!header_.empty() && fields.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  }
+  rows_.push_back(std::move(fields));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values,
+                                int decimals) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format_double(v, decimals));
+  add_row(std::move(fields));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace oftec::util

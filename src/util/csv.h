@@ -1,0 +1,43 @@
+// CSV emission for benchmark harnesses.
+//
+// Every bench binary that regenerates a paper figure writes its series both to
+// stdout (human table) and, optionally, to a CSV file so the figure can be
+// re-plotted externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oftec::util {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (fields containing commas or
+/// quotes are quoted).
+class CsvWriter {
+ public:
+  /// Set the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> columns);
+
+  /// Append a data row; must match the header arity.
+  void add_row(std::vector<std::string> fields);
+
+  /// Convenience: append a row of doubles formatted with `decimals` digits.
+  void add_numeric_row(const std::vector<double>& values, int decimals = 6);
+
+  /// Serialize everything to `os`.
+  void write(std::ostream& os) const;
+
+  /// Serialize to a file; returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return header_.size();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oftec::util

@@ -1,0 +1,42 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace oftec::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+[[nodiscard]] const char* tag(Level lvl) noexcept {
+  switch (lvl) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+bool enabled(Level lvl) noexcept {
+  return static_cast<int>(lvl) >= static_cast<int>(level());
+}
+
+void write(Level lvl, std::string_view msg) {
+  if (!enabled(lvl)) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[oftec %s] %.*s\n", tag(lvl),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace oftec::log

@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (Level::kWarn). Benchmarks and examples
+// raise the level to kInfo/kDebug to narrate what they are doing. Logging is
+// process-global and not synchronized across threads beyond a per-call lock;
+// the OFTEC pipeline itself is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace oftec::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum severity that is emitted.
+void set_level(Level level) noexcept;
+
+/// Current global minimum severity.
+[[nodiscard]] Level level() noexcept;
+
+/// True if a message at `lvl` would be emitted.
+[[nodiscard]] bool enabled(Level lvl) noexcept;
+
+/// Emit one message (appends a newline). Thread-safe.
+void write(Level lvl, std::string_view msg);
+
+namespace detail {
+
+template <typename... Args>
+void emit(Level lvl, const Args&... args) {
+  if (!enabled(lvl)) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void debug(const Args&... args) {
+  detail::emit(Level::kDebug, args...);
+}
+
+template <typename... Args>
+void info(const Args&... args) {
+  detail::emit(Level::kInfo, args...);
+}
+
+template <typename... Args>
+void warn(const Args&... args) {
+  detail::emit(Level::kWarn, args...);
+}
+
+template <typename... Args>
+void error(const Args&... args) {
+  detail::emit(Level::kError, args...);
+}
+
+}  // namespace oftec::log

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Workload synthesis must be reproducible run-to-run and platform-to-platform,
+// so the library carries its own small generator instead of relying on
+// implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace oftec::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// seeded via splitmix64 so any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed. The same seed always produces the same
+  /// sequence.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal deviate (Box–Muller; one value per call, spare cached).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace oftec::util

@@ -1,0 +1,16 @@
+#include "util/stopwatch.h"
+
+namespace oftec::util {
+
+Stopwatch::Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::elapsed_ms() const noexcept {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start_).count();
+}
+
+double Stopwatch::elapsed_s() const noexcept { return elapsed_ms() / 1e3; }
+
+}  // namespace oftec::util

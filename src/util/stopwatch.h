@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used for the Table 2 runtime column.
+#pragma once
+
+#include <chrono>
+
+namespace oftec::util {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept;
+
+  /// Restart timing from now.
+  void reset() noexcept;
+
+  /// Elapsed time since construction/reset, in milliseconds.
+  [[nodiscard]] double elapsed_ms() const noexcept;
+
+  /// Elapsed time since construction/reset, in seconds.
+  [[nodiscard]] double elapsed_s() const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace oftec::util

@@ -1,0 +1,53 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace oftec::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(begin));
+      return out;
+    }
+    out.emplace_back(text.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t first = 0;
+  while (first < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[first]))) {
+    ++first;
+  }
+  std::size_t last = text.size();
+  while (last > first &&
+         std::isspace(static_cast<unsigned char>(text[last - 1]))) {
+    --last;
+  }
+  return text.substr(first, last - first);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace oftec::util

@@ -1,0 +1,26 @@
+// Small string helpers shared by CSV/table formatting and config parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oftec::util {
+
+/// Split `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// printf-style double formatting with a fixed number of decimals.
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+}  // namespace oftec::util

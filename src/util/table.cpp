@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace oftec::util {
+
+void Table::set_header(std::vector<std::string> columns,
+                       std::vector<Align> aligns) {
+  if (!rows_.empty()) {
+    throw std::logic_error("Table: header must be set before rows");
+  }
+  if (!aligns.empty() && aligns.size() != columns.size()) {
+    throw std::invalid_argument("Table: aligns arity mismatch");
+  }
+  header_ = std::move(columns);
+  if (aligns.empty()) {
+    // Default: first column left (labels), the rest right (numbers).
+    aligns_.assign(header_.size(), Align::kRight);
+    if (!aligns_.empty()) aligns_.front() = Align::kLeft;
+  } else {
+    aligns_ = std::move(aligns);
+  }
+}
+
+void Table::add_row(std::vector<std::string> fields) {
+  if (fields.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(fields));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << "  ";
+      const std::size_t pad = widths[i] - row[i].size();
+      if (aligns_[i] == Align::kRight) os << std::string(pad, ' ');
+      os << row[i];
+      if (aligns_[i] == Align::kLeft) os << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  total += header_.empty() ? 0 : 2 * (header_.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace oftec::util

@@ -1,0 +1,39 @@
+// Fixed-width ASCII table formatter for bench/example console output.
+//
+// Produces tables in the same row/column layout as the paper's Table 2 and the
+// per-benchmark series of Figure 6 so a reader can compare shapes at a glance.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oftec::util {
+
+/// Column alignment inside a Table.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with padded columns and an
+/// underlined header.
+class Table {
+ public:
+  /// Define the columns. Must be called before add_row.
+  void set_header(std::vector<std::string> columns,
+                  std::vector<Align> aligns = {});
+
+  /// Append a row; arity must match the header.
+  void add_row(std::vector<std::string> fields);
+
+  /// Render to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render to a string.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oftec::util

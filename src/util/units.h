@@ -1,0 +1,48 @@
+// Units and physical constants used across the OFTEC library.
+//
+// Convention: all internal computation is in SI units —
+//   temperature  : kelvin (K)
+//   power        : watt (W)
+//   current      : ampere (A)
+//   angular speed: radian per second (rad/s)
+//   length       : meter (m)
+// RPM and degrees Celsius appear only at I/O boundaries (configs, reports).
+#pragma once
+
+#include <numbers>
+
+namespace oftec::units {
+
+/// Absolute zero offset between Celsius and Kelvin scales.
+inline constexpr double kCelsiusOffset = 273.15;
+
+/// Convert a temperature in degrees Celsius to kelvin.
+[[nodiscard]] constexpr double celsius_to_kelvin(double c) noexcept {
+  return c + kCelsiusOffset;
+}
+
+/// Convert a temperature in kelvin to degrees Celsius.
+[[nodiscard]] constexpr double kelvin_to_celsius(double k) noexcept {
+  return k - kCelsiusOffset;
+}
+
+/// Convert a rotational speed in revolutions per minute to rad/s.
+[[nodiscard]] constexpr double rpm_to_rad_s(double rpm) noexcept {
+  return rpm * 2.0 * std::numbers::pi / 60.0;
+}
+
+/// Convert a rotational speed in rad/s to revolutions per minute.
+[[nodiscard]] constexpr double rad_s_to_rpm(double rad_s) noexcept {
+  return rad_s * 60.0 / (2.0 * std::numbers::pi);
+}
+
+/// Convert millimeters to meters.
+[[nodiscard]] constexpr double mm(double v) noexcept { return v * 1e-3; }
+
+/// Convert micrometers to meters.
+[[nodiscard]] constexpr double um(double v) noexcept { return v * 1e-6; }
+
+/// Convert a length in meters to millimeters.
+[[nodiscard]] constexpr double m_to_mm(double v) noexcept { return v * 1e3; }
+
+}  // namespace oftec::units

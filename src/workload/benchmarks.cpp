@@ -1,0 +1,202 @@
+#include "workload/benchmarks.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace oftec::workload {
+
+const std::array<Benchmark, kBenchmarkCount>& all_benchmarks() {
+  static const std::array<Benchmark, kBenchmarkCount> order = {
+      Benchmark::kBasicmath, Benchmark::kBitCount,     Benchmark::kCrc32,
+      Benchmark::kDijkstra,  Benchmark::kFft,          Benchmark::kQuicksort,
+      Benchmark::kStringsearch, Benchmark::kSusan,
+  };
+  return order;
+}
+
+std::string benchmark_name(Benchmark b) {
+  switch (b) {
+    case Benchmark::kBasicmath: return "Basicmath";
+    case Benchmark::kBitCount: return "BitCount";
+    case Benchmark::kCrc32: return "CRC32";
+    case Benchmark::kDijkstra: return "Dijkstra";
+    case Benchmark::kFft: return "FFT";
+    case Benchmark::kQuicksort: return "Quicksort";
+    case Benchmark::kStringsearch: return "Stringsearch";
+    case Benchmark::kSusan: return "Susan";
+  }
+  throw std::invalid_argument("benchmark_name: unknown benchmark");
+}
+
+std::optional<Benchmark> benchmark_by_name(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  for (const Benchmark b : all_benchmarks()) {
+    if (util::to_lower(benchmark_name(b)) == lower) return b;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Baseline distribution of dynamic power over the EV6 units for a generic
+/// integer workload; each profile below perturbs it toward its character.
+std::vector<UnitWeight> generic_weights() {
+  return {
+      {"L2", 0.120},     {"L2_left", 0.020}, {"L2_right", 0.020},
+      {"Icache", 0.090}, {"Dcache", 0.100},  {"Bpred", 0.040},
+      {"ITB", 0.020},    {"DTB", 0.025},     {"LdStQ", 0.070},
+      {"IntMap", 0.040}, {"IntQ", 0.045},    {"IntReg", 0.115},
+      {"IntExec", 0.150},{"FPMap", 0.010},   {"FPQ", 0.015},
+      {"FPReg", 0.030},  {"FPAdd", 0.040},   {"FPMul", 0.050},
+  };
+}
+
+void bump(std::vector<UnitWeight>& weights, const char* unit, double delta) {
+  for (UnitWeight& w : weights) {
+    if (std::string_view(w.unit) == unit) {
+      w.weight += delta;
+      return;
+    }
+  }
+  throw std::logic_error("bump: unknown unit");
+}
+
+BenchmarkProfile make_profile(Benchmark id, double peak_total,
+                              std::vector<UnitWeight> weights,
+                              std::size_t phases, double depth,
+                              double noise) {
+  BenchmarkProfile p;
+  p.id = id;
+  p.name = benchmark_name(id);
+  p.peak_total_power = peak_total;
+  p.weights = std::move(weights);
+  p.phase_count = phases;
+  p.phase_depth = depth;
+  p.noise_sigma = noise;
+  return p;
+}
+
+std::vector<BenchmarkProfile> build_profiles() {
+  std::vector<BenchmarkProfile> out;
+
+  // Mixed int/FP math kernels; moderate total → fan-only feasible.
+  {
+    auto w = generic_weights();
+    bump(w, "FPAdd", 0.030);
+    bump(w, "FPMul", 0.030);
+    bump(w, "FPReg", 0.015);
+    bump(w, "IntExec", -0.020);
+    out.push_back(make_profile(Benchmark::kBasicmath, 31.0, std::move(w), 4,
+                               0.20, 0.04));
+  }
+  // Tight integer loop hammering the ALUs → hottest integer cluster.
+  {
+    auto w = generic_weights();
+    bump(w, "IntExec", 0.070);
+    bump(w, "IntReg", 0.035);
+    bump(w, "Bpred", 0.020);
+    bump(w, "L2", -0.050);
+    bump(w, "Dcache", -0.030);
+    out.push_back(make_profile(Benchmark::kBitCount, 43.5, std::move(w), 2,
+                               0.10, 0.03));
+  }
+  // Byte-stream checksum: memory streaming, lightest total.
+  {
+    auto w = generic_weights();
+    bump(w, "Dcache", 0.040);
+    bump(w, "LdStQ", 0.030);
+    bump(w, "IntExec", -0.050);
+    bump(w, "IntReg", -0.020);
+    out.push_back(make_profile(Benchmark::kCrc32, 28.0, std::move(w), 2, 0.08,
+                               0.03));
+  }
+  // Graph search: pointer chasing — load/store and address-generation units
+  // run hot while the FP cluster idles.
+  {
+    auto w = generic_weights();
+    bump(w, "L2", 0.020);
+    bump(w, "Dcache", 0.010);
+    bump(w, "LdStQ", 0.050);
+    bump(w, "DTB", 0.015);
+    bump(w, "IntQ", 0.015);
+    bump(w, "FPMul", -0.030);
+    bump(w, "FPAdd", -0.020);
+    out.push_back(make_profile(Benchmark::kDijkstra, 42.0, std::move(w), 5,
+                               0.30, 0.05));
+  }
+  // Floating-point transform: FP cluster dominates.
+  {
+    auto w = generic_weights();
+    bump(w, "FPMul", 0.070);
+    bump(w, "FPAdd", 0.060);
+    bump(w, "FPReg", 0.030);
+    bump(w, "FPQ", 0.010);
+    bump(w, "IntExec", -0.060);
+    bump(w, "IntReg", -0.030);
+    out.push_back(make_profile(Benchmark::kFft, 40.0, std::move(w), 3, 0.25,
+                               0.05));
+  }
+  // Sort: heaviest — branches, integer datapath, load/store queue.
+  {
+    auto w = generic_weights();
+    bump(w, "IntExec", 0.040);
+    bump(w, "IntReg", 0.025);
+    bump(w, "LdStQ", 0.020);
+    bump(w, "Bpred", 0.030);
+    bump(w, "FPMul", -0.030);
+    out.push_back(make_profile(Benchmark::kQuicksort, 44.5, std::move(w), 4,
+                               0.30, 0.06));
+  }
+  // Text search: light integer workload with branches.
+  {
+    auto w = generic_weights();
+    bump(w, "Bpred", 0.020);
+    bump(w, "Icache", 0.020);
+    bump(w, "FPMul", -0.030);
+    bump(w, "FPAdd", -0.010);
+    out.push_back(make_profile(Benchmark::kStringsearch, 32.0, std::move(w), 3,
+                               0.15, 0.04));
+  }
+  // Image recognition: mixed int/FP, datapath-heavy.
+  {
+    auto w = generic_weights();
+    bump(w, "IntExec", 0.035);
+    bump(w, "FPMul", 0.030);
+    bump(w, "FPAdd", 0.020);
+    bump(w, "IntQ", 0.015);
+    bump(w, "L2", -0.030);
+    out.push_back(make_profile(Benchmark::kSusan, 43.0, std::move(w), 6, 0.35,
+                               0.06));
+  }
+  return out;
+}
+
+}  // namespace
+
+const BenchmarkProfile& profile_for(Benchmark b) {
+  static const std::vector<BenchmarkProfile> profiles = build_profiles();
+  for (const BenchmarkProfile& p : profiles) {
+    if (p.id == b) return p;
+  }
+  throw std::invalid_argument("profile_for: unknown benchmark");
+}
+
+power::PowerMap peak_power_map(const BenchmarkProfile& profile,
+                               const floorplan::Floorplan& fp) {
+  double weight_sum = 0.0;
+  for (const UnitWeight& w : profile.weights) {
+    if (w.weight <= 0.0) {
+      throw std::invalid_argument("peak_power_map: non-positive weight for " +
+                                  std::string(w.unit));
+    }
+    weight_sum += w.weight;
+  }
+  power::PowerMap map(fp);
+  for (const UnitWeight& w : profile.weights) {
+    map.set(w.unit, profile.peak_total_power * w.weight / weight_sum);
+  }
+  return map;
+}
+
+}  // namespace oftec::workload

@@ -1,0 +1,78 @@
+// MiBench benchmark power profiles (PTscalar substitute).
+//
+// The paper drives OFTEC with the per-functional-unit *maximum dynamic
+// power* extracted from PTscalar traces of eight MiBench programs on an
+// Alpha 21264 (Sec. 6.1, Fig. 5). Neither PTscalar nor the authors' traces
+// are available, so each benchmark here carries a characteristic per-unit
+// power distribution (integer-heavy, FP-heavy, memory-bound, …) and a peak
+// total calibrated so the *decision structure* of the paper's evaluation is
+// reproduced: Basicmath, CRC32 and Stringsearch are coolable by a fan alone,
+// the other five are not (Fig. 6c/e); peak ordering follows Table 2's I*.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+#include "power/power_map.h"
+
+namespace oftec::workload {
+
+/// The eight MiBench programs of Table 2 (paper's spelling kept for
+/// "Djkstra" / "Baiscmath" is normalized).
+enum class Benchmark {
+  kBasicmath,
+  kBitCount,
+  kCrc32,
+  kDijkstra,
+  kFft,
+  kQuicksort,
+  kStringsearch,
+  kSusan,
+};
+
+inline constexpr std::size_t kBenchmarkCount = 8;
+
+/// All benchmarks in Table 2 order.
+[[nodiscard]] const std::array<Benchmark, kBenchmarkCount>& all_benchmarks();
+
+/// Display name (Table 2 row label).
+[[nodiscard]] std::string benchmark_name(Benchmark b);
+
+/// Case-insensitive reverse lookup; std::nullopt for unknown names.
+[[nodiscard]] std::optional<Benchmark> benchmark_by_name(
+    std::string_view name);
+
+/// One (unit-name, relative-weight) entry of a power distribution.
+struct UnitWeight {
+  const char* unit;
+  double weight;
+};
+
+/// Static description of a benchmark's power behaviour.
+struct BenchmarkProfile {
+  Benchmark id = Benchmark::kBasicmath;
+  std::string name;
+  /// Peak total dynamic power [W] over the trace.
+  double peak_total_power = 0.0;
+  /// Per-unit relative weights (normalized internally).
+  std::vector<UnitWeight> weights;
+  /// Trace shape parameters consumed by TraceGenerator.
+  std::size_t phase_count = 3;       ///< program phases
+  double phase_depth = 0.25;         ///< fractional power swing between phases
+  double noise_sigma = 0.04;         ///< per-sample multiplicative noise
+};
+
+/// Profile for one benchmark.
+[[nodiscard]] const BenchmarkProfile& profile_for(Benchmark b);
+
+/// The per-unit peak dynamic power map — the exact input OFTEC receives in
+/// the paper's flow ("the maximum power consumption for each element ... is
+/// selected to be passed to OFTEC").
+[[nodiscard]] power::PowerMap peak_power_map(const BenchmarkProfile& profile,
+                                             const floorplan::Floorplan& fp);
+
+}  // namespace oftec::workload

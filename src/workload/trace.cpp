@@ -1,0 +1,115 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace oftec::workload {
+
+PowerTrace generate_trace(const BenchmarkProfile& profile,
+                          const floorplan::Floorplan& fp,
+                          const TraceOptions& options) {
+  if (options.sample_count == 0 || options.sample_interval <= 0.0) {
+    throw std::invalid_argument("generate_trace: bad options");
+  }
+  const power::PowerMap peak = peak_power_map(profile, fp);
+  util::Rng rng(options.seed ^
+                (static_cast<std::uint64_t>(profile.id) * 0x9E3779B9ULL));
+
+  // Random per-phase activity levels in [1 − depth, 1], with at least one
+  // full-power phase so the envelope reaches the peak map.
+  const std::size_t phases = std::max<std::size_t>(1, profile.phase_count);
+  std::vector<double> phase_level(phases);
+  for (double& level : phase_level) {
+    level = 1.0 - profile.phase_depth * rng.uniform();
+  }
+  const std::size_t full_power_phase = rng.uniform_index(phases);
+  phase_level[full_power_phase] = 1.0;
+
+  // Per-phase *character*: program phases do not scale all units equally —
+  // an integer-bound stretch parks the FP cluster and vice versa. Each
+  // phase draws an emphasis factor per unit class (never above 1, so the
+  // peak map stays the trace envelope); the full-power phase keeps every
+  // class at 1 so the envelope is reached.
+  enum class UnitClass { kInt, kFp, kOther };
+  auto classify = [](std::string_view name) {
+    if (name.rfind("FP", 0) == 0) return UnitClass::kFp;
+    if (name.rfind("Int", 0) == 0 || name == "LdStQ" || name == "DTB") {
+      return UnitClass::kInt;
+    }
+    return UnitClass::kOther;
+  };
+  std::vector<std::array<double, 3>> phase_emphasis(phases);
+  for (std::size_t p = 0; p < phases; ++p) {
+    if (p == full_power_phase) {
+      phase_emphasis[p] = {1.0, 1.0, 1.0};
+      continue;
+    }
+    phase_emphasis[p] = {1.0 - profile.phase_depth * rng.uniform(),
+                         1.0 - profile.phase_depth * rng.uniform(),
+                         1.0};
+  }
+
+  const std::size_t samples_per_phase =
+      std::max<std::size_t>(1, options.sample_count / phases);
+
+  PowerTrace trace;
+  trace.sample_interval = options.sample_interval;
+  trace.samples.reserve(options.sample_count);
+
+  for (std::size_t s = 0; s < options.sample_count; ++s) {
+    const std::size_t phase = std::min(phases - 1, s / samples_per_phase);
+    power::PowerMap sample(fp);
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      const double emphasis =
+          phase_emphasis[phase][static_cast<std::size_t>(
+              classify(fp.blocks()[b].name))];
+      // Multiplicative noise, clamped so a sample never exceeds the peak
+      // (the peak map is by definition the trace maximum).
+      const double noise =
+          std::clamp(1.0 + rng.normal(0.0, profile.noise_sigma), 0.0, 1.0);
+      sample.set(b, peak.get(b) * phase_level[phase] * emphasis * noise);
+    }
+    trace.samples.push_back(std::move(sample));
+  }
+
+  // Guarantee the documented invariant max_power_map(trace) == peak: pin one
+  // sample inside the full-power phase to the exact peak map.
+  const std::size_t pin = std::min(options.sample_count - 1,
+                                   full_power_phase * samples_per_phase);
+  trace.samples[pin] = peak;
+
+  return trace;
+}
+
+power::PowerMap max_power_map(const PowerTrace& trace,
+                              const floorplan::Floorplan& fp) {
+  if (trace.samples.empty()) {
+    throw std::invalid_argument("max_power_map: empty trace");
+  }
+  power::PowerMap out(fp);
+  for (const power::PowerMap& sample : trace.samples) {
+    out.max_with(sample);
+  }
+  return out;
+}
+
+power::PowerMap mean_power_map(const PowerTrace& trace,
+                               const floorplan::Floorplan& fp) {
+  if (trace.samples.empty()) {
+    throw std::invalid_argument("mean_power_map: empty trace");
+  }
+  power::PowerMap out(fp);
+  for (const power::PowerMap& sample : trace.samples) {
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      out.set(b, out.get(b) + sample.get(b));
+    }
+  }
+  out.scale(1.0 / static_cast<double>(trace.samples.size()));
+  return out;
+}
+
+}  // namespace oftec::workload

@@ -1,0 +1,51 @@
+// Dynamic-power trace synthesis (the PTscalar box of the paper's Fig. 5).
+//
+// A trace is a time series of per-unit power maps. The generator produces a
+// phase-structured, noisy trace whose per-unit envelope reaches the profile's
+// peak map — so `max_power_map(trace)` recovers (up to sampling noise) the
+// vector the paper passes to OFTEC. Traces are deterministic per
+// (benchmark, seed) via the library's own RNG.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+#include "power/power_map.h"
+#include "workload/benchmarks.h"
+
+namespace oftec::workload {
+
+/// One trace: equally spaced samples of per-unit dynamic power.
+struct PowerTrace {
+  double sample_interval = 0.0;        ///< [s]
+  std::vector<power::PowerMap> samples;
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples.size(); }
+  [[nodiscard]] double duration() const noexcept {
+    return sample_interval * static_cast<double>(samples.size());
+  }
+};
+
+struct TraceOptions {
+  std::size_t sample_count = 200;
+  double sample_interval = 0.01;  ///< [s]
+  std::uint64_t seed = 42;
+};
+
+/// Synthesize a trace for `profile`: program phases modulate total power
+/// between (1 − depth) and 1.0 of peak; per-sample multiplicative noise is
+/// applied per unit; every unit touches its peak at least once.
+[[nodiscard]] PowerTrace generate_trace(const BenchmarkProfile& profile,
+                                        const floorplan::Floorplan& fp,
+                                        const TraceOptions& options = {});
+
+/// Per-unit maximum over the trace (Sec. 6.1 reduction).
+[[nodiscard]] power::PowerMap max_power_map(const PowerTrace& trace,
+                                            const floorplan::Floorplan& fp);
+
+/// Per-unit mean over the trace.
+[[nodiscard]] power::PowerMap mean_power_map(const PowerTrace& trace,
+                                             const floorplan::Floorplan& fp);
+
+}  // namespace oftec::workload

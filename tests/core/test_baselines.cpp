@@ -1,0 +1,94 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_fixtures.h"
+#include "util/units.h"
+
+namespace oftec::core {
+namespace {
+
+using testing::make_system;
+
+TEST(Baselines, VariableFanRequiresNoTecSystem) {
+  const CoolingSystem hybrid = make_system(workload::Benchmark::kBasicmath);
+  EXPECT_THROW((void)run_variable_fan_baseline(hybrid), std::invalid_argument);
+}
+
+TEST(Baselines, FixedFanRequiresNoTecSystem) {
+  const CoolingSystem hybrid = make_system(workload::Benchmark::kBasicmath);
+  EXPECT_THROW((void)run_fixed_fan_baseline(hybrid, 200.0),
+               std::invalid_argument);
+}
+
+TEST(Baselines, TecOnlyRequiresHybridSystem) {
+  const CoolingSystem fan_only =
+      make_system(workload::Benchmark::kBasicmath, /*with_tec=*/false);
+  EXPECT_THROW((void)run_tec_only(fan_only), std::invalid_argument);
+}
+
+TEST(Baselines, VariableFanSucceedsOnLightLoad) {
+  const CoolingSystem sys =
+      make_system(workload::Benchmark::kBasicmath, /*with_tec=*/false);
+  const BaselineResult r = run_variable_fan_baseline(sys);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.current, 0.0);
+  EXPECT_LT(r.max_chip_temperature, sys.t_max());
+  EXPECT_GT(r.power.total(), 0.0);
+}
+
+TEST(Baselines, VariableFanFailsOnHeavyLoad) {
+  const CoolingSystem sys =
+      make_system(workload::Benchmark::kBitCount, /*with_tec=*/false);
+  const BaselineResult r = run_variable_fan_baseline(sys);
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.max_chip_temperature, sys.t_max());
+  EXPECT_FALSE(r.runaway);  // hot but finite at full fan
+}
+
+TEST(Baselines, FixedFanEvaluatesWithoutOptimizing) {
+  const CoolingSystem sys =
+      make_system(workload::Benchmark::kCrc32, /*with_tec=*/false);
+  const double omega = units::rpm_to_rad_s(2000.0);
+  const BaselineResult r = run_fixed_fan_baseline(sys, omega);
+  EXPECT_DOUBLE_EQ(r.omega, omega);
+  EXPECT_TRUE(r.success);
+  // Fixed speed is paper's Fig. 6 baseline #2: same point for both phases.
+  EXPECT_DOUBLE_EQ(r.opt2_omega, omega);
+}
+
+TEST(Baselines, FixedFanUsesMorePowerThanVariableOnLightLoad) {
+  // The variable-ω baseline optimizes its speed, so it can only be cheaper
+  // than the pinned 2000 RPM setting (paper's ≈8.1 % claim direction).
+  const CoolingSystem sys =
+      make_system(workload::Benchmark::kStringsearch, /*with_tec=*/false);
+  const BaselineResult var = run_variable_fan_baseline(sys);
+  const BaselineResult fixed =
+      run_fixed_fan_baseline(sys, units::rpm_to_rad_s(2000.0));
+  ASSERT_TRUE(var.success);
+  ASSERT_TRUE(fixed.success);
+  EXPECT_LT(var.power.total(), fixed.power.total());
+}
+
+TEST(Baselines, TecOnlyAlwaysRunsAway) {
+  // Paper Sec. 6.2: "a system which adopts TECs as the only cooling method
+  // cannot avoid the thermal runaway situation in these benchmarks."
+  for (const workload::Benchmark b :
+       {workload::Benchmark::kCrc32, workload::Benchmark::kQuicksort}) {
+    const CoolingSystem sys = testing::make_system(b);
+    const BaselineResult r = run_tec_only(sys);
+    EXPECT_TRUE(r.runaway) << workload::benchmark_name(b);
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(std::isinf(r.max_chip_temperature));
+  }
+}
+
+TEST(Baselines, TecOnlySampleCountValidated) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kCrc32);
+  EXPECT_THROW((void)run_tec_only(sys, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::core

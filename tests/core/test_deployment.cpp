@@ -1,0 +1,125 @@
+#include "core/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/grid_map.h"
+#include "test_fixtures.h"
+#include "util/units.h"
+
+namespace oftec::core {
+namespace {
+
+using testing::benchmark_power;
+using testing::fp;
+using testing::leakage;
+
+DeploymentOptions fast_options() {
+  DeploymentOptions opts;
+  opts.system.grid_nx = 6;  // coarse grid keeps the sweep quick
+  opts.system.grid_ny = 6;
+  opts.omega = 524.0;
+  opts.current = 1.0;
+  // Fill uncovered cells with high-k filler so sparse placements are viable
+  // and the measured gains isolate the *active* pumping benefit (with paste
+  // filler the empty placement cannot even reach steady state).
+  opts.system.package.filler_conductivity =
+      opts.system.package.tec.layer_conductivity();
+  return opts;
+}
+
+TEST(Deployment, CoveringHotCellsLowersTemperature) {
+  const DeploymentResult r = optimize_deployment(
+      fp(), benchmark_power(workload::Benchmark::kQuicksort), leakage(),
+      fast_options());
+  EXPECT_GT(r.covered_cells, 0u);
+  EXPECT_LT(r.max_chip_temperature, r.baseline_temperature);
+}
+
+TEST(Deployment, TrajectoryFollowsTheHotspot) {
+  // Every step covers the hottest uncovered candidate cell at that moment —
+  // the first one must belong to a core unit (the hotspot lives there).
+  DeploymentOptions opts = fast_options();
+  const DeploymentResult r = optimize_deployment(
+      fp(), benchmark_power(workload::Benchmark::kBitCount), leakage(), opts);
+  ASSERT_FALSE(r.steps.empty());
+  const floorplan::GridMap grid(fp(), opts.system.grid_nx,
+                                opts.system.grid_ny);
+  EXPECT_EQ(fp().blocks()[grid.dominant_block(r.steps[0].cell)].kind,
+            floorplan::UnitKind::kCore);
+}
+
+TEST(Deployment, BestPlacementIsUCurveMinimum) {
+  // The trajectory's minimum is what the optimizer must return, and the
+  // trajectory must eventually stop improving (patience fires) before
+  // exhausting every candidate.
+  DeploymentOptions opts = fast_options();
+  opts.patience = 2;
+  const DeploymentResult r = optimize_deployment(
+      fp(), benchmark_power(workload::Benchmark::kFft), leakage(), opts);
+  ASSERT_FALSE(r.steps.empty());
+  double traj_min = r.baseline_temperature;
+  for (const DeploymentStep& s : r.steps) {
+    traj_min = std::min(traj_min, s.max_chip_temperature);
+  }
+  EXPECT_NEAR(r.max_chip_temperature, traj_min, 1e-12);
+  // Patience = 2 → at most 2 non-improving steps past the best.
+  EXPECT_LE(r.steps.size(), r.covered_cells + 2);
+}
+
+TEST(Deployment, RespectsCellBudget) {
+  DeploymentOptions opts = fast_options();
+  opts.max_cells = 2;
+  const DeploymentResult r = optimize_deployment(
+      fp(), benchmark_power(workload::Benchmark::kSusan), leakage(), opts);
+  EXPECT_LE(r.steps.size(), 2u);
+  EXPECT_LE(r.covered_cells, 2u);
+  std::size_t covered = 0;
+  for (const bool c : r.coverage) covered += c ? 1 : 0;
+  EXPECT_EQ(covered, r.covered_cells);
+}
+
+TEST(Deployment, CorePolicyRestrictsCandidates) {
+  DeploymentOptions opts = fast_options();
+  const DeploymentResult r = optimize_deployment(
+      fp(), benchmark_power(workload::Benchmark::kQuicksort), leakage(), opts);
+  const floorplan::GridMap grid(fp(), opts.system.grid_nx,
+                                opts.system.grid_ny);
+  for (const DeploymentStep& s : r.steps) {
+    EXPECT_GE(grid.kind_fraction(s.cell, floorplan::UnitKind::kCore), 0.5)
+        << "cell " << s.cell;
+  }
+}
+
+TEST(Deployment, CachePolicyCanBeDisabled) {
+  DeploymentOptions opts = fast_options();
+  opts.core_cells_only = false;
+  opts.max_cells = 40;  // with 36 cells, everything is a candidate
+  const DeploymentResult r = optimize_deployment(
+      fp(), benchmark_power(workload::Benchmark::kCrc32), leakage(), opts);
+  EXPECT_GT(r.steps.size(), 0u);
+}
+
+TEST(Deployment, RunawayOperatingPointThrows) {
+  DeploymentOptions opts = fast_options();
+  opts.omega = 0.0;  // no fan — bare package runs away
+  EXPECT_THROW(
+      (void)optimize_deployment(
+          fp(), benchmark_power(workload::Benchmark::kQuicksort), leakage(),
+          opts),
+      std::invalid_argument);
+}
+
+TEST(Deployment, StepsRecordMonotoneCellIdentity) {
+  // No cell may be covered twice.
+  DeploymentOptions opts = fast_options();
+  const DeploymentResult r = optimize_deployment(
+      fp(), benchmark_power(workload::Benchmark::kDijkstra), leakage(), opts);
+  std::vector<bool> seen(36, false);
+  for (const DeploymentStep& s : r.steps) {
+    EXPECT_FALSE(seen[s.cell]) << "cell " << s.cell;
+    seen[s.cell] = true;
+  }
+}
+
+}  // namespace
+}  // namespace oftec::core

@@ -1,0 +1,117 @@
+#include "core/dtm_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+#include "workload/trace.h"
+
+namespace oftec::core {
+namespace {
+
+using testing::coarse_config;
+using testing::fp;
+using testing::leakage;
+
+workload::PowerTrace short_trace(workload::Benchmark b) {
+  workload::TraceOptions opts;
+  opts.sample_count = 60;
+  opts.sample_interval = 0.05;  // 3 s total
+  return workload::generate_trace(workload::profile_for(b), fp(), opts);
+}
+
+DtmOptions fast_options(DtmPolicy policy) {
+  DtmOptions opts;
+  opts.policy = policy;
+  opts.system = coarse_config();
+  opts.control_period = 1.0;
+  opts.time_step = 25e-3;
+  return opts;
+}
+
+TEST(DtmLoop, ValidatesInputs) {
+  const workload::PowerTrace empty;
+  EXPECT_THROW((void)run_dtm_loop(fp(), empty, leakage(), fast_options(
+                                      DtmPolicy::kExactOftec)),
+               std::invalid_argument);
+
+  const workload::PowerTrace trace = short_trace(workload::Benchmark::kFft);
+  DtmOptions lut_without_table = fast_options(DtmPolicy::kLut);
+  EXPECT_THROW((void)run_dtm_loop(fp(), trace, leakage(), lut_without_table),
+               std::invalid_argument);
+  DtmOptions bad_period = fast_options(DtmPolicy::kStatic);
+  bad_period.control_period = 0.0;
+  EXPECT_THROW((void)run_dtm_loop(fp(), trace, leakage(), bad_period),
+               std::invalid_argument);
+}
+
+TEST(DtmLoop, StaticPolicyHoldsOneSetting) {
+  const workload::PowerTrace trace = short_trace(workload::Benchmark::kFft);
+  const DtmResult r =
+      run_dtm_loop(fp(), trace, leakage(), fast_options(DtmPolicy::kStatic));
+  ASSERT_FALSE(r.runaway);
+  EXPECT_EQ(r.reoptimizations, 1u);
+  ASSERT_FALSE(r.samples.empty());
+  const double omega0 = r.samples.front().omega;
+  for (const DtmSample& s : r.samples) {
+    EXPECT_DOUBLE_EQ(s.omega, omega0);
+  }
+  // Sized for the whole-trace max vector → never violates.
+  EXPECT_DOUBLE_EQ(r.violation_time, 0.0);
+}
+
+TEST(DtmLoop, ExactPolicyReoptimizesEveryPeriod) {
+  const workload::PowerTrace trace = short_trace(workload::Benchmark::kSusan);
+  const DtmResult r = run_dtm_loop(fp(), trace, leakage(),
+                                   fast_options(DtmPolicy::kExactOftec));
+  ASSERT_FALSE(r.runaway);
+  // 3 s of trace at a 1 s period → initial + 2 boundary decisions.
+  EXPECT_EQ(r.reoptimizations, 3u);
+  EXPECT_GT(r.control_time_ms, 0.0);
+}
+
+TEST(DtmLoop, AdaptivePolicyTracksPhasesCheaper) {
+  // Susan has deep phases (depth 0.35): re-optimizing per window must spend
+  // less average power than the static whole-trace-max setting, at equal
+  // or negligible thermal cost.
+  const workload::PowerTrace trace = short_trace(workload::Benchmark::kSusan);
+  const DtmResult adaptive = run_dtm_loop(
+      fp(), trace, leakage(), fast_options(DtmPolicy::kExactOftec));
+  const DtmResult fixed =
+      run_dtm_loop(fp(), trace, leakage(), fast_options(DtmPolicy::kStatic));
+  ASSERT_FALSE(adaptive.runaway);
+  ASSERT_FALSE(fixed.runaway);
+  EXPECT_LE(adaptive.average_cooling_power,
+            fixed.average_cooling_power + 0.05);
+}
+
+TEST(DtmLoop, LutPolicyIsFastAndSafe) {
+  std::vector<power::PowerMap> training;
+  for (const workload::Benchmark b : workload::all_benchmarks()) {
+    training.push_back(testing::benchmark_power(b));
+  }
+  const LutController lut =
+      LutController::build(training, fp(), leakage(), coarse_config());
+
+  const workload::PowerTrace trace = short_trace(workload::Benchmark::kFft);
+  DtmOptions opts = fast_options(DtmPolicy::kLut);
+  opts.lut = &lut;
+  const DtmResult r = run_dtm_loop(fp(), trace, leakage(), opts);
+  ASSERT_FALSE(r.runaway);
+  // Lookups are microseconds; whole control budget stays tiny.
+  EXPECT_LT(r.control_time_ms, 50.0);
+  EXPECT_LT(r.violation_time, 0.5);
+}
+
+TEST(DtmLoop, SamplesCarryMonotoneTime) {
+  const workload::PowerTrace trace = short_trace(workload::Benchmark::kCrc32);
+  const DtmResult r =
+      run_dtm_loop(fp(), trace, leakage(), fast_options(DtmPolicy::kStatic));
+  ASSERT_FALSE(r.runaway);
+  for (std::size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_GT(r.samples[i].time, r.samples[i - 1].time);
+  }
+  EXPECT_GE(r.peak_temperature, r.samples.front().max_chip_temperature);
+}
+
+}  // namespace
+}  // namespace oftec::core

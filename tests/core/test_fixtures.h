@@ -1,0 +1,44 @@
+// Shared fixtures for core-layer tests.
+//
+// Core tests run the full pipeline (floorplan → leakage → thermal → OFTEC);
+// an 8×8 grid keeps each thermal solve at ~1 ms while preserving every
+// qualitative behaviour the tests assert (6×6 is too coarse: it smears the
+// Quicksort hotspot enough to change OFTEC's feasibility verdict).
+#pragma once
+
+#include "core/cooling_system.h"
+#include "floorplan/ev6.h"
+#include "power/mcpat_like.h"
+#include "workload/benchmarks.h"
+
+namespace oftec::core::testing {
+
+inline const floorplan::Floorplan& fp() {
+  static const floorplan::Floorplan f = floorplan::make_ev6_floorplan();
+  return f;
+}
+
+inline const power::LeakageModel& leakage() {
+  static const power::LeakageModel l =
+      power::characterize_leakage(fp(), power::ProcessConfig{});
+  return l;
+}
+
+inline CoolingSystem::Config coarse_config(bool with_tec = true) {
+  CoolingSystem::Config cfg;
+  cfg.grid_nx = 8;
+  cfg.grid_ny = 8;
+  if (!with_tec) cfg.package = cfg.package.without_tecs();
+  return cfg;
+}
+
+inline power::PowerMap benchmark_power(workload::Benchmark b) {
+  return workload::peak_power_map(workload::profile_for(b), fp());
+}
+
+inline CoolingSystem make_system(workload::Benchmark b, bool with_tec = true) {
+  return CoolingSystem(fp(), benchmark_power(b), leakage(),
+                       coarse_config(with_tec));
+}
+
+}  // namespace oftec::core::testing

@@ -1,0 +1,78 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+#include "util/units.h"
+
+namespace oftec::core {
+namespace {
+
+using testing::benchmark_power;
+using testing::coarse_config;
+using testing::fp;
+using testing::leakage;
+
+ParetoOptions fast_options() {
+  ParetoOptions opts;
+  opts.system = coarse_config();
+  opts.points = 5;
+  opts.t_limit_lo_c = 82.0;
+  opts.t_limit_hi_c = 98.0;
+  return opts;
+}
+
+TEST(Pareto, ValidatesRange) {
+  const auto power = benchmark_power(workload::Benchmark::kFft);
+  ParetoOptions bad = fast_options();
+  bad.points = 1;
+  EXPECT_THROW((void)sweep_pareto_front(fp(), power, leakage(), bad),
+               std::invalid_argument);
+  bad = fast_options();
+  bad.t_limit_hi_c = bad.t_limit_lo_c;
+  EXPECT_THROW((void)sweep_pareto_front(fp(), power, leakage(), bad),
+               std::invalid_argument);
+}
+
+TEST(Pareto, PowerIsNonIncreasingAlongRelaxedThresholds) {
+  const auto power = benchmark_power(workload::Benchmark::kQuicksort);
+  const auto front = sweep_pareto_front(fp(), power, leakage(), fast_options());
+  ASSERT_EQ(front.size(), 5u);
+  double last_power = 1e300;
+  for (const ParetoPoint& pt : front) {
+    if (!pt.feasible) continue;
+    EXPECT_LE(pt.cooling_power, last_power * 1.01)  // solver tolerance slack
+        << "at T_limit " << units::kelvin_to_celsius(pt.t_limit);
+    last_power = std::min(last_power, pt.cooling_power);
+  }
+}
+
+TEST(Pareto, TightThresholdsBecomeInfeasible) {
+  // Quicksort's minimum achievable temperature sits near 86 °C at the test
+  // grid, so an 82 °C threshold cannot be met while 98 °C trivially can.
+  const auto power = benchmark_power(workload::Benchmark::kQuicksort);
+  const auto front = sweep_pareto_front(fp(), power, leakage(), fast_options());
+  EXPECT_FALSE(front.front().feasible);
+  EXPECT_TRUE(front.back().feasible);
+}
+
+TEST(Pareto, AchievedTemperatureRespectsEachThreshold) {
+  const auto power = benchmark_power(workload::Benchmark::kSusan);
+  const auto front = sweep_pareto_front(fp(), power, leakage(), fast_options());
+  for (const ParetoPoint& pt : front) {
+    if (!pt.feasible) continue;
+    EXPECT_LT(pt.max_chip_temperature, pt.t_limit);
+  }
+}
+
+TEST(Pareto, LightWorkloadFeasibleEverywhere) {
+  const auto power = benchmark_power(workload::Benchmark::kCrc32);
+  const auto front = sweep_pareto_front(fp(), power, leakage(), fast_options());
+  for (const ParetoPoint& pt : front) {
+    EXPECT_TRUE(pt.feasible)
+        << units::kelvin_to_celsius(pt.t_limit) << " C";
+  }
+}
+
+}  // namespace
+}  // namespace oftec::core

@@ -1,0 +1,86 @@
+#include "core/problems.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_fixtures.h"
+
+namespace oftec::core {
+namespace {
+
+using testing::make_system;
+
+TEST(CoolingProblem, HybridHasTwoDimensions) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kBasicmath);
+  const CoolingProblem p(sys, CoolingProblem::Objective::kCoolingPower, true);
+  EXPECT_EQ(p.dimension(), 2u);
+  EXPECT_EQ(p.constraint_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.bounds().upper[0], sys.omega_max());
+  EXPECT_DOUBLE_EQ(p.bounds().upper[1], sys.current_max());
+}
+
+TEST(CoolingProblem, FanOnlyHasOneDimension) {
+  const CoolingSystem sys =
+      make_system(workload::Benchmark::kBasicmath, /*with_tec=*/false);
+  const CoolingProblem p(sys, CoolingProblem::Objective::kCoolingPower, true);
+  EXPECT_EQ(p.dimension(), 1u);
+  EXPECT_DOUBLE_EQ(p.current_of({300.0}), 0.0);
+}
+
+TEST(CoolingProblem, MidpointIsAlgorithmOneStart) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kBasicmath);
+  const CoolingProblem p(sys, CoolingProblem::Objective::kMaxTemperature,
+                         false);
+  const la::Vector mid = p.midpoint();
+  EXPECT_NEAR(mid[0], sys.omega_max() / 2.0, 1e-12);
+  EXPECT_NEAR(mid[1], sys.current_max() / 2.0, 1e-12);
+}
+
+TEST(CoolingProblem, ObjectiveDispatch) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kBasicmath);
+  const CoolingProblem temp(sys, CoolingProblem::Objective::kMaxTemperature,
+                            false);
+  const CoolingProblem pow(sys, CoolingProblem::Objective::kCoolingPower,
+                           true);
+  const la::Vector x = {400.0, 0.5};
+  const Evaluation& ev = sys.evaluate(400.0, 0.5);
+  EXPECT_DOUBLE_EQ(temp.objective(x), ev.max_chip_temperature);
+  EXPECT_DOUBLE_EQ(pow.objective(x), ev.cooling_power());
+}
+
+TEST(CoolingProblem, ConstraintIsStrictlyInsideTmax) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kBasicmath);
+  const CoolingProblem p(sys, CoolingProblem::Objective::kCoolingPower, true,
+                         /*strictness=*/0.5);
+  const la::Vector x = {400.0, 0.5};
+  const Evaluation& ev = sys.evaluate(400.0, 0.5);
+  const la::Vector g = p.constraints(x);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_NEAR(g[0], ev.max_chip_temperature - (sys.t_max() - 0.5), 1e-12);
+}
+
+TEST(CoolingProblem, NoConstraintModeReturnsEmpty) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kBasicmath);
+  const CoolingProblem p(sys, CoolingProblem::Objective::kMaxTemperature,
+                         false);
+  EXPECT_EQ(p.constraint_count(), 0u);
+  EXPECT_TRUE(p.constraints({300.0, 1.0}).empty());
+}
+
+TEST(CoolingProblem, RunawayPropagatesAsInf) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kQuicksort);
+  const CoolingProblem p(sys, CoolingProblem::Objective::kMaxTemperature,
+                         false);
+  EXPECT_TRUE(std::isinf(p.objective({0.0, 2.0})));
+}
+
+TEST(CoolingProblem, BadDecisionVectorThrows) {
+  const CoolingSystem sys = make_system(workload::Benchmark::kBasicmath);
+  const CoolingProblem p(sys, CoolingProblem::Objective::kCoolingPower, true);
+  EXPECT_THROW((void)p.objective({300.0}), std::invalid_argument);
+  EXPECT_THROW((void)p.omega_of({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::core

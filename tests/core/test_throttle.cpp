@@ -1,0 +1,98 @@
+#include "core/throttle.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace oftec::core {
+namespace {
+
+using testing::benchmark_power;
+using testing::coarse_config;
+using testing::fp;
+using testing::leakage;
+
+ThrottleOptions fast_options() {
+  ThrottleOptions opts;
+  opts.system = coarse_config();
+  opts.tolerance = 0.05;  // coarse bisection keeps the test quick
+  return opts;
+}
+
+TEST(Throttle, FeasibleWorkloadNeedsNoThrottle) {
+  const auto power = benchmark_power(workload::Benchmark::kBasicmath);
+  const ThrottleResult r =
+      find_minimum_throttle(fp(), power, leakage(), fast_options());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.frequency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(r.power_factor, 1.0);
+  EXPECT_TRUE(r.oftec.success);
+  EXPECT_EQ(r.probes, 1u);
+}
+
+TEST(Throttle, OverloadedWorkloadGetsThrottled) {
+  // 1.4× Quicksort exceeds what even OFTEC can cool at the test grid.
+  power::PowerMap power = benchmark_power(workload::Benchmark::kQuicksort);
+  power.scale(1.4);
+  const ThrottleResult r =
+      find_minimum_throttle(fp(), power, leakage(), fast_options());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LT(r.frequency_factor, 1.0);
+  EXPECT_GT(r.frequency_factor, 0.4);
+  EXPECT_TRUE(r.oftec.success);
+  EXPECT_GT(r.probes, 2u);
+}
+
+TEST(Throttle, ThrottledSolutionMeetsTmax) {
+  power::PowerMap power = benchmark_power(workload::Benchmark::kSusan);
+  power.scale(1.4);
+  ThrottleOptions opts = fast_options();
+  const ThrottleResult r = find_minimum_throttle(fp(), power, leakage(), opts);
+  ASSERT_TRUE(r.feasible);
+  // Verify independently at the found factor.
+  power::PowerMap scaled = power;
+  scaled.scale(r.power_factor);
+  const CoolingSystem check(fp(), scaled, leakage(), opts.system);
+  const OftecResult verify = run_oftec(check);
+  EXPECT_TRUE(verify.success);
+}
+
+TEST(Throttle, DvfsExponentThrottlesLess) {
+  // With power ∝ f³ (full DVFS), a smaller frequency cut suffices.
+  power::PowerMap power = benchmark_power(workload::Benchmark::kQuicksort);
+  power.scale(1.4);
+  ThrottleOptions linear = fast_options();
+  ThrottleOptions dvfs = fast_options();
+  dvfs.power_exponent = 3.0;
+  const ThrottleResult r1 =
+      find_minimum_throttle(fp(), power, leakage(), linear);
+  const ThrottleResult r3 = find_minimum_throttle(fp(), power, leakage(), dvfs);
+  ASSERT_TRUE(r1.feasible);
+  ASSERT_TRUE(r3.feasible);
+  EXPECT_GE(r3.frequency_factor, r1.frequency_factor - 0.05);
+}
+
+TEST(Throttle, HopelessOverloadReportsInfeasible) {
+  power::PowerMap power = benchmark_power(workload::Benchmark::kQuicksort);
+  power.scale(5.0);
+  ThrottleOptions opts = fast_options();
+  opts.min_factor = 0.8;  // deepest allowed throttle still way too hot
+  const ThrottleResult r = find_minimum_throttle(fp(), power, leakage(), opts);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.oftec.success);
+}
+
+TEST(Throttle, ValidatesOptions) {
+  const auto power = benchmark_power(workload::Benchmark::kCrc32);
+  ThrottleOptions bad = fast_options();
+  bad.min_factor = 1.5;
+  EXPECT_THROW((void)find_minimum_throttle(fp(), power, leakage(), bad),
+               std::invalid_argument);
+  bad = fast_options();
+  bad.tolerance = 0.0;
+  EXPECT_THROW((void)find_minimum_throttle(fp(), power, leakage(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::core

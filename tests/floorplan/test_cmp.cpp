@@ -1,0 +1,69 @@
+#include "floorplan/cmp.h"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/grid_map.h"
+
+namespace oftec::floorplan {
+namespace {
+
+TEST(Cmp, DefaultQuadCoreTilesExactly) {
+  const Floorplan fp = make_cmp_floorplan();
+  // 1 shared L2 + 4 cores × 8 units.
+  EXPECT_EQ(fp.block_count(), 1u + 4u * 8u);
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+  EXPECT_NEAR(fp.die_width(), 22e-3, 1e-12);
+}
+
+TEST(Cmp, CoreCountsScale) {
+  CmpOptions opts;
+  opts.cores_x = 4;
+  opts.cores_y = 2;
+  const Floorplan fp = make_cmp_floorplan(opts);
+  EXPECT_EQ(fp.block_count(), 1u + 8u * 8u);
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+  EXPECT_TRUE(fp.find("c7_FPMul").has_value());
+  EXPECT_FALSE(fp.find("c8_FPMul").has_value());
+}
+
+TEST(Cmp, SingleCoreWorks) {
+  CmpOptions opts;
+  opts.cores_x = opts.cores_y = 1;
+  const Floorplan fp = make_cmp_floorplan(opts);
+  EXPECT_EQ(fp.block_count(), 9u);
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+}
+
+TEST(Cmp, KindsAssigned) {
+  const Floorplan fp = make_cmp_floorplan();
+  EXPECT_EQ(fp.blocks()[*fp.find("L2_shared")].kind, UnitKind::kCache);
+  EXPECT_EQ(fp.blocks()[*fp.find("c0_Icache")].kind, UnitKind::kCache);
+  EXPECT_EQ(fp.blocks()[*fp.find("c2_IntExec")].kind, UnitKind::kCore);
+}
+
+TEST(Cmp, ValidatesOptions) {
+  CmpOptions bad;
+  bad.cores_x = 0;
+  EXPECT_THROW((void)make_cmp_floorplan(bad), std::invalid_argument);
+  bad = CmpOptions{};
+  bad.die_side = 0.0;
+  EXPECT_THROW((void)make_cmp_floorplan(bad), std::invalid_argument);
+  bad = CmpOptions{};
+  bad.shared_l2_fraction = 1.0;
+  EXPECT_THROW((void)make_cmp_floorplan(bad), std::invalid_argument);
+}
+
+TEST(Cmp, TecCoverageTracksCoreBelts) {
+  const Floorplan fp = make_cmp_floorplan();
+  const GridMap grid(fp, 12, 12);
+  const auto coverage = grid.tec_coverage();
+  std::size_t covered = 0;
+  for (const bool c : coverage) covered += c ? 1 : 0;
+  // Cores occupy 70 % of the die, of which 65 % is non-cache → roughly
+  // 40–60 % of cells should be TEC candidates.
+  EXPECT_GT(covered, coverage.size() / 4);
+  EXPECT_LT(covered, 3 * coverage.size() / 4);
+}
+
+}  // namespace
+}  // namespace oftec::floorplan

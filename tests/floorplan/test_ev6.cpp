@@ -1,0 +1,67 @@
+#include "floorplan/ev6.h"
+
+#include <gtest/gtest.h>
+
+namespace oftec::floorplan {
+namespace {
+
+TEST(Ev6, HasEighteenUnitsAndTilesTheDie) {
+  const Floorplan fp = make_ev6_floorplan();
+  EXPECT_EQ(fp.block_count(), 18u);
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+}
+
+TEST(Ev6, DieMatchesPaperDimensions) {
+  const Floorplan fp = make_ev6_floorplan();
+  EXPECT_NEAR(fp.die_width(), 15.9e-3, 1e-12);
+  EXPECT_NEAR(fp.die_height(), 15.9e-3, 1e-12);
+}
+
+TEST(Ev6, ScalesToRequestedDie) {
+  const Floorplan fp = make_ev6_floorplan(10e-3);
+  EXPECT_NEAR(fp.die_width(), 10e-3, 1e-12);
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+}
+
+TEST(Ev6, RejectsNonPositiveDie) {
+  EXPECT_THROW((void)make_ev6_floorplan(0.0), std::invalid_argument);
+}
+
+TEST(Ev6, CachesAreFlaggedAsCaches) {
+  const Floorplan fp = make_ev6_floorplan();
+  for (const char* name : {"L2", "L2_left", "L2_right", "Icache", "Dcache"}) {
+    const auto idx = fp.find(name);
+    ASSERT_TRUE(idx.has_value()) << name;
+    EXPECT_EQ(fp.blocks()[*idx].kind, UnitKind::kCache) << name;
+  }
+}
+
+TEST(Ev6, CoreUnitsAreFlaggedAsCore) {
+  const Floorplan fp = make_ev6_floorplan();
+  for (const char* name : {"IntExec", "IntReg", "FPMul", "Bpred", "LdStQ"}) {
+    const auto idx = fp.find(name);
+    ASSERT_TRUE(idx.has_value()) << name;
+    EXPECT_EQ(fp.blocks()[*idx].kind, UnitKind::kCore) << name;
+  }
+}
+
+TEST(Ev6, UnitNamesMatchBlockOrder) {
+  const Floorplan fp = make_ev6_floorplan();
+  const auto& names = ev6_unit_names();
+  ASSERT_EQ(names.size(), fp.block_count());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], fp.blocks()[i].name);
+  }
+}
+
+TEST(Ev6, L2OccupiesBottomHalfRegion) {
+  const Floorplan fp = make_ev6_floorplan();
+  const Block& l2 = fp.blocks()[*fp.find("L2")];
+  EXPECT_DOUBLE_EQ(l2.x, 0.0);
+  EXPECT_DOUBLE_EQ(l2.y, 0.0);
+  EXPECT_NEAR(l2.width, fp.die_width(), 1e-12);
+  EXPECT_NEAR(l2.height / fp.die_height(), 0.45, 1e-12);
+}
+
+}  // namespace
+}  // namespace oftec::floorplan

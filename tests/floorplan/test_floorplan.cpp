@@ -1,0 +1,99 @@
+#include "floorplan/floorplan.h"
+
+#include <gtest/gtest.h>
+
+namespace oftec::floorplan {
+namespace {
+
+Block make_block(const std::string& name, double x, double y, double w,
+                 double h, UnitKind kind = UnitKind::kCore) {
+  Block b;
+  b.name = name;
+  b.x = x;
+  b.y = y;
+  b.width = w;
+  b.height = h;
+  b.kind = kind;
+  return b;
+}
+
+TEST(Floorplan, RejectsBadDie) {
+  EXPECT_THROW(Floorplan(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Floorplan(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Floorplan, AddAndFind) {
+  Floorplan fp(1.0, 1.0);
+  fp.add_block(make_block("A", 0.0, 0.0, 0.5, 1.0));
+  fp.add_block(make_block("B", 0.5, 0.0, 0.5, 1.0));
+  EXPECT_EQ(fp.block_count(), 2u);
+  ASSERT_TRUE(fp.find("A").has_value());
+  EXPECT_EQ(*fp.find("A"), 0u);
+  EXPECT_FALSE(fp.find("C").has_value());
+}
+
+TEST(Floorplan, RejectsDegenerateBlock) {
+  Floorplan fp(1.0, 1.0);
+  EXPECT_THROW(fp.add_block(make_block("Z", 0.0, 0.0, 0.0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(fp.add_block(make_block("", 0.0, 0.0, 0.1, 0.1)),
+               std::invalid_argument);
+}
+
+TEST(Floorplan, RejectsBlockOutsideDie) {
+  Floorplan fp(1.0, 1.0);
+  EXPECT_THROW(fp.add_block(make_block("O", 0.6, 0.0, 0.5, 0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(fp.add_block(make_block("N", -0.1, 0.0, 0.2, 0.2)),
+               std::invalid_argument);
+}
+
+TEST(Floorplan, RejectsOverlap) {
+  Floorplan fp(1.0, 1.0);
+  fp.add_block(make_block("A", 0.0, 0.0, 0.6, 0.6));
+  EXPECT_THROW(fp.add_block(make_block("B", 0.5, 0.5, 0.3, 0.3)),
+               std::invalid_argument);
+}
+
+TEST(Floorplan, AllowsTouchingEdges) {
+  Floorplan fp(1.0, 1.0);
+  fp.add_block(make_block("A", 0.0, 0.0, 0.5, 1.0));
+  EXPECT_NO_THROW(fp.add_block(make_block("B", 0.5, 0.0, 0.5, 1.0)));
+}
+
+TEST(Floorplan, RejectsDuplicateName) {
+  Floorplan fp(1.0, 1.0);
+  fp.add_block(make_block("A", 0.0, 0.0, 0.4, 0.4));
+  EXPECT_THROW(fp.add_block(make_block("A", 0.5, 0.5, 0.4, 0.4)),
+               std::invalid_argument);
+}
+
+TEST(Floorplan, BlockAtFindsOwner) {
+  Floorplan fp(1.0, 1.0);
+  fp.add_block(make_block("A", 0.0, 0.0, 0.5, 1.0));
+  fp.add_block(make_block("B", 0.5, 0.0, 0.5, 1.0));
+  EXPECT_EQ(*fp.block_at(0.25, 0.5), 0u);
+  EXPECT_EQ(*fp.block_at(0.75, 0.5), 1u);
+  // Left edge belongs to the block; right edge does not.
+  EXPECT_EQ(*fp.block_at(0.5, 0.5), 1u);
+}
+
+TEST(Floorplan, CoverageAndFullTilingCheck) {
+  Floorplan fp(1.0, 1.0);
+  fp.add_block(make_block("A", 0.0, 0.0, 0.5, 1.0));
+  EXPECT_NEAR(fp.coverage(), 0.5, 1e-12);
+  EXPECT_THROW(fp.require_full_coverage(), std::runtime_error);
+  fp.add_block(make_block("B", 0.5, 0.0, 0.5, 1.0));
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-12);
+  EXPECT_NO_THROW(fp.require_full_coverage());
+}
+
+TEST(Block, GeometryHelpers) {
+  const Block b = make_block("X", 1.0, 2.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(b.area(), 12.0);
+  EXPECT_DOUBLE_EQ(b.right(), 4.0);
+  EXPECT_DOUBLE_EQ(b.top(), 6.0);
+}
+
+}  // namespace
+}  // namespace oftec::floorplan

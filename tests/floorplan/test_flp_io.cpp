@@ -1,0 +1,113 @@
+#include "floorplan/flp_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "floorplan/ev6.h"
+
+namespace oftec::floorplan {
+namespace {
+
+constexpr const char* kTwoBlockFlp = R"(# tiny floorplan
+# name width height left-x bottom-y
+core	0.008	0.016	0.000	0.000
+L2bank	0.008	0.016	0.008	0.000
+)";
+
+TEST(FlpIo, ParsesBlocksAndDieBoundingBox) {
+  std::istringstream in(kTwoBlockFlp);
+  const Floorplan fp = read_flp(in);
+  EXPECT_EQ(fp.block_count(), 2u);
+  EXPECT_NEAR(fp.die_width(), 0.016, 1e-12);
+  EXPECT_NEAR(fp.die_height(), 0.016, 1e-12);
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+}
+
+TEST(FlpIo, CacheHeuristicClassifiesUnits) {
+  EXPECT_TRUE(looks_like_cache("Icache"));
+  EXPECT_TRUE(looks_like_cache("L2_left"));
+  EXPECT_TRUE(looks_like_cache("l3_bank0"));
+  EXPECT_FALSE(looks_like_cache("IntExec"));
+  EXPECT_FALSE(looks_like_cache("FPMul"));
+
+  std::istringstream in(kTwoBlockFlp);
+  const Floorplan fp = read_flp(in);
+  EXPECT_EQ(fp.blocks()[*fp.find("core")].kind, UnitKind::kCore);
+  EXPECT_EQ(fp.blocks()[*fp.find("L2bank")].kind, UnitKind::kCache);
+}
+
+TEST(FlpIo, ExplicitCacheListOverridesHeuristic) {
+  FlpReadOptions options;
+  options.cache_units = {"core"};
+  std::istringstream in(kTwoBlockFlp);
+  const Floorplan fp = read_flp(in, options);
+  EXPECT_EQ(fp.blocks()[*fp.find("core")].kind, UnitKind::kCache);
+  EXPECT_EQ(fp.blocks()[*fp.find("L2bank")].kind, UnitKind::kCore);
+}
+
+TEST(FlpIo, MalformedLineReportsLineNumber) {
+  std::istringstream in("good 0.01 0.01 0 0\nbad line here\n");
+  try {
+    (void)read_flp(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FlpIo, EmptyInputThrows) {
+  std::istringstream in("# only comments\n\n");
+  EXPECT_THROW((void)read_flp(in), std::runtime_error);
+}
+
+TEST(FlpIo, GapsRejectedWhenCoverageRequired) {
+  std::istringstream in("a 0.004 0.016 0 0\nb 0.004 0.016 0.012 0\n");
+  EXPECT_THROW((void)read_flp(in), std::runtime_error);
+
+  std::istringstream again("a 0.004 0.016 0 0\nb 0.004 0.016 0.012 0\n");
+  FlpReadOptions lenient;
+  lenient.require_full_coverage = false;
+  EXPECT_NO_THROW((void)read_flp(again, lenient));
+}
+
+TEST(FlpIo, OverlapsAlwaysRejected) {
+  std::istringstream in("a 0.010 0.016 0 0\nb 0.010 0.016 0.005 0\n");
+  FlpReadOptions lenient;
+  lenient.require_full_coverage = false;
+  EXPECT_THROW((void)read_flp(in, lenient), std::invalid_argument);
+}
+
+TEST(FlpIo, Ev6RoundTripsExactly) {
+  const Floorplan original = make_ev6_floorplan();
+  std::stringstream buffer;
+  write_flp(original, buffer);
+  const Floorplan parsed = read_flp(buffer);
+  ASSERT_EQ(parsed.block_count(), original.block_count());
+  for (std::size_t b = 0; b < original.block_count(); ++b) {
+    const Block& o = original.blocks()[b];
+    const Block& p = parsed.blocks()[*parsed.find(o.name)];
+    EXPECT_NEAR(p.x, o.x, 1e-9) << o.name;
+    EXPECT_NEAR(p.y, o.y, 1e-9) << o.name;
+    EXPECT_NEAR(p.width, o.width, 1e-9) << o.name;
+    EXPECT_NEAR(p.height, o.height, 1e-9) << o.name;
+    EXPECT_EQ(p.kind, o.kind) << o.name;  // the heuristic matches EV6 names
+  }
+}
+
+TEST(FlpIo, FileRoundTrip) {
+  const Floorplan original = make_ev6_floorplan();
+  const std::string path = ::testing::TempDir() + "/oftec_ev6_test.flp";
+  write_flp_file(original, path);
+  const Floorplan parsed = read_flp_file(path);
+  EXPECT_EQ(parsed.block_count(), 18u);
+  EXPECT_NEAR(parsed.die_width(), original.die_width(), 1e-9);
+}
+
+TEST(FlpIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_flp_file("/nonexistent/file.flp"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace oftec::floorplan

@@ -1,0 +1,147 @@
+#include "floorplan/grid_map.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "floorplan/ev6.h"
+
+namespace oftec::floorplan {
+namespace {
+
+Floorplan half_and_half() {
+  Floorplan fp(1.0, 1.0);
+  Block a;
+  a.name = "left";
+  a.x = 0.0; a.y = 0.0; a.width = 0.5; a.height = 1.0;
+  a.kind = UnitKind::kCore;
+  fp.add_block(a);
+  Block b;
+  b.name = "right";
+  b.x = 0.5; b.y = 0.0; b.width = 0.5; b.height = 1.0;
+  b.kind = UnitKind::kCache;
+  fp.add_block(b);
+  return fp;
+}
+
+TEST(GridMap, RejectsZeroDimensions) {
+  const Floorplan fp = half_and_half();
+  EXPECT_THROW(GridMap(fp, 0, 4), std::invalid_argument);
+}
+
+TEST(GridMap, CellGeometry) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 4, 2);
+  EXPECT_DOUBLE_EQ(grid.cell_width(), 0.25);
+  EXPECT_DOUBLE_EQ(grid.cell_height(), 0.5);
+  EXPECT_EQ(grid.cell_count(), 8u);
+  EXPECT_EQ(grid.cell_index(3, 1), 7u);
+}
+
+TEST(GridMap, FractionsSumToOneOnFullTiling) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 5, 3);  // cells straddle the block boundary
+  for (std::size_t c = 0; c < grid.cell_count(); ++c) {
+    double frac = 0.0;
+    for (const CellContribution& contrib : grid.contributions(c)) {
+      frac += contrib.fraction;
+    }
+    EXPECT_NEAR(frac, 1.0, 1e-9) << "cell " << c;
+  }
+}
+
+TEST(GridMap, StraddlingCellSplitsEvenly) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 2, 1);  // cell 0: x in [0, 0.5) exactly left block
+  const auto& c0 = grid.contributions(0);
+  ASSERT_EQ(c0.size(), 1u);
+  EXPECT_EQ(c0[0].block_index, 0u);
+  EXPECT_NEAR(c0[0].fraction, 1.0, 1e-12);
+}
+
+TEST(GridMap, PowerConservation) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 7, 5);
+  const std::vector<double> block_power = {3.0, 9.0};
+  const std::vector<double> cell_power = grid.distribute_power(block_power);
+  const double total =
+      std::accumulate(cell_power.begin(), cell_power.end(), 0.0);
+  EXPECT_NEAR(total, 12.0, 1e-9);
+}
+
+TEST(GridMap, PowerDensityIsUniformWithinBlock) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 4, 2);
+  const std::vector<double> cell_power = grid.distribute_power({8.0, 0.0});
+  // Left block covers cells (0,0),(1,0),(0,1),(1,1): 2 W each.
+  EXPECT_NEAR(cell_power[grid.cell_index(0, 0)], 2.0, 1e-12);
+  EXPECT_NEAR(cell_power[grid.cell_index(1, 1)], 2.0, 1e-12);
+  EXPECT_NEAR(cell_power[grid.cell_index(2, 0)], 0.0, 1e-12);
+}
+
+TEST(GridMap, DominantBlock) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 1, 1);  // single cell, split 50/50 — ties to first
+  EXPECT_EQ(grid.dominant_block(0), 0u);
+  const GridMap grid2(fp, 4, 1);
+  EXPECT_EQ(grid2.dominant_block(0), 0u);
+  EXPECT_EQ(grid2.dominant_block(3), 1u);
+}
+
+TEST(GridMap, KindFractionAndTecCoverage) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 4, 1);
+  EXPECT_NEAR(grid.kind_fraction(0, UnitKind::kCore), 1.0, 1e-12);
+  EXPECT_NEAR(grid.kind_fraction(3, UnitKind::kCore), 0.0, 1e-12);
+  const std::vector<bool> coverage = grid.tec_coverage();
+  EXPECT_TRUE(coverage[0]);
+  EXPECT_TRUE(coverage[1]);
+  EXPECT_FALSE(coverage[2]);
+  EXPECT_FALSE(coverage[3]);
+}
+
+/// Property: power is conserved for the EV6 floorplan across grid sizes.
+class Ev6ConservationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Ev6ConservationTest, DistributePowerConservesTotal) {
+  const Floorplan fp = make_ev6_floorplan();
+  const GridMap grid(fp, GetParam(), GetParam());
+  std::vector<double> block_power(fp.block_count());
+  for (std::size_t b = 0; b < block_power.size(); ++b) {
+    block_power[b] = 1.0 + static_cast<double>(b);
+  }
+  const double expected =
+      std::accumulate(block_power.begin(), block_power.end(), 0.0);
+  const auto cell_power = grid.distribute_power(block_power);
+  const double total =
+      std::accumulate(cell_power.begin(), cell_power.end(), 0.0);
+  EXPECT_NEAR(total, expected, 1e-8 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, Ev6ConservationTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 16, 21));
+
+TEST(GridMapEv6, TecCoverageExcludesAllCacheRegions) {
+  const Floorplan fp = make_ev6_floorplan();
+  const GridMap grid(fp, 10, 10);
+  const auto coverage = grid.tec_coverage();
+  std::size_t covered = 0;
+  for (std::size_t c = 0; c < coverage.size(); ++c) {
+    if (!coverage[c]) continue;
+    ++covered;
+    // TEC-covered cells must be mostly core area.
+    EXPECT_GE(grid.kind_fraction(c, UnitKind::kCore), 0.5);
+  }
+  // The EV6 core belt occupies roughly a quarter of the die.
+  EXPECT_GT(covered, 10u);
+  EXPECT_LT(covered, 40u);
+}
+
+TEST(GridMap, DistributePowerArityMismatchThrows) {
+  const Floorplan fp = half_and_half();
+  const GridMap grid(fp, 2, 2);
+  EXPECT_THROW((void)grid.distribute_power({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::floorplan

@@ -1,0 +1,107 @@
+// End-to-end test of the paper's Fig. 5 evaluation flow:
+//
+//   performance/power simulator (trace synthesis) → power trace →
+//   max-power-vector reduction → OFTEC (+ thermal simulator) → (ω*, I*)
+//
+// plus the file-based user path: floorplan from .flp, package from a config
+// file, workload from a trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/oftec.h"
+#include "floorplan/ev6.h"
+#include "floorplan/flp_io.h"
+#include "package/config_io.h"
+#include "power/mcpat_like.h"
+#include "util/units.h"
+#include "workload/trace.h"
+
+namespace oftec {
+namespace {
+
+TEST(FullFlow, TraceToOftecSolution) {
+  const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
+
+  // "PTscalar": synthesize the trace, reduce to the max-power vector.
+  const auto& prof = workload::profile_for(workload::Benchmark::kFft);
+  const workload::PowerTrace trace = workload::generate_trace(prof, fp);
+  const power::PowerMap max_power = workload::max_power_map(trace, fp);
+
+  // "McPAT": leakage characterization.
+  const power::LeakageModel leakage =
+      power::characterize_leakage(fp, power::ProcessConfig{});
+
+  // OFTEC.
+  core::CoolingSystem::Config cfg;
+  cfg.grid_nx = cfg.grid_ny = 8;
+  const core::CoolingSystem system(fp, max_power, leakage, cfg);
+  const core::OftecResult r = core::run_oftec(system);
+
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(r.max_chip_temperature, system.t_max());
+  EXPECT_GT(r.omega, 0.0);
+  EXPECT_GT(r.current, 0.0);
+  // The trace reduction must equal the profile's peak map, so the result
+  // matches running OFTEC on the peak map directly.
+  const core::CoolingSystem direct(
+      fp, workload::peak_power_map(prof, fp), leakage, cfg);
+  const core::OftecResult r_direct = core::run_oftec(direct);
+  ASSERT_TRUE(r_direct.success);
+  EXPECT_NEAR(r.power.total(), r_direct.power.total(), 1e-6);
+}
+
+TEST(FullFlow, FileBasedPipeline) {
+  // Floorplan through the .flp round trip…
+  const floorplan::Floorplan built_in = floorplan::make_ev6_floorplan();
+  std::stringstream flp_buffer;
+  floorplan::write_flp(built_in, flp_buffer);
+  const floorplan::Floorplan fp = floorplan::read_flp(flp_buffer);
+
+  // …package/process through the config reader…
+  std::istringstream config_text("t_max_c = 92\nprocess.total_leakage_w = 5\n");
+  const package::ConfigBundle bundle = package::read_config(config_text);
+
+  // …workload from a trace, and OFTEC on top.
+  const auto& prof = workload::profile_for(workload::Benchmark::kBasicmath);
+  const workload::PowerTrace trace = workload::generate_trace(prof, fp);
+  const power::PowerMap max_power = workload::max_power_map(trace, fp);
+  const power::LeakageModel leakage =
+      power::characterize_leakage(fp, bundle.process);
+
+  core::CoolingSystem::Config cfg;
+  cfg.package = bundle.package;
+  cfg.grid_nx = cfg.grid_ny = 8;
+  const core::CoolingSystem system(fp, max_power, leakage, cfg);
+  const core::OftecResult r = core::run_oftec(system);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(r.max_chip_temperature, units::celsius_to_kelvin(92.0));
+}
+
+TEST(FullFlow, MeanPowerVectorIsEasierToCool) {
+  // Using the mean instead of the max (a controller that tracks averages)
+  // must always produce a cheaper solution — sanity on the Sec. 6.1 choice
+  // of feeding OFTEC the per-element *maximum*.
+  const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
+  const auto& prof = workload::profile_for(workload::Benchmark::kSusan);
+  const workload::PowerTrace trace = workload::generate_trace(prof, fp);
+  const power::LeakageModel leakage =
+      power::characterize_leakage(fp, power::ProcessConfig{});
+
+  core::CoolingSystem::Config cfg;
+  cfg.grid_nx = cfg.grid_ny = 8;
+  const core::CoolingSystem at_max(
+      fp, workload::max_power_map(trace, fp), leakage, cfg);
+  const core::CoolingSystem at_mean(
+      fp, workload::mean_power_map(trace, fp), leakage, cfg);
+
+  const core::OftecResult r_max = core::run_oftec(at_max);
+  const core::OftecResult r_mean = core::run_oftec(at_mean);
+  ASSERT_TRUE(r_max.success);
+  ASSERT_TRUE(r_mean.success);
+  EXPECT_LT(r_mean.power.total(), r_max.power.total());
+  EXPECT_LT(r_mean.max_chip_temperature, r_max.max_chip_temperature);
+}
+
+}  // namespace
+}  // namespace oftec

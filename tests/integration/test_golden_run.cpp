@@ -1,0 +1,71 @@
+// Golden-run calibration guard.
+//
+// EXPERIMENTS.md reports specific reproduced numbers; this test pins the
+// OFTEC outputs for all eight benchmarks (at the default 10×10 grid) inside
+// generous brackets around the recorded golden values, so an accidental
+// change to the device constants, leakage calibration, benchmark profiles,
+// or solver behaviour shows up as a named failure instead of silently
+// shifting every figure.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/oftec.h"
+#include "floorplan/ev6.h"
+#include "power/mcpat_like.h"
+#include "util/units.h"
+#include "workload/benchmarks.h"
+
+namespace oftec::core {
+namespace {
+
+struct Golden {
+  double current_a;   ///< I*
+  double omega_rpm;   ///< ω*
+  double power_w;     ///< 𝒫*
+};
+
+// Values recorded from the calibrated build (see EXPERIMENTS.md Table 2
+// section). Brackets below allow ±0.25 A, ±25 % RPM, ±15 % power.
+const std::map<workload::Benchmark, Golden>& golden() {
+  static const std::map<workload::Benchmark, Golden> g = {
+      {workload::Benchmark::kBasicmath, {0.37, 1120.0, 11.63}},
+      {workload::Benchmark::kBitCount, {1.22, 1802.0, 18.37}},
+      {workload::Benchmark::kCrc32, {0.33, 1070.0, 10.97}},
+      {workload::Benchmark::kDijkstra, {0.48, 1305.0, 14.38}},
+      {workload::Benchmark::kFft, {0.47, 1270.0, 13.82}},
+      {workload::Benchmark::kQuicksort, {0.94, 1628.0, 16.43}},
+      {workload::Benchmark::kStringsearch, {0.37, 1136.0, 11.85}},
+      {workload::Benchmark::kSusan, {0.64, 1407.0, 14.94}},
+  };
+  return g;
+}
+
+class GoldenRunTest : public ::testing::TestWithParam<workload::Benchmark> {};
+
+TEST_P(GoldenRunTest, OftecOutputWithinRecordedBrackets) {
+  const workload::Benchmark b = GetParam();
+  const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
+  const power::LeakageModel leakage =
+      power::characterize_leakage(fp, power::ProcessConfig{});
+  const CoolingSystem system(
+      fp, workload::peak_power_map(workload::profile_for(b), fp), leakage,
+      {});
+  const OftecResult r = run_oftec(system);
+  ASSERT_TRUE(r.success);
+
+  const Golden& expect = golden().at(b);
+  EXPECT_NEAR(r.current, expect.current_a, 0.25);
+  EXPECT_NEAR(units::rad_s_to_rpm(r.omega), expect.omega_rpm,
+              0.25 * expect.omega_rpm);
+  EXPECT_NEAR(r.power.total(), expect.power_w, 0.15 * expect.power_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, GoldenRunTest,
+                         ::testing::ValuesIn(workload::all_benchmarks()),
+                         [](const auto& info) {
+                           return workload::benchmark_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace oftec::core

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/regression.h"
+#include "util/rng.h"
+
+namespace oftec::la {
+namespace {
+
+TEST(FitLine, RecoversExactLine) {
+  const Vector x = {1.0, 2.0, 3.0, 4.0};
+  Vector y(4);
+  for (std::size_t i = 0; i < 4; ++i) y[i] = 2.5 * x[i] - 1.0;
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataHasLowerR2) {
+  util::Rng rng(4);
+  Vector x(50), y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 0.5 * x[i] + rng.normal(0.0, 5.0);
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.15);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.5);
+}
+
+TEST(FitLine, ErrorsOnDegenerateInput) {
+  EXPECT_THROW((void)fit_line({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_line({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_line({2.0, 2.0}, {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(FitLine, ConstantYGivesZeroSlopeAndR2One) {
+  const LinearFit fit = fit_line({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LeastSquares, SolvesOverdeterminedSystem) {
+  // y = 3 + 2·t fitted through a 2-column design matrix [1 t].
+  DenseMatrix design(5, 2);
+  Vector y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double t = static_cast<double>(i);
+    design(i, 0) = 1.0;
+    design(i, 1) = t;
+    y[i] = 3.0 + 2.0 * t;
+  }
+  const Vector beta = least_squares(design, y);
+  EXPECT_NEAR(beta[0], 3.0, 1e-10);
+  EXPECT_NEAR(beta[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MatchesFitLineOnSameData) {
+  util::Rng rng(8);
+  const std::size_t n = 30;
+  DenseMatrix design(n, 2);
+  Vector x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 10.0);
+    y[i] = -1.2 * x[i] + 7.0 + rng.normal(0.0, 0.1);
+    design(i, 0) = x[i];
+    design(i, 1) = 1.0;
+  }
+  const Vector beta = least_squares(design, y);
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(beta[0], fit.slope, 1e-9);
+  EXPECT_NEAR(beta[1], fit.intercept, 1e-9);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  DenseMatrix design(1, 2);
+  EXPECT_THROW((void)least_squares(design, {1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, RowMismatchThrows) {
+  DenseMatrix design(3, 2);
+  EXPECT_THROW((void)least_squares(design, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::la

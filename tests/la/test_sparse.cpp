@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "la/dense_matrix.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+
+namespace oftec::la {
+namespace {
+
+TEST(TripletBuilder, CoalescesDuplicates) {
+  TripletBuilder builder(3);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 0, 2.0);
+  builder.add(1, 2, -1.0);
+  const CsrMatrix m = builder.build();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.get(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.get(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m.get(2, 2), 0.0);
+}
+
+TEST(TripletBuilder, OutOfRangeThrows) {
+  TripletBuilder builder(2);
+  EXPECT_THROW(builder.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(builder.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(CsrMatrix, MultiplyMatchesManual) {
+  TripletBuilder builder(2);
+  builder.add(0, 0, 2.0);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 1, 3.0);
+  const CsrMatrix m = builder.build();
+  const Vector y = m.multiply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(CsrMatrix, Diagonal) {
+  TripletBuilder builder(3);
+  builder.add(0, 0, 5.0);
+  builder.add(2, 2, -2.0);
+  builder.add(0, 1, 9.0);
+  const Vector d = builder.build().diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -2.0);
+}
+
+TEST(CsrMatrix, Bandwidths) {
+  TripletBuilder builder(5);
+  builder.add(0, 3, 1.0);  // ku = 3
+  builder.add(4, 2, 1.0);  // kl = 2
+  const auto [kl, ku] = builder.build().bandwidths();
+  EXPECT_EQ(kl, 2u);
+  EXPECT_EQ(ku, 3u);
+}
+
+TEST(CsrMatrix, ToBandedRoundTrip) {
+  util::Rng rng(5);
+  TripletBuilder builder(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    builder.add(i, i, rng.uniform(1.0, 2.0));
+    if (i + 2 < 10) builder.add(i, i + 2, rng.uniform(-1.0, 1.0));
+    if (i >= 1) builder.add(i, i - 1, rng.uniform(-1.0, 1.0));
+  }
+  const CsrMatrix m = builder.build();
+  const auto [kl, ku] = m.bandwidths();
+  const BandedMatrix band = m.to_banded(kl, ku);
+  const Vector x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_LT(max_abs_diff(band.multiply(x), m.multiply(x)), 1e-14);
+}
+
+TEST(CsrMatrix, ToBandedOutsideBandThrows) {
+  TripletBuilder builder(4);
+  builder.add(0, 3, 1.0);
+  const CsrMatrix m = builder.build();
+  EXPECT_THROW((void)m.to_banded(0, 1), std::invalid_argument);
+}
+
+TEST(CsrMatrix, SymmetryCheck) {
+  TripletBuilder sym(2);
+  sym.add(0, 1, 2.0);
+  sym.add(1, 0, 2.0);
+  sym.add(0, 0, 1.0);
+  EXPECT_TRUE(sym.build().is_symmetric());
+
+  TripletBuilder asym(2);
+  asym.add(0, 1, 2.0);
+  EXPECT_FALSE(asym.build().is_symmetric());
+}
+
+TEST(BandedToCsr, PreservesEntriesAndDropsStoredZeros) {
+  BandedMatrix band(5, 1, 1);
+  band.at(0, 0) = 2.0;
+  band.at(0, 1) = -1.0;
+  band.at(1, 0) = -1.0;
+  band.at(1, 1) = 2.0;
+  band.at(2, 2) = 3.0;
+  band.at(3, 3) = 1.0;
+  band.at(4, 4) = 1.0;
+  const CsrMatrix csr = banded_to_csr(band);
+  EXPECT_DOUBLE_EQ(csr.get(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(csr.get(2, 2), 3.0);
+  // Stored-but-zero off-diagonals are dropped; diagonals always kept.
+  EXPECT_EQ(csr.nnz(), 5u + 2u);
+  const Vector x = {1, 2, 3, 4, 5};
+  EXPECT_LT(max_abs_diff(csr.multiply(x), band.multiply(x)), 1e-14);
+}
+
+TEST(BandedToCsr, MatvecMatchesOnRandomBand) {
+  util::Rng rng(31);
+  BandedMatrix band(12, 3, 2);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if (band.in_band(i, j)) band.at(i, j) = rng.uniform(-2.0, 2.0);
+    }
+  }
+  const CsrMatrix csr = banded_to_csr(band);
+  Vector x(12);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  EXPECT_LT(max_abs_diff(csr.multiply(x), band.multiply(x)), 1e-13);
+}
+
+TEST(CsrMatrix, EmptyRowsHandled) {
+  TripletBuilder builder(4);
+  builder.add(3, 3, 1.0);
+  const CsrMatrix m = builder.build();
+  const Vector y = m.multiply({1.0, 1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 2.0);
+}
+
+}  // namespace
+}  // namespace oftec::la

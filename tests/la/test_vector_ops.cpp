@@ -1,0 +1,52 @@
+#include "la/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace oftec::la {
+namespace {
+
+TEST(VectorOps, Dot) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(dot({}, {}), 0.0);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+  EXPECT_THROW((void)dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, Norms) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0, 5.0}), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+}
+
+TEST(VectorOps, Axpy) {
+  Vector y = {1.0, 1.0};
+  axpy(2.0, {3.0, -1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorOps, Scale) {
+  Vector x = {2.0, -4.0};
+  scale(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(VectorOps, MaxElementAndArgmax) {
+  const Vector v = {3.0, 9.0, -2.0, 9.0};
+  EXPECT_DOUBLE_EQ(max_element_value(v), 9.0);
+  EXPECT_EQ(argmax(v), 1u);  // first maximum wins
+  EXPECT_THROW((void)max_element_value({}), std::invalid_argument);
+  EXPECT_THROW((void)argmax({}), std::invalid_argument);
+}
+
+TEST(VectorOps, SumAndMaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(sum({1.0, 2.0, 3.5}), 6.5);
+  EXPECT_DOUBLE_EQ(max_abs_diff({1.0, 5.0}, {2.0, 4.0}), 1.0);
+  EXPECT_THROW((void)max_abs_diff({1.0}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::la

@@ -1,0 +1,103 @@
+#include "opt/qp.h"
+
+#include <gtest/gtest.h>
+
+namespace oftec::opt {
+namespace {
+
+TEST(Qp, UnconstrainedMinimum) {
+  // min ½dᵀHd + gᵀd with H = diag(2, 4), g = (−2, −8) → d = (1, 2).
+  const la::DenseMatrix h = {{2.0, 0.0}, {0.0, 4.0}};
+  const la::Vector g = {-2.0, -8.0};
+  const la::DenseMatrix a(0, 2);
+  const QpResult r = solve_qp(h, g, a, {});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.d[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.d[1], 2.0, 1e-10);
+}
+
+TEST(Qp, InactiveConstraintIgnored) {
+  const la::DenseMatrix h = {{2.0, 0.0}, {0.0, 2.0}};
+  const la::Vector g = {-2.0, -2.0};  // unconstrained min at (1, 1)
+  const la::DenseMatrix a = {{1.0, 0.0}};  // d0 ≤ 5
+  const QpResult r = solve_qp(h, g, a, {5.0});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.d[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.multipliers[0], 0.0, 1e-10);
+}
+
+TEST(Qp, ActiveConstraintBindsWithPositiveMultiplier) {
+  const la::DenseMatrix h = {{2.0, 0.0}, {0.0, 2.0}};
+  const la::Vector g = {-2.0, -2.0};
+  const la::DenseMatrix a = {{1.0, 0.0}};  // d0 ≤ 0.25
+  const QpResult r = solve_qp(h, g, a, {0.25});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.d[0], 0.25, 1e-10);
+  EXPECT_NEAR(r.d[1], 1.0, 1e-10);
+  EXPECT_GT(r.multipliers[0], 0.0);
+}
+
+TEST(Qp, TwoActiveConstraintsPinTheSolution) {
+  const la::DenseMatrix h = {{1.0, 0.0}, {0.0, 1.0}};
+  const la::Vector g = {-10.0, -10.0};
+  const la::DenseMatrix a = {{1.0, 0.0}, {0.0, 1.0}};
+  const QpResult r = solve_qp(h, g, a, {1.0, 2.0});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.d[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.d[1], 2.0, 1e-10);
+  EXPECT_GT(r.multipliers[0], 0.0);
+  EXPECT_GT(r.multipliers[1], 0.0);
+}
+
+TEST(Qp, NegativeRhsRequiresMoving) {
+  // Constraint −d0 ≤ −1 (i.e. d0 ≥ 1) while the objective pulls toward 0.
+  const la::DenseMatrix h = {{2.0}};
+  const la::Vector g = {0.0};
+  const la::DenseMatrix a = {{-1.0}};
+  const QpResult r = solve_qp(h, g, a, {-1.0});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.d[0], 1.0, 1e-10);
+}
+
+TEST(Qp, InfeasibleSystemReturnsElasticFallback) {
+  // d0 ≤ −1 and −d0 ≤ −1 (d0 ≥ 1) cannot both hold.
+  const la::DenseMatrix h = {{2.0}};
+  const la::Vector g = {0.0};
+  const la::DenseMatrix a = {{1.0}, {-1.0}};
+  const QpResult r = solve_qp(h, g, a, {-1.0, -1.0});
+  EXPECT_FALSE(r.feasible);
+  ASSERT_EQ(r.d.size(), 1u);  // still returns a usable direction
+}
+
+TEST(Qp, ObjectiveValueReported) {
+  const la::DenseMatrix h = {{2.0}};
+  const la::Vector g = {-4.0};
+  const la::DenseMatrix a(0, 1);
+  const QpResult r = solve_qp(h, g, a, {});
+  // d = 2, obj = ½·2·4 − 4·2 = −4.
+  EXPECT_NEAR(r.objective, -4.0, 1e-10);
+}
+
+TEST(Qp, ShapeMismatchThrows) {
+  const la::DenseMatrix h = {{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_THROW((void)solve_qp(h, {1.0}, la::DenseMatrix(0, 2), {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)solve_qp(h, {1.0, 2.0}, la::DenseMatrix{{1.0, 0.0}}, {}),
+      std::invalid_argument);
+}
+
+TEST(Qp, BoxRowsEmulateBounds) {
+  // Typical SQP usage: objective pulls outside the box; both box rows clip.
+  const la::DenseMatrix h = {{1.0, 0.0}, {0.0, 1.0}};
+  const la::Vector g = {-100.0, 50.0};
+  const la::DenseMatrix a = {{1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0}};
+  const la::Vector rhs = {2.0, 2.0, 3.0, 3.0};  // |d| ≤ (2, 3)
+  const QpResult r = solve_qp(h, g, a, rhs);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.d[0], 2.0, 1e-10);
+  EXPECT_NEAR(r.d[1], -3.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace oftec::opt

@@ -1,0 +1,115 @@
+#include "package/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/units.h"
+
+namespace oftec::package {
+namespace {
+
+TEST(ConfigIo, EmptyInputYieldsPaperDefaults) {
+  std::istringstream in("");
+  const ConfigBundle b = read_config(in);
+  EXPECT_NEAR(b.package.t_max, units::celsius_to_kelvin(90.0), 1e-9);
+  EXPECT_NEAR(b.package.fan.max_speed, 524.0, 1e-6);
+  EXPECT_DOUBLE_EQ(b.process.node_nm, 22.0);
+}
+
+TEST(ConfigIo, OverridesApply) {
+  std::istringstream in(R"(
+# harsher environment, smaller fan
+t_max_c      = 80
+ambient_c    = 50
+fan.max_rpm  = 3000
+tec.max_current = 4
+process.total_leakage_w = 8.5
+heat_sink.width_mm = 50
+)");
+  const ConfigBundle b = read_config(in);
+  EXPECT_NEAR(b.package.t_max, units::celsius_to_kelvin(80.0), 1e-9);
+  EXPECT_NEAR(b.package.ambient, units::celsius_to_kelvin(50.0), 1e-9);
+  EXPECT_NEAR(units::rad_s_to_rpm(b.package.fan.max_speed), 3000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(b.package.tec.max_current, 4.0);
+  EXPECT_DOUBLE_EQ(b.process.total_leakage_at_t0, 8.5);
+  EXPECT_NEAR(b.package.layer(LayerRole::kHeatSink).width, 0.05, 1e-12);
+}
+
+TEST(ConfigIo, SectionsAndCommentsIgnored) {
+  std::istringstream in("[package]\n# a comment\nt_max_c = 85\n");
+  const ConfigBundle b = read_config(in);
+  EXPECT_NEAR(b.package.t_max, units::celsius_to_kelvin(85.0), 1e-9);
+}
+
+TEST(ConfigIo, UnknownKeyThrowsWithLineNumber) {
+  std::istringstream in("\nt_maax_c = 80\n");
+  try {
+    (void)read_config(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+    EXPECT_NE(msg.find("t_maax_c"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, BadValueThrows) {
+  std::istringstream in("t_max_c = hot\n");
+  EXPECT_THROW((void)read_config(in), std::runtime_error);
+  std::istringstream in2("t_max_c 90\n");
+  EXPECT_THROW((void)read_config(in2), std::runtime_error);
+}
+
+TEST(ConfigIo, InvalidPhysicsRejectedByValidate) {
+  // t_max below ambient survives parsing but fails validation.
+  std::istringstream in("t_max_c = 30\n");
+  EXPECT_THROW((void)read_config(in), std::invalid_argument);
+}
+
+TEST(ConfigIo, RoundTripsThroughWriteConfig) {
+  std::istringstream in(
+      "t_max_c = 85\ntec.seebeck = 0.003\nchip.thickness_um = 25\n");
+  const ConfigBundle original = read_config(in);
+
+  std::stringstream buffer;
+  write_config(original, buffer);
+  const ConfigBundle parsed = read_config(buffer);
+
+  EXPECT_NEAR(parsed.package.t_max, original.package.t_max, 1e-6);
+  EXPECT_NEAR(parsed.package.tec.seebeck, original.package.tec.seebeck,
+              1e-12);
+  EXPECT_NEAR(parsed.package.layer(LayerRole::kChip).thickness,
+              original.package.layer(LayerRole::kChip).thickness, 1e-12);
+  EXPECT_NEAR(parsed.process.total_leakage_at_t0,
+              original.process.total_leakage_at_t0, 1e-9);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_config_file("/nonexistent/oftec.cfg"),
+               std::runtime_error);
+}
+
+TEST(ConfigIo, LayerKeysCoverEveryLayer) {
+  std::istringstream in(R"(
+pcb.conductivity           = 0.4
+chip.conductivity          = 120
+tim1.conductivity          = 2.0
+tec_layer.conductivity     = 7.5
+heat_spreader.conductivity = 390
+tim2.conductivity          = 2.0
+heat_sink.conductivity     = 390
+)");
+  const ConfigBundle b = read_config(in);
+  EXPECT_DOUBLE_EQ(b.package.layer(LayerRole::kPcb).material.conductivity,
+                   0.4);
+  EXPECT_DOUBLE_EQ(b.package.layer(LayerRole::kChip).material.conductivity,
+                   120.0);
+  EXPECT_DOUBLE_EQ(b.package.layer(LayerRole::kTec).material.conductivity,
+                   7.5);
+  EXPECT_DOUBLE_EQ(
+      b.package.layer(LayerRole::kHeatSink).material.conductivity, 390.0);
+}
+
+}  // namespace
+}  // namespace oftec::package

@@ -1,0 +1,49 @@
+#include "package/fan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace oftec::package {
+namespace {
+
+TEST(Fan, CubicLaw) {
+  const FanModel fan;  // paper constants
+  EXPECT_DOUBLE_EQ(fan.power(0.0), 0.0);
+  EXPECT_NEAR(fan.power(100.0), 1.6e-7 * 1e6, 1e-12);
+  // Doubling the speed costs 8×.
+  EXPECT_NEAR(fan.power(200.0) / fan.power(100.0), 8.0, 1e-9);
+}
+
+TEST(Fan, PaperMaxSpeedPowerScale) {
+  // At ω_max = 524 rad/s the paper's constant gives ≈ 23 W.
+  const FanModel fan;
+  EXPECT_NEAR(fan.power(524.0), 23.0, 0.1);
+}
+
+TEST(Fan, At2000RpmPowerIsModerate) {
+  const FanModel fan;
+  const double p = fan.power(units::rpm_to_rad_s(2000.0));
+  EXPECT_GT(p, 1.0);
+  EXPECT_LT(p, 2.0);
+}
+
+TEST(Fan, RejectsOutOfRangeSpeeds) {
+  const FanModel fan;
+  EXPECT_THROW((void)fan.power(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)fan.power(fan.max_speed * 1.01), std::invalid_argument);
+  EXPECT_NO_THROW((void)fan.power(fan.max_speed));
+}
+
+TEST(Fan, ValidateRejectsNonPhysical) {
+  FanModel fan;
+  fan.power_constant = 0.0;
+  EXPECT_THROW(fan.validate(), std::invalid_argument);
+  fan = FanModel{};
+  fan.max_speed = -5.0;
+  EXPECT_THROW(fan.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(FanModel{}.validate());
+}
+
+}  // namespace
+}  // namespace oftec::package

@@ -1,0 +1,100 @@
+#include "package/heatsink.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace oftec::package {
+namespace {
+
+TEST(HeatSink, LogLawAtSpeed) {
+  const HeatSinkFanModel m;  // paper constants p=0.97, q=1, r=−0.25
+  const double omega = 524.0;
+  EXPECT_NEAR(m.conductance(omega), 0.97 * std::log(524.0) - 0.25, 1e-12);
+}
+
+TEST(HeatSink, FlooredAtNaturalConvection) {
+  const HeatSinkFanModel m;
+  EXPECT_DOUBLE_EQ(m.conductance(0.0), m.g_natural);
+  EXPECT_DOUBLE_EQ(m.conductance(1.0), m.g_natural);  // log(1) = 0 < floor
+}
+
+TEST(HeatSink, MonotoneNonDecreasing) {
+  const HeatSinkFanModel m;
+  double last = 0.0;
+  for (double w = 0.0; w <= 524.0; w += 10.0) {
+    const double g = m.conductance(w);
+    EXPECT_GE(g, last);
+    last = g;
+  }
+}
+
+TEST(HeatSink, NegativeSpeedThrows) {
+  const HeatSinkFanModel m;
+  EXPECT_THROW((void)m.conductance(-0.1), std::invalid_argument);
+}
+
+TEST(HeatSink, CrossoverSeparatesRegimes) {
+  const HeatSinkFanModel m;
+  const double w_cross = m.crossover_speed();
+  EXPECT_NEAR(m.conductance(w_cross), m.g_natural, 1e-9);
+  EXPECT_GT(m.conductance(w_cross * 2.0), m.g_natural);
+  EXPECT_DOUBLE_EQ(m.conductance(w_cross * 0.5), m.g_natural);
+}
+
+TEST(HeatSink, DerivativeMatchesFiniteDifference) {
+  const HeatSinkFanModel m;
+  const double w = 300.0;
+  const double h = 1e-4;
+  const double fd = (m.conductance(w + h) - m.conductance(w - h)) / (2 * h);
+  EXPECT_NEAR(m.conductance_derivative(w), fd, 1e-6);
+  EXPECT_DOUBLE_EQ(m.conductance_derivative(1.0), 0.0);  // floored region
+}
+
+TEST(HeatSink, FitRecoversParameters) {
+  // Reproduce the paper's calibration: sample a known log law, fit, compare.
+  HeatSinkFanModel truth;
+  truth.p = 0.97;
+  truth.r = -0.25;
+  std::vector<double> omegas, gs;
+  for (double w = 50.0; w <= 524.0; w += 25.0) {
+    omegas.push_back(w);
+    gs.push_back(truth.p * std::log(w) + truth.r);
+  }
+  const HeatSinkFanModel fitted = HeatSinkFanModel::fit(omegas, gs);
+  EXPECT_NEAR(fitted.p, truth.p, 1e-9);
+  EXPECT_NEAR(fitted.r, truth.r, 1e-9);
+}
+
+TEST(HeatSink, FitRejectsBadSamples) {
+  EXPECT_THROW((void)HeatSinkFanModel::fit({100.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)HeatSinkFanModel::fit({-1.0, 100.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(HeatSink, ValidateRejectsNonPhysical) {
+  HeatSinkFanModel m;
+  m.p = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = HeatSinkFanModel{};
+  m.q = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = HeatSinkFanModel{};
+  m.g_natural = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(HeatSink, PaperOperatingPoints) {
+  // Values the evaluation leans on: g at 2000 RPM ≈ 4.9 W/K, at 5000 RPM
+  // ≈ 5.8 W/K, natural floor 0.525 W/K.
+  const HeatSinkFanModel m;
+  EXPECT_NEAR(m.conductance(units::rpm_to_rad_s(2000.0)), 4.93, 0.05);
+  EXPECT_NEAR(m.conductance(units::rpm_to_rad_s(5000.0)), 5.82, 0.05);
+  EXPECT_DOUBLE_EQ(m.g_natural, 0.525);
+}
+
+}  // namespace
+}  // namespace oftec::package

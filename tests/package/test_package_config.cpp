@@ -1,0 +1,136 @@
+#include "package/package_config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace oftec::package {
+namespace {
+
+TEST(PackageConfig, PaperDefaultMatchesTable1) {
+  const PackageConfig cfg = PackageConfig::paper_default();
+  ASSERT_EQ(cfg.layers.size(), 7u);
+
+  const LayerSpec& chip = cfg.layer(LayerRole::kChip);
+  EXPECT_NEAR(chip.width, 15.9e-3, 1e-12);
+  EXPECT_NEAR(chip.thickness, 15e-6, 1e-15);
+  EXPECT_DOUBLE_EQ(chip.material.conductivity, 100.0);
+
+  const LayerSpec& tim1 = cfg.layer(LayerRole::kTim1);
+  EXPECT_NEAR(tim1.thickness, 20e-6, 1e-15);
+  EXPECT_DOUBLE_EQ(tim1.material.conductivity, 1.75);
+
+  const LayerSpec& spreader = cfg.layer(LayerRole::kSpreader);
+  EXPECT_NEAR(spreader.width, 30e-3, 1e-12);
+  EXPECT_NEAR(spreader.thickness, 1e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(spreader.material.conductivity, 400.0);
+
+  const LayerSpec& sink = cfg.layer(LayerRole::kHeatSink);
+  EXPECT_NEAR(sink.width, 60e-3, 1e-12);
+  EXPECT_NEAR(sink.thickness, 7e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(sink.material.conductivity, 400.0);
+}
+
+TEST(PackageConfig, PaperEnvironmentConstants) {
+  const PackageConfig cfg = PackageConfig::paper_default();
+  EXPECT_NEAR(cfg.ambient, units::celsius_to_kelvin(45.0), 1e-9);
+  EXPECT_NEAR(cfg.t_max, units::celsius_to_kelvin(90.0), 1e-9);
+  EXPECT_DOUBLE_EQ(cfg.tec.max_current, 5.0);
+  EXPECT_NEAR(cfg.fan.max_speed, 524.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cfg.fan.power_constant, 1.6e-7);
+}
+
+TEST(PackageConfig, TecLayerConductivityConsistentWithDevice) {
+  const PackageConfig cfg = PackageConfig::paper_default();
+  EXPECT_NEAR(cfg.layer(LayerRole::kTec).material.conductivity,
+              cfg.tec.layer_conductivity(), 1e-12);
+}
+
+TEST(PackageConfig, WithoutTecsAppliesFairnessRule) {
+  const PackageConfig cfg = PackageConfig::paper_default();
+  const PackageConfig base = cfg.without_tecs();
+  EXPECT_FALSE(base.has_tec);
+  // TEC layer persists as a conduction slab at composite conductivity —
+  // the combined TIM1+TEC series conductance is preserved.
+  EXPECT_NEAR(base.layer(LayerRole::kTec).material.conductivity,
+              cfg.tec.layer_conductivity(), 1e-12);
+  EXPECT_NEAR(base.filler_conductivity, cfg.tec.layer_conductivity(), 1e-12);
+  // Geometry untouched.
+  EXPECT_DOUBLE_EQ(base.layer(LayerRole::kTec).thickness,
+                   cfg.layer(LayerRole::kTec).thickness);
+  EXPECT_NO_THROW(base.validate());
+}
+
+TEST(PackageConfig, ScaledToDieResizesLayers) {
+  const PackageConfig cfg = PackageConfig::paper_default();
+  const PackageConfig scaled = cfg.scaled_to_die(22e-3, 22e-3);
+  EXPECT_NEAR(scaled.layer(LayerRole::kChip).width, 22e-3, 1e-12);
+  EXPECT_NEAR(scaled.layer(LayerRole::kTec).height, 22e-3, 1e-12);
+  // Overhanging layers scale proportionally: 30 mm × (22/15.9) ≈ 41.5 mm.
+  EXPECT_NEAR(scaled.layer(LayerRole::kSpreader).width,
+              30e-3 * 22.0 / 15.9, 1e-9);
+  EXPECT_NEAR(scaled.layer(LayerRole::kHeatSink).width,
+              60e-3 * 22.0 / 15.9, 1e-9);
+  // Thicknesses untouched.
+  EXPECT_DOUBLE_EQ(scaled.layer(LayerRole::kChip).thickness,
+                   cfg.layer(LayerRole::kChip).thickness);
+  EXPECT_NO_THROW(scaled.validate());
+}
+
+TEST(PackageConfig, ScaledToDieRejectsBadDie) {
+  const PackageConfig cfg = PackageConfig::paper_default();
+  EXPECT_THROW((void)cfg.scaled_to_die(0.0, 22e-3), std::invalid_argument);
+  EXPECT_THROW((void)cfg.scaled_to_die(22e-3, -1.0), std::invalid_argument);
+}
+
+TEST(PackageConfig, ValidateRejectsWrongLayerCount) {
+  PackageConfig cfg = PackageConfig::paper_default();
+  cfg.layers.pop_back();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PackageConfig, ValidateRejectsWrongOrder) {
+  PackageConfig cfg = PackageConfig::paper_default();
+  std::swap(cfg.layers[1], cfg.layers[2]);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PackageConfig, ValidateRejectsBadGeometry) {
+  PackageConfig cfg = PackageConfig::paper_default();
+  cfg.layers[4].thickness = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PackageConfig, ValidateRejectsLayerSmallerThanDie) {
+  PackageConfig cfg = PackageConfig::paper_default();
+  cfg.layers[4].width = 10e-3;  // spreader narrower than the chip
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PackageConfig, ValidateRejectsBadEnvironment) {
+  PackageConfig cfg = PackageConfig::paper_default();
+  cfg.t_max = cfg.ambient - 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PackageConfig, MissingRoleThrows) {
+  PackageConfig cfg = PackageConfig::paper_default();
+  cfg.layers.erase(cfg.layers.begin());
+  EXPECT_THROW((void)cfg.layer(LayerRole::kPcb), std::runtime_error);
+}
+
+TEST(Materials, LibraryValues) {
+  EXPECT_DOUBLE_EQ(materials::silicon().conductivity, 100.0);
+  EXPECT_DOUBLE_EQ(materials::thermal_paste().conductivity, 1.75);
+  EXPECT_DOUBLE_EQ(materials::copper().conductivity, 400.0);
+  EXPECT_GT(materials::tec_composite().conductivity,
+            materials::thermal_paste().conductivity);
+  for (const Material& m :
+       {materials::silicon(), materials::thermal_paste(), materials::copper(),
+        materials::fr4(), materials::tec_composite()}) {
+    EXPECT_GT(m.volumetric_heat_capacity, 0.0) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace oftec::package

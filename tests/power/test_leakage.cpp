@@ -1,0 +1,157 @@
+#include "power/leakage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "floorplan/ev6.h"
+
+namespace oftec::power {
+namespace {
+
+constexpr double kT0 = 318.15;
+
+const floorplan::Floorplan& shared_floorplan() {
+  static const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
+  return fp;
+}
+
+LeakageModel make_model() {
+  const floorplan::Floorplan& fp = shared_floorplan();
+  std::vector<double> p0(fp.block_count(), 0.0);
+  for (std::size_t b = 0; b < p0.size(); ++b) {
+    p0[b] = 0.1 * static_cast<double>(b + 1);
+  }
+  return LeakageModel(fp, std::move(p0), 0.03, kT0);
+}
+
+TEST(ExponentialTerm, EvaluatesExponential) {
+  const ExponentialTerm term{2.0, 0.03, 300.0};
+  EXPECT_DOUBLE_EQ(term.evaluate(300.0), 2.0);
+  EXPECT_NEAR(term.evaluate(323.1), 2.0 * std::exp(0.03 * 23.1), 1e-12);
+}
+
+TEST(LeakageModel, BlockLeakageMatchesFormula) {
+  const LeakageModel model = make_model();
+  EXPECT_NEAR(model.block_leakage(0, kT0), 0.1, 1e-12);
+  EXPECT_NEAR(model.block_leakage(0, kT0 + 10.0), 0.1 * std::exp(0.3), 1e-12);
+}
+
+TEST(LeakageModel, TotalIsSumOfBlocks) {
+  const LeakageModel model = make_model();
+  double expected = 0.0;
+  for (std::size_t b = 0; b < 18; ++b) {
+    expected += model.block_leakage(b, 350.0);
+  }
+  EXPECT_NEAR(model.total_leakage(350.0), expected, 1e-10);
+}
+
+TEST(LeakageModel, ValidatesConstruction) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  EXPECT_THROW(LeakageModel(fp, {1.0}, 0.03, kT0), std::invalid_argument);
+  std::vector<double> p0(fp.block_count(), 1.0);
+  EXPECT_THROW(LeakageModel(fp, p0, -0.1, kT0), std::invalid_argument);
+  p0[2] = -1.0;
+  EXPECT_THROW(LeakageModel(fp, p0, 0.03, kT0), std::invalid_argument);
+}
+
+TEST(Linearization, TangentMatchesDerivative) {
+  const ExponentialTerm term{1.5, 0.04, 310.0};
+  const TaylorCoefficients tc = tangent_linearize(term, 340.0);
+  EXPECT_NEAR(tc.b, term.evaluate(340.0), 1e-12);
+  EXPECT_NEAR(tc.a, 0.04 * term.evaluate(340.0), 1e-12);
+  EXPECT_DOUBLE_EQ(tc.t_ref, 340.0);
+  // First-order accuracy near the expansion point (second-order error is
+  // ~½β²·p ≈ 4e-3 at this distance).
+  EXPECT_NEAR(tc.evaluate(341.0), term.evaluate(341.0), 6e-3);
+}
+
+TEST(Linearization, ChordInterpolatesWindowEnds) {
+  // The least-squares chord over [lo, hi] must underestimate the exponential
+  // at the endpoints and overestimate in the middle (convexity).
+  const ExponentialTerm term{1.0, 0.03, 300.0};
+  const TaylorCoefficients chord = chord_linearize(term, 345.0, 300.0, 390.0, 10);
+  EXPECT_GT(chord.evaluate(345.0), term.evaluate(345.0));
+  EXPECT_LT(chord.evaluate(300.0), term.evaluate(300.0));
+  EXPECT_LT(chord.evaluate(390.0), term.evaluate(390.0));
+}
+
+TEST(Linearization, ChordSlopeExceedsTangentSlopeAtWindowStart) {
+  const ExponentialTerm term{1.0, 0.03, 300.0};
+  const TaylorCoefficients chord = chord_linearize(term, 300.0);
+  const TaylorCoefficients tangent = tangent_linearize(term, 300.0);
+  EXPECT_GT(chord.a, tangent.a);
+}
+
+TEST(Linearization, ChordIsIndependentOfExpansionPoint) {
+  // Re-centering only shifts b; the line itself (slope and values) is fixed.
+  const ExponentialTerm term{0.8, 0.035, 318.0};
+  const TaylorCoefficients c1 = chord_linearize(term, 320.0);
+  const TaylorCoefficients c2 = chord_linearize(term, 370.0);
+  EXPECT_NEAR(c1.a, c2.a, 1e-12);
+  EXPECT_NEAR(c1.evaluate(355.0), c2.evaluate(355.0), 1e-9);
+}
+
+TEST(Linearization, BadRangeThrows) {
+  const ExponentialTerm term{1.0, 0.03, 300.0};
+  EXPECT_THROW((void)chord_linearize(term, 345.0, 390.0, 300.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)chord_linearize(term, 345.0, 300.0, 390.0, 1),
+               std::invalid_argument);
+}
+
+TEST(LeakageModel, LinearizeBlockMatchesFreeFunction) {
+  const LeakageModel model = make_model();
+  const TaylorCoefficients via_model = model.linearize_block(3, 330.0);
+  const ExponentialTerm term{model.p0()[3], model.beta(), model.t0()};
+  const TaylorCoefficients via_term = chord_linearize(term, 330.0);
+  EXPECT_NEAR(via_model.a, via_term.a, 1e-12);
+  EXPECT_NEAR(via_model.b, via_term.b, 1e-12);
+}
+
+TEST(LeakageModel, LinearizeAllCoversEveryBlock) {
+  const LeakageModel model = make_model();
+  const auto all = model.linearize_all(335.0);
+  ASSERT_EQ(all.size(), 18u);
+  for (const auto& tc : all) {
+    EXPECT_GT(tc.a, 0.0);
+    EXPECT_GT(tc.b, 0.0);
+    EXPECT_DOUBLE_EQ(tc.t_ref, 335.0);
+  }
+}
+
+/// Property: the 10-point chord fit error against the true exponential,
+/// normalized by the window's peak value, stays bounded and grows
+/// monotonically with β (steeper exponentials linearize worse).
+class ChordAccuracyTest : public ::testing::TestWithParam<double> {};
+
+namespace {
+double chord_peak_relative_error(double beta) {
+  const ExponentialTerm term{1.0, beta, 318.15};
+  const TaylorCoefficients chord = chord_linearize(term, 345.0);
+  const double peak = term.evaluate(390.0);
+  double max_err = 0.0;
+  for (double t = 300.0; t <= 390.0; t += 5.0) {
+    max_err = std::max(max_err,
+                       std::abs(chord.evaluate(t) - term.evaluate(t)));
+  }
+  return max_err / peak;
+}
+}  // namespace
+
+TEST_P(ChordAccuracyTest, PeakRelativeErrorBounded) {
+  const double beta = GetParam();
+  EXPECT_LT(chord_peak_relative_error(beta), 0.35);
+}
+
+TEST_P(ChordAccuracyTest, ErrorGrowsWithBeta) {
+  const double beta = GetParam();
+  EXPECT_GE(chord_peak_relative_error(beta + 0.005),
+            chord_peak_relative_error(beta));
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, ChordAccuracyTest,
+                         ::testing::Values(0.01, 0.02, 0.03, 0.04, 0.05));
+
+}  // namespace
+}  // namespace oftec::power

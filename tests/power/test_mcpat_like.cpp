@@ -1,0 +1,80 @@
+#include "power/mcpat_like.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "floorplan/ev6.h"
+
+namespace oftec::power {
+namespace {
+
+TEST(LeakageBeta, ShrinksDoublingIntervalAtFinerNodes) {
+  // Finer node → leakage more temperature-sensitive → larger β.
+  EXPECT_GT(leakage_beta_for_node(22.0), leakage_beta_for_node(45.0));
+  EXPECT_GT(leakage_beta_for_node(45.0), leakage_beta_for_node(65.0));
+}
+
+TEST(LeakageBeta, PlausibleMagnitudeAt22nm) {
+  const double beta = leakage_beta_for_node(22.0);
+  // Doubling interval between ~15 K and ~30 K.
+  EXPECT_GT(beta, std::log(2.0) / 30.0);
+  EXPECT_LT(beta, std::log(2.0) / 15.0);
+}
+
+TEST(LeakageBeta, RejectsNonPositiveNode) {
+  EXPECT_THROW((void)leakage_beta_for_node(0.0), std::invalid_argument);
+}
+
+TEST(Characterize, TotalMatchesCalibrationTarget) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  ProcessConfig cfg;
+  cfg.total_leakage_at_t0 = 6.0;
+  const LeakageModel model = characterize_leakage(fp, cfg);
+  EXPECT_NEAR(model.total_leakage(cfg.t0), 6.0, 1e-9);
+}
+
+TEST(Characterize, CacheDensityRatioLowersCacheShare) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  ProcessConfig cfg;
+  const LeakageModel model = characterize_leakage(fp, cfg);
+
+  const auto l2 = *fp.find("L2");
+  const auto int_exec = *fp.find("IntExec");
+  const double l2_density =
+      model.p0()[l2] / fp.blocks()[l2].area();
+  const double core_density =
+      model.p0()[int_exec] / fp.blocks()[int_exec].area();
+  EXPECT_NEAR(l2_density / core_density, cfg.cache_density_ratio, 1e-9);
+}
+
+TEST(Characterize, EveryBlockGetsPositiveLeakage) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  const LeakageModel model = characterize_leakage(fp, ProcessConfig{});
+  for (const double p : model.p0()) EXPECT_GT(p, 0.0);
+}
+
+TEST(Characterize, RejectsBadConfig) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  ProcessConfig bad_total;
+  bad_total.total_leakage_at_t0 = 0.0;
+  EXPECT_THROW((void)characterize_leakage(fp, bad_total),
+               std::invalid_argument);
+  ProcessConfig bad_ratio;
+  bad_ratio.cache_density_ratio = 0.0;
+  EXPECT_THROW((void)characterize_leakage(fp, bad_ratio),
+               std::invalid_argument);
+}
+
+TEST(Characterize, BetaFollowsNode) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  ProcessConfig at22;
+  at22.node_nm = 22.0;
+  ProcessConfig at45;
+  at45.node_nm = 45.0;
+  EXPECT_GT(characterize_leakage(fp, at22).beta(),
+            characterize_leakage(fp, at45).beta());
+}
+
+}  // namespace
+}  // namespace oftec::power

@@ -1,0 +1,79 @@
+#include "power/power_map.h"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/ev6.h"
+
+namespace oftec::power {
+namespace {
+
+TEST(PowerMap, StartsAtZero) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  const PowerMap map(fp);
+  EXPECT_DOUBLE_EQ(map.total(), 0.0);
+  EXPECT_DOUBLE_EQ(map.get("IntExec"), 0.0);
+}
+
+TEST(PowerMap, SetGetByNameAndIndex) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  PowerMap map(fp);
+  map.set("FPMul", 2.5);
+  EXPECT_DOUBLE_EQ(map.get("FPMul"), 2.5);
+  const auto idx = *fp.find("FPMul");
+  EXPECT_DOUBLE_EQ(map.get(idx), 2.5);
+  map.set(idx, 3.0);
+  EXPECT_DOUBLE_EQ(map.get("FPMul"), 3.0);
+}
+
+TEST(PowerMap, UnknownNameThrows) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  PowerMap map(fp);
+  EXPECT_THROW(map.set("NoSuchUnit", 1.0), std::invalid_argument);
+  EXPECT_THROW((void)map.get("NoSuchUnit"), std::invalid_argument);
+}
+
+TEST(PowerMap, IndexOutOfRangeThrows) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  PowerMap map(fp);
+  EXPECT_THROW(map.set(fp.block_count(), 1.0), std::out_of_range);
+}
+
+TEST(PowerMap, AddAccumulates) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  PowerMap map(fp);
+  map.add("IntReg", 1.0);
+  map.add("IntReg", 0.5);
+  EXPECT_DOUBLE_EQ(map.get("IntReg"), 1.5);
+}
+
+TEST(PowerMap, TotalAndScale) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  PowerMap map(fp);
+  map.set("L2", 4.0);
+  map.set("Dcache", 6.0);
+  EXPECT_DOUBLE_EQ(map.total(), 10.0);
+  map.scale(0.5);
+  EXPECT_DOUBLE_EQ(map.total(), 5.0);
+}
+
+TEST(PowerMap, MaxWithTakesElementwiseMaximum) {
+  const auto fp = floorplan::make_ev6_floorplan();
+  PowerMap a(fp), b(fp);
+  a.set("IntExec", 2.0);
+  a.set("FPAdd", 1.0);
+  b.set("IntExec", 1.0);
+  b.set("FPAdd", 3.0);
+  a.max_with(b);
+  EXPECT_DOUBLE_EQ(a.get("IntExec"), 2.0);
+  EXPECT_DOUBLE_EQ(a.get("FPAdd"), 3.0);
+}
+
+TEST(PowerMap, MaxWithDifferentFloorplanThrows) {
+  const auto fp1 = floorplan::make_ev6_floorplan();
+  const auto fp2 = floorplan::make_ev6_floorplan();
+  PowerMap a(fp1), b(fp2);
+  EXPECT_THROW(a.max_with(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::power

@@ -1,0 +1,148 @@
+#include "tec/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oftec::tec {
+namespace {
+
+TecDeviceParams params() {
+  TecDeviceParams p;  // library defaults
+  return p;
+}
+
+TEST(TecDevice, EnergyConservation) {
+  // q̇_h − q̇_c must equal the electrical input power for any state.
+  const TecDeviceParams p = params();
+  for (double i : {0.0, 0.5, 1.0, 2.5, 5.0}) {
+    for (double dt : {-10.0, 0.0, 15.0}) {
+      const double tc = 340.0;
+      const double th = tc + dt;
+      const double qc = cold_side_heat(p, tc, th, i);
+      const double qh = hot_side_heat(p, tc, th, i);
+      const double pw = electrical_power(p, tc, th, i);
+      EXPECT_NEAR(qh - qc, pw, 1e-12) << "I=" << i << " dT=" << dt;
+    }
+  }
+}
+
+TEST(TecDevice, ZeroCurrentIsPureConduction) {
+  const TecDeviceParams p = params();
+  const double qc = cold_side_heat(p, 330.0, 350.0, 0.0);
+  EXPECT_NEAR(qc, -p.conductance * 20.0, 1e-12);
+  EXPECT_NEAR(electrical_power(p, 330.0, 350.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(TecDevice, PeltierTermScalesLinearly) {
+  const TecDeviceParams p = params();
+  const double q1 = cold_side_heat(p, 350.0, 350.0, 1.0) +
+                    0.5 * p.resistance;  // remove Joule, ΔT = 0
+  const double q2 = cold_side_heat(p, 350.0, 350.0, 2.0) +
+                    0.5 * p.resistance * 4.0;
+  EXPECT_NEAR(q2, 2.0 * q1, 1e-12);
+}
+
+TEST(TecDevice, MaxCoolingCurrentIsStationaryPoint) {
+  const TecDeviceParams p = params();
+  const double tc = 350.0;
+  const double i_opt = max_cooling_current(p, tc);
+  const double q_opt = cold_side_heat(p, tc, tc, i_opt);
+  // q̇_c(I) is a downward parabola: the optimum beats both neighbors.
+  EXPECT_GT(q_opt, cold_side_heat(p, tc, tc, i_opt * 0.9));
+  EXPECT_GT(q_opt, cold_side_heat(p, tc, tc, i_opt * 1.1));
+  EXPECT_NEAR(i_opt, p.seebeck * tc / p.resistance, 1e-12);
+}
+
+TEST(TecDevice, MaxDeltaTZeroesNetCooling) {
+  // At ΔT_max and I_opt the device pumps exactly zero net heat.
+  const TecDeviceParams p = params();
+  const double tc = 350.0;
+  const double dt_max = max_delta_t(p, tc);
+  const double i_opt = max_cooling_current(p, tc);
+  const double qc = cold_side_heat(p, tc, tc + dt_max, i_opt);
+  EXPECT_NEAR(qc, 0.0, 1e-9);
+}
+
+TEST(TecDevice, FigureOfMeritAndLayerConductivity) {
+  TecDeviceParams p;
+  p.seebeck = 0.002;
+  p.resistance = 0.05;
+  p.conductance = 0.08;
+  EXPECT_NEAR(p.figure_of_merit(), 0.002 * 0.002 / (0.05 * 0.08), 1e-15);
+  p.footprint = 1e-6;
+  p.thickness = 100e-6;
+  EXPECT_NEAR(p.layer_conductivity(), 0.08 * 100e-6 / 1e-6, 1e-12);
+}
+
+TEST(TecDevice, CopIsPositiveWhenCoolingEfficiently) {
+  const TecDeviceParams p = params();
+  const double c = cop(p, 350.0, 352.0, 1.0);
+  EXPECT_GT(c, 0.0);
+  EXPECT_DOUBLE_EQ(cop(p, 350.0, 352.0, 0.0), 0.0);  // zero power → 0
+}
+
+TEST(TecDevice, JouleHeatingSplitsEvenly) {
+  // The ±½RI² terms: q̇_h − Peltier − conduction and Peltier − q̇_c must
+  // both equal ½RI² at ΔT = 0.
+  const TecDeviceParams p = params();
+  const double tc = 350.0, i = 3.0;
+  const double joule_half = 0.5 * p.resistance * i * i;
+  EXPECT_NEAR(p.seebeck * tc * i - cold_side_heat(p, tc, tc, i), joule_half,
+              1e-12);
+  EXPECT_NEAR(hot_side_heat(p, tc, tc, i) - p.seebeck * tc * i, joule_half,
+              1e-12);
+}
+
+TEST(TecDevice, PeakHeatFluxIsThinFilmScale) {
+  // The paper motivates TECs with thin-film modules pumping "heat fluxes as
+  // large as ~1,300 W/cm²" (ref. [3], Chowdhury et al.). At the optimal
+  // current and zero ΔT, our default unit must land in the experimentally
+  // reported regime (hundreds to ~2000 W/cm² over its footprint).
+  const TecDeviceParams p = params();
+  const double tc = 350.0;
+  const double q_max = cold_side_heat(p, tc, tc, max_cooling_current(p, tc));
+  const double flux_w_per_cm2 = q_max / (p.footprint * 1e4);
+  EXPECT_GT(flux_w_per_cm2, 100.0);
+  EXPECT_LT(flux_w_per_cm2, 2000.0);
+}
+
+TEST(TecDevice, ValidateRejectsNonPhysical) {
+  TecDeviceParams p = params();
+  p.seebeck = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = params();
+  p.resistance = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = params();
+  p.conductance = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = params();
+  p.max_current = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = params();
+  p.footprint = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(params().validate());
+}
+
+/// Property: over the damage-safe current range, electrical power grows
+/// monotonically with current when ΔT ≥ 0.
+class TecPowerMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TecPowerMonotoneTest, PowerIncreasesWithCurrent) {
+  const TecDeviceParams p = params();
+  const double dt = GetParam();
+  double last = -1.0;
+  for (double i = 0.0; i <= p.max_current; i += 0.5) {
+    const double pw = electrical_power(p, 350.0, 350.0 + dt, i);
+    EXPECT_GT(pw, last);
+    last = pw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaT, TecPowerMonotoneTest,
+                         ::testing::Values(0.0, 5.0, 10.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace oftec::tec

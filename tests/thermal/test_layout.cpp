@@ -1,0 +1,73 @@
+#include "thermal/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oftec::thermal {
+namespace {
+
+TEST(Layout, RejectsZeroDimensions) {
+  EXPECT_THROW(NodeLayout(0, 3), std::invalid_argument);
+  EXPECT_THROW(NodeLayout(3, 0), std::invalid_argument);
+}
+
+TEST(Layout, NodeCount) {
+  const NodeLayout l(4, 3);
+  EXPECT_EQ(l.cells_per_layer(), 12u);
+  EXPECT_EQ(l.node_count(), 9 * 12 + 3);
+}
+
+TEST(Layout, AllIndicesUniqueAndContiguous) {
+  const NodeLayout l(5, 4);
+  std::set<std::size_t> seen;
+  for (std::size_t s = 0; s < kSlabCount; ++s) {
+    for (std::size_t c = 0; c < l.cells_per_layer(); ++c) {
+      const std::size_t idx = l.node(static_cast<Slab>(s), c);
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_LT(idx, l.node_count());
+    }
+  }
+  EXPECT_TRUE(seen.insert(l.spreader_ring()).second);
+  EXPECT_TRUE(seen.insert(l.tim2_ring()).second);
+  EXPECT_TRUE(seen.insert(l.sink_ring()).second);
+  EXPECT_EQ(seen.size(), l.node_count());
+  EXPECT_EQ(*seen.rbegin(), l.node_count() - 1);
+}
+
+TEST(Layout, RingNodesSitBetweenTheirSlabs) {
+  const NodeLayout l(3, 3);
+  const std::size_t c = l.cells_per_layer();
+  EXPECT_EQ(l.spreader_ring(), 7 * c);
+  EXPECT_EQ(l.tim2_ring(), 8 * c + 1);
+  EXPECT_EQ(l.sink_ring(), 9 * c + 2);
+  // TIM2/sink cells are shifted past the inserted ring nodes.
+  EXPECT_EQ(l.node(Slab::kTim2, 0), 7 * c + 1);
+  EXPECT_EQ(l.node(Slab::kSink, 0), 8 * c + 2);
+}
+
+TEST(Layout, VerticalNeighborsWithinBandwidth) {
+  const NodeLayout l(6, 6);
+  const std::size_t bw = l.bandwidth();
+  for (std::size_t c = 0; c < l.cells_per_layer(); ++c) {
+    for (std::size_t s = 0; s + 1 < kSlabCount; ++s) {
+      const std::size_t lo = l.node(static_cast<Slab>(s), c);
+      const std::size_t hi = l.node(static_cast<Slab>(s + 1), c);
+      EXPECT_LE(hi - lo, bw) << "slab " << s << " cell " << c;
+    }
+  }
+  EXPECT_LE(l.tim2_ring() - l.spreader_ring(), bw);
+  EXPECT_LE(l.sink_ring() - l.tim2_ring(), bw);
+}
+
+TEST(Layout, CellIndexRowMajor) {
+  const NodeLayout l(4, 3);
+  EXPECT_EQ(l.cell_index(0, 0), 0u);
+  EXPECT_EQ(l.cell_index(3, 0), 3u);
+  EXPECT_EQ(l.cell_index(0, 1), 4u);
+  EXPECT_THROW((void)l.cell_index(4, 0), std::out_of_range);
+  EXPECT_THROW((void)l.node(Slab::kChip, 12), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace oftec::thermal

@@ -1,0 +1,197 @@
+#include "thermal/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "floorplan/ev6.h"
+#include "power/mcpat_like.h"
+#include "thermal/steady.h"
+
+namespace oftec::thermal {
+namespace {
+
+const floorplan::Floorplan& fp() {
+  static const floorplan::Floorplan f = floorplan::make_ev6_floorplan();
+  return f;
+}
+
+const ThermalModel& model() {
+  static const ThermalModel m(package::PackageConfig::paper_default(), fp(),
+                              6, 6);
+  return m;
+}
+
+struct Workload {
+  la::Vector dynamic;
+  std::vector<power::ExponentialTerm> leak;
+};
+
+Workload make_workload(double watts, bool core_heavy = false) {
+  power::PowerMap dyn(fp());
+  const double uniform_share = core_heavy ? 0.5 : 1.0;
+  for (std::size_t b = 0; b < fp().block_count(); ++b) {
+    dyn.set(b, uniform_share * watts * fp().blocks()[b].area() /
+                   fp().die_area());
+  }
+  if (core_heavy) {
+    // Hot spots under the TEC-covered belt, so current steps visibly cool.
+    dyn.add("IntExec", 0.3 * watts);
+    dyn.add("IntReg", 0.2 * watts);
+  }
+  const auto leak_model =
+      power::characterize_leakage(fp(), power::ProcessConfig{});
+  return {model().distribute(dyn), model().cell_leakage(leak_model)};
+}
+
+ControlSchedule constant_control(double omega, double current) {
+  return [omega, current](double) { return ControlSetting{omega, current}; };
+}
+
+TEST(Transient, ValidatesOptions) {
+  const Workload w = make_workload(20.0);
+  TransientOptions bad;
+  bad.time_step = 0.0;
+  EXPECT_THROW(TransientSolver(model(), w.dynamic, w.leak, bad),
+               std::invalid_argument);
+  bad = TransientOptions{};
+  bad.record_stride = 0;
+  EXPECT_THROW(TransientSolver(model(), w.dynamic, w.leak, bad),
+               std::invalid_argument);
+}
+
+TEST(Transient, WarmUpApproachesSteadyState) {
+  const Workload w = make_workload(25.0);
+  TransientOptions opts;
+  opts.time_step = 20e-3;
+  opts.duration = 60.0;  // several sink time constants
+  opts.record_stride = 100;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(450.0, 0.5), transient.ambient_state());
+  ASSERT_FALSE(r.runaway);
+
+  const SteadySolver steady(model(), w.dynamic, w.leak);
+  const SteadyResult s = steady.solve(450.0, 0.5);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(r.samples.back().max_chip_temperature, s.max_chip_temperature,
+              0.5);
+}
+
+TEST(Transient, TemperatureRisesMonotonicallyFromAmbient) {
+  const Workload w = make_workload(25.0);
+  TransientOptions opts;
+  opts.time_step = 10e-3;
+  opts.duration = 2.0;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(450.0, 0.0), transient.ambient_state());
+  ASSERT_FALSE(r.runaway);
+  for (std::size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_GE(r.samples[i].max_chip_temperature,
+              r.samples[i - 1].max_chip_temperature - 1e-9);
+  }
+}
+
+TEST(Transient, SteadyInitialStateStaysPut) {
+  const Workload w = make_workload(22.0);
+  const SteadySolver steady(model(), w.dynamic, w.leak);
+  const SteadyResult s = steady.solve(400.0, 1.0);
+  ASSERT_TRUE(s.converged);
+
+  TransientOptions opts;
+  opts.time_step = 5e-3;
+  opts.duration = 0.5;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(400.0, 1.0), s.temperatures);
+  ASSERT_FALSE(r.runaway);
+  for (const TransientSample& sample : r.samples) {
+    EXPECT_NEAR(sample.max_chip_temperature, s.max_chip_temperature, 0.05);
+  }
+}
+
+TEST(Transient, CurrentStepCoolsFastThenJouleCatchesUp) {
+  // The key physics behind the paper's transient-boost extension: Peltier
+  // cooling is instantaneous, Joule heat arrives with the package RC delay.
+  const Workload w = make_workload(26.0, /*core_heavy=*/true);
+  const SteadySolver steady(model(), w.dynamic, w.leak);
+  const SteadyResult s = steady.solve(450.0, 0.5);
+  ASSERT_TRUE(s.converged);
+
+  TransientOptions opts;
+  opts.time_step = 2e-3;
+  opts.duration = 8.0;
+  opts.record_stride = 5;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(450.0, 2.0), s.temperatures);
+  ASSERT_FALSE(r.runaway);
+
+  // Minimum temperature happens early (sub-second), after which Joule heat
+  // pulls the chip back up.
+  double min_temp = 1e9, min_time = 0.0;
+  for (const TransientSample& sample : r.samples) {
+    if (sample.max_chip_temperature < min_temp) {
+      min_temp = sample.max_chip_temperature;
+      min_time = sample.time;
+    }
+  }
+  EXPECT_LT(min_temp, s.max_chip_temperature - 0.3);
+  EXPECT_LT(min_time, 2.0);
+  EXPECT_GT(r.samples.back().max_chip_temperature, min_temp + 0.1);
+}
+
+TEST(Transient, NoFanRunsAway) {
+  const Workload w = make_workload(35.0);
+  TransientOptions opts;
+  opts.time_step = 50e-3;
+  opts.duration = 600.0;
+  opts.record_stride = 200;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(0.0, 0.0), transient.ambient_state());
+  EXPECT_TRUE(r.runaway);
+}
+
+TEST(Transient, RecordStrideControlsSampleCount) {
+  const Workload w = make_workload(20.0);
+  TransientOptions opts;
+  opts.time_step = 10e-3;
+  opts.duration = 0.1;
+  opts.record_stride = 5;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(300.0, 0.0), transient.ambient_state());
+  ASSERT_FALSE(r.runaway);
+  // initial sample + floor(10/5) recorded steps.
+  EXPECT_EQ(r.samples.size(), 3u);
+  EXPECT_EQ(r.steps, 10u);
+}
+
+TEST(Transient, SamplesCarryPowerBreakdown) {
+  const Workload w = make_workload(20.0);
+  TransientOptions opts;
+  opts.time_step = 10e-3;
+  opts.duration = 0.05;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(300.0, 1.0), transient.ambient_state());
+  ASSERT_FALSE(r.runaway);
+  for (const TransientSample& s : r.samples) {
+    EXPECT_GT(s.leakage_power, 0.0);
+    EXPECT_GT(s.fan_power, 0.0);
+    EXPECT_GE(s.tec_power, 0.0);
+  }
+}
+
+TEST(Transient, StateArityChecked) {
+  const Workload w = make_workload(20.0);
+  const TransientSolver transient(model(), w.dynamic, w.leak);
+  EXPECT_THROW(
+      (void)transient.run(constant_control(300.0, 0.0), la::Vector(3, 318.0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::thermal

@@ -1,0 +1,76 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace oftec::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv;
+  csv.set_header({"bench", "power"});
+  csv.add_row({"Basicmath", "11.63"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "bench,power\nBasicmath,11.63\n");
+}
+
+TEST(Csv, QuotesFieldsWithCommasAndQuotes) {
+  CsvWriter csv;
+  csv.set_header({"a", "b"});
+  csv.add_row({"x,y", "say \"hi\""});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RowArityMismatchThrows) {
+  CsvWriter csv;
+  csv.set_header({"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<std::string>{"only-one"}),
+               std::invalid_argument);
+}
+
+TEST(Csv, HeaderAfterRowsThrows) {
+  CsvWriter csv;
+  csv.set_header({"a"});
+  csv.add_row(std::vector<std::string>{"1"});
+  EXPECT_THROW(csv.set_header({"b"}), std::logic_error);
+}
+
+TEST(Csv, DoubleRowFormatting) {
+  CsvWriter csv;
+  csv.set_header({"x", "y"});
+  csv.add_numeric_row({1.5, 2.25}, 2);
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "x,y\n1.50,2.25\n");
+}
+
+TEST(Csv, CountsRowsAndColumns) {
+  CsvWriter csv;
+  csv.set_header({"a", "b", "c"});
+  csv.add_row({"1", "2", "3"});
+  csv.add_row({"4", "5", "6"});
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_EQ(csv.column_count(), 3u);
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter csv;
+  csv.set_header({"k", "v"});
+  csv.add_row({"alpha", "1"});
+  const std::string path = ::testing::TempDir() + "/oftec_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1");
+}
+
+}  // namespace
+}  // namespace oftec::util

@@ -1,0 +1,91 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace oftec::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(42);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(99);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParametersShiftsAndScales) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.1);
+}
+
+TEST(Rng, UniformIndexStaysBelowBound) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_index(7), 7u);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(17);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.uniform_index(5)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace oftec::util

@@ -1,0 +1,43 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace oftec::util {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = sw.elapsed_ms();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 15.0);
+}
+
+TEST(Stopwatch, SecondsMatchMilliseconds) {
+  Stopwatch sw;
+  const double ms = sw.elapsed_ms();
+  const double s = sw.elapsed_s();
+  EXPECT_NEAR(s * 1000.0, ms, 5.0);
+}
+
+TEST(Stopwatch, MonotonicallyNonDecreasing) {
+  Stopwatch sw;
+  double last = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double now = sw.elapsed_ms();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace oftec::util

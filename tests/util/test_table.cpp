@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace oftec::util {
+namespace {
+
+TEST(Table, RendersHeaderUnderlineAndRows) {
+  Table t;
+  t.set_header({"bench", "P"});
+  t.add_row({"FFT", "13.8"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("bench"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("FFT"), std::string::npos);
+}
+
+TEST(Table, DefaultAlignmentLeftForFirstColumn) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  const std::string out = t.to_string();
+  // "a" padded right to width 4 ("name"), two-space separator, then "1"
+  // right-aligned to width 5 ("value"): "a" + 3 + 2 + 4 spaces + "1".
+  EXPECT_NE(out.find("a         1"), std::string::npos);
+}
+
+TEST(Table, ExplicitAlignment) {
+  Table t;
+  t.set_header({"x", "y"}, {Align::kRight, Align::kLeft});
+  t.add_row({"12", "ab"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("12  ab"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(Table, AlignsArityMismatchThrows) {
+  Table t;
+  EXPECT_THROW(t.set_header({"a", "b"}, {Align::kLeft}),
+               std::invalid_argument);
+}
+
+TEST(Table, HeaderAfterRowsThrows) {
+  Table t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"b"}), std::logic_error);
+}
+
+TEST(Table, ColumnsWidenToFitLongValues) {
+  Table t;
+  t.set_header({"n", "v"});
+  t.add_row({"Stringsearch", "123456"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Stringsearch"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oftec::util

@@ -1,0 +1,45 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace oftec::units {
+namespace {
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(45.0), 318.15);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(90.0), 363.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(37.25)), 37.25);
+}
+
+TEST(Units, RpmRadPerSecondRoundTrip) {
+  // Paper: ω_max = 524 rad/s corresponds to 5000 RPM (within rounding).
+  EXPECT_NEAR(rpm_to_rad_s(5000.0), 523.6, 0.1);
+  EXPECT_NEAR(rad_s_to_rpm(524.0), 5003.9, 0.1);
+  EXPECT_NEAR(rad_s_to_rpm(rpm_to_rad_s(2000.0)), 2000.0, 1e-9);
+}
+
+TEST(Units, ZeroSpeedMapsToZero) {
+  EXPECT_DOUBLE_EQ(rpm_to_rad_s(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rad_s_to_rpm(0.0), 0.0);
+}
+
+TEST(Units, LengthHelpers) {
+  EXPECT_DOUBLE_EQ(mm(15.9), 0.0159);
+  EXPECT_DOUBLE_EQ(um(20.0), 20.0e-6);
+  EXPECT_DOUBLE_EQ(m_to_mm(0.03), 30.0);
+}
+
+class RpmRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RpmRoundTripTest, IsExactWithinTolerance) {
+  const double rpm = GetParam();
+  EXPECT_NEAR(rad_s_to_rpm(rpm_to_rad_s(rpm)), rpm, 1e-9 * (1.0 + rpm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RpmRoundTripTest,
+                         ::testing::Values(1.0, 150.0, 1000.0, 2000.0, 2451.0,
+                                           3753.0, 5000.0));
+
+}  // namespace
+}  // namespace oftec::units

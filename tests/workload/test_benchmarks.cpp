@@ -1,0 +1,116 @@
+#include "workload/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "floorplan/ev6.h"
+
+namespace oftec::workload {
+namespace {
+
+const floorplan::Floorplan& fp() {
+  static const floorplan::Floorplan f = floorplan::make_ev6_floorplan();
+  return f;
+}
+
+TEST(Benchmarks, EightDistinctEntriesInTableOrder) {
+  const auto& all = all_benchmarks();
+  EXPECT_EQ(all.size(), kBenchmarkCount);
+  std::set<Benchmark> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), kBenchmarkCount);
+  EXPECT_EQ(all.front(), Benchmark::kBasicmath);
+  EXPECT_EQ(all.back(), Benchmark::kSusan);
+}
+
+TEST(Benchmarks, NamesMatchTable2) {
+  EXPECT_EQ(benchmark_name(Benchmark::kBasicmath), "Basicmath");
+  EXPECT_EQ(benchmark_name(Benchmark::kBitCount), "BitCount");
+  EXPECT_EQ(benchmark_name(Benchmark::kCrc32), "CRC32");
+  EXPECT_EQ(benchmark_name(Benchmark::kDijkstra), "Dijkstra");
+  EXPECT_EQ(benchmark_name(Benchmark::kFft), "FFT");
+  EXPECT_EQ(benchmark_name(Benchmark::kQuicksort), "Quicksort");
+  EXPECT_EQ(benchmark_name(Benchmark::kStringsearch), "Stringsearch");
+  EXPECT_EQ(benchmark_name(Benchmark::kSusan), "Susan");
+}
+
+TEST(Benchmarks, ByNameIsCaseInsensitiveRoundTrip) {
+  for (const Benchmark b : all_benchmarks()) {
+    const auto found = benchmark_by_name(benchmark_name(b));
+    ASSERT_TRUE(found.has_value()) << benchmark_name(b);
+    EXPECT_EQ(*found, b);
+  }
+  EXPECT_EQ(benchmark_by_name("quicksort"), Benchmark::kQuicksort);
+  EXPECT_EQ(benchmark_by_name("CRC32"), Benchmark::kCrc32);
+  EXPECT_EQ(benchmark_by_name("crc32"), Benchmark::kCrc32);
+  EXPECT_FALSE(benchmark_by_name("nosuchbench").has_value());
+}
+
+TEST(Benchmarks, ProfilesCoverEveryUnitWithPositiveWeight) {
+  for (const Benchmark b : all_benchmarks()) {
+    const BenchmarkProfile& p = profile_for(b);
+    EXPECT_EQ(p.id, b);
+    EXPECT_EQ(p.weights.size(), fp().block_count()) << p.name;
+    for (const UnitWeight& w : p.weights) {
+      EXPECT_GT(w.weight, 0.0) << p.name << "/" << w.unit;
+      EXPECT_TRUE(fp().find(w.unit).has_value()) << w.unit;
+    }
+  }
+}
+
+TEST(Benchmarks, PeakPowerMapTotalsMatchProfile) {
+  for (const Benchmark b : all_benchmarks()) {
+    const BenchmarkProfile& p = profile_for(b);
+    const power::PowerMap map = peak_power_map(p, fp());
+    EXPECT_NEAR(map.total(), p.peak_total_power, 1e-9) << p.name;
+  }
+}
+
+TEST(Benchmarks, FanOnlyFeasibleTrioIsLightest) {
+  // Calibration invariant behind Fig. 6(c/e): Basicmath, CRC32 and
+  // Stringsearch draw the least power — they are the three benchmarks a
+  // fan-only system can cool.
+  const double light = std::max(
+      {profile_for(Benchmark::kBasicmath).peak_total_power,
+       profile_for(Benchmark::kCrc32).peak_total_power,
+       profile_for(Benchmark::kStringsearch).peak_total_power});
+  for (const Benchmark b :
+       {Benchmark::kBitCount, Benchmark::kDijkstra, Benchmark::kFft,
+        Benchmark::kQuicksort, Benchmark::kSusan}) {
+    EXPECT_GT(profile_for(b).peak_total_power, light)
+        << benchmark_name(b);
+  }
+}
+
+TEST(Benchmarks, CharacterShowsInHotUnits) {
+  const auto peak = [&](Benchmark b, const char* unit) {
+    return peak_power_map(profile_for(b), fp()).get(unit);
+  };
+  // BitCount hammers the integer ALUs harder than CRC32 does.
+  EXPECT_GT(peak(Benchmark::kBitCount, "IntExec"),
+            peak(Benchmark::kCrc32, "IntExec"));
+  // FFT leads every other benchmark on the FP multiplier.
+  for (const Benchmark b : all_benchmarks()) {
+    if (b == Benchmark::kFft) continue;
+    EXPECT_GT(peak(Benchmark::kFft, "FPMul"), peak(b, "FPMul"))
+        << benchmark_name(b);
+  }
+  // Dijkstra stresses the load/store queue more than BitCount.
+  EXPECT_GT(peak(Benchmark::kDijkstra, "LdStQ"),
+            peak(Benchmark::kBitCount, "LdStQ"));
+}
+
+TEST(Benchmarks, PeakMapRejectsForeignFloorplan) {
+  // A floorplan lacking EV6 unit names cannot host these profiles.
+  floorplan::Floorplan other(1.0, 1.0);
+  floorplan::Block blk;
+  blk.name = "solo";
+  blk.x = 0.0; blk.y = 0.0; blk.width = 1.0; blk.height = 1.0;
+  other.add_block(blk);
+  EXPECT_THROW(
+      (void)peak_power_map(profile_for(Benchmark::kFft), other),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oftec::workload

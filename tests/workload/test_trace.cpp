@@ -1,0 +1,142 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/ev6.h"
+
+namespace oftec::workload {
+namespace {
+
+const floorplan::Floorplan& fp() {
+  static const floorplan::Floorplan f = floorplan::make_ev6_floorplan();
+  return f;
+}
+
+TEST(Trace, DeterministicForSameSeed) {
+  const auto& prof = profile_for(Benchmark::kQuicksort);
+  const PowerTrace a = generate_trace(prof, fp());
+  const PowerTrace b = generate_trace(prof, fp());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    for (std::size_t blk = 0; blk < fp().block_count(); ++blk) {
+      EXPECT_DOUBLE_EQ(a.samples[s].get(blk), b.samples[s].get(blk));
+    }
+  }
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  const auto& prof = profile_for(Benchmark::kFft);
+  TraceOptions o1, o2;
+  o2.seed = 777;
+  const PowerTrace a = generate_trace(prof, fp(), o1);
+  const PowerTrace b = generate_trace(prof, fp(), o2);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.size() && !any_diff; ++s) {
+    any_diff = a.samples[s].total() != b.samples[s].total();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Trace, MaxPowerMapEqualsPeak) {
+  for (const Benchmark b : all_benchmarks()) {
+    const auto& prof = profile_for(b);
+    const PowerTrace trace = generate_trace(prof, fp());
+    const power::PowerMap max_map = max_power_map(trace, fp());
+    const power::PowerMap peak = peak_power_map(prof, fp());
+    for (std::size_t blk = 0; blk < fp().block_count(); ++blk) {
+      EXPECT_NEAR(max_map.get(blk), peak.get(blk), 1e-12)
+          << prof.name << " block " << blk;
+    }
+  }
+}
+
+TEST(Trace, SamplesNeverExceedPeak) {
+  const auto& prof = profile_for(Benchmark::kSusan);
+  const PowerTrace trace = generate_trace(prof, fp());
+  const power::PowerMap peak = peak_power_map(prof, fp());
+  for (const power::PowerMap& s : trace.samples) {
+    for (std::size_t blk = 0; blk < fp().block_count(); ++blk) {
+      EXPECT_LE(s.get(blk), peak.get(blk) + 1e-12);
+      EXPECT_GE(s.get(blk), 0.0);
+    }
+  }
+}
+
+TEST(Trace, MeanBelowPeakButSubstantial) {
+  const auto& prof = profile_for(Benchmark::kDijkstra);
+  const PowerTrace trace = generate_trace(prof, fp());
+  const power::PowerMap mean = mean_power_map(trace, fp());
+  const power::PowerMap peak = peak_power_map(prof, fp());
+  EXPECT_LT(mean.total(), peak.total());
+  EXPECT_GT(mean.total(), 0.5 * peak.total());
+}
+
+TEST(Trace, DurationAndSampling) {
+  const auto& prof = profile_for(Benchmark::kCrc32);
+  TraceOptions opts;
+  opts.sample_count = 50;
+  opts.sample_interval = 0.02;
+  const PowerTrace trace = generate_trace(prof, fp(), opts);
+  EXPECT_EQ(trace.size(), 50u);
+  EXPECT_NEAR(trace.duration(), 1.0, 1e-12);
+}
+
+TEST(Trace, RejectsBadOptions) {
+  const auto& prof = profile_for(Benchmark::kCrc32);
+  TraceOptions opts;
+  opts.sample_count = 0;
+  EXPECT_THROW((void)generate_trace(prof, fp(), opts), std::invalid_argument);
+  opts = TraceOptions{};
+  opts.sample_interval = 0.0;
+  EXPECT_THROW((void)generate_trace(prof, fp(), opts), std::invalid_argument);
+}
+
+TEST(Trace, ReductionsRejectEmptyTrace) {
+  const PowerTrace empty;
+  EXPECT_THROW((void)max_power_map(empty, fp()), std::invalid_argument);
+  EXPECT_THROW((void)mean_power_map(empty, fp()), std::invalid_argument);
+}
+
+TEST(Trace, PhasesHaveDistinctCharacter) {
+  // Phase emphasis must shift the int/fp power *ratio* between phases, not
+  // just the total — program phases change what is busy, not only how busy.
+  const auto& prof = profile_for(Benchmark::kSusan);  // 6 phases, deep
+  TraceOptions opts;
+  opts.sample_count = 240;
+  const PowerTrace trace = generate_trace(prof, fp(), opts);
+
+  auto class_ratio = [&](const power::PowerMap& s) {
+    double int_p = 0.0, fp_p = 0.0;
+    for (std::size_t b = 0; b < fp().block_count(); ++b) {
+      const std::string& name = fp().blocks()[b].name;
+      if (name.rfind("FP", 0) == 0) fp_p += s.get(b);
+      if (name.rfind("Int", 0) == 0) int_p += s.get(b);
+    }
+    return int_p / fp_p;
+  };
+
+  const std::size_t per_phase = 240 / prof.phase_count;
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t p = 0; p < prof.phase_count; ++p) {
+    // Mid-phase sample avoids boundary effects.
+    const double r = class_ratio(trace.samples[p * per_phase + per_phase / 2]);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_GT(hi / lo, 1.05);  // at least a 5 % character swing across phases
+}
+
+TEST(Trace, PhaseStructureModulatesTotals) {
+  // Phase depth > 0 must produce visible variation across samples.
+  const auto& prof = profile_for(Benchmark::kSusan);  // depth 0.35
+  const PowerTrace trace = generate_trace(prof, fp());
+  double lo = 1e300, hi = 0.0;
+  for (const power::PowerMap& s : trace.samples) {
+    lo = std::min(lo, s.total());
+    hi = std::max(hi, s.total());
+  }
+  EXPECT_GT(hi - lo, 0.1 * hi);
+}
+
+}  // namespace
+}  // namespace oftec::workload
