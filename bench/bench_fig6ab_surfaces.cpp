@@ -8,14 +8,24 @@
 //   * the 𝒯 minimum sits away from the origin; the 𝒫 minimum sits near it;
 //   * both surfaces are smooth with only minor non-convexities.
 //
+// The sweep runs on the batched SolveEngine and doubles as its shop-floor
+// benchmark: the per-point serial reference (SteadySolver, the seed path) is
+// timed on a subsample, the engine is timed serially and batched across the
+// OFTEC_THREADS pool, and the batch is checked bit-identical to the engine's
+// serial pass.
+//
 // Output: a coarse ASCII heat map per surface plus CSVs
 // (fig6a_temperature.csv / fig6b_power.csv) for re-plotting.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <vector>
 
 #include "common.h"
+#include "thermal/solve_engine.h"
 #include "util/csv.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/units.h"
 
@@ -26,6 +36,7 @@ using namespace oftec::bench;
 
 constexpr std::size_t kOmegaPoints = 25;
 constexpr std::size_t kCurrentPoints = 21;
+constexpr std::size_t kReferenceStride = 5;  // seed-path timing subsample
 
 char shade(double value, double lo, double hi) {
   if (!std::isfinite(value)) return '#';  // runaway ("dark red")
@@ -45,7 +56,66 @@ int main() {
   const power::PowerMap peak = workload::peak_power_map(
       workload::profile_for(workload::Benchmark::kBasicmath), fp);
   const core::CoolingSystem sys(fp, peak, paper_leakage(), {});
+  const thermal::SolveEngine& engine = sys.engine();
 
+  // Grid in (I-major, ω-minor) order — the order the CSVs are written in.
+  std::vector<thermal::OperatingPoint> pts;
+  pts.reserve(kCurrentPoints * kOmegaPoints);
+  for (std::size_t ci = 0; ci < kCurrentPoints; ++ci) {
+    const double current = sys.current_max() * static_cast<double>(ci) /
+                           (kCurrentPoints - 1);
+    for (std::size_t wi = 0; wi < kOmegaPoints; ++wi) {
+      const double omega =
+          sys.omega_max() * static_cast<double>(wi) / (kOmegaPoints - 1);
+      pts.push_back({omega, current});
+    }
+  }
+
+  // --- Timing: seed serial path (subsampled) vs engine serial vs batched.
+  const util::Stopwatch ref_watch;
+  std::size_t ref_count = 0;
+  for (std::size_t i = 0; i < pts.size(); i += kReferenceStride) {
+    (void)sys.solver().solve(pts[i].omega, pts[i].current);
+    ++ref_count;
+  }
+  const double ref_ms_per_pt = ref_watch.elapsed_ms() /
+                               static_cast<double>(ref_count);
+
+  const util::Stopwatch serial_watch;
+  const std::vector<thermal::SteadyResult> serial =
+      engine.solve_serial(pts);
+  const double serial_ms = serial_watch.elapsed_ms();
+
+  const util::Stopwatch batch_watch;
+  const std::vector<thermal::SteadyResult> batch = engine.solve_batch(pts);
+  const double batch_ms = batch_watch.elapsed_ms();
+
+  bool batch_identical = true;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (batch[i].runaway != serial[i].runaway ||
+        batch[i].max_chip_temperature != serial[i].max_chip_temperature ||
+        batch[i].tec_power != serial[i].tec_power ||
+        batch[i].leakage_power != serial[i].leakage_power) {
+      batch_identical = false;
+      break;
+    }
+  }
+
+  const double serial_ms_per_pt = serial_ms / static_cast<double>(pts.size());
+  const double batch_ms_per_pt = batch_ms / static_cast<double>(pts.size());
+  std::printf("\nSolve engine timing over %zu operating points:\n",
+              pts.size());
+  std::printf("  seed serial path   %7.2f ms/pt (sampled every %zu)\n",
+              ref_ms_per_pt, kReferenceStride);
+  std::printf("  engine, serial     %7.2f ms/pt  (%.2fx)\n", serial_ms_per_pt,
+              ref_ms_per_pt / serial_ms_per_pt);
+  std::printf("  engine, batched    %7.2f ms/pt  (%.2fx, %zu threads, "
+              "results %s)\n",
+              batch_ms_per_pt, ref_ms_per_pt / batch_ms_per_pt,
+              util::ThreadPool::default_thread_count(),
+              batch_identical ? "bit-identical to serial" : "MISMATCH");
+
+  // --- Surfaces from the batched results.
   util::CsvWriter temp_csv, power_csv;
   temp_csv.set_header({"omega_rpm", "current_a", "max_temp_c"});
   power_csv.set_header({"omega_rpm", "current_a", "cooling_power_w"});
@@ -58,32 +128,36 @@ int main() {
   double runaway_boundary_rpm = 0.0;
 
   for (std::size_t ci = 0; ci < kCurrentPoints; ++ci) {
-    const double current = sys.current_max() * static_cast<double>(ci) /
-                           (kCurrentPoints - 1);
     for (std::size_t wi = 0; wi < kOmegaPoints; ++wi) {
-      const double omega =
-          sys.omega_max() * static_cast<double>(wi) / (kOmegaPoints - 1);
-      const core::Evaluation& ev = sys.evaluate(omega, current);
+      const thermal::SteadyResult& sr = batch[ci * kOmegaPoints + wi];
+      const double omega = pts[ci * kOmegaPoints + wi].omega;
+      const double current = pts[ci * kOmegaPoints + wi].current;
+      const bool runaway = sr.runaway || !sr.converged;
       const double rpm = units::rad_s_to_rpm(omega);
-      const double t_c = units::kelvin_to_celsius(ev.max_chip_temperature);
-      const double p_w = ev.cooling_power();
-      temp[ci].push_back(ev.max_chip_temperature);
+      const double t_k = runaway ? std::numeric_limits<double>::infinity()
+                                 : sr.max_chip_temperature;
+      const double t_c = units::kelvin_to_celsius(t_k);
+      const double p_w =
+          runaway ? std::numeric_limits<double>::infinity()
+                  : sr.leakage_power + sr.tec_power +
+                        sys.thermal_model().config().fan.power(omega);
+      temp[ci].push_back(t_k);
       power[ci].push_back(p_w);
       temp_csv.add_row({util::format_double(rpm, 1),
                         util::format_double(current, 3),
-                        ev.runaway ? "inf" : util::format_double(t_c, 3)});
+                        runaway ? "inf" : util::format_double(t_c, 3)});
       power_csv.add_row({util::format_double(rpm, 1),
                          util::format_double(current, 3),
-                         ev.runaway ? "inf" : util::format_double(p_w, 3)});
-      if (ev.runaway) {
+                         runaway ? "inf" : util::format_double(p_w, 3)});
+      if (runaway) {
         runaway_boundary_rpm = std::max(runaway_boundary_rpm, rpm);
       } else {
-        t_lo = std::min(t_lo, ev.max_chip_temperature);
-        t_hi = std::max(t_hi, ev.max_chip_temperature);
+        t_lo = std::min(t_lo, t_k);
+        t_hi = std::max(t_hi, t_k);
         p_lo = std::min(p_lo, p_w);
         p_hi = std::max(p_hi, p_w);
-        if (ev.max_chip_temperature < t_best) {
-          t_best = ev.max_chip_temperature;
+        if (t_k < t_best) {
+          t_best = t_k;
           t_best_w = rpm;
           t_best_i = current;
         }
@@ -124,5 +198,5 @@ int main() {
       power_csv.write_file("fig6b_power.csv")) {
     std::printf("Wrote fig6a_temperature.csv / fig6b_power.csv.\n");
   }
-  return 0;
+  return batch_identical ? 0 : 1;
 }

@@ -22,6 +22,7 @@ CoolingSystem::CoolingSystem(const floorplan::Floorplan& fp,
   solver_ = std::make_unique<thermal::SteadySolver>(
       *model_, model_->distribute(dynamic_power), model_->cell_leakage(leakage),
       config.steady);
+  engine_ = std::make_unique<thermal::SolveEngine>(*solver_);
 }
 
 const Evaluation& CoolingSystem::evaluate(double omega, double current) const {
@@ -35,23 +36,25 @@ const Evaluation& CoolingSystem::evaluate(double omega, double current) const {
   }
 
   const auto key = std::make_pair(omega, current);
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+    if (cache_.size() >= cache_limit_) cache_.clear();
   }
-  if (cache_.size() >= cache_limit_) cache_.clear();
 
-  const thermal::SteadyResult sr =
-      warm_start_.empty() ? solver_->solve(omega, current)
-                          : solver_->solve(omega, current, warm_start_);
-  ++solve_count_;
+  // Solve outside the lock — the engine is internally synchronized, and the
+  // solve is a pure function of (ω, I), so concurrent duplicate solves of
+  // the same point produce identical Evaluations.
+  const thermal::SteadyResult sr = engine_->solve({omega, current});
 
   Evaluation ev;
   if (sr.runaway || !sr.converged) {
     ev.runaway = true;
     ev.max_chip_temperature = std::numeric_limits<double>::infinity();
   } else {
-    warm_start_ = sr.chip_temperatures;
     ev.max_chip_temperature = sr.max_chip_temperature;
     ev.power.leakage = sr.leakage_power;
     ev.power.tec = sr.tec_power;
@@ -59,6 +62,8 @@ const Evaluation& CoolingSystem::evaluate(double omega, double current) const {
   }
   ev.solver_iterations = sr.iterations;
 
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++solve_count_;
   return cache_.emplace(key, std::move(ev)).first->second;
 }
 

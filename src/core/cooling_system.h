@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "floorplan/floorplan.h"
@@ -21,6 +22,7 @@
 #include "power/leakage.h"
 #include "power/power_map.h"
 #include "thermal/model.h"
+#include "thermal/solve_engine.h"
 #include "thermal/steady.h"
 
 namespace oftec::core {
@@ -67,6 +69,13 @@ class CoolingSystem {
 
   /// Evaluate (memoized). ω in [0, ω_max] rad/s, I in [0, I_max] A; I must be
   /// 0 for packages without TECs.
+  ///
+  /// Solves run through the batched SolveEngine from a fixed initial guess,
+  /// so every evaluation is a pure function of (ω, I): results are identical
+  /// regardless of call order or thread count. Safe to call concurrently;
+  /// the returned reference stays valid until the memo cache overflows
+  /// `cache_limit` entries and is evicted wholesale — callers that hold
+  /// references across that many distinct evaluations must copy.
   [[nodiscard]] const Evaluation& evaluate(double omega, double current) const;
 
   [[nodiscard]] double t_max() const noexcept;     ///< [K]
@@ -81,6 +90,11 @@ class CoolingSystem {
   [[nodiscard]] const thermal::SteadySolver& solver() const noexcept {
     return *solver_;
   }
+  /// The batched engine backing evaluate() — exposed so sweeps can fan
+  /// whole operating-point batches without round-tripping the memo cache.
+  [[nodiscard]] const thermal::SolveEngine& engine() const noexcept {
+    return *engine_;
+  }
   /// Per-cell inputs (for transient experiments sharing this workload).
   [[nodiscard]] const la::Vector& cell_dynamic_power() const noexcept;
   [[nodiscard]] const std::vector<power::ExponentialTerm>& cell_leakage()
@@ -94,11 +108,10 @@ class CoolingSystem {
  private:
   std::unique_ptr<thermal::ThermalModel> model_;
   std::unique_ptr<thermal::SteadySolver> solver_;
+  std::unique_ptr<thermal::SolveEngine> engine_;
   std::size_t cache_limit_;
+  mutable std::mutex mutex_;  // guards cache_ and the counters
   mutable std::map<std::pair<double, double>, Evaluation> cache_;
-  /// Chip temperatures of the last convergent solve — warm start for the
-  /// next one (optimizer sweeps move in small steps).
-  mutable la::Vector warm_start_;
   mutable std::size_t solve_count_ = 0;
   mutable std::size_t cache_hits_ = 0;
 };

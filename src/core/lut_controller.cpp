@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace oftec::core {
 
 la::Vector LutController::feature_of(const power::PowerMap& power) {
@@ -14,13 +16,15 @@ LutController LutController::build(const std::vector<power::PowerMap>& training,
                                    const floorplan::Floorplan& fp,
                                    const power::LeakageModel& leakage,
                                    const CoolingSystem::Config& config,
-                                   const OftecOptions& oftec_options) {
+                                   const OftecOptions& oftec_options,
+                                   std::size_t threads) {
   if (training.empty()) {
     throw std::invalid_argument("LutController::build: no training maps");
   }
   LutController lut;
-  lut.entries_.reserve(training.size());
-  for (const power::PowerMap& map : training) {
+  lut.entries_.resize(training.size());
+  const auto build_entry = [&](std::size_t i) {
+    const power::PowerMap& map = training[i];
     CoolingSystem system(fp, map, leakage, config);
     const OftecResult r = run_oftec(system, oftec_options);
     Entry e;
@@ -37,7 +41,13 @@ LutController LutController::build(const std::vector<power::PowerMap>& training,
       e.current = r.opt2_current;
       e.max_chip_temperature = r.opt2_temperature;
     }
-    lut.entries_.push_back(std::move(e));
+    lut.entries_[i] = std::move(e);
+  };
+  if (threads == 1) {
+    for (std::size_t i = 0; i < training.size(); ++i) build_entry(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(training.size(), build_entry);
   }
   return lut;
 }

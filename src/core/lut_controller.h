@@ -41,11 +41,16 @@ class LutController {
 
   /// Pre-compute the table: one OFTEC run per training power map. The
   /// floorplan and leakage model must match the deployment target.
+  /// `threads` fans independent training maps across a pool (each map gets
+  /// its own CoolingSystem, so runs never share state); entry order always
+  /// matches `training` order. 1 → serial, 0 → OFTEC_THREADS env /
+  /// hardware concurrency.
   static LutController build(const std::vector<power::PowerMap>& training,
                              const floorplan::Floorplan& fp,
                              const power::LeakageModel& leakage,
                              const CoolingSystem::Config& config = {},
-                             const OftecOptions& oftec_options = {});
+                             const OftecOptions& oftec_options = {},
+                             std::size_t threads = 1);
 
   /// Nearest-neighbor control lookup — no thermal solves.
   [[nodiscard]] LookupResult lookup(const power::PowerMap& power) const;

@@ -100,6 +100,7 @@ MultiZoneSystem::MultiZoneSystem(const floorplan::Floorplan& fp,
   solver_ = std::make_unique<thermal::SteadySolver>(
       *model_, model_->distribute(dynamic_power),
       model_->cell_leakage(leakage), config.steady);
+  engine_ = std::make_unique<thermal::SolveEngine>(*solver_);
 }
 
 double MultiZoneSystem::t_max() const noexcept {
@@ -129,29 +130,31 @@ const Evaluation& MultiZoneSystem::evaluate(
   key.reserve(1 + zone_currents.size());
   key.push_back(omega);
   key.insert(key.end(), zone_currents.begin(), zone_currents.end());
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
   }
 
+  // Engine solves are pure functions of (ω, cell currents) — see
+  // CoolingSystem::evaluate for the concurrency contract.
   const la::Vector cell_current = partition_.expand(zone_currents);
-  const thermal::SteadyResult sr =
-      warm_start_.empty()
-          ? solver_->solve_cells(omega, cell_current)
-          : solver_->solve_cells(omega, cell_current, warm_start_);
-  ++solve_count_;
+  const thermal::SteadyResult sr = engine_->solve_cells(omega, cell_current);
 
   Evaluation ev;
   if (sr.runaway || !sr.converged) {
     ev.runaway = true;
     ev.max_chip_temperature = std::numeric_limits<double>::infinity();
   } else {
-    warm_start_ = sr.chip_temperatures;
     ev.max_chip_temperature = sr.max_chip_temperature;
     ev.power.leakage = sr.leakage_power;
     ev.power.tec = sr.tec_power;
     ev.power.fan = model_->config().fan.power(omega);
   }
   ev.solver_iterations = sr.iterations;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++solve_count_;
   return cache_.emplace(std::move(key), std::move(ev)).first->second;
 }
 

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,9 +83,10 @@ class MultiZoneSystem {
  private:
   std::unique_ptr<thermal::ThermalModel> model_;
   std::unique_ptr<thermal::SteadySolver> solver_;
+  std::unique_ptr<thermal::SolveEngine> engine_;
   ZonePartition partition_;
+  mutable std::mutex mutex_;  // guards cache_ and the counter
   mutable std::map<std::vector<double>, Evaluation> cache_;
-  mutable la::Vector warm_start_;
   mutable std::size_t solve_count_ = 0;
 };
 

@@ -77,9 +77,10 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
   const CoolingProblem opt2(system, CoolingProblem::Objective::kMaxTemperature,
                             /*temperature_constraint=*/false);
   const CoolingProblem opt1(system, CoolingProblem::Objective::kCoolingPower,
-                            /*temperature_constraint=*/true);
+                            /*temperature_constraint=*/true,
+                            /*strictness=*/0.01, options.t_max_override);
 
-  const double t_max = system.t_max();
+  const double t_max = opt1.t_max();
   const double stop_threshold = t_max - options.feasibility_margin;
 
   // Line 1: start at the middle of the (ω, I) box.

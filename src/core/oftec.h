@@ -32,6 +32,11 @@ struct OftecOptions {
   double feasibility_margin = 0.25;
   /// Grid resolution when solver == kGridSearch.
   std::size_t grid_points = 41;
+  /// Thermal threshold override [K]; 0 → the system's T_max. Evaluations
+  /// are threshold-independent, so sweeping this on one shared (memoized)
+  /// CoolingSystem reuses every thermal solve across thresholds — the
+  /// Pareto front for the price of roughly one OFTEC run.
+  double t_max_override = 0.0;
 };
 
 struct OftecResult {

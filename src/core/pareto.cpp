@@ -2,9 +2,30 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace oftec::core {
+
+namespace {
+
+[[nodiscard]] ParetoPoint point_from(double t_limit_kelvin,
+                                     const OftecResult& r) {
+  ParetoPoint point;
+  point.t_limit = t_limit_kelvin;
+  point.feasible = r.success;
+  if (r.success) {
+    point.cooling_power = r.power.total();
+    point.max_chip_temperature = r.max_chip_temperature;
+    point.omega = r.omega;
+    point.current = r.current;
+  } else {
+    point.max_chip_temperature = r.opt2_temperature;
+  }
+  return point;
+}
+
+}  // namespace
 
 std::vector<ParetoPoint> sweep_pareto_front(
     const floorplan::Floorplan& fp, const power::PowerMap& dynamic_power,
@@ -13,31 +34,41 @@ std::vector<ParetoPoint> sweep_pareto_front(
     throw std::invalid_argument("sweep_pareto_front: bad threshold range");
   }
 
-  std::vector<ParetoPoint> front;
-  front.reserve(options.points);
-  for (std::size_t i = 0; i < options.points; ++i) {
-    const double t_limit_c =
-        options.t_limit_lo_c +
-        (options.t_limit_hi_c - options.t_limit_lo_c) *
-            static_cast<double>(i) / static_cast<double>(options.points - 1);
+  const auto threshold_c = [&](std::size_t i) {
+    return options.t_limit_lo_c +
+           (options.t_limit_hi_c - options.t_limit_lo_c) *
+               static_cast<double>(i) / static_cast<double>(options.points - 1);
+  };
 
-    CoolingSystem::Config cfg = options.system;
-    cfg.package.t_max = units::celsius_to_kelvin(t_limit_c);
-    const CoolingSystem system(fp, dynamic_power, leakage, cfg);
-    const OftecResult r = run_oftec(system, options.oftec);
+  std::vector<ParetoPoint> front(options.points);
 
-    ParetoPoint point;
-    point.t_limit = cfg.package.t_max;
-    point.feasible = r.success;
-    if (r.success) {
-      point.cooling_power = r.power.total();
-      point.max_chip_temperature = r.max_chip_temperature;
-      point.omega = r.omega;
-      point.current = r.current;
+  if (options.share_system) {
+    // One memoized system serves every threshold: evaluations depend only on
+    // (ω, I), so the Optimization-2 bootstrap and most SQP iterates hit the
+    // shared cache after the first threshold. Each run_oftec call is
+    // independent and evaluate() is thread-safe, so the sweep also fans
+    // across the pool when asked.
+    const CoolingSystem system(fp, dynamic_power, leakage, options.system);
+    const auto run_one = [&](std::size_t i) {
+      const double t_limit_k = units::celsius_to_kelvin(threshold_c(i));
+      OftecOptions oftec = options.oftec;
+      oftec.t_max_override = t_limit_k;
+      front[i] = point_from(t_limit_k, run_oftec(system, oftec));
+    };
+    if (options.threads == 1) {
+      for (std::size_t i = 0; i < options.points; ++i) run_one(i);
     } else {
-      point.max_chip_temperature = r.opt2_temperature;
+      util::ThreadPool pool(options.threads);
+      pool.parallel_for(options.points, run_one);
     }
-    front.push_back(point);
+    return front;
+  }
+
+  for (std::size_t i = 0; i < options.points; ++i) {
+    CoolingSystem::Config cfg = options.system;
+    cfg.package.t_max = units::celsius_to_kelvin(threshold_c(i));
+    const CoolingSystem system(fp, dynamic_power, leakage, cfg);
+    front[i] = point_from(cfg.package.t_max, run_oftec(system, options.oftec));
   }
   return front;
 }

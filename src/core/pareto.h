@@ -25,6 +25,15 @@ struct ParetoOptions {
   std::size_t points = 11;
   CoolingSystem::Config system;
   OftecOptions oftec;
+  /// Run every threshold against ONE memoized CoolingSystem (evaluations
+  /// are threshold-independent, so the sweep shares thermal solves across
+  /// thresholds). Off → the reference path: a fresh system per threshold
+  /// with t_max baked into the package config. Both paths produce identical
+  /// fronts; tests assert it.
+  bool share_system = true;
+  /// Worker threads for the threshold sweep (needs share_system); 0 →
+  /// OFTEC_THREADS env / hardware concurrency, 1 → serial.
+  std::size_t threads = 1;
 };
 
 struct ParetoPoint {

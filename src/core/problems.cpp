@@ -5,11 +5,13 @@
 namespace oftec::core {
 
 CoolingProblem::CoolingProblem(const CoolingSystem& system, Objective objective,
-                               bool temperature_constraint, double strictness)
+                               bool temperature_constraint, double strictness,
+                               double t_max_override)
     : system_(&system),
       objective_(objective),
       temperature_constraint_(temperature_constraint),
-      strictness_(strictness) {
+      strictness_(strictness),
+      t_max_(t_max_override > 0.0 ? t_max_override : system.t_max()) {
   if (system.has_tec()) {
     bounds_.lower = {0.0, 0.0};
     bounds_.upper = {system.omega_max(), system.current_max()};
@@ -52,7 +54,7 @@ double CoolingProblem::objective(const la::Vector& x) const {
 la::Vector CoolingProblem::constraints(const la::Vector& x) const {
   if (!temperature_constraint_) return {};
   const Evaluation& ev = system_->evaluate(omega_of(x), current_of(x));
-  return {ev.max_chip_temperature - (system_->t_max() - strictness_)};
+  return {ev.max_chip_temperature - (t_max_ - strictness_)};
 }
 
 la::Vector CoolingProblem::midpoint() const {

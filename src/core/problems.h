@@ -18,9 +18,12 @@ class CoolingProblem final : public opt::Problem {
   /// `temperature_constraint` adds g(x) = 𝒯(x) − (T_max − strictness) ≤ 0.
   /// The paper's constraint (15) is the strict inequality T_i < T_max;
   /// `strictness` (in kelvin) keeps boundary-converged solutions strictly
-  /// inside it.
+  /// inside it. `t_max_override` (> 0, in kelvin) replaces the system's
+  /// built-in threshold — evaluations are T_max-independent, so one memoized
+  /// system can serve problems at many thresholds (the Pareto sweep).
   CoolingProblem(const CoolingSystem& system, Objective objective,
-                 bool temperature_constraint, double strictness = 0.01);
+                 bool temperature_constraint, double strictness = 0.01,
+                 double t_max_override = 0.0);
 
   [[nodiscard]] std::size_t dimension() const override;
   [[nodiscard]] std::size_t constraint_count() const override;
@@ -36,6 +39,9 @@ class CoolingProblem final : public opt::Problem {
     return *system_;
   }
 
+  /// Threshold actually enforced (override or the system's T_max) [K].
+  [[nodiscard]] double t_max() const noexcept { return t_max_; }
+
   /// Midpoint of the box — Algorithm 1's initial guess (ω_max/2, I_max/2).
   [[nodiscard]] la::Vector midpoint() const;
 
@@ -44,6 +50,7 @@ class CoolingProblem final : public opt::Problem {
   Objective objective_;
   bool temperature_constraint_;
   double strictness_;
+  double t_max_;
   opt::Bounds bounds_;
 };
 

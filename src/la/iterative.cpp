@@ -23,6 +23,20 @@ namespace {
   return out;
 }
 
+/// Initialize x and r = b − A·x from the optional warm start.
+void init_iterate(const CsrMatrix& a, const Vector& b,
+                  const IterativeOptions& opts, Vector& x, Vector& r) {
+  if (opts.initial_guess != nullptr && opts.initial_guess->size() == b.size()) {
+    x = *opts.initial_guess;
+    r = b;
+    const Vector ax = a.multiply(x);
+    axpy(-1.0, ax, r);
+  } else {
+    x.assign(b.size(), 0.0);
+    r = b;
+  }
+}
+
 }  // namespace
 
 IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
@@ -33,10 +47,16 @@ IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
   const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
 
   IterativeResult res;
-  res.x.assign(n, 0.0);
-  Vector r = b;  // r = b - A*0
+  Vector r;
+  init_iterate(a, b, opts, res.x, r);
   const double b_norm = norm2(b);
   if (b_norm == 0.0) {
+    res.x.assign(n, 0.0);
+    res.converged = true;
+    return res;
+  }
+  res.residual_norm = norm2(r);
+  if (res.residual_norm <= opts.tolerance * b_norm) {
     res.converged = true;
     return res;
   }
@@ -76,10 +96,16 @@ IterativeResult solve_bicgstab(const CsrMatrix& a, const Vector& b,
   const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
 
   IterativeResult res;
-  res.x.assign(n, 0.0);
-  Vector r = b;
+  Vector r;
+  init_iterate(a, b, opts, res.x, r);
   const double b_norm = norm2(b);
   if (b_norm == 0.0) {
+    res.x.assign(n, 0.0);
+    res.converged = true;
+    return res;
+  }
+  res.residual_norm = norm2(r);
+  if (res.residual_norm <= opts.tolerance * b_norm) {
     res.converged = true;
     return res;
   }

@@ -27,6 +27,11 @@ struct IterativeOptions {
   double tolerance = 1e-10;      ///< relative residual target ‖r‖/‖b‖
   std::size_t max_iterations = 0;  ///< 0 → 10·n
   bool jacobi_precondition = true;
+  /// Optional warm start (must have size n when set). Krylov iterations then
+  /// run on the residual system, which cuts the iteration count sharply when
+  /// the guess is close — e.g. successive Newton linearizations of the
+  /// steady-state thermal system. Not owned; must outlive the call.
+  const Vector* initial_guess = nullptr;
 };
 
 /// Preconditioned conjugate gradient; caller asserts A is SPD.

@@ -83,6 +83,13 @@ class CsrMatrix {
     return values_;
   }
 
+  /// Mutable access to the stored values. The sparsity pattern is fixed;
+  /// this is the hook incremental assemblers use to re-stamp a matrix whose
+  /// structure is constant across operating points (diagonal-only updates).
+  [[nodiscard]] std::vector<double>& mutable_values() noexcept {
+    return values_;
+  }
+
  private:
   std::size_t n_ = 0;
   std::vector<std::size_t> row_ptr_;

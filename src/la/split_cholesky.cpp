@@ -1,0 +1,116 @@
+#include "la/split_cholesky.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace oftec::la {
+
+BandedCholeskySymbolic::BandedCholeskySymbolic(std::size_t n,
+                                               std::size_t bandwidth)
+    : n_(n), k_(bandwidth) {
+  if (n == 0) {
+    throw std::invalid_argument("BandedCholeskySymbolic: empty matrix");
+  }
+}
+
+BandedCholeskySymbolic BandedCholeskySymbolic::analyze(const BandedMatrix& a) {
+  if (a.lower_bandwidth() != a.upper_bandwidth()) {
+    throw std::invalid_argument(
+        "BandedCholeskySymbolic: matrix must have symmetric bandwidths");
+  }
+  return {a.size(), a.lower_bandwidth()};
+}
+
+bool BandedCholeskySymbolic::matches(const BandedMatrix& a) const noexcept {
+  return a.size() == n_ && a.lower_bandwidth() == k_ &&
+         a.upper_bandwidth() == k_;
+}
+
+BandedCholeskyNumeric::BandedCholeskyNumeric(
+    std::shared_ptr<const BandedCholeskySymbolic> symbolic)
+    : symbolic_(std::move(symbolic)) {
+  if (!symbolic_) {
+    throw std::invalid_argument("BandedCholeskyNumeric: null symbolic");
+  }
+  factor_.assign(symbolic_->factor_storage(), 0.0);
+}
+
+void BandedCholeskyNumeric::refactorize(const BandedMatrix& a) {
+  if (!symbolic_->matches(a)) {
+    throw std::invalid_argument(
+        "BandedCholeskyNumeric::refactorize: structure mismatch");
+  }
+  const std::size_t n = symbolic_->size();
+  const std::size_t k = symbolic_->bandwidth();
+  factorized_ = false;
+  factor_.assign(symbolic_->factor_storage(), 0.0);
+  min_diag_ = std::numeric_limits<double>::infinity();
+
+  // Identical arithmetic to la::BandedCholesky, into reused storage.
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i_hi = std::min(n - 1, j + k);
+    for (std::size_t i = j; i <= i_hi; ++i) {
+      l(i, j) = a.get(i, j);
+    }
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = l(j, j);
+    const std::size_t m_lo = j > k ? j - k : 0;
+    for (std::size_t m = m_lo; m < j; ++m) {
+      diag -= l(j, m) * l(j, m);
+    }
+    if (!(diag > 0.0)) {
+      throw std::runtime_error(
+          "BandedCholeskyNumeric: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    min_diag_ = std::min(min_diag_, ljj);
+
+    const std::size_t i_hi = std::min(n - 1, j + k);
+    for (std::size_t i = j + 1; i <= i_hi; ++i) {
+      double acc = l(i, j);
+      const std::size_t m_lo_i = i > k ? i - k : 0;
+      for (std::size_t m = std::max(m_lo, m_lo_i); m < j; ++m) {
+        acc -= l(i, m) * l(j, m);
+      }
+      l(i, j) = acc / ljj;
+    }
+  }
+  factorized_ = true;
+}
+
+Vector BandedCholeskyNumeric::solve(const Vector& b) const {
+  if (!factorized_) {
+    throw std::logic_error("BandedCholeskyNumeric::solve: no valid factor");
+  }
+  const std::size_t n = symbolic_->size();
+  const std::size_t k = symbolic_->bandwidth();
+  if (b.size() != n) {
+    throw std::invalid_argument("BandedCholeskyNumeric::solve: size mismatch");
+  }
+  Vector x = b;
+  // Forward: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    const std::size_t j_lo = i > k ? i - k : 0;
+    for (std::size_t j = j_lo; j < i; ++j) {
+      acc -= l(i, j) * x[j];
+    }
+    x[i] = acc / l(i, i);
+  }
+  // Backward: Lᵀ x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    const std::size_t i_hi = std::min(n - 1, ii + k);
+    for (std::size_t i = ii + 1; i <= i_hi; ++i) {
+      acc -= l(i, ii) * x[i];
+    }
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace oftec::la

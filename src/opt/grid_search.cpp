@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace oftec::opt {
 
 namespace {
@@ -33,6 +35,16 @@ void for_each_grid_point(const Bounds& bounds, std::size_t points,
   }
 }
 
+/// Materialize the grid in odometer order (index order == visit order of
+/// for_each_grid_point, which the parallel reductions rely on).
+[[nodiscard]] std::vector<la::Vector> collect_grid_points(
+    const Bounds& bounds, std::size_t points) {
+  std::vector<la::Vector> grid;
+  for_each_grid_point(bounds, points,
+                      [&](const la::Vector& x) { grid.push_back(x); });
+  return grid;
+}
+
 }  // namespace
 
 OptResult solve_grid_search(const Problem& problem,
@@ -43,43 +55,84 @@ OptResult solve_grid_search(const Problem& problem,
   OptResult result;
   result.objective = std::numeric_limits<double>::infinity();
 
-  for_each_grid_point(
-      problem.bounds(), options.points_per_dimension,
-      [&](const la::Vector& x) {
-        ++result.iterations;
-        const double f = problem.objective(x);
-        ++result.evaluations;
-        if (!std::isfinite(f) || f >= result.objective) return;
-        const la::Vector g = problem.constraints(x);
-        ++result.evaluations;
-        for (const double gi : g) {
-          if (!(gi <= 0.0)) return;
-        }
-        result.objective = f;
-        result.x = x;
-        result.feasible = true;
-      });
+  if (options.threads == 1) {
+    // Serial reference path: constraints are only evaluated for candidates
+    // that improve the running best.
+    for_each_grid_point(
+        problem.bounds(), options.points_per_dimension,
+        [&](const la::Vector& x) {
+          ++result.iterations;
+          const double f = problem.objective(x);
+          ++result.evaluations;
+          if (!std::isfinite(f) || f >= result.objective) return;
+          const la::Vector g = problem.constraints(x);
+          ++result.evaluations;
+          for (const double gi : g) {
+            if (!(gi <= 0.0)) return;
+          }
+          result.objective = f;
+          result.x = x;
+          result.feasible = true;
+        });
+    result.converged = result.feasible;
+    return result;
+  }
 
+  // Parallel path: evaluate everything up front, then reduce in grid-index
+  // order with the serial skip logic — the winner (the first point to beat
+  // every earlier one) is identical to the serial path's.
+  const std::vector<la::Vector> grid =
+      collect_grid_points(problem.bounds(), options.points_per_dimension);
+  std::vector<double> objective(grid.size());
+  std::vector<la::Vector> constraints(grid.size());
+  util::ThreadPool pool(options.threads);
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    objective[i] = problem.objective(grid[i]);
+    constraints[i] = problem.constraints(grid[i]);
+  });
+  result.iterations = grid.size();
+  result.evaluations = 2 * grid.size();
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double f = objective[i];
+    if (!std::isfinite(f) || f >= result.objective) continue;
+    bool feasible = true;
+    for (const double gi : constraints[i]) {
+      if (!(gi <= 0.0)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    result.objective = f;
+    result.x = grid[i];
+    result.feasible = true;
+  }
   result.converged = result.feasible;
   return result;
 }
 
 std::vector<SurfaceSample> sweep_surface(const Problem& problem,
                                          const GridSearchOptions& options) {
-  std::vector<SurfaceSample> samples;
-  for_each_grid_point(problem.bounds(), options.points_per_dimension,
-                      [&](const la::Vector& x) {
-                        SurfaceSample s;
-                        s.x = x;
-                        s.objective = problem.objective(x);
-                        const la::Vector g = problem.constraints(x);
-                        s.max_constraint =
-                            -std::numeric_limits<double>::infinity();
-                        for (const double gi : g) {
-                          s.max_constraint = std::max(s.max_constraint, gi);
-                        }
-                        samples.push_back(std::move(s));
-                      });
+  const std::vector<la::Vector> grid =
+      collect_grid_points(problem.bounds(), options.points_per_dimension);
+  std::vector<SurfaceSample> samples(grid.size());
+  const auto sample_one = [&](std::size_t i) {
+    SurfaceSample& s = samples[i];
+    s.x = grid[i];
+    s.objective = problem.objective(grid[i]);
+    const la::Vector g = problem.constraints(grid[i]);
+    s.max_constraint = -std::numeric_limits<double>::infinity();
+    for (const double gi : g) {
+      s.max_constraint = std::max(s.max_constraint, gi);
+    }
+  };
+  if (options.threads == 1) {
+    for (std::size_t i = 0; i < grid.size(); ++i) sample_one(i);
+  } else {
+    util::ThreadPool pool(options.threads);
+    pool.parallel_for(grid.size(), sample_one);
+  }
   return samples;
 }
 

@@ -15,6 +15,12 @@ namespace oftec::opt {
 
 struct GridSearchOptions {
   std::size_t points_per_dimension = 41;
+  /// Worker threads to fan grid evaluations across; 1 → serial reference
+  /// path, 0 → OFTEC_THREADS env / hardware concurrency. Parallel runs
+  /// require problem evaluations to be thread-safe (CoolingProblem is) and
+  /// return the same winner as the serial path: candidates are reduced in
+  /// grid-index order after evaluation.
+  std::size_t threads = 1;
 };
 
 /// Evaluate the problem on a regular grid over the box and return the best

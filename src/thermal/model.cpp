@@ -426,6 +426,111 @@ double ThermalModel::ambient_outflow(const la::Vector& temperatures,
   return acc;
 }
 
+IncrementalAssembler::IncrementalAssembler(const ThermalModel& model,
+                                           la::Vector cell_dynamic_power)
+    : model_(&model), dynamic_(std::move(cell_dynamic_power)) {
+  const NodeLayout& layout = model.layout();
+  const std::size_t n = layout.node_count();
+  const std::size_t cells = layout.cells_per_layer();
+  if (dynamic_.size() != cells) {
+    throw std::invalid_argument("IncrementalAssembler: per-cell arity");
+  }
+
+  // Build the static base in CSR form: conduction edges plus the
+  // ω-independent ambient couplings. All per-operating-point terms are
+  // diagonal, so the pattern only needs edge off-diagonals + full diagonal.
+  la::TripletBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) builder.add(i, i, 0.0);
+  for (const ThermalModel::Edge& e : model.edges_) {
+    builder.add(e.i, e.i, e.g);
+    builder.add(e.j, e.j, e.g);
+    builder.add(e.i, e.j, -e.g);
+    builder.add(e.j, e.i, -e.g);
+  }
+  base_rhs_.assign(n, 0.0);
+  for (const auto& [node, g] : model.static_ambient_) {
+    builder.add(node, node, g);
+    base_rhs_[node] += g * model.cfg_.ambient;
+  }
+  // Dynamic power is fixed for the lifetime of the assembler — fold it in.
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    base_rhs_[layout.node(Slab::kChip, cell)] += dynamic_[cell];
+  }
+
+  const la::CsrMatrix base = builder.build();
+  row_ptr_ = base.row_ptr();
+  col_idx_ = base.col_idx();
+  base_values_ = base.values();
+
+  diag_pos_.assign(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    bool found = false;
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      if (col_idx_[p] == r) {
+        diag_pos_[r] = p;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::logic_error("IncrementalAssembler: missing diagonal entry");
+    }
+  }
+}
+
+void IncrementalAssembler::assemble_csr(
+    double omega, const la::Vector& cell_current,
+    const std::vector<power::TaylorCoefficients>& cell_taylor,
+    CsrSystem& out) const {
+  const NodeLayout& layout = model_->layout();
+  const std::size_t n = layout.node_count();
+  const std::size_t cells = layout.cells_per_layer();
+  if (cell_current.size() != cells || cell_taylor.size() != cells) {
+    throw std::invalid_argument("IncrementalAssembler::assemble_csr: arity");
+  }
+
+  // Re-stamp values in place when the pattern matches; rebuild otherwise.
+  if (out.matrix.size() == n && out.matrix.nnz() == base_values_.size()) {
+    out.matrix.mutable_values() = base_values_;
+  } else {
+    out.matrix = la::CsrMatrix(n, row_ptr_, col_idx_, base_values_);
+  }
+  std::vector<double>& values = out.matrix.mutable_values();
+  out.rhs = base_rhs_;
+
+  const double ambient = model_->cfg_.ambient;
+  const double g_sink_total = model_->cfg_.sink_fan.conductance(omega);
+  for (const auto& [node, share] : model_->sink_ambient_share_) {
+    const double g = g_sink_total * share;
+    values[diag_pos_[node]] += g;
+    out.rhs[node] += g * ambient;
+  }
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    const std::size_t node = layout.node(Slab::kChip, cell);
+    const power::TaylorCoefficients& tc = cell_taylor[cell];
+    values[diag_pos_[node]] += -tc.a;
+    out.rhs[node] += tc.b - tc.a * tc.t_ref;
+  }
+  if (const tec::TecArray* array = model_->tec_array()) {
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const tec::CellTec& ct = array->cell(cell);
+      const double current = cell_current[cell];
+      if (!ct.covered || current <= 0.0) continue;
+      const double peltier = ct.seebeck * current;
+      values[diag_pos_[layout.node(Slab::kTecAbs, cell)]] += peltier;
+      values[diag_pos_[layout.node(Slab::kTecRej, cell)]] -= peltier;
+      out.rhs[layout.node(Slab::kTecGen, cell)] +=
+          ct.resistance * current * current;
+    }
+  }
+}
+
+AssembledSystem IncrementalAssembler::assemble_banded(
+    double omega, const la::Vector& cell_current,
+    const std::vector<power::TaylorCoefficients>& cell_taylor) const {
+  return model_->assemble(omega, cell_current, dynamic_, cell_taylor);
+}
+
 double ThermalModel::leakage_power(
     const la::Vector& temperatures,
     const std::vector<power::ExponentialTerm>& cell_terms) const {

@@ -1,0 +1,369 @@
+#include "thermal/solve_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <list>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "la/banded_lu.h"
+#include "la/iterative.h"
+
+namespace oftec::thermal {
+
+namespace {
+
+std::uint64_t bits_of(double x) noexcept {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factor cache
+// ---------------------------------------------------------------------------
+
+/// The matrix M(ω, I, linearization) is fully determined by ω, the per-cell
+/// currents, and the per-cell leakage slopes (intercepts only move the rhs).
+/// Keys compare the raw IEEE-754 bits of exactly those inputs, so a hit
+/// always returns the factor of a bit-identical matrix — correctness and
+/// determinism never depend on quantization or hit order.
+struct FactorKey {
+  std::uint64_t omega = 0;
+  std::vector<std::uint64_t> current;
+  std::vector<std::uint64_t> slope;
+
+  friend bool operator<(const FactorKey& a, const FactorKey& b) noexcept {
+    if (a.omega != b.omega) return a.omega < b.omega;
+    if (a.current != b.current) return a.current < b.current;
+    return a.slope < b.slope;
+  }
+};
+
+/// A cached direct factorization: Cholesky when the system is SPD, pivoted
+/// LU otherwise (near runaway the TEC/leakage terms can push the matrix
+/// indefinite). Both solvers are const-thread-safe once built.
+struct FactorEntry {
+  std::shared_ptr<const la::BandedCholeskyNumeric> cholesky;
+  std::shared_ptr<const la::BandedLu> lu;
+};
+
+struct SolveEngine::FactorCache {
+  explicit FactorCache(std::size_t cap) : capacity(cap) {}
+
+  using LruList = std::list<std::pair<FactorKey, FactorEntry>>;
+
+  std::mutex mutex;
+  LruList lru;  // front = most recently used
+  std::map<FactorKey, LruList::iterator> index;
+  std::size_t capacity;
+
+  std::atomic<std::size_t> points{0};
+  std::atomic<std::size_t> linear_solves{0};
+  std::atomic<std::size_t> cg_iterations{0};
+  std::atomic<std::size_t> factorizations{0};
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> direct_fallbacks{0};
+
+  [[nodiscard]] bool find(const FactorKey& key, FactorEntry& out) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = index.find(key);
+    if (it == index.end()) return false;
+    lru.splice(lru.begin(), lru, it->second);
+    out = lru.front().second;
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void insert(FactorKey key, FactorEntry entry) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (capacity == 0) return;
+    if (const auto it = index.find(key); it != index.end()) {
+      // Another thread factored the same point concurrently; keep the
+      // incumbent (identical by construction) and refresh its recency.
+      lru.splice(lru.begin(), lru, it->second);
+      return;
+    }
+    lru.emplace_front(std::move(key), std::move(entry));
+    index.emplace(lru.front().first, lru.begin());
+    if (lru.size() > capacity) {
+      index.erase(lru.back().first);
+      lru.pop_back();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-solve workspace (one per thread of execution; never shared)
+// ---------------------------------------------------------------------------
+
+struct SolveEngine::Workspace {
+  CsrSystem csr;
+  std::vector<power::TaylorCoefficients> taylor;
+  la::Vector cell_current;
+  la::Vector warm;         // previous iterate for Krylov warm starts
+  bool have_warm = false;  // reset at the start of every operating point
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+SolveEngine::SolveEngine(const SteadySolver& solver, EngineOptions options)
+    : solver_(&solver),
+      options_(options),
+      assembler_(solver.model(), solver.cell_dynamic_power()) {
+  // Probe the banded structure once; all operating points share it.
+  const std::size_t cells = solver.model().layout().cells_per_layer();
+  const AssembledSystem probe = assembler_.assemble_banded(
+      0.0, la::Vector(cells, 0.0),
+      std::vector<power::TaylorCoefficients>(cells));
+  symbolic_ = std::make_shared<const la::BandedCholeskySymbolic>(
+      la::BandedCholeskySymbolic::analyze(probe.matrix));
+  cache_ = std::make_unique<FactorCache>(options_.factor_cache_capacity);
+}
+
+SolveEngine::~SolveEngine() = default;
+
+EngineStats SolveEngine::stats() const {
+  EngineStats s;
+  s.points = cache_->points.load(std::memory_order_relaxed);
+  s.linear_solves = cache_->linear_solves.load(std::memory_order_relaxed);
+  s.cg_iterations = cache_->cg_iterations.load(std::memory_order_relaxed);
+  s.factorizations = cache_->factorizations.load(std::memory_order_relaxed);
+  s.factor_hits = cache_->hits.load(std::memory_order_relaxed);
+  s.direct_fallbacks = cache_->direct_fallbacks.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool SolveEngine::physical(const la::Vector& temperatures) const {
+  const double runaway = solver_->options().runaway_temperature;
+  for (const double t : temperatures) {
+    if (!std::isfinite(t) || t <= 0.0 || t > runaway) return false;
+  }
+  return true;
+}
+
+bool SolveEngine::solve_direct(
+    double omega, const la::Vector& cell_current,
+    const std::vector<power::TaylorCoefficients>& taylor, Workspace& ws,
+    la::Vector& out) const {
+  cache_->direct_fallbacks.fetch_add(1, std::memory_order_relaxed);
+
+  FactorKey key;
+  key.omega = bits_of(omega);
+  key.current.reserve(cell_current.size());
+  for (const double c : cell_current) key.current.push_back(bits_of(c));
+  key.slope.reserve(taylor.size());
+  for (const power::TaylorCoefficients& tc : taylor) {
+    key.slope.push_back(bits_of(tc.a));
+  }
+
+  FactorEntry entry;
+  AssembledSystem sys;  // also needed for the rhs on a hit
+  bool assembled = false;
+  if (!cache_->find(key, entry)) {
+    sys = assembler_.assemble_banded(omega, cell_current, taylor);
+    assembled = true;
+    cache_->factorizations.fetch_add(1, std::memory_order_relaxed);
+    auto numeric = std::make_shared<la::BandedCholeskyNumeric>(symbolic_);
+    try {
+      numeric->refactorize(sys.matrix);
+      entry.cholesky = std::move(numeric);
+    } catch (const std::runtime_error&) {
+      // Not positive definite — fall back to pivoted LU.
+      try {
+        entry.lu = std::make_shared<const la::BandedLu>(sys.matrix);
+      } catch (const std::runtime_error&) {
+        return false;  // genuinely singular: runaway
+      }
+    }
+    cache_->insert(std::move(key), entry);
+  }
+  if (!assembled) {
+    sys = assembler_.assemble_banded(omega, cell_current, taylor);
+  }
+
+  out = entry.cholesky ? entry.cholesky->solve(sys.rhs)
+                       : entry.lu->solve(sys.rhs);
+  if (!physical(out)) return false;
+  ws.warm = out;
+  ws.have_warm = true;
+  return true;
+}
+
+bool SolveEngine::solve_linear(
+    double omega, const la::Vector& cell_current,
+    const std::vector<power::TaylorCoefficients>& taylor, double tolerance,
+    Workspace& ws, la::Vector& out) const {
+  cache_->linear_solves.fetch_add(1, std::memory_order_relaxed);
+  if (options_.use_iterative) {
+    assembler_.assemble_csr(omega, cell_current, taylor, ws.csr);
+    la::IterativeOptions iopts;
+    iopts.tolerance = tolerance;
+    iopts.max_iterations = 4 * ws.csr.rhs.size();
+    if (ws.have_warm) iopts.initial_guess = &ws.warm;
+    // All operating-point terms are diagonal, so M stays symmetric and CG
+    // applies; indefinite systems (near runaway) fail to converge and drop
+    // to the pivoted direct path below.
+    const la::IterativeResult it =
+        la::solve_cg(ws.csr.matrix, ws.csr.rhs, iopts);
+    cache_->cg_iterations.fetch_add(it.iterations, std::memory_order_relaxed);
+    if (it.converged && physical(it.x)) {
+      out = it.x;
+      ws.warm = out;
+      ws.have_warm = true;
+      return true;
+    }
+  }
+  return solve_direct(omega, cell_current, taylor, ws, out);
+}
+
+SteadyResult SolveEngine::solve_point(double omega, Workspace& ws) const {
+  cache_->points.fetch_add(1, std::memory_order_relaxed);
+  const ThermalModel& model = solver_->model();
+  const SteadyOptions& sopts = solver_->options();
+  const std::vector<power::ExponentialTerm>& leakage = solver_->cell_leakage();
+  const std::size_t cells = model.layout().cells_per_layer();
+
+  ws.have_warm = false;  // determinism: no state leaks between points
+  ws.taylor.resize(cells);
+  const double polish_tol = sopts.iterative_tolerance;
+
+  switch (sopts.mode) {
+    case LeakageMode::kConstant: {
+      for (std::size_t i = 0; i < cells; ++i) {
+        ws.taylor[i] = {0.0, leakage[i].evaluate(model.config().ambient),
+                        model.config().ambient};
+      }
+      la::Vector temps;
+      if (!solve_linear(omega, ws.cell_current, ws.taylor, polish_tol, ws,
+                        temps)) {
+        return make_runaway_result(1);
+      }
+      return make_steady_result(model, std::move(temps), true, 1,
+                                ws.cell_current, leakage);
+    }
+
+    case LeakageMode::kChordLinear: {
+      for (std::size_t i = 0; i < cells; ++i) {
+        ws.taylor[i] = power::chord_linearize(
+            leakage[i], model.config().ambient, sopts.chord_t_lo,
+            sopts.chord_t_hi, sopts.chord_samples);
+      }
+      la::Vector temps;
+      if (!solve_linear(omega, ws.cell_current, ws.taylor, polish_tol, ws,
+                        temps)) {
+        return make_runaway_result(1);
+      }
+      return make_steady_result(model, std::move(temps), true, 1,
+                                ws.cell_current, leakage);
+    }
+
+    case LeakageMode::kNewtonExact: {
+      // Inexact Newton: intermediate linearizations only steer the outer
+      // loop, so their solves run at the loose inner tolerance (warm-started
+      // from the previous iterate); once the outer loop converges, one
+      // polish solve at the reference tolerance produces the reported state.
+      la::Vector t_ref(cells, model.config().ambient + 10.0);
+      la::Vector temps;
+      const double inner_tol =
+          std::min(options_.inner_tolerance, polish_tol * 1e3);
+      for (std::size_t it = 1; it <= sopts.max_iterations; ++it) {
+        for (std::size_t i = 0; i < cells; ++i) {
+          ws.taylor[i] = power::tangent_linearize(leakage[i], t_ref[i]);
+        }
+        if (!solve_linear(omega, ws.cell_current, ws.taylor, inner_tol, ws,
+                          temps)) {
+          return make_runaway_result(it);
+        }
+        const la::Vector chip = model.slab_temperatures(temps, Slab::kChip);
+        const double diff = la::max_abs_diff(chip, t_ref);
+        t_ref = chip;
+        if (diff < sopts.tolerance) {
+          if (inner_tol > polish_tol) {
+            for (std::size_t i = 0; i < cells; ++i) {
+              ws.taylor[i] = power::tangent_linearize(leakage[i], t_ref[i]);
+            }
+            if (!solve_linear(omega, ws.cell_current, ws.taylor, polish_tol,
+                              ws, temps)) {
+              return make_runaway_result(it);
+            }
+          }
+          return make_steady_result(model, std::move(temps), true, it,
+                                    ws.cell_current, leakage);
+        }
+      }
+      const double max_chip = model.max_slab_temperature(temps, Slab::kChip);
+      if (max_chip > sopts.runaway_temperature - 50.0) {
+        return make_runaway_result(sopts.max_iterations);
+      }
+      return make_steady_result(model, std::move(temps), false,
+                                sopts.max_iterations, ws.cell_current,
+                                leakage);
+    }
+  }
+  throw std::logic_error("SolveEngine: unknown leakage mode");
+}
+
+SteadyResult SolveEngine::solve(const OperatingPoint& point) const {
+  Workspace ws;
+  ws.cell_current.assign(solver_->model().layout().cells_per_layer(),
+                         point.current);
+  return solve_point(point.omega, ws);
+}
+
+SteadyResult SolveEngine::solve_cells(double omega,
+                                      const la::Vector& cell_current) const {
+  if (cell_current.size() != solver_->model().layout().cells_per_layer()) {
+    throw std::invalid_argument("SolveEngine::solve_cells: arity mismatch");
+  }
+  Workspace ws;
+  ws.cell_current = cell_current;
+  return solve_point(omega, ws);
+}
+
+std::vector<SteadyResult> SolveEngine::solve_serial(
+    const std::vector<OperatingPoint>& points) const {
+  const std::size_t cells = solver_->model().layout().cells_per_layer();
+  std::vector<SteadyResult> results(points.size());
+  Workspace ws;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ws.cell_current.assign(cells, points[i].current);
+    results[i] = solve_point(points[i].omega, ws);
+  }
+  return results;
+}
+
+std::vector<SteadyResult> SolveEngine::solve_batch(
+    const std::vector<OperatingPoint>& points, util::ThreadPool& pool) const {
+  const std::size_t cells = solver_->model().layout().cells_per_layer();
+  std::vector<SteadyResult> results(points.size());
+  // Per-worker workspaces would need worker ids; a thread_local scratch
+  // gives the same reuse without plumbing them through the pool API.
+  pool.parallel_for(points.size(), [&](std::size_t i) {
+    static thread_local Workspace ws;
+    ws.cell_current.assign(cells, points[i].current);
+    results[i] = solve_point(points[i].omega, ws);
+  });
+  return results;
+}
+
+std::vector<SteadyResult> SolveEngine::solve_batch(
+    const std::vector<OperatingPoint>& points) const {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_) {
+      pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    }
+  }
+  return solve_batch(points, *pool_);
+}
+
+}  // namespace oftec::thermal

@@ -1,0 +1,149 @@
+// Batched steady-state solve engine.
+//
+// OFTEC's optimizer, every baseline controller, the Fig. 6 surface sweeps,
+// the Pareto front, and LUT construction all reduce to evaluating the same
+// nonlinear steady-state system at many independent operating points
+// (ω, I_TEC). The serial SteadySolver rebuilds and re-solves everything from
+// scratch per point; this engine gets its throughput from three levers:
+//
+//   1. Incremental assembly — the matrix's operating-point dependence is
+//      diagonal-only, so the static network is assembled once and each
+//      point's system is a value-copy plus ~4 diagonal stamp groups
+//      (thermal::IncrementalAssembler).
+//   2. Warm-started inexact Newton — Krylov solves inside the Newton loop
+//      start from the previous iterate and run at a loose tolerance until
+//      the outer loop converges, then a final polish solve tightens the
+//      result to the solver's reference tolerance.
+//   3. Factor reuse — direct-solve fallbacks (near thermal runaway, or when
+//      use_iterative is off) go through a split symbolic/numeric banded
+//      Cholesky whose symbolic analysis is done once per package stack,
+//      with an LRU cache of numeric factors keyed bit-exactly on
+//      (ω, I_TEC, leakage linearization) so re-visited operating points hit
+//      warm factors. Keys are exact, so a cache hit returns the factor of
+//      an *identical* matrix and results never depend on hit order.
+//
+// SolveBatch fans points across a work-stealing thread pool (util/): every
+// point is computed independently from the same deterministic initial guess,
+// so the batched result vector is identical — exact, bit-for-bit — to the
+// serial reference path at any thread count (enforced by
+// tests/thermal/test_batched_vs_serial.cpp).
+//
+// Thread-safety contract: solve()/solve_batch() are const and safe to call
+// concurrently; the factor cache and statistics are internally synchronized.
+// The underlying SteadySolver and ThermalModel must outlive the engine and
+// are never mutated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "la/split_cholesky.h"
+#include "thermal/steady.h"
+#include "util/thread_pool.h"
+
+namespace oftec::thermal {
+
+/// One independent evaluation request: shared TEC current at fan speed ω.
+struct OperatingPoint {
+  double omega = 0.0;    ///< fan speed [rad/s]
+  double current = 0.0;  ///< TEC driving current [A]
+};
+
+struct EngineOptions {
+  /// Worker threads for solve_batch(); 0 → OFTEC_THREADS env or hardware
+  /// concurrency (util::ThreadPool::default_thread_count()).
+  std::size_t threads = 0;
+  /// Numeric factors kept warm (LRU). Each factor holds (bandwidth+1)·n
+  /// doubles — ~0.7 MB at the default 10×10 grid.
+  std::size_t factor_cache_capacity = 64;
+  /// Try warm-started CG before the direct path (mirrors the serial
+  /// solver's prefer_iterative). Off → every solve is a direct cached
+  /// factorization, which exercises the factor cache exclusively.
+  bool use_iterative = true;
+  /// Krylov tolerance for intermediate Newton iterations; the final result
+  /// is always polished to SteadyOptions::iterative_tolerance.
+  double inner_tolerance = 1e-6;
+};
+
+/// Counters accumulated across all solves (atomic snapshots).
+struct EngineStats {
+  std::size_t points = 0;           ///< operating points evaluated
+  std::size_t linear_solves = 0;    ///< linear systems solved (Newton iters)
+  std::size_t cg_iterations = 0;    ///< total Krylov iterations
+  std::size_t factorizations = 0;   ///< numeric (re)factorizations performed
+  std::size_t factor_hits = 0;      ///< LRU factor cache hits
+  std::size_t direct_fallbacks = 0; ///< solves that needed the direct path
+};
+
+class SolveEngine {
+ public:
+  /// Wraps a bound solver (model + workload + options). The solver's
+  /// LeakageMode, tolerances, and runaway threshold all apply; its
+  /// prefer_iterative flag is superseded by EngineOptions::use_iterative.
+  explicit SolveEngine(const SteadySolver& solver, EngineOptions options = {});
+  ~SolveEngine();
+
+  SolveEngine(const SolveEngine&) = delete;
+  SolveEngine& operator=(const SolveEngine&) = delete;
+
+  [[nodiscard]] const SteadySolver& solver() const noexcept {
+    return *solver_;
+  }
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Evaluate one operating point (thread-safe, deterministic).
+  [[nodiscard]] SteadyResult solve(const OperatingPoint& point) const;
+
+  /// Multi-zone variant: an independent driving current per cell (mirrors
+  /// SteadySolver::solve_cells). Same determinism guarantees as solve().
+  [[nodiscard]] SteadyResult solve_cells(double omega,
+                                         const la::Vector& cell_current) const;
+
+  /// Reference serial path: solve() per point, in order, on the caller's
+  /// thread. Batched execution must match this exactly.
+  [[nodiscard]] std::vector<SteadyResult> solve_serial(
+      const std::vector<OperatingPoint>& points) const;
+
+  /// Fan the batch across the engine's pool (created lazily from
+  /// options().threads). Results are ordered by input index.
+  [[nodiscard]] std::vector<SteadyResult> solve_batch(
+      const std::vector<OperatingPoint>& points) const;
+
+  /// Same, on a caller-provided pool.
+  [[nodiscard]] std::vector<SteadyResult> solve_batch(
+      const std::vector<OperatingPoint>& points, util::ThreadPool& pool) const;
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct FactorCache;
+  struct Workspace;
+
+  /// Core path: ws.cell_current must already hold the per-cell currents.
+  [[nodiscard]] SteadyResult solve_point(double omega, Workspace& ws) const;
+  /// Solve one linearized system; false → singular/runaway indication.
+  [[nodiscard]] bool solve_linear(
+      double omega, const la::Vector& cell_current,
+      const std::vector<power::TaylorCoefficients>& taylor, double tolerance,
+      Workspace& ws, la::Vector& out) const;
+  [[nodiscard]] bool solve_direct(
+      double omega, const la::Vector& cell_current,
+      const std::vector<power::TaylorCoefficients>& taylor, Workspace& ws,
+      la::Vector& out) const;
+  [[nodiscard]] bool physical(const la::Vector& temperatures) const;
+
+  const SteadySolver* solver_;
+  EngineOptions options_;
+  IncrementalAssembler assembler_;
+  std::shared_ptr<const la::BandedCholeskySymbolic> symbolic_;
+  std::unique_ptr<FactorCache> cache_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;  // lazy
+  mutable std::mutex pool_mutex_;
+};
+
+}  // namespace oftec::thermal

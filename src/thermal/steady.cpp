@@ -28,30 +28,42 @@ SteadySolver::SteadySolver(const ThermalModel& model,
   }
 }
 
-SteadyResult SteadySolver::runaway_result(std::size_t iterations) {
+SteadyResult make_runaway_result(std::size_t iterations) {
   SteadyResult res;
   res.runaway = true;
   res.iterations = iterations;
   return res;
 }
 
-SteadyResult SteadySolver::finalize(la::Vector temperatures, bool converged,
-                                    std::size_t iterations,
-                                    const la::Vector& cell_current) const {
+SteadyResult make_steady_result(
+    const ThermalModel& model, la::Vector temperatures, bool converged,
+    std::size_t iterations, const la::Vector& cell_current,
+    const std::vector<power::ExponentialTerm>& cell_leakage) {
   SteadyResult res;
   res.temperatures = std::move(temperatures);
   res.converged = converged;
   res.iterations = iterations;
   res.chip_temperatures =
-      model_->slab_temperatures(res.temperatures, Slab::kChip);
+      model.slab_temperatures(res.temperatures, Slab::kChip);
   res.cold_side_temperatures =
-      model_->slab_temperatures(res.temperatures, Slab::kTecAbs);
+      model.slab_temperatures(res.temperatures, Slab::kTecAbs);
   res.hot_side_temperatures =
-      model_->slab_temperatures(res.temperatures, Slab::kTecRej);
+      model.slab_temperatures(res.temperatures, Slab::kTecRej);
   res.max_chip_temperature = la::max_element_value(res.chip_temperatures);
-  res.leakage_power = model_->leakage_power(res.temperatures, leakage_);
-  res.tec_power = model_->tec_power(res.temperatures, cell_current);
+  res.leakage_power = model.leakage_power(res.temperatures, cell_leakage);
+  res.tec_power = model.tec_power(res.temperatures, cell_current);
   return res;
+}
+
+SteadyResult SteadySolver::runaway_result(std::size_t iterations) {
+  return make_runaway_result(iterations);
+}
+
+SteadyResult SteadySolver::finalize(la::Vector temperatures, bool converged,
+                                    std::size_t iterations,
+                                    const la::Vector& cell_current) const {
+  return make_steady_result(*model_, std::move(temperatures), converged,
+                            iterations, cell_current, leakage_);
 }
 
 SteadyResult SteadySolver::solve(double omega, double current) const {

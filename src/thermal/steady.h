@@ -65,6 +65,17 @@ struct SteadyResult {
   double tec_power = std::numeric_limits<double>::infinity();      ///< Eq. 3 [W]
 };
 
+/// Populate a SteadyResult from a converged node-temperature vector: slab
+/// extraction, exact leakage, and TEC electrical power. Shared by the serial
+/// SteadySolver and the batched SolveEngine so both report identically.
+[[nodiscard]] SteadyResult make_steady_result(
+    const ThermalModel& model, la::Vector temperatures, bool converged,
+    std::size_t iterations, const la::Vector& cell_current,
+    const std::vector<power::ExponentialTerm>& cell_leakage);
+
+/// The runaway outcome (𝒯 → ∞) as a SteadyResult.
+[[nodiscard]] SteadyResult make_runaway_result(std::size_t iterations);
+
 /// Binds a thermal model to one workload (dynamic power + leakage terms) and
 /// solves repeatedly for different (ω, I) — the "thermal simulator" box of
 /// the paper's Fig. 5 evaluation flow.

@@ -1,0 +1,158 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace oftec::util {
+
+namespace {
+
+/// True while the current thread is inside a parallel_for body of some pool;
+/// nested calls then run inline instead of deadlocking on the job slot.
+thread_local bool t_inside_pool_body = false;
+
+}  // namespace
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("OFTEC_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t id = 1; id < threads; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::pop_or_steal(Job& job, std::size_t self, std::size_t& index) {
+  // Own deque: front (preserves block locality).
+  {
+    WorkerQueue& own = *job.queues[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.indices.empty()) {
+      index = own.indices.front();
+      own.indices.pop_front();
+      return true;
+    }
+  }
+  // Steal: back of the next non-empty victim.
+  const std::size_t participants = job.queues.size();
+  for (std::size_t hop = 1; hop < participants; ++hop) {
+    WorkerQueue& victim = *job.queues[(self + hop) % participants];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.indices.empty()) {
+      index = victim.indices.back();
+      victim.indices.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::participate(Job& job, std::size_t self) {
+  std::size_t index = 0;
+  while (pop_or_steal(job, self, index)) {
+    if (!job.cancelled.load(std::memory_order_relaxed)) {
+      t_inside_pool_body = true;
+      try {
+        (*job.body)(index);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(job.error_mutex);
+          if (!job.error) job.error = std::current_exception();
+        }
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+      t_inside_pool_body = false;
+    }
+    job.remaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock,
+                    [&] { return stopping_ || (job_ && job_seq_ != seen); });
+      if (stopping_) return;
+      job = job_;
+      seen = job_seq_;
+    }
+    participate(*job, worker_id);
+    if (job->remaining.load(std::memory_order_acquire) == 0) {
+      // Bridge through the mutex so a submitter that read a stale count
+      // under the lock is guaranteed to be blocked before this notify.
+      { const std::lock_guard<std::mutex> lock(mutex_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Inline paths: single-threaded pool, tiny batch, or a nested call from
+  // inside another parallel_for body (worker threads are all busy then).
+  if (workers_.empty() || count == 1 || t_inside_pool_body) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  const std::size_t participants = workers_.size() + 1;
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->remaining.store(count, std::memory_order_relaxed);
+  job->queues.reserve(participants);
+  for (std::size_t p = 0; p < participants; ++p) {
+    job->queues.push_back(std::make_unique<WorkerQueue>());
+  }
+  // Deal contiguous blocks so neighbours (which tend to cost alike) start on
+  // the same worker; stealing rebalances the tails.
+  for (std::size_t p = 0; p < participants; ++p) {
+    const std::size_t lo = count * p / participants;
+    const std::size_t hi = count * (p + 1) / participants;
+    for (std::size_t i = lo; i < hi; ++i) {
+      job->queues[p]->indices.push_back(i);
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_seq_;
+  }
+  wake_cv_.notify_all();
+
+  participate(*job, /*self=*/0);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    job_.reset();
+  }
+
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace oftec::util
