@@ -6,16 +6,28 @@
 //             eight benchmark vectors).
 // Compares thermal safety, average cooling power, and control latency —
 // the trade space the paper's LUT proposal targets.
+//
+// `--smoke` runs a shrunk configuration (short trace, fewer policies, small
+// LUT) intended for CI: fast, but still touching every instrumented layer so
+// the emitted OFTEC_OBS report/trace artifacts are representative (see
+// tools/run_obs_smoke.cmake).
 #include <cstdio>
+#include <cstring>
 
 #include "common.h"
 #include "core/dtm_loop.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 #include "workload/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace oftec;
   using namespace oftec::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
 
   print_header("Online DTM loop: static vs exact-OFTEC vs LUT control",
                "OFTEC is fast enough for online control; the LUT serves the "
@@ -23,33 +35,45 @@ int main() {
 
   const floorplan::Floorplan& fp = paper_floorplan();
 
-  // 10 s of Susan: the deepest phase structure in the suite.
+  // 10 s of Susan: the deepest phase structure in the suite (2 s in smoke
+  // mode).
   workload::TraceOptions topt;
-  topt.sample_count = 200;
+  topt.sample_count = smoke ? 40 : 200;
   topt.sample_interval = 0.05;
   const workload::PowerTrace trace = workload::generate_trace(
       workload::profile_for(workload::Benchmark::kSusan), fp, topt);
 
   std::vector<power::PowerMap> training;
+  std::size_t n_training = 0;
   for (const workload::Benchmark b : workload::all_benchmarks()) {
     training.push_back(
         workload::peak_power_map(workload::profile_for(b), fp));
+    // Smoke: 3 training maps keep the build under a second while still
+    // fanning the per-entry OFTEC runs across the pool.
+    if (smoke && ++n_training == 3) break;
   }
-  const core::LutController lut =
-      core::LutController::build(training, fp, paper_leakage());
+  const core::LutController lut = core::LutController::build(
+      training, fp, paper_leakage(), {}, {},
+      smoke ? util::ThreadPool::default_thread_count() : 1);
 
   struct PolicyRow {
     const char* name;
     core::DtmPolicy policy;
   };
-  const PolicyRow policies[] = {
+  std::vector<PolicyRow> policies = {
       {"static (whole-trace max)", core::DtmPolicy::kStatic},
       {"exact OFTEC / 1 s", core::DtmPolicy::kExactOftec},
       {"LUT lookup / 1 s", core::DtmPolicy::kLut},
   };
+  if (smoke) {
+    policies = {{"exact OFTEC", core::DtmPolicy::kExactOftec},
+                {"LUT lookup", core::DtmPolicy::kLut}};
+  }
+  const double control_period = smoke ? 0.5 : 1.0;
 
-  std::printf("\nTrace: Susan, %.0f s, %zu samples; control period 1 s; "
-              "Tmax = 90 C.\n\n", trace.duration(), trace.size());
+  std::printf("\nTrace: Susan, %.0f s, %zu samples; control period %.1f s; "
+              "Tmax = 90 C.\n\n", trace.duration(), trace.size(),
+              control_period);
   std::printf("  %-26s %-9s %-12s %-10s %-12s %-8s\n", "policy", "peak [C]",
               "t>Tmax [s]", "avg P [W]", "ctrl [ms]", "re-opts");
   std::printf("  ------------------------------------------------------------"
@@ -58,8 +82,8 @@ int main() {
   for (const PolicyRow& p : policies) {
     core::DtmOptions opts;
     opts.policy = p.policy;
-    opts.control_period = 1.0;
-    opts.time_step = 10e-3;
+    opts.control_period = control_period;
+    opts.time_step = smoke ? 20e-3 : 10e-3;
     if (p.policy == core::DtmPolicy::kLut) opts.lut = &lut;
     const core::DtmResult r =
         core::run_dtm_loop(fp, trace, paper_leakage(), opts);

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
+#include "util/obs.h"
 #include "util/strings.h"
 #include "util/units.h"
 
@@ -20,6 +22,7 @@ const power::LeakageModel& paper_leakage() {
 }
 
 std::vector<SweepRow> run_paper_sweep(const SweepOptions& options) {
+  OBS_SPAN("bench.paper_sweep");
   const floorplan::Floorplan& fp = paper_floorplan();
   const power::LeakageModel& leak = paper_leakage();
   const double fixed_omega = units::rpm_to_rad_s(options.fixed_fan_rpm);
@@ -75,7 +78,25 @@ std::string format_temperature_outcome(double kelvin, double t_max_kelvin) {
   return out;
 }
 
+void emit_obs_artifacts() {
+  if (!obs::enabled()) return;
+  obs::flush();  // rewrites the OFTEC_OBS_REPORT / OFTEC_TRACE_FILE artifacts
+  if (obs::report_path_from_env().empty()) {
+    const char* path = "obs_report.json";
+    if (obs::write_report_file(path)) {
+      std::fprintf(stderr, "[obs] metrics report written to %s\n", path);
+    }
+  }
+  const std::string table = obs::profile_table();
+  if (!table.empty()) std::fprintf(stderr, "%s", table.c_str());
+}
+
 void print_header(const std::string& figure, const std::string& claim) {
+  static const bool obs_hook_armed = [] {
+    std::atexit(emit_obs_artifacts);
+    return true;
+  }();
+  (void)obs_hook_armed;
   std::printf("==============================================================\n");
   std::printf("OFTEC reproduction — %s\n", figure.c_str());
   std::printf("Paper claim: %s\n", claim.c_str());

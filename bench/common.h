@@ -57,7 +57,16 @@ struct SweepOptions {
 [[nodiscard]] std::string format_temperature_outcome(double kelvin,
                                                      double t_max_kelvin);
 
-/// Standard bench preamble: figure id + what the paper shows.
+/// Standard bench preamble: figure id + what the paper shows. Also arms the
+/// exit-time observability hook (see emit_obs_artifacts), so every bench
+/// binary run with OFTEC_OBS=1 produces a machine-readable metrics artifact.
 void print_header(const std::string& figure, const std::string& claim);
+
+/// When obs is enabled: write the env-configured report/trace files (or a
+/// default ./obs_report.json when OFTEC_OBS=1 but no report path is set) and
+/// print the span self-time profile to stderr. No-op when obs is off.
+/// print_header() registers this via atexit; callable directly for binaries
+/// that want the artifacts mid-run.
+void emit_obs_artifacts();
 
 }  // namespace oftec::bench

@@ -4,7 +4,17 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/obs.h"
+
 namespace oftec::core {
+
+namespace {
+
+const obs::Counter g_obs_evaluations = obs::counter("cooling.evaluations");
+const obs::Counter g_obs_cache_hits = obs::counter("cooling.cache_hits");
+const obs::Gauge g_obs_cache_hit_rate = obs::gauge("cooling.eval_cache_hit_rate");
+
+}  // namespace
 
 double Evaluation::cooling_power() const noexcept {
   if (runaway) return std::numeric_limits<double>::infinity();
@@ -35,11 +45,20 @@ const Evaluation& CoolingSystem::evaluate(double omega, double current) const {
         "CoolingSystem::evaluate: current out of range");
   }
 
+  g_obs_evaluations.add();
   const auto key = std::make_pair(omega, current);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
       ++cache_hits_;
+      g_obs_cache_hits.add();
+      if (obs::enabled()) {
+        const auto total =
+            static_cast<double>(cache_hits_ + solve_count_);
+        if (total > 0.0) {
+          g_obs_cache_hit_rate.set(static_cast<double>(cache_hits_) / total);
+        }
+      }
       return it->second;
     }
     if (cache_.size() >= cache_limit_) cache_.clear();

@@ -7,11 +7,26 @@
 #include "la/banded_lu.h"
 #include "thermal/model.h"
 #include "thermal/steady.h"
+#include "util/obs.h"
 #include "util/stopwatch.h"
 
 namespace oftec::core {
 
 namespace {
+
+const obs::Counter g_obs_runs = obs::counter("dtm.runs");
+const obs::Counter g_obs_periods = obs::counter("dtm.periods");
+const obs::Counter g_obs_reoptimizations = obs::counter("dtm.reoptimizations");
+// Per-control-period latency breakdown: total decision time, then its parts
+// (workload windowing vs. the optimize/lookup that produces the setting).
+const obs::Histogram g_obs_decide_ms =
+    obs::histogram("dtm.decide_ms", obs::exponential_bounds(0.1, 2.0, 14));
+const obs::Histogram g_obs_window_ms =
+    obs::histogram("dtm.window_ms", obs::exponential_bounds(0.01, 2.0, 12));
+const obs::Histogram g_obs_optimize_ms =
+    obs::histogram("dtm.optimize_ms", obs::exponential_bounds(0.1, 2.0, 14));
+const obs::Histogram g_obs_lookup_ms =
+    obs::histogram("dtm.lookup_ms", obs::exponential_bounds(0.001, 2.0, 12));
 
 /// Per-unit max over trace samples [begin, end).
 power::PowerMap window_max(const workload::PowerTrace& trace,
@@ -44,6 +59,8 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
   if (options.control_period <= 0.0 || options.time_step <= 0.0) {
     throw std::invalid_argument("run_dtm_loop: bad timing parameters");
   }
+  OBS_SPAN("dtm.run");
+  g_obs_runs.add();
 
   const thermal::ThermalModel model(options.system.package, fp,
                                     options.system.grid_nx,
@@ -73,16 +90,21 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
 
   // Control decision for the window starting at trace sample `begin`.
   auto decide = [&](std::size_t begin) -> Setting {
+    OBS_SPAN("dtm.decide");
+    g_obs_periods.add();
+    const util::Stopwatch decide_watch;
     const power::PowerMap window =
         options.policy == DtmPolicy::kStatic
             ? window_max(trace, fp, 0, trace.size())
             : window_max(trace, fp, begin, begin + samples_per_period);
+    if (obs::enabled()) g_obs_window_ms.observe(decide_watch.elapsed_ms());
     const util::Stopwatch watch;
     Setting setting;
     switch (options.policy) {
       case DtmPolicy::kLut: {
         const LutController::LookupResult hit = options.lut->lookup(window);
         setting = {hit.omega, hit.current};
+        if (obs::enabled()) g_obs_lookup_ms.observe(watch.elapsed_ms());
         break;
       }
       case DtmPolicy::kExactOftec:
@@ -91,11 +113,14 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
         const OftecResult r = run_oftec(system, options.oftec);
         setting = r.success ? Setting{r.omega, r.current}
                             : Setting{r.opt2_omega, r.opt2_current};
+        if (obs::enabled()) g_obs_optimize_ms.observe(watch.elapsed_ms());
         break;
       }
     }
     result.control_time_ms += watch.elapsed_ms();
     ++result.reoptimizations;
+    g_obs_reoptimizations.add();
+    if (obs::enabled()) g_obs_decide_ms.observe(decide_watch.elapsed_ms());
     return setting;
   };
 
@@ -135,6 +160,7 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
       setting = decide(sample);
     }
 
+    OBS_SPAN("dtm.transient_step");
     const la::Vector chip = model.slab_temperatures(temps, thermal::Slab::kChip);
     for (std::size_t i = 0; i < cells; ++i) {
       taylor[i] = power::tangent_linearize(leak_terms[i], chip[i]);

@@ -4,9 +4,19 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/obs.h"
 #include "util/thread_pool.h"
 
 namespace oftec::core {
+
+namespace {
+
+const obs::Counter g_obs_lookups = obs::counter("lut.lookups");
+const obs::Counter g_obs_builds = obs::counter("lut.builds");
+const obs::Histogram g_obs_feature_distance =
+    obs::histogram("lut.feature_distance", obs::exponential_bounds(0.01, 4.0, 8));
+
+}  // namespace
 
 la::Vector LutController::feature_of(const power::PowerMap& power) {
   return power.values();
@@ -21,6 +31,8 @@ LutController LutController::build(const std::vector<power::PowerMap>& training,
   if (training.empty()) {
     throw std::invalid_argument("LutController::build: no training maps");
   }
+  OBS_SPAN("lut.build");
+  g_obs_builds.add();
   LutController lut;
   lut.entries_.resize(training.size());
   const auto build_entry = [&](std::size_t i) {
@@ -81,6 +93,8 @@ LutController::LookupResult LutController::lookup(
   best.current = chosen.current;
   best.feasible = chosen.feasible;
   best.feature_distance = std::sqrt(best_dist);
+  g_obs_lookups.add();
+  if (obs::enabled()) g_obs_feature_distance.observe(best.feature_distance);
   return best;
 }
 

@@ -7,11 +7,14 @@
 #include "core/problems.h"
 #include "floorplan/grid_map.h"
 #include "opt/sqp.h"
+#include "util/obs.h"
 #include "util/stopwatch.h"
 
 namespace oftec::core {
 
 namespace {
+
+const obs::Counter g_obs_runs = obs::counter("multizone.runs");
 
 [[nodiscard]] bool is_integer_cluster_unit(const std::string& name) {
   return name == "IntExec" || name == "IntReg" || name == "IntQ" ||
@@ -219,6 +222,8 @@ la::Vector MultiZoneProblem::midpoint() const {
 MultiZoneResult run_multizone_oftec(const MultiZoneSystem& system,
                                     const opt::SqpOptions& sqp,
                                     double feasibility_margin) {
+  OBS_SPAN("multizone.run");
+  g_obs_runs.add();
   const util::Stopwatch watch;
   const std::size_t solves_before = system.evaluation_count();
 

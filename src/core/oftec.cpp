@@ -7,9 +7,22 @@
 #include "opt/grid_search.h"
 #include "opt/interior_point.h"
 #include "opt/trust_region.h"
+#include "util/obs.h"
 #include "util/stopwatch.h"
 
 namespace oftec::core {
+
+namespace {
+
+const obs::Counter g_obs_runs = obs::counter("oftec.runs");
+const obs::Counter g_obs_opt2_bootstraps = obs::counter("oftec.opt2_bootstraps");
+const obs::Counter g_obs_infeasible = obs::counter("oftec.infeasible");
+const obs::Histogram g_obs_runtime_ms =
+    obs::histogram("oftec.runtime_ms", obs::exponential_bounds(1.0, 2.0, 14));
+const obs::Histogram g_obs_thermal_solves = obs::histogram(
+    "oftec.thermal_solves", {8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+
+}  // namespace
 
 std::string solver_name(Solver s) {
   switch (s) {
@@ -47,6 +60,7 @@ namespace {
 
 MinTemperatureResult run_min_temperature(const CoolingSystem& system,
                                          const OftecOptions& options) {
+  OBS_SPAN("oftec.min_temperature");
   const util::Stopwatch watch;
   const std::size_t solves_before = system.evaluation_count();
 
@@ -69,6 +83,8 @@ MinTemperatureResult run_min_temperature(const CoolingSystem& system,
 }
 
 OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) {
+  OBS_SPAN("oftec.run");
+  g_obs_runs.add();
   const util::Stopwatch watch;
   const std::size_t solves_before = system.evaluation_count();
 
@@ -89,7 +105,9 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
 
   // Lines 2–5: bootstrap feasibility via Optimization 2.
   if (!(temperature < t_max)) {
+    OBS_SPAN("oftec.opt2");
     result.used_opt2 = true;
+    g_obs_opt2_bootstraps.add();
     const opt::StopPredicate early_stop =
         [&](const la::Vector&, double objective) {
           return objective < stop_threshold;
@@ -100,6 +118,7 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
     temperature = r2.objective;
     if (!(temperature < t_max)) {
       // Line 5: infeasible — report the best temperature found.
+      g_obs_infeasible.add();
       result.success = false;
       result.opt2_omega = opt2.omega_of(x);
       result.opt2_current = opt2.current_of(x);
@@ -110,6 +129,11 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
       }
       result.runtime_ms = watch.elapsed_ms();
       result.thermal_solves = system.evaluation_count() - solves_before;
+      if (obs::enabled()) {
+        g_obs_runtime_ms.observe(result.runtime_ms);
+        g_obs_thermal_solves.observe(
+            static_cast<double>(result.thermal_solves));
+      }
       return result;
     }
   }
@@ -120,6 +144,7 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
       system.evaluate(result.opt2_omega, result.opt2_current).power;
 
   // Line 6: minimize cooling power from the feasible start.
+  OBS_SPAN("oftec.opt1");
   const opt::OptResult r1 = dispatch(options.solver, opt1, x, options, nullptr);
 
   // Guard against a solver returning an infeasible "optimum": fall back to
@@ -139,6 +164,10 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
   result.power = ev->power;
   result.runtime_ms = watch.elapsed_ms();
   result.thermal_solves = system.evaluation_count() - solves_before;
+  if (obs::enabled()) {
+    g_obs_runtime_ms.observe(result.runtime_ms);
+    g_obs_thermal_solves.observe(static_cast<double>(result.thermal_solves));
+  }
   return result;
 }
 

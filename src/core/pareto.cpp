@@ -2,12 +2,16 @@
 
 #include <stdexcept>
 
+#include "util/obs.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace oftec::core {
 
 namespace {
+
+const obs::Counter g_obs_sweeps = obs::counter("pareto.sweeps");
+const obs::Counter g_obs_points = obs::counter("pareto.points");
 
 [[nodiscard]] ParetoPoint point_from(double t_limit_kelvin,
                                      const OftecResult& r) {
@@ -33,6 +37,9 @@ std::vector<ParetoPoint> sweep_pareto_front(
   if (options.points < 2 || options.t_limit_hi_c <= options.t_limit_lo_c) {
     throw std::invalid_argument("sweep_pareto_front: bad threshold range");
   }
+  OBS_SPAN("pareto.sweep");
+  g_obs_sweeps.add();
+  g_obs_points.add(options.points);
 
   const auto threshold_c = [&](std::size_t i) {
     return options.t_limit_lo_c +

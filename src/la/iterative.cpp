@@ -2,9 +2,28 @@
 
 #include <cmath>
 
+#include "util/obs.h"
+
 namespace oftec::la {
 
 namespace {
+
+const obs::Counter g_obs_cg_solves = obs::counter("la.cg.solves");
+const obs::Counter g_obs_cg_iterations = obs::counter("la.cg.iterations_total");
+const obs::Counter g_obs_bicgstab_solves = obs::counter("la.bicgstab.solves");
+const obs::Counter g_obs_bicgstab_iterations =
+    obs::counter("la.bicgstab.iterations_total");
+
+/// Counts one solve (and its final iteration count) on every exit path.
+struct IterTally {
+  const obs::Counter& solves;
+  const obs::Counter& iterations;
+  const IterativeResult& res;
+  ~IterTally() {
+    solves.add();
+    iterations.add(res.iterations);
+  }
+};
 
 [[nodiscard]] Vector jacobi_inverse_diagonal(const CsrMatrix& a,
                                              bool enabled) {
@@ -47,6 +66,7 @@ IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
   const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
 
   IterativeResult res;
+  const IterTally tally{g_obs_cg_solves, g_obs_cg_iterations, res};
   Vector r;
   init_iterate(a, b, opts, res.x, r);
   const double b_norm = norm2(b);
@@ -96,6 +116,7 @@ IterativeResult solve_bicgstab(const CsrMatrix& a, const Vector& b,
   const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
 
   IterativeResult res;
+  const IterTally tally{g_obs_bicgstab_solves, g_obs_bicgstab_iterations, res};
   Vector r;
   init_iterate(a, b, opts, res.x, r);
   const double b_norm = norm2(b);

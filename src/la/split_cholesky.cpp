@@ -4,7 +4,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/obs.h"
+
 namespace oftec::la {
+
+namespace {
+const obs::Counter g_obs_refactorizations =
+    obs::counter("la.cholesky.refactorizations");
+}  // namespace
 
 BandedCholeskySymbolic::BandedCholeskySymbolic(std::size_t n,
                                                std::size_t bandwidth)
@@ -43,6 +50,7 @@ void BandedCholeskyNumeric::refactorize(const BandedMatrix& a) {
   }
   const std::size_t n = symbolic_->size();
   const std::size_t k = symbolic_->bandwidth();
+  g_obs_refactorizations.add();
   factorized_ = false;
   factor_.assign(symbolic_->factor_storage(), 0.0);
   min_diag_ = std::numeric_limits<double>::infinity();

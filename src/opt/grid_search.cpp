@@ -4,11 +4,15 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/obs.h"
 #include "util/thread_pool.h"
 
 namespace oftec::opt {
 
 namespace {
+
+const obs::Counter g_obs_runs = obs::counter("opt.grid.runs");
+const obs::Counter g_obs_points = obs::counter("opt.grid.points");
 
 /// Iterate all points of the nd-grid, invoking fn(x).
 void for_each_grid_point(const Bounds& bounds, std::size_t points,
@@ -52,6 +56,8 @@ OptResult solve_grid_search(const Problem& problem,
   if (options.points_per_dimension < 2) {
     throw std::invalid_argument("solve_grid_search: need >= 2 points");
   }
+  OBS_SPAN("opt.grid_search");
+  g_obs_runs.add();
   OptResult result;
   result.objective = std::numeric_limits<double>::infinity();
 
@@ -74,6 +80,7 @@ OptResult solve_grid_search(const Problem& problem,
           result.x = x;
           result.feasible = true;
         });
+    g_obs_points.add(result.iterations);
     result.converged = result.feasible;
     return result;
   }
@@ -92,6 +99,7 @@ OptResult solve_grid_search(const Problem& problem,
   });
   result.iterations = grid.size();
   result.evaluations = 2 * grid.size();
+  g_obs_points.add(grid.size());
 
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const double f = objective[i];

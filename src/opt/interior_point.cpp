@@ -6,6 +6,7 @@
 
 #include "la/dense_lu.h"
 #include "opt/finite_diff.h"
+#include "util/obs.h"
 
 namespace oftec::opt {
 
@@ -13,10 +14,18 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+const obs::Counter g_obs_runs = obs::counter("opt.ipm.runs");
+const obs::Counter g_obs_infeasible_starts =
+    obs::counter("opt.ipm.infeasible_starts");
+const obs::Histogram g_obs_iterations = obs::histogram(
+    "opt.ipm.iterations", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+
 }  // namespace
 
 OptResult solve_interior_point(const Problem& problem, const la::Vector& x0,
                                const InteriorPointOptions& options) {
+  OBS_SPAN("opt.interior_point");
+  g_obs_runs.add();
   const std::size_t n = problem.dimension();
   const Bounds& bounds = problem.bounds();
 
@@ -59,6 +68,7 @@ OptResult solve_interior_point(const Problem& problem, const la::Vector& x0,
     ++result.evaluations;
     for (const double gi : g0) {
       if (!(gi < 0.0)) {
+        g_obs_infeasible_starts.add();
         result.x = x;
         result.objective = problem.objective(x);
         ++result.evaluations;
@@ -131,6 +141,9 @@ OptResult solve_interior_point(const Problem& problem, const la::Vector& x0,
   result.feasible = true;
   for (const double gi : g) result.feasible = result.feasible && gi <= 1e-6;
   result.converged = true;
+  if (obs::enabled()) {
+    g_obs_iterations.observe(static_cast<double>(result.iterations));
+  }
   return result;
 }
 

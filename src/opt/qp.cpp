@@ -5,12 +5,17 @@
 #include <stdexcept>
 
 #include "la/dense_lu.h"
+#include "util/obs.h"
 
 namespace oftec::opt {
 
 namespace {
 
 constexpr double kFeasTol = 1e-9;
+
+const obs::Counter g_obs_solves = obs::counter("opt.qp.solves");
+const obs::Histogram g_obs_active_set_size =
+    obs::histogram("opt.qp.active_set_size", {0.0, 1.0, 2.0, 3.0, 4.0});
 
 /// Solve the equality-constrained QP with active set S via the KKT system
 ///   [H  A_Sᵀ][d]   [−g ]
@@ -96,6 +101,8 @@ QpResult solve_qp(const la::DenseMatrix& h, const la::Vector& g,
         "solve_qp: enumeration solver is intended for tiny QPs (n <= 4)");
   }
 
+  g_obs_solves.add();
+
   std::vector<std::vector<std::size_t>> subsets;
   enumerate_subsets(m, n, subsets);
 
@@ -103,6 +110,7 @@ QpResult solve_qp(const la::DenseMatrix& h, const la::Vector& g,
   best.objective = std::numeric_limits<double>::infinity();
   double best_violation = std::numeric_limits<double>::infinity();
   la::Vector best_violation_d(n, 0.0);
+  std::size_t best_active_size = 0;
 
   for (const auto& active : subsets) {
     la::Vector d, lambda;
@@ -126,6 +134,7 @@ QpResult solve_qp(const la::DenseMatrix& h, const la::Vector& g,
         for (std::size_t k = 0; k < active.size(); ++k) {
           best.multipliers[active[k]] = std::max(0.0, lambda[k]);
         }
+        best_active_size = active.size();
       }
     }
     if (viol < best_violation) {
@@ -139,6 +148,8 @@ QpResult solve_qp(const la::DenseMatrix& h, const la::Vector& g,
     best.d = best_violation_d;
     best.multipliers.assign(m, 0.0);
     best.objective = qp_objective(h, g, best.d);
+  } else if (obs::enabled()) {
+    g_obs_active_set_size.observe(static_cast<double>(best_active_size));
   }
   return best;
 }

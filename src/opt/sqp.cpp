@@ -9,12 +9,19 @@
 #include "opt/finite_diff.h"
 #include "opt/qp.h"
 #include "util/log.h"
+#include "util/obs.h"
 
 namespace oftec::opt {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const obs::Counter g_obs_runs = obs::counter("opt.sqp.runs");
+const obs::Counter g_obs_backtracks =
+    obs::counter("opt.sqp.line_search_backtracks");
+const obs::Histogram g_obs_iterations = obs::histogram(
+    "opt.sqp.iterations", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
 
 /// ℓ1 merit: f + μ·Σ max(0, g_i). +inf propagates.
 [[nodiscard]] double merit(double f, const la::Vector& g, double mu) {
@@ -40,6 +47,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 OptResult solve_sqp(const Problem& problem, const la::Vector& x0,
                     const SqpOptions& options, const StopPredicate& stop) {
+  OBS_SPAN("opt.sqp");
+  g_obs_runs.add();
   const std::size_t n = problem.dimension();
   const std::size_t m = problem.constraint_count();
   const Bounds& bounds = problem.bounds();
@@ -172,6 +181,7 @@ OptResult solve_sqp(const Problem& problem, const la::Vector& x0,
         }
       }
       alpha *= 0.5;
+      g_obs_backtracks.add();
     }
     if (log::enabled(log::Level::kDebug)) {
       log::debug("sqp iter ", iter, ": f=", f, " viol=", violation(g),
@@ -247,6 +257,9 @@ OptResult solve_sqp(const Problem& problem, const la::Vector& x0,
   result.x = x;
   result.objective = f;
   result.feasible = violation(g) <= options.constraint_tolerance;
+  if (obs::enabled()) {
+    g_obs_iterations.observe(static_cast<double>(result.iterations));
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include "la/banded_lu.h"
 #include "la/iterative.h"
+#include "util/obs.h"
 
 namespace oftec::thermal {
 
@@ -22,6 +23,26 @@ std::uint64_t bits_of(double x) noexcept {
   std::memcpy(&u, &x, sizeof(u));
   return u;
 }
+
+// Registry mirrors of the per-engine counters (names: docs/observability.md).
+const obs::Counter g_obs_points = obs::counter("solve_engine.points");
+const obs::Counter g_obs_linear_solves =
+    obs::counter("solve_engine.linear_solves");
+const obs::Counter g_obs_cg_iterations_total =
+    obs::counter("solve_engine.cg_iterations_total");
+const obs::Counter g_obs_factorizations =
+    obs::counter("solve_engine.factorizations");
+const obs::Counter g_obs_factor_hits = obs::counter("solve_engine.factor_hits");
+const obs::Counter g_obs_direct_fallbacks =
+    obs::counter("solve_engine.direct_fallbacks");
+const obs::Gauge g_obs_factor_hit_rate =
+    obs::gauge("solve_engine.factor_hit_rate");
+const obs::Histogram g_obs_cg_iterations = obs::histogram(
+    "solve_engine.cg_iterations",
+    {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0});
+const obs::Histogram g_obs_newton_iterations =
+    obs::histogram("solve_engine.newton_iterations",
+                   {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
 
 }  // namespace
 
@@ -78,7 +99,17 @@ struct SolveEngine::FactorCache {
     lru.splice(lru.begin(), lru, it->second);
     out = lru.front().second;
     hits.fetch_add(1, std::memory_order_relaxed);
+    g_obs_factor_hits.add();
     return true;
+  }
+
+  void reset_counters() {
+    points.store(0, std::memory_order_relaxed);
+    linear_solves.store(0, std::memory_order_relaxed);
+    cg_iterations.store(0, std::memory_order_relaxed);
+    factorizations.store(0, std::memory_order_relaxed);
+    hits.store(0, std::memory_order_relaxed);
+    direct_fallbacks.store(0, std::memory_order_relaxed);
   }
 
   void insert(FactorKey key, FactorEntry entry) {
@@ -142,6 +173,8 @@ EngineStats SolveEngine::stats() const {
   return s;
 }
 
+void SolveEngine::reset_stats() const { cache_->reset_counters(); }
+
 bool SolveEngine::physical(const la::Vector& temperatures) const {
   const double runaway = solver_->options().runaway_temperature;
   for (const double t : temperatures) {
@@ -155,6 +188,7 @@ bool SolveEngine::solve_direct(
     const std::vector<power::TaylorCoefficients>& taylor, Workspace& ws,
     la::Vector& out) const {
   cache_->direct_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  g_obs_direct_fallbacks.add();
 
   FactorKey key;
   key.omega = bits_of(omega);
@@ -172,6 +206,7 @@ bool SolveEngine::solve_direct(
     sys = assembler_.assemble_banded(omega, cell_current, taylor);
     assembled = true;
     cache_->factorizations.fetch_add(1, std::memory_order_relaxed);
+    g_obs_factorizations.add();
     auto numeric = std::make_shared<la::BandedCholeskyNumeric>(symbolic_);
     try {
       numeric->refactorize(sys.matrix);
@@ -190,6 +225,16 @@ bool SolveEngine::solve_direct(
     sys = assembler_.assemble_banded(omega, cell_current, taylor);
   }
 
+  if (obs::enabled()) {
+    const auto hits =
+        static_cast<double>(cache_->hits.load(std::memory_order_relaxed));
+    const auto misses = static_cast<double>(
+        cache_->factorizations.load(std::memory_order_relaxed));
+    if (hits + misses > 0.0) {
+      g_obs_factor_hit_rate.set(hits / (hits + misses));
+    }
+  }
+
   out = entry.cholesky ? entry.cholesky->solve(sys.rhs)
                        : entry.lu->solve(sys.rhs);
   if (!physical(out)) return false;
@@ -203,6 +248,7 @@ bool SolveEngine::solve_linear(
     const std::vector<power::TaylorCoefficients>& taylor, double tolerance,
     Workspace& ws, la::Vector& out) const {
   cache_->linear_solves.fetch_add(1, std::memory_order_relaxed);
+  g_obs_linear_solves.add();
   if (options_.use_iterative) {
     assembler_.assemble_csr(omega, cell_current, taylor, ws.csr);
     la::IterativeOptions iopts;
@@ -215,6 +261,10 @@ bool SolveEngine::solve_linear(
     const la::IterativeResult it =
         la::solve_cg(ws.csr.matrix, ws.csr.rhs, iopts);
     cache_->cg_iterations.fetch_add(it.iterations, std::memory_order_relaxed);
+    g_obs_cg_iterations_total.add(it.iterations);
+    if (obs::enabled()) {
+      g_obs_cg_iterations.observe(static_cast<double>(it.iterations));
+    }
     if (it.converged && physical(it.x)) {
       out = it.x;
       ws.warm = out;
@@ -226,7 +276,17 @@ bool SolveEngine::solve_linear(
 }
 
 SteadyResult SolveEngine::solve_point(double omega, Workspace& ws) const {
+  OBS_SPAN("solve_engine.solve_point");
   cache_->points.fetch_add(1, std::memory_order_relaxed);
+  g_obs_points.add();
+  SteadyResult result = solve_point_impl(omega, ws);
+  if (obs::enabled()) {
+    g_obs_newton_iterations.observe(static_cast<double>(result.iterations));
+  }
+  return result;
+}
+
+SteadyResult SolveEngine::solve_point_impl(double omega, Workspace& ws) const {
   const ThermalModel& model = solver_->model();
   const SteadyOptions& sopts = solver_->options();
   const std::vector<power::ExponentialTerm>& leakage = solver_->cell_leakage();

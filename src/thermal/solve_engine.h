@@ -68,7 +68,14 @@ struct EngineOptions {
   double inner_tolerance = 1e-6;
 };
 
-/// Counters accumulated across all solves (atomic snapshots).
+/// Point-in-time snapshot of the engine's internally-atomic counters.
+/// stats() may be called concurrently with solves; the snapshot is
+/// per-counter consistent (each field is a single relaxed load, so totals
+/// from an in-flight solve may be partially visible — never torn).
+/// reset_stats() zeroes the accumulators: counters observed afterwards
+/// belong to the new epoch, and in-flight solves split their increments
+/// across the boundary. The same counters are mirrored into the process-wide
+/// oftec::obs registry (when enabled) under the "solve_engine." prefix.
 struct EngineStats {
   std::size_t points = 0;           ///< operating points evaluated
   std::size_t linear_solves = 0;    ///< linear systems solved (Newton iters)
@@ -120,12 +127,18 @@ class SolveEngine {
 
   [[nodiscard]] EngineStats stats() const;
 
+  /// Zero the stats accumulators (see EngineStats for epoch semantics).
+  /// The factor cache contents are untouched.
+  void reset_stats() const;
+
  private:
   struct FactorCache;
   struct Workspace;
 
   /// Core path: ws.cell_current must already hold the per-cell currents.
   [[nodiscard]] SteadyResult solve_point(double omega, Workspace& ws) const;
+  [[nodiscard]] SteadyResult solve_point_impl(double omega,
+                                              Workspace& ws) const;
   /// Solve one linearized system; false → singular/runaway indication.
   [[nodiscard]] bool solve_linear(
       double omega, const la::Vector& cell_current,

@@ -1,0 +1,105 @@
+// Minimal JSON document model: parse, navigate, serialize.
+//
+// Exists so the observability layer can emit (and the tooling/tests can
+// re-read and validate) machine-readable artifacts without an external
+// dependency. Deliberately small:
+//   - objects preserve deterministic (sorted) key order via std::map;
+//   - numbers are doubles (integral values within 2^53 round-trip exactly
+//     and serialize without a decimal point);
+//   - non-finite numbers serialize as null (JSON has no inf/nan);
+//   - \uXXXX escapes are decoded to UTF-8 (surrogate pairs included).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oftec::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() noexcept : type_(Type::kNull) {}
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}
+  Value(double v) noexcept : type_(Type::kNumber), number_(v) {}
+  Value(int v) noexcept : Value(static_cast<double>(v)) {}
+  Value(unsigned v) noexcept : Value(static_cast<double>(v)) {}
+  Value(long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(unsigned long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(long long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(unsigned long long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : Value(std::string(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] static Value array() { return Value(Array{}); }
+  [[nodiscard]] static Value object() { return Value(Object{}); }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Object member insert-or-access (converts a null value to an object).
+  Value& operator[](const std::string& key);
+
+  /// Array append (converts a null value to an array).
+  void push_back(Value v);
+
+  /// Serialize. indent < 0 → compact single line; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  void write(std::ostream& os, int indent = -1) const;
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void write_indented(std::ostream& os, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws std::runtime_error with an offset-annotated
+/// message on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escape a string body per JSON rules (quotes not included).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace oftec::util::json

@@ -1,15 +1,65 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace oftec::log {
 
 namespace {
 
-std::atomic<Level> g_level{Level::kWarn};
+constexpr int kPrefixTimestamp = 1;
+constexpr int kPrefixThreadId = 2;
+
+[[nodiscard]] std::string lowercase(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+[[nodiscard]] Level initial_level() noexcept {
+  const char* env = std::getenv("OFTEC_LOG_LEVEL");
+  if (env == nullptr) return Level::kWarn;
+  return detail::parse_level(env, Level::kWarn);
+}
+
+[[nodiscard]] int initial_prefix() noexcept {
+  const char* env = std::getenv("OFTEC_LOG_PREFIX");
+  if (env == nullptr) return 0;
+  int bits = 0;
+  const std::string spec = lowercase(env);
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = spec.find_first_of(", ", start);
+    const std::string_view token =
+        std::string_view(spec).substr(start, end == std::string::npos
+                                                 ? std::string::npos
+                                                 : end - start);
+    if (token == "time" || token == "timestamp") bits |= kPrefixTimestamp;
+    if (token == "tid" || token == "thread") bits |= kPrefixThreadId;
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return bits;
+}
+
+std::atomic<Level> g_level{initial_level()};
+std::atomic<int> g_prefix{initial_prefix()};
 std::mutex g_mutex;
+
+/// Small sequential thread id (first-use order), easier to read in logs than
+/// the opaque std::thread::id hash.
+[[nodiscard]] unsigned sequential_thread_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 [[nodiscard]] const char* tag(Level lvl) noexcept {
   switch (lvl) {
@@ -24,6 +74,48 @@ std::mutex g_mutex;
 
 }  // namespace
 
+namespace detail {
+
+Level parse_level(std::string_view text, Level fallback) noexcept {
+  const std::string name = lowercase(text);
+  if (name == "debug" || name == "0") return Level::kDebug;
+  if (name == "info" || name == "1") return Level::kInfo;
+  if (name == "warn" || name == "warning" || name == "2") return Level::kWarn;
+  if (name == "error" || name == "3") return Level::kError;
+  if (name == "off" || name == "none" || name == "4") return Level::kOff;
+  return fallback;
+}
+
+std::string format_prefix(PrefixOptions options) {
+  std::string out;
+  if (options.timestamp) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+#if defined(_WIN32)
+    localtime_s(&tm, &secs);
+#else
+    localtime_r(&secs, &tm);
+#endif
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d ", tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+    out += buf;
+  }
+  if (options.thread_id) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "t%02u ", sequential_thread_id());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace detail
+
 void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 
 Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
@@ -32,10 +124,23 @@ bool enabled(Level lvl) noexcept {
   return static_cast<int>(lvl) >= static_cast<int>(level());
 }
 
+void set_prefix(PrefixOptions options) noexcept {
+  g_prefix.store((options.timestamp ? kPrefixTimestamp : 0) |
+                     (options.thread_id ? kPrefixThreadId : 0),
+                 std::memory_order_relaxed);
+}
+
+PrefixOptions prefix() noexcept {
+  const int bits = g_prefix.load(std::memory_order_relaxed);
+  return PrefixOptions{(bits & kPrefixTimestamp) != 0,
+                       (bits & kPrefixThreadId) != 0};
+}
+
 void write(Level lvl, std::string_view msg) {
   if (!enabled(lvl)) return;
+  const std::string pre = detail::format_prefix(prefix());
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[oftec %s] %.*s\n", tag(lvl),
+  std::fprintf(stderr, "%s[oftec %s] %.*s\n", pre.c_str(), tag(lvl),
                static_cast<int>(msg.size()), msg.data());
 }
 

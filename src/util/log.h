@@ -2,8 +2,15 @@
 //
 // The library is quiet by default (Level::kWarn). Benchmarks and examples
 // raise the level to kInfo/kDebug to narrate what they are doing. Logging is
-// process-global and not synchronized across threads beyond a per-call lock;
-// the OFTEC pipeline itself is single-threaded.
+// process-global; concurrent callers (the OFTEC pipeline runs sweeps on the
+// util::ThreadPool) are serialized by a per-call lock, so lines never
+// interleave mid-message.
+//
+// Environment (read once, before main):
+//   OFTEC_LOG_LEVEL   initial level — debug|info|warn|error|off or 0-4
+//   OFTEC_LOG_PREFIX  extra line prefix fields — comma/space separated list
+//                     of "time" (HH:MM:SS.mmm) and "tid" (sequential
+//                     per-process thread id)
 #pragma once
 
 #include <sstream>
@@ -14,6 +21,12 @@ namespace oftec::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Optional per-line prefix fields (both default off; see OFTEC_LOG_PREFIX).
+struct PrefixOptions {
+  bool timestamp = false;  ///< wall-clock HH:MM:SS.mmm
+  bool thread_id = false;  ///< sequential id of the emitting thread
+};
+
 /// Set the global minimum severity that is emitted.
 void set_level(Level level) noexcept;
 
@@ -23,10 +36,22 @@ void set_level(Level level) noexcept;
 /// True if a message at `lvl` would be emitted.
 [[nodiscard]] bool enabled(Level lvl) noexcept;
 
+/// Set/get the per-line prefix configuration.
+void set_prefix(PrefixOptions options) noexcept;
+[[nodiscard]] PrefixOptions prefix() noexcept;
+
 /// Emit one message (appends a newline). Thread-safe.
 void write(Level lvl, std::string_view msg);
 
 namespace detail {
+
+/// Parse a level name ("debug", "WARN", …) or digit ("0".."4"); returns
+/// `fallback` on anything unrecognized. Exposed for tests.
+[[nodiscard]] Level parse_level(std::string_view text, Level fallback) noexcept;
+
+/// Render the configured prefix (e.g. "12:03:55.120 t03 ") for the calling
+/// thread; empty when both fields are off. Exposed for tests.
+[[nodiscard]] std::string format_prefix(PrefixOptions options);
 
 template <typename... Args>
 void emit(Level lvl, const Args&... args) {

@@ -1,0 +1,642 @@
+#include "util/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace oftec::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Nanoseconds since the first call (process-lifetime epoch for traces).
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+  static const SteadyClock::time_point t0 = SteadyClock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           t0)
+          .count());
+}
+
+constexpr std::size_t kChunkSize = 256;         // slots per allocation block
+constexpr std::size_t kMaxEventsPerThread = 1u << 16;
+
+/// One allocation block of metric slots. Blocks are never freed or moved
+/// once created, so owner threads increment without any lock while the
+/// aggregator reads (relaxed) under the registry mutex.
+struct Chunk {
+  std::atomic<std::uint64_t> slots[kChunkSize];
+  Chunk() {
+    for (auto& s : slots) s.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Per-thread metric storage. Structure (the chunk table) is guarded by the
+/// registry mutex; slot contents are atomics.
+struct Shard {
+  std::uint32_t thread_id = 0;
+  std::vector<std::unique_ptr<Chunk>> chunks;
+
+  [[nodiscard]] std::atomic<std::uint64_t>* slot(std::uint32_t index) {
+    const std::size_t chunk = index / kChunkSize;
+    if (chunk >= chunks.size() || !chunks[chunk]) return nullptr;
+    return &chunks[chunk]->slots[index % kChunkSize];
+  }
+};
+
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+struct OpenSpan {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t child_ns = 0;
+};
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+/// Per-thread span state. `stack` is owner-only; `events`/`aggregates`/
+/// `dropped` are shared with the exporter under `mutex`.
+struct TraceBuffer {
+  std::uint32_t thread_id = 0;
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+  std::map<const char*, SpanAgg> aggregates;
+  std::vector<OpenSpan> stack;  // owner thread only
+};
+
+enum class MetricKind { kCounter, kHistogram };
+
+struct MetricDef {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint32_t slot = 0;   ///< first slot index in every shard
+  std::uint32_t width = 1;  ///< slots consumed (histograms: buckets + sum)
+  /// Histogram upper bounds; unique_ptr for a stable address handed to the
+  /// Histogram handle.
+  std::unique_ptr<const std::vector<double>> bounds;
+};
+
+struct GaugeDef {
+  std::string name;
+  std::unique_ptr<std::atomic<double>> cell;
+};
+
+struct TlsState;
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance() {
+    // Leaked intentionally: thread-local destructors and atexit hooks may
+    // touch the registry after static destruction would have run.
+    static Registry* const g = new Registry;
+    return *g;
+  }
+
+  std::uint32_t register_counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return define(name, MetricKind::kCounter, 1, nullptr).slot;
+  }
+
+  const MetricDef& register_histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+    if (bounds.empty()) {
+      throw std::invalid_argument("obs::histogram: no bucket bounds");
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      if (!(bounds[i] > bounds[i - 1])) {
+        throw std::invalid_argument(
+            "obs::histogram: bounds must be strictly increasing");
+      }
+    }
+    // Buckets (bounds + overflow) followed by one sum slot.
+    const auto width = static_cast<std::uint32_t>(bounds.size() + 2);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return define(name, MetricKind::kHistogram, width,
+                  std::make_unique<const std::vector<double>>(
+                      std::move(bounds)));
+  }
+
+  std::atomic<double>* register_gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = gauge_by_name_.find(name); it != gauge_by_name_.end()) {
+      return gauges_[it->second].cell.get();
+    }
+    GaugeDef def;
+    def.name = std::string(name);
+    def.cell = std::make_unique<std::atomic<double>>(0.0);
+    std::atomic<double>* cell = def.cell.get();
+    gauge_by_name_.emplace(def.name, gauges_.size());
+    gauges_.push_back(std::move(def));
+    return cell;
+  }
+
+  /// Slow path of the TLS slot cache: materialize the chunk covering `slot`
+  /// in this thread's shard and return the stable cell address.
+  std::atomic<std::uint64_t>* materialize_slot(TlsState& tls,
+                                               std::uint32_t slot);
+
+  void attach_thread(TlsState& tls);
+  void attach_buffer(TlsState& tls);
+
+  [[nodiscard]] Snapshot build_snapshot();
+  void reset_all();
+  void export_trace(std::ostream& os);
+
+ private:
+  const MetricDef& define(std::string_view name, MetricKind kind,
+                          std::uint32_t width,
+                          std::unique_ptr<const std::vector<double>> bounds) {
+    if (const auto it = metric_by_name_.find(name);
+        it != metric_by_name_.end()) {
+      return *metrics_[it->second];
+    }
+    auto def = std::make_unique<MetricDef>();
+    def->name = std::string(name);
+    def->kind = kind;
+    def->slot = next_slot_;
+    def->width = width;
+    def->bounds = std::move(bounds);
+    next_slot_ += width;
+    metric_by_name_.emplace(def->name, metrics_.size());
+    metrics_.push_back(std::move(def));
+    return *metrics_.back();
+  }
+
+  [[nodiscard]] std::uint64_t sum_slot(std::uint32_t index) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      if (std::atomic<std::uint64_t>* cell = shard->slot(index)) {
+        total += cell->load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+  [[nodiscard]] double sum_slot_double(std::uint32_t index) {
+    double total = 0.0;
+    for (const auto& shard : shards_) {
+      if (std::atomic<std::uint64_t>* cell = shard->slot(index)) {
+        total += std::bit_cast<double>(cell->load(std::memory_order_relaxed));
+      }
+    }
+    return total;
+  }
+
+  std::mutex mutex_;
+  // unique_ptr elements: handles capture bounds pointers, which must survive
+  // vector growth.
+  std::vector<std::unique_ptr<MetricDef>> metrics_;
+  std::map<std::string, std::size_t, std::less<>> metric_by_name_;
+  std::vector<GaugeDef> gauges_;
+  std::map<std::string, std::size_t, std::less<>> gauge_by_name_;
+  std::uint32_t next_slot_ = 0;
+  // Shards/buffers of every thread that ever reported, kept (shared_ptr)
+  // past thread exit so late snapshots still see their contributions.
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers_;
+  std::uint32_t next_thread_id_ = 0;
+};
+
+/// Thread-local handle caching direct slot pointers (index → cell) so the
+/// steady-state increment path is branch + load + fetch_add.
+struct TlsState {
+  std::shared_ptr<Shard> shard;
+  std::shared_ptr<TraceBuffer> buffer;
+  std::vector<std::atomic<std::uint64_t>*> slot_cache;
+};
+
+[[nodiscard]] TlsState& tls_state() {
+  thread_local TlsState state;
+  return state;
+}
+
+void Registry::attach_thread(TlsState& tls) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (tls.shard) return;
+  auto shard = std::make_shared<Shard>();
+  shard->thread_id = next_thread_id_++;
+  shards_.push_back(shard);
+  tls.shard = std::move(shard);
+}
+
+void Registry::attach_buffer(TlsState& tls) {
+  if (!tls.shard) attach_thread(tls);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (tls.buffer) return;
+  auto buffer = std::make_shared<TraceBuffer>();
+  buffer->thread_id = tls.shard->thread_id;
+  buffers_.push_back(buffer);
+  tls.buffer = std::move(buffer);
+}
+
+std::atomic<std::uint64_t>* Registry::materialize_slot(TlsState& tls,
+                                                       std::uint32_t slot) {
+  if (!tls.shard) attach_thread(tls);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Shard& shard = *tls.shard;
+  const std::size_t chunk = slot / kChunkSize;
+  if (shard.chunks.size() <= chunk) shard.chunks.resize(chunk + 1);
+  if (!shard.chunks[chunk]) shard.chunks[chunk] = std::make_unique<Chunk>();
+  std::atomic<std::uint64_t>* cell = shard.slot(slot);
+  if (tls.slot_cache.size() <= slot) tls.slot_cache.resize(slot + 1, nullptr);
+  tls.slot_cache[slot] = cell;
+  return cell;
+}
+
+[[nodiscard]] std::atomic<std::uint64_t>& slot_for(std::uint32_t slot) {
+  TlsState& tls = tls_state();
+  if (slot < tls.slot_cache.size() && tls.slot_cache[slot] != nullptr) {
+    return *tls.slot_cache[slot];
+  }
+  return *Registry::instance().materialize_slot(tls, slot);
+}
+
+Snapshot Registry::build_snapshot() {
+  Snapshot snap;
+  std::map<std::string, SpanAgg> span_totals;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& def : metrics_) {
+      if (def->kind == MetricKind::kCounter) {
+        snap.counters[def->name] = sum_slot(def->slot);
+      } else {
+        HistogramSnapshot h;
+        h.bounds = *def->bounds;
+        const std::size_t buckets = h.bounds.size() + 1;
+        h.counts.resize(buckets);
+        for (std::size_t b = 0; b < buckets; ++b) {
+          h.counts[b] = sum_slot(def->slot + static_cast<std::uint32_t>(b));
+          h.count += h.counts[b];
+        }
+        h.sum =
+            sum_slot_double(def->slot + static_cast<std::uint32_t>(buckets));
+        snap.histograms.emplace(def->name, std::move(h));
+      }
+    }
+    for (const GaugeDef& g : gauges_) {
+      snap.gauges[g.name] = g.cell->load(std::memory_order_relaxed);
+    }
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+      snap.dropped_events += buffer->dropped;
+      for (const auto& [name, agg] : buffer->aggregates) {
+        SpanAgg& total = span_totals[name];
+        total.count += agg.count;
+        total.total_ns += agg.total_ns;
+        total.self_ns += agg.self_ns;
+      }
+    }
+  }
+  snap.spans.reserve(span_totals.size());
+  for (const auto& [name, agg] : span_totals) {
+    SpanStats s;
+    s.name = name;
+    s.count = agg.count;
+    s.total_ms = static_cast<double>(agg.total_ns) * 1e-6;
+    s.self_ms = static_cast<double>(agg.self_ns) * 1e-6;
+    snap.spans.push_back(std::move(s));
+  }
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              if (a.self_ms != b.self_ms) return a.self_ms > b.self_ms;
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (const auto& chunk : shard->chunks) {
+      if (!chunk) continue;
+      for (auto& cell : chunk->slots) cell.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const GaugeDef& g : gauges_) {
+    g.cell->store(0.0, std::memory_order_relaxed);
+  }
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->aggregates.clear();
+    buffer->dropped = 0;
+    // Open-span stacks are owner-private and deliberately untouched: a span
+    // closing after reset() reports its full duration into the new epoch.
+  }
+}
+
+void Registry::export_trace(std::ostream& os) {
+  char line[256];
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"oftec\"}}";
+  std::uint64_t dropped = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+    dropped += buffer->dropped;
+    std::snprintf(line, sizeof(line),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%u,\"args\":{\"name\":\"oftec-thread-%u\"}}",
+                  buffer->thread_id, buffer->thread_id);
+    os << line;
+    for (const Event& e : buffer->events) {
+      std::snprintf(line, sizeof(line),
+                    ",{\"name\":\"%s\",\"cat\":\"oftec\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+                    util::json::escape(e.name).c_str(),
+                    static_cast<double>(e.start_ns) * 1e-3,
+                    static_cast<double>(e.dur_ns) * 1e-3, buffer->thread_id);
+      os << line;
+    }
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << dropped << "}}\n";
+}
+
+// --- span recording (owner-thread paths) -----------------------------------
+
+void span_begin(const char* name) {
+  TlsState& tls = tls_state();
+  if (!tls.buffer) Registry::instance().attach_buffer(tls);
+  tls.buffer->stack.push_back({name, now_ns(), 0});
+}
+
+void span_end() {
+  const std::uint64_t end = now_ns();
+  TraceBuffer& buffer = *tls_state().buffer;
+  const OpenSpan top = buffer.stack.back();
+  buffer.stack.pop_back();
+  const std::uint64_t dur = end - top.start_ns;
+  const std::uint64_t self = dur >= top.child_ns ? dur - top.child_ns : 0;
+  if (!buffer.stack.empty()) buffer.stack.back().child_ns += dur;
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  SpanAgg& agg = buffer.aggregates[top.name];
+  ++agg.count;
+  agg.total_ns += dur;
+  agg.self_ns += self;
+  if (tracing()) {
+    if (buffer.events.size() < kMaxEventsPerThread) {
+      buffer.events.push_back({top.name, top.start_ns, dur});
+    } else {
+      ++buffer.dropped;
+    }
+  }
+}
+
+// --- environment wiring ----------------------------------------------------
+
+[[nodiscard]] bool truthy(const char* value) {
+  if (value == nullptr) return false;
+  std::string v(value);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return !(v.empty() || v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+struct EnvConfig {
+  bool enable = false;
+  bool trace = false;
+  std::string report_path;
+  std::string trace_path;
+};
+
+[[nodiscard]] const EnvConfig& env_config() {
+  static const EnvConfig cfg = [] {
+    EnvConfig c;
+    c.enable = truthy(std::getenv("OFTEC_OBS"));
+    if (const char* p = std::getenv("OFTEC_OBS_REPORT"); p != nullptr && *p) {
+      c.report_path = p;
+      c.enable = true;
+    }
+    if (const char* p = std::getenv("OFTEC_TRACE_FILE"); p != nullptr && *p) {
+      c.trace_path = p;
+      c.enable = true;
+      c.trace = true;
+    }
+    return c;
+  }();
+  return cfg;
+}
+
+/// Applies the environment before main (this TU is always linked when any
+/// obs symbol is used) and schedules the exit-time artifact flush.
+struct EnvInit {
+  EnvInit() {
+    const EnvConfig& cfg = env_config();
+    if (cfg.enable) detail::g_enabled.store(true, std::memory_order_relaxed);
+    if (cfg.trace) detail::g_tracing.store(true, std::memory_order_relaxed);
+    if (!cfg.report_path.empty() || !cfg.trace_path.empty()) {
+      std::atexit([] { flush(); });
+    }
+  }
+} g_env_init;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) noexcept {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void Counter::add(std::uint64_t n) const noexcept {
+  if (slot_ == kInvalid || !enabled()) return;
+  slot_for(slot_).fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) const noexcept {
+  if (cell_ == nullptr || !enabled()) return;
+  cell_->store(v, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) const noexcept {
+  if (bounds_ == nullptr || !enabled()) return;
+  const std::vector<double>& bounds = *bounds_;
+  std::size_t bucket = 0;
+  while (bucket < bounds.size() && v > bounds[bucket]) ++bucket;
+  slot_for(slot_ + static_cast<std::uint32_t>(bucket))
+      .fetch_add(1, std::memory_order_relaxed);
+  // Sum slot holds a double bit pattern; each shard has exactly one writer
+  // (its owner thread), so load-add-store is race-free.
+  std::atomic<std::uint64_t>& sum =
+      slot_for(slot_ + static_cast<std::uint32_t>(bounds.size() + 1));
+  const double cur = std::bit_cast<double>(sum.load(std::memory_order_relaxed));
+  sum.store(std::bit_cast<std::uint64_t>(cur + v), std::memory_order_relaxed);
+}
+
+Counter counter(std::string_view name) {
+  return Counter(Registry::instance().register_counter(name));
+}
+
+Gauge gauge(std::string_view name) {
+  return Gauge(Registry::instance().register_gauge(name));
+}
+
+Histogram histogram(std::string_view name, std::vector<double> upper_bounds) {
+  const MetricDef& def =
+      Registry::instance().register_histogram(name, std::move(upper_bounds));
+  return Histogram(def.slot, def.bounds.get());
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::invalid_argument("obs::exponential_bounds: bad parameters");
+  }
+  std::vector<double> bounds(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds[i] = v;
+    v *= factor;
+  }
+  return bounds;
+}
+
+Span::Span(const char* name) noexcept {
+  if (!enabled()) return;
+  span_begin(name);
+  active_ = true;
+}
+
+Span::~Span() {
+  if (active_) span_end();
+}
+
+Snapshot snapshot() { return Registry::instance().build_snapshot(); }
+
+void reset() { Registry::instance().reset_all(); }
+
+void write_report(std::ostream& os) {
+  const Snapshot snap = snapshot();
+  util::json::Value root = util::json::Value::object();
+  root["version"] = util::json::Value(1);
+  root["tool"] = util::json::Value("oftec-obs");
+  root["enabled"] = util::json::Value(enabled());
+
+  util::json::Value counters = util::json::Value::object();
+  for (const auto& [name, value] : snap.counters) {
+    counters[name] = util::json::Value(value);
+  }
+  root["counters"] = std::move(counters);
+
+  util::json::Value gauges = util::json::Value::object();
+  for (const auto& [name, value] : snap.gauges) {
+    gauges[name] = util::json::Value(value);
+  }
+  root["gauges"] = std::move(gauges);
+
+  util::json::Value histograms = util::json::Value::object();
+  for (const auto& [name, h] : snap.histograms) {
+    util::json::Value entry = util::json::Value::object();
+    util::json::Value bounds = util::json::Value::array();
+    for (const double b : h.bounds) bounds.push_back(util::json::Value(b));
+    util::json::Value counts = util::json::Value::array();
+    for (const std::uint64_t c : h.counts) {
+      counts.push_back(util::json::Value(c));
+    }
+    entry["bounds"] = std::move(bounds);
+    entry["counts"] = std::move(counts);
+    entry["count"] = util::json::Value(h.count);
+    entry["sum"] = util::json::Value(h.sum);
+    histograms[name] = std::move(entry);
+  }
+  root["histograms"] = std::move(histograms);
+
+  util::json::Value spans = util::json::Value::array();
+  for (const SpanStats& s : snap.spans) {
+    util::json::Value entry = util::json::Value::object();
+    entry["name"] = util::json::Value(s.name);
+    entry["count"] = util::json::Value(s.count);
+    entry["total_ms"] = util::json::Value(s.total_ms);
+    entry["self_ms"] = util::json::Value(s.self_ms);
+    spans.push_back(std::move(entry));
+  }
+  root["spans"] = std::move(spans);
+  root["dropped_events"] = util::json::Value(snap.dropped_events);
+
+  root.write(os, 2);
+  os << '\n';
+}
+
+bool write_report_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_report(os);
+  return static_cast<bool>(os);
+}
+
+void write_chrome_trace(std::ostream& os) {
+  Registry::instance().export_trace(os);
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+std::string profile_table() {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  if (snap.spans.empty()) return "";
+  os << "obs span profile (ordered by self time):\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-40s %10s %12s %12s\n", "span",
+                "count", "total [ms]", "self [ms]");
+  os << line;
+  for (const SpanStats& s : snap.spans) {
+    std::snprintf(line, sizeof(line), "  %-40s %10llu %12.2f %12.2f\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.total_ms, s.self_ms);
+    os << line;
+  }
+  if (snap.dropped_events > 0) {
+    os << "  (" << snap.dropped_events
+       << " trace events dropped at the per-thread ring cap)\n";
+  }
+  return os.str();
+}
+
+void flush() {
+  const EnvConfig& cfg = env_config();
+  if (!cfg.report_path.empty()) (void)write_report_file(cfg.report_path);
+  if (!cfg.trace_path.empty()) (void)write_chrome_trace_file(cfg.trace_path);
+}
+
+std::string report_path_from_env() { return env_config().report_path; }
+
+std::string trace_path_from_env() { return env_config().trace_path; }
+
+}  // namespace oftec::obs

@@ -1,0 +1,214 @@
+// oftec::obs — process-wide observability: metrics, scoped spans, reports.
+//
+// The paper's deployment claim (Sec. 6.2) is that OFTEC is cheap enough to
+// run online; validating (and improving) that requires knowing where every
+// control period's cycles go. This subsystem provides:
+//
+//   1. A metrics registry — counters, gauges, and fixed-bucket histograms.
+//      Counter/histogram storage is sharded per thread: the hot path is one
+//      relaxed atomic increment on a thread-local slot, with aggregation
+//      deferred to snapshot time. Registration is idempotent by name and
+//      cheap enough to do at static-init time (the convention used across
+//      the codebase, so every metric exists — at zero — in every report).
+//
+//   2. Scoped spans — `OBS_SPAN("solve_engine.point")` records a timed
+//      RAII section into a per-thread buffer. Spans aggregate into a
+//      self-time profile (total vs. self = total minus time in child
+//      spans) and, when tracing is on, into Chrome `trace_event` JSON that
+//      loads directly in chrome://tracing or https://ui.perfetto.dev.
+//
+//   3. Structured run reports — a JSON snapshot of every metric plus the
+//      span aggregates, written on demand or automatically at process exit
+//      when the environment asks for it.
+//
+// Environment variables (read once, before main):
+//   OFTEC_OBS=1          enable collection (default off; "0"/"false"/"off"
+//                        keep it disabled)
+//   OFTEC_TRACE_FILE=p   record span events and write a Chrome trace to `p`
+//                        at exit (implies OFTEC_OBS=1)
+//   OFTEC_OBS_REPORT=p   write the JSON metrics report to `p` at exit
+//                        (implies OFTEC_OBS=1)
+//
+// Overhead contract: when disabled, every instrumentation call is a single
+// relaxed atomic load plus a branch — no locks, no clock reads, and no
+// allocations (tests/util/test_obs.cpp enforces the last with a counting
+// operator new). Metric *registration* may allocate; hot paths never
+// register, they use handles created once.
+//
+// Thread-safety: everything here is safe to call from any thread. snapshot()
+// and the writers may run concurrently with updates and see a slightly torn
+// but per-metric-consistent view; reset() is intended for quiescent points
+// (between runs, in tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oftec::obs {
+
+namespace detail {
+// Defined in obs.cpp; initialized from the environment before main.
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_tracing;
+}  // namespace detail
+
+/// True when metric/span collection is on (OFTEC_OBS, or either artifact
+/// environment variable). The inline fast path keeps disabled-mode cost to
+/// one relaxed load.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// True when span *events* are recorded for Chrome-trace export (aggregated
+/// span statistics only need enabled()).
+[[nodiscard]] inline bool tracing() noexcept {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+void set_tracing(bool on) noexcept;
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter. Handles are value types; copy freely. A
+/// default-constructed handle is inert.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const noexcept;
+
+ private:
+  friend Counter counter(std::string_view name);
+  explicit Counter(std::uint32_t slot) noexcept : slot_(slot) {}
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t slot_ = kInvalid;
+};
+
+/// Last-write-wins instantaneous value (e.g. a hit rate, a queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const noexcept;
+
+ private:
+  friend Gauge gauge(std::string_view name);
+  explicit Gauge(std::atomic<double>* cell) noexcept : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;  // owned by the registry
+};
+
+/// Fixed-bucket histogram: bucket i counts observations ≤ bounds[i], plus an
+/// implicit overflow bucket; total count and sum ride along.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const noexcept;
+
+ private:
+  friend Histogram histogram(std::string_view name,
+                             std::vector<double> upper_bounds);
+  Histogram(std::uint32_t slot, const std::vector<double>* bounds) noexcept
+      : slot_(slot), bounds_(bounds) {}
+  std::uint32_t slot_ = 0;
+  const std::vector<double>* bounds_ = nullptr;  // owned by the registry
+};
+
+/// Register (or look up) a metric by name. Names are dotted lowercase
+/// `<subsystem>.<what>[_<unit>]` (see docs/observability.md). Registration
+/// is idempotent: the same name always returns a handle to the same metric;
+/// for histograms the first registration's bounds win.
+[[nodiscard]] Counter counter(std::string_view name);
+[[nodiscard]] Gauge gauge(std::string_view name);
+[[nodiscard]] Histogram histogram(std::string_view name,
+                                  std::vector<double> upper_bounds);
+
+/// `count` geometrically spaced bucket bounds starting at `start`
+/// (start, start·factor, …) — the usual latency-histogram shape.
+[[nodiscard]] std::vector<double> exponential_bounds(double start,
+                                                     double factor,
+                                                     std::size_t count);
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII timed section. `name` must be a string literal (or otherwise outlive
+/// the process) — it is stored by pointer. Spans nest per thread; closing
+/// order must be LIFO, which scoped construction guarantees.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+#define OFTEC_OBS_CONCAT_INNER(a, b) a##b
+#define OFTEC_OBS_CONCAT(a, b) OFTEC_OBS_CONCAT_INNER(a, b)
+/// Time the enclosing scope under `name` (a string literal).
+#define OBS_SPAN(name) \
+  const ::oftec::obs::Span OFTEC_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+// ---------------------------------------------------------------------------
+// Snapshots & reports
+// ---------------------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< upper bounds, strictly increasing
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;             ///< total observations
+  double sum = 0.0;
+};
+
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;  ///< wall time inside the span
+  double self_ms = 0.0;   ///< total minus time inside child spans
+};
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<SpanStats> spans;  ///< sorted by self_ms, descending
+  std::uint64_t dropped_events = 0;  ///< trace events lost to the ring cap
+};
+
+/// Aggregate every shard (live and retired threads) into one view.
+[[nodiscard]] Snapshot snapshot();
+
+/// Zero all metrics and discard recorded span events/aggregates. Metric
+/// registrations survive. Call at quiescent points; concurrent updates are
+/// not lost crash-unsafely, merely attributed to the new epoch.
+void reset();
+
+/// JSON metrics report (see docs/observability.md for the schema).
+void write_report(std::ostream& os);
+[[nodiscard]] bool write_report_file(const std::string& path);
+
+/// Chrome trace_event JSON — load in chrome://tracing or Perfetto.
+void write_chrome_trace(std::ostream& os);
+[[nodiscard]] bool write_chrome_trace_file(const std::string& path);
+
+/// Human-readable self-time profile of all spans (top of the report).
+[[nodiscard]] std::string profile_table();
+
+/// Write the env-configured artifacts (OFTEC_OBS_REPORT / OFTEC_TRACE_FILE),
+/// if any. Runs automatically at exit when either variable is set; safe to
+/// call earlier (files are simply rewritten at exit).
+void flush();
+
+/// Paths resolved from the environment at startup; empty when unset.
+[[nodiscard]] std::string report_path_from_env();
+[[nodiscard]] std::string trace_path_from_env();
+
+}  // namespace oftec::obs

@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
+
+#include "util/obs.h"
 
 namespace oftec::util {
 
@@ -9,6 +12,14 @@ namespace {
 /// True while the current thread is inside a parallel_for body of some pool;
 /// nested calls then run inline instead of deadlocking on the job slot.
 thread_local bool t_inside_pool_body = false;
+
+const obs::Counter g_obs_jobs = obs::counter("thread_pool.jobs");
+const obs::Counter g_obs_tasks = obs::counter("thread_pool.tasks");
+const obs::Counter g_obs_steals = obs::counter("thread_pool.steals");
+const obs::Counter g_obs_inline_tasks = obs::counter("thread_pool.inline_tasks");
+const obs::Gauge g_obs_queue_depth = obs::gauge("thread_pool.queue_depth");
+const obs::Histogram g_obs_task_ms =
+    obs::histogram("thread_pool.task_ms", obs::exponential_bounds(0.01, 4.0, 10));
 
 }  // namespace
 
@@ -57,6 +68,7 @@ bool ThreadPool::pop_or_steal(Job& job, std::size_t self, std::size_t& index) {
     if (!victim.indices.empty()) {
       index = victim.indices.back();
       victim.indices.pop_back();
+      g_obs_steals.add();
       return true;
     }
   }
@@ -67,6 +79,9 @@ void ThreadPool::participate(Job& job, std::size_t self) {
   std::size_t index = 0;
   while (pop_or_steal(job, self, index)) {
     if (!job.cancelled.load(std::memory_order_relaxed)) {
+      const bool timed = obs::enabled();
+      const auto start = timed ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
       t_inside_pool_body = true;
       try {
         (*job.body)(index);
@@ -78,6 +93,12 @@ void ThreadPool::participate(Job& job, std::size_t self) {
         job.cancelled.store(true, std::memory_order_relaxed);
       }
       t_inside_pool_body = false;
+      if (timed) {
+        g_obs_tasks.add();
+        g_obs_task_ms.observe(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+      }
     }
     job.remaining.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -111,12 +132,15 @@ void ThreadPool::parallel_for(std::size_t count,
   // Inline paths: single-threaded pool, tiny batch, or a nested call from
   // inside another parallel_for body (worker threads are all busy then).
   if (workers_.empty() || count == 1 || t_inside_pool_body) {
+    g_obs_inline_tasks.add(count);
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
 
   const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   const std::size_t participants = workers_.size() + 1;
+  g_obs_jobs.add();
+  g_obs_queue_depth.set(static_cast<double>(count));
 
   auto job = std::make_shared<Job>();
   job->body = &body;

@@ -1,0 +1,92 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace oftec::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const Value doc = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(doc.is_object());
+  const Value* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(doc.find("d")->find("e")->is_null());
+}
+
+TEST(Json, DecodesEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(parse(R"("\u0041")").as_string(), "A");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse(R"("\uD83D\uDE00")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "\"\\uD83D\\u0041\""}) {
+    EXPECT_THROW(parse(bad), std::runtime_error) << "input: " << bad;
+  }
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  const char* text =
+      R"({"arr":[1,2.5,true,null],"name":"x\"y","nested":{"k":-3}})";
+  const Value doc = parse(text);
+  const Value again = parse(doc.dump());
+  EXPECT_EQ(again.dump(), doc.dump());
+  EXPECT_DOUBLE_EQ(again.find("nested")->find("k")->as_number(), -3.0);
+}
+
+TEST(Json, IntegersSerializeWithoutDecimalPoint) {
+  Value v = Value::object();
+  v["n"] = Value(12345);
+  EXPECT_EQ(v.dump(), "{\"n\":12345}");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  Value v = Value::object();
+  v["inf"] = Value(std::numeric_limits<double>::infinity());
+  v["nan"] = Value(std::nan(""));
+  const Value round = parse(v.dump());
+  EXPECT_TRUE(round.find("inf")->is_null());
+  EXPECT_TRUE(round.find("nan")->is_null());
+}
+
+TEST(Json, ObjectKeysAreSortedDeterministically) {
+  Value v = Value::object();
+  v["b"] = Value(1);
+  v["a"] = Value(2);
+  EXPECT_EQ(v.dump(), "{\"a\":2,\"b\":1}");
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const Value v = parse("[1]");
+  EXPECT_THROW((void)v.as_object(), std::logic_error);
+  EXPECT_THROW((void)v.as_string(), std::logic_error);
+  EXPECT_EQ(v.find("anything"), nullptr);  // non-object lookup is nullptr
+}
+
+TEST(Json, EscapeProducesValidBodies) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(parse("\"" + escape("ctrl\x01mix\n") + "\"").as_string(),
+            "ctrl\x01mix\n");
+}
+
+}  // namespace
+}  // namespace oftec::util::json

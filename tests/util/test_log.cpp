@@ -59,5 +59,54 @@ TEST(Log, LevelRoundTrips) {
   }
 }
 
+TEST(Log, ParseLevelAcceptsNamesDigitsAndAliases) {
+  const Level fb = Level::kWarn;
+  EXPECT_EQ(detail::parse_level("debug", fb), Level::kDebug);
+  EXPECT_EQ(detail::parse_level("INFO", fb), Level::kInfo);
+  EXPECT_EQ(detail::parse_level("Warn", fb), Level::kWarn);
+  EXPECT_EQ(detail::parse_level("warning", fb), Level::kWarn);
+  EXPECT_EQ(detail::parse_level("error", fb), Level::kError);
+  EXPECT_EQ(detail::parse_level("off", fb), Level::kOff);
+  EXPECT_EQ(detail::parse_level("none", fb), Level::kOff);
+  EXPECT_EQ(detail::parse_level("0", fb), Level::kDebug);
+  EXPECT_EQ(detail::parse_level("4", fb), Level::kOff);
+}
+
+TEST(Log, ParseLevelFallsBackOnGarbage) {
+  EXPECT_EQ(detail::parse_level("", Level::kError), Level::kError);
+  EXPECT_EQ(detail::parse_level("loud", Level::kInfo), Level::kInfo);
+  EXPECT_EQ(detail::parse_level("7", Level::kWarn), Level::kWarn);
+}
+
+TEST(Log, PrefixOptionsRoundTrip) {
+  const PrefixOptions saved = prefix();
+  set_prefix({.timestamp = true, .thread_id = true});
+  EXPECT_TRUE(prefix().timestamp);
+  EXPECT_TRUE(prefix().thread_id);
+  set_prefix({});
+  EXPECT_FALSE(prefix().timestamp);
+  EXPECT_FALSE(prefix().thread_id);
+  set_prefix(saved);
+}
+
+TEST(Log, FormatPrefixShapes) {
+  EXPECT_TRUE(detail::format_prefix({}).empty());
+
+  // "HH:MM:SS.mmm " — 13 characters with fixed separator positions.
+  const std::string ts = detail::format_prefix({.timestamp = true});
+  ASSERT_EQ(ts.size(), 13u);
+  EXPECT_EQ(ts[2], ':');
+  EXPECT_EQ(ts[5], ':');
+  EXPECT_EQ(ts[8], '.');
+  EXPECT_EQ(ts.back(), ' ');
+
+  // "tNN " — a stable id for the calling thread.
+  const std::string tid = detail::format_prefix({.thread_id = true});
+  ASSERT_GE(tid.size(), 4u);
+  EXPECT_EQ(tid.front(), 't');
+  EXPECT_EQ(tid.back(), ' ');
+  EXPECT_EQ(tid, detail::format_prefix({.thread_id = true}));
+}
+
 }  // namespace
 }  // namespace oftec::log

@@ -1,0 +1,338 @@
+// oftec::obs unit tests. This file lives in its own test binary (test_obs):
+// it replaces global operator new/delete with counting versions so the
+// disabled-mode "no allocations on the hot path" contract is enforced, and
+// that replacement must not leak into the other test binaries.
+#include "util/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace oftec::obs {
+namespace {
+
+/// Every test starts from zeroed metrics and a known enabled/tracing state,
+/// and leaves collection off for the next one.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    set_tracing(false);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    set_tracing(false);
+    reset();
+  }
+};
+
+TEST_F(ObsTest, CounterAggregatesAcrossThreads) {
+  const Counter c = counter("test.obs.counter_mt");
+  set_enabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const Snapshot snap = snapshot();
+  ASSERT_TRUE(snap.counters.contains("test.obs.counter_mt"));
+  EXPECT_EQ(snap.counters.at("test.obs.counter_mt"), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, CounterHandlesAreIdempotentByName) {
+  const Counter a = counter("test.obs.same");
+  const Counter b = counter("test.obs.same");
+  set_enabled(true);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(snapshot().counters.at("test.obs.same"), 7u);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndSum) {
+  const Histogram h = histogram("test.obs.hist", {1.0, 2.0, 4.0});
+  set_enabled(true);
+  h.observe(0.5);   // <= 1       -> bucket 0
+  h.observe(1.0);   // <= 1       -> bucket 0 (bounds are inclusive)
+  h.observe(1.5);   // <= 2       -> bucket 1
+  h.observe(3.0);   // <= 4       -> bucket 2
+  h.observe(100.0); // overflow   -> bucket 3
+
+  const Snapshot snap = snapshot();
+  ASSERT_TRUE(snap.histograms.contains("test.obs.hist"));
+  const HistogramSnapshot& hs = snap.histograms.at("test.obs.hist");
+  ASSERT_EQ(hs.bounds, (std::vector<double>{1.0, 2.0, 4.0}));
+  ASSERT_EQ(hs.counts.size(), 4u);
+  EXPECT_EQ(hs.counts[0], 2u);
+  EXPECT_EQ(hs.counts[1], 1u);
+  EXPECT_EQ(hs.counts[2], 1u);
+  EXPECT_EQ(hs.counts[3], 1u);
+  EXPECT_EQ(hs.count, 5u);
+  EXPECT_DOUBLE_EQ(hs.sum, 106.0);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObservations) {
+  const Histogram h = histogram("test.obs.hist_mt", {10.0, 100.0});
+  set_enabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const Snapshot snap = snapshot();
+  const HistogramSnapshot& hs = snap.histograms.at("test.obs.hist_mt");
+  EXPECT_EQ(hs.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hs.counts[0], hs.count);
+  // Each shard's sum slot is single-writer, so no observation is lost.
+  EXPECT_DOUBLE_EQ(hs.sum, static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastWrite) {
+  const Gauge g = gauge("test.obs.gauge");
+  set_enabled(true);
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(snapshot().gauges.at("test.obs.gauge"), -2.25);
+}
+
+TEST_F(ObsTest, SpanNestingSplitsSelfTime) {
+  set_enabled(true);
+  {
+    OBS_SPAN("test.obs.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      OBS_SPAN("test.obs.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  const Snapshot snap = snapshot();
+  const SpanStats* outer = nullptr;
+  const SpanStats* inner = nullptr;
+  for (const SpanStats& s : snap.spans) {
+    if (s.name == "test.obs.outer") outer = &s;
+    if (s.name == "test.obs.inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 1u);
+  // The child's full duration nests inside the parent...
+  EXPECT_GE(outer->total_ms, inner->total_ms);
+  // ...and is excluded from the parent's self time.
+  EXPECT_NEAR(outer->self_ms, outer->total_ms - inner->total_ms, 1e-9);
+  EXPECT_GE(inner->total_ms, 4.0);
+  EXPECT_GE(outer->self_ms, 4.0);
+}
+
+TEST_F(ObsTest, SpanDecisionIsMadeAtConstruction) {
+  // A span opened while enabled must close cleanly even if collection is
+  // switched off mid-scope (and vice versa: opened-disabled stays inert).
+  set_enabled(true);
+  {
+    OBS_SPAN("test.obs.toggle");
+    set_enabled(false);
+  }
+  set_enabled(true);
+  const Snapshot snap = snapshot();
+  bool found = false;
+  for (const SpanStats& s : snap.spans) found |= s.name == "test.obs.toggle";
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, DisabledHotPathDoesNotAllocate) {
+  // Handles are created (and thus registered) up front — registration may
+  // allocate; the instrumented hot path must not.
+  const Counter c = counter("test.obs.noalloc_counter");
+  const Gauge g = gauge("test.obs.noalloc_gauge");
+  const Histogram h = histogram("test.obs.noalloc_hist", {1.0, 2.0});
+  set_enabled(false);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    c.add();
+    g.set(1.0);
+    h.observe(0.5);
+    OBS_SPAN("test.obs.noalloc_span");
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(ObsTest, EnabledCounterSteadyStateDoesNotAllocate) {
+  const Counter c = counter("test.obs.warm_counter");
+  set_enabled(true);
+  c.add();  // materialize this thread's shard + slot cache
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) c.add();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(ObsTest, ResetZeroesMetricsButKeepsRegistrations) {
+  const Counter c = counter("test.obs.reset");
+  set_enabled(true);
+  c.add(5);
+  ASSERT_EQ(snapshot().counters.at("test.obs.reset"), 5u);
+
+  reset();
+  const Snapshot snap = snapshot();
+  ASSERT_TRUE(snap.counters.contains("test.obs.reset"));
+  EXPECT_EQ(snap.counters.at("test.obs.reset"), 0u);
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST_F(ObsTest, ChromeTraceIsWellFormed) {
+  set_enabled(true);
+  set_tracing(true);
+  {
+    OBS_SPAN("test.obs.trace_outer");
+    OBS_SPAN("test.obs.trace_inner");
+  }
+  std::thread([] { OBS_SPAN("test.obs.trace_worker"); }).join();
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const util::json::Value doc = util::json::parse(os.str());
+
+  ASSERT_TRUE(doc.is_object());
+  const util::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t complete_events = 0;
+  bool saw_worker = false;
+  for (const util::json::Value& e : events->as_array()) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (e.find("ph")->as_string() == "X") {
+      ++complete_events;
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GE(e.find("dur")->as_number(), 0.0);
+      saw_worker |= e.find("name")->as_string() == "test.obs.trace_worker";
+    }
+  }
+  EXPECT_GE(complete_events, 3u);
+  EXPECT_TRUE(saw_worker);
+}
+
+TEST_F(ObsTest, ReportIsParsableAndComplete) {
+  const Counter c = counter("test.obs.report_counter");
+  const Histogram h = histogram("test.obs.report_hist", {1.0});
+  set_enabled(true);
+  c.add(2);
+  h.observe(0.5);
+  { OBS_SPAN("test.obs.report_span"); }
+
+  std::ostringstream os;
+  write_report(os);
+  const util::json::Value doc = util::json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  for (const char* key : {"version", "tool", "enabled", "counters", "gauges",
+                          "histograms", "spans", "dropped_events"}) {
+    EXPECT_NE(doc.find(key), nullptr) << "missing report member " << key;
+  }
+
+  const util::json::Value* counters = doc.find("counters");
+  ASSERT_TRUE(counters != nullptr && counters->is_object());
+  const util::json::Value* cv = counters->find("test.obs.report_counter");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_DOUBLE_EQ(cv->as_number(), 2.0);
+
+  const util::json::Value* hists = doc.find("histograms");
+  ASSERT_TRUE(hists != nullptr && hists->is_object());
+  const util::json::Value* hv = hists->find("test.obs.report_hist");
+  ASSERT_NE(hv, nullptr);
+  const util::json::Value* bounds = hv->find("bounds");
+  const util::json::Value* counts = hv->find("counts");
+  ASSERT_TRUE(bounds != nullptr && bounds->is_array());
+  ASSERT_TRUE(counts != nullptr && counts->is_array());
+  EXPECT_EQ(counts->as_array().size(), bounds->as_array().size() + 1);
+
+  const util::json::Value* spans = doc.find("spans");
+  ASSERT_TRUE(spans != nullptr && spans->is_array());
+  bool found_span = false;
+  for (const util::json::Value& s : spans->as_array()) {
+    if (const util::json::Value* name = s.find("name")) {
+      found_span |= name->as_string() == "test.obs.report_span";
+    }
+  }
+  EXPECT_TRUE(found_span);
+}
+
+TEST_F(ObsTest, ExponentialBounds) {
+  EXPECT_EQ(exponential_bounds(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(exponential_bounds(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(exponential_bounds(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(exponential_bounds(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST_F(ObsTest, HistogramRegistrationValidatesBounds) {
+  EXPECT_THROW((void)histogram("test.obs.bad_empty", {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)histogram("test.obs.bad_order", {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  const Counter c = counter("test.obs.dark");
+  set_enabled(false);
+  c.add(42);
+  { OBS_SPAN("test.obs.dark_span"); }
+
+  set_enabled(true);  // snapshot content is independent of the flag
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.dark"), 0u);
+  for (const SpanStats& s : snap.spans) {
+    EXPECT_NE(s.name, "test.obs.dark_span");
+  }
+}
+
+}  // namespace
+}  // namespace oftec::obs

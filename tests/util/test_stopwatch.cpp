@@ -39,5 +39,28 @@ TEST(Stopwatch, MonotonicallyNonDecreasing) {
   }
 }
 
+TEST(Stopwatch, StartsNonNegative) {
+  Stopwatch sw;
+  EXPECT_GE(sw.elapsed_ms(), 0.0);
+  EXPECT_GE(sw.elapsed_s(), 0.0);
+}
+
+TEST(Stopwatch, IndependentInstances) {
+  Stopwatch older;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Stopwatch newer;
+  // Each stopwatch measures from its own construction, not shared state.
+  EXPECT_GE(older.elapsed_ms(), newer.elapsed_ms());
+}
+
+TEST(Stopwatch, RepeatedResetStaysUsable) {
+  Stopwatch sw;
+  for (int i = 0; i < 5; ++i) {
+    sw.reset();
+    EXPECT_GE(sw.elapsed_ms(), 0.0);
+    EXPECT_LT(sw.elapsed_ms(), 1000.0);
+  }
+}
+
 }  // namespace
 }  // namespace oftec::util

@@ -1,0 +1,201 @@
+// Validates oftec observability artifacts in CI (tools/run_obs_smoke.cmake).
+//
+// Two modes:
+//   obs_schema_check <schema.json> <report.json>
+//     Validate a metrics report against a subset-JSON-Schema document
+//     (supported keywords: type, required, properties, items, minItems).
+//   obs_schema_check --trace <trace.json>
+//     Structural check of a Chrome trace_event file: top-level object with a
+//     "traceEvents" array whose entries carry name/ph/pid/tid (and ts/dur for
+//     complete "X" events) — the shape chrome://tracing and Perfetto load.
+//
+// Exit code 0 = valid; 1 = violations (printed to stderr); 2 = usage/IO.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using oftec::util::json::Value;
+
+std::vector<std::string> g_errors;
+
+void report(const std::string& path, const std::string& what) {
+  g_errors.push_back(path + ": " + what);
+}
+
+[[nodiscard]] const char* type_name(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull: return "null";
+    case Value::Type::kBool: return "boolean";
+    case Value::Type::kNumber: return "number";
+    case Value::Type::kString: return "string";
+    case Value::Type::kArray: return "array";
+    case Value::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[nodiscard]] bool matches_type(const Value& v, const std::string& t) {
+  if (t == "object") return v.is_object();
+  if (t == "array") return v.is_array();
+  if (t == "string") return v.is_string();
+  if (t == "boolean") return v.is_bool();
+  if (t == "null") return v.is_null();
+  if (t == "number" || t == "integer") return v.is_number();
+  return false;  // unknown type name never matches
+}
+
+/// Recursive subset-JSON-Schema validation; appends to g_errors.
+void validate(const Value& value, const Value& schema, const std::string& path) {
+  if (!schema.is_object()) return;  // permissive: non-object schema = anything
+
+  if (const Value* type = schema.find("type")) {
+    if (type->is_string() && !matches_type(value, type->as_string())) {
+      report(path, "expected type " + type->as_string() + ", found " +
+                       type_name(value));
+      return;  // structure is wrong — child checks would only cascade
+    }
+  }
+
+  if (const Value* required = schema.find("required")) {
+    if (required->is_array() && value.is_object()) {
+      for (const Value& key : required->as_array()) {
+        if (key.is_string() && value.find(key.as_string()) == nullptr) {
+          report(path, "missing required member \"" + key.as_string() + "\"");
+        }
+      }
+    }
+  }
+
+  if (const Value* properties = schema.find("properties")) {
+    if (properties->is_object() && value.is_object()) {
+      for (const auto& [name, sub] : properties->as_object()) {
+        if (const Value* member = value.find(name)) {
+          validate(*member, sub, path + "." + name);
+        }
+      }
+    }
+  }
+
+  if (value.is_array()) {
+    if (const Value* min_items = schema.find("minItems")) {
+      if (min_items->is_number() &&
+          value.as_array().size() <
+              static_cast<std::size_t>(min_items->as_number())) {
+        report(path, "fewer than minItems elements");
+      }
+    }
+    if (const Value* items = schema.find("items")) {
+      const auto& arr = value.as_array();
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        validate(arr[i], *items, path + "[" + std::to_string(i) + "]");
+      }
+    }
+  }
+}
+
+/// Chrome trace_event structural check.
+void validate_trace(const Value& root) {
+  if (!root.is_object()) {
+    report("$", "trace must be a JSON object");
+    return;
+  }
+  const Value* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    report("$", "missing \"traceEvents\" array");
+    return;
+  }
+  const auto& arr = events->as_array();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const std::string path = "$.traceEvents[" + std::to_string(i) + "]";
+    const Value& e = arr[i];
+    if (!e.is_object()) {
+      report(path, "event is not an object");
+      continue;
+    }
+    for (const char* key : {"name", "ph"}) {
+      const Value* v = e.find(key);
+      if (v == nullptr || !v->is_string()) {
+        report(path, std::string("missing string member \"") + key + "\"");
+      }
+    }
+    for (const char* key : {"pid", "tid"}) {
+      const Value* v = e.find(key);
+      if (v == nullptr || !v->is_number()) {
+        report(path, std::string("missing numeric member \"") + key + "\"");
+      }
+    }
+    if (const Value* ph = e.find("ph"); ph != nullptr && ph->is_string() &&
+                                        ph->as_string() == "X") {
+      for (const char* key : {"ts", "dur"}) {
+        const Value* v = e.find(key);
+        if (v == nullptr || !v->is_number() || v->as_number() < 0.0) {
+          report(path, std::string("complete event needs non-negative \"") +
+                           key + "\"");
+        }
+      }
+    }
+  }
+}
+
+[[nodiscard]] bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+[[nodiscard]] bool parse_file(const char* path, Value& out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "obs_schema_check: cannot read %s\n", path);
+    return false;
+  }
+  try {
+    out = oftec::util::json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs_schema_check: %s: %s\n", path, e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
+    Value trace;
+    if (!parse_file(argv[2], trace)) return 2;
+    validate_trace(trace);
+  } else if (argc == 3) {
+    Value schema, document;
+    if (!parse_file(argv[1], schema) || !parse_file(argv[2], document)) {
+      return 2;
+    }
+    validate(document, schema, "$");
+  } else {
+    std::fprintf(stderr,
+                 "usage: obs_schema_check <schema.json> <document.json>\n"
+                 "       obs_schema_check --trace <trace.json>\n");
+    return 2;
+  }
+
+  if (!g_errors.empty()) {
+    for (const std::string& e : g_errors) {
+      std::fprintf(stderr, "obs_schema_check: %s\n", e.c_str());
+    }
+    std::fprintf(stderr, "obs_schema_check: %zu violation(s)\n",
+                 g_errors.size());
+    return 1;
+  }
+  std::printf("obs_schema_check: OK\n");
+  return 0;
+}
