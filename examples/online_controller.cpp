@@ -1,51 +1,63 @@
 // Online controller: replaying a synthesized power trace (the PTscalar
-// substitute) through the LUT controller from Sec. 6.2's extension.
+// substitute) through the LUT controller from Sec. 6.2's extension —
+// deployed as a *service*.
 //
-// Offline: run OFTEC once per benchmark and store (power-vector → ω*, I*)
-// in the look-up table. Online: every trace window, reduce the window to its
-// max-power vector, look up the nearest pre-computed control, and verify the
-// resulting die temperature with one thermal solve.
+// Earlier revisions of this example linked the library and called
+// LutController directly; it now drives the same loop through oftec-serve:
+// an in-process server owns the chip session (thermal model + LUT trained
+// on all eight benchmarks at bind time), and the controller is a plain
+// network client. Offline phase = one `bind`; online phase per window =
+// one `lut` lookup plus one `solve` verification, both over the wire.
+// Because the protocol prints doubles with %.17g, the served temperatures
+// are bit-identical to the direct library calls the old example made.
 #include <cstdio>
 #include <string>
 
-#include "core/lut_controller.h"
-#include "util/strings.h"
 #include "floorplan/ev6.h"
 #include "power/mcpat_like.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/strings.h"
 #include "util/units.h"
+#include "workload/benchmarks.h"
 #include "workload/trace.h"
 
 int main() {
   using namespace oftec;
 
+  // The service. In a real deployment this runs in its own process
+  // (`oftec_client serve`); in-process keeps the example self-contained.
+  serve::Server server;
+  server.start();
+  std::printf("oftec-serve up on 127.0.0.1:%u\n", server.port());
+
+  serve::Client client = serve::Client::connect(server.port());
+
+  // Offline phase, now a single bind request: the chip's workload envelope
+  // (the trace's max-power vector) plus LUT training over all eight
+  // benchmark power vectors — one OFTEC run each, server-side.
   const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
-  const power::LeakageModel leakage =
-      power::characterize_leakage(fp, power::ProcessConfig{});
-
-  // Offline phase: pre-compute the table over all eight benchmarks.
-  std::printf("Building LUT from the 8 MiBench power vectors (one OFTEC run "
-              "each)...\n");
-  std::vector<power::PowerMap> training;
-  for (const workload::Benchmark b : workload::all_benchmarks()) {
-    training.push_back(
-        workload::peak_power_map(workload::profile_for(b), fp));
-  }
-  const core::LutController lut =
-      core::LutController::build(training, fp, leakage);
-  std::printf("LUT ready: %zu entries.\n\n", lut.entries().size());
-
-  // Online phase: the chip runs Susan (phase-heavy trace); control every
-  // 500 ms window from the LUT.
   const auto& prof = workload::profile_for(workload::Benchmark::kSusan);
   workload::TraceOptions trace_opts;
   trace_opts.sample_count = 200;
   trace_opts.sample_interval = 0.01;  // 2 s total
   const workload::PowerTrace trace =
       workload::generate_trace(prof, fp, trace_opts);
+  const power::PowerMap envelope = workload::max_power_map(trace, fp);
 
-  const core::CoolingSystem verifier(
-      fp, workload::max_power_map(trace, fp), leakage);
+  serve::BindParams bind;
+  bind.power_w.assign(envelope.values().begin(), envelope.values().end());
+  for (const workload::Benchmark b : workload::all_benchmarks()) {
+    bind.lut_training.emplace_back(workload::benchmark_name(b));
+  }
+  std::printf("Binding chip session (LUT: one OFTEC run per benchmark)...\n");
+  const serve::BindReply chip = client.bind(bind);
+  std::printf("session %llu ready: T_max=%.1f C, %zu floorplan blocks.\n\n",
+              static_cast<unsigned long long>(chip.session),
+              units::kelvin_to_celsius(chip.t_max_k), chip.blocks.size());
 
+  // Online phase: the chip runs Susan (phase-heavy trace); control every
+  // 500 ms window via a LUT lookup, then verify with one served solve.
   const std::size_t window = 50;  // 500 ms of samples
   std::printf("window   window-max P   LUT control (w, I)      verified "
               "Tmax\n");
@@ -57,15 +69,17 @@ int main() {
     for (std::size_t s = start; s < start + window; ++s) {
       window_max.max_with(trace.samples[s]);
     }
-    const core::LutController::LookupResult control =
-        lut.lookup(window_max);
-    const core::Evaluation& check =
-        verifier.evaluate(control.omega, control.current);
+    const std::vector<double> query(window_max.values().begin(),
+                                    window_max.values().end());
+    const serve::LutReply control = client.lut(chip.session, query);
+    const serve::SolveReply check =
+        client.solve(chip.session, control.omega, control.current);
     const std::string verdict =
         check.runaway ? "RUNAWAY"
-                      : util::format_double(units::kelvin_to_celsius(
-                                                check.max_chip_temperature),
-                                            2) +
+                      : util::format_double(
+                            units::kelvin_to_celsius(
+                                check.max_chip_temperature_k),
+                            2) +
                             " C";
     std::printf("%2zu-%3zu   %8.1f W     w=%4.0f RPM, I=%.2f A     %s\n",
                 start, start + window, window_max.total(),
@@ -73,8 +87,9 @@ int main() {
                 verdict.c_str());
   }
 
-  std::printf("\nEach control decision cost a nearest-neighbor lookup "
-              "(microseconds) instead of a full OFTEC run (sub-second) — the "
-              "trade the paper's Sec. 6.2 extension proposes.\n");
+  std::printf("\nEach control decision cost one LUT lookup and one verify "
+              "solve over the wire — the controller itself never links the "
+              "thermal stack. (Sec. 6.2's trade, as a service.)\n");
+  server.stop();
   return 0;
 }

@@ -21,6 +21,22 @@ double Evaluation::cooling_power() const noexcept {
   return power.total();
 }
 
+Evaluation make_evaluation(const thermal::ThermalModel& model,
+                           const thermal::SteadyResult& result, double omega) {
+  Evaluation ev;
+  if (result.runaway || !result.converged) {
+    ev.runaway = true;
+    ev.max_chip_temperature = std::numeric_limits<double>::infinity();
+  } else {
+    ev.max_chip_temperature = result.max_chip_temperature;
+    ev.power.leakage = result.leakage_power;
+    ev.power.tec = result.tec_power;
+    ev.power.fan = model.config().fan.power(omega);
+  }
+  ev.solver_iterations = result.iterations;
+  return ev;
+}
+
 CoolingSystem::CoolingSystem(const floorplan::Floorplan& fp,
                              const power::PowerMap& dynamic_power,
                              const power::LeakageModel& leakage,
@@ -32,7 +48,7 @@ CoolingSystem::CoolingSystem(const floorplan::Floorplan& fp,
   solver_ = std::make_unique<thermal::SteadySolver>(
       *model_, model_->distribute(dynamic_power), model_->cell_leakage(leakage),
       config.steady);
-  engine_ = std::make_unique<thermal::SolveEngine>(*solver_);
+  engine_ = std::make_unique<thermal::SolveEngine>(*solver_, config.engine);
 }
 
 const Evaluation& CoolingSystem::evaluate(double omega, double current) const {
@@ -68,18 +84,7 @@ const Evaluation& CoolingSystem::evaluate(double omega, double current) const {
   // solve is a pure function of (ω, I), so concurrent duplicate solves of
   // the same point produce identical Evaluations.
   const thermal::SteadyResult sr = engine_->solve({omega, current});
-
-  Evaluation ev;
-  if (sr.runaway || !sr.converged) {
-    ev.runaway = true;
-    ev.max_chip_temperature = std::numeric_limits<double>::infinity();
-  } else {
-    ev.max_chip_temperature = sr.max_chip_temperature;
-    ev.power.leakage = sr.leakage_power;
-    ev.power.tec = sr.tec_power;
-    ev.power.fan = model_->config().fan.power(omega);
-  }
-  ev.solver_iterations = sr.iterations;
+  Evaluation ev = make_evaluation(*model_, sr, omega);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   ++solve_count_;

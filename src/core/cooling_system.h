@@ -47,6 +47,15 @@ struct Evaluation {
   [[nodiscard]] double cooling_power() const noexcept;
 };
 
+/// Convert a steady-state solve at fan speed ω into the Evaluation the
+/// optimizers consume. This is the one place the 𝒯/𝒫 summary is derived
+/// from a SteadyResult — CoolingSystem::evaluate and the serving layer's
+/// batched path both call it, so a served response is bit-identical to a
+/// direct library call.
+[[nodiscard]] Evaluation make_evaluation(const thermal::ThermalModel& model,
+                                         const thermal::SteadyResult& result,
+                                         double omega);
+
 class CoolingSystem {
  public:
   struct Config {
@@ -54,6 +63,11 @@ class CoolingSystem {
     std::size_t grid_nx = 10;
     std::size_t grid_ny = 10;
     thermal::SteadyOptions steady;
+    /// Options for the batched SolveEngine behind evaluate(). In particular
+    /// use_iterative=false forces every solve through the cached direct
+    /// factorization path (the serving benchmark uses this to surface the
+    /// factor cache).
+    thermal::EngineOptions engine;
     std::size_t cache_limit = 1 << 14;
     /// Explicit TEC placement; empty → the paper's default policy (cover
     /// every core-majority cell).

@@ -1,0 +1,145 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace oftec::serve {
+
+Client Client::connect(std::uint16_t port, Options options) {
+  Socket socket = Socket::connect_loopback(port);
+  if (!socket.valid()) {
+    throw std::runtime_error("oftec-serve: cannot connect to 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  return Client(std::move(socket), options);
+}
+
+std::uint64_t Client::send(Request request) {
+  request.id = next_id_++;
+  if (request.deadline_ms == 0.0) request.deadline_ms = options_.deadline_ms;
+  if (!write_frame(socket_.fd(), encode_request(request))) {
+    throw std::runtime_error("oftec-serve: send failed (connection lost)");
+  }
+  return request.id;
+}
+
+std::uint64_t Client::send_solve(std::uint64_t session, double omega,
+                                 double current) {
+  Request req;
+  req.type = RequestType::kSolve;
+  req.params = SolveParams{session, omega, current};
+  return send(std::move(req));
+}
+
+std::uint64_t Client::send_sleep(double ms) {
+  Request req;
+  req.type = RequestType::kSleep;
+  req.params = SleepParams{ms};
+  return send(std::move(req));
+}
+
+Response Client::recv() {
+  if (!strays_.empty()) {
+    auto it = strays_.begin();
+    Response r = std::move(it->second);
+    strays_.erase(it);
+    return r;
+  }
+  std::string payload;
+  const ReadStatus status =
+      read_frame(socket_.fd(), payload, options_.max_frame_bytes);
+  if (status != ReadStatus::kOk) {
+    throw std::runtime_error("oftec-serve: connection closed by server");
+  }
+  return decode_response(payload, options_.max_frame_bytes);
+}
+
+Response Client::recv_for(std::uint64_t id) {
+  const auto it = strays_.find(id);
+  if (it != strays_.end()) {
+    Response r = std::move(it->second);
+    strays_.erase(it);
+    return r;
+  }
+  while (true) {
+    std::string payload;
+    const ReadStatus status =
+        read_frame(socket_.fd(), payload, options_.max_frame_bytes);
+    if (status != ReadStatus::kOk) {
+      throw std::runtime_error("oftec-serve: connection closed by server");
+    }
+    Response r = decode_response(payload, options_.max_frame_bytes);
+    if (r.id == id) return r;
+    strays_.emplace(r.id, std::move(r));
+  }
+}
+
+util::json::Value Client::call(Request request) {
+  const std::uint64_t id = send(std::move(request));
+  Response response = recv_for(id);
+  if (!response.ok) {
+    throw ProtocolError(response.error.code, response.error.message);
+  }
+  return std::move(response.result);
+}
+
+void Client::ping() {
+  Request req;
+  req.type = RequestType::kPing;
+  (void)call(std::move(req));
+}
+
+BindReply Client::bind(const BindParams& params) {
+  Request req;
+  req.type = RequestType::kBind;
+  req.params = params;
+  return parse_bind_reply(call(std::move(req)));
+}
+
+bool Client::unbind(std::uint64_t session) {
+  Request req;
+  req.type = RequestType::kUnbind;
+  req.params = SessionParams{session};
+  const util::json::Value result = call(std::move(req));
+  const util::json::Value* removed = result.find("removed");
+  return removed != nullptr && removed->is_bool() && removed->as_bool();
+}
+
+SolveReply Client::solve(std::uint64_t session, double omega, double current) {
+  Request req;
+  req.type = RequestType::kSolve;
+  req.params = SolveParams{session, omega, current};
+  return parse_solve_reply(call(std::move(req)));
+}
+
+ControlReply Client::control(std::uint64_t session,
+                             const std::string& objective) {
+  Request req;
+  req.type = RequestType::kControl;
+  req.params = ControlParams{session, objective};
+  return parse_control_reply(call(std::move(req)));
+}
+
+LutReply Client::lut(std::uint64_t session,
+                     const std::vector<double>& power_w) {
+  Request req;
+  req.type = RequestType::kLut;
+  req.params = LutParams{session, power_w};
+  return parse_lut_reply(call(std::move(req)));
+}
+
+TransientReply Client::transient(const TransientParams& params) {
+  Request req;
+  req.type = RequestType::kTransient;
+  req.params = params;
+  return parse_transient_reply(call(std::move(req)));
+}
+
+util::json::Value Client::stats(std::uint64_t session) {
+  Request req;
+  req.type = RequestType::kStats;
+  req.params = SessionParams{session};
+  return call(std::move(req));
+}
+
+}  // namespace oftec::serve

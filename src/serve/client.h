@@ -1,0 +1,98 @@
+// oftec-serve client: a small synchronous library over the wire protocol,
+// with explicit pipelining for throughput-sensitive callers.
+//
+// Two usage styles:
+//
+//   Blocking RPC — one call, one matched response, errors become
+//   ProtocolError (the server's structured code/message survives the throw):
+//     Client c = Client::connect(port);
+//     BindReply chip = c.bind(params);
+//     SolveReply r = c.solve(chip.session, omega, current);
+//
+//   Pipelined — queue many requests on the socket, then collect responses in
+//   whatever order the server's batcher finishes them (this is what lets the
+//   micro-batcher coalesce one client's burst into a single engine batch):
+//     std::vector<std::uint64_t> ids;
+//     for (...) ids.push_back(c.send_solve(session, w, i));
+//     for (...) { Response r = c.recv(); ... }
+//
+// A Client owns one connection and is NOT thread-safe; use one per thread
+// (sessions are server-side and freely shared across connections).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/wire.h"
+#include "util/json.h"
+
+namespace oftec::serve {
+
+class Client {
+ public:
+  struct Options {
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Deadline attached to every request [ms]; 0 = none.
+    double deadline_ms = 0.0;
+  };
+
+  /// Connect to an oftec-serve instance on 127.0.0.1:port. Throws
+  /// std::runtime_error when the connection is refused.
+  [[nodiscard]] static Client connect(std::uint16_t port, Options options);
+  [[nodiscard]] static Client connect(std::uint16_t port) {
+    return connect(port, Options());
+  }
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  // --- blocking RPC (throws ProtocolError on server-side errors, ---------
+  // --- std::runtime_error on transport failure) ---------------------------
+
+  void ping();
+  [[nodiscard]] BindReply bind(const BindParams& params);
+  /// True when the session existed.
+  bool unbind(std::uint64_t session);
+  [[nodiscard]] SolveReply solve(std::uint64_t session, double omega,
+                                 double current);
+  [[nodiscard]] ControlReply control(std::uint64_t session,
+                                     const std::string& objective = "oftec");
+  [[nodiscard]] LutReply lut(std::uint64_t session,
+                             const std::vector<double>& power_w);
+  [[nodiscard]] TransientReply transient(const TransientParams& params);
+  /// Raw stats payload (see Server::stats_json). session 0 → server only.
+  [[nodiscard]] util::json::Value stats(std::uint64_t session = 0);
+
+  // --- pipelining ---------------------------------------------------------
+
+  /// Queue a request on the socket without waiting; returns its id.
+  std::uint64_t send_solve(std::uint64_t session, double omega,
+                           double current);
+  std::uint64_t send_sleep(double ms);
+  std::uint64_t send(Request request);  ///< any request; id is assigned here
+
+  /// Next response in arrival order (earlier recv_for(id) strays first).
+  /// Throws std::runtime_error when the connection drops.
+  [[nodiscard]] Response recv();
+
+  /// The response for a specific id, buffering out-of-order arrivals.
+  [[nodiscard]] Response recv_for(std::uint64_t id);
+
+ private:
+  Client(Socket socket, Options options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  /// send() + recv_for() + unwrap: returns the result payload or throws
+  /// ProtocolError built from the error response.
+  util::json::Value call(Request request);
+
+  Socket socket_;
+  Options options_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Response> strays_;
+};
+
+}  // namespace oftec::serve

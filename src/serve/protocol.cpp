@@ -1,0 +1,619 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace oftec::serve {
+
+namespace json = util::json;
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw ProtocolError(kErrBadRequest, message);
+}
+
+// --- field extraction helpers (decode side) --------------------------------
+
+const json::Value& require(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) bad("missing field \"" + std::string(key) + "\"");
+  return *v;
+}
+
+double require_number(const json::Value& obj, std::string_view key) {
+  const json::Value& v = require(obj, key);
+  if (!v.is_number()) bad("field \"" + std::string(key) + "\" must be a number");
+  return v.as_number();
+}
+
+double number_or(const json::Value& obj, std::string_view key,
+                 double fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    bad("field \"" + std::string(key) + "\" must be a number");
+  }
+  return v->as_number();
+}
+
+bool bool_or(const json::Value& obj, std::string_view key, bool fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) bad("field \"" + std::string(key) + "\" must be a bool");
+  return v->as_bool();
+}
+
+std::string string_or(const json::Value& obj, std::string_view key,
+                      std::string fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) {
+    bad("field \"" + std::string(key) + "\" must be a string");
+  }
+  return v->as_string();
+}
+
+std::uint64_t require_uint(const json::Value& obj, std::string_view key) {
+  const double v = require_number(obj, key);
+  if (!(v >= 0.0) || v != std::floor(v) || v > 9.007199254740992e15) {
+    bad("field \"" + std::string(key) + "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::size_t size_or(const json::Value& obj, std::string_view key,
+                    std::size_t fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  const double d = v->is_number() ? v->as_number() : -1.0;
+  if (!(d >= 0.0) || d != std::floor(d)) {
+    bad("field \"" + std::string(key) + "\" must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+std::vector<double> number_array_or(const json::Value& obj,
+                                    std::string_view key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_array()) {
+    bad("field \"" + std::string(key) + "\" must be an array");
+  }
+  std::vector<double> out;
+  out.reserve(v->as_array().size());
+  for (const json::Value& e : v->as_array()) {
+    if (!e.is_number()) {
+      bad("field \"" + std::string(key) + "\" must contain only numbers");
+    }
+    out.push_back(e.as_number());
+  }
+  return out;
+}
+
+std::vector<std::string> string_array_or(const json::Value& obj,
+                                         std::string_view key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_array()) {
+    bad("field \"" + std::string(key) + "\" must be an array");
+  }
+  std::vector<std::string> out;
+  out.reserve(v->as_array().size());
+  for (const json::Value& e : v->as_array()) {
+    if (!e.is_string()) {
+      bad("field \"" + std::string(key) + "\" must contain only strings");
+    }
+    out.push_back(e.as_string());
+  }
+  return out;
+}
+
+// --- params codecs ---------------------------------------------------------
+
+json::Value bind_params_json(const BindParams& p) {
+  json::Value o = json::Value::object();
+  if (!p.benchmark.empty()) o["benchmark"] = p.benchmark;
+  if (!p.power_w.empty()) {
+    json::Value arr = json::Value::array();
+    for (const double w : p.power_w) arr.push_back(w);
+    o["power_w"] = std::move(arr);
+  }
+  o["grid_nx"] = p.grid_nx;
+  o["grid_ny"] = p.grid_ny;
+  if (p.t_max_c != 0.0) o["t_max_c"] = p.t_max_c;
+  o["with_tec"] = p.with_tec;
+  if (p.direct_solve) o["direct_solve"] = true;
+  if (!p.lut_training.empty()) {
+    json::Value arr = json::Value::array();
+    for (const std::string& b : p.lut_training) arr.push_back(b);
+    o["lut_training"] = std::move(arr);
+  }
+  return o;
+}
+
+BindParams parse_bind_params(const json::Value& o) {
+  BindParams p;
+  p.benchmark = string_or(o, "benchmark", "");
+  p.power_w = number_array_or(o, "power_w");
+  p.grid_nx = size_or(o, "grid_nx", 10);
+  p.grid_ny = size_or(o, "grid_ny", 10);
+  p.t_max_c = number_or(o, "t_max_c", 0.0);
+  p.with_tec = bool_or(o, "with_tec", true);
+  p.direct_solve = bool_or(o, "direct_solve", false);
+  p.lut_training = string_array_or(o, "lut_training");
+  if (p.benchmark.empty() == p.power_w.empty()) {
+    bad("bind requires exactly one of \"benchmark\" or \"power_w\"");
+  }
+  if (p.grid_nx < 2 || p.grid_ny < 2 || p.grid_nx > 64 || p.grid_ny > 64) {
+    bad("bind grid dimensions must be in [2, 64]");
+  }
+  return p;
+}
+
+json::Value solve_params_json(const SolveParams& p) {
+  json::Value o = json::Value::object();
+  o["session"] = p.session;
+  o["omega"] = p.omega;
+  o["current"] = p.current;
+  return o;
+}
+
+SolveParams parse_solve_params(const json::Value& o) {
+  SolveParams p;
+  p.session = require_uint(o, "session");
+  p.omega = require_number(o, "omega");
+  p.current = require_number(o, "current");
+  if (!std::isfinite(p.omega) || !std::isfinite(p.current)) {
+    bad("solve omega/current must be finite");
+  }
+  return p;
+}
+
+json::Value control_params_json(const ControlParams& p) {
+  json::Value o = json::Value::object();
+  o["session"] = p.session;
+  o["objective"] = p.objective;
+  return o;
+}
+
+ControlParams parse_control_params(const json::Value& o) {
+  ControlParams p;
+  p.session = require_uint(o, "session");
+  p.objective = string_or(o, "objective", "oftec");
+  if (p.objective != "oftec" && p.objective != "min_temperature") {
+    bad("control objective must be \"oftec\" or \"min_temperature\"");
+  }
+  return p;
+}
+
+json::Value lut_params_json(const LutParams& p) {
+  json::Value o = json::Value::object();
+  o["session"] = p.session;
+  json::Value arr = json::Value::array();
+  for (const double w : p.power_w) arr.push_back(w);
+  o["power_w"] = std::move(arr);
+  return o;
+}
+
+LutParams parse_lut_params(const json::Value& o) {
+  LutParams p;
+  p.session = require_uint(o, "session");
+  p.power_w = number_array_or(o, "power_w");
+  if (p.power_w.empty()) bad("lut requires a non-empty \"power_w\"");
+  return p;
+}
+
+json::Value transient_params_json(const TransientParams& p) {
+  json::Value o = json::Value::object();
+  o["session"] = p.session;
+  o["omega"] = p.omega;
+  o["current"] = p.current;
+  o["duration_s"] = p.duration_s;
+  o["time_step_s"] = p.time_step_s;
+  if (p.reset) o["reset"] = true;
+  return o;
+}
+
+TransientParams parse_transient_params(const json::Value& o) {
+  TransientParams p;
+  p.session = require_uint(o, "session");
+  p.omega = require_number(o, "omega");
+  p.current = require_number(o, "current");
+  p.duration_s = require_number(o, "duration_s");
+  p.time_step_s = number_or(o, "time_step_s", 1e-3);
+  p.reset = bool_or(o, "reset", false);
+  if (!(p.duration_s > 0.0) || !(p.time_step_s > 0.0)) {
+    bad("transient duration_s and time_step_s must be positive");
+  }
+  if (p.duration_s / p.time_step_s > 1e6) {
+    bad("transient step count exceeds 1e6");
+  }
+  return p;
+}
+
+json::Value session_params_json(const SessionParams& p) {
+  json::Value o = json::Value::object();
+  o["session"] = p.session;
+  return o;
+}
+
+SessionParams parse_session_params(const json::Value& o, bool required) {
+  SessionParams p;
+  if (required) {
+    p.session = require_uint(o, "session");
+  } else if (o.find("session") != nullptr) {
+    p.session = require_uint(o, "session");
+  }
+  return p;
+}
+
+json::Value sleep_params_json(const SleepParams& p) {
+  json::Value o = json::Value::object();
+  o["ms"] = p.ms;
+  return o;
+}
+
+SleepParams parse_sleep_params(const json::Value& o) {
+  SleepParams p;
+  p.ms = require_number(o, "ms");
+  if (!(p.ms >= 0.0) || p.ms > 60000.0) bad("sleep ms must be in [0, 60000]");
+  return p;
+}
+
+void decode_request_body(const json::Value& doc, Request& req);
+
+}  // namespace
+
+const char* request_type_name(RequestType t) noexcept {
+  switch (t) {
+    case RequestType::kPing: return "ping";
+    case RequestType::kBind: return "bind";
+    case RequestType::kUnbind: return "unbind";
+    case RequestType::kSolve: return "solve";
+    case RequestType::kControl: return "control";
+    case RequestType::kLut: return "lut";
+    case RequestType::kTransient: return "transient";
+    case RequestType::kStats: return "stats";
+    case RequestType::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+std::optional<RequestType> request_type_by_name(std::string_view name) noexcept {
+  for (const RequestType t :
+       {RequestType::kPing, RequestType::kBind, RequestType::kUnbind,
+        RequestType::kSolve, RequestType::kControl, RequestType::kLut,
+        RequestType::kTransient, RequestType::kStats, RequestType::kSleep}) {
+    if (name == request_type_name(t)) return t;
+  }
+  return std::nullopt;
+}
+
+util::json::ParseOptions wire_parse_options(
+    std::size_t max_input_bytes) noexcept {
+  json::ParseOptions opts;
+  opts.max_depth = 16;  // envelope + params + one nested array is depth 4
+  opts.max_input_bytes = max_input_bytes;
+  opts.duplicate_keys = json::DuplicateKeyPolicy::kError;
+  return opts;
+}
+
+std::string encode_request(const Request& request) {
+  json::Value o = json::Value::object();
+  o["v"] = kProtocolVersion;
+  o["id"] = request.id;
+  o["type"] = request_type_name(request.type);
+  if (request.deadline_ms > 0.0) o["deadline_ms"] = request.deadline_ms;
+  switch (request.type) {
+    case RequestType::kPing:
+      break;
+    case RequestType::kBind:
+      o["params"] = bind_params_json(std::get<BindParams>(request.params));
+      break;
+    case RequestType::kSolve:
+      o["params"] = solve_params_json(std::get<SolveParams>(request.params));
+      break;
+    case RequestType::kControl:
+      o["params"] =
+          control_params_json(std::get<ControlParams>(request.params));
+      break;
+    case RequestType::kLut:
+      o["params"] = lut_params_json(std::get<LutParams>(request.params));
+      break;
+    case RequestType::kTransient:
+      o["params"] =
+          transient_params_json(std::get<TransientParams>(request.params));
+      break;
+    case RequestType::kUnbind:
+    case RequestType::kStats:
+      o["params"] =
+          session_params_json(std::get<SessionParams>(request.params));
+      break;
+    case RequestType::kSleep:
+      o["params"] = sleep_params_json(std::get<SleepParams>(request.params));
+      break;
+  }
+  return o.dump();
+}
+
+Request decode_request(std::string_view payload,
+                       std::size_t max_input_bytes) {
+  json::Value doc;
+  try {
+    doc = json::parse(payload, wire_parse_options(max_input_bytes));
+  } catch (const std::runtime_error& e) {
+    bad(e.what());
+  }
+  if (!doc.is_object()) bad("request must be a JSON object");
+  const std::uint64_t v = require_uint(doc, "v");
+  if (v != static_cast<std::uint64_t>(kProtocolVersion)) {
+    bad("unsupported protocol version " + std::to_string(v));
+  }
+  Request req;
+  req.id = require_uint(doc, "id");
+  try {
+    decode_request_body(doc, req);
+  } catch (ProtocolError& e) {
+    // The id is known at this point — attach it so the server can correlate
+    // the error response instead of replying with id 0.
+    e.set_id(req.id);
+    throw;
+  }
+  return req;
+}
+
+namespace {
+
+void decode_request_body(const json::Value& doc, Request& req) {
+  const json::Value& type_field = require(doc, "type");
+  if (!type_field.is_string()) bad("field \"type\" must be a string");
+  const std::string& type_name = type_field.as_string();
+  const std::optional<RequestType> type = request_type_by_name(type_name);
+  if (!type) {
+    throw ProtocolError(kErrUnknownType,
+                        "unknown request type \"" + type_name + "\"");
+  }
+  req.type = *type;
+  req.deadline_ms = number_or(doc, "deadline_ms", 0.0);
+  if (req.deadline_ms < 0.0) bad("deadline_ms must be >= 0");
+
+  const json::Value* params = doc.find("params");
+  static const json::Value kEmpty = json::Value::object();
+  const json::Value& p = params != nullptr ? *params : kEmpty;
+  if (params != nullptr && !params->is_object()) {
+    bad("field \"params\" must be an object");
+  }
+  switch (req.type) {
+    case RequestType::kPing: break;
+    case RequestType::kBind: req.params = parse_bind_params(p); break;
+    case RequestType::kSolve: req.params = parse_solve_params(p); break;
+    case RequestType::kControl: req.params = parse_control_params(p); break;
+    case RequestType::kLut: req.params = parse_lut_params(p); break;
+    case RequestType::kTransient:
+      req.params = parse_transient_params(p);
+      break;
+    case RequestType::kUnbind:
+      req.params = parse_session_params(p, /*required=*/true);
+      break;
+    case RequestType::kStats:
+      req.params = parse_session_params(p, /*required=*/false);
+      break;
+    case RequestType::kSleep: req.params = parse_sleep_params(p); break;
+  }
+}
+
+}  // namespace
+
+std::string encode_response(const Response& response) {
+  json::Value o = json::Value::object();
+  o["v"] = kProtocolVersion;
+  o["id"] = response.id;
+  o["ok"] = response.ok;
+  if (response.ok) {
+    o["result"] = response.result;
+  } else {
+    json::Value err = json::Value::object();
+    err["code"] = response.error.code;
+    err["message"] = response.error.message;
+    if (response.error.retry_after_ms > 0.0) {
+      err["retry_after_ms"] = response.error.retry_after_ms;
+    }
+    o["error"] = std::move(err);
+  }
+  return o.dump();
+}
+
+Response decode_response(std::string_view payload,
+                         std::size_t max_input_bytes) {
+  json::Value doc;
+  try {
+    doc = json::parse(payload, wire_parse_options(max_input_bytes));
+  } catch (const std::runtime_error& e) {
+    bad(e.what());
+  }
+  if (!doc.is_object()) bad("response must be a JSON object");
+  if (require_uint(doc, "v") != static_cast<std::uint64_t>(kProtocolVersion)) {
+    bad("unsupported protocol version in response");
+  }
+  Response resp;
+  resp.id = require_uint(doc, "id");
+  const json::Value& ok = require(doc, "ok");
+  if (!ok.is_bool()) bad("field \"ok\" must be a bool");
+  resp.ok = ok.as_bool();
+  if (resp.ok) {
+    resp.result = require(doc, "result");
+    if (!resp.result.is_object()) bad("field \"result\" must be an object");
+  } else {
+    const json::Value& err = require(doc, "error");
+    if (!err.is_object()) bad("field \"error\" must be an object");
+    resp.error.code = string_or(err, "code", kErrInternal);
+    resp.error.message = string_or(err, "message", "");
+    resp.error.retry_after_ms = number_or(err, "retry_after_ms", 0.0);
+  }
+  return resp;
+}
+
+Response make_error_response(std::uint64_t id, std::string code,
+                             std::string message, double retry_after_ms) {
+  Response r;
+  r.id = id;
+  r.ok = false;
+  r.error.code = std::move(code);
+  r.error.message = std::move(message);
+  r.error.retry_after_ms = retry_after_ms;
+  return r;
+}
+
+Response make_ok_response(std::uint64_t id, util::json::Value result) {
+  Response r;
+  r.id = id;
+  r.ok = true;
+  r.result = std::move(result);
+  return r;
+}
+
+// --- result payloads -------------------------------------------------------
+
+util::json::Value bind_result_json(const BindReply& r) {
+  json::Value o = json::Value::object();
+  o["session"] = r.session;
+  o["t_max_k"] = r.t_max_k;
+  o["ambient_k"] = r.ambient_k;
+  o["omega_max"] = r.omega_max;
+  o["current_max"] = r.current_max;
+  o["has_tec"] = r.has_tec;
+  json::Value blocks = json::Value::array();
+  for (const std::string& b : r.blocks) blocks.push_back(b);
+  o["blocks"] = std::move(blocks);
+  return o;
+}
+
+BindReply parse_bind_reply(const util::json::Value& v) {
+  BindReply r;
+  r.session = require_uint(v, "session");
+  r.t_max_k = require_number(v, "t_max_k");
+  r.ambient_k = require_number(v, "ambient_k");
+  r.omega_max = require_number(v, "omega_max");
+  r.current_max = require_number(v, "current_max");
+  r.has_tec = bool_or(v, "has_tec", false);
+  r.blocks = string_array_or(v, "blocks");
+  return r;
+}
+
+util::json::Value solve_result_json(const SolveReply& r) {
+  json::Value o = json::Value::object();
+  o["runaway"] = r.runaway;
+  o["t_max_chip_k"] = r.max_chip_temperature_k;
+  o["leakage_w"] = r.leakage_w;
+  o["tec_w"] = r.tec_w;
+  o["fan_w"] = r.fan_w;
+  o["iterations"] = r.iterations;
+  return o;
+}
+
+SolveReply parse_solve_reply(const util::json::Value& v) {
+  SolveReply r;
+  r.runaway = bool_or(v, "runaway", false);
+  // +inf serializes as null (JSON has no inf); recover it on runaway.
+  const json::Value* t = v.find("t_max_chip_k");
+  if (t != nullptr && t->is_number()) {
+    r.max_chip_temperature_k = t->as_number();
+  } else if (r.runaway) {
+    r.max_chip_temperature_k = std::numeric_limits<double>::infinity();
+  } else {
+    bad("solve reply missing t_max_chip_k");
+  }
+  r.leakage_w = number_or(v, "leakage_w", 0.0);
+  r.tec_w = number_or(v, "tec_w", 0.0);
+  r.fan_w = number_or(v, "fan_w", 0.0);
+  r.iterations = require_uint(v, "iterations");
+  return r;
+}
+
+util::json::Value control_result_json(const ControlReply& r) {
+  json::Value o = json::Value::object();
+  o["objective"] = r.objective;
+  o["success"] = r.success;
+  o["used_opt2"] = r.used_opt2;
+  o["omega"] = r.omega;
+  o["current"] = r.current;
+  o["t_max_chip_k"] = r.max_chip_temperature_k;
+  o["leakage_w"] = r.leakage_w;
+  o["tec_w"] = r.tec_w;
+  o["fan_w"] = r.fan_w;
+  o["runtime_ms"] = r.runtime_ms;
+  o["thermal_solves"] = r.thermal_solves;
+  return o;
+}
+
+ControlReply parse_control_reply(const util::json::Value& v) {
+  ControlReply r;
+  r.objective = string_or(v, "objective", "oftec");
+  r.success = bool_or(v, "success", false);
+  r.used_opt2 = bool_or(v, "used_opt2", false);
+  r.omega = require_number(v, "omega");
+  r.current = require_number(v, "current");
+  const json::Value* t = v.find("t_max_chip_k");
+  r.max_chip_temperature_k =
+      (t != nullptr && t->is_number())
+          ? t->as_number()
+          : std::numeric_limits<double>::infinity();
+  r.leakage_w = number_or(v, "leakage_w", 0.0);
+  r.tec_w = number_or(v, "tec_w", 0.0);
+  r.fan_w = number_or(v, "fan_w", 0.0);
+  r.runtime_ms = number_or(v, "runtime_ms", 0.0);
+  r.thermal_solves = require_uint(v, "thermal_solves");
+  return r;
+}
+
+util::json::Value lut_result_json(const LutReply& r) {
+  json::Value o = json::Value::object();
+  o["omega"] = r.omega;
+  o["current"] = r.current;
+  o["feasible"] = r.feasible;
+  o["entry_index"] = r.entry_index;
+  o["feature_distance"] = r.feature_distance;
+  return o;
+}
+
+LutReply parse_lut_reply(const util::json::Value& v) {
+  LutReply r;
+  r.omega = require_number(v, "omega");
+  r.current = require_number(v, "current");
+  r.feasible = bool_or(v, "feasible", false);
+  r.entry_index = require_uint(v, "entry_index");
+  r.feature_distance = number_or(v, "feature_distance", 0.0);
+  return r;
+}
+
+util::json::Value transient_result_json(const TransientReply& r) {
+  json::Value o = json::Value::object();
+  o["runaway"] = r.runaway;
+  o["t_final_k"] = r.final_max_chip_temperature_k;
+  o["t_peak_k"] = r.peak_max_chip_temperature_k;
+  o["steps"] = r.steps;
+  o["time_s"] = r.time_s;
+  return o;
+}
+
+TransientReply parse_transient_reply(const util::json::Value& v) {
+  TransientReply r;
+  r.runaway = bool_or(v, "runaway", false);
+  const json::Value* tf = v.find("t_final_k");
+  r.final_max_chip_temperature_k =
+      (tf != nullptr && tf->is_number())
+          ? tf->as_number()
+          : std::numeric_limits<double>::infinity();
+  const json::Value* tp = v.find("t_peak_k");
+  r.peak_max_chip_temperature_k =
+      (tp != nullptr && tp->is_number())
+          ? tp->as_number()
+          : std::numeric_limits<double>::infinity();
+  r.steps = require_uint(v, "steps");
+  r.time_s = number_or(v, "time_s", 0.0);
+  return r;
+}
+
+}  // namespace oftec::serve

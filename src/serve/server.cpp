@@ -1,0 +1,589 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "core/oftec.h"
+#include "util/log.h"
+#include "util/obs.h"
+
+namespace oftec::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const obs::Counter g_obs_requests = obs::counter("serve.requests");
+const obs::Counter g_obs_shed = obs::counter("serve.shed");
+const obs::Counter g_obs_deadline = obs::counter("serve.deadline_expired");
+const obs::Counter g_obs_dedup = obs::counter("serve.dedup_hits");
+const obs::Counter g_obs_batches = obs::counter("serve.batches");
+const obs::Counter g_obs_protocol_errors =
+    obs::counter("serve.protocol_errors");
+const obs::Gauge g_obs_queue_depth = obs::gauge("serve.queue_depth");
+const obs::Histogram g_obs_batch_size = obs::histogram(
+    "serve.batch_size_points", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+const obs::Histogram g_obs_latency = obs::histogram(
+    "serve.e2e_latency_us", obs::exponential_bounds(10.0, 4.0, 12));
+
+}  // namespace
+
+/// Per-connection state. The reader thread decodes and admits requests; the
+/// writer thread drains `outbound` so a slow client never blocks the
+/// batcher's caller for long. `inflight` counts requests admitted to the
+/// central queue whose responses have not been enqueued yet: the outbound
+/// queue closes (letting the writer exit) only once the reader is done AND
+/// no in-flight response can still arrive.
+struct Server::Connection {
+  explicit Connection(std::size_t outbound_capacity)
+      : outbound(outbound_capacity) {}
+
+  Socket socket;
+  BoundedQueue<std::string> outbound;
+  std::thread reader;
+  std::thread writer;
+
+  std::mutex mutex;
+  std::size_t inflight = 0;
+  bool reader_done = false;
+
+  void begin_request() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++inflight;
+  }
+
+  void end_request() {
+    bool close_now = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      --inflight;
+      close_now = reader_done && inflight == 0;
+    }
+    if (close_now) outbound.close();
+  }
+
+  void mark_reader_done() {
+    bool close_now = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      reader_done = true;
+      close_now = inflight == 0;
+    }
+    if (close_now) outbound.close();
+  }
+
+  void send(const Response& response) {
+    (void)outbound.push(encode_response(response));
+  }
+};
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      registry_(options.max_sessions),
+      queue_(std::make_unique<BoundedQueue<Pending>>(
+          options.max_queue_depth)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  listener_ = Listener::listen_loopback(options_.port);
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  batcher_ = std::thread([this] { batcher_loop(); });
+  log::info("serve: listening on 127.0.0.1:", port_,
+            " (batch<=", options_.max_batch_size,
+            ", delay<=", options_.max_delay_us,
+            "us, queue<=", options_.max_queue_depth, ")");
+}
+
+void Server::stop() {
+  const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // 1. No new connections.
+  listener_.shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. Unblock every reader; in-socket bytes may be discarded, but nothing
+  //    admitted to the queue is lost.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    conns = connections_;
+  }
+  for (const auto& c : conns) c->socket.shutdown_read();
+  for (const auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+  }
+
+  // 3. Drain: pushes now fail (readers are gone anyway); the batcher keeps
+  //    popping until the queue is empty, answering everything admitted.
+  queue_->close();
+  if (batcher_.joinable()) batcher_.join();
+
+  // 4. Writers exit once their outbound queues close-and-drain (triggered
+  //    by reader_done + last end_request above).
+  for (const auto& c : conns) {
+    if (c->writer.joinable()) c->writer.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.clear();
+  }
+  running_.store(false, std::memory_order_release);
+  log::info("serve: stopped (completed=", n_completed_.load(),
+            ", shed=", n_shed_.load(), ")");
+}
+
+Server::Counters Server::counters() const {
+  Counters c;
+  c.connections = n_connections_.load(std::memory_order_relaxed);
+  c.requests = n_requests_.load(std::memory_order_relaxed);
+  c.admitted = n_admitted_.load(std::memory_order_relaxed);
+  c.completed = n_completed_.load(std::memory_order_relaxed);
+  c.shed = n_shed_.load(std::memory_order_relaxed);
+  c.deadline_expired = n_deadline_.load(std::memory_order_relaxed);
+  c.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
+  c.batches = n_batches_.load(std::memory_order_relaxed);
+  c.batched_points = n_batched_points_.load(std::memory_order_relaxed);
+  c.dedup_hits = n_dedup_hits_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Server::acceptor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket sock = listener_.accept();
+    if (!sock.valid()) break;  // listener shut down
+    auto conn = std::make_shared<Connection>(options_.max_queue_depth + 64);
+    conn->socket = std::move(sock);
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (stopping_.load(std::memory_order_acquire)) {
+        // Raced with stop(): it already snapshotted `connections_`, so this
+        // connection would never be joined — refuse it instead.
+        conn->socket.close();
+        break;
+      }
+      connections_.push_back(conn);
+    }
+    n_connections_.fetch_add(1, std::memory_order_relaxed);
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  std::string payload;
+  while (true) {
+    const ReadStatus status =
+        read_frame(conn->socket.fd(), payload, options_.max_frame_bytes);
+    if (status == ReadStatus::kClosed) break;
+    if (status != ReadStatus::kOk) {
+      // Framing is broken (truncated/oversized/error): the stream position
+      // is ambiguous, so drop the connection.
+      n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      g_obs_protocol_errors.add();
+      log::debug("serve: dropping connection on framing error");
+      break;
+    }
+
+    n_requests_.fetch_add(1, std::memory_order_relaxed);
+    g_obs_requests.add();
+
+    Request request;
+    try {
+      request = decode_request(payload, options_.max_frame_bytes);
+    } catch (const ProtocolError& e) {
+      n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      g_obs_protocol_errors.add();
+      conn->send(make_error_response(e.id(), e.code(), e.message()));
+      continue;
+    }
+
+    if (handle_inline(request, conn)) continue;
+
+    if (!options_.enable_test_requests &&
+        request.type == RequestType::kSleep) {
+      conn->send(make_error_response(request.id, kErrUnknownType,
+                                     "sleep requests are disabled"));
+      continue;
+    }
+
+    Pending item;
+    item.request = std::move(request);
+    item.connection = conn;
+    item.arrival = Clock::now();
+    item.deadline =
+        item.request.deadline_ms > 0.0
+            ? item.arrival + std::chrono::microseconds(static_cast<long long>(
+                                 item.request.deadline_ms * 1000.0))
+            : Clock::time_point::max();
+
+    const std::uint64_t id = item.request.id;
+    conn->begin_request();
+    if (queue_->try_push(std::move(item))) {
+      n_admitted_.fetch_add(1, std::memory_order_relaxed);
+      g_obs_queue_depth.set(static_cast<double>(queue_->size()));
+      continue;
+    }
+    conn->end_request();
+    const bool closing = queue_->closed();
+    n_shed_.fetch_add(1, std::memory_order_relaxed);
+    g_obs_shed.add();
+    conn->send(make_error_response(
+        id, closing ? kErrShuttingDown : kErrOverloaded,
+        closing ? "server is shutting down" : "admission queue is full",
+        options_.shed_retry_after_ms));
+  }
+  conn->mark_reader_done();
+}
+
+void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
+  while (auto message = conn->outbound.pop()) {
+    if (!write_frame(conn->socket.fd(), *message)) break;  // peer is gone
+  }
+  // FIN the peer once every response is flushed (or undeliverable) — clients
+  // of a dropped connection see EOF instead of hanging. Also unblocks a
+  // reader still parked in recv() after a framing error on our side.
+  conn->socket.shutdown_both();
+}
+
+bool Server::handle_inline(const Request& request,
+                           const std::shared_ptr<Connection>& conn) {
+  switch (request.type) {
+    case RequestType::kPing:
+      conn->send(make_ok_response(request.id, util::json::Value::object()));
+      return true;
+    case RequestType::kStats: {
+      const auto& params = std::get<SessionParams>(request.params);
+      conn->send(make_ok_response(request.id, stats_json(params.session)));
+      return true;
+    }
+    case RequestType::kUnbind: {
+      const auto& params = std::get<SessionParams>(request.params);
+      const bool removed = registry_.erase(params.session);
+      util::json::Value result = util::json::Value::object();
+      result["removed"] = removed;
+      conn->send(make_ok_response(request.id, std::move(result)));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+util::json::Value Server::stats_json(std::uint64_t session_id) const {
+  namespace json = util::json;
+  json::Value server = json::Value::object();
+  const Counters c = counters();
+  server["connections"] = c.connections;
+  server["requests"] = c.requests;
+  server["admitted"] = c.admitted;
+  server["completed"] = c.completed;
+  server["shed"] = c.shed;
+  server["deadline_expired"] = c.deadline_expired;
+  server["protocol_errors"] = c.protocol_errors;
+  server["batches"] = c.batches;
+  server["batched_points"] = c.batched_points;
+  server["dedup_hits"] = c.dedup_hits;
+  server["queue_depth"] = queue_->size();
+  server["sessions"] = registry_.size();
+  server["executing"] = executing();
+
+  json::Value root = json::Value::object();
+  root["server"] = std::move(server);
+
+  if (session_id != 0) {
+    const std::shared_ptr<Session> session = registry_.find(session_id);
+    if (session != nullptr) {
+      const thermal::EngineStats es = session->system().engine().stats();
+      json::Value engine = json::Value::object();
+      engine["points"] = es.points;
+      engine["linear_solves"] = es.linear_solves;
+      engine["cg_iterations"] = es.cg_iterations;
+      engine["factorizations"] = es.factorizations;
+      engine["factor_hits"] = es.factor_hits;
+      engine["direct_fallbacks"] = es.direct_fallbacks;
+      json::Value sess = json::Value::object();
+      sess["id"] = session->id();
+      sess["engine"] = std::move(engine);
+      sess["evaluations"] = session->system().evaluation_count();
+      sess["eval_cache_hits"] = session->system().cache_hits();
+      root["session"] = std::move(sess);
+    }
+  }
+  return root;
+}
+
+void Server::batcher_loop() {
+  std::optional<Pending> carry;
+  while (true) {
+    std::optional<Pending> first =
+        carry.has_value() ? std::move(carry) : queue_->pop();
+    carry.reset();
+    if (!first.has_value()) break;  // closed and drained
+    g_obs_queue_depth.set(static_cast<double>(queue_->size()));
+
+    if (first->request.type == RequestType::kSolve) {
+      std::vector<Pending> batch;
+      batch.push_back(std::move(*first));
+      const Clock::time_point flush_at =
+          Clock::now() + std::chrono::microseconds(options_.max_delay_us);
+      while (batch.size() < options_.max_batch_size) {
+        const Clock::time_point now = Clock::now();
+        if (now >= flush_at) break;
+        std::optional<Pending> next =
+            queue_->pop_for(std::chrono::duration_cast<std::chrono::microseconds>(
+                flush_at - now));
+        if (!next.has_value()) break;  // flush window elapsed (or draining)
+        if (next->request.type == RequestType::kSolve) {
+          batch.push_back(std::move(*next));
+        } else {
+          carry = std::move(next);  // execute after this batch, in order
+          break;
+        }
+      }
+      executing_.store(true, std::memory_order_release);
+      execute_solve_batch(batch);
+      executing_.store(false, std::memory_order_release);
+    } else {
+      executing_.store(true, std::memory_order_release);
+      execute_single(*first);
+      executing_.store(false, std::memory_order_release);
+    }
+  }
+}
+
+bool Server::expired(const Pending& item) {
+  return Clock::now() > item.deadline;
+}
+
+void Server::respond(const Pending& item, Response response) {
+  response.id = item.request.id;
+  item.connection->send(response);
+  item.connection->end_request();
+  n_completed_.fetch_add(1, std::memory_order_relaxed);
+  const double latency_us =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           item.arrival)
+          .count() /
+      1000.0;
+  g_obs_latency.observe(latency_us);
+}
+
+void Server::execute_solve_batch(std::vector<Pending>& batch) {
+  OBS_SPAN("serve.batch");
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  g_obs_batches.add();
+  n_batched_points_.fetch_add(batch.size(), std::memory_order_relaxed);
+  g_obs_batch_size.observe(static_cast<double>(batch.size()));
+
+  // Group by session, answering expired/invalid requests immediately.
+  std::map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (expired(batch[i])) {
+      n_deadline_.fetch_add(1, std::memory_order_relaxed);
+      g_obs_deadline.add();
+      respond(batch[i],
+              make_error_response(0, kErrDeadlineExceeded,
+                                  "deadline expired while queued"));
+      continue;
+    }
+    groups[std::get<SolveParams>(batch[i].request.params).session].push_back(
+        i);
+  }
+
+  for (auto& [session_id, indices] : groups) {
+    const std::shared_ptr<Session> session = registry_.find(session_id);
+    if (session == nullptr) {
+      for (const std::size_t i : indices) {
+        respond(batch[i], make_error_response(0, kErrUnknownSession,
+                                              "unknown session " +
+                                                  std::to_string(session_id)));
+      }
+      continue;
+    }
+
+    // Deduplicate identical operating points: concurrent clients asking the
+    // same question get one solve, everyone gets the (bit-identical) answer.
+    std::vector<thermal::OperatingPoint> points;
+    std::map<std::pair<double, double>, std::size_t> point_index;
+    std::vector<std::size_t> result_of(indices.size());
+    std::vector<bool> answered(indices.size(), false);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const auto& params =
+          std::get<SolveParams>(batch[indices[k]].request.params);
+      if (!session->point_in_range(params.omega, params.current)) {
+        respond(batch[indices[k]],
+                make_error_response(0, kErrBadRequest,
+                                    "operating point out of range"));
+        answered[k] = true;
+        continue;
+      }
+      const auto key = std::make_pair(params.omega, params.current);
+      const auto [it, inserted] =
+          point_index.emplace(key, points.size());
+      if (inserted) {
+        points.push_back({params.omega, params.current});
+      } else {
+        n_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+        g_obs_dedup.add();
+      }
+      result_of[k] = it->second;
+    }
+
+    if (points.empty()) continue;
+    const std::vector<thermal::SteadyResult> results =
+        session->system().engine().solve_batch(points);
+
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      if (answered[k]) continue;
+      const Pending& item = batch[indices[k]];
+      const thermal::SteadyResult& sr = results[result_of[k]];
+      const auto& params = std::get<SolveParams>(item.request.params);
+      const core::Evaluation ev = core::make_evaluation(
+          session->system().thermal_model(), sr, params.omega);
+      SolveReply reply;
+      reply.runaway = ev.runaway;
+      reply.max_chip_temperature_k = ev.max_chip_temperature;
+      reply.leakage_w = ev.power.leakage;
+      reply.tec_w = ev.power.tec;
+      reply.fan_w = ev.power.fan;
+      reply.iterations = ev.solver_iterations;
+      respond(item, make_ok_response(0, solve_result_json(reply)));
+    }
+  }
+}
+
+void Server::execute_single(Pending& item) {
+  OBS_SPAN("serve.single");
+  if (expired(item)) {
+    n_deadline_.fetch_add(1, std::memory_order_relaxed);
+    g_obs_deadline.add();
+    respond(item, make_error_response(0, kErrDeadlineExceeded,
+                                      "deadline expired while queued"));
+    return;
+  }
+  try {
+    switch (item.request.type) {
+      case RequestType::kBind: {
+        const auto& params = std::get<BindParams>(item.request.params);
+        const std::shared_ptr<Session> session = registry_.create(params);
+        respond(item,
+                make_ok_response(0, bind_result_json(session->describe())));
+        return;
+      }
+      case RequestType::kControl: {
+        const auto& params = std::get<ControlParams>(item.request.params);
+        const std::shared_ptr<Session> session =
+            registry_.find(params.session);
+        if (session == nullptr) {
+          respond(item, make_error_response(0, kErrUnknownSession,
+                                            "unknown session"));
+          return;
+        }
+        ControlReply reply;
+        reply.objective = params.objective;
+        if (params.objective == "min_temperature") {
+          const core::MinTemperatureResult r =
+              core::run_min_temperature(session->system());
+          reply.success = r.finite;
+          reply.omega = r.omega;
+          reply.current = r.current;
+          reply.max_chip_temperature_k = r.max_chip_temperature;
+          reply.leakage_w = r.power.leakage;
+          reply.tec_w = r.power.tec;
+          reply.fan_w = r.power.fan;
+          reply.runtime_ms = r.runtime_ms;
+          reply.thermal_solves = r.thermal_solves;
+        } else {
+          const core::OftecResult r = core::run_oftec(session->system());
+          reply.success = r.success;
+          reply.used_opt2 = r.used_opt2;
+          reply.omega = r.omega;
+          reply.current = r.current;
+          reply.max_chip_temperature_k = r.max_chip_temperature;
+          reply.leakage_w = r.power.leakage;
+          reply.tec_w = r.power.tec;
+          reply.fan_w = r.power.fan;
+          reply.runtime_ms = r.runtime_ms;
+          reply.thermal_solves = r.thermal_solves;
+        }
+        respond(item, make_ok_response(0, control_result_json(reply)));
+        return;
+      }
+      case RequestType::kLut: {
+        const auto& params = std::get<LutParams>(item.request.params);
+        const std::shared_ptr<Session> session =
+            registry_.find(params.session);
+        if (session == nullptr) {
+          respond(item, make_error_response(0, kErrUnknownSession,
+                                            "unknown session"));
+          return;
+        }
+        if (session->lut() == nullptr) {
+          respond(item,
+                  make_error_response(0, kErrBadRequest,
+                                      "session was bound without a LUT"));
+          return;
+        }
+        const floorplan::Floorplan& fp = session->floorplan();
+        if (params.power_w.size() != fp.block_count()) {
+          respond(item, make_error_response(
+                            0, kErrBadRequest,
+                            "power_w length does not match floorplan"));
+          return;
+        }
+        power::PowerMap query(fp);
+        for (std::size_t i = 0; i < params.power_w.size(); ++i) {
+          query.set(i, params.power_w[i]);
+        }
+        const core::LutController::LookupResult r =
+            session->lut()->lookup(query);
+        LutReply reply;
+        reply.omega = r.omega;
+        reply.current = r.current;
+        reply.feasible = r.feasible;
+        reply.entry_index = r.entry_index;
+        reply.feature_distance = r.feature_distance;
+        respond(item, make_ok_response(0, lut_result_json(reply)));
+        return;
+      }
+      case RequestType::kTransient: {
+        const auto& params = std::get<TransientParams>(item.request.params);
+        const std::shared_ptr<Session> session =
+            registry_.find(params.session);
+        if (session == nullptr) {
+          respond(item, make_error_response(0, kErrUnknownSession,
+                                            "unknown session"));
+          return;
+        }
+        const TransientReply reply = session->transient_step(params);
+        respond(item, make_ok_response(0, transient_result_json(reply)));
+        return;
+      }
+      case RequestType::kSleep: {
+        const auto& params = std::get<SleepParams>(item.request.params);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<long long>(params.ms * 1000.0)));
+        respond(item,
+                make_ok_response(0, util::json::Value::object()));
+        return;
+      }
+      default:
+        respond(item, make_error_response(0, kErrInternal,
+                                          "request type cannot be queued"));
+        return;
+    }
+  } catch (const ProtocolError& e) {
+    respond(item, make_error_response(0, e.code(), e.message()));
+  } catch (const std::exception& e) {
+    respond(item, make_error_response(0, kErrInternal, e.what()));
+  }
+}
+
+}  // namespace oftec::serve

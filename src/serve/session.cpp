@@ -1,0 +1,195 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "floorplan/ev6.h"
+#include "power/mcpat_like.h"
+#include "thermal/transient.h"
+#include "util/units.h"
+#include "workload/benchmarks.h"
+
+namespace oftec::serve {
+
+namespace {
+
+[[nodiscard]] power::PowerMap workload_map(const floorplan::Floorplan& fp,
+                                           const std::string& benchmark) {
+  const std::optional<workload::Benchmark> b =
+      workload::benchmark_by_name(benchmark);
+  if (!b) {
+    throw ProtocolError(kErrBadRequest,
+                        "unknown benchmark \"" + benchmark + "\"");
+  }
+  return workload::peak_power_map(workload::profile_for(*b), fp);
+}
+
+[[nodiscard]] core::CoolingSystem::Config session_config(
+    const BindParams& params) {
+  core::CoolingSystem::Config cfg;
+  cfg.grid_nx = params.grid_nx;
+  cfg.grid_ny = params.grid_ny;
+  if (!params.with_tec) cfg.package = cfg.package.without_tecs();
+  if (params.t_max_c != 0.0) {
+    cfg.package.t_max = units::celsius_to_kelvin(params.t_max_c);
+  }
+  cfg.engine.use_iterative = !params.direct_solve;
+  return cfg;
+}
+
+}  // namespace
+
+Session::Session(std::uint64_t id, const BindParams& params)
+    : id_(id),
+      floorplan_(floorplan::make_ev6_floorplan()),
+      leakage_(power::characterize_leakage(floorplan_,
+                                           power::ProcessConfig{})) {
+  power::PowerMap workload(floorplan_);
+  if (!params.benchmark.empty()) {
+    workload = workload_map(floorplan_, params.benchmark);
+  } else {
+    if (params.power_w.size() != floorplan_.block_count()) {
+      throw ProtocolError(
+          kErrBadRequest,
+          "power_w has " + std::to_string(params.power_w.size()) +
+              " entries, floorplan has " +
+              std::to_string(floorplan_.block_count()) + " blocks");
+    }
+    for (std::size_t i = 0; i < params.power_w.size(); ++i) {
+      const double w = params.power_w[i];
+      if (!(w >= 0.0) || w > 1e4) {
+        throw ProtocolError(kErrBadRequest,
+                            "power_w entries must be in [0, 1e4] W");
+      }
+      workload.set(i, w);
+    }
+  }
+
+  const core::CoolingSystem::Config cfg = session_config(params);
+  system_ = std::make_unique<core::CoolingSystem>(floorplan_, workload,
+                                                  leakage_, cfg);
+
+  if (!params.lut_training.empty()) {
+    std::vector<power::PowerMap> training;
+    training.reserve(params.lut_training.size());
+    for (const std::string& name : params.lut_training) {
+      training.push_back(workload_map(floorplan_, name));
+    }
+    lut_ = std::make_unique<core::LutController>(
+        core::LutController::build(training, floorplan_, leakage_, cfg));
+  }
+}
+
+bool Session::point_in_range(double omega, double current) const {
+  const core::CoolingSystem& sys = *system_;
+  if (!(omega >= 0.0) || omega > sys.omega_max() * (1.0 + 1e-9)) return false;
+  if (!(current >= 0.0) || current > sys.current_max() * (1.0 + 1e-9)) {
+    return false;
+  }
+  if (!sys.has_tec() && current != 0.0) return false;
+  return true;
+}
+
+TransientReply Session::transient_step(const TransientParams& params) {
+  if (!point_in_range(params.omega, params.current)) {
+    throw ProtocolError(kErrBadRequest,
+                        "transient operating point out of range");
+  }
+  thermal::TransientOptions opts;
+  opts.time_step = params.time_step_s;
+  opts.duration = params.duration_s;
+  opts.record_stride = 1;
+
+  const std::lock_guard<std::mutex> lock(transient_mutex_);
+  const thermal::TransientSolver solver(system_->thermal_model(),
+                                        system_->cell_dynamic_power(),
+                                        system_->cell_leakage(), opts);
+  if (params.reset || transient_state_.empty()) {
+    transient_state_ = solver.ambient_state();
+    transient_time_ = 0.0;
+  }
+  const thermal::ControlSetting setting{params.omega, params.current};
+  const thermal::TransientResult result = solver.run(
+      [setting](double) { return setting; }, transient_state_);
+
+  TransientReply reply;
+  reply.runaway = result.runaway;
+  reply.steps = result.steps;
+  double peak = 0.0;
+  double final_t = 0.0;
+  for (const thermal::TransientSample& s : result.samples) {
+    peak = std::max(peak, s.max_chip_temperature);
+    final_t = s.max_chip_temperature;
+  }
+  if (result.runaway) {
+    reply.final_max_chip_temperature_k =
+        std::numeric_limits<double>::infinity();
+    reply.peak_max_chip_temperature_k =
+        std::numeric_limits<double>::infinity();
+    transient_state_.clear();  // state is meaningless past runaway
+    transient_time_ = 0.0;
+  } else {
+    reply.final_max_chip_temperature_k = final_t;
+    reply.peak_max_chip_temperature_k = peak;
+    transient_state_ = result.final_temperatures;
+    transient_time_ += params.duration_s;
+  }
+  reply.time_s = transient_time_;
+  return reply;
+}
+
+BindReply Session::describe() const {
+  BindReply r;
+  r.session = id_;
+  r.t_max_k = system_->t_max();
+  r.ambient_k = system_->ambient();
+  r.omega_max = system_->omega_max();
+  r.current_max = system_->current_max();
+  r.has_tec = system_->has_tec();
+  r.blocks.reserve(floorplan_.block_count());
+  for (const floorplan::Block& b : floorplan_.blocks()) {
+    r.blocks.push_back(b.name);
+  }
+  return r;
+}
+
+std::shared_ptr<Session> SessionRegistry::create(const BindParams& params) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= max_sessions_) {
+      throw ProtocolError(kErrOverloaded,
+                          "session limit of " +
+                              std::to_string(max_sessions_) + " reached");
+    }
+    id = next_id_++;
+  }
+  // Build outside the lock — model assembly and LUT training are the slow
+  // part, and concurrent binds are independent.
+  auto session = std::make_shared<Session>(id, params);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= max_sessions_) {
+    throw ProtocolError(kErrOverloaded, "session limit reached");
+  }
+  sessions_.emplace(id, session);
+  return session;
+}
+
+std::shared_ptr<Session> SessionRegistry::find(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionRegistry::erase(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.erase(id) != 0;
+}
+
+std::size_t SessionRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace oftec::serve

@@ -1,0 +1,195 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace oftec::serve {
+
+namespace {
+
+/// recv() exactly `n` bytes. 1 = ok, 0 = clean EOF before any byte,
+/// -1 = EOF mid-read (peer closed with a partial frame), -2 = socket error.
+int recv_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;  // EOF
+    if (errno == EINTR) continue;
+    return -2;
+  }
+  return 1;
+}
+
+bool send_all(int fd, const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket();
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Socket();
+  }
+  // Control messages are small; never trade latency for coalescing.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Listener Listener::listen_loopback(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("serve: bind() to loopback port " +
+                             std::to_string(port) +
+                             " failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw std::runtime_error(std::string("serve: listen() failed: ") +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("serve: getsockname() failed");
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+Socket Listener::accept() const {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();  // listener shut down (or fatal error): signal exit
+  }
+}
+
+void Listener::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+ReadStatus read_frame(int fd, std::string& payload,
+                      std::size_t max_payload_bytes) {
+  unsigned char prefix[4];
+  const int pr = recv_exact(fd, reinterpret_cast<char*>(prefix), 4);
+  if (pr == 0) return ReadStatus::kClosed;
+  if (pr == -1) return ReadStatus::kTruncated;
+  if (pr < 0) return ReadStatus::kError;
+  const std::uint32_t n = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                          (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                          (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                          static_cast<std::uint32_t>(prefix[3]);
+  if (n > max_payload_bytes) return ReadStatus::kTooLarge;
+  payload.resize(n);
+  if (n == 0) return ReadStatus::kOk;
+  const int br = recv_exact(fd, payload.data(), n);
+  if (br == 1) return ReadStatus::kOk;
+  // EOF anywhere inside a promised payload is a truncated frame; only a
+  // genuine socket error reports kError.
+  return br == -2 ? ReadStatus::kError : ReadStatus::kTruncated;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > 0xffffffffu) return false;
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {static_cast<unsigned char>(n >> 24),
+                                   static_cast<unsigned char>(n >> 16),
+                                   static_cast<unsigned char>(n >> 8),
+                                   static_cast<unsigned char>(n)};
+  if (!send_all(fd, reinterpret_cast<const char*>(prefix), 4)) return false;
+  return send_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace oftec::serve

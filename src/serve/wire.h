@@ -1,0 +1,106 @@
+// Transport for oftec-serve: loopback/TCP sockets plus length-prefixed
+// framing.
+//
+// A frame is a 4-byte big-endian unsigned payload length followed by that
+// many bytes of UTF-8 JSON. The prefix makes message boundaries explicit on
+// a byte stream and lets the reader reject oversized payloads *before*
+// buffering them — the first line of defense for untrusted network input
+// (the JSON parser's own ParseOptions limits are the second).
+//
+// Framing errors (truncated prefix, oversized declaration, mid-frame EOF)
+// are unrecoverable for the connection: once the stream position is
+// ambiguous, the only safe move is to drop the peer. Semantic errors inside
+// a well-framed payload get structured error responses instead (see
+// protocol.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace oftec::serve {
+
+/// Default cap on a single frame payload (1 MiB) — far above any legitimate
+/// oftec-serve message, far below anything that could stress the host.
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+
+/// RAII wrapper for a connected socket descriptor. Move-only.
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Disallow further sends and/or receives without releasing the fd —
+  /// unblocks any thread parked in recv()/send() on this socket. Safe to
+  /// call from a thread other than the one doing I/O.
+  void shutdown_read() noexcept;
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+  /// Connect to 127.0.0.1:port. Invalid socket on failure.
+  [[nodiscard]] static Socket connect_loopback(std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket bound to the loopback interface.
+class Listener {
+ public:
+  Listener() noexcept = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind and listen on 127.0.0.1:port (0 → ephemeral port chosen by the
+  /// kernel, readable via port()). Throws std::runtime_error on failure.
+  [[nodiscard]] static Listener listen_loopback(std::uint16_t port,
+                                                int backlog = 64);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Block for the next connection. Invalid socket once the listener has
+  /// been shut down (the acceptor thread's exit signal).
+  [[nodiscard]] Socket accept() const;
+
+  /// Unblock accept() and refuse new connections.
+  void shutdown() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Outcome of read_frame().
+enum class ReadStatus {
+  kOk,         ///< a complete frame was read into `payload`
+  kClosed,     ///< clean EOF on a frame boundary (peer finished)
+  kTruncated,  ///< EOF mid-prefix or mid-payload
+  kTooLarge,   ///< declared length exceeds `max_payload_bytes`
+  kError,      ///< socket error
+};
+
+/// Read one length-prefixed frame. Blocks until a full frame, EOF, or error.
+[[nodiscard]] ReadStatus read_frame(int fd, std::string& payload,
+                                    std::size_t max_payload_bytes);
+
+/// Write one length-prefixed frame (handles short writes; SIGPIPE is
+/// suppressed). False on any send failure.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+}  // namespace oftec::serve

@@ -39,9 +39,17 @@ void append_utf8(std::string& out, std::uint32_t cp) {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
 
   Value run() {
+    if (options_.max_input_bytes != 0 &&
+        text_.size() > options_.max_input_bytes) {
+      throw std::runtime_error(
+          "json parse error: input of " + std::to_string(text_.size()) +
+          " bytes exceeds limit of " +
+          std::to_string(options_.max_input_bytes));
+    }
     Value v = parse_value();
     skip_ws();
     if (pos_ != text_.size()) fail("trailing characters after document");
@@ -82,8 +90,14 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(*this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(*this);
+        return parse_array();
+      }
       case '"': return Value(parse_string());
       case 't':
         if (consume_literal("true")) return Value(true);
@@ -111,6 +125,10 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      if (options_.duplicate_keys == DuplicateKeyPolicy::kError &&
+          obj.count(key) != 0) {
+        fail("duplicate object key \"" + key + "\"");
+      }
       obj[std::move(key)] = parse_value();
       skip_ws();
       const char c = peek();
@@ -235,8 +253,22 @@ class Parser {
     return Value(v);
   }
 
+  /// parse_value() recurses once per container level; this caps the depth.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > parser.options_.max_depth) {
+        parser.fail("nesting depth exceeds limit of " +
+                    std::to_string(parser.options_.max_depth));
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   std::string_view text_;
+  ParseOptions options_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 void write_number(std::ostream& os, double v) {
@@ -398,6 +430,10 @@ std::string Value::dump(int indent) const {
   return os.str();
 }
 
-Value parse(std::string_view text) { return Parser(text).run(); }
+Value parse(std::string_view text) { return Parser(text, {}).run(); }
+
+Value parse(std::string_view text, const ParseOptions& options) {
+  return Parser(text, options).run();
+}
 
 }  // namespace oftec::util::json

@@ -94,10 +94,33 @@ class Value {
   Object object_;
 };
 
+/// What to do when an object repeats a key. The default mirrors what the
+/// parser has always done (and what most JSON libraries do): the last
+/// occurrence wins. Network-facing codecs should reject instead — duplicate
+/// keys are a classic smuggling vector when two layers disagree on which
+/// copy is authoritative.
+enum class DuplicateKeyPolicy {
+  kKeepLast,  ///< later occurrences overwrite earlier ones (default)
+  kError,     ///< duplicate key is a parse error
+};
+
+/// Limits for parsing untrusted input. The defaults are safe for trusted,
+/// locally-generated documents (obs reports, test fixtures); anything read
+/// off a socket should pass explicit tighter limits.
+struct ParseOptions {
+  /// Maximum container nesting depth (objects + arrays). Deeply nested
+  /// documents otherwise recurse once per level and can exhaust the stack.
+  std::size_t max_depth = 256;
+  /// Maximum input size in bytes; 0 = unlimited.
+  std::size_t max_input_bytes = 0;
+  DuplicateKeyPolicy duplicate_keys = DuplicateKeyPolicy::kKeepLast;
+};
+
 /// Parse a complete JSON document (trailing whitespace allowed, trailing
 /// garbage is an error). Throws std::runtime_error with an offset-annotated
-/// message on malformed input.
+/// message on malformed input or any violated ParseOptions limit.
 [[nodiscard]] Value parse(std::string_view text);
+[[nodiscard]] Value parse(std::string_view text, const ParseOptions& options);
 
 /// Escape a string body per JSON rules (quotes not included).
 [[nodiscard]] std::string escape(std::string_view s);

@@ -53,6 +53,23 @@ std::atomic<Level> g_level{initial_level()};
 std::atomic<int> g_prefix{initial_prefix()};
 std::mutex g_mutex;
 
+// File sink state, guarded by g_mutex (same lock as line emission, so a
+// sink swap never splits a line between files).
+std::FILE* g_file = nullptr;
+std::string& file_path_storage() {
+  static std::string path;
+  return path;
+}
+
+struct EnvFileSinkInit {
+  EnvFileSinkInit() {
+    if (const char* env = std::getenv("OFTEC_LOG_FILE");
+        env != nullptr && *env != '\0') {
+      (void)set_file(env);
+    }
+  }
+} g_env_file_sink_init;
+
 /// Small sequential thread id (first-use order), easier to read in logs than
 /// the opaque std::thread::id hash.
 [[nodiscard]] unsigned sequential_thread_id() {
@@ -136,12 +153,38 @@ PrefixOptions prefix() noexcept {
                        (bits & kPrefixThreadId) != 0};
 }
 
+bool set_file(const std::string& path) {
+  std::FILE* next = std::fopen(path.c_str(), "a");
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_file != nullptr) std::fclose(g_file);
+  g_file = next;
+  file_path_storage() = next != nullptr ? path : std::string();
+  return next != nullptr;
+}
+
+void close_file() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_file != nullptr) std::fclose(g_file);
+  g_file = nullptr;
+  file_path_storage().clear();
+}
+
+std::string file_path() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return file_path_storage();
+}
+
 void write(Level lvl, std::string_view msg) {
   if (!enabled(lvl)) return;
   const std::string pre = detail::format_prefix(prefix());
   const std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "%s[oftec %s] %.*s\n", pre.c_str(), tag(lvl),
                static_cast<int>(msg.size()), msg.data());
+  if (g_file != nullptr) {
+    std::fprintf(g_file, "%s[oftec %s] %.*s\n", pre.c_str(), tag(lvl),
+                 static_cast<int>(msg.size()), msg.data());
+    std::fflush(g_file);
+  }
 }
 
 }  // namespace oftec::log

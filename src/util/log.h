@@ -11,6 +11,9 @@
 //   OFTEC_LOG_PREFIX  extra line prefix fields — comma/space separated list
 //                     of "time" (HH:MM:SS.mmm) and "tid" (sequential
 //                     per-process thread id)
+//   OFTEC_LOG_FILE    append every emitted line to this file as well as
+//                     stderr (created if absent) — lets a daemonized server
+//                     log without a TTY
 #pragma once
 
 #include <sstream>
@@ -39,6 +42,19 @@ void set_level(Level level) noexcept;
 /// Set/get the per-line prefix configuration.
 void set_prefix(PrefixOptions options) noexcept;
 [[nodiscard]] PrefixOptions prefix() noexcept;
+
+/// Mirror every emitted line into `path` (append mode, line-buffered via an
+/// explicit flush so a crash loses at most the in-flight line). Replaces any
+/// previously configured sink; false if the file cannot be opened (the
+/// previous sink, if any, is closed either way). Initialized from
+/// OFTEC_LOG_FILE before main.
+bool set_file(const std::string& path);
+
+/// Stop mirroring to a file (stderr output is unaffected).
+void close_file();
+
+/// Path of the active file sink; empty when none.
+[[nodiscard]] std::string file_path();
 
 /// Emit one message (appends a newline). Thread-safe.
 void write(Level lvl, std::string_view msg);

@@ -1,0 +1,280 @@
+// Codec round-trips and malformed-input rejection for the oftec-serve wire
+// protocol, plus transport-level framing tests over a real loopback socket.
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "serve/wire.h"
+
+namespace oftec::serve {
+namespace {
+
+constexpr std::size_t kMax = kDefaultMaxFrameBytes;
+
+TEST(ServeProtocol, SolveRequestRoundTrip) {
+  Request req;
+  req.id = 42;
+  req.type = RequestType::kSolve;
+  req.deadline_ms = 12.5;
+  req.params = SolveParams{7, 123.456789012345678, 2.5};
+
+  const Request back = decode_request(encode_request(req), kMax);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.type, RequestType::kSolve);
+  EXPECT_DOUBLE_EQ(back.deadline_ms, 12.5);
+  const auto& p = std::get<SolveParams>(back.params);
+  EXPECT_EQ(p.session, 7u);
+  // %.17g round-trips doubles bit-exactly.
+  EXPECT_EQ(p.omega, 123.456789012345678);
+  EXPECT_EQ(p.current, 2.5);
+}
+
+TEST(ServeProtocol, BindRequestRoundTrip) {
+  Request req;
+  req.id = 1;
+  req.type = RequestType::kBind;
+  BindParams bind;
+  bind.benchmark = "susan";
+  bind.grid_nx = 8;
+  bind.grid_ny = 8;
+  bind.t_max_c = 85.0;
+  bind.with_tec = false;
+  bind.direct_solve = true;
+  bind.lut_training = {"fft", "susan"};
+  req.params = bind;
+
+  const Request back = decode_request(encode_request(req), kMax);
+  const auto& p = std::get<BindParams>(back.params);
+  EXPECT_EQ(p.benchmark, "susan");
+  EXPECT_EQ(p.grid_nx, 8u);
+  EXPECT_EQ(p.grid_ny, 8u);
+  EXPECT_DOUBLE_EQ(p.t_max_c, 85.0);
+  EXPECT_FALSE(p.with_tec);
+  EXPECT_TRUE(p.direct_solve);
+  ASSERT_EQ(p.lut_training.size(), 2u);
+  EXPECT_EQ(p.lut_training[1], "susan");
+}
+
+TEST(ServeProtocol, AllRequestTypesSurviveEncodeDecode) {
+  std::vector<Request> requests;
+  requests.push_back({1, RequestType::kPing, 0.0, {}});
+  Request bind{2, RequestType::kBind, 0.0, {}};
+  BindParams bp;
+  bp.power_w = {1.0, 2.0, 3.0};
+  bind.params = bp;
+  requests.push_back(bind);
+  requests.push_back({3, RequestType::kUnbind, 0.0, SessionParams{5}});
+  requests.push_back({4, RequestType::kSolve, 0.0, SolveParams{5, 100.0, 1.0}});
+  requests.push_back(
+      {5, RequestType::kControl, 0.0, ControlParams{5, "min_temperature"}});
+  requests.push_back({6, RequestType::kLut, 0.0, LutParams{5, {1.0, 2.0}}});
+  TransientParams tp;
+  tp.session = 5;
+  tp.omega = 200.0;
+  tp.duration_s = 0.1;
+  requests.push_back({7, RequestType::kTransient, 0.0, tp});
+  requests.push_back({8, RequestType::kStats, 0.0, SessionParams{0}});
+  requests.push_back({9, RequestType::kSleep, 0.0, SleepParams{15.0}});
+
+  for (const Request& req : requests) {
+    const Request back = decode_request(encode_request(req), kMax);
+    EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.type, req.type);
+    EXPECT_EQ(back.params.index(), req.params.index())
+        << "type " << request_type_name(req.type);
+  }
+}
+
+TEST(ServeProtocol, ResponseRoundTripOkAndError) {
+  SolveReply reply;
+  reply.runaway = false;
+  reply.max_chip_temperature_k = 351.2345678901234;
+  reply.leakage_w = 10.5;
+  reply.tec_w = 2.25;
+  reply.fan_w = 0.125;
+  reply.iterations = 6;
+  const Response ok = make_ok_response(9, solve_result_json(reply));
+  const Response ok_back = decode_response(encode_response(ok), kMax);
+  EXPECT_TRUE(ok_back.ok);
+  EXPECT_EQ(ok_back.id, 9u);
+  const SolveReply r = parse_solve_reply(ok_back.result);
+  EXPECT_EQ(r.max_chip_temperature_k, 351.2345678901234);
+  EXPECT_EQ(r.leakage_w, 10.5);
+  EXPECT_EQ(r.iterations, 6u);
+
+  const Response err =
+      make_error_response(10, kErrOverloaded, "queue full", 5.0);
+  const Response err_back = decode_response(encode_response(err), kMax);
+  EXPECT_FALSE(err_back.ok);
+  EXPECT_EQ(err_back.error.code, kErrOverloaded);
+  EXPECT_EQ(err_back.error.message, "queue full");
+  EXPECT_DOUBLE_EQ(err_back.error.retry_after_ms, 5.0);
+}
+
+TEST(ServeProtocol, RunawayInfinityRoundTripsThroughNull) {
+  SolveReply reply;
+  reply.runaway = true;
+  reply.max_chip_temperature_k = std::numeric_limits<double>::infinity();
+  const Response resp = make_ok_response(1, solve_result_json(reply));
+  const Response back = decode_response(encode_response(resp), kMax);
+  const SolveReply r = parse_solve_reply(back.result);
+  EXPECT_TRUE(r.runaway);
+  EXPECT_TRUE(std::isinf(r.max_chip_temperature_k));
+}
+
+void expect_decode_error(const std::string& payload, const char* code) {
+  try {
+    (void)decode_request(payload, kMax);
+    FAIL() << "expected ProtocolError for: " << payload;
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), code) << payload;
+  }
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  expect_decode_error("not json at all", kErrBadRequest);
+  expect_decode_error("[1,2,3]", kErrBadRequest);
+  expect_decode_error(R"({"id":1,"type":"ping"})", kErrBadRequest);  // no v
+  expect_decode_error(R"({"v":2,"id":1,"type":"ping"})", kErrBadRequest);
+  expect_decode_error(R"({"v":1,"type":"ping"})", kErrBadRequest);  // no id
+  expect_decode_error(R"({"v":1,"id":1})", kErrBadRequest);  // no type
+  expect_decode_error(R"({"v":1,"id":1,"type":"warp"})", kErrUnknownType);
+  expect_decode_error(R"({"v":1,"id":1,"type":"ping","deadline_ms":-5})",
+                      kErrBadRequest);
+  // Hardened parse options: duplicate keys are an error on the wire.
+  expect_decode_error(R"({"v":1,"v":1,"id":1,"type":"ping"})",
+                      kErrBadRequest);
+  // Depth cap (wire_parse_options uses max_depth = 16).
+  std::string deep = R"({"v":1,"id":1,"type":"solve","params":)";
+  for (int i = 0; i < 30; ++i) deep += R"({"a":)";
+  deep += "1";
+  for (int i = 0; i < 30; ++i) deep += "}";
+  deep += "}";
+  expect_decode_error(deep, kErrBadRequest);
+}
+
+TEST(ServeProtocol, ParamValidation) {
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"solve","params":{"session":1,"omega":1e999,"current":0}})",
+      kErrBadRequest);  // 1e999 parses to inf → rejected as non-finite
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"bind","params":{}})", kErrBadRequest);
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"bind","params":{"benchmark":"x","power_w":[1]}})",
+      kErrBadRequest);  // both workload sources
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"bind","params":{"benchmark":"x","grid_nx":1}})",
+      kErrBadRequest);
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"transient","params":{"session":1,"omega":0,"current":0,"duration_s":-1}})",
+      kErrBadRequest);
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"sleep","params":{"ms":900000}})",
+      kErrBadRequest);
+}
+
+TEST(ServeProtocol, DecodeErrorCarriesRequestId) {
+  try {
+    (void)decode_request(
+        R"({"v":1,"id":77,"type":"solve","params":{"session":1}})", kMax);
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.id(), 77u);  // id decoded before the params failed
+  }
+  try {
+    (void)decode_request(R"({"v":1,"type":"ping"})", kMax);
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.id(), 0u);  // id never decoded
+  }
+}
+
+// --- framing over a real loopback connection -------------------------------
+
+struct WirePair {
+  Listener listener;
+  Socket client;
+  Socket server;
+
+  WirePair() {
+    listener = Listener::listen_loopback(0);
+    client = Socket::connect_loopback(listener.port());
+    server = listener.accept();
+    EXPECT_TRUE(client.valid());
+    EXPECT_TRUE(server.valid());
+  }
+};
+
+TEST(ServeWire, FrameRoundTrip) {
+  WirePair w;
+  ASSERT_TRUE(write_frame(w.client.fd(), R"({"v":1})"));
+  ASSERT_TRUE(write_frame(w.client.fd(), ""));  // empty payload is legal
+  std::string payload;
+  ASSERT_EQ(read_frame(w.server.fd(), payload, kMax), ReadStatus::kOk);
+  EXPECT_EQ(payload, R"({"v":1})");
+  ASSERT_EQ(read_frame(w.server.fd(), payload, kMax), ReadStatus::kOk);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(ServeWire, CleanEofOnFrameBoundary) {
+  WirePair w;
+  ASSERT_TRUE(write_frame(w.client.fd(), "x"));
+  w.client.close();
+  std::string payload;
+  ASSERT_EQ(read_frame(w.server.fd(), payload, kMax), ReadStatus::kOk);
+  EXPECT_EQ(read_frame(w.server.fd(), payload, kMax), ReadStatus::kClosed);
+}
+
+TEST(ServeWire, OversizedDeclarationRejectedBeforeBuffering) {
+  WirePair w;
+  // Prefix declares 2 MiB; reader caps at 1 KiB and must refuse without
+  // waiting for (or allocating) the payload.
+  const unsigned char prefix[4] = {0x00, 0x20, 0x00, 0x00};
+  ASSERT_EQ(::send(w.client.fd(), prefix, 4, 0), 4);
+  std::string payload;
+  EXPECT_EQ(read_frame(w.server.fd(), payload, 1024), ReadStatus::kTooLarge);
+}
+
+TEST(ServeWire, TruncatedPrefixAndPayload) {
+  {
+    WirePair w;
+    const unsigned char half_prefix[2] = {0x00, 0x00};
+    ASSERT_EQ(::send(w.client.fd(), half_prefix, 2, 0), 2);
+    w.client.close();
+    std::string payload;
+    EXPECT_EQ(read_frame(w.server.fd(), payload, kMax),
+              ReadStatus::kTruncated);
+  }
+  {
+    WirePair w;
+    const unsigned char prefix[4] = {0x00, 0x00, 0x00, 0x10};  // promises 16
+    ASSERT_EQ(::send(w.client.fd(), prefix, 4, 0), 4);
+    ASSERT_EQ(::send(w.client.fd(), "abc", 3, 0), 3);  // delivers 3
+    w.client.close();
+    std::string payload;
+    EXPECT_EQ(read_frame(w.server.fd(), payload, kMax),
+              ReadStatus::kTruncated);
+  }
+}
+
+TEST(ServeWire, ShutdownReadUnblocksBlockedReader) {
+  WirePair w;
+  std::string payload;
+  ReadStatus status = ReadStatus::kOk;
+  std::thread reader([&] {
+    status = read_frame(w.server.fd(), payload, kMax);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  w.server.shutdown_read();
+  reader.join();
+  EXPECT_NE(status, ReadStatus::kOk);
+}
+
+}  // namespace
+}  // namespace oftec::serve

@@ -1,0 +1,393 @@
+// End-to-end tests for the oftec-serve server core: the tier-1 loopback
+// smoke test (concurrent clients, responses bit-identical to direct
+// CoolingSystem calls), deterministic overload shedding, deadline expiry,
+// and graceful drain-on-shutdown.
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/cooling_system.h"
+#include "floorplan/ev6.h"
+#include "gtest/gtest.h"
+#include "power/mcpat_like.h"
+#include "serve/client.h"
+#include "workload/benchmarks.h"
+
+namespace oftec::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kGrid = 8;  // keeps each solve at ~a millisecond
+
+BindParams susan_bind() {
+  BindParams params;
+  params.benchmark = "susan";
+  params.grid_nx = kGrid;
+  params.grid_ny = kGrid;
+  return params;
+}
+
+/// Spin until `pred` holds (deadline-guarded so a regression fails loudly
+/// instead of hanging the suite).
+template <typename Pred>
+void wait_until(Pred pred, std::chrono::milliseconds limit = 5000ms) {
+  const auto give_up = std::chrono::steady_clock::now() + limit;
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "condition not reached in time";
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+TEST(ServeServer, PingBindSolveUnbind) {
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  client.ping();
+
+  const BindReply chip = client.bind(susan_bind());
+  EXPECT_GT(chip.session, 0u);
+  EXPECT_GT(chip.omega_max, 0.0);
+  EXPECT_TRUE(chip.has_tec);
+  EXPECT_FALSE(chip.blocks.empty());
+
+  const SolveReply r =
+      client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(r.runaway);
+  EXPECT_GT(r.max_chip_temperature_k, 300.0);
+  EXPECT_GT(r.leakage_w, 0.0);
+
+  EXPECT_TRUE(client.unbind(chip.session));
+  EXPECT_FALSE(client.unbind(chip.session));
+  try {
+    (void)client.solve(chip.session, 100.0, 0.0);
+    FAIL() << "solve on an unbound session must fail";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), kErrUnknownSession);
+  }
+  server.stop();
+}
+
+TEST(ServeServer, StructuredErrorsForBadInput) {
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  try {  // operating point outside the box
+    (void)client.solve(chip.session, 10.0 * chip.omega_max, 0.0);
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), kErrBadRequest);
+  }
+  try {  // no LUT was trained at bind time
+    (void)client.lut(chip.session, std::vector<double>(chip.blocks.size(), 1.0));
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), kErrBadRequest);
+  }
+  try {  // unknown benchmark is a structured error, not a dropped connection
+    BindParams bad = susan_bind();
+    bad.benchmark = "no-such-benchmark";
+    (void)client.bind(bad);
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), kErrBadRequest);
+  }
+  client.ping();  // connection survived all of the above
+  server.stop();
+}
+
+TEST(ServeServer, MalformedFrameDropsConnectionOnly) {
+  Server server;
+  server.start();
+  Client good = Client::connect(server.port());
+  const BindReply chip = good.bind(susan_bind());
+
+  // A raw socket sends garbage bytes with an honest frame prefix: the server
+  // answers with a structured bad_request (the frame was well-formed).
+  Socket raw = Socket::connect_loopback(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(write_frame(raw.fd(), "this is not json"));
+  std::string payload;
+  ASSERT_EQ(read_frame(raw.fd(), payload, kDefaultMaxFrameBytes),
+            ReadStatus::kOk);
+  const Response resp = decode_response(payload, kDefaultMaxFrameBytes);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error.code, kErrBadRequest);
+
+  // An oversized frame declaration is unrecoverable: connection dropped...
+  const unsigned char huge[4] = {0x7f, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(raw.fd(), huge, 4, 0), 4);
+  EXPECT_EQ(read_frame(raw.fd(), payload, kDefaultMaxFrameBytes),
+            ReadStatus::kClosed);
+
+  // ...while other connections are untouched.
+  const SolveReply r = good.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(r.runaway);
+  server.stop();
+}
+
+// The tier-1 smoke test from the issue: N concurrent clients hammer one
+// session with pipelined solves; every response must be bit-identical to a
+// direct CoolingSystem::evaluate call on the same configuration.
+TEST(ServeServer, ConcurrentClientsBitIdenticalToDirectCalls) {
+  ServerOptions opts;
+  opts.max_batch_size = 16;
+  Server server(opts);
+  server.start();
+
+  Client admin = Client::connect(server.port());
+  const BindReply chip = admin.bind(susan_bind());
+
+  // The direct reference: same floorplan, workload, leakage, and grid.
+  const floorplan::Floorplan fp = floorplan::make_ev6_floorplan();
+  const power::LeakageModel leakage =
+      power::characterize_leakage(fp, power::ProcessConfig{});
+  core::CoolingSystem::Config cfg;
+  cfg.grid_nx = kGrid;
+  cfg.grid_ny = kGrid;
+  const core::CoolingSystem direct(
+      fp,
+      workload::peak_power_map(
+          workload::profile_for(workload::Benchmark::kSusan), fp),
+      leakage, cfg);
+  ASSERT_EQ(direct.omega_max(), chip.omega_max);
+  ASSERT_EQ(direct.current_max(), chip.current_max);
+
+  // 3x3 sweep; all clients issue the same points so the batcher gets real
+  // dedup opportunities while responses stay per-request.
+  std::vector<std::pair<double, double>> points;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      points.emplace_back(chip.omega_max * (0.3 + 0.2 * i),
+                          chip.current_max * (0.1 + 0.15 * j));
+    }
+  }
+
+  constexpr std::size_t kClients = 8;
+  std::vector<std::map<std::uint64_t, std::pair<double, double>>> issued(
+      kClients);
+  std::vector<std::map<std::uint64_t, SolveReply>> received(kClients);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client = Client::connect(server.port());
+      for (const auto& [omega, current] : points) {
+        issued[c][client.send_solve(chip.session, omega, current)] = {omega,
+                                                                      current};
+      }
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        Response resp = client.recv();
+        ASSERT_TRUE(resp.ok) << resp.error.message;
+        received[c][resp.id] = parse_solve_reply(resp.result);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(received[c].size(), points.size());
+    for (const auto& [id, reply] : received[c]) {
+      const auto& [omega, current] = issued[c].at(id);
+      const core::Evaluation& ref = direct.evaluate(omega, current);
+      EXPECT_EQ(reply.runaway, ref.runaway);
+      // Bit-identical, not approximately equal: same engine, same initial
+      // guess, %.17g on the wire.
+      EXPECT_EQ(reply.max_chip_temperature_k, ref.max_chip_temperature);
+      EXPECT_EQ(reply.leakage_w, ref.power.leakage);
+      EXPECT_EQ(reply.tec_w, ref.power.tec);
+      EXPECT_EQ(reply.fan_w, ref.power.fan);
+    }
+  }
+
+  // With 8 clients pipelining identical sweeps, batching must have coalesced
+  // at least some duplicate points.
+  const Server::Counters counters = server.counters();
+  EXPECT_GT(counters.batches, 0u);
+  EXPECT_GT(counters.dedup_hits, 0u);
+  server.stop();
+}
+
+TEST(ServeServer, OverloadShedsDeterministically) {
+  ServerOptions opts;
+  opts.max_batch_size = 1;
+  opts.max_queue_depth = 2;
+  opts.enable_test_requests = true;
+  Server server(opts);
+  server.start();
+
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  // Occupy the batcher, then wait until it is mid-sleep with an empty queue
+  // — from here admission outcomes are fully deterministic. Requiring
+  // admitted == 2 (bind + sleep) with the queue drained pins `executing` to
+  // the sleep itself, not the tail of the bind.
+  const std::uint64_t sleep_id = client.send_sleep(400.0);
+  wait_until([&] {
+    return server.counters().admitted == 2 && server.queue_depth() == 0 &&
+           server.executing();
+  });
+
+  // Capacity is 2: first two solves are admitted, the rest shed immediately.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(client.send_solve(chip.session, 0.5 * chip.omega_max, 0.0));
+  }
+  wait_until([&] { return server.counters().shed == 2; });
+
+  std::size_t ok_solves = 0;
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < ids.size() + 1; ++i) {  // + the sleep response
+    const Response resp = client.recv();
+    if (resp.id == sleep_id) {
+      EXPECT_TRUE(resp.ok);
+      continue;
+    }
+    if (resp.ok) {
+      ++ok_solves;
+    } else {
+      ++shed;
+      EXPECT_EQ(resp.error.code, kErrOverloaded);
+      EXPECT_GT(resp.error.retry_after_ms, 0.0);  // structured backpressure
+    }
+  }
+  EXPECT_EQ(ok_solves, 2u);
+  EXPECT_EQ(shed, 2u);
+
+  // Inline requests kept working throughout (ping answered by the reader
+  // thread, not the busy batcher) — verified implicitly by recv above and
+  // explicitly here.
+  client.ping();
+  server.stop();
+}
+
+TEST(ServeServer, DeadlineExpiresWhileQueued) {
+  ServerOptions opts;
+  opts.max_batch_size = 1;
+  opts.enable_test_requests = true;
+  Server server(opts);
+  server.start();
+
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  const std::uint64_t sleep_id = client.send_sleep(300.0);
+  wait_until([&] {
+    return server.counters().admitted == 2 && server.queue_depth() == 0 &&
+           server.executing();
+  });
+
+  // 50 ms deadline behind a 300 ms sleep: must expire, never execute.
+  Request doomed;
+  doomed.type = RequestType::kSolve;
+  doomed.deadline_ms = 50.0;
+  doomed.params = SolveParams{chip.session, 0.5 * chip.omega_max, 0.0};
+  const std::uint64_t doomed_id = client.send(std::move(doomed));
+
+  const Response sleep_resp = client.recv_for(sleep_id);
+  EXPECT_TRUE(sleep_resp.ok);
+  const Response resp = client.recv_for(doomed_id);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error.code, kErrDeadlineExceeded);
+  EXPECT_EQ(server.counters().deadline_expired, 1u);
+  server.stop();
+}
+
+TEST(ServeServer, StopDrainsAdmittedWork) {
+  ServerOptions opts;
+  opts.max_batch_size = 1;
+  opts.enable_test_requests = true;
+  Server server(opts);
+  server.start();
+
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  (void)client.send_sleep(200.0);
+  wait_until([&] {
+    return server.counters().admitted == 2 && server.queue_depth() == 0 &&
+           server.executing();
+  });
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(
+        client.send_solve(chip.session, (0.3 + 0.1 * i) * chip.omega_max, 0.0));
+  }
+  // bind + sleep + 3 solves admitted; stop() must complete all of them.
+  wait_until([&] { return server.counters().admitted >= 5; });
+
+  server.stop();  // blocks until drained, flushed, joined
+
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < ids.size() + 1; ++i) {
+    const Response resp = client.recv();
+    if (resp.ok) ++ok;
+  }
+  EXPECT_EQ(ok, ids.size() + 1);  // every admitted request was answered
+  const Server::Counters counters = server.counters();
+  EXPECT_EQ(counters.completed, counters.admitted);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeServer, StatsReportEngineCounters) {
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  BindParams bind = susan_bind();
+  bind.direct_solve = true;  // exercise the factor-cache path
+  const BindReply chip = client.bind(bind);
+
+  (void)client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  (void)client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+
+  const util::json::Value stats = client.stats(chip.session);
+  const util::json::Value* srv = stats.find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_GE(srv->find("requests")->as_number(), 3.0);
+  const util::json::Value* session = stats.find("session");
+  ASSERT_NE(session, nullptr);
+  const util::json::Value* engine = session->find("engine");
+  ASSERT_NE(engine, nullptr);
+  // The repeated point either hit the evaluation memo or the factor cache;
+  // points were definitely evaluated.
+  EXPECT_GE(engine->find("points")->as_number(), 1.0);
+  server.stop();
+}
+
+TEST(ServeServer, TransientStateAdvancesPerSession) {
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  TransientParams step;
+  step.session = chip.session;
+  step.omega = 0.5 * chip.omega_max;
+  step.current = 0.0;
+  step.duration_s = 0.02;
+  step.time_step_s = 1e-3;
+  step.reset = true;
+  const TransientReply first = client.transient(step);
+  EXPECT_FALSE(first.runaway);
+  EXPECT_EQ(first.steps, 20u);
+  EXPECT_DOUBLE_EQ(first.time_s, 0.02);
+
+  step.reset = false;
+  const TransientReply second = client.transient(step);
+  EXPECT_DOUBLE_EQ(second.time_s, 0.04);
+  // Heating toward steady state: the chip keeps warming monotonically.
+  EXPECT_GE(second.final_max_chip_temperature_k,
+            first.final_max_chip_temperature_k);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace oftec::serve

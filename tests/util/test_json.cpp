@@ -80,6 +80,53 @@ TEST(Json, TypedAccessorsThrowOnMismatch) {
   EXPECT_EQ(v.find("anything"), nullptr);  // non-object lookup is nullptr
 }
 
+TEST(Json, DepthLimitRejectsDeepNesting) {
+  const std::string deep =
+      std::string(10, '[') + "1" + std::string(10, ']');
+  ParseOptions limits;
+  limits.max_depth = 10;
+  EXPECT_NO_THROW(parse(deep, limits));
+  limits.max_depth = 9;
+  EXPECT_THROW(parse(deep, limits), std::runtime_error);
+  // Objects count toward the same depth budget as arrays.
+  limits.max_depth = 1;
+  EXPECT_NO_THROW(parse(R"({"a":1})", limits));
+  EXPECT_THROW(parse(R"({"a":[1]})", limits), std::runtime_error);
+  // The default limit protects against stack exhaustion on its own.
+  const std::string hostile(100000, '[');
+  EXPECT_THROW(parse(hostile), std::runtime_error);
+}
+
+TEST(Json, DepthIsReleasedBetweenSiblings) {
+  // Siblings at the same level must not accumulate: [[1],[2],[3]] is depth 2.
+  ParseOptions limits;
+  limits.max_depth = 2;
+  EXPECT_NO_THROW(parse("[[1],[2],[3]]", limits));
+}
+
+TEST(Json, InputSizeCapRejectsOversizedDocuments) {
+  ParseOptions limits;
+  limits.max_input_bytes = 8;
+  EXPECT_NO_THROW(parse("[1,2,3]", limits));
+  EXPECT_THROW(parse("[1,2,3,4]", limits), std::runtime_error);
+  limits.max_input_bytes = 0;  // 0 = unlimited
+  EXPECT_NO_THROW(parse(std::string(1000, ' ') + "1", limits));
+}
+
+TEST(Json, DuplicateKeysKeepLastByDefault) {
+  const Value v = parse(R"({"a":1,"a":2})");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 2.0);
+}
+
+TEST(Json, DuplicateKeysRejectedWhenPolicySaysError) {
+  ParseOptions strict;
+  strict.duplicate_keys = DuplicateKeyPolicy::kError;
+  EXPECT_THROW(parse(R"({"a":1,"a":2})", strict), std::runtime_error);
+  EXPECT_THROW(parse(R"({"x":{"a":1,"b":2,"a":3}})", strict),
+               std::runtime_error);
+  EXPECT_NO_THROW(parse(R"({"a":1,"b":{"a":2}})", strict));  // nested re-use ok
+}
+
 TEST(Json, EscapeProducesValidBodies) {
   EXPECT_EQ(escape("plain"), "plain");
   EXPECT_EQ(escape("a\"b"), "a\\\"b");

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 namespace oftec::log {
 namespace {
 
@@ -106,6 +111,63 @@ TEST(Log, FormatPrefixShapes) {
   EXPECT_EQ(tid.front(), 't');
   EXPECT_EQ(tid.back(), ' ');
   EXPECT_EQ(tid, detail::format_prefix({.thread_id = true}));
+}
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Log, FileSinkMirrorsEmittedLines) {
+  const LogLevelGuard guard;
+  set_level(Level::kInfo);
+  const std::string path =
+      ::testing::TempDir() + "oftec_log_sink_test.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(set_file(path));
+  EXPECT_EQ(file_path(), path);
+
+  info("file sink line ", 1);
+  debug("below threshold, must not appear");
+  close_file();
+  EXPECT_TRUE(file_path().empty());
+
+  const std::string contents = slurp(path);
+  EXPECT_NE(contents.find("[oftec INFO ] file sink line 1\n"),
+            std::string::npos);
+  EXPECT_EQ(contents.find("below threshold"), std::string::npos);
+
+  // After close_file(), emission continues (stderr only) without touching
+  // the old file.
+  info("after close");
+  EXPECT_EQ(slurp(path).find("after close"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Log, FileSinkAppendsAcrossReopens) {
+  const LogLevelGuard guard;
+  set_level(Level::kInfo);
+  const std::string path =
+      ::testing::TempDir() + "oftec_log_append_test.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(set_file(path));
+  info("first");
+  close_file();
+  ASSERT_TRUE(set_file(path));  // append mode: "first" survives
+  info("second");
+  close_file();
+  const std::string contents = slurp(path);
+  EXPECT_NE(contents.find("first"), std::string::npos);
+  EXPECT_NE(contents.find("second"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Log, SetFileFailureClearsSinkAndReturnsFalse) {
+  EXPECT_FALSE(set_file("/nonexistent-dir-for-oftec-test/x.log"));
+  EXPECT_TRUE(file_path().empty());
+  close_file();  // no-op on an empty sink
 }
 
 }  // namespace

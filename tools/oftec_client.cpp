@@ -1,0 +1,279 @@
+// oftec_client — command-line front end for oftec-serve.
+//
+//   oftec_client serve  [--port N] [--batch N] [--delay-us N] [--queue N]
+//   oftec_client ping   --port N
+//   oftec_client bind   --port N (--benchmark NAME | --power "w0,w1,...")
+//                       [--grid N] [--t-max-c X] [--no-tec] [--direct]
+//                       [--lut-train "b0,b1,..."]
+//   oftec_client unbind --port N --session S
+//   oftec_client solve  --port N --session S --omega W --current I
+//   oftec_client control --port N --session S [--objective oftec|min_temperature]
+//   oftec_client lut    --port N --session S --power "w0,w1,..."
+//   oftec_client transient --port N --session S --omega W --current I
+//                       --duration T [--step DT] [--reset]
+//   oftec_client stats  --port N [--session S]
+//
+// `serve` runs a daemon on the loopback interface until SIGINT/SIGTERM;
+// every other command connects, performs one RPC, prints the reply, and
+// exits non-zero on a structured error.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace oftec;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: oftec_client <serve|ping|bind|unbind|solve|control|"
+               "lut|transient|stats> [--flag value ...]\n"
+               "see the header of tools/oftec_client.cpp for details\n");
+  std::exit(2);
+}
+
+/// "--key value" pairs plus boolean "--key" flags (value "1").
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage();
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+double num_flag(const std::map<std::string, std::string>& flags,
+                const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+bool has_flag(const std::map<std::string, std::string>& flags,
+              const std::string& key) {
+  return flags.count(key) != 0;
+}
+
+std::vector<double> parse_power_list(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& tok : util::split(csv, ',')) {
+    out.push_back(std::stod(std::string(util::trim(tok))));
+  }
+  return out;
+}
+
+serve::Client connect_from(const std::map<std::string, std::string>& flags) {
+  const double port = num_flag(flags, "port", 0.0);
+  if (port <= 0.0 || port > 65535.0) {
+    std::fprintf(stderr, "error: --port is required (1-65535)\n");
+    std::exit(2);
+  }
+  return serve::Client::connect(static_cast<std::uint16_t>(port));
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  serve::ServerOptions opts;
+  opts.port = static_cast<std::uint16_t>(num_flag(flags, "port", 0.0));
+  opts.max_batch_size =
+      static_cast<std::size_t>(num_flag(flags, "batch", 16.0));
+  opts.max_delay_us =
+      static_cast<std::uint64_t>(num_flag(flags, "delay-us", 2000.0));
+  opts.max_queue_depth =
+      static_cast<std::size_t>(num_flag(flags, "queue", 256.0));
+  serve::Server server(opts);
+  server.start();
+  std::printf("oftec-serve listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  server.stop();
+  const serve::Server::Counters c = server.counters();
+  std::printf("served %llu requests (%llu shed, %llu batches)\n",
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.batches));
+  return 0;
+}
+
+int cmd_ping(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  client.ping();
+  std::printf("ok\n");
+  return 0;
+}
+
+int cmd_bind(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  serve::BindParams params;
+  params.benchmark = flag_or(flags, "benchmark", "");
+  if (has_flag(flags, "power")) {
+    params.power_w = parse_power_list(flags.at("power"));
+  }
+  const auto grid = static_cast<std::size_t>(num_flag(flags, "grid", 10.0));
+  params.grid_nx = grid;
+  params.grid_ny = grid;
+  params.t_max_c = num_flag(flags, "t-max-c", 0.0);
+  params.with_tec = !has_flag(flags, "no-tec");
+  params.direct_solve = has_flag(flags, "direct");
+  if (has_flag(flags, "lut-train")) {
+    for (const std::string& tok : util::split(flags.at("lut-train"), ',')) {
+      params.lut_training.emplace_back(util::trim(tok));
+    }
+  }
+  const serve::BindReply r = client.bind(params);
+  std::printf("session %llu  T_max=%.2f C  omega_max=%.0f RPM  "
+              "I_max=%.2f A  tec=%s  blocks=%zu\n",
+              static_cast<unsigned long long>(r.session),
+              units::kelvin_to_celsius(r.t_max_k),
+              units::rad_s_to_rpm(r.omega_max), r.current_max,
+              r.has_tec ? "yes" : "no", r.blocks.size());
+  return 0;
+}
+
+int cmd_unbind(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  const auto session =
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  std::printf("%s\n", client.unbind(session) ? "removed" : "not found");
+  return 0;
+}
+
+int cmd_solve(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  const auto session =
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  const serve::SolveReply r = client.solve(session,
+                                           num_flag(flags, "omega", 0.0),
+                                           num_flag(flags, "current", 0.0));
+  if (r.runaway) {
+    std::printf("RUNAWAY\n");
+  } else {
+    std::printf("T_max=%.3f C  P_leak=%.3f W  P_tec=%.3f W  P_fan=%.3f W  "
+                "(%llu newton iters)\n",
+                units::kelvin_to_celsius(r.max_chip_temperature_k),
+                r.leakage_w, r.tec_w, r.fan_w,
+                static_cast<unsigned long long>(r.iterations));
+  }
+  return 0;
+}
+
+int cmd_control(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  const auto session =
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  const serve::ControlReply r =
+      client.control(session, flag_or(flags, "objective", "oftec"));
+  std::printf("%s: %s  omega=%.0f RPM  I=%.3f A  T=%.2f C  "
+              "P_cool=%.2f W  (%.1f ms, %llu solves)\n",
+              r.objective.c_str(), r.success ? "ok" : "infeasible",
+              units::rad_s_to_rpm(r.omega), r.current,
+              units::kelvin_to_celsius(r.max_chip_temperature_k),
+              r.leakage_w + r.tec_w + r.fan_w, r.runtime_ms,
+              static_cast<unsigned long long>(r.thermal_solves));
+  return 0;
+}
+
+int cmd_lut(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  const auto session =
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  if (!has_flag(flags, "power")) usage();
+  const serve::LutReply r =
+      client.lut(session, parse_power_list(flags.at("power")));
+  std::printf("entry %llu (distance %.3f W): omega=%.0f RPM  I=%.3f A  %s\n",
+              static_cast<unsigned long long>(r.entry_index),
+              r.feature_distance, units::rad_s_to_rpm(r.omega), r.current,
+              r.feasible ? "feasible" : "INFEASIBLE");
+  return 0;
+}
+
+int cmd_transient(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  serve::TransientParams params;
+  params.session = static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  params.omega = num_flag(flags, "omega", 0.0);
+  params.current = num_flag(flags, "current", 0.0);
+  params.duration_s = num_flag(flags, "duration", 0.0);
+  params.time_step_s = num_flag(flags, "step", 1e-3);
+  params.reset = has_flag(flags, "reset");
+  const serve::TransientReply r = client.transient(params);
+  if (r.runaway) {
+    std::printf("RUNAWAY after %llu steps\n",
+                static_cast<unsigned long long>(r.steps));
+  } else {
+    std::printf("t=%.3f s  T_final=%.3f C  T_peak=%.3f C  (%llu steps)\n",
+                r.time_s,
+                units::kelvin_to_celsius(r.final_max_chip_temperature_k),
+                units::kelvin_to_celsius(r.peak_max_chip_temperature_k),
+                static_cast<unsigned long long>(r.steps));
+  }
+  return 0;
+}
+
+int cmd_stats(const std::map<std::string, std::string>& flags) {
+  serve::Client client = connect_from(flags);
+  const auto session =
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  std::printf("%s\n", client.stats(session).dump().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const std::map<std::string, std::string> flags =
+      parse_flags(argc, argv, 2);
+  try {
+    if (command == "serve") return cmd_serve(flags);
+    if (command == "ping") return cmd_ping(flags);
+    if (command == "bind") return cmd_bind(flags);
+    if (command == "unbind") return cmd_unbind(flags);
+    if (command == "solve") return cmd_solve(flags);
+    if (command == "control") return cmd_control(flags);
+    if (command == "lut") return cmd_lut(flags);
+    if (command == "transient") return cmd_transient(flags);
+    if (command == "stats") return cmd_stats(flags);
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "error [%s]: %s\n", e.code().c_str(),
+                 e.message().c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
