@@ -377,7 +377,11 @@ void decode_request_body(const json::Value& doc, Request& req) {
   }
   req.type = *type;
   req.deadline_ms = number_or(doc, "deadline_ms", 0.0);
-  if (req.deadline_ms < 0.0) bad("deadline_ms must be >= 0");
+  if (!(req.deadline_ms >= 0.0 && req.deadline_ms <= kMaxDeadlineMs)) {
+    // Also rejects NaN/inf (the JSON parser accepts e.g. 1e999 as +inf),
+    // which would make the server's deadline arithmetic overflow.
+    bad("deadline_ms must be a finite number in [0, 1e9]");
+  }
 
   const json::Value* params = doc.find("params");
   static const json::Value kEmpty = json::Value::object();

@@ -35,6 +35,11 @@ namespace oftec::serve {
 
 inline constexpr int kProtocolVersion = 1;
 
+/// Upper bound on a request's `deadline_ms` (~11.5 days). Keeps
+/// peer-controlled deadlines small enough that converting to microseconds
+/// and adding to a steady_clock time_point can never overflow.
+inline constexpr double kMaxDeadlineMs = 1e9;
+
 // Error codes (stable strings on the wire).
 inline constexpr const char* kErrBadRequest = "bad_request";
 inline constexpr const char* kErrUnknownType = "unknown_type";

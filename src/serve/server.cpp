@@ -244,7 +244,19 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
 
 void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
   while (auto message = conn->outbound.pop()) {
-    if (!write_frame(conn->socket.fd(), *message)) break;  // peer is gone
+    if (!write_frame(conn->socket.fd(), *message)) {
+      // Peer is gone. Close the outbound queue immediately so every
+      // blocked or future send() fails fast instead of waiting for queue
+      // space that will never free up — otherwise a crashed client with a
+      // backlog of undeliverable replies wedges the batcher (and a reader
+      // parked in an inline-reply push) forever. Then discard whatever was
+      // already queued so end_request's close-on-last-response still finds
+      // the queue drained.
+      conn->outbound.close();
+      while (conn->outbound.pop().has_value()) {
+      }
+      break;
+    }
   }
   // FIN the peer once every response is flushed (or undeliverable) — clients
   // of a dropped connection see EOF instead of hanging. Also unblocks a
@@ -410,51 +422,64 @@ void Server::execute_solve_batch(std::vector<Pending>& batch) {
 
     // Deduplicate identical operating points: concurrent clients asking the
     // same question get one solve, everyone gets the (bit-identical) answer.
-    std::vector<thermal::OperatingPoint> points;
-    std::map<std::pair<double, double>, std::size_t> point_index;
-    std::vector<std::size_t> result_of(indices.size());
     std::vector<bool> answered(indices.size(), false);
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      const auto& params =
-          std::get<SolveParams>(batch[indices[k]].request.params);
-      if (!session->point_in_range(params.omega, params.current)) {
-        respond(batch[indices[k]],
-                make_error_response(0, kErrBadRequest,
-                                    "operating point out of range"));
+    try {
+      std::vector<thermal::OperatingPoint> points;
+      std::map<std::pair<double, double>, std::size_t> point_index;
+      std::vector<std::size_t> result_of(indices.size());
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        const auto& params =
+            std::get<SolveParams>(batch[indices[k]].request.params);
+        if (!session->point_in_range(params.omega, params.current)) {
+          respond(batch[indices[k]],
+                  make_error_response(0, kErrBadRequest,
+                                      "operating point out of range"));
+          answered[k] = true;
+          continue;
+        }
+        const auto key = std::make_pair(params.omega, params.current);
+        const auto [it, inserted] =
+            point_index.emplace(key, points.size());
+        if (inserted) {
+          points.push_back({params.omega, params.current});
+        } else {
+          n_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+          g_obs_dedup.add();
+        }
+        result_of[k] = it->second;
+      }
+
+      if (points.empty()) continue;
+      const std::vector<thermal::SteadyResult> results =
+          session->system().engine().solve_batch(points);
+
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        if (answered[k]) continue;
+        const Pending& item = batch[indices[k]];
+        const thermal::SteadyResult& sr = results[result_of[k]];
+        const auto& params = std::get<SolveParams>(item.request.params);
+        const core::Evaluation ev = core::make_evaluation(
+            session->system().thermal_model(), sr, params.omega);
+        SolveReply reply;
+        reply.runaway = ev.runaway;
+        reply.max_chip_temperature_k = ev.max_chip_temperature;
+        reply.leakage_w = ev.power.leakage;
+        reply.tec_w = ev.power.tec;
+        reply.fan_w = ev.power.fan;
+        reply.iterations = ev.solver_iterations;
         answered[k] = true;
-        continue;
+        respond(item, make_ok_response(0, solve_result_json(reply)));
       }
-      const auto key = std::make_pair(params.omega, params.current);
-      const auto [it, inserted] =
-          point_index.emplace(key, points.size());
-      if (inserted) {
-        points.push_back({params.omega, params.current});
-      } else {
-        n_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
-        g_obs_dedup.add();
+    } catch (const std::exception& e) {
+      // Mirror execute_single: a throwing solve (solve_engine throw sites,
+      // bad_alloc on large grids) must not escape batcher_loop — answer the
+      // group's unanswered items and move on to the next group.
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        if (answered[k]) continue;
+        answered[k] = true;
+        respond(batch[indices[k]],
+                make_error_response(0, kErrInternal, e.what()));
       }
-      result_of[k] = it->second;
-    }
-
-    if (points.empty()) continue;
-    const std::vector<thermal::SteadyResult> results =
-        session->system().engine().solve_batch(points);
-
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      if (answered[k]) continue;
-      const Pending& item = batch[indices[k]];
-      const thermal::SteadyResult& sr = results[result_of[k]];
-      const auto& params = std::get<SolveParams>(item.request.params);
-      const core::Evaluation ev = core::make_evaluation(
-          session->system().thermal_model(), sr, params.omega);
-      SolveReply reply;
-      reply.runaway = ev.runaway;
-      reply.max_chip_temperature_k = ev.max_chip_temperature;
-      reply.leakage_w = ev.power.leakage;
-      reply.tec_w = ev.power.tec;
-      reply.fan_w = ev.power.fan;
-      reply.iterations = ev.solver_iterations;
-      respond(item, make_ok_response(0, solve_result_json(reply)));
     }
   }
 }

@@ -147,6 +147,15 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
   expect_decode_error(R"({"v":1,"id":1,"type":"warp"})", kErrUnknownType);
   expect_decode_error(R"({"v":1,"id":1,"type":"ping","deadline_ms":-5})",
                       kErrBadRequest);
+  // Non-finite / absurd deadlines would overflow the server's time-point
+  // arithmetic: 1e999 parses to +inf, and anything above kMaxDeadlineMs is
+  // rejected outright.
+  expect_decode_error(R"({"v":1,"id":1,"type":"ping","deadline_ms":1e999})",
+                      kErrBadRequest);
+  expect_decode_error(R"({"v":1,"id":1,"type":"ping","deadline_ms":1e300})",
+                      kErrBadRequest);
+  expect_decode_error(R"({"v":1,"id":1,"type":"ping","deadline_ms":1.1e9})",
+                      kErrBadRequest);
   // Hardened parse options: duplicate keys are an error on the wire.
   expect_decode_error(R"({"v":1,"v":1,"id":1,"type":"ping"})",
                       kErrBadRequest);

@@ -337,6 +337,132 @@ TEST(ServeServer, StopDrainsAdmittedWork) {
   EXPECT_FALSE(server.running());
 }
 
+// A client that stops reading its replies and then dies must never wedge the
+// server. Before the writer learned to close-and-drain `outbound` on write
+// failure, the stranded replies of a crashed connection could leave the
+// batcher (or a reader pushing an inline reply) blocked forever in a send()
+// against a queue nobody would ever pop again, deadlocking stop().
+TEST(ServeServer, CrashedClientWithResponseBacklogDoesNotWedgeServer) {
+  ServerOptions opts;
+  opts.max_batch_size = 8;
+  opts.max_queue_depth = 32;  // doomed connection's outbound capacity: 96
+  opts.enable_test_requests = true;
+  Server server(opts);
+  server.start();
+
+  Client admin = Client::connect(server.port());
+  const BindReply chip = admin.bind(susan_bind());
+
+  // The doomed connection: tiny kernel buffers so the reply path saturates
+  // quickly, and it never reads a single reply.
+  Socket dead = Socket::connect_loopback(server.port());
+  ASSERT_TRUE(dead.valid());
+  constexpr int kTinyBuf = 4096;
+  (void)::setsockopt(dead.fd(), SOL_SOCKET, SO_RCVBUF, &kTinyBuf,
+                     sizeof kTinyBuf);
+
+  std::uint64_t next_id = 1;
+  const auto frame = [&](RequestType type, double sleep_ms = 0.0) {
+    Request req;
+    req.id = next_id++;
+    req.type = type;
+    if (type == RequestType::kSolve) {
+      req.params = SolveParams{chip.session, 0.5 * chip.omega_max, 0.0};
+    } else if (type == RequestType::kSleep) {
+      SleepParams p;
+      p.ms = sleep_ms;
+      req.params = p;
+    }
+    const std::string payload = encode_request(req);
+    std::string framed;
+    framed.push_back(static_cast<char>((payload.size() >> 24) & 0xff));
+    framed.push_back(static_cast<char>((payload.size() >> 16) & 0xff));
+    framed.push_back(static_cast<char>((payload.size() >> 8) & 0xff));
+    framed.push_back(static_cast<char>(payload.size() & 0xff));
+    framed += payload;
+    return framed;
+  };
+  const auto send_all = [&](const std::string& bytes) {
+    ASSERT_EQ(::send(dead.fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  };
+
+  // Park the batcher in a sleep, then admit a queue's worth of solves whose
+  // replies will all target the doomed connection once the sleep ends.
+  send_all(frame(RequestType::kSleep, 400.0));
+  wait_until([&] { return server.executing(); });
+  for (std::size_t i = 0; i < opts.max_queue_depth; ++i) {
+    send_all(frame(RequestType::kSolve));
+  }
+
+  // Pump inline replies without ever reading until the reply path saturates
+  // end to end: our buffers full -> writer blocked mid-write -> outbound
+  // full -> reader blocked in push -> our sends stall persistently. Each
+  // unknown-type request echoes its 32 KiB type name back in the error
+  // reply, so the 96-slot outbound queue plus every kernel buffer in the
+  // path (autotuned up to a few MB each) overflows well before the
+  // 2000-frame (~64 MiB) cap.
+  const std::string big_error_payload =
+      R"({"v":1,"id":7,"type":")" + std::string(32 * 1024, 'x') + R"("})";
+  std::string big_error;
+  big_error.push_back(
+      static_cast<char>((big_error_payload.size() >> 24) & 0xff));
+  big_error.push_back(
+      static_cast<char>((big_error_payload.size() >> 16) & 0xff));
+  big_error.push_back(
+      static_cast<char>((big_error_payload.size() >> 8) & 0xff));
+  big_error.push_back(static_cast<char>(big_error_payload.size() & 0xff));
+  big_error += big_error_payload;
+  std::size_t frames_sent = 0;
+  std::size_t frame_offset = 0;
+  std::uint64_t last_requests = server.counters().requests;
+  auto last_progress = std::chrono::steady_clock::now();
+  while (frames_sent < 600) {
+    const ssize_t n =
+        ::send(dead.fd(), big_error.data() + frame_offset,
+               big_error.size() - frame_offset, MSG_DONTWAIT | MSG_NOSIGNAL);
+    const std::uint64_t requests = server.counters().requests;
+    if (n > 0 || requests != last_requests) {
+      if (n > 0) {
+        frame_offset += static_cast<std::size_t>(n);
+        if (frame_offset == big_error.size()) {
+          frame_offset = 0;
+          ++frames_sent;
+        }
+      }
+      last_requests = requests;
+      last_progress = std::chrono::steady_clock::now();
+      continue;
+    }
+    // No bytes accepted AND the reader decoded nothing new: if that holds
+    // for half a second the pipeline is hard-wedged end to end (writer
+    // blocked in send, outbound full, reader blocked in push) rather than
+    // merely slow.
+    if (std::chrono::steady_clock::now() - last_progress > 500ms) break;
+    std::this_thread::sleep_for(5ms);
+  }
+
+  // The client "crashes": closing with unread data in the receive buffer
+  // sends RST, so the server's next write to this connection fails.
+  dead.close();
+
+  // Every admitted request still completes — undeliverable replies are
+  // discarded, not stranded behind a blocking push.
+  wait_until(
+      [&] {
+        const Server::Counters c = server.counters();
+        return c.completed >= c.admitted && server.queue_depth() == 0 &&
+               !server.executing();
+      },
+      15000ms);
+
+  // The healthy client is unaffected, and shutdown drains without deadlock.
+  const SolveReply r = admin.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(r.runaway);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
 TEST(ServeServer, StatsReportEngineCounters) {
   Server server;
   server.start();
