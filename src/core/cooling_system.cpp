@@ -24,6 +24,7 @@ double Evaluation::cooling_power() const noexcept {
 Evaluation make_evaluation(const thermal::ThermalModel& model,
                            const thermal::SteadyResult& result, double omega) {
   Evaluation ev;
+  ev.status = result.status;
   if (result.runaway || !result.converged) {
     ev.runaway = true;
     ev.max_chip_temperature = std::numeric_limits<double>::infinity();
@@ -42,6 +43,25 @@ CoolingSystem::CoolingSystem(const floorplan::Floorplan& fp,
                              const power::LeakageModel& leakage,
                              Config config)
     : cache_limit_(config.cache_limit) {
+  // Validate the workload at the boundary: a NaN or negative watt entry
+  // would otherwise surface deep inside the solver as a mysterious runaway
+  // (or worse, a silently wrong answer fed to the optimizer).
+  if (&dynamic_power.floorplan() != &fp) {
+    throw std::invalid_argument(
+        "CoolingSystem: power map is bound to a different floorplan");
+  }
+  if (dynamic_power.values().size() != fp.block_count()) {
+    throw std::invalid_argument(
+        "CoolingSystem: power map arity does not match the floorplan");
+  }
+  for (std::size_t b = 0; b < dynamic_power.values().size(); ++b) {
+    const double w = dynamic_power.values()[b];
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument(
+          "CoolingSystem: power map entry for block '" + fp.blocks()[b].name +
+          "' is " + (std::isfinite(w) ? "negative" : "not finite"));
+    }
+  }
   model_ = std::make_unique<thermal::ThermalModel>(
       std::move(config.package), fp, config.grid_nx, config.grid_ny,
       std::move(config.tec_coverage));

@@ -39,6 +39,10 @@ struct CoolingBreakdown {
 /// One evaluated operating point.
 struct Evaluation {
   bool runaway = false;
+  /// Structured solver outcome. runaway=true covers both "physically no
+  /// fixed point" (kRunaway) and "the numerics failed" (kNotConverged /
+  /// kNumericalError / kSingular); fallback layers branch on the distinction.
+  SolveStatus status = SolveStatus::kNotConverged;
   double max_chip_temperature = 0.0;  ///< 𝒯 [K]; +inf when runaway
   CoolingBreakdown power;             ///< valid only when !runaway
   std::size_t solver_iterations = 0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "la/banded_lu.h"
+#include "la/vector_ops.h"
 #include "thermal/model.h"
 #include "thermal/steady.h"
 #include "util/obs.h"
@@ -27,6 +29,8 @@ const obs::Histogram g_obs_optimize_ms =
     obs::histogram("dtm.optimize_ms", obs::exponential_bounds(0.1, 2.0, 14));
 const obs::Histogram g_obs_lookup_ms =
     obs::histogram("dtm.lookup_ms", obs::exponential_bounds(0.001, 2.0, 12));
+const obs::Counter g_obs_fallbacks = obs::counter("dtm.fallback_decisions");
+const obs::Counter g_obs_watchdog_trips = obs::counter("dtm.watchdog_trips");
 
 /// Per-unit max over trace samples [begin, end).
 power::PowerMap window_max(const workload::PowerTrace& trace,
@@ -44,6 +48,12 @@ struct Setting {
   double current = 0.0;
 };
 
+/// A control setting together with the degradation rung that produced it.
+struct Decision {
+  Setting setting;
+  ControllerTier tier = ControllerTier::kFailSafe;
+};
+
 }  // namespace
 
 DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
@@ -58,6 +68,17 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
   }
   if (options.control_period <= 0.0 || options.time_step <= 0.0) {
     throw std::invalid_argument("run_dtm_loop: bad timing parameters");
+  }
+  if (options.watchdog_patience == 0) {
+    throw std::invalid_argument("run_dtm_loop: watchdog_patience must be >= 1");
+  }
+  if (!(options.failsafe_throttle > 0.0) || options.failsafe_throttle > 1.0) {
+    throw std::invalid_argument(
+        "run_dtm_loop: failsafe_throttle must be in (0, 1]");
+  }
+  if (options.fallback_grid_points < 2) {
+    throw std::invalid_argument(
+        "run_dtm_loop: fallback_grid_points must be >= 2");
   }
   OBS_SPAN("dtm.run");
   g_obs_runs.add();
@@ -88,8 +109,14 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
 
   DtmResult result;
 
-  // Control decision for the window starting at trace sample `begin`.
-  auto decide = [&](std::size_t begin) -> Setting {
+  const Setting failsafe_setting{model.config().fan.max_speed, 0.0};
+
+  // Control decision for the window starting at trace sample `begin`,
+  // descending the degradation chain until a tier produces a setting. No
+  // exception escapes: a tier that throws (bad inputs, injected allocation
+  // failure, solver blow-up) simply yields to the next rung, and the
+  // fail-safe rung always succeeds.
+  auto decide = [&](std::size_t begin) -> Decision {
     OBS_SPAN("dtm.decide");
     g_obs_periods.add();
     const util::Stopwatch decide_watch;
@@ -99,40 +126,124 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
             : window_max(trace, fp, begin, begin + samples_per_period);
     if (obs::enabled()) g_obs_window_ms.observe(decide_watch.elapsed_ms());
     const util::Stopwatch watch;
-    Setting setting;
-    switch (options.policy) {
-      case DtmPolicy::kLut: {
+
+    Decision decision{failsafe_setting, ControllerTier::kFailSafe};
+    bool decided = false;
+
+    // Lazily built, shared by the OFTEC-based tiers. Construction itself can
+    // fail (that counts against the tier, not the loop).
+    std::optional<CoolingSystem> system;
+    const auto ensure_system = [&]() -> CoolingSystem* {
+      if (!system) {
+        try {
+          system.emplace(fp, window, leakage, options.system);
+        } catch (const std::exception&) {
+          return nullptr;
+        }
+      }
+      return &*system;
+    };
+
+    const auto try_oftec = [&](const OftecOptions& oopts,
+                               ControllerTier tier) {
+      CoolingSystem* sys = ensure_system();
+      if (sys == nullptr) return;
+      try {
+        const OftecResult r = run_oftec(*sys, oopts);
+        if (r.success) {
+          decision = {{r.omega, r.current}, tier};
+          decided = true;
+        } else if (r.status == SolveStatus::kRunaway &&
+                   std::isfinite(r.opt2_temperature)) {
+          // Definitive verdict: no feasible operating point exists. The
+          // temperature-minimizing setting is the best possible answer —
+          // take it and let the violation accounting tell the truth.
+          decision = {{r.opt2_omega, r.opt2_current}, tier};
+          decided = true;
+        }
+        // Non-definitive failure (kNotConverged etc.): fall through.
+      } catch (const std::exception&) {
+        // Tier failed outright; fall through.
+      }
+    };
+
+    const auto try_lut = [&](ControllerTier tier) {
+      if (options.lut == nullptr) return;
+      try {
         const LutController::LookupResult hit = options.lut->lookup(window);
-        setting = {hit.omega, hit.current};
+        if (hit.feasible) {
+          decision = {{hit.omega, hit.current}, tier};
+          decided = true;
+        }
+      } catch (const std::exception&) {
+      }
+    };
+
+    // Tier 1: the configured policy.
+    switch (options.policy) {
+      case DtmPolicy::kLut:
+        try_lut(ControllerTier::kPrimary);
         if (obs::enabled()) g_obs_lookup_ms.observe(watch.elapsed_ms());
         break;
-      }
       case DtmPolicy::kExactOftec:
-      case DtmPolicy::kStatic: {
-        const CoolingSystem system(fp, window, leakage, options.system);
-        const OftecResult r = run_oftec(system, options.oftec);
-        setting = r.success ? Setting{r.omega, r.current}
-                            : Setting{r.opt2_omega, r.opt2_current};
+      case DtmPolicy::kStatic:
+        try_oftec(options.oftec, ControllerTier::kPrimary);
         if (obs::enabled()) g_obs_optimize_ms.observe(watch.elapsed_ms());
         break;
-      }
+    }
+    // Tier 2: the LUT, when one is available and was not already tier 1.
+    if (!decided && options.policy != DtmPolicy::kLut) {
+      try_lut(ControllerTier::kLut);
+    }
+    // Tier 3: coarse exhaustive grid search — derivative-free, immune to the
+    // line-search/QP failure modes of the gradient-based solvers.
+    if (!decided) {
+      OftecOptions grid = options.oftec;
+      grid.solver = Solver::kGridSearch;
+      grid.grid_points = options.fallback_grid_points;
+      try_oftec(grid, ControllerTier::kGridSearch);
+    }
+    // Tier 4 is the pre-loaded fail-safe decision.
+
+    if (decision.tier != ControllerTier::kPrimary) {
+      ++result.fallback_decisions;
+      g_obs_fallbacks.add();
     }
     result.control_time_ms += watch.elapsed_ms();
     ++result.reoptimizations;
     g_obs_reoptimizations.add();
     if (obs::enabled()) g_obs_decide_ms.observe(decide_watch.elapsed_ms());
-    return setting;
+    return decision;
   };
 
-  // Initial state: steady at the first decision.
-  Setting setting = decide(0);
-  thermal::SteadySolver steady(model, power_at(0), leak_terms,
-                               options.system.steady);
-  const thermal::SteadyResult initial =
-      steady.solve(setting.omega, setting.current);
-  if (initial.runaway) {
-    result.runaway = true;
-    return result;
+  // Initial state: steady at the first decision; when that operating point
+  // has no stable state (or the solve fails), bring the system up fail-safe
+  // with the workload throttled rather than refusing to run.
+  Decision decision = decide(0);
+  Setting setting = decision.setting;
+  ControllerTier tier = decision.tier;
+  bool failsafe_active = tier == ControllerTier::kFailSafe;
+
+  thermal::SteadyResult initial =
+      thermal::SteadySolver(model, power_at(0), leak_terms,
+                            options.system.steady)
+          .solve(setting.omega, setting.current);
+  if (initial.status != SolveStatus::kOk) {
+    failsafe_active = true;
+    tier = ControllerTier::kFailSafe;
+    setting = failsafe_setting;
+    ++result.watchdog_trips;
+    g_obs_watchdog_trips.add();
+    la::Vector throttled = power_at(0);
+    la::scale(options.failsafe_throttle, throttled);
+    initial = thermal::SteadySolver(model, throttled, leak_terms,
+                                    options.system.steady)
+                  .solve(setting.omega, setting.current);
+    if (initial.status != SolveStatus::kOk) {
+      result.runaway = true;
+      result.status = ControlStatus::kRunaway;
+      return result;
+    }
   }
   la::Vector temps = initial.temperatures;
 
@@ -145,49 +256,127 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
   double power_acc = 0.0;
   std::size_t power_count = 0;
 
-  for (std::size_t step = 0; step < total_steps; ++step) {
-    const double time = static_cast<double>(step) * dt;
-    const auto sample =
-        static_cast<std::size_t>(time / trace.sample_interval);
+  // Watchdog state: consecutive steps that are both above T_max and not
+  // cooling down. Bounded reaction time: patience · dt after the first hot
+  // step, the fail-safe tier is in charge.
+  std::size_t hot_streak = 0;
+  double prev_max_chip = model.config().ambient;
 
-    // Re-optimize at control-period boundaries (the first decision was
-    // made before the loop).
-    if (step > 0 && options.policy != DtmPolicy::kStatic &&
-        sample % samples_per_period == 0 &&
-        static_cast<std::size_t>((time - dt) / trace.sample_interval) %
-                samples_per_period !=
-            0) {
-      setting = decide(sample);
-    }
-
-    OBS_SPAN("dtm.transient_step");
-    const la::Vector chip = model.slab_temperatures(temps, thermal::Slab::kChip);
+  // One backward-Euler step of the transient model under setting `s` with
+  // cell power `p`, from `temps` into `out`. False when the step produced a
+  // non-finite or beyond-runaway state (the structured verdict; no exception
+  // escapes).
+  la::Vector step_out;
+  const auto integrate = [&](const Setting& s, const la::Vector& p,
+                             la::Vector& out) -> bool {
+    const la::Vector chip =
+        model.slab_temperatures(temps, thermal::Slab::kChip);
     for (std::size_t i = 0; i < cells; ++i) {
       taylor[i] = power::tangent_linearize(leak_terms[i], chip[i]);
     }
-    thermal::AssembledSystem sys =
-        model.assemble(setting.omega, setting.current, power_at(sample),
-                       taylor);
+    thermal::AssembledSystem sys = model.assemble(s.omega, s.current, p,
+                                                  taylor);
     for (std::size_t i = 0; i < n; ++i) {
       const double c_dt = cap[i] / dt;
       sys.matrix.add(i, i, c_dt);
       sys.rhs[i] += c_dt * temps[i];
     }
     try {
-      temps = la::BandedLu(sys.matrix).solve(sys.rhs);
+      out = la::BandedLu(sys.matrix).solve(sys.rhs);
     } catch (const std::runtime_error&) {
-      result.runaway = true;
-      return result;
+      return false;  // singular step matrix
     }
+    const double m = model.max_slab_temperature(out, thermal::Slab::kChip);
+    return std::isfinite(m) && m <= 500.0;
+  };
+
+  la::Vector throttled_power;  // scratch for the fail-safe power scaling
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double time = static_cast<double>(step) * dt;
+    const auto sample =
+        static_cast<std::size_t>(time / trace.sample_interval);
+
+    // Re-optimize at control-period boundaries (the first decision was
+    // made before the loop). A fresh decision also releases fail-safe —
+    // if the new setting overheats, the watchdog re-trips within bounds.
+    if (step > 0 && options.policy != DtmPolicy::kStatic &&
+        sample % samples_per_period == 0 &&
+        static_cast<std::size_t>((time - dt) / trace.sample_interval) %
+                samples_per_period !=
+            0) {
+      decision = decide(sample);
+      setting = decision.setting;
+      tier = decision.tier;
+      failsafe_active = tier == ControllerTier::kFailSafe;
+      hot_streak = 0;
+    }
+
+    OBS_SPAN("dtm.transient_step");
+    const la::Vector* step_power = &power_at(sample);
+    if (failsafe_active) {
+      throttled_power = *step_power;
+      la::scale(options.failsafe_throttle, throttled_power);
+      step_power = &throttled_power;
+    }
+
+    if (!integrate(setting, *step_power, step_out)) {
+      if (failsafe_active) {
+        // Diverged even under max cooling and a throttled workload.
+        result.runaway = true;
+        result.status = ControlStatus::kRunaway;
+        return result;
+      }
+      // Retry the step once under fail-safe before giving up: a singular or
+      // exploding step at an aggressive setting is often integrable at max
+      // fan with the workload throttled.
+      failsafe_active = true;
+      tier = ControllerTier::kFailSafe;
+      setting = failsafe_setting;
+      ++result.watchdog_trips;
+      g_obs_watchdog_trips.add();
+      hot_streak = 0;
+      throttled_power = power_at(sample);
+      la::scale(options.failsafe_throttle, throttled_power);
+      if (!integrate(setting, throttled_power, step_out)) {
+        result.runaway = true;
+        result.status = ControlStatus::kRunaway;
+        return result;
+      }
+    }
+    temps = step_out;
 
     const double max_chip =
         model.max_slab_temperature(temps, thermal::Slab::kChip);
-    if (!std::isfinite(max_chip) || max_chip > 500.0) {
-      result.runaway = true;
-      return result;
-    }
     result.peak_temperature = std::max(result.peak_temperature, max_chip);
     if (max_chip > t_max) result.violation_time += dt;
+    if (failsafe_active) result.failsafe_time += dt;
+
+    // Watchdog: trip to fail-safe after `patience` consecutive hot,
+    // non-cooling steps; release once safely below T_max.
+    if (max_chip > t_max && max_chip >= prev_max_chip) {
+      ++hot_streak;
+    } else {
+      hot_streak = 0;
+    }
+    prev_max_chip = max_chip;
+    if (!failsafe_active && hot_streak >= options.watchdog_patience) {
+      failsafe_active = true;
+      tier = ControllerTier::kFailSafe;
+      setting = failsafe_setting;
+      ++result.watchdog_trips;
+      g_obs_watchdog_trips.add();
+      hot_streak = 0;
+    } else if (failsafe_active &&
+               max_chip < t_max - options.watchdog_release_margin &&
+               decision.tier != ControllerTier::kFailSafe) {
+      // Cool again: hand control back to the last real decision. If it
+      // overheats once more the watchdog re-trips, so oscillation stays
+      // bounded and every trip is counted.
+      failsafe_active = false;
+      setting = decision.setting;
+      tier = decision.tier;
+    }
 
     const double cooling = model.leakage_power(temps, leak_terms) +
                            model.tec_power(temps, setting.current) +
@@ -197,12 +386,21 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
 
     if (step % record_stride == 0 || step + 1 == total_steps) {
       result.samples.push_back({time + dt, max_chip, setting.omega,
-                                setting.current, cooling});
+                                setting.current, cooling, tier});
     }
   }
 
   result.average_cooling_power =
       power_count > 0 ? power_acc / static_cast<double>(power_count) : 0.0;
+  // Honest verdict: fail-safe involvement dominates, then any degradation —
+  // a run with violation time or fallback decisions is never kOk.
+  if (result.watchdog_trips > 0 || result.failsafe_time > 0.0) {
+    result.status = ControlStatus::kFailSafe;
+  } else if (result.fallback_decisions > 0 || result.violation_time > 0.0) {
+    result.status = ControlStatus::kDegraded;
+  } else {
+    result.status = ControlStatus::kOk;
+  }
   return result;
 }
 

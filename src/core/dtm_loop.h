@@ -14,6 +14,18 @@
 //
 // Reported metrics: temperature envelope, thermal-violation time, average
 // cooling power, and control-latency spent in the optimizer.
+//
+// Degradation layers (failures leave the loop in control, never in doubt):
+//   tier 1  the configured policy (exact OFTEC / LUT / static);
+//   tier 2  LUT lookup, when a table is available;
+//   tier 3  coarse grid-search OFTEC (exhaustive, derivative-free);
+//   tier 4  fail-safe: ω = ω_max, I = 0, plus dynamic-power throttling.
+// Tiers are tried in order per decision, driven by the structured
+// SolveStatus each layer reports — no exception ever escapes a decision.
+// Independently, a thermal-runaway watchdog forces the fail-safe tier after
+// `watchdog_patience` consecutive integration steps that are both above
+// T_max and non-decreasing, and releases it once the die cools below
+// T_max − watchdog_release_margin.
 #pragma once
 
 #include <cstddef>
@@ -36,14 +48,65 @@ enum class DtmPolicy {
   kStatic,      ///< one OFTEC run on the whole-trace max vector, then hold
 };
 
+/// Which degradation rung produced a control setting.
+enum class ControllerTier {
+  kPrimary,     ///< the configured policy succeeded
+  kLut,         ///< fell back to the LUT
+  kGridSearch,  ///< fell back to coarse grid-search OFTEC
+  kFailSafe,    ///< max fan, zero TEC current, dynamic power throttled
+};
+
+[[nodiscard]] constexpr const char* tier_name(ControllerTier t) noexcept {
+  switch (t) {
+    case ControllerTier::kPrimary: return "primary";
+    case ControllerTier::kLut: return "lut";
+    case ControllerTier::kGridSearch: return "grid_search";
+    case ControllerTier::kFailSafe: return "fail_safe";
+  }
+  return "unknown";
+}
+
+/// Overall verdict of a DTM run. Honesty invariant: any violation time or
+/// fallback activity forbids kOk — a run that ever exceeded T_max (or could
+/// not use its primary controller throughout) never reports full health.
+enum class ControlStatus {
+  kOk,        ///< primary controller throughout, no thermal violation
+  kDegraded,  ///< a fallback tier served decisions, or T_max was exceeded
+  kFailSafe,  ///< the watchdog forced the fail-safe tier at least once
+  kRunaway,   ///< the transient integration diverged even under fail-safe
+};
+
+[[nodiscard]] constexpr const char* to_string(ControlStatus s) noexcept {
+  switch (s) {
+    case ControlStatus::kOk: return "ok";
+    case ControlStatus::kDegraded: return "degraded";
+    case ControlStatus::kFailSafe: return "fail_safe";
+    case ControlStatus::kRunaway: return "runaway";
+  }
+  return "unknown";
+}
+
 struct DtmOptions {
   DtmPolicy policy = DtmPolicy::kExactOftec;
   double control_period = 0.5;  ///< [s] between re-optimizations
   CoolingSystem::Config system;
   OftecOptions oftec;
-  /// Required when policy == kLut.
+  /// Required when policy == kLut; with other policies, an optional tier-2
+  /// fallback.
   const LutController* lut = nullptr;
   double time_step = 10e-3;  ///< transient integration step [s]
+
+  /// Watchdog: consecutive steps above T_max with non-decreasing temperature
+  /// before the fail-safe tier is forced (bounds time-to-fail-safe by
+  /// patience · time_step).
+  std::size_t watchdog_patience = 3;
+  /// Release fail-safe once max_chip < T_max − margin [K].
+  double watchdog_release_margin = 2.0;
+  /// Dynamic-power scale applied while fail-safe is active (models the DVFS
+  /// throttle that accompanies max cooling). In (0, 1].
+  double failsafe_throttle = 0.5;
+  /// Grid resolution of the tier-3 grid-search fallback.
+  std::size_t fallback_grid_points = 9;
 };
 
 struct DtmSample {
@@ -52,6 +115,7 @@ struct DtmSample {
   double omega = 0.0;
   double current = 0.0;
   double cooling_power = 0.0;  ///< leakage + TEC + fan at this instant [W]
+  ControllerTier tier = ControllerTier::kPrimary;  ///< rung in charge
 };
 
 struct DtmResult {
@@ -62,6 +126,11 @@ struct DtmResult {
   double control_time_ms = 0.0;         ///< total optimizer latency
   std::size_t reoptimizations = 0;
   bool runaway = false;
+
+  ControlStatus status = ControlStatus::kOk;
+  std::size_t fallback_decisions = 0;  ///< decisions served below tier 1
+  std::size_t watchdog_trips = 0;      ///< fail-safe activations
+  double failsafe_time = 0.0;          ///< seconds spent in fail-safe [s]
 };
 
 /// Replay `trace` through the transient model under the chosen policy.

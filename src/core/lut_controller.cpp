@@ -42,6 +42,7 @@ LutController LutController::build(const std::vector<power::PowerMap>& training,
     Entry e;
     e.feature = feature_of(map);
     e.feasible = r.success;
+    e.status = r.status;
     if (r.success) {
       e.omega = r.omega;
       e.current = r.current;
@@ -92,6 +93,7 @@ LutController::LookupResult LutController::lookup(
   best.omega = chosen.omega;
   best.current = chosen.current;
   best.feasible = chosen.feasible;
+  best.status = chosen.status;
   best.feature_distance = std::sqrt(best_dist);
   g_obs_lookups.add();
   if (obs::enabled()) g_obs_feature_distance.observe(best.feature_distance);

@@ -28,6 +28,9 @@ class LutController {
     double omega = 0.0;
     double current = 0.0;
     bool feasible = false;
+    /// Build-time OFTEC verdict; infeasible entries distinguish "provably
+    /// impossible load" (kRunaway) from "the build-time solve failed".
+    SolveStatus status = SolveStatus::kNotConverged;
     double max_chip_temperature = 0.0;  ///< at build time [K]
   };
 
@@ -35,6 +38,7 @@ class LutController {
     double omega = 0.0;
     double current = 0.0;
     bool feasible = false;
+    SolveStatus status = SolveStatus::kNotConverged;  ///< of the entry
     std::size_t entry_index = 0;
     double feature_distance = 0.0;  ///< ‖query − entry‖₂ [W]
   };

@@ -146,6 +146,7 @@ const Evaluation& MultiZoneSystem::evaluate(
   const thermal::SteadyResult sr = engine_->solve_cells(omega, cell_current);
 
   Evaluation ev;
+  ev.status = sr.status;
   if (sr.runaway || !sr.converged) {
     ev.runaway = true;
     ev.max_chip_temperature = std::numeric_limits<double>::infinity();
@@ -250,6 +251,8 @@ MultiZoneResult run_multizone_oftec(const MultiZoneSystem& system,
     temperature = r2.objective;
     if (!(temperature < t_max)) {
       result.success = false;
+      result.status = is_definitive(r2.status) ? SolveStatus::kRunaway
+                                               : r2.status;
       result.omega = opt2.omega_of(x);
       result.zone_currents = opt2.currents_of(x);
       result.max_chip_temperature = temperature;
@@ -269,6 +272,7 @@ MultiZoneResult run_multizone_oftec(const MultiZoneSystem& system,
   }
 
   result.success = true;
+  result.status = SolveStatus::kOk;
   result.omega = opt1.omega_of(x_star);
   result.zone_currents = opt1.currents_of(x_star);
   result.max_chip_temperature = ev->max_chip_temperature;

@@ -119,6 +119,9 @@ class MultiZoneProblem final : public opt::Problem {
 /// Multi-zone OFTEC result.
 struct MultiZoneResult {
   bool success = false;
+  /// Structured outcome, mirroring OftecResult::status: kRunaway is the
+  /// definitive "no feasible point", kNotConverged a solver failure.
+  SolveStatus status = SolveStatus::kNotConverged;
   bool used_opt2 = false;
   double omega = 0.0;
   la::Vector zone_currents;

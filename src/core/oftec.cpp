@@ -117,9 +117,15 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
     x = r2.x;
     temperature = r2.objective;
     if (!(temperature < t_max)) {
-      // Line 5: infeasible — report the best temperature found.
+      // Line 5: infeasible — report the best temperature found. When the
+      // Optimization 2 solver itself converged (or proved runaway), that is
+      // a definitive "no feasible operating point" verdict; when it merely
+      // ran out of budget, report its failure so a fallback tier can retry
+      // with a different method instead of trusting a truncated search.
       g_obs_infeasible.add();
       result.success = false;
+      result.status = is_definitive(r2.status) ? SolveStatus::kRunaway
+                                               : r2.status;
       result.opt2_omega = opt2.omega_of(x);
       result.opt2_current = opt2.current_of(x);
       result.opt2_temperature = temperature;
@@ -158,6 +164,7 @@ OftecResult run_oftec(const CoolingSystem& system, const OftecOptions& options) 
   }
 
   result.success = true;
+  result.status = SolveStatus::kOk;
   result.omega = opt1.omega_of(x_star);
   result.current = opt1.current_of(x_star);
   result.max_chip_temperature = ev->max_chip_temperature;

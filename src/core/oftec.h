@@ -41,6 +41,11 @@ struct OftecOptions {
 
 struct OftecResult {
   bool success = false;      ///< a feasible (ω*, I*) was found
+  /// Structured outcome. kOk accompanies success; kRunaway means the problem
+  /// is provably infeasible (every probe hit runaway); kNotConverged and
+  /// friends mean the numerics gave out — callers with a fallback chain
+  /// (dtm_loop) only treat is_definitive() results as final.
+  SolveStatus status = SolveStatus::kNotConverged;
   bool used_opt2 = false;    ///< the bootstrap phase ran
   double omega = 0.0;        ///< ω* [rad/s]
   double current = 0.0;      ///< I_TEC* [A]

@@ -18,6 +18,7 @@ const obs::Counter g_obs_points = obs::counter("pareto.points");
   ParetoPoint point;
   point.t_limit = t_limit_kelvin;
   point.feasible = r.success;
+  point.status = r.status;
   if (r.success) {
     point.cooling_power = r.power.total();
     point.max_chip_temperature = r.max_chip_temperature;

@@ -39,6 +39,10 @@ struct ParetoOptions {
 struct ParetoPoint {
   double t_limit = 0.0;   ///< threshold this point was optimized for [K]
   bool feasible = false;
+  /// Why an infeasible point is infeasible: kRunaway is a definitive "no
+  /// operating point satisfies this threshold"; anything else means the
+  /// solver gave out and the point is unknown rather than impossible.
+  SolveStatus status = SolveStatus::kNotConverged;
   double cooling_power = 0.0;        ///< 𝒫 at the optimum [W]
   double max_chip_temperature = 0.0; ///< achieved 𝒯 [K]
   double omega = 0.0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/fault.h"
 #include "util/obs.h"
 
 namespace oftec::la {
@@ -60,7 +61,18 @@ void init_iterate(const CsrMatrix& a, const Vector& b,
 
 IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
                          const IterativeOptions& opts) {
+  static const fault::Site cg_stall = fault::site("la.cg_stall");
   const std::size_t n = a.size();
+  if (cg_stall.should_fail()) {
+    // Report an honest stall: zero iterate, full residual, not converged.
+    // Callers fall through to the direct banded solve exactly as they do
+    // when the Krylov iteration genuinely stagnates near runaway.
+    IterativeResult res;
+    const IterTally tally{g_obs_cg_solves, g_obs_cg_iterations, res};
+    res.x.assign(n, 0.0);
+    res.residual_norm = norm2(b);
+    return res;
+  }
   const std::size_t max_iter =
       opts.max_iterations != 0 ? opts.max_iterations : 10 * n;
   const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
@@ -110,7 +122,16 @@ IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
 
 IterativeResult solve_bicgstab(const CsrMatrix& a, const Vector& b,
                                const IterativeOptions& opts) {
+  static const fault::Site cg_stall = fault::site("la.cg_stall");
   const std::size_t n = a.size();
+  if (cg_stall.should_fail()) {
+    IterativeResult res;
+    const IterTally tally{g_obs_bicgstab_solves, g_obs_bicgstab_iterations,
+                          res};
+    res.x.assign(n, 0.0);
+    res.residual_norm = norm2(b);
+    return res;
+  }
   const std::size_t max_iter =
       opts.max_iterations != 0 ? opts.max_iterations : 10 * n;
   const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);

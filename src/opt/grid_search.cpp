@@ -82,6 +82,8 @@ OptResult solve_grid_search(const Problem& problem,
         });
     g_obs_points.add(result.iterations);
     result.converged = result.feasible;
+    result.status =
+        result.feasible ? SolveStatus::kOk : SolveStatus::kRunaway;
     return result;
   }
 
@@ -117,6 +119,9 @@ OptResult solve_grid_search(const Problem& problem,
     result.feasible = true;
   }
   result.converged = result.feasible;
+  // An exhaustive grid with no feasible point is a definitive "no feasible
+  // operating point at this resolution" finding, not a numerical failure.
+  result.status = result.feasible ? SolveStatus::kOk : SolveStatus::kRunaway;
   return result;
 }
 

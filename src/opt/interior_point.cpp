@@ -141,6 +141,8 @@ OptResult solve_interior_point(const Problem& problem, const la::Vector& x0,
   result.feasible = true;
   for (const double gi : g) result.feasible = result.feasible && gi <= 1e-6;
   result.converged = true;
+  result.status =
+      result.feasible ? SolveStatus::kOk : SolveStatus::kNotConverged;
   if (obs::enabled()) {
     g_obs_iterations.observe(static_cast<double>(result.iterations));
   }

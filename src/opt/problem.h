@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "la/vector_ops.h"
+#include "util/status.h"
 
 namespace oftec::opt {
 
@@ -44,6 +45,10 @@ struct OptResult {
   double objective = std::numeric_limits<double>::infinity();
   bool feasible = false;     ///< constraints satisfied within tolerance
   bool converged = false;    ///< solver's own stopping test fired
+  /// Structured outcome: kOk when converged, kNotConverged on an exhausted
+  /// budget, kRunaway when the search never escaped the +inf region. Layered
+  /// fallback (core::run_oftec, core::dtm_loop) branches on this.
+  SolveStatus status = SolveStatus::kNotConverged;
   std::size_t iterations = 0;
   std::size_t evaluations = 0;  ///< objective+constraint evaluations
 };

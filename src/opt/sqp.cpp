@@ -77,6 +77,7 @@ OptResult solve_sqp(const Problem& problem, const la::Vector& x0,
     // Runaway start: nothing sensible to do from here.
     result.x = x;
     result.objective = f;
+    result.status = SolveStatus::kRunaway;
     return result;
   }
 
@@ -257,6 +258,8 @@ OptResult solve_sqp(const Problem& problem, const la::Vector& x0,
   result.x = x;
   result.objective = f;
   result.feasible = violation(g) <= options.constraint_tolerance;
+  result.status =
+      result.converged ? SolveStatus::kOk : SolveStatus::kNotConverged;
   if (obs::enabled()) {
     g_obs_iterations.observe(static_cast<double>(result.iterations));
   }

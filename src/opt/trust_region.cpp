@@ -54,6 +54,7 @@ OptResult solve_trust_region(const Problem& problem, const la::Vector& x0,
   if (!std::isfinite(p_current)) {
     result.x = x;
     result.objective = problem.objective(x);
+    result.status = SolveStatus::kRunaway;
     return result;
   }
 
@@ -146,6 +147,8 @@ OptResult solve_trust_region(const Problem& problem, const la::Vector& x0,
   const la::Vector g = problem.constraints(x);
   result.feasible = true;
   for (const double gi : g) result.feasible = result.feasible && gi <= 1e-6;
+  result.status =
+      result.converged ? SolveStatus::kOk : SolveStatus::kNotConverged;
   return result;
 }
 

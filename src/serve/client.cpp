@@ -3,12 +3,34 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fault.h"
+
 namespace oftec::serve {
+
+namespace {
+
+// Client-side fault sites: a send that hits a dead socket, and a receive
+// that sees the connection break mid-response. Exercised by the resilient
+// client's retry/rebind machinery.
+const fault::Site g_fault_send = fault::site("client.send_fail");
+const fault::Site g_fault_recv = fault::site("client.recv_fail");
+
+[[noreturn]] void throw_read_failure(ReadStatus status) {
+  if (status == ReadStatus::kTimeout) {
+    throw TransportError(TransportError::Kind::kTimeout,
+                         "oftec-serve: receive timed out");
+  }
+  throw TransportError(TransportError::Kind::kRecv,
+                       "oftec-serve: connection closed by server");
+}
+
+}  // namespace
 
 Client Client::connect(std::uint16_t port, Options options) {
   Socket socket = Socket::connect_loopback(port);
   if (!socket.valid()) {
-    throw std::runtime_error("oftec-serve: cannot connect to 127.0.0.1:" +
+    throw TransportError(TransportError::Kind::kConnect,
+                         "oftec-serve: cannot connect to 127.0.0.1:" +
                              std::to_string(port));
   }
   return Client(std::move(socket), options);
@@ -17,8 +39,16 @@ Client Client::connect(std::uint16_t port, Options options) {
 std::uint64_t Client::send(Request request) {
   request.id = next_id_++;
   if (request.deadline_ms == 0.0) request.deadline_ms = options_.deadline_ms;
+  if (g_fault_send.should_fail()) {
+    // Make the failure real, not just reported: a later recv() on this
+    // connection must not return data for a request we claimed was lost.
+    socket_.shutdown_both();
+    throw TransportError(TransportError::Kind::kSend,
+                         "oftec-serve: injected send failure");
+  }
   if (!write_frame(socket_.fd(), encode_request(request))) {
-    throw std::runtime_error("oftec-serve: send failed (connection lost)");
+    throw TransportError(TransportError::Kind::kSend,
+                         "oftec-serve: send failed (connection lost)");
   }
   return request.id;
 }
@@ -46,10 +76,12 @@ Response Client::recv() {
     return r;
   }
   std::string payload;
-  const ReadStatus status =
-      read_frame(socket_.fd(), payload, options_.max_frame_bytes);
-  if (status != ReadStatus::kOk) {
-    throw std::runtime_error("oftec-serve: connection closed by server");
+  const ReadStatus status = read_frame_for(
+      socket_.fd(), payload, options_.max_frame_bytes,
+      options_.recv_timeout_ms);
+  if (status != ReadStatus::kOk || g_fault_recv.should_fail()) {
+    socket_.shutdown_both();
+    throw_read_failure(status);
   }
   return decode_response(payload, options_.max_frame_bytes);
 }
@@ -63,10 +95,12 @@ Response Client::recv_for(std::uint64_t id) {
   }
   while (true) {
     std::string payload;
-    const ReadStatus status =
-        read_frame(socket_.fd(), payload, options_.max_frame_bytes);
-    if (status != ReadStatus::kOk) {
-      throw std::runtime_error("oftec-serve: connection closed by server");
+    const ReadStatus status = read_frame_for(
+        socket_.fd(), payload, options_.max_frame_bytes,
+        options_.recv_timeout_ms);
+    if (status != ReadStatus::kOk || g_fault_recv.should_fail()) {
+      socket_.shutdown_both();
+      throw_read_failure(status);
     }
     Response r = decode_response(payload, options_.max_frame_bytes);
     if (r.id == id) return r;
@@ -78,7 +112,10 @@ util::json::Value Client::call(Request request) {
   const std::uint64_t id = send(std::move(request));
   Response response = recv_for(id);
   if (!response.ok) {
-    throw ProtocolError(response.error.code, response.error.message);
+    ProtocolError err(response.error.code, response.error.message);
+    err.set_id(response.id);
+    err.set_retry_after_ms(response.error.retry_after_ms);
+    throw err;
   }
   return std::move(response.result);
 }
@@ -87,6 +124,12 @@ void Client::ping() {
   Request req;
   req.type = RequestType::kPing;
   (void)call(std::move(req));
+}
+
+HealthReply Client::health() {
+  Request req;
+  req.type = RequestType::kHealth;
+  return parse_health_reply(call(std::move(req)));
 }
 
 BindReply Client::bind(const BindParams& params) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,16 +32,49 @@
 
 namespace oftec::serve {
 
+/// Transport-level failure: the connection itself broke (or timed out)
+/// before a structured response arrived. Distinct from ProtocolError, which
+/// carries a server-side error *response* — a TransportError means the RPC's
+/// fate is unknown and the connection must be abandoned. The kind tells
+/// retry logic what is safe: kConnect/kSend failures cannot have executed,
+/// kRecv/kTimeout may have (idempotent requests can still be retried).
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind { kConnect, kSend, kRecv, kTimeout };
+
+  TransportError(Kind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+[[nodiscard]] constexpr const char* to_string(TransportError::Kind k) noexcept {
+  switch (k) {
+    case TransportError::Kind::kConnect: return "connect";
+    case TransportError::Kind::kSend: return "send";
+    case TransportError::Kind::kRecv: return "recv";
+    case TransportError::Kind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
 class Client {
  public:
   struct Options {
     std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
     /// Deadline attached to every request [ms]; 0 = none.
     double deadline_ms = 0.0;
+    /// Per-receive timeout [ms]; 0 = block forever. On expiry recv()/
+    /// recv_for() throw TransportError(kTimeout) and the connection must be
+    /// treated as dead (the stream position is ambiguous).
+    long recv_timeout_ms = 0;
   };
 
   /// Connect to an oftec-serve instance on 127.0.0.1:port. Throws
-  /// std::runtime_error when the connection is refused.
+  /// TransportError(kConnect) when the connection is refused.
   [[nodiscard]] static Client connect(std::uint16_t port, Options options);
   [[nodiscard]] static Client connect(std::uint16_t port) {
     return connect(port, Options());
@@ -50,9 +84,12 @@ class Client {
   Client& operator=(Client&&) noexcept = default;
 
   // --- blocking RPC (throws ProtocolError on server-side errors, ---------
-  // --- std::runtime_error on transport failure) ---------------------------
+  // --- TransportError on transport failure) -------------------------------
 
   void ping();
+  /// Health/readiness probe (answered inline by the server's reader thread,
+  /// so it works even while the executor is saturated).
+  [[nodiscard]] HealthReply health();
   [[nodiscard]] BindReply bind(const BindParams& params);
   /// True when the session existed.
   bool unbind(std::uint64_t session);
@@ -75,7 +112,8 @@ class Client {
   std::uint64_t send(Request request);  ///< any request; id is assigned here
 
   /// Next response in arrival order (earlier recv_for(id) strays first).
-  /// Throws std::runtime_error when the connection drops.
+  /// Throws TransportError when the connection drops or the receive times
+  /// out.
   [[nodiscard]] Response recv();
 
   /// The response for a specific id, buffering out-of-order arrivals.

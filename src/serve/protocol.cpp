@@ -276,6 +276,7 @@ const char* request_type_name(RequestType t) noexcept {
     case RequestType::kLut: return "lut";
     case RequestType::kTransient: return "transient";
     case RequestType::kStats: return "stats";
+    case RequestType::kHealth: return "health";
     case RequestType::kSleep: return "sleep";
   }
   return "?";
@@ -285,7 +286,8 @@ std::optional<RequestType> request_type_by_name(std::string_view name) noexcept 
   for (const RequestType t :
        {RequestType::kPing, RequestType::kBind, RequestType::kUnbind,
         RequestType::kSolve, RequestType::kControl, RequestType::kLut,
-        RequestType::kTransient, RequestType::kStats, RequestType::kSleep}) {
+        RequestType::kTransient, RequestType::kStats, RequestType::kHealth,
+        RequestType::kSleep}) {
     if (name == request_type_name(t)) return t;
   }
   return std::nullopt;
@@ -308,6 +310,7 @@ std::string encode_request(const Request& request) {
   if (request.deadline_ms > 0.0) o["deadline_ms"] = request.deadline_ms;
   switch (request.type) {
     case RequestType::kPing:
+    case RequestType::kHealth:
       break;
     case RequestType::kBind:
       o["params"] = bind_params_json(std::get<BindParams>(request.params));
@@ -391,6 +394,7 @@ void decode_request_body(const json::Value& doc, Request& req) {
   }
   switch (req.type) {
     case RequestType::kPing: break;
+    case RequestType::kHealth: break;
     case RequestType::kBind: req.params = parse_bind_params(p); break;
     case RequestType::kSolve: req.params = parse_solve_params(p); break;
     case RequestType::kControl: req.params = parse_control_params(p); break;
@@ -617,6 +621,26 @@ TransientReply parse_transient_reply(const util::json::Value& v) {
           : std::numeric_limits<double>::infinity();
   r.steps = require_uint(v, "steps");
   r.time_s = number_or(v, "time_s", 0.0);
+  return r;
+}
+
+util::json::Value health_result_json(const HealthReply& r) {
+  json::Value o = json::Value::object();
+  o["healthy"] = r.healthy;
+  o["accepting"] = r.accepting;
+  o["sessions"] = r.sessions;
+  o["queue_depth"] = r.queue_depth;
+  o["queue_capacity"] = r.queue_capacity;
+  return o;
+}
+
+HealthReply parse_health_reply(const util::json::Value& v) {
+  HealthReply r;
+  r.healthy = bool_or(v, "healthy", false);
+  r.accepting = bool_or(v, "accepting", false);
+  r.sessions = require_uint(v, "sessions");
+  r.queue_depth = require_uint(v, "queue_depth");
+  r.queue_capacity = require_uint(v, "queue_capacity");
   return r;
 }
 

@@ -68,10 +68,18 @@ class ProtocolError : public std::runtime_error {
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
   void set_id(std::uint64_t id) noexcept { id_ = id; }
 
+  /// Backpressure hint carried by the error response, when the server sent
+  /// one (kErrOverloaded / kErrShuttingDown); 0 otherwise.
+  [[nodiscard]] double retry_after_ms() const noexcept {
+    return retry_after_ms_;
+  }
+  void set_retry_after_ms(double ms) noexcept { retry_after_ms_ = ms; }
+
  private:
   std::string code_;
   std::string message_;
   std::uint64_t id_ = 0;
+  double retry_after_ms_ = 0.0;
 };
 
 enum class RequestType {
@@ -83,6 +91,7 @@ enum class RequestType {
   kLut,        ///< nearest-neighbor LUT control lookup
   kTransient,  ///< advance the session's transient state under fixed (ω, I)
   kStats,      ///< server + session counters (inline)
+  kHealth,     ///< health/readiness probe, handled inline by the reader
   kSleep,      ///< test-only: occupy the executor for a fixed time
 };
 
@@ -228,6 +237,18 @@ struct TransientReply {
   double time_s = 0.0;  ///< session transient clock after this step
 };
 
+/// Health/readiness probe. `healthy` means the server's threads are up and
+/// the reader answered at all; `accepting` distinguishes readiness — false
+/// once a shutdown has begun or the admission queue is saturated, signaling
+/// clients to back off before they are shed.
+struct HealthReply {
+  bool healthy = false;
+  bool accepting = false;
+  std::uint64_t sessions = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Codec
 // ---------------------------------------------------------------------------
@@ -264,5 +285,7 @@ struct TransientReply {
 [[nodiscard]] LutReply parse_lut_reply(const util::json::Value& v);
 [[nodiscard]] util::json::Value transient_result_json(const TransientReply& r);
 [[nodiscard]] TransientReply parse_transient_reply(const util::json::Value& v);
+[[nodiscard]] util::json::Value health_result_json(const HealthReply& r);
+[[nodiscard]] HealthReply parse_health_reply(const util::json::Value& v);
 
 }  // namespace oftec::serve

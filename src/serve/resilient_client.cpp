@@ -1,0 +1,172 @@
+#include "serve/resilient_client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace oftec::serve {
+
+namespace {
+
+using MsDouble = std::chrono::duration<double, std::milli>;
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] bool retryable_error_code(const std::string& code) {
+  return code == kErrOverloaded || code == kErrShuttingDown;
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(std::uint16_t port, Options options)
+    : port_(port),
+      options_(options),
+      jitter_state_(options.retry.jitter_seed) {}
+
+Client& ResilientClient::ensure_connected() {
+  if (!client_.has_value()) {
+    client_.emplace(Client::connect(port_, options_.client));
+    ++stats_.reconnects;
+  }
+  return *client_;
+}
+
+void ResilientClient::drop_connection() noexcept { client_.reset(); }
+
+double ResilientClient::next_backoff_ms(int attempt) {
+  const RetryPolicy& r = options_.retry;
+  double base =
+      r.initial_backoff_ms * std::pow(r.backoff_multiplier, attempt);
+  base = std::min(base, r.max_backoff_ms);
+  // u in [0, 1): top 53 bits of a SplitMix64 draw.
+  const double u =
+      static_cast<double>(splitmix64_next(jitter_state_) >> 11) * 0x1.0p-53;
+  return base * (1.0 - r.jitter_fraction * u);
+}
+
+void ResilientClient::record_transport_failure() {
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.breaker.failure_threshold) {
+    const Clock::time_point now = Clock::now();
+    if (now >= open_until_) ++stats_.breaker_opens;
+    open_until_ =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  MsDouble(options_.breaker.open_ms));
+  }
+}
+
+template <typename Fn>
+auto ResilientClient::with_retry(bool retry_after_recv, Fn&& rpc)
+    -> decltype(rpc(std::declval<Client&>())) {
+  if (Clock::now() < open_until_) {
+    ++stats_.breaker_rejects;
+    throw TransportError(TransportError::Kind::kConnect,
+                         "oftec-serve: circuit breaker open");
+  }
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    // An RPC already committed to its retry loop waits out a breaker that
+    // opened mid-flight instead of failing fast (only *new* RPCs do that).
+    const Clock::time_point now = Clock::now();
+    if (now < open_until_) std::this_thread::sleep_until(open_until_);
+
+    ++stats_.attempts;
+    if (attempt > 0) ++stats_.retries;
+    try {
+      Client& client = ensure_connected();
+      auto result = rpc(client);
+      consecutive_failures_ = 0;  // half-open probe succeeded (or no fault)
+      return result;
+    } catch (const TransportError& e) {
+      drop_connection();
+      record_transport_failure();
+      // connect/send cannot have executed; recv/timeout leave the RPC's
+      // fate unknown — only retry those when the request is pure.
+      const bool maybe_executed =
+          e.kind() == TransportError::Kind::kRecv ||
+          e.kind() == TransportError::Kind::kTimeout;
+      if ((maybe_executed && !retry_after_recv) ||
+          attempt + 1 >= max_attempts) {
+        throw;
+      }
+      std::this_thread::sleep_for(MsDouble(next_backoff_ms(attempt)));
+    } catch (const ProtocolError& e) {
+      if (e.code() == kErrUnknownSession && bind_params_.has_value() &&
+          attempt + 1 < max_attempts) {
+        // The server lost its sessions (restart): re-issue the remembered
+        // bind and retry immediately — the server is demonstrably alive.
+        rebind_session();
+        continue;
+      }
+      if (!retryable_error_code(e.code()) || attempt + 1 >= max_attempts) {
+        throw;
+      }
+      std::this_thread::sleep_for(
+          MsDouble(std::max(next_backoff_ms(attempt), e.retry_after_ms())));
+    }
+  }
+}
+
+void ResilientClient::rebind_session() {
+  ++stats_.rebinds;
+  const BindParams params = *bind_params_;
+  const BindReply reply =
+      with_retry(true, [&](Client& c) { return c.bind(params); });
+  session_ = reply.session;
+}
+
+BindReply ResilientClient::bind(const BindParams& params) {
+  bind_params_ = params;
+  BindReply reply = with_retry(true, [&](Client& c) { return c.bind(params); });
+  session_ = reply.session;
+  return reply;
+}
+
+void ResilientClient::ping() {
+  with_retry(true, [](Client& c) {
+    c.ping();
+    return 0;
+  });
+}
+
+HealthReply ResilientClient::health() {
+  return with_retry(true, [](Client& c) { return c.health(); });
+}
+
+SolveReply ResilientClient::solve(double omega, double current) {
+  return with_retry(
+      true, [&](Client& c) { return c.solve(session_, omega, current); });
+}
+
+ControlReply ResilientClient::control(const std::string& objective) {
+  return with_retry(
+      true, [&](Client& c) { return c.control(session_, objective); });
+}
+
+LutReply ResilientClient::lut(const std::vector<double>& power_w) {
+  return with_retry(true, [&](Client& c) { return c.lut(session_, power_w); });
+}
+
+TransientReply ResilientClient::transient(TransientParams params) {
+  return with_retry(/*retry_after_recv=*/false, [&](Client& c) {
+    params.session = session_;
+    return c.transient(params);
+  });
+}
+
+util::json::Value ResilientClient::raw_stats(std::uint64_t session) {
+  return with_retry(true, [&](Client& c) { return c.stats(session); });
+}
+
+bool ResilientClient::unbind(std::uint64_t session) {
+  return with_retry(true, [&](Client& c) { return c.unbind(session); });
+}
+
+}  // namespace oftec::serve

@@ -1,0 +1,144 @@
+// Self-healing oftec-serve client: retries with exponential backoff and
+// deterministic jitter, per-RPC receive timeouts, a circuit breaker, and
+// automatic session re-binding after a server restart.
+//
+// The plain Client is a thin connection wrapper — any transport hiccup
+// throws and the connection is dead. ResilientClient layers the recovery
+// policy on top:
+//
+//   * Transport failures (connect/send/recv/timeout) close the connection
+//     and retry on a fresh one with exponential backoff. Jitter is derived
+//     from a caller-provided seed, so a retry schedule is reproducible.
+//   * Structured kErrOverloaded / kErrShuttingDown responses are retried
+//     too, honoring the server's retry_after_ms backpressure hint (the
+//     sleep is max(backoff, retry_after_ms)).
+//   * kErrUnknownSession after a reconnect means the server lost its state
+//     (restart): the client re-issues the remembered bind and retries with
+//     the fresh session id. Because solves are pure functions of the bound
+//     workload and operating point, results across a restart are
+//     bit-identical.
+//   * A circuit breaker opens after `failure_threshold` consecutive
+//     transport failures: new RPCs fail fast with TransportError(kConnect)
+//     until `open_ms` has passed, then a single half-open probe decides
+//     whether to close it again. An RPC already inside its retry loop waits
+//     out the cool-down instead of failing.
+//
+// Retry safety: connect/send failures cannot have executed, so everything
+// is retried after them. After a recv/timeout failure the RPC's fate is
+// unknown; pure requests (solve/control/lut/health/ping/bind) are retried
+// anyway, but `transient` mutates session state, so it is only retried
+// after failures that provably did not execute — otherwise the error
+// propagates and the caller decides.
+//
+// Like Client, a ResilientClient is NOT thread-safe; use one per thread.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace oftec::serve {
+
+struct RetryPolicy {
+  int max_attempts = 5;             ///< total tries per RPC (first + retries)
+  double initial_backoff_ms = 5.0;  ///< sleep before the first retry
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 250.0;
+  /// Each sleep is scaled by (1 - jitter_fraction * u), u ∈ [0, 1) drawn
+  /// from a SplitMix64 stream seeded below — deterministic decorrelation.
+  double jitter_fraction = 0.25;
+  std::uint64_t jitter_seed = 1;
+};
+
+struct BreakerPolicy {
+  int failure_threshold = 3;  ///< consecutive transport failures to open
+  double open_ms = 100.0;     ///< cool-down before the half-open probe
+};
+
+class ResilientClient {
+ public:
+  struct Options {
+    Client::Options client;  ///< frame cap, deadline, recv timeout
+    RetryPolicy retry;
+    BreakerPolicy breaker;
+  };
+
+  /// Remembers the target; connects lazily on the first RPC.
+  explicit ResilientClient(std::uint16_t port, Options options = {});
+
+  ResilientClient(ResilientClient&&) noexcept = default;
+  ResilientClient& operator=(ResilientClient&&) noexcept = default;
+
+  // --- RPCs (throw TransportError once retries are exhausted or the ------
+  // --- breaker is open; ProtocolError for non-retryable server errors) ----
+
+  /// Bind (or re-bind) the session this client tracks. The params are
+  /// remembered for automatic re-binding after a server restart.
+  BindReply bind(const BindParams& params);
+
+  void ping();
+  [[nodiscard]] HealthReply health();
+  [[nodiscard]] SolveReply solve(double omega, double current);
+  [[nodiscard]] ControlReply control(const std::string& objective = "oftec");
+  [[nodiscard]] LutReply lut(const std::vector<double>& power_w);
+  /// Stateful: only retried after failures that provably did not execute
+  /// (see header comment). params.session is overwritten with the tracked
+  /// session.
+  [[nodiscard]] TransientReply transient(TransientParams params);
+  /// Raw stats payload (see Server::stats_json). session 0 → server only.
+  [[nodiscard]] util::json::Value raw_stats(std::uint64_t session = 0);
+  /// True when the session existed server-side.
+  bool unbind(std::uint64_t session);
+
+  /// Session id currently tracked (changes after an automatic re-bind).
+  [[nodiscard]] std::uint64_t session() const noexcept { return session_; }
+  [[nodiscard]] bool bound() const noexcept { return session_ != 0; }
+
+  /// Attach to an existing server-side session (e.g. one bound by another
+  /// connection). Automatic re-binding stays off until bind() is called —
+  /// without the original params there is nothing to re-issue.
+  void set_session(std::uint64_t session) noexcept { session_ = session; }
+
+  /// Recovery counters — how hard the client had to work.
+  struct Stats {
+    std::uint64_t attempts = 0;        ///< RPC attempts, including firsts
+    std::uint64_t retries = 0;         ///< attempts after a failure
+    std::uint64_t reconnects = 0;      ///< fresh connections established
+    std::uint64_t rebinds = 0;         ///< automatic session re-binds
+    std::uint64_t breaker_opens = 0;   ///< closed→open transitions
+    std::uint64_t breaker_rejects = 0; ///< RPCs failed fast while open
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// The one retry loop every RPC funnels through (defined in the .cpp).
+  template <typename Fn>
+  auto with_retry(bool retry_after_recv, Fn&& rpc)
+      -> decltype(rpc(std::declval<Client&>()));
+
+  Client& ensure_connected();
+  void drop_connection() noexcept;
+  void rebind_session();
+  [[nodiscard]] double next_backoff_ms(int attempt);
+  void record_transport_failure();
+
+  std::uint16_t port_;
+  Options options_;
+  std::optional<Client> client_;
+  std::uint64_t session_ = 0;
+  std::optional<BindParams> bind_params_;
+
+  std::uint64_t jitter_state_ = 0;
+  int consecutive_failures_ = 0;
+  Clock::time_point open_until_{};  ///< breaker closed when in the past
+  Stats stats_;
+};
+
+}  // namespace oftec::serve

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <stdexcept>
 #include <utility>
 
 #include "core/oftec.h"
+#include "util/fault.h"
 #include "util/log.h"
 #include "util/obs.h"
 
@@ -27,6 +29,17 @@ const obs::Histogram g_obs_batch_size = obs::histogram(
     "serve.batch_size_points", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
 const obs::Histogram g_obs_latency = obs::histogram(
     "serve.e2e_latency_us", obs::exponential_bounds(10.0, 4.0, 12));
+
+// Fault-injection sites (inert unless armed via OFTEC_FAULT / fault::arm).
+// Each one exercises a degradation path that real infrastructure hits:
+// transient accept() failures, socket-level read/write errors, a saturated
+// admission queue, an executor that throws, and a writer that stalls.
+const fault::Site g_fault_accept = fault::site("serve.accept_fail");
+const fault::Site g_fault_read = fault::site("serve.read_error");
+const fault::Site g_fault_write = fault::site("serve.write_error");
+const fault::Site g_fault_queue_full = fault::site("serve.queue_full");
+const fault::Site g_fault_exec = fault::site("serve.exec_fault");
+const fault::Site g_fault_slow_writer = fault::site("serve.slow_writer");
 
 }  // namespace
 
@@ -158,6 +171,13 @@ void Server::acceptor_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     Socket sock = listener_.accept();
     if (!sock.valid()) break;  // listener shut down
+    if (g_fault_accept.should_fail()) {
+      // A transient accept()-level failure (EMFILE, aborted handshake) must
+      // cost one connection, never the acceptor thread.
+      log::warn("serve: injected accept failure, refusing one connection");
+      sock.close();
+      continue;
+    }
     auto conn = std::make_shared<Connection>(options_.max_queue_depth + 64);
     conn->socket = std::move(sock);
     {
@@ -179,8 +199,11 @@ void Server::acceptor_loop() {
 void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
   std::string payload;
   while (true) {
-    const ReadStatus status =
+    ReadStatus status =
         read_frame(conn->socket.fd(), payload, options_.max_frame_bytes);
+    if (status == ReadStatus::kOk && g_fault_read.should_fail()) {
+      status = ReadStatus::kError;  // as if recv() itself had failed
+    }
     if (status == ReadStatus::kClosed) break;
     if (status != ReadStatus::kOk) {
       // Framing is broken (truncated/oversized/error): the stream position
@@ -225,7 +248,8 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
 
     const std::uint64_t id = item.request.id;
     conn->begin_request();
-    if (queue_->try_push(std::move(item))) {
+    const bool forced_shed = g_fault_queue_full.should_fail();
+    if (!forced_shed && queue_->try_push(std::move(item))) {
       n_admitted_.fetch_add(1, std::memory_order_relaxed);
       g_obs_queue_depth.set(static_cast<double>(queue_->size()));
       continue;
@@ -244,7 +268,11 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
 
 void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
   while (auto message = conn->outbound.pop()) {
-    if (!write_frame(conn->socket.fd(), *message)) {
+    if (g_fault_slow_writer.should_fail()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (g_fault_write.should_fail() ||
+        !write_frame(conn->socket.fd(), *message)) {
       // Peer is gone. Close the outbound queue immediately so every
       // blocked or future send() fails fast instead of waiting for queue
       // space that will never free up — otherwise a crashed client with a
@@ -281,6 +309,18 @@ bool Server::handle_inline(const Request& request,
       util::json::Value result = util::json::Value::object();
       result["removed"] = removed;
       conn->send(make_ok_response(request.id, std::move(result)));
+      return true;
+    }
+    case RequestType::kHealth: {
+      HealthReply reply;
+      reply.healthy = true;  // the reader answered, so the pipeline is up
+      const std::size_t depth = queue_->size();
+      reply.accepting = !stopping_.load(std::memory_order_acquire) &&
+                        !queue_->closed() && depth < queue_->capacity();
+      reply.sessions = registry_.size();
+      reply.queue_depth = depth;
+      reply.queue_capacity = queue_->capacity();
+      conn->send(make_ok_response(request.id, health_result_json(reply)));
       return true;
     }
     default:
@@ -424,6 +464,9 @@ void Server::execute_solve_batch(std::vector<Pending>& batch) {
     // same question get one solve, everyone gets the (bit-identical) answer.
     std::vector<bool> answered(indices.size(), false);
     try {
+      if (g_fault_exec.should_fail()) {
+        throw std::runtime_error("injected executor fault");
+      }
       std::vector<thermal::OperatingPoint> points;
       std::map<std::pair<double, double>, std::size_t> point_index;
       std::vector<std::size_t> result_of(indices.size());
@@ -494,6 +537,9 @@ void Server::execute_single(Pending& item) {
     return;
   }
   try {
+    if (g_fault_exec.should_fail()) {
+      throw std::runtime_error("injected executor fault");
+    }
     switch (item.request.type) {
       case RequestType::kBind: {
         const auto& params = std::get<BindParams>(item.request.params);

@@ -3,11 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -15,11 +19,34 @@ namespace oftec::serve {
 
 namespace {
 
-/// recv() exactly `n` bytes. 1 = ok, 0 = clean EOF before any byte,
-/// -1 = EOF mid-read (peer closed with a partial frame), -2 = socket error.
-int recv_exact(int fd, char* buf, std::size_t n) {
+using Clock = std::chrono::steady_clock;
+
+/// recv() exactly `n` bytes, optionally bounded by `deadline`. 1 = ok,
+/// 0 = clean EOF before any byte, -1 = EOF mid-read (peer closed with a
+/// partial frame), -2 = socket error, -3 = deadline expired.
+int recv_exact(int fd, char* buf, std::size_t n,
+               const Clock::time_point* deadline = nullptr) {
   std::size_t got = 0;
   while (got < n) {
+    if (deadline != nullptr) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 *deadline - Clock::now())
+                                 .count();
+      if (remaining <= 0) return -3;
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLIN;
+      const int pr = ::poll(
+          &p, 1,
+          static_cast<int>(std::min<long long>(
+              remaining, std::numeric_limits<int>::max())));
+      if (pr == 0) return -3;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return -2;
+      }
+      // Readable (or HUP/ERR — recv() below reports which).
+    }
     const ssize_t r = ::recv(fd, buf + got, n - got, 0);
     if (r > 0) {
       got += static_cast<std::size_t>(r);
@@ -160,12 +187,17 @@ void Listener::shutdown() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
-ReadStatus read_frame(int fd, std::string& payload,
-                      std::size_t max_payload_bytes) {
+namespace {
+
+ReadStatus read_frame_impl(int fd, std::string& payload,
+                           std::size_t max_payload_bytes,
+                           const Clock::time_point* deadline) {
   unsigned char prefix[4];
-  const int pr = recv_exact(fd, reinterpret_cast<char*>(prefix), 4);
+  const int pr =
+      recv_exact(fd, reinterpret_cast<char*>(prefix), 4, deadline);
   if (pr == 0) return ReadStatus::kClosed;
   if (pr == -1) return ReadStatus::kTruncated;
+  if (pr == -3) return ReadStatus::kTimeout;
   if (pr < 0) return ReadStatus::kError;
   const std::uint32_t n = (static_cast<std::uint32_t>(prefix[0]) << 24) |
                           (static_cast<std::uint32_t>(prefix[1]) << 16) |
@@ -174,11 +206,29 @@ ReadStatus read_frame(int fd, std::string& payload,
   if (n > max_payload_bytes) return ReadStatus::kTooLarge;
   payload.resize(n);
   if (n == 0) return ReadStatus::kOk;
-  const int br = recv_exact(fd, payload.data(), n);
+  const int br = recv_exact(fd, payload.data(), n, deadline);
   if (br == 1) return ReadStatus::kOk;
+  if (br == -3) return ReadStatus::kTimeout;
   // EOF anywhere inside a promised payload is a truncated frame; only a
   // genuine socket error reports kError.
   return br == -2 ? ReadStatus::kError : ReadStatus::kTruncated;
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, std::string& payload,
+                      std::size_t max_payload_bytes) {
+  return read_frame_impl(fd, payload, max_payload_bytes, nullptr);
+}
+
+ReadStatus read_frame_for(int fd, std::string& payload,
+                          std::size_t max_payload_bytes, long timeout_ms) {
+  if (timeout_ms <= 0) {
+    return read_frame_impl(fd, payload, max_payload_bytes, nullptr);
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  return read_frame_impl(fd, payload, max_payload_bytes, &deadline);
 }
 
 bool write_frame(int fd, std::string_view payload) {

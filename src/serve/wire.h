@@ -93,11 +93,19 @@ enum class ReadStatus {
   kTruncated,  ///< EOF mid-prefix or mid-payload
   kTooLarge,   ///< declared length exceeds `max_payload_bytes`
   kError,      ///< socket error
+  kTimeout,    ///< no complete frame within the deadline (timed variant)
 };
 
 /// Read one length-prefixed frame. Blocks until a full frame, EOF, or error.
 [[nodiscard]] ReadStatus read_frame(int fd, std::string& payload,
                                     std::size_t max_payload_bytes);
+
+/// Timed variant: kTimeout once `timeout_ms` elapses without a complete
+/// frame (the stream position is then ambiguous — treat the connection as
+/// dead, like a framing error). timeout_ms <= 0 blocks forever.
+[[nodiscard]] ReadStatus read_frame_for(int fd, std::string& payload,
+                                        std::size_t max_payload_bytes,
+                                        long timeout_ms);
 
 /// Write one length-prefixed frame (handles short writes; SIGPIPE is
 /// suppressed). False on any send failure.

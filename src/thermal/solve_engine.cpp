@@ -4,14 +4,17 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <list>
 #include <map>
 #include <mutex>
+#include <new>
 #include <stdexcept>
 #include <utility>
 
 #include "la/banded_lu.h"
 #include "la/iterative.h"
+#include "util/fault.h"
 #include "util/obs.h"
 
 namespace oftec::thermal {
@@ -112,6 +115,14 @@ struct SolveEngine::FactorCache {
     direct_fallbacks.store(0, std::memory_order_relaxed);
   }
 
+  void erase(const FactorKey& key) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = index.find(key);
+    if (it == index.end()) return;
+    lru.erase(it->second);
+    index.erase(it);
+  }
+
   void insert(FactorKey key, FactorEntry entry) {
     const std::lock_guard<std::mutex> lock(mutex);
     if (capacity == 0) return;
@@ -187,6 +198,8 @@ bool SolveEngine::solve_direct(
     double omega, const la::Vector& cell_current,
     const std::vector<power::TaylorCoefficients>& taylor, Workspace& ws,
     la::Vector& out) const {
+  static const fault::Site factor_corrupt =
+      fault::site("solve_engine.factor_corrupt");
   cache_->direct_fallbacks.fetch_add(1, std::memory_order_relaxed);
   g_obs_direct_fallbacks.add();
 
@@ -199,30 +212,32 @@ bool SolveEngine::solve_direct(
     key.slope.push_back(bits_of(tc.a));
   }
 
-  FactorEntry entry;
-  AssembledSystem sys;  // also needed for the rhs on a hit
-  bool assembled = false;
-  if (!cache_->find(key, entry)) {
-    sys = assembler_.assemble_banded(omega, cell_current, taylor);
-    assembled = true;
+  const AssembledSystem sys =
+      assembler_.assemble_banded(omega, cell_current, taylor);
+  const auto factorize = [&](FactorEntry& e) -> bool {
     cache_->factorizations.fetch_add(1, std::memory_order_relaxed);
     g_obs_factorizations.add();
     auto numeric = std::make_shared<la::BandedCholeskyNumeric>(symbolic_);
     try {
       numeric->refactorize(sys.matrix);
-      entry.cholesky = std::move(numeric);
+      e.cholesky = std::move(numeric);
+      return true;
     } catch (const std::runtime_error&) {
       // Not positive definite — fall back to pivoted LU.
       try {
-        entry.lu = std::make_shared<const la::BandedLu>(sys.matrix);
+        e.lu = std::make_shared<const la::BandedLu>(sys.matrix);
+        return true;
       } catch (const std::runtime_error&) {
         return false;  // genuinely singular: runaway
       }
     }
-    cache_->insert(std::move(key), entry);
-  }
-  if (!assembled) {
-    sys = assembler_.assemble_banded(omega, cell_current, taylor);
+  };
+
+  FactorEntry entry;
+  const bool hit = cache_->find(key, entry);
+  if (!hit) {
+    if (!factorize(entry)) return false;
+    cache_->insert(key, entry);
   }
 
   if (obs::enabled()) {
@@ -237,7 +252,23 @@ bool SolveEngine::solve_direct(
 
   out = entry.cholesky ? entry.cholesky->solve(sys.rhs)
                        : entry.lu->solve(sys.rhs);
-  if (!physical(out)) return false;
+  if (hit && factor_corrupt.should_fail()) {
+    // Simulate a rotted cached factor: the numbers come back garbage.
+    for (double& t : out) t = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (!physical(out)) {
+    if (!hit) return false;  // fresh factor: the point is genuinely runaway
+    // Self-healing: a cached factor produced a non-physical solution where a
+    // fresh factorization might not (corruption, or a stale borderline
+    // factor). Evict it, refactorize from the assembled matrix, retry once.
+    cache_->erase(key);
+    FactorEntry fresh;
+    if (!factorize(fresh)) return false;
+    out = fresh.cholesky ? fresh.cholesky->solve(sys.rhs)
+                         : fresh.lu->solve(sys.rhs);
+    cache_->insert(std::move(key), std::move(fresh));
+    if (!physical(out)) return false;
+  }
   ws.warm = out;
   ws.have_warm = true;
   return true;
@@ -276,10 +307,40 @@ bool SolveEngine::solve_linear(
 }
 
 SteadyResult SolveEngine::solve_point(double omega, Workspace& ws) const {
+  static const fault::Site alloc_fail = fault::site("solve_engine.alloc_fail");
+  static const fault::Site nonconverge =
+      fault::site("solve_engine.nonconverge");
+  static const fault::Site nan_escape = fault::site("solve_engine.nan");
   OBS_SPAN("solve_engine.solve_point");
   cache_->points.fetch_add(1, std::memory_order_relaxed);
   g_obs_points.add();
+  if (alloc_fail.should_fail()) {
+    throw std::bad_alloc();  // what a failed Workspace/factor alloc raises
+  }
   SteadyResult result = solve_point_impl(omega, ws);
+  if (nonconverge.should_fail() && result.converged) {
+    result.converged = false;
+    result.status = SolveStatus::kNotConverged;
+  }
+  if (nan_escape.should_fail() && !result.temperatures.empty()) {
+    result.temperatures.front() = std::numeric_limits<double>::quiet_NaN();
+    result.max_chip_temperature = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Sanitize barrier: a non-runaway result must be entirely finite. Anything
+  // non-finite that slipped through (injected or real) is demoted to a
+  // structured numerical-error verdict; NaN can never masquerade as success.
+  if (!result.runaway) {
+    bool finite = std::isfinite(result.max_chip_temperature) &&
+                  std::isfinite(result.leakage_power) &&
+                  std::isfinite(result.tec_power);
+    for (std::size_t i = 0; finite && i < result.temperatures.size(); ++i) {
+      finite = std::isfinite(result.temperatures[i]);
+    }
+    if (!finite) {
+      result =
+          make_runaway_result(result.iterations, SolveStatus::kNumericalError);
+    }
+  }
   if (obs::enabled()) {
     g_obs_newton_iterations.observe(static_cast<double>(result.iterations));
   }

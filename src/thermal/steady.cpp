@@ -28,9 +28,10 @@ SteadySolver::SteadySolver(const ThermalModel& model,
   }
 }
 
-SteadyResult make_runaway_result(std::size_t iterations) {
+SteadyResult make_runaway_result(std::size_t iterations, SolveStatus status) {
   SteadyResult res;
   res.runaway = true;
+  res.status = status;
   res.iterations = iterations;
   return res;
 }
@@ -42,6 +43,7 @@ SteadyResult make_steady_result(
   SteadyResult res;
   res.temperatures = std::move(temperatures);
   res.converged = converged;
+  res.status = converged ? SolveStatus::kOk : SolveStatus::kNotConverged;
   res.iterations = iterations;
   res.chip_temperatures =
       model.slab_temperatures(res.temperatures, Slab::kChip);

@@ -19,6 +19,7 @@
 #include "la/vector_ops.h"
 #include "power/leakage.h"
 #include "thermal/model.h"
+#include "util/status.h"
 
 namespace oftec::thermal {
 
@@ -56,6 +57,11 @@ struct SteadyResult {
   la::Vector temperatures;  ///< all nodes [K]; empty on runaway
   bool converged = false;
   bool runaway = false;
+  /// Structured outcome. kOk ⇔ converged && !runaway; the runaway/converged
+  /// flags are kept for existing callers, but layered fallback logic should
+  /// branch on this (it distinguishes "physically infeasible" from "the
+  /// numerics failed" — only the former is a definitive answer).
+  SolveStatus status = SolveStatus::kNotConverged;
   std::size_t iterations = 0;
   double max_chip_temperature = std::numeric_limits<double>::infinity();
   la::Vector chip_temperatures;       ///< per chip cell [K]
@@ -73,8 +79,11 @@ struct SteadyResult {
     std::size_t iterations, const la::Vector& cell_current,
     const std::vector<power::ExponentialTerm>& cell_leakage);
 
-/// The runaway outcome (𝒯 → ∞) as a SteadyResult.
-[[nodiscard]] SteadyResult make_runaway_result(std::size_t iterations);
+/// The runaway outcome (𝒯 → ∞) as a SteadyResult. `status` refines the
+/// cause (kSingular for a dead linear system, kNumericalError for NaN/Inf
+/// contamination); the default is the plain physical-runaway verdict.
+[[nodiscard]] SteadyResult make_runaway_result(
+    std::size_t iterations, SolveStatus status = SolveStatus::kRunaway);
 
 /// Binds a thermal model to one workload (dynamic power + leakage terms) and
 /// solves repeatedly for different (ω, I) — the "thermal simulator" box of

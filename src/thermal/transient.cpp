@@ -19,7 +19,8 @@ TransientSolver::TransientSolver(const ThermalModel& model,
   if (dynamic_.size() != cells || leakage_.size() != cells) {
     throw std::invalid_argument("TransientSolver: per-cell arity mismatch");
   }
-  if (options_.time_step <= 0.0 || options_.duration <= 0.0) {
+  // duration == 0 is a valid no-op horizon: zero steps, state unchanged.
+  if (options_.time_step <= 0.0 || options_.duration < 0.0) {
     throw std::invalid_argument("TransientSolver: bad time parameters");
   }
   if (options_.record_stride == 0) {

@@ -1,0 +1,228 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace oftec::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// SplitMix64 — tiny, full-period, and statistically solid for rate tests.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct ArmedPattern {
+  std::string pattern;
+  std::uint64_t threshold = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Sites live forever once registered (handles hold raw pointers), matching
+/// the obs registry's lifetime model.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<detail::SiteState>, std::less<>> sites;
+  std::vector<ArmedPattern> patterns;  ///< latest spec wins per pattern
+
+  void refresh_armed_flag() {
+    bool any = false;
+    for (const auto& [name, state] : sites) {
+      any = any || state->threshold.load(std::memory_order_relaxed) != 0;
+    }
+    // A pattern with no matching site yet still counts: the site may
+    // register later and must come up armed without a stale global flag.
+    for (const ArmedPattern& p : patterns) any = any || p.threshold != 0;
+    detail::g_armed.store(any, std::memory_order_relaxed);
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed (static-init safe)
+  return *r;
+}
+
+[[nodiscard]] bool matches(std::string_view pattern, std::string_view name) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*') {
+    return name.substr(0, pattern.size() - 1) ==
+           pattern.substr(0, pattern.size() - 1);
+  }
+  return pattern == name;
+}
+
+[[nodiscard]] std::uint64_t threshold_of(double rate) noexcept {
+  if (!(rate > 0.0)) return 0;
+  if (rate >= 1.0) return ~0ull;
+  return static_cast<std::uint64_t>(
+      std::ldexp(std::min(std::max(rate, 0.0), 1.0), 64));
+}
+
+void apply_env_once() {
+  static const bool applied = [] {
+    if (const char* spec = std::getenv("OFTEC_FAULT");
+        spec != nullptr && *spec != '\0') {
+      if (!apply_spec(spec)) {
+        log::warn("fault: malformed OFTEC_FAULT entry in \"", spec,
+                  "\" (expected site:rate[:seed],...)");
+      }
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
+struct EnvInit {
+  EnvInit() { apply_env_once(); }
+} g_env_init;
+
+}  // namespace
+
+namespace detail {
+
+bool SiteState::decide() noexcept {
+  const std::uint64_t t = threshold.load(std::memory_order_relaxed);
+  if (t == 0) return false;
+  const std::uint64_t n = calls.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t s = seed.load(std::memory_order_relaxed);
+  const bool fire = t == ~0ull || mix64(s ^ (n * 0x9e3779b97f4a7c15ull)) < t;
+  if (fire) fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace detail
+
+Site site(std::string_view name) {
+  apply_env_once();  // robust against static-init ordering across TUs
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(name);
+  if (it == r.sites.end()) {
+    auto state = std::make_unique<detail::SiteState>();
+    state->name = std::string(name);
+    // Late registration: honor patterns armed before this site existed.
+    for (const ArmedPattern& p : r.patterns) {
+      if (matches(p.pattern, name)) {
+        state->threshold.store(p.threshold, std::memory_order_relaxed);
+        state->seed.store(p.seed, std::memory_order_relaxed);
+      }
+    }
+    it = r.sites.emplace(std::string(name), std::move(state)).first;
+  }
+  return Site(it->second.get());
+}
+
+std::size_t arm(std::string_view pattern, double rate, std::uint64_t seed) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint64_t threshold = threshold_of(rate);
+  std::size_t matched = 0;
+  for (const auto& [name, state] : r.sites) {
+    if (!matches(pattern, name)) continue;
+    state->threshold.store(threshold, std::memory_order_relaxed);
+    state->seed.store(seed, std::memory_order_relaxed);
+    ++matched;
+  }
+  // Remember for later registrations; replace an identical pattern in place.
+  const auto it = std::find_if(
+      r.patterns.begin(), r.patterns.end(),
+      [&](const ArmedPattern& p) { return p.pattern == pattern; });
+  if (it != r.patterns.end()) {
+    it->threshold = threshold;
+    it->seed = seed;
+  } else {
+    r.patterns.push_back({std::string(pattern), threshold, seed});
+  }
+  r.refresh_armed_flag();
+  return matched;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, state] : r.sites) {
+    state->threshold.store(0, std::memory_order_relaxed);
+  }
+  r.patterns.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, state] : r.sites) {
+    state->calls.store(0, std::memory_order_relaxed);
+    state->fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool apply_spec(std::string_view spec_list) {
+  bool ok = true;
+  for (const std::string& entry : util::split(spec_list, ',')) {
+    const std::string_view trimmed = util::trim(entry);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> parts = util::split(trimmed, ':');
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+      ok = false;
+      continue;
+    }
+    double rate = 0.0;
+    std::uint64_t seed = 1;
+    try {
+      rate = std::stod(parts[1]);
+      if (parts.size() == 3) seed = std::stoull(parts[2]);
+    } catch (const std::exception&) {
+      ok = false;
+      continue;
+    }
+    if (!(rate >= 0.0) || rate > 1.0) {
+      ok = false;
+      continue;
+    }
+    arm(util::trim(parts[0]), rate, seed);
+  }
+  return ok;
+}
+
+std::vector<SiteStats> stats() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SiteStats> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, state] : r.sites) {
+    SiteStats s;
+    s.name = name;
+    const std::uint64_t t = state->threshold.load(std::memory_order_relaxed);
+    s.rate = t == ~0ull ? 1.0 : std::ldexp(static_cast<double>(t), -64);
+    s.seed = state->seed.load(std::memory_order_relaxed);
+    s.calls = state->calls.load(std::memory_order_relaxed);
+    s.fires = state->fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t fires(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(name);
+  return it == r.sites.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace oftec::fault

@@ -1,0 +1,42 @@
+// SolveStatus — one vocabulary for "did the numerics succeed, and if not,
+// how exactly did they fail".
+//
+// Before this header, non-convergence was signalled three different ways
+// (an exception from the direct solvers, a silent last-iterate return from
+// the SQP, a bool pair on SteadyResult), which made layered fallback
+// impossible: a caller cannot pick the right degradation rung without
+// knowing *why* the rung above it failed. Every solver-shaped result in the
+// codebase (thermal::SteadyResult, opt::OptResult, core::OftecResult) now
+// carries one of these, and control layers branch on it instead of
+// catching exceptions.
+#pragma once
+
+namespace oftec {
+
+enum class SolveStatus {
+  kOk,              ///< converged; the reported values are trustworthy
+  kNotConverged,    ///< iteration budget exhausted without meeting tolerance
+  kRunaway,         ///< thermal runaway: the physical system has no fixed point
+  kSingular,        ///< linear system singular/indefinite beyond recovery
+  kNumericalError,  ///< non-finite values escaped the solver core
+};
+
+[[nodiscard]] constexpr const char* to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kNotConverged: return "not_converged";
+    case SolveStatus::kRunaway: return "runaway";
+    case SolveStatus::kSingular: return "singular";
+    case SolveStatus::kNumericalError: return "numerical_error";
+  }
+  return "unknown";
+}
+
+/// True when the result can be consumed as a valid answer (possibly an
+/// honest "this operating point is physically infeasible" answer — runaway
+/// is a *finding*, not a malfunction).
+[[nodiscard]] constexpr bool is_definitive(SolveStatus s) noexcept {
+  return s == SolveStatus::kOk || s == SolveStatus::kRunaway;
+}
+
+}  // namespace oftec

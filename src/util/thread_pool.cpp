@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <system_error>
 
+#include "util/fault.h"
+#include "util/log.h"
 #include "util/obs.h"
 
 namespace oftec::util {
@@ -33,10 +36,25 @@ std::size_t ThreadPool::default_thread_count() {
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  static const fault::Site spawn_fail = fault::site("thread_pool.spawn_fail");
   if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads - 1);
   for (std::size_t id = 1; id < threads; ++id) {
-    workers_.emplace_back([this, id] { worker_loop(id); });
+    // A worker that fails to start (injected, or a real resource-exhaustion
+    // std::system_error) leaves a smaller pool; parallel_for stays correct at
+    // any worker count, including zero, so degrade rather than abort.
+    if (spawn_fail.should_fail()) {
+      log::warn("thread_pool: worker ", id, " failed to start (injected); ",
+                "continuing with a smaller pool");
+      continue;
+    }
+    try {
+      workers_.emplace_back([this, id] { worker_loop(id); });
+    } catch (const std::system_error& e) {
+      log::warn("thread_pool: worker ", id, " failed to start (", e.what(),
+                "); continuing with ", workers_.size(), " workers");
+      break;
+    }
   }
 }
 

@@ -1,0 +1,285 @@
+// Chaos tests for the serve stack: with every serve/client fault site armed
+// at the acceptance rate (10 %, fixed seeds), a ResilientClient must ride
+// through injected accept/read/write/executor failures without crashes,
+// deadlocks, or silently wrong answers — and a server restart mid-run must
+// be invisible to the caller modulo a re-bind, with bit-identical results.
+#include "serve/resilient_client.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/fault.h"
+
+namespace oftec::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ChaosServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm_all();
+    fault::reset_counters();
+  }
+  void TearDown() override {
+    fault::disarm_all();
+    fault::reset_counters();
+  }
+};
+
+BindParams susan_bind() {
+  BindParams params;
+  params.benchmark = "susan";
+  params.grid_nx = 8;
+  params.grid_ny = 8;
+  return params;
+}
+
+/// Retry/breaker tuning for chaos runs: many attempts, short sleeps, so the
+/// suite stays fast while still exercising every recovery path.
+ResilientClient::Options chaos_options() {
+  ResilientClient::Options o;
+  o.retry.max_attempts = 20;
+  o.retry.initial_backoff_ms = 1.0;
+  o.retry.max_backoff_ms = 10.0;
+  o.breaker.failure_threshold = 5;
+  o.breaker.open_ms = 10.0;
+  return o;
+}
+
+TEST_F(ChaosServeTest, HealthProbeReportsReadinessAndSessions) {
+  Server server;
+  server.start();
+  ResilientClient client(server.port(), chaos_options());
+
+  HealthReply h = client.health();
+  EXPECT_TRUE(h.healthy);
+  EXPECT_TRUE(h.accepting);
+  EXPECT_EQ(h.sessions, 0u);
+  EXPECT_GT(h.queue_capacity, 0u);
+
+  (void)client.bind(susan_bind());
+  h = client.health();
+  EXPECT_EQ(h.sessions, 1u);
+  server.stop();
+}
+
+TEST_F(ChaosServeTest, ExecutorFaultIsStructuredNotADroppedConnection) {
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  (void)fault::arm("serve.exec_fault", 1.0, 5);
+  try {
+    (void)client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+    FAIL() << "an injected executor fault must surface as an error reply";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), kErrInternal);
+  }
+  fault::disarm_all();
+
+  // The connection survived the fault: the *same* client keeps working.
+  const SolveReply r =
+      client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(r.runaway);
+  EXPECT_GT(r.max_chip_temperature_k, 300.0);
+  server.stop();
+}
+
+TEST_F(ChaosServeTest, AcceptFaultsRejectNewConnectionsThenRecover) {
+  Server server;
+  server.start();
+
+  (void)fault::arm("serve.accept_fail", 1.0, 6);
+  Client doomed = Client::connect(server.port());  // TCP accept still works…
+  EXPECT_THROW(doomed.ping(), TransportError);     // …but the server hung up
+  fault::disarm_all();
+
+  Client healthy = Client::connect(server.port());
+  healthy.ping();
+  server.stop();
+}
+
+TEST_F(ChaosServeTest, FullChaosSweepNeverReturnsAWrongAnswer) {
+  Server server;
+  server.start();
+
+  // Faultless baseline through a plain client.
+  std::vector<SolveReply> baseline;
+  double omega_max = 0.0;
+  {
+    Client plain = Client::connect(server.port());
+    const BindReply chip = plain.bind(susan_bind());
+    omega_max = chip.omega_max;
+    for (int i = 0; i < 8; ++i) {
+      baseline.push_back(plain.solve(
+          chip.session, (0.3 + 0.05 * i) * omega_max, 0.0));
+    }
+    EXPECT_TRUE(plain.unbind(chip.session));
+  }
+
+  // Acceptance criterion: every serve-side and client-side site at 10 %,
+  // fixed seeds. slow_writer is exercised separately (it trades latency for
+  // nothing else and would only slow this sweep down).
+  (void)fault::arm("serve.read_error", 0.1, 21);
+  (void)fault::arm("serve.write_error", 0.1, 22);
+  (void)fault::arm("serve.queue_full", 0.1, 23);
+  (void)fault::arm("serve.exec_fault", 0.1, 24);
+  (void)fault::arm("client.send_fail", 0.1, 25);
+  (void)fault::arm("client.recv_fail", 0.1, 26);
+
+  ResilientClient client(server.port(), chaos_options());
+  (void)client.bind(susan_bind());
+
+  std::size_t structured_failures = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      const double omega = (0.3 + 0.05 * static_cast<double>(i)) * omega_max;
+      try {
+        const SolveReply r = client.solve(omega, 0.0);
+        // Any reply that claims success must be *the* answer, bit for bit:
+        // injected chaos may delay or fail a request, never corrupt one.
+        EXPECT_EQ(r.runaway, baseline[i].runaway);
+        EXPECT_EQ(r.max_chip_temperature_k,
+                  baseline[i].max_chip_temperature_k);
+        EXPECT_EQ(r.leakage_w, baseline[i].leakage_w);
+        EXPECT_EQ(r.tec_w, baseline[i].tec_w);
+        EXPECT_EQ(r.fan_w, baseline[i].fan_w);
+      } catch (const ProtocolError& e) {
+        // kErrInternal (injected executor fault) is not retryable by
+        // design — the error is structured and attributable, which is the
+        // whole point. Anything else here would be a real defect.
+        EXPECT_EQ(e.code(), kErrInternal);
+        ++structured_failures;
+      }
+      // TransportError would mean 20 attempts with backoff all failed at a
+      // 10 % fault rate — let it propagate and fail the test.
+    }
+  }
+  const ResilientClient::Stats& stats = client.stats();
+  EXPECT_GT(stats.attempts, 0u);
+  fault::disarm_all();
+
+  // After the storm the same client still works.
+  const SolveReply calm = client.solve(0.5 * omega_max, 0.0);
+  EXPECT_GT(calm.max_chip_temperature_k, 300.0);
+  (void)structured_failures;
+  server.stop();
+}
+
+TEST_F(ChaosServeTest, SlowAndFailingWriterStillDrainsOnStop) {
+  Server server;
+  server.start();
+  (void)fault::arm("serve.slow_writer", 1.0, 31);
+  (void)fault::arm("serve.write_error", 0.5, 32);
+
+  // A few clients fire solves into the degraded writer; their outcomes are
+  // irrelevant — the assertion is that stop() completes (drains, joins)
+  // with the writer limping.
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([port = server.port()] {
+      try {
+        Client client = Client::connect(port);
+        const BindReply chip = client.bind(susan_bind());
+        for (int i = 0; i < 4; ++i) {
+          (void)client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+        }
+      } catch (const std::exception&) {
+        // write faults sever connections mid-conversation — expected
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  server.stop();  // must not deadlock
+  SUCCEED();
+}
+
+TEST_F(ChaosServeTest, BreakerOpensWhenTheServerIsGone) {
+  Server server;
+  server.start();
+  const std::uint16_t port = server.port();
+  ResilientClient::Options opts = chaos_options();
+  opts.retry.max_attempts = 2;  // fail fast enough to observe the breaker
+  ResilientClient client(port, opts);
+  (void)client.bind(susan_bind());
+  server.stop();
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_THROW(client.ping(), TransportError);
+  }
+  const ResilientClient::Stats& stats = client.stats();
+  EXPECT_GT(stats.breaker_opens, 0u);
+  EXPECT_GT(stats.breaker_rejects, 0u);
+}
+
+TEST_F(ChaosServeTest, ServerRestartMidRunIsBitIdenticalAfterRebind) {
+  ServerOptions opts;  // ephemeral first, pinned for the successor
+  auto first = std::make_unique<Server>(opts);
+  first->start();
+  const std::uint16_t port = first->port();
+
+  ResilientClient::Options copts = chaos_options();
+  copts.retry.max_attempts = 30;  // ride out the restart gap
+  ResilientClient client(port, copts);
+  const BindReply chip = client.bind(susan_bind());
+
+  std::vector<SolveReply> before;
+  for (int i = 0; i < 4; ++i) {
+    before.push_back(client.solve((0.4 + 0.1 * i) * chip.omega_max, 0.0));
+  }
+  // Transient state lives in the session: it must restart from scratch
+  // after a re-bind, so a reset run now and an identical reset run on the
+  // successor must agree bit for bit.
+  TransientParams tp;
+  tp.omega = 0.5 * chip.omega_max;
+  tp.current = 0.0;
+  tp.duration_s = 0.05;
+  tp.time_step_s = 5e-3;
+  tp.reset = true;
+  const TransientReply trans_before = client.transient(tp);
+  EXPECT_DOUBLE_EQ(trans_before.time_s, tp.duration_s);
+
+  // Kill the server mid-run and bring up a successor on the same port.
+  first->stop();
+  first.reset();
+  ServerOptions pinned;
+  pinned.port = port;
+  Server second(pinned);
+  second.start();
+
+  // The very next solve rides through: reconnect, kErrUnknownSession on the
+  // stale session, automatic re-bind, then the answer — bit-identical,
+  // because a solve is a pure function of (workload, grid, ω, I).
+  std::vector<SolveReply> after;
+  for (int i = 0; i < 4; ++i) {
+    after.push_back(client.solve((0.4 + 0.1 * i) * chip.omega_max, 0.0));
+  }
+  // Session ids are per-server counters, so the successor may well hand out
+  // the same id again — the rebind counter is the proof of recovery.
+  EXPECT_GT(client.stats().rebinds, 0u);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].runaway, before[i].runaway);
+    EXPECT_EQ(after[i].max_chip_temperature_k,
+              before[i].max_chip_temperature_k);
+    EXPECT_EQ(after[i].leakage_w, before[i].leakage_w);
+    EXPECT_EQ(after[i].tec_w, before[i].tec_w);
+    EXPECT_EQ(after[i].fan_w, before[i].fan_w);
+  }
+
+  const TransientReply trans_after = client.transient(tp);
+  EXPECT_EQ(trans_after.final_max_chip_temperature_k,
+            trans_before.final_max_chip_temperature_k);
+  EXPECT_EQ(trans_after.peak_max_chip_temperature_k,
+            trans_before.peak_max_chip_temperature_k);
+  EXPECT_EQ(trans_after.steps, trans_before.steps);
+  second.stop();
+}
+
+}  // namespace
+}  // namespace oftec::serve

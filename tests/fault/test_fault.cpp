@@ -1,0 +1,147 @@
+// Unit tests for the oftec::fault injection framework: determinism,
+// rate accuracy, pattern arming (exact / prefix / wildcard / late
+// registration), spec parsing, and the disabled-mode contract.
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace oftec::fault {
+namespace {
+
+/// Every test leaves the framework disarmed — fault state is process-global
+/// and must never leak into other suites in this binary.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disarm_all();
+    reset_counters();
+  }
+  void TearDown() override {
+    disarm_all();
+    reset_counters();
+  }
+};
+
+TEST_F(FaultTest, DisarmedNeverFires) {
+  const Site s = site("test.fault.never");
+  EXPECT_FALSE(armed());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(s.should_fail());
+  EXPECT_EQ(fires("test.fault.never"), 0u);
+}
+
+TEST_F(FaultTest, DefaultConstructedHandleNeverFires) {
+  const Site s;
+  (void)arm("*", 1.0, 1);
+  EXPECT_FALSE(s.should_fail());
+}
+
+TEST_F(FaultTest, RateOneAlwaysFires) {
+  const Site s = site("test.fault.always");
+  EXPECT_EQ(arm("test.fault.always", 1.0, 42), 1u);
+  EXPECT_TRUE(armed());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.should_fail());
+  EXPECT_EQ(fires("test.fault.always"), 100u);
+}
+
+TEST_F(FaultTest, FiringPatternIsDeterministicInSeed) {
+  const Site s = site("test.fault.pattern");
+  const auto record = [&] {
+    std::vector<bool> pattern;
+    pattern.reserve(1000);
+    for (int i = 0; i < 1000; ++i) pattern.push_back(s.should_fail());
+    return pattern;
+  };
+  (void)arm("test.fault.pattern", 0.3, 7);
+  const std::vector<bool> first = record();
+  reset_counters();  // rewind the per-site call index
+  const std::vector<bool> replay = record();
+  EXPECT_EQ(first, replay);
+
+  reset_counters();
+  (void)arm("test.fault.pattern", 0.3, 8);  // different seed, different walk
+  EXPECT_NE(first, record());
+}
+
+TEST_F(FaultTest, ObservedRateTracksConfiguredRate) {
+  const Site s = site("test.fault.rate");
+  (void)arm("test.fault.rate", 0.1, 1);
+  int hits = 0;
+  constexpr int kCalls = 20000;
+  for (int i = 0; i < kCalls; ++i) hits += s.should_fail() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kCalls, 0.1, 0.02);
+}
+
+TEST_F(FaultTest, PrefixPatternArmsFamilyIncludingLateSites) {
+  const Site a = site("test.fault.px.a");
+  EXPECT_EQ(arm("test.fault.px.*", 1.0, 3), 1u);
+  EXPECT_TRUE(a.should_fail());
+  // A site registered *after* the arm must come up armed.
+  const Site late = site("test.fault.px.late");
+  EXPECT_TRUE(late.should_fail());
+  // A site outside the prefix stays cold.
+  const Site other = site("test.fault.other");
+  EXPECT_FALSE(other.should_fail());
+}
+
+TEST_F(FaultTest, DisarmAllSilencesEverything) {
+  const Site s = site("test.fault.silence");
+  (void)arm("*", 1.0, 1);
+  EXPECT_TRUE(s.should_fail());
+  disarm_all();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(s.should_fail());
+  // Remembered patterns are forgotten too.
+  const Site late = site("test.fault.silence.late");
+  EXPECT_FALSE(late.should_fail());
+}
+
+TEST_F(FaultTest, ApplySpecParsesWellFormedEntries) {
+  const Site s = site("test.fault.spec");
+  EXPECT_TRUE(apply_spec("test.fault.spec:0.5:9"));
+  bool found = false;
+  for (const SiteStats& st : stats()) {
+    if (st.name != "test.fault.spec") continue;
+    found = true;
+    EXPECT_NEAR(st.rate, 0.5, 1e-12);
+    EXPECT_EQ(st.seed, 9u);
+  }
+  EXPECT_TRUE(found);
+
+  // Multiple comma-separated entries, with whitespace: the first disarms
+  // the site again, the second arms a new one at rate 1.
+  EXPECT_TRUE(apply_spec(" test.fault.spec:0 , test.fault.spec2:1.0 "));
+  EXPECT_FALSE(s.should_fail());
+  EXPECT_TRUE(site("test.fault.spec2").should_fail());
+}
+
+TEST_F(FaultTest, ApplySpecRejectsMalformedEntries) {
+  EXPECT_FALSE(apply_spec("nonsense"));
+  EXPECT_FALSE(apply_spec("site.x:notanumber"));
+  EXPECT_FALSE(apply_spec("site.x:1.5"));   // rate out of range
+  EXPECT_FALSE(apply_spec(":0.5"));         // empty site
+  EXPECT_FALSE(apply_spec("a:0.1:b:c"));    // too many fields
+  // A malformed entry must not poison well-formed neighbours.
+  EXPECT_FALSE(apply_spec("test.fault.mixed:1.0,broken"));
+  EXPECT_TRUE(site("test.fault.mixed").should_fail());
+}
+
+TEST_F(FaultTest, CountersTrackCallsAndFires) {
+  const Site s = site("test.fault.count");
+  (void)arm("test.fault.count", 0.5, 11);
+  for (int i = 0; i < 400; ++i) (void)s.should_fail();
+  for (const SiteStats& st : stats()) {
+    if (st.name != "test.fault.count") continue;
+    EXPECT_EQ(st.calls, 400u);
+    EXPECT_EQ(st.fires, fires("test.fault.count"));
+    EXPECT_GT(st.fires, 100u);
+    EXPECT_LT(st.fires, 300u);
+  }
+  reset_counters();
+  EXPECT_EQ(fires("test.fault.count"), 0u);
+}
+
+}  // namespace
+}  // namespace oftec::fault

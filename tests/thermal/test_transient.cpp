@@ -185,6 +185,92 @@ TEST(Transient, SamplesCarryPowerBreakdown) {
   }
 }
 
+TEST(Transient, ZeroLengthHorizonIsANoOp) {
+  const Workload w = make_workload(20.0);
+  TransientOptions opts;
+  opts.duration = 0.0;
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const la::Vector start(model().layout().node_count(), 330.0);
+  const TransientResult r = transient.run(constant_control(400.0, 0.5), start);
+  EXPECT_FALSE(r.runaway);
+  EXPECT_EQ(r.steps, 0u);
+  ASSERT_EQ(r.final_temperatures.size(), start.size());
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    EXPECT_EQ(r.final_temperatures[i], start[i]);
+  }
+  // The initial condition is still recorded, so callers can plot it.
+  ASSERT_EQ(r.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.samples[0].time, 0.0);
+
+  TransientOptions bad;
+  bad.duration = -1.0;
+  EXPECT_THROW(TransientSolver(model(), w.dynamic, w.leak, bad),
+               std::invalid_argument);
+}
+
+TEST(Transient, VeryLargeTimeStepStaysStableAndLandsNearSteadyState) {
+  // Backward Euler is A-stable: a dt far beyond every package time constant
+  // must not oscillate or blow up — each giant step lands on the tangent-
+  // linearized fixed point, and relinearization walks it to the true one.
+  const Workload w = make_workload(25.0);
+  TransientOptions opts;
+  opts.time_step = 1000.0;  // ~10^5 × the sink time constant
+  opts.duration = 10000.0;  // 10 giant steps
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(450.0, 0.5), transient.ambient_state());
+  ASSERT_FALSE(r.runaway);
+  EXPECT_EQ(r.steps, 10u);
+  for (const double t : r.final_temperatures) {
+    ASSERT_TRUE(std::isfinite(t));
+  }
+
+  const SteadySolver steady(model(), w.dynamic, w.leak);
+  const SteadyResult s = steady.solve(450.0, 0.5);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(r.samples.back().max_chip_temperature, s.max_chip_temperature,
+              0.5);
+}
+
+TEST(Transient, StepChangeMidHorizonMatchesTwoStageComposition) {
+  // Integrating across a control step in one run must equal splitting the
+  // run at the step and carrying the state over — bit for bit. This is the
+  // property that lets serve sessions (and their re-binds) chain transient
+  // segments without drift.
+  const Workload w = make_workload(24.0);
+  const double t_step = 0.25;  // exactly on a step boundary (25 × dt)
+
+  TransientOptions whole_opts;
+  whole_opts.time_step = 10e-3;
+  whole_opts.duration = 0.5;
+  const TransientSolver whole(model(), w.dynamic, w.leak, whole_opts);
+  const TransientResult one_shot = whole.run(
+      [t_step](double t) {
+        return t < t_step ? ControlSetting{450.0, 0.0}
+                          : ControlSetting{250.0, 1.5};
+      },
+      whole.ambient_state());
+  ASSERT_FALSE(one_shot.runaway);
+
+  TransientOptions half_opts = whole_opts;
+  half_opts.duration = t_step;
+  const TransientSolver half(model(), w.dynamic, w.leak, half_opts);
+  const TransientResult leg1 =
+      half.run(constant_control(450.0, 0.0), half.ambient_state());
+  ASSERT_FALSE(leg1.runaway);
+  const TransientResult leg2 =
+      half.run(constant_control(250.0, 1.5), leg1.final_temperatures);
+  ASSERT_FALSE(leg2.runaway);
+
+  ASSERT_EQ(one_shot.final_temperatures.size(),
+            leg2.final_temperatures.size());
+  for (std::size_t i = 0; i < one_shot.final_temperatures.size(); ++i) {
+    EXPECT_EQ(one_shot.final_temperatures[i], leg2.final_temperatures[i]);
+  }
+  EXPECT_EQ(one_shot.samples.back().max_chip_temperature,
+            leg2.samples.back().max_chip_temperature);
+}
+
 TEST(Transient, StateArityChecked) {
   const Workload w = make_workload(20.0);
   const TransientSolver transient(model(), w.dynamic, w.leak);

@@ -2,6 +2,7 @@
 //
 //   oftec_client serve  [--port N] [--batch N] [--delay-us N] [--queue N]
 //   oftec_client ping   --port N
+//   oftec_client health --port N
 //   oftec_client bind   --port N (--benchmark NAME | --power "w0,w1,...")
 //                       [--grid N] [--t-max-c X] [--no-tec] [--direct]
 //                       [--lut-train "b0,b1,..."]
@@ -13,9 +14,22 @@
 //                       --duration T [--step DT] [--reset]
 //   oftec_client stats  --port N [--session S]
 //
+// Every RPC command also accepts resilience flags:
+//   --retries N      total attempts per RPC (default 1 = no retry)
+//   --backoff-ms X   initial retry backoff, doubling per attempt (default 5)
+//   --timeout-ms X   per-receive timeout; 0 = block forever (default 0)
+//
 // `serve` runs a daemon on the loopback interface until SIGINT/SIGTERM;
 // every other command connects, performs one RPC, prints the reply, and
-// exits non-zero on a structured error.
+// exits with a code that scripts can branch on:
+//   0  success
+//   1  unexpected local error
+//   2  usage error
+//   3  connect/transport failure (server unreachable or connection lost)
+//   4  receive timeout
+//   5  server overloaded or shutting down (retry later)
+//   6  server-side internal error
+//   7  other structured protocol error (bad request, unknown session, ...)
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -26,6 +40,7 @@
 #include <vector>
 
 #include "serve/client.h"
+#include "serve/resilient_client.h"
 #include "serve/server.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -88,13 +103,30 @@ std::vector<double> parse_power_list(const std::string& csv) {
   return out;
 }
 
-serve::Client connect_from(const std::map<std::string, std::string>& flags) {
+// Script-friendly exit codes (see the file header).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConnect = 3;
+constexpr int kExitTimeout = 4;
+constexpr int kExitOverloaded = 5;
+constexpr int kExitInternal = 6;
+constexpr int kExitProtocol = 7;
+
+serve::ResilientClient connect_from(
+    const std::map<std::string, std::string>& flags) {
   const double port = num_flag(flags, "port", 0.0);
   if (port <= 0.0 || port > 65535.0) {
     std::fprintf(stderr, "error: --port is required (1-65535)\n");
-    std::exit(2);
+    std::exit(kExitUsage);
   }
-  return serve::Client::connect(static_cast<std::uint16_t>(port));
+  serve::ResilientClient::Options opts;
+  opts.retry.max_attempts =
+      static_cast<int>(num_flag(flags, "retries", 1.0));
+  opts.retry.initial_backoff_ms = num_flag(flags, "backoff-ms", 5.0);
+  opts.client.recv_timeout_ms =
+      static_cast<long>(num_flag(flags, "timeout-ms", 0.0));
+  return serve::ResilientClient(static_cast<std::uint16_t>(port), opts);
 }
 
 int cmd_serve(const std::map<std::string, std::string>& flags) {
@@ -128,14 +160,25 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_ping(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
+  serve::ResilientClient client = connect_from(flags);
   client.ping();
   std::printf("ok\n");
   return 0;
 }
 
+int cmd_health(const std::map<std::string, std::string>& flags) {
+  serve::ResilientClient client = connect_from(flags);
+  const serve::HealthReply r = client.health();
+  std::printf("healthy=%s accepting=%s sessions=%llu queue=%llu/%llu\n",
+              r.healthy ? "yes" : "no", r.accepting ? "yes" : "no",
+              static_cast<unsigned long long>(r.sessions),
+              static_cast<unsigned long long>(r.queue_depth),
+              static_cast<unsigned long long>(r.queue_capacity));
+  return r.healthy && r.accepting ? kExitOk : kExitOverloaded;
+}
+
 int cmd_bind(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
+  serve::ResilientClient client = connect_from(flags);
   serve::BindParams params;
   params.benchmark = flag_or(flags, "benchmark", "");
   if (has_flag(flags, "power")) {
@@ -163,7 +206,7 @@ int cmd_bind(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_unbind(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
+  serve::ResilientClient client = connect_from(flags);
   const auto session =
       static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
   std::printf("%s\n", client.unbind(session) ? "removed" : "not found");
@@ -171,11 +214,10 @@ int cmd_unbind(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_solve(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
-  const auto session =
-      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
-  const serve::SolveReply r = client.solve(session,
-                                           num_flag(flags, "omega", 0.0),
+  serve::ResilientClient client = connect_from(flags);
+  client.set_session(
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0)));
+  const serve::SolveReply r = client.solve(num_flag(flags, "omega", 0.0),
                                            num_flag(flags, "current", 0.0));
   if (r.runaway) {
     std::printf("RUNAWAY\n");
@@ -190,11 +232,11 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_control(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
-  const auto session =
-      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  serve::ResilientClient client = connect_from(flags);
+  client.set_session(
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0)));
   const serve::ControlReply r =
-      client.control(session, flag_or(flags, "objective", "oftec"));
+      client.control(flag_or(flags, "objective", "oftec"));
   std::printf("%s: %s  omega=%.0f RPM  I=%.3f A  T=%.2f C  "
               "P_cool=%.2f W  (%.1f ms, %llu solves)\n",
               r.objective.c_str(), r.success ? "ok" : "infeasible",
@@ -206,12 +248,11 @@ int cmd_control(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_lut(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
-  const auto session =
-      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  serve::ResilientClient client = connect_from(flags);
+  client.set_session(
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0)));
   if (!has_flag(flags, "power")) usage();
-  const serve::LutReply r =
-      client.lut(session, parse_power_list(flags.at("power")));
+  const serve::LutReply r = client.lut(parse_power_list(flags.at("power")));
   std::printf("entry %llu (distance %.3f W): omega=%.0f RPM  I=%.3f A  %s\n",
               static_cast<unsigned long long>(r.entry_index),
               r.feature_distance, units::rad_s_to_rpm(r.omega), r.current,
@@ -220,9 +261,10 @@ int cmd_lut(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_transient(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
+  serve::ResilientClient client = connect_from(flags);
+  client.set_session(
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0)));
   serve::TransientParams params;
-  params.session = static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
   params.omega = num_flag(flags, "omega", 0.0);
   params.current = num_flag(flags, "current", 0.0);
   params.duration_s = num_flag(flags, "duration", 0.0);
@@ -243,10 +285,10 @@ int cmd_transient(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_stats(const std::map<std::string, std::string>& flags) {
-  serve::Client client = connect_from(flags);
+  serve::ResilientClient client = connect_from(flags);
   const auto session =
       static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
-  std::printf("%s\n", client.stats(session).dump().c_str());
+  std::printf("%s\n", client.raw_stats(session).dump().c_str());
   return 0;
 }
 
@@ -260,6 +302,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "serve") return cmd_serve(flags);
     if (command == "ping") return cmd_ping(flags);
+    if (command == "health") return cmd_health(flags);
     if (command == "bind") return cmd_bind(flags);
     if (command == "unbind") return cmd_unbind(flags);
     if (command == "solve") return cmd_solve(flags);
@@ -267,13 +310,22 @@ int main(int argc, char** argv) {
     if (command == "lut") return cmd_lut(flags);
     if (command == "transient") return cmd_transient(flags);
     if (command == "stats") return cmd_stats(flags);
+  } catch (const serve::TransportError& e) {
+    std::fprintf(stderr, "error [transport/%s]: %s\n",
+                 serve::to_string(e.kind()), e.what());
+    return e.kind() == serve::TransportError::Kind::kTimeout ? kExitTimeout
+                                                             : kExitConnect;
   } catch (const serve::ProtocolError& e) {
     std::fprintf(stderr, "error [%s]: %s\n", e.code().c_str(),
                  e.message().c_str());
-    return 1;
+    if (e.code() == serve::kErrOverloaded ||
+        e.code() == serve::kErrShuttingDown) {
+      return kExitOverloaded;
+    }
+    return e.code() == serve::kErrInternal ? kExitInternal : kExitProtocol;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitError;
   }
   usage();
 }
