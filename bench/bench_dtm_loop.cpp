@@ -16,9 +16,40 @@
 
 #include "common.h"
 #include "core/dtm_loop.h"
+#include "thermal/transient_engine.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
 #include "workload/trace.h"
+
+namespace {
+
+/// Field-for-field equality of two transient results (== on doubles — exact
+/// bit agreement for the finite values these runs produce).
+bool results_identical(const oftec::thermal::TransientResult& a,
+                       const oftec::thermal::TransientResult& b) {
+  if (a.runaway != b.runaway || a.steps != b.steps ||
+      a.samples.size() != b.samples.size() ||
+      a.final_temperatures.size() != b.final_temperatures.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& s = a.samples[i];
+    const auto& t = b.samples[i];
+    if (s.time != t.time ||
+        s.max_chip_temperature != t.max_chip_temperature ||
+        s.tec_power != t.tec_power || s.fan_power != t.fan_power ||
+        s.leakage_power != t.leakage_power) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.final_temperatures.size(); ++i) {
+    if (a.final_temperatures[i] != b.final_temperatures[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace oftec;
@@ -95,6 +126,117 @@ int main(int argc, char** argv) {
                 units::kelvin_to_celsius(r.peak_temperature),
                 r.violation_time, r.average_cooling_power, r.control_time_ms,
                 r.reoptimizations);
+  }
+
+  // --- Fast transient engine vs reference solver -------------------------
+  // The DTM loop's dominant cost is the per-step banded factorization. Hold
+  // the static policy's constant setting over the whole trace horizon and
+  // integrate it twice — reference TransientSolver (assemble + factor every
+  // step) vs TransientEngine (factor reused across the linearization hold
+  // window). Both run the same hold policy, so results are bit-identical and
+  // the comparison is honest.
+  {
+    power::PowerMap peak(fp);
+    for (const power::PowerMap& s : trace.samples) peak.max_with(s);
+    const core::CoolingSystem sys(fp, peak, paper_leakage(), {});
+    const core::OftecResult star = core::run_oftec(sys);
+    const thermal::ControlSetting setting =
+        star.success ? thermal::ControlSetting{star.omega, star.current}
+                     : thermal::ControlSetting{sys.omega_max(), 0.0};
+
+    thermal::TransientOptions topt;
+    topt.time_step = smoke ? 20e-3 : 10e-3;
+    topt.duration = trace.duration();
+    topt.record_stride = 8;
+    topt.relinearization_threshold = 0.1;
+
+    const thermal::TransientSolver reference(
+        sys.thermal_model(), sys.cell_dynamic_power(), sys.cell_leakage(),
+        topt);
+    const thermal::TransientEngine engine(
+        sys.thermal_model(), sys.cell_dynamic_power(), sys.cell_leakage(),
+        topt);
+    const la::Vector init = reference.ambient_state();
+    const auto constant = [setting](double, double) { return setting; };
+
+    const util::Stopwatch ref_watch;
+    const thermal::TransientResult ref = reference.run_closed_loop(
+        constant, init);
+    const double ref_ms = ref_watch.elapsed_ms();
+    const util::Stopwatch eng_watch;
+    const thermal::TransientResult eng = engine.run_closed_loop(
+        constant, init);
+    const double eng_ms = eng_watch.elapsed_ms();
+
+    const bool identical = results_identical(ref, eng);
+    const thermal::TransientEngineStats stats = engine.stats();
+    const double ref_sps = ref_ms > 0.0
+        ? static_cast<double>(ref.steps) / (ref_ms / 1e3) : 0.0;
+    const double eng_sps = eng_ms > 0.0
+        ? static_cast<double>(eng.steps) / (eng_ms / 1e3) : 0.0;
+    const double speedup = eng_ms > 0.0 ? ref_ms / eng_ms : 0.0;
+
+    std::printf("\nTransient engine (constant control, %zu steps, "
+                "hold window %.2f K):\n", ref.steps,
+                topt.relinearization_threshold);
+    std::printf("  reference: %8.1f ms  (%10.0f steps/s)\n", ref_ms, ref_sps);
+    std::printf("  engine:    %8.1f ms  (%10.0f steps/s)  "
+                "%zu factorizations, %zu cache hits\n", eng_ms, eng_sps,
+                stats.factorizations, stats.factor_hits);
+    std::printf("  speedup: %.1fx, bit-identical: %s\n", speedup,
+                identical ? "yes" : "NO (BUG)");
+
+    util::json::Value j = util::json::Value::object();
+    j["steps"] = ref.steps;
+    j["time_step_s"] = topt.time_step;
+    j["relinearization_threshold_k"] = topt.relinearization_threshold;
+    j["reference_ms"] = ref_ms;
+    j["engine_ms"] = eng_ms;
+    j["reference_steps_per_s"] = ref_sps;
+    j["engine_steps_per_s"] = eng_sps;
+    j["speedup"] = speedup;
+    j["engine_factorizations"] = stats.factorizations;
+    j["engine_factor_hits"] = stats.factor_hits;
+    j["bit_identical"] = identical;
+    update_bench_artifact("dtm_constant_control", j);
+
+    // run_batch: the same trace fanned as independent jobs across the pool.
+    const std::size_t n_jobs = smoke ? 2 : 4;
+    std::vector<thermal::TransientJob> jobs(n_jobs);
+    for (thermal::TransientJob& job : jobs) {
+      job.control = constant;
+      job.initial_temperatures = init;
+      job.options = topt;
+    }
+    const util::Stopwatch serial_watch;
+    std::vector<thermal::TransientResult> serial;
+    serial.reserve(n_jobs);
+    for (const thermal::TransientJob& job : jobs) {
+      serial.push_back(engine.run_closed_loop(job.control,
+                                              job.initial_temperatures,
+                                              job.options));
+    }
+    const double serial_ms = serial_watch.elapsed_ms();
+    const util::Stopwatch batch_watch;
+    const std::vector<thermal::TransientResult> batched =
+        engine.run_batch(jobs);
+    const double batch_ms = batch_watch.elapsed_ms();
+    bool batch_identical = true;
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      batch_identical =
+          batch_identical && results_identical(serial[i], batched[i]);
+    }
+    std::printf("  run_batch (%zu jobs): serial %.1f ms, batched %.1f ms, "
+                "bit-identical: %s\n", n_jobs, serial_ms, batch_ms,
+                batch_identical ? "yes" : "NO (BUG)");
+
+    util::json::Value jb = util::json::Value::object();
+    jb["jobs"] = n_jobs;
+    jb["serial_ms"] = serial_ms;
+    jb["batch_ms"] = batch_ms;
+    jb["speedup"] = batch_ms > 0.0 ? serial_ms / batch_ms : 0.0;
+    jb["bit_identical"] = batch_identical;
+    update_bench_artifact("run_batch", jb);
   }
 
   std::printf("\nReading: per-window re-optimization rides the trace's "

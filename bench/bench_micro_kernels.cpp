@@ -10,6 +10,8 @@
 #include "common.h"
 #include "core/problems.h"
 #include "la/banded_lu.h"
+#include "la/banded_matrix.h"
+#include "la/vector_ops.h"
 #include "thermal/steady.h"
 #include "util/units.h"
 
@@ -62,6 +64,65 @@ void BM_BandedSolve(benchmark::State& state) {
   state.SetLabel(std::to_string(model.layout().node_count()) + " nodes");
 }
 BENCHMARK(BM_BandedSolve)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_BandedRefactorizeSwap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const thermal::ThermalModel& model = model_for_grid(n);
+  const la::Vector dyn = model.distribute(quicksort_peak());
+  std::vector<power::TaylorCoefficients> taylor(dyn.size());
+  for (auto& tc : taylor) tc = {0.01, 0.1, 330.0};
+  const thermal::AssembledSystem sys =
+      model.assemble(300.0, 1.0, dyn, taylor);
+  la::BandedLu lu(sys.matrix);
+  la::BandedMatrix scratch;
+  for (auto _ : state) {
+    scratch = sys.matrix;  // storage circulates with the factor
+    lu.refactorize_swap(scratch);
+    benchmark::DoNotOptimize(lu.min_abs_pivot());
+  }
+  state.SetLabel(std::to_string(model.layout().node_count()) + " nodes");
+}
+BENCHMARK(BM_BandedRefactorizeSwap)->Arg(6)->Arg(10)->Arg(16);
+
+la::Vector kernel_vector(std::size_t n, double seed) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = seed + 1e-3 * static_cast<double>(i % 97);
+  }
+  return v;
+}
+
+void BM_VectorDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Vector x = kernel_vector(n, 1.0);
+  const la::Vector y = kernel_vector(n, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::dot(x, y));
+  }
+}
+BENCHMARK(BM_VectorDot)->Arg(903)->Arg(8192);
+
+void BM_VectorAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Vector x = kernel_vector(n, 1.0);
+  la::Vector y = kernel_vector(n, 2.0);
+  for (auto _ : state) {
+    la::axpy(1e-6, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_VectorAxpy)->Arg(903)->Arg(8192);
+
+// The fused CG update: y += alpha·x and ||y||² in one pass (vs axpy + dot).
+void BM_VectorAxpyDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Vector x = kernel_vector(n, 1.0);
+  la::Vector y = kernel_vector(n, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::axpy_dot(1e-6, x, y));
+  }
+}
+BENCHMARK(BM_VectorAxpyDot)->Arg(903)->Arg(8192);
 
 void BM_SteadyEvaluation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

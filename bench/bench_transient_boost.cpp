@@ -11,6 +11,8 @@
 
 #include "common.h"
 #include "core/transient_boost.h"
+#include "thermal/transient_engine.h"
+#include "util/stopwatch.h"
 #include "util/units.h"
 
 int main() {
@@ -58,5 +60,66 @@ int main() {
               "during the boost washes out.\n",
               format_celsius(exp.post_boost_peak).c_str(),
               format_celsius(exp.steady_temperature).c_str());
+
+  // --- Engine-vs-reference timing on the control trajectory --------------
+  // Exact mode (threshold 0) relinearizes — and therefore refactors — every
+  // step on both paths; a 0.05 K hold window lets the engine reuse one
+  // factorization across quiet stretches. Both modes are bit-identical
+  // between the two implementations.
+  {
+    thermal::TransientOptions topt = opts.transient;
+    topt.duration = opts.boost_duration + opts.settle_duration;
+    const thermal::ControlSetting setting{star.omega, star.current};
+    const auto constant = [setting](double, double) { return setting; };
+    const thermal::SteadyResult steady =
+        sys.solver().solve(star.omega, star.current);
+
+    util::json::Value j = util::json::Value::object();
+    j["time_step_s"] = topt.time_step;
+    const struct {
+      const char* key;
+      double threshold;
+    } modes[] = {{"exact", 0.0}, {"hold", 0.05}};
+    for (const auto& mode : modes) {
+      topt.relinearization_threshold = mode.threshold;
+      const thermal::TransientSolver reference(
+          sys.thermal_model(), sys.cell_dynamic_power(), sys.cell_leakage(),
+          topt);
+      const thermal::TransientEngine engine(
+          sys.thermal_model(), sys.cell_dynamic_power(), sys.cell_leakage(),
+          topt);
+      const util::Stopwatch ref_watch;
+      const thermal::TransientResult ref =
+          reference.run_closed_loop(constant, steady.temperatures);
+      const double ref_ms = ref_watch.elapsed_ms();
+      const util::Stopwatch eng_watch;
+      const thermal::TransientResult eng =
+          engine.run_closed_loop(constant, steady.temperatures);
+      const double eng_ms = eng_watch.elapsed_ms();
+
+      bool identical = ref.steps == eng.steps &&
+                       ref.samples.size() == eng.samples.size();
+      for (std::size_t i = 0; identical && i < ref.samples.size(); ++i) {
+        identical = ref.samples[i].max_chip_temperature ==
+                    eng.samples[i].max_chip_temperature;
+      }
+      const thermal::TransientEngineStats stats = engine.stats();
+      const double speedup = eng_ms > 0.0 ? ref_ms / eng_ms : 0.0;
+      std::printf("\n%s (hold %.2f K): reference %.1f ms, engine %.1f ms "
+                  "(%.1fx, %zu factorizations / %zu steps, bit-identical: "
+                  "%s)\n", mode.key, mode.threshold, ref_ms, eng_ms, speedup,
+                  stats.factorizations, eng.steps,
+                  identical ? "yes" : "NO (BUG)");
+      util::json::Value m = util::json::Value::object();
+      m["steps"] = eng.steps;
+      m["reference_ms"] = ref_ms;
+      m["engine_ms"] = eng_ms;
+      m["speedup"] = speedup;
+      m["engine_factorizations"] = stats.factorizations;
+      m["bit_identical"] = identical;
+      j[mode.key] = m;
+    }
+    update_bench_artifact("transient_boost", j);
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "util/obs.h"
 #include "util/strings.h"
@@ -89,6 +91,40 @@ void emit_obs_artifacts() {
   }
   const std::string table = obs::profile_table();
   if (!table.empty()) std::fprintf(stderr, "%s", table.c_str());
+}
+
+std::string bench_artifact_path() {
+  const char* env = std::getenv("OFTEC_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "BENCH_transient.json";
+}
+
+void update_bench_artifact(const std::string& section,
+                           const util::json::Value& payload) {
+  const std::string path = bench_artifact_path();
+  util::json::Value doc = util::json::Value::object();
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      try {
+        util::json::Value existing = util::json::parse(buf.str());
+        if (existing.is_object()) doc = std::move(existing);
+      } catch (const std::exception&) {
+        // Corrupt artifact: start fresh rather than fail the bench.
+      }
+    }
+  }
+  doc[section] = payload;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  out << doc.dump(2) << "\n";
+  std::fprintf(stderr, "[bench] %s section written to %s\n", section.c_str(),
+               path.c_str());
 }
 
 void print_header(const std::string& figure, const std::string& claim) {

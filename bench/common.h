@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/baselines.h"
+#include "util/json.h"
 #include "core/cooling_system.h"
 #include "core/oftec.h"
 #include "floorplan/ev6.h"
@@ -68,5 +69,16 @@ void print_header(const std::string& figure, const std::string& claim);
 /// print_header() registers this via atexit; callable directly for binaries
 /// that want the artifacts mid-run.
 void emit_obs_artifacts();
+
+/// Path of the machine-readable transient-performance artifact:
+/// $OFTEC_BENCH_JSON when set, else ./BENCH_transient.json (the CI perf-smoke
+/// job uploads it; a baseline is checked in at the repo root).
+[[nodiscard]] std::string bench_artifact_path();
+
+/// Read-merge-write one section of the artifact: parses the existing file (a
+/// missing or corrupt file starts fresh), replaces `section` with `payload`,
+/// and rewrites the whole document — the transient benches share one file.
+void update_bench_artifact(const std::string& section,
+                           const util::json::Value& payload);
 
 }  // namespace oftec::bench

@@ -5,10 +5,10 @@
 #include <optional>
 #include <stdexcept>
 
-#include "la/banded_lu.h"
 #include "la/vector_ops.h"
 #include "thermal/model.h"
 #include "thermal/steady.h"
+#include "thermal/transient_engine.h"
 #include "util/obs.h"
 #include "util/stopwatch.h"
 
@@ -31,6 +31,11 @@ const obs::Histogram g_obs_lookup_ms =
     obs::histogram("dtm.lookup_ms", obs::exponential_bounds(0.001, 2.0, 12));
 const obs::Counter g_obs_fallbacks = obs::counter("dtm.fallback_decisions");
 const obs::Counter g_obs_watchdog_trips = obs::counter("dtm.watchdog_trips");
+// Factor-reuse economics of the fast transient path.
+const obs::Counter g_obs_step_factorizations =
+    obs::counter("dtm.step_factorizations");
+const obs::Counter g_obs_step_factor_hits =
+    obs::counter("dtm.step_factor_hits");
 
 /// Per-unit max over trace samples [begin, end).
 power::PowerMap window_max(const workload::PowerTrace& trace,
@@ -80,6 +85,10 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
     throw std::invalid_argument(
         "run_dtm_loop: fallback_grid_points must be >= 2");
   }
+  if (!(options.relinearization_threshold >= 0.0)) {
+    throw std::invalid_argument(
+        "run_dtm_loop: relinearization_threshold must be >= 0");
+  }
   OBS_SPAN("dtm.run");
   g_obs_runs.add();
 
@@ -89,9 +98,25 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
   const auto leak_terms = model.cell_leakage(leakage);
   const double t_max = model.config().t_max;
   const double dt = options.time_step;
-  const std::size_t cells = model.layout().cells_per_layer();
-  const std::size_t n = model.layout().node_count();
-  const la::Vector& cap = model.capacitances();
+
+  // Fast transient path: the stepper reuses one banded factorization while
+  // the held setting (and the leakage linearization) stays bit-constant —
+  // per-step trace power only touches the right-hand side. The chip-only
+  // runaway verdict is this loop's historical semantics (the TEC reject
+  // side may legitimately exceed the all-node limit under max current).
+  thermal::TransientStepper::Config stepper_cfg;
+  stepper_cfg.runaway_temperature = 500.0;
+  stepper_cfg.relinearization_threshold = options.relinearization_threshold;
+  stepper_cfg.runaway_check = thermal::RunawayCheck::kChipOnly;
+  thermal::TransientStepper stepper(model, leak_terms, stepper_cfg);
+  // Counts flow to obs on every exit path (runaway returns included).
+  struct StepperObsFlush {
+    const thermal::TransientStepper& s;
+    ~StepperObsFlush() {
+      g_obs_step_factorizations.add(s.factorizations());
+      g_obs_step_factor_hits.add(s.factor_hits());
+    }
+  } stepper_obs_flush{stepper};
 
   // Per-sample cell power, computed lazily.
   std::vector<la::Vector> cell_power(trace.size());
@@ -245,13 +270,12 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
       return result;
     }
   }
-  la::Vector temps = initial.temperatures;
+  stepper.reset(initial.temperatures);
 
   const auto total_steps = static_cast<std::size_t>(
       std::ceil(trace.duration() / dt));
   const std::size_t record_stride =
       std::max<std::size_t>(1, total_steps / 400);
-  std::vector<power::TaylorCoefficients> taylor(cells);
 
   double power_acc = 0.0;
   std::size_t power_count = 0;
@@ -262,32 +286,12 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
   std::size_t hot_streak = 0;
   double prev_max_chip = model.config().ambient;
 
-  // One backward-Euler step of the transient model under setting `s` with
-  // cell power `p`, from `temps` into `out`. False when the step produced a
-  // non-finite or beyond-runaway state (the structured verdict; no exception
-  // escapes).
-  la::Vector step_out;
-  const auto integrate = [&](const Setting& s, const la::Vector& p,
-                             la::Vector& out) -> bool {
-    const la::Vector chip =
-        model.slab_temperatures(temps, thermal::Slab::kChip);
-    for (std::size_t i = 0; i < cells; ++i) {
-      taylor[i] = power::tangent_linearize(leak_terms[i], chip[i]);
-    }
-    thermal::AssembledSystem sys = model.assemble(s.omega, s.current, p,
-                                                  taylor);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double c_dt = cap[i] / dt;
-      sys.matrix.add(i, i, c_dt);
-      sys.rhs[i] += c_dt * temps[i];
-    }
-    try {
-      out = la::BandedLu(sys.matrix).solve(sys.rhs);
-    } catch (const std::runtime_error&) {
-      return false;  // singular step matrix
-    }
-    const double m = model.max_slab_temperature(out, thermal::Slab::kChip);
-    return std::isfinite(m) && m <= 500.0;
+  // One backward-Euler step under setting `s` with cell power `p`. False —
+  // leaving the state unchanged, so a fail-safe retry re-integrates from the
+  // same temperatures — when the step matrix is singular or the stepped
+  // state fails the chip-only runaway verdict (no exception escapes).
+  const auto integrate = [&](const Setting& s, const la::Vector& p) -> bool {
+    return stepper.step({s.omega, s.current}, p, dt);
   };
 
   la::Vector throttled_power;  // scratch for the fail-safe power scaling
@@ -320,7 +324,7 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
       step_power = &throttled_power;
     }
 
-    if (!integrate(setting, *step_power, step_out)) {
+    if (!integrate(setting, *step_power)) {
       if (failsafe_active) {
         // Diverged even under max cooling and a throttled workload.
         result.runaway = true;
@@ -338,16 +342,14 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
       hot_streak = 0;
       throttled_power = power_at(sample);
       la::scale(options.failsafe_throttle, throttled_power);
-      if (!integrate(setting, throttled_power, step_out)) {
+      if (!integrate(setting, throttled_power)) {
         result.runaway = true;
         result.status = ControlStatus::kRunaway;
         return result;
       }
     }
-    temps = step_out;
 
-    const double max_chip =
-        model.max_slab_temperature(temps, thermal::Slab::kChip);
+    const double max_chip = stepper.max_chip_temperature();
     result.peak_temperature = std::max(result.peak_temperature, max_chip);
     if (max_chip > t_max) result.violation_time += dt;
     if (failsafe_active) result.failsafe_time += dt;
@@ -378,8 +380,8 @@ DtmResult run_dtm_loop(const floorplan::Floorplan& fp,
       tier = decision.tier;
     }
 
-    const double cooling = model.leakage_power(temps, leak_terms) +
-                           model.tec_power(temps, setting.current) +
+    const double cooling = stepper.leakage_power() +
+                           stepper.tec_power(setting.current) +
                            model.config().fan.power(setting.omega);
     power_acc += cooling;
     ++power_count;

@@ -95,6 +95,10 @@ struct DtmOptions {
   /// fallback.
   const LutController* lut = nullptr;
   double time_step = 10e-3;  ///< transient integration step [s]
+  /// Leakage-tangent hold window for the transient stepper [K]; 0 (the
+  /// default) re-linearizes every step — the historical semantics. See
+  /// thermal::TransientOptions::relinearization_threshold.
+  double relinearization_threshold = 0.0;
 
   /// Watchdog: consecutive steps above T_max with non-decreasing temperature
   /// before the fail-safe tier is forced (bounds time-to-fail-safe by

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "thermal/transient_engine.h"
 
 namespace oftec::core {
 
@@ -26,25 +30,34 @@ BoostExperiment run_transient_boost(const CoolingSystem& system,
   thermal::TransientOptions topt = options.transient;
   topt.duration = options.boost_duration + options.settle_duration;
 
-  thermal::TransientSolver transient(system.thermal_model(),
-                                     system.cell_dynamic_power(),
-                                     system.cell_leakage(), topt);
+  const thermal::TransientEngine engine(system.thermal_model(),
+                                        system.cell_dynamic_power(),
+                                        system.cell_leakage(), topt);
 
-  const thermal::ControlSchedule boosted_schedule =
-      [&](double time) -> thermal::ControlSetting {
-    const double current =
-        time < options.boost_duration ? boosted : current_star;
+  // The boosted trace and its control are independent — fan them through
+  // run_batch (bit-identical to running them serially). Jobs capture by
+  // value: each may execute on a different pool thread.
+  const double boost_duration = options.boost_duration;
+  std::vector<thermal::TransientJob> jobs(2);
+  jobs[0].control = [omega_star, boosted, current_star, boost_duration](
+                        double time, double) -> thermal::ControlSetting {
+    const double current = time < boost_duration ? boosted : current_star;
     return {omega_star, current};
   };
-  const thermal::ControlSchedule control_schedule =
-      [&](double) -> thermal::ControlSetting {
+  jobs[0].initial_temperatures = steady.temperatures;
+  jobs[0].options = topt;
+  jobs[1].control = [omega_star, current_star](
+                        double, double) -> thermal::ControlSetting {
     return {omega_star, current_star};
   };
+  jobs[1].initial_temperatures = steady.temperatures;
+  jobs[1].options = topt;
 
   BoostExperiment exp;
   exp.steady_temperature = steady.max_chip_temperature;
-  exp.trace = transient.run(boosted_schedule, steady.temperatures);
-  exp.control = transient.run(control_schedule, steady.temperatures);
+  std::vector<thermal::TransientResult> results = engine.run_batch(jobs);
+  exp.trace = std::move(results[0]);
+  exp.control = std::move(results[1]);
 
   exp.min_boost_temperature = exp.steady_temperature;
   exp.post_boost_peak = exp.steady_temperature;

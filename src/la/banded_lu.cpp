@@ -8,7 +8,15 @@
 
 namespace oftec::la {
 
-BandedLu::BandedLu(BandedMatrix a) : ab_(std::move(a)) {
+BandedLu::BandedLu(BandedMatrix a) : ab_(std::move(a)) { factor(); }
+
+void BandedLu::refactorize_swap(BandedMatrix& a) {
+  std::swap(ab_, a);
+  factor();
+}
+
+void BandedLu::factor() {
+  valid_ = false;
   const std::size_t n = ab_.size();
   const std::size_t kl = ab_.lower_bandwidth();
   const std::size_t ku = ab_.upper_bandwidth();
@@ -60,18 +68,27 @@ BandedLu::BandedLu(BandedMatrix a) : ab_(std::move(a)) {
       }
     }
   }
+  valid_ = true;
 }
 
 Vector BandedLu::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+void BandedLu::solve_in_place(Vector& x) const {
+  if (!valid_) {
+    throw std::logic_error("BandedLu::solve: no valid factorization");
+  }
   const std::size_t n = ab_.size();
-  if (b.size() != n) {
+  if (x.size() != n) {
     throw std::invalid_argument("BandedLu::solve: size mismatch");
   }
   const std::size_t kl = ab_.lower_bandwidth();
   const std::size_t ku = ab_.upper_bandwidth();
   const std::size_t kv = kl + ku;
 
-  Vector x = b;
   // Apply P and L (forward substitution).
   for (std::size_t j = 0; j < n; ++j) {
     if (ipiv_[j] != j) std::swap(x[j], x[ipiv_[j]]);
@@ -91,7 +108,6 @@ Vector BandedLu::solve(const Vector& b) const {
     }
     x[jj] = acc / ab_.storage(kv, jj);
   }
-  return x;
 }
 
 Vector solve_banded(const BandedMatrix& a, const Vector& b) {

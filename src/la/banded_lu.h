@@ -4,6 +4,14 @@
 // conductance matrix (G − A) loses diagonal dominance, and an unpivoted band
 // factorization would be unstable exactly in the operating region the paper's
 // Figure 6(a,b) explores.
+//
+// Two usage styles:
+//   - one-shot: `BandedLu lu(matrix); x = lu.solve(b);`
+//   - recycling (the transient engine's step loop): keep one BandedLu per
+//     cached operating point and call refactorize_swap()/solve_in_place(),
+//     which allocate nothing once the storage is warm. Both styles run the
+//     same factorization and substitution code, so their results are
+//     bit-identical for identical inputs.
 #pragma once
 
 #include <cstddef>
@@ -16,11 +24,30 @@ namespace oftec::la {
 
 class BandedLu {
  public:
+  /// Empty factor; usable only after a successful refactorize_swap().
+  BandedLu() = default;
+
   /// Factor `a` in place (copied). Throws std::runtime_error if singular.
   explicit BandedLu(BandedMatrix a);
 
+  /// Swap `a`'s storage in and factor it in place; `a` receives the previous
+  /// factor's storage back (same shape when this object was valid, empty the
+  /// first time) for reuse as assembly scratch — the step loop circulates one
+  /// buffer set with zero steady-state allocations. Bit-identical to
+  /// constructing a fresh BandedLu from the same matrix. Throws
+  /// std::runtime_error if singular; the factor is then invalid until the
+  /// next successful refactorization.
+  void refactorize_swap(BandedMatrix& a);
+
   /// Solve A x = b.
   [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solve in place: `x` holds b on entry and the solution on return.
+  /// Bit-identical to solve() on the same right-hand side.
+  void solve_in_place(Vector& x) const;
+
+  /// False after default construction or a failed (singular) refactorization.
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return ab_.size(); }
 
@@ -29,9 +56,14 @@ class BandedLu {
   [[nodiscard]] double min_abs_pivot() const noexcept { return min_pivot_; }
 
  private:
+  /// Factor ab_ in place (dgbtf2). Shared by the constructor and
+  /// refactorize_swap so both entry points produce identical bits.
+  void factor();
+
   BandedMatrix ab_;
   std::vector<std::size_t> ipiv_;
   double min_pivot_ = 0.0;
+  bool valid_ = false;
 };
 
 /// One-shot convenience: solve A x = b by banded LU.

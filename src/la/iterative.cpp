@@ -103,9 +103,8 @@ IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
     if (p_ap <= 0.0) break;  // matrix not SPD — bail to caller
     const double alpha = rz / p_ap;
     axpy(alpha, p, res.x);
-    axpy(-alpha, ap, r);
     res.iterations = it + 1;
-    res.residual_norm = norm2(r);
+    res.residual_norm = std::sqrt(axpy_dot(-alpha, ap, r));
     if (res.residual_norm <= opts.tolerance * b_norm) {
       res.converged = true;
       return res;

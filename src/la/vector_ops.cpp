@@ -5,12 +5,19 @@
 
 namespace oftec::la {
 
+// The kernels hoist sizes and data pointers into locals so the inner loops
+// carry no per-iteration size() / operator[] re-derivation — these are the
+// BLAS-1 bodies under every CG iteration and transient step.
+
 double dot(const Vector& a, const Vector& b) {
-  if (a.size() != b.size()) {
+  const std::size_t n = a.size();
+  if (b.size() != n) {
     throw std::invalid_argument("dot: size mismatch");
   }
+  const double* pa = a.data();
+  const double* pb = b.data();
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  for (std::size_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
   return acc;
 }
 
@@ -23,10 +30,28 @@ double norm_inf(const Vector& a) {
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
-  if (x.size() != y.size()) {
+  const std::size_t n = x.size();
+  if (y.size() != n) {
     throw std::invalid_argument("axpy: size mismatch");
   }
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const double* px = x.data();
+  double* py = y.data();
+  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+double axpy_dot(double alpha, const Vector& x, Vector& y) {
+  const std::size_t n = x.size();
+  if (y.size() != n) {
+    throw std::invalid_argument("axpy_dot: size mismatch");
+  }
+  const double* px = x.data();
+  double* py = y.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    py[i] += alpha * px[i];
+    acc += py[i] * py[i];
+  }
+  return acc;
 }
 
 void scale(double alpha, Vector& x) {
@@ -56,12 +81,15 @@ double sum(const Vector& a) {
 }
 
 double max_abs_diff(const Vector& a, const Vector& b) {
-  if (a.size() != b.size()) {
+  const std::size_t n = a.size();
+  if (b.size() != n) {
     throw std::invalid_argument("max_abs_diff: size mismatch");
   }
+  const double* pa = a.data();
+  const double* pb = b.data();
   double m = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    m = std::max(m, std::abs(a[i] - b[i]));
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, std::abs(pa[i] - pb[i]));
   }
   return m;
 }

@@ -23,6 +23,14 @@ using Vector = std::vector<double>;
 /// y += alpha * x. Requires x.size() == y.size().
 void axpy(double alpha, const Vector& x, Vector& y);
 
+/// Fused update-and-measure: y += alpha * x, returning dot(y, y) of the
+/// updated y in the same pass. Bit-identical to axpy() followed by
+/// dot(y, y) — both accumulators see the same operations in the same
+/// order — but touches y once instead of twice. This is CG's residual
+/// update (`r -= alpha*A p; ||r||`), the second-hottest loop of the
+/// iterative path.
+[[nodiscard]] double axpy_dot(double alpha, const Vector& x, Vector& y);
+
 /// x *= alpha.
 void scale(double alpha, Vector& x);
 

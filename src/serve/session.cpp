@@ -102,16 +102,18 @@ TransientReply Session::transient_step(const TransientParams& params) {
   opts.record_stride = 1;
 
   const std::lock_guard<std::mutex> lock(transient_mutex_);
-  const thermal::TransientSolver solver(system_->thermal_model(),
-                                        system_->cell_dynamic_power(),
-                                        system_->cell_leakage(), opts);
+  if (!transient_engine_) {
+    transient_engine_ = std::make_unique<thermal::TransientEngine>(
+        system_->thermal_model(), system_->cell_dynamic_power(),
+        system_->cell_leakage());
+  }
   if (params.reset || transient_state_.empty()) {
-    transient_state_ = solver.ambient_state();
+    transient_state_ = transient_engine_->ambient_state();
     transient_time_ = 0.0;
   }
   const thermal::ControlSetting setting{params.omega, params.current};
-  const thermal::TransientResult result = solver.run(
-      [setting](double) { return setting; }, transient_state_);
+  const thermal::TransientResult result = transient_engine_->run(
+      [setting](double) { return setting; }, transient_state_, opts);
 
   TransientReply reply;
   reply.runaway = result.runaway;

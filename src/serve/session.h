@@ -28,6 +28,7 @@
 #include "floorplan/floorplan.h"
 #include "power/leakage.h"
 #include "serve/protocol.h"
+#include "thermal/transient_engine.h"
 
 namespace oftec::serve {
 
@@ -69,6 +70,10 @@ class Session {
   std::unique_ptr<core::LutController> lut_;
 
   std::mutex transient_mutex_;
+  /// Lazy fast path for transient_step: the engine's warm factor cache makes
+  /// repeated steps at a held (ω, I, dt) reuse one banded factorization
+  /// across requests (bit-identical to the reference solver).
+  std::unique_ptr<thermal::TransientEngine> transient_engine_;
   la::Vector transient_state_;  ///< node temperatures; empty = start fresh
   double transient_time_ = 0.0;
 };

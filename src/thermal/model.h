@@ -128,6 +128,7 @@ class ThermalModel {
 
  private:
   friend class IncrementalAssembler;
+  friend class TransientStepper;
 
   void build_static_network();
   void add_edge(std::size_t i, std::size_t j, double conductance);

@@ -26,6 +26,28 @@ TransientSolver::TransientSolver(const ThermalModel& model,
   if (options_.record_stride == 0) {
     throw std::invalid_argument("TransientSolver: record_stride must be >= 1");
   }
+  if (!(options_.relinearization_threshold >= 0.0)) {
+    throw std::invalid_argument(
+        "TransientSolver: relinearization_threshold must be >= 0");
+  }
+}
+
+StepPlan plan_steps(double duration, double time_step) {
+  if (!(time_step > 0.0) || duration < 0.0) {
+    throw std::invalid_argument("plan_steps: bad time parameters");
+  }
+  StepPlan plan;
+  const double full = std::floor(duration / time_step);
+  plan.steps = static_cast<std::size_t>(full);
+  double remainder = duration - full * time_step;
+  if (remainder < 0.0) remainder = 0.0;
+  if (remainder > time_step * 1e-9) {
+    ++plan.steps;
+    plan.last_step = remainder;
+  } else if (plan.steps > 0) {
+    plan.last_step = time_step;
+  }
+  return plan;
 }
 
 la::Vector TransientSolver::ambient_state() const {
@@ -51,12 +73,13 @@ TransientResult TransientSolver::run_closed_loop(
 
   const la::Vector& cap = model_->capacitances();
   const double dt = options_.time_step;
-  const auto steps =
-      static_cast<std::size_t>(std::ceil(options_.duration / dt));
+  const StepPlan plan = plan_steps(options_.duration, dt);
+  const std::size_t steps = plan.steps;
 
   TransientResult result;
   la::Vector temps = initial_temperatures;
   std::vector<power::TaylorCoefficients> taylor(cells);
+  la::Vector lin_chip;  // chip temperatures at the last linearization
 
   auto record = [&](double time, double omega, double current) {
     TransientSample s;
@@ -77,19 +100,26 @@ TransientResult TransientSolver::run_closed_loop(
 
   for (std::size_t step = 0; step < steps; ++step) {
     const double time = static_cast<double>(step) * dt;
-    // Tangent-linearize leakage at the current chip temperatures.
+    const double step_dt = step + 1 == steps ? plan.last_step : dt;
+    // Tangent-linearize leakage at the current chip temperatures — held
+    // across steps while the drift stays within the relinearization
+    // threshold (with the default threshold of 0, every step).
     const la::Vector chip = model_->slab_temperatures(temps, Slab::kChip);
     const ControlSetting setting =
         control(time, la::max_element_value(chip));
-    for (std::size_t i = 0; i < cells; ++i) {
-      taylor[i] = power::tangent_linearize(leakage_[i], chip[i]);
+    if (lin_chip.empty() || la::max_abs_diff(chip, lin_chip) >
+                                options_.relinearization_threshold) {
+      for (std::size_t i = 0; i < cells; ++i) {
+        taylor[i] = power::tangent_linearize(leakage_[i], chip[i]);
+      }
+      lin_chip = chip;
     }
 
     AssembledSystem sys =
         model_->assemble(setting.omega, setting.current, dynamic_, taylor);
     // Backward Euler: (C/dt + M)·T_next = C/dt·T_now + rhs.
     for (std::size_t i = 0; i < n; ++i) {
-      const double c_dt = cap[i] / dt;
+      const double c_dt = cap[i] / step_dt;
       sys.matrix.add(i, i, c_dt);
       sys.rhs[i] += c_dt * temps[i];
     }
@@ -110,7 +140,10 @@ TransientResult TransientSolver::run_closed_loop(
     }
 
     if ((step + 1) % options_.record_stride == 0 || step + 1 == steps) {
-      record(time + dt, setting.omega, setting.current);
+      // The final sample carries the true horizon endpoint (the last step
+      // may be clamped shorter than dt).
+      record(step + 1 == steps ? options_.duration : time + dt,
+             setting.omega, setting.current);
     }
   }
 

@@ -39,7 +39,32 @@ struct TransientOptions {
   /// Record a sample every `record_stride` steps (1 = every step).
   std::size_t record_stride = 1;
   double runaway_temperature = 500.0;  ///< [K]
+  /// Re-linearize the leakage tangent only once some chip cell has drifted
+  /// more than this many kelvin from the temperatures of the previous
+  /// linearization. 0 (the default) re-linearizes every step — the
+  /// historical semantics. A small hold window (~0.1 K) keeps the step
+  /// matrix bit-constant across quiet stretches, which is what lets
+  /// TransientEngine reuse one factorization for thousands of steps; the
+  /// linearization error it admits is O(β²·δ²) per cell, far below the
+  /// O(dt) backward-Euler truncation error. TransientSolver and
+  /// TransientEngine honor the policy identically, so their results stay
+  /// bit-equal at any setting.
+  double relinearization_threshold = 0.0;  ///< [K]
 };
+
+/// Backward-Euler step plan for one horizon: `steps` steps of `time_step`
+/// each, except the final step which runs `last_step` so the integration
+/// lands exactly on `duration` instead of overshooting by up to one dt
+/// (`ceil`-style step counts simulate past short horizons). A remainder
+/// below time_step·1e-9 is treated as rounding noise and absorbed.
+struct StepPlan {
+  std::size_t steps = 0;
+  double last_step = 0.0;  ///< dt of the final step; 0 when steps == 0
+};
+
+/// Plan a horizon. Throws std::invalid_argument unless time_step > 0 and
+/// duration >= 0.
+[[nodiscard]] StepPlan plan_steps(double duration, double time_step);
 
 struct TransientSample {
   double time = 0.0;

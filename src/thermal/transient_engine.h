@@ -1,0 +1,289 @@
+// Fast transient engine: the production path for backward-Euler transient
+// simulation, bit-identical to the reference TransientSolver.
+//
+// TransientSolver rebuilds the full banded system and a fresh BandedLu at
+// every step, which makes the factorization (O(n·bw²)) the dominant cost of
+// every closed-loop run — the DTM loop, transient boost, serve sessions and
+// the ablation benches all pay it. This engine removes that cost without
+// changing a single output bit:
+//
+//   1. Static base, diagonal stamps. The conduction edges and PCB-ambient
+//      couplings never change across steps; they are stamped once into a
+//      base matrix/rhs at construction. Each step copies the base and
+//      re-stamps only the diagonal groups (sink·g(ω), chip leakage slope,
+//      TEC ±α·I, C/dt) in exactly the order ThermalModel::assemble uses, so
+//      every matrix entry accumulates the same additions in the same order
+//      as the reference — bit-equal by construction.
+//
+//   2. Factor reuse. The step matrix depends only on (dt, ω, I, leakage
+//      slopes). Factors are cached in a small LRU keyed on the exact IEEE
+//      bits of those inputs (the steady SolveEngine's keying discipline):
+//      while a controller holds its setting and the leakage linearization
+//      holds (see TransientOptions::relinearization_threshold), thousands
+//      of steps share one factorization; controllers that toggle between a
+//      few settings (LUT, fail-safe chains) hit warm slots.
+//
+//   3. Allocation-free stepping. All workspaces are preallocated;
+//      BandedLu::refactorize_swap circulates matrix storage between the
+//      assembly scratch and the factor slots, and solves run in place. Once
+//      the slots are warm the step loop performs zero heap allocations.
+//
+//   4. run_batch fans independent traces across util::ThreadPool. Each
+//      trace runs on its own stepper, results are written by job index, and
+//      every factor is a pure function of its exact-bits key — so batched
+//      results are bit-identical to serial at any thread count.
+//
+// Exactness contract: for identical inputs (model, workload, options,
+// control), TransientEngine and TransientSolver produce bit-identical
+// TransientResults — samples, final temperatures, step counts, runaway
+// verdicts — at any thread count and any relinearization threshold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "la/banded_lu.h"
+#include "la/vector_ops.h"
+#include "power/leakage.h"
+#include "thermal/model.h"
+#include "thermal/transient.h"
+#include "util/thread_pool.h"
+
+namespace oftec::thermal {
+
+/// What the post-step runaway verdict inspects.
+enum class RunawayCheck {
+  kAllNodes,  ///< any node non-finite or above the limit (TransientSolver)
+  kChipOnly,  ///< the max chip temperature only (the DTM loop's verdict)
+};
+
+/// Allocation-free backward-Euler stepper with factor reuse. One stepper =
+/// one integration in flight; it is not thread-safe (TransientEngine keeps a
+/// pool of them). The DTM loop drives one directly because its per-step
+/// power varies with the trace — power only touches the right-hand side, so
+/// factor reuse still applies.
+class TransientStepper {
+ public:
+  struct Config {
+    double runaway_temperature = 500.0;        ///< [K]
+    double relinearization_threshold = 0.0;    ///< [K]; see TransientOptions
+    RunawayCheck runaway_check = RunawayCheck::kAllNodes;
+    std::size_t factor_slots = 8;  ///< LRU capacity (distinct warm settings)
+  };
+
+  TransientStepper(const ThermalModel& model,
+                   std::vector<power::ExponentialTerm> cell_leakage);
+  TransientStepper(const ThermalModel& model,
+                   std::vector<power::ExponentialTerm> cell_leakage,
+                   Config config);
+
+  /// Re-apply per-run policy without touching the factor cache (factors are
+  /// pure functions of their exact-bits key, so cross-run reuse is sound).
+  void configure(double runaway_temperature, double relinearization_threshold,
+                 RunawayCheck check);
+
+  /// Set the integration state and drop the held linearization (a fresh run
+  /// always re-linearizes at its first step, like the reference).
+  /// Throws std::invalid_argument on arity mismatch.
+  void reset(const la::Vector& initial_temperatures);
+
+  /// Advance one backward-Euler step of length `dt` under `setting` with the
+  /// given per-cell dynamic power. Returns false — leaving the state
+  /// unchanged — when the step matrix is singular or the stepped state fails
+  /// the runaway verdict; semantics match TransientSolver's step loop
+  /// bit for bit. Throws std::invalid_argument on bad current or arity.
+  [[nodiscard]] bool step(const ControlSetting& setting,
+                          const la::Vector& cell_dynamic_power, double dt);
+
+  [[nodiscard]] const la::Vector& temperatures() const noexcept {
+    return temps_;
+  }
+  /// Chip-slab temperatures of the current state (kept in lockstep with
+  /// temperatures() — the hoisted slab_temperatures of the reference loop).
+  [[nodiscard]] const la::Vector& chip_temperatures() const noexcept {
+    return chip_;
+  }
+  /// Max chip temperature of the current state (hoisted, computed once per
+  /// step with max_element_value's exact semantics).
+  [[nodiscard]] double max_chip_temperature() const noexcept {
+    return max_chip_;
+  }
+
+  /// Exact exponential leakage power of the current state; bit-equal to
+  /// ThermalModel::leakage_power.
+  [[nodiscard]] double leakage_power() const;
+  /// TEC electrical power of the current state; bit-equal to
+  /// ThermalModel::tec_power.
+  [[nodiscard]] double tec_power(double current) const;
+  /// Sample of the current state at `time` under `setting`; field-for-field
+  /// what TransientSolver records.
+  [[nodiscard]] TransientSample sample(double time,
+                                       const ControlSetting& setting) const;
+
+  [[nodiscard]] std::size_t steps() const noexcept { return n_steps_; }
+  [[nodiscard]] std::size_t factorizations() const noexcept {
+    return n_factorizations_;
+  }
+  [[nodiscard]] std::size_t factor_hits() const noexcept {
+    return n_factor_hits_;
+  }
+  [[nodiscard]] std::size_t self_heals() const noexcept {
+    return n_self_heals_;
+  }
+
+ private:
+  struct FactorSlot {
+    bool used = false;
+    std::uint64_t stamp = 0;  ///< LRU recency
+    std::uint64_t key_dt = 0;
+    std::uint64_t key_omega = 0;
+    std::uint64_t key_current = 0;
+    std::vector<std::uint64_t> key_slopes;
+    la::BandedLu lu;
+  };
+
+  void relinearize_if_drifted();
+  void assemble_matrix(double omega, double current, double dt);
+  void assemble_rhs(double omega, double current,
+                    const la::Vector& cell_dynamic_power, double dt);
+  [[nodiscard]] FactorSlot* find_slot(double omega, double current, double dt);
+  [[nodiscard]] FactorSlot& lru_slot();
+  void commit(double verdict_max_chip);
+  [[nodiscard]] bool verdict(double& max_chip_out);
+
+  const ThermalModel* model_;
+  std::vector<power::ExponentialTerm> leakage_;
+  Config config_;
+  std::size_t n_ = 0;
+  std::size_t cells_ = 0;
+
+  // Static base (conduction edges + PCB-ambient), stamped once.
+  la::BandedMatrix base_matrix_;
+  la::Vector base_rhs_;
+
+  // Step workspaces.
+  la::BandedMatrix scratch_;  ///< assembly target; storage circulates with slots
+  la::Vector rhs_;
+  la::Vector next_;
+  la::Vector temps_;
+  la::Vector chip_;
+  la::Vector chip_next_;
+  mutable la::Vector cold_;  ///< TEC absorb-side temps (filled on demand)
+  mutable la::Vector hot_;   ///< TEC reject-side temps
+  double max_chip_ = 0.0;
+
+  // Held linearization.
+  std::vector<power::TaylorCoefficients> taylor_;
+  la::Vector lin_chip_;
+  std::vector<std::uint64_t> key_slopes_;
+  bool have_linearization_ = false;
+
+  std::vector<FactorSlot> slots_;
+  std::uint64_t lru_stamp_ = 0;
+
+  std::size_t n_steps_ = 0;
+  std::size_t n_factorizations_ = 0;
+  std::size_t n_factor_hits_ = 0;
+  std::size_t n_self_heals_ = 0;
+};
+
+/// One independent trace for TransientEngine::run_batch. The control must be
+/// self-contained (no shared mutable state with other jobs) — each job may
+/// execute on a different pool thread.
+struct TransientJob {
+  FeedbackControl control;
+  la::Vector initial_temperatures;
+  TransientOptions options;
+};
+
+/// Engine-level counters (aggregated across steppers at run completion).
+struct TransientEngineStats {
+  std::size_t runs = 0;
+  std::size_t steps = 0;
+  std::size_t factorizations = 0;
+  std::size_t factor_hits = 0;
+  std::size_t self_heals = 0;
+};
+
+/// Drop-in fast path for TransientSolver: same construction signature, same
+/// run()/run_closed_loop()/ambient_state() surface, bit-identical results,
+/// plus run_batch for fanning independent traces. Thread-safe: concurrent
+/// runs check steppers out of an internal pool (warm factor caches carry
+/// across runs).
+class TransientEngine {
+ public:
+  struct Config {
+    std::size_t factor_slots = 8;  ///< per-stepper LRU capacity
+    /// Worker threads for run_batch; 0 = ThreadPool::default_thread_count()
+    /// (the OFTEC_THREADS environment variable, else hardware concurrency).
+    std::size_t threads = 0;
+  };
+
+  TransientEngine(const ThermalModel& model, la::Vector cell_dynamic_power,
+                  std::vector<power::ExponentialTerm> cell_leakage,
+                  TransientOptions options = {});
+  TransientEngine(const ThermalModel& model, la::Vector cell_dynamic_power,
+                  std::vector<power::ExponentialTerm> cell_leakage,
+                  TransientOptions options, Config config);
+  ~TransientEngine();
+
+  TransientEngine(const TransientEngine&) = delete;
+  TransientEngine& operator=(const TransientEngine&) = delete;
+
+  [[nodiscard]] const TransientOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Integrate under an open-loop schedule (constructor options).
+  [[nodiscard]] TransientResult run(
+      const ControlSchedule& control,
+      const la::Vector& initial_temperatures) const;
+  /// Same, with per-run options.
+  [[nodiscard]] TransientResult run(const ControlSchedule& control,
+                                    const la::Vector& initial_temperatures,
+                                    const TransientOptions& options) const;
+
+  /// Closed-loop variant: the controller sees the max chip temperature.
+  [[nodiscard]] TransientResult run_closed_loop(
+      const FeedbackControl& control,
+      const la::Vector& initial_temperatures) const;
+  [[nodiscard]] TransientResult run_closed_loop(
+      const FeedbackControl& control, const la::Vector& initial_temperatures,
+      const TransientOptions& options) const;
+
+  /// All-nodes-at-ambient initial condition.
+  [[nodiscard]] la::Vector ambient_state() const;
+
+  /// Run every job and return results in job order. Deterministic and
+  /// bit-identical to calling run_closed_loop sequentially, at any thread
+  /// count. A job that throws (bad options, out-of-range current) rethrows
+  /// here after the batch drains.
+  [[nodiscard]] std::vector<TransientResult> run_batch(
+      const std::vector<TransientJob>& jobs) const;
+
+  [[nodiscard]] TransientEngineStats stats() const;
+  void reset_stats() const;
+
+ private:
+  class StepperPool;
+
+  [[nodiscard]] TransientResult run_impl(const FeedbackControl& control,
+                                         const la::Vector& initial_temperatures,
+                                         const TransientOptions& options) const;
+
+  const ThermalModel* model_;
+  la::Vector dynamic_;
+  std::vector<power::ExponentialTerm> leakage_;
+  TransientOptions options_;
+  Config config_;
+
+  std::unique_ptr<StepperPool> steppers_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;  ///< lazy, for run_batch
+};
+
+}  // namespace oftec::thermal

@@ -109,6 +109,71 @@ TEST(BandedLu, ReportsMinimumPivot) {
   EXPECT_DOUBLE_EQ(lu.min_abs_pivot(), 0.25);
 }
 
+TEST(BandedLu, RefactorizeSwapBitIdenticalToFreshFactor) {
+  util::Rng rng(42);
+  BandedMatrix a(12, 2, 2);
+  BandedMatrix b(12, 2, 2);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if (a.in_band(i, j)) a.at(i, j) = rng.uniform(-1.0, 1.0);
+      if (b.in_band(i, j)) b.at(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    a.at(i, i) += 4.0;
+    b.at(i, i) += 4.0;
+  }
+  Vector rhs(12);
+  for (double& v : rhs) v = rng.uniform(-5.0, 5.0);
+
+  // Circulate the factor through two matrices; each refactorization must
+  // reproduce the bits of a from-scratch constructor + solve.
+  BandedLu lu;
+  EXPECT_FALSE(lu.valid());
+  BandedMatrix scratch = a;
+  lu.refactorize_swap(scratch);
+  EXPECT_TRUE(lu.valid());
+  Vector x_swap = rhs;
+  lu.solve_in_place(x_swap);
+  const Vector x_fresh = BandedLu(a).solve(rhs);
+  ASSERT_EQ(x_swap.size(), x_fresh.size());
+  for (std::size_t i = 0; i < x_swap.size(); ++i) {
+    EXPECT_EQ(x_swap[i], x_fresh[i]);
+  }
+
+  scratch = b;  // the returned storage is reusable assembly scratch
+  lu.refactorize_swap(scratch);
+  Vector y_swap = rhs;
+  lu.solve_in_place(y_swap);
+  const Vector y_fresh = BandedLu(b).solve(rhs);
+  for (std::size_t i = 0; i < y_swap.size(); ++i) {
+    EXPECT_EQ(y_swap[i], y_fresh[i]);
+  }
+}
+
+TEST(BandedLu, InvalidFactorRefusesToSolveAndRecovers) {
+  BandedLu lu;
+  Vector x = {1.0, 2.0};
+  EXPECT_THROW(lu.solve_in_place(x), std::logic_error);
+
+  BandedMatrix singular(2, 1, 1);
+  singular.at(0, 0) = 1.0;
+  singular.at(0, 1) = 1.0;
+  singular.at(1, 0) = 1.0;
+  singular.at(1, 1) = 1.0;
+  EXPECT_THROW(lu.refactorize_swap(singular), std::runtime_error);
+  EXPECT_FALSE(lu.valid());
+  EXPECT_THROW(lu.solve_in_place(x), std::logic_error);
+
+  BandedMatrix good(2, 1, 1);
+  good.at(0, 0) = 2.0;
+  good.at(1, 1) = 3.0;
+  lu.refactorize_swap(good);
+  EXPECT_TRUE(lu.valid());
+  Vector b = {4.0, 9.0};
+  lu.solve_in_place(b);
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+}
+
 /// Property: banded LU agrees with dense LU on random banded systems across
 /// bandwidth combinations.
 class BandedVsDenseTest

@@ -42,6 +42,29 @@ TEST(VectorOps, MaxElementAndArgmax) {
   EXPECT_THROW((void)argmax({}), std::invalid_argument);
 }
 
+TEST(VectorOps, AxpyDotBitIdenticalToAxpyThenDot) {
+  // The fused kernel must produce the exact bits of the two-pass version —
+  // CG's convergence decisions hang on this.
+  Vector y_fused = {1.0, -2.5, 3.25, 0.125, 7.5};
+  Vector y_split = y_fused;
+  const Vector x = {0.3, 1.7, -2.2, 5.5, -0.9};
+  const double alpha = -0.7;
+  const double fused = axpy_dot(alpha, x, y_fused);
+  axpy(alpha, x, y_split);
+  const double split = dot(y_split, y_split);
+  EXPECT_EQ(fused, split);
+  for (std::size_t i = 0; i < y_fused.size(); ++i) {
+    EXPECT_EQ(y_fused[i], y_split[i]);
+  }
+}
+
+TEST(VectorOps, AxpyDotEmptyAndMismatch) {
+  Vector empty;
+  EXPECT_DOUBLE_EQ(axpy_dot(2.0, {}, empty), 0.0);
+  Vector y = {1.0};
+  EXPECT_THROW((void)axpy_dot(1.0, {1.0, 2.0}, y), std::invalid_argument);
+}
+
 TEST(VectorOps, SumAndMaxAbsDiff) {
   EXPECT_DOUBLE_EQ(sum({1.0, 2.0, 3.5}), 6.5);
   EXPECT_DOUBLE_EQ(max_abs_diff({1.0, 5.0}, {2.0, 4.0}), 1.0);

@@ -271,6 +271,43 @@ TEST(Transient, StepChangeMidHorizonMatchesTwoStageComposition) {
             leg2.samples.back().max_chip_temperature);
 }
 
+TEST(Transient, PlanStepsCoversTheHorizonExactly) {
+  // Even division: no remainder step.
+  StepPlan p = plan_steps(1.0, 0.25);
+  EXPECT_EQ(p.steps, 4u);
+  EXPECT_DOUBLE_EQ(p.last_step, 0.25);
+
+  // Remainder: a clamped final step lands exactly on the horizon.
+  p = plan_steps(0.105, 0.01);
+  EXPECT_EQ(p.steps, 11u);
+  EXPECT_NEAR(p.last_step, 0.005, 1e-12);
+
+  // Floating-point noise in duration/time_step must not spawn a zero-length
+  // eleventh step.
+  p = plan_steps(10 * 0.1, 0.1);
+  EXPECT_EQ(p.steps, 10u);
+
+  // Zero-length horizon: no steps.
+  p = plan_steps(0.0, 0.1);
+  EXPECT_EQ(p.steps, 0u);
+
+  EXPECT_THROW((void)plan_steps(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)plan_steps(-1.0, 0.1), std::invalid_argument);
+}
+
+TEST(Transient, ClampedFinalStepLandsOnDuration) {
+  const Workload w = make_workload(22.0);
+  TransientOptions opts;
+  opts.time_step = 10e-3;
+  opts.duration = 0.105;  // 10 full steps + one clamped half-step
+  const TransientSolver transient(model(), w.dynamic, w.leak, opts);
+  const TransientResult r =
+      transient.run(constant_control(400.0, 0.5), transient.ambient_state());
+  ASSERT_FALSE(r.runaway);
+  EXPECT_EQ(r.steps, 11u);
+  EXPECT_DOUBLE_EQ(r.samples.back().time, 0.105);
+}
+
 TEST(Transient, StateArityChecked) {
   const Workload w = make_workload(20.0);
   const TransientSolver transient(model(), w.dynamic, w.leak);
