@@ -13,9 +13,12 @@
 // tools/run_obs_smoke.cmake).
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <thread>
 
 #include "common.h"
 #include "core/dtm_loop.h"
+#include "la/backend.h"
 #include "thermal/transient_engine.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -236,6 +239,14 @@ int main(int argc, char** argv) {
     jb["batch_ms"] = batch_ms;
     jb["speedup"] = batch_ms > 0.0 ? serial_ms / batch_ms : 0.0;
     jb["bit_identical"] = batch_identical;
+    // Scaling context: a 1.07x "speedup" on hardware_concurrency=1 is the
+    // physical ceiling, not a regression — interpret the number against the
+    // machine it was measured on (the tier-2 scaling test asserts >= 2.5x
+    // only where >= 4 hardware threads exist).
+    jb["hardware_concurrency"] =
+        static_cast<std::size_t>(std::thread::hardware_concurrency());
+    jb["pool_threads"] = util::ThreadPool::default_thread_count();
+    jb["backend"] = std::string(la::backend().name);
     update_bench_artifact("run_batch", jb);
   }
 

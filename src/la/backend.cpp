@@ -1,0 +1,178 @@
+#include "la/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "la/backend_detail.h"
+#include "util/fault.h"
+#include "util/log.h"
+#include "util/obs.h"
+
+namespace oftec::la {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These are byte-for-byte the loop bodies the seed
+// solvers ran inline (sequential accumulation, multiply-then-add, no FMA at
+// the baseline -march), so routing the solvers through this table changes no
+// bits. tests/la/test_backend_parity.cpp enforces that against checked-in
+// goldens.
+// ---------------------------------------------------------------------------
+
+void scalar_axpy(std::size_t n, double alpha, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scalar_scale(std::size_t n, double alpha, double* x) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double scalar_dot(std::size_t n, const double* x, const double* y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double scalar_axpy_dot(std::size_t n, double alpha, const double* x,
+                       double* y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+    acc += y[i] * y[i];
+  }
+  return acc;
+}
+
+double scalar_max_abs_diff(std::size_t n, const double* x, const double* y) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - y[i];
+    const double a = d < 0.0 ? -d : d;
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+double scalar_nmsub_fold(double init, std::size_t n, const double* a,
+                         std::ptrdiff_t sa, const double* x,
+                         std::ptrdiff_t sx) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc -= *a * *x;
+    a += sa;
+    x += sx;
+  }
+  return acc;
+}
+
+constexpr BackendOps kScalarOps = {
+    "scalar",          BackendKind::kScalar, scalar_axpy,
+    scalar_scale,      scalar_dot,           scalar_axpy_dot,
+    scalar_max_abs_diff, scalar_nmsub_fold,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+const obs::Counter g_obs_installs = obs::counter("la.backend.installs");
+const obs::Counter g_obs_simd_selected = obs::counter("la.backend.simd_selected");
+const obs::Counter g_obs_scalar_fallback =
+    obs::counter("la.backend.scalar_fallback");
+
+std::atomic<const BackendOps*> g_active{nullptr};
+std::mutex g_install_mutex;
+
+/// Widest simd table the machine can run, after the dispatch-fallback fault
+/// gate. The fault site models a production deployment discovering at
+/// startup that its simd path is unusable (microcode disable, masked CPUID
+/// in a VM) — the chaos suite arms it to prove the solver stack degrades to
+/// scalar with identical results, not an abort.
+const BackendOps* usable_simd_table() {
+  static const fault::Site simd_unavailable =
+      fault::site("la.backend.simd_unavailable");
+  if (simd_unavailable.should_fail()) {
+    log::warn("la.backend: simd dispatch unavailable (injected); ",
+              "falling back to scalar kernels");
+    return nullptr;
+  }
+  if (const BackendOps* t = detail::avx512_table()) return t;
+  return detail::avx2_table();
+}
+
+}  // namespace
+
+const BackendOps& scalar_backend() noexcept { return kScalarOps; }
+
+bool simd_supported() noexcept { return detail::avx2_table() != nullptr; }
+bool avx512_supported() noexcept { return detail::avx512_table() != nullptr; }
+
+const BackendOps* simd_backend() noexcept {
+  if (const BackendOps* t = detail::avx512_table()) return t;
+  return detail::avx2_table();
+}
+const BackendOps* avx2_backend() noexcept { return detail::avx2_table(); }
+const BackendOps* avx512_backend() noexcept { return detail::avx512_table(); }
+
+const BackendOps& install_backend(const char* spec) {
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  const std::string_view s = spec != nullptr ? std::string_view(spec)
+                                             : std::string_view("auto");
+  const BackendOps* chosen = nullptr;
+  if (s == "scalar") {
+    chosen = &kScalarOps;
+  } else if (s == "simd" || s == "auto" || s.empty()) {
+    chosen = usable_simd_table();
+    if (chosen == nullptr) {
+      if (s == "simd") {
+        log::warn("la.backend: OFTEC_LA_BACKEND=simd requested but no simd ",
+                  "implementation is runnable here; using scalar");
+      }
+      chosen = &kScalarOps;
+    }
+  } else if (s == "avx2") {
+    // Narrow test/bench flavors: pin one ISA so the parity suite can compare
+    // avx2 and avx512 outputs on machines that have both.
+    chosen = usable_simd_table() != nullptr ? detail::avx2_table() : nullptr;
+    if (chosen == nullptr) {
+      log::warn("la.backend: avx2 kernels unavailable; using scalar");
+      chosen = &kScalarOps;
+    }
+  } else if (s == "avx512") {
+    chosen = usable_simd_table() != nullptr ? detail::avx512_table() : nullptr;
+    if (chosen == nullptr) {
+      log::warn("la.backend: avx512 kernels unavailable; using scalar");
+      chosen = &kScalarOps;
+    }
+  } else {
+    log::warn("la.backend: unrecognized OFTEC_LA_BACKEND=\"", s,
+              "\" (expected scalar|simd|auto); using auto");
+    chosen = usable_simd_table();
+    if (chosen == nullptr) chosen = &kScalarOps;
+  }
+
+  g_obs_installs.add();
+  if (chosen->kind == BackendKind::kSimd) {
+    g_obs_simd_selected.add();
+  } else if (s != "scalar") {
+    g_obs_scalar_fallback.add();
+  }
+  log::debug("la.backend: installed ", chosen->name, " (requested \"", s,
+             "\")");
+  g_active.store(chosen, std::memory_order_release);
+  return *chosen;
+}
+
+const BackendOps& backend() noexcept {
+  const BackendOps* active = g_active.load(std::memory_order_acquire);
+  if (active != nullptr) return *active;
+  // First use: resolve from the environment. Concurrent first calls race
+  // benignly — both resolve the same spec and install the same table.
+  return install_backend(std::getenv("OFTEC_LA_BACKEND"));
+}
+
+}  // namespace oftec::la

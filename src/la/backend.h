@@ -1,0 +1,102 @@
+// Runtime-dispatched kernel backend for the dense/banded hot loops.
+//
+// Every solver in the library funnels its inner arithmetic through a handful
+// of BLAS-1-shaped kernels: contiguous axpy/dot (CG, the banded LU forward
+// substitution and trailing update after the column-major storage change),
+// the fused axpy_dot residual update, and strided negative-multiply-subtract
+// folds (back substitution, both Cholesky factorizations and solves). This
+// header is the seam that lets those call sites pick an implementation at
+// runtime:
+//
+//   scalar — the reference. Plain sequential C++ loops, bit-identical to the
+//            seed implementations they replaced (enforced against checked-in
+//            goldens by tests/la/test_backend_parity.cpp). Always available.
+//   simd   — AVX2 or AVX-512 kernels. Element-wise kernels (axpy, scale) are
+//            bit-identical to scalar (same multiply/add per element, no FMA
+//            contraction). Reduction kernels (dot, axpy_dot, nmsub_fold,
+//            max_abs_diff) accumulate in a fixed 8-lane interleave combined
+//            pairwise, so they are ULP-close to scalar and — because AVX2
+//            and AVX-512 realize the *same* 8-lane tree — bit-identical
+//            between the two instruction sets. The simd backend is therefore
+//            deterministic: same inputs give the same bits on every machine
+//            that runs it, at any thread count.
+//
+// Selection (first call to backend(), or an explicit install_backend()):
+//   OFTEC_LA_BACKEND = scalar | simd | auto (default) | avx2 | avx512
+// "auto" resolves to simd when the CPU supports AVX2, else scalar. An
+// explicit "simd"/"avx2"/"avx512" on unsupported hardware degrades to the
+// widest available implementation with a logged warning rather than
+// failing — and the fault site "la.backend.simd_unavailable" injects that
+// degradation deterministically for chaos tests (docs/robustness.md).
+//
+// Bit-identity policy (docs/solver.md "Kernel backends"):
+//   - scalar: bit-identical to the seed solvers, forever.
+//   - simd:   ULP-bounded against scalar per kernel call; deterministic for
+//             a fixed backend across runs, machines, and thread counts.
+//   - Paths that compare two runs of *this process* (batched-vs-serial,
+//     engine-vs-reference, serve-vs-direct) stay bit-identical under either
+//     backend, because both sides go through the same kernels.
+#pragma once
+
+#include <cstddef>
+
+namespace oftec::la {
+
+enum class BackendKind { kScalar, kSimd };
+
+/// Kernel table. All pointers are non-null and callable from any thread.
+struct BackendOps {
+  const char* name = "scalar";  ///< "scalar", "simd-avx2", "simd-avx512"
+  BackendKind kind = BackendKind::kScalar;
+
+  /// y[i] += alpha * x[i] over contiguous spans (no aliasing).
+  void (*axpy)(std::size_t n, double alpha, const double* x, double* y);
+  /// x[i] *= alpha.
+  void (*scale)(std::size_t n, double alpha, double* x);
+  /// Σ x[i]·y[i].
+  double (*dot)(std::size_t n, const double* x, const double* y);
+  /// Fused y[i] += alpha·x[i]; returns Σ y[i]² of the updated y.
+  double (*axpy_dot)(std::size_t n, double alpha, const double* x, double* y);
+  /// max_i |x[i] − y[i]| (finite inputs; NaN handling is backend-specific).
+  double (*max_abs_diff)(std::size_t n, const double* x, const double* y);
+  /// Strided negative-multiply-subtract fold:
+  ///   init − Σ_{i<n} a[i·sa] · x[i·sx]
+  /// computed as a sequential fused fold by the scalar backend (the exact
+  /// substitution-loop arithmetic of the seed solvers) and as an 8-lane tree
+  /// by the simd backend. Strides are in elements and may be negative.
+  double (*nmsub_fold)(double init, std::size_t n, const double* a,
+                       std::ptrdiff_t sa, const double* x, std::ptrdiff_t sx);
+};
+
+/// The active backend. Resolved from OFTEC_LA_BACKEND (else "auto") on first
+/// use, then constant until install_backend() is called. Never null.
+[[nodiscard]] const BackendOps& backend() noexcept;
+
+/// True when the CPU can run the AVX2 simd kernels (AVX2; the kernels use no
+/// FMA so the FMA flag is not required).
+[[nodiscard]] bool simd_supported() noexcept;
+/// True when the AVX-512 flavor is additionally available (AVX-512F).
+[[nodiscard]] bool avx512_supported() noexcept;
+
+/// Resolve `spec` ("scalar" | "simd" | "auto" | "avx2" | "avx512"; null or
+/// unrecognized → "auto" with a logged warning) and install the result as
+/// the active backend. Returns the installed table. Intended for startup,
+/// tests, and benches — installation is atomic, but swapping backends while
+/// other threads are inside kernels mixes implementations between calls
+/// (each individual call is internally consistent).
+const BackendOps& install_backend(const char* spec);
+
+/// The scalar reference table (always available; used by differential tests
+/// regardless of the active backend).
+[[nodiscard]] const BackendOps& scalar_backend() noexcept;
+
+/// The simd table for the current machine, or null when !simd_supported().
+/// Exposed so the parity suite can compare tables directly.
+[[nodiscard]] const BackendOps* simd_backend() noexcept;
+
+/// The specific AVX2 / AVX-512 tables when supported (null otherwise); the
+/// determinism tests assert the two produce identical bits.
+[[nodiscard]] const BackendOps* avx2_backend() noexcept;
+[[nodiscard]] const BackendOps* avx512_backend() noexcept;
+
+}  // namespace oftec::la

@@ -1,0 +1,14 @@
+// Internal glue between backend.cpp (dispatch) and backend_simd.cpp (the
+// ISA-specific kernel tables). Not installed; include backend.h instead.
+#pragma once
+
+#include "la/backend.h"
+
+namespace oftec::la::detail {
+
+/// The AVX2 / AVX-512 tables, or null when the build target or the running
+/// CPU cannot execute them. Cheap after the first call.
+[[nodiscard]] const BackendOps* avx2_table() noexcept;
+[[nodiscard]] const BackendOps* avx512_table() noexcept;
+
+}  // namespace oftec::la::detail

@@ -1,0 +1,344 @@
+// AVX2 / AVX-512 kernel tables for the la::Backend seam.
+//
+// The build stays at the baseline -march (no global -mavx2), so every
+// vector function here carries a target attribute and is only ever called
+// after a __builtin_cpu_supports check — the binary runs unchanged on
+// pre-AVX2 machines, where dispatch resolves to scalar.
+//
+// Determinism design (see backend.h):
+//   * Element-wise kernels (axpy, scale) do multiply-then-add per element —
+//     explicit _mm*_mul_pd/_mm*_add_pd, never FMA — so they are bit-identical
+//     to the scalar reference.
+//   * Reductions use a FIXED 8-logical-lane accumulator layout: lane l
+//     accumulates elements i ≡ l (mod 8) in index order. AVX2 realizes the
+//     lanes as two __m256d, AVX-512 as one __m512d; both spill the 8 lane
+//     totals and combine them with the same scalar tree
+//         ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))
+//     then fold the tail (< 8 elements) sequentially. Hence avx2 and avx512
+//     return identical bits for identical inputs, and a fixed backend is
+//     deterministic across runs and thread counts. For n < 8 the whole input
+//     is tail, so reductions degenerate to the scalar result exactly.
+//   * max_abs_diff assumes finite inputs (NaN handling follows _mm_max_pd
+//     operand order, which differs from std::max; the library never feeds
+//     NaNs here — solvers reject non-finite state upstream).
+#include "la/backend_detail.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <cstddef>
+
+namespace oftec::la::detail {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+/// Scalar tree-combine of the 8 lane totals — shared by both ISA flavors so
+/// their reduction results are bit-identical by construction.
+inline double combine8(const double lanes[8]) {
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+inline double combine8_max(const double lanes[8]) {
+  double m = lanes[0];
+  for (int l = 1; l < 8; ++l) {
+    if (lanes[l] > m) m = lanes[l];
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) __m256d load4_strided(const double* p,
+                                                      std::ptrdiff_t s) {
+  if (s == 1) return _mm256_loadu_pd(p);
+  return _mm256_set_pd(p[3 * s], p[2 * s], p[s], p[0]);
+}
+
+__attribute__((target("avx2"))) void avx2_axpy(std::size_t n, double alpha,
+                                               const double* x, double* y) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void avx2_scale(std::size_t n, double alpha,
+                                                double* x) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2"))) double avx2_dot(std::size_t n, const double* x,
+                                                const double* y) {
+  __m256d acc_lo = _mm256_setzero_pd();  // lanes 0..3
+  __m256d acc_hi = _mm256_setzero_pd();  // lanes 4..7
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(_mm256_loadu_pd(x + i),
+                                                 _mm256_loadu_pd(y + i)));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4),
+                                                 _mm256_loadu_pd(y + i + 4)));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  double acc = combine8(lanes);
+  for (; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+__attribute__((target("avx2"))) double avx2_axpy_dot(std::size_t n,
+                                                     double alpha,
+                                                     const double* x,
+                                                     double* y) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d vy0 = _mm256_loadu_pd(y + i);
+    vy0 = _mm256_add_pd(vy0, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, vy0);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(vy0, vy0));
+    __m256d vy1 = _mm256_loadu_pd(y + i + 4);
+    vy1 = _mm256_add_pd(vy1, _mm256_mul_pd(va, _mm256_loadu_pd(x + i + 4)));
+    _mm256_storeu_pd(y + i + 4, vy1);
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(vy1, vy1));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  double acc = combine8(lanes);
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+    acc += y[i] * y[i];
+  }
+  return acc;
+}
+
+__attribute__((target("avx2"))) double avx2_max_abs_diff(std::size_t n,
+                                                         const double* x,
+                                                         const double* y) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d m_lo = _mm256_setzero_pd();
+  __m256d m_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_andnot_pd(
+        sign_mask,
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    m_lo = _mm256_max_pd(m_lo, d0);
+    const __m256d d1 = _mm256_andnot_pd(
+        sign_mask,
+        _mm256_sub_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4)));
+    m_hi = _mm256_max_pd(m_hi, d1);
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, m_lo);
+  _mm256_store_pd(lanes + 4, m_hi);
+  double m = combine8_max(lanes);
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    const double a = d < 0.0 ? -d : d;
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) double avx2_nmsub_fold(double init,
+                                                       std::size_t n,
+                                                       const double* a,
+                                                       std::ptrdiff_t sa,
+                                                       const double* x,
+                                                       std::ptrdiff_t sx) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  const double* pa = a;
+  const double* px = x;
+  for (; i + 8 <= n; i += 8) {
+    acc_lo = _mm256_sub_pd(
+        acc_lo, _mm256_mul_pd(load4_strided(pa, sa), load4_strided(px, sx)));
+    acc_hi = _mm256_sub_pd(
+        acc_hi, _mm256_mul_pd(load4_strided(pa + 4 * sa, sa),
+                              load4_strided(px + 4 * sx, sx)));
+    pa += 8 * sa;
+    px += 8 * sx;
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  double acc = init + combine8(lanes);
+  for (; i < n; ++i) {
+    acc -= *pa * *px;
+    pa += sa;
+    px += sx;
+  }
+  return acc;
+}
+
+constexpr BackendOps kAvx2Ops = {
+    "simd-avx2",       BackendKind::kSimd, avx2_axpy,
+    avx2_scale,        avx2_dot,           avx2_axpy_dot,
+    avx2_max_abs_diff, avx2_nmsub_fold,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512 — same 8-lane accumulator in one register.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f"))) __m512d load8_strided(const double* p,
+                                                         std::ptrdiff_t s) {
+  if (s == 1) return _mm512_loadu_pd(p);
+  return _mm512_set_pd(p[7 * s], p[6 * s], p[5 * s], p[4 * s], p[3 * s],
+                       p[2 * s], p[s], p[0]);
+}
+
+__attribute__((target("avx512f"))) void avx512_axpy(std::size_t n,
+                                                    double alpha,
+                                                    const double* x,
+                                                    double* y) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d vx = _mm512_loadu_pd(x + i);
+    const __m512d vy = _mm512_loadu_pd(y + i);
+    _mm512_storeu_pd(y + i, _mm512_add_pd(vy, _mm512_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx512f"))) void avx512_scale(std::size_t n,
+                                                     double alpha, double* x) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(x + i, _mm512_mul_pd(_mm512_loadu_pd(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx512f"))) double avx512_dot(std::size_t n,
+                                                     const double* x,
+                                                     const double* y) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(_mm512_loadu_pd(x + i),
+                                           _mm512_loadu_pd(y + i)));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  double r = combine8(lanes);
+  for (; i < n; ++i) r += x[i] * y[i];
+  return r;
+}
+
+__attribute__((target("avx512f"))) double avx512_axpy_dot(std::size_t n,
+                                                          double alpha,
+                                                          const double* x,
+                                                          double* y) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d vy = _mm512_loadu_pd(y + i);
+    vy = _mm512_add_pd(vy, _mm512_mul_pd(va, _mm512_loadu_pd(x + i)));
+    _mm512_storeu_pd(y + i, vy);
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(vy, vy));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  double r = combine8(lanes);
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+    r += y[i] * y[i];
+  }
+  return r;
+}
+
+__attribute__((target("avx512f"))) double avx512_max_abs_diff(std::size_t n,
+                                                              const double* x,
+                                                              const double* y) {
+  __m512d m8 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d d = _mm512_abs_pd(
+        _mm512_sub_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i)));
+    m8 = _mm512_max_pd(m8, d);
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, m8);
+  double m = combine8_max(lanes);
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    const double a = d < 0.0 ? -d : d;
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+__attribute__((target("avx512f"))) double avx512_nmsub_fold(
+    double init, std::size_t n, const double* a, std::ptrdiff_t sa,
+    const double* x, std::ptrdiff_t sx) {
+  __m512d acc8 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  const double* pa = a;
+  const double* px = x;
+  for (; i + 8 <= n; i += 8) {
+    acc8 = _mm512_sub_pd(
+        acc8, _mm512_mul_pd(load8_strided(pa, sa), load8_strided(px, sx)));
+    pa += 8 * sa;
+    px += 8 * sx;
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc8);
+  double acc = init + combine8(lanes);
+  for (; i < n; ++i) {
+    acc -= *pa * *px;
+    pa += sa;
+    px += sx;
+  }
+  return acc;
+}
+
+constexpr BackendOps kAvx512Ops = {
+    "simd-avx512",       BackendKind::kSimd, avx512_axpy,
+    avx512_scale,        avx512_dot,         avx512_axpy_dot,
+    avx512_max_abs_diff, avx512_nmsub_fold,
+};
+
+}  // namespace
+
+const BackendOps* avx2_table() noexcept {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported ? &kAvx2Ops : nullptr;
+}
+
+const BackendOps* avx512_table() noexcept {
+  static const bool supported = __builtin_cpu_supports("avx512f") != 0;
+  return supported ? &kAvx512Ops : nullptr;
+}
+
+#else  // non-x86: scalar only
+
+const BackendOps* avx2_table() noexcept { return nullptr; }
+const BackendOps* avx512_table() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace oftec::la::detail

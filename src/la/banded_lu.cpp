@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "la/backend.h"
+
 namespace oftec::la {
 
 BandedLu::BandedLu(BandedMatrix a) : ab_(std::move(a)) { factor(); }
@@ -15,7 +17,16 @@ void BandedLu::refactorize_swap(BandedMatrix& a) {
   factor();
 }
 
+// With column-major band storage, column j's entries ab_(kv..kv+km, j) are
+// contiguous, so the multiplier scaling and each trailing-column update are
+// unit-stride backend kernels. The arithmetic per element — multiply by the
+// reciprocal pivot; y -= l*u, realized as y += (-u)*l, which is the same
+// IEEE operation — matches the seed loops exactly, so factorizations are
+// bit-identical under the scalar backend (goldens enforce this). The pivot
+// search stays scalar: its strict-greater tie-breaking picks the *first*
+// maximal entry, an order-dependent choice no reduction tree may alter.
 void BandedLu::factor() {
+  const BackendOps& ops = backend();
   valid_ = false;
   const std::size_t n = ab_.size();
   const std::size_t kl = ab_.lower_bandwidth();
@@ -27,12 +38,13 @@ void BandedLu::factor() {
   for (std::size_t j = 0; j < n; ++j) {
     // Number of sub-diagonal entries in column j.
     const std::size_t km = std::min(kl, n - 1 - j);
+    double* colj = ab_.col_ptr(j) + kv;  // colj[r] = A(j+r, j), r = 0..km
 
     // Partial pivoting within the column's band.
     std::size_t p = 0;
-    double best = std::abs(ab_.storage(kv, j));
+    double best = std::abs(colj[0]);
     for (std::size_t r = 1; r <= km; ++r) {
-      const double v = std::abs(ab_.storage(kv + r, j));
+      const double v = std::abs(colj[r]);
       if (v > best) {
         best = v;
         p = r;
@@ -45,7 +57,9 @@ void BandedLu::factor() {
     min_pivot_ = std::min(min_pivot_, best);
 
     if (p != 0) {
-      // Swap rows j and j+p across columns j..min(n-1, j+kv).
+      // Swap rows j and j+p across columns j..min(n-1, j+kv). Row entries
+      // sit one step below the previous column's, so this walk is strided —
+      // it stays a scalar loop (length ≤ kv+1).
       const std::size_t c_hi = std::min(n - 1, j + kv);
       for (std::size_t c = j; c <= c_hi; ++c) {
         std::swap(ab_.storage(kv + j - c, c), ab_.storage(kv + j + p - c, c));
@@ -53,19 +67,18 @@ void BandedLu::factor() {
     }
 
     // Compute multipliers.
-    const double inv_pivot = 1.0 / ab_.storage(kv, j);
-    for (std::size_t r = 1; r <= km; ++r) {
-      ab_.storage(kv + r, j) *= inv_pivot;
-    }
+    const double inv_pivot = 1.0 / colj[0];
+    ops.scale(km, inv_pivot, colj + 1);
 
-    // Rank-1 update of the trailing band.
+    // Rank-1 update of the trailing band: column c gains (-u_jc) · L(:,j),
+    // both sides contiguous.
     const std::size_t c_hi = std::min(n - 1, j + kv);
     for (std::size_t c = j + 1; c <= c_hi; ++c) {
       const double u_jc = ab_.storage(kv + j - c, c);
+      // Skipping exact zeros preserves the seed's signed-zero bits in the
+      // untouched entries (adding -0.0 could flip a stored -0.0 to +0.0).
       if (u_jc == 0.0) continue;
-      for (std::size_t r = 1; r <= km; ++r) {
-        ab_.storage(kv + j + r - c, c) -= ab_.storage(kv + r, j) * u_jc;
-      }
+      ops.axpy(km, -u_jc, colj + 1, ab_.col_ptr(c) + (kv + j - c) + 1);
     }
   }
   valid_ = true;
@@ -81,6 +94,7 @@ void BandedLu::solve_in_place(Vector& x) const {
   if (!valid_) {
     throw std::logic_error("BandedLu::solve: no valid factorization");
   }
+  const BackendOps& ops = backend();
   const std::size_t n = ab_.size();
   if (x.size() != n) {
     throw std::invalid_argument("BandedLu::solve: size mismatch");
@@ -88,24 +102,28 @@ void BandedLu::solve_in_place(Vector& x) const {
   const std::size_t kl = ab_.lower_bandwidth();
   const std::size_t ku = ab_.upper_bandwidth();
   const std::size_t kv = kl + ku;
+  const std::size_t rows = ab_.storage_rows();
 
-  // Apply P and L (forward substitution).
+  // Apply P and L (forward substitution): x[j+1..j+km] -= xj · L(:,j),
+  // contiguous on both sides.
   for (std::size_t j = 0; j < n; ++j) {
     if (ipiv_[j] != j) std::swap(x[j], x[ipiv_[j]]);
     const std::size_t km = std::min(kl, n - 1 - j);
     const double xj = x[j];
     if (xj == 0.0) continue;
-    for (std::size_t r = 1; r <= km; ++r) {
-      x[j + r] -= ab_.storage(kv + r, j) * xj;
-    }
+    ops.axpy(km, -xj, ab_.col_ptr(j) + kv + 1, x.data() + j + 1);
   }
-  // Back substitution with U (bandwidth kv).
+  // Back substitution with U (bandwidth kv). Walking row jj rightwards
+  // moves one column over and one band-row up: stride rows-1 through the
+  // storage, against contiguous x.
   for (std::size_t jj = n; jj-- > 0;) {
-    double acc = x[jj];
     const std::size_t c_hi = std::min(n - 1, jj + kv);
-    for (std::size_t c = jj + 1; c <= c_hi; ++c) {
-      acc -= ab_.storage(kv + jj - c, c) * x[c];
-    }
+    const std::size_t len = c_hi - jj;
+    const double acc =
+        len == 0 ? x[jj]
+                 : ops.nmsub_fold(x[jj], len, ab_.col_ptr(jj + 1) + kv - 1,
+                                  static_cast<std::ptrdiff_t>(rows) - 1,
+                                  x.data() + jj + 1, 1);
     x[jj] = acc / ab_.storage(kv, jj);
   }
 }

@@ -5,7 +5,11 @@
 namespace oftec::la {
 
 BandedMatrix::BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku)
-    : n_(n), kl_(kl), ku_(ku), data_((2 * kl + ku + 1) * n, 0.0) {}
+    : n_(n),
+      kl_(kl),
+      ku_(ku),
+      rows_(2 * kl + ku + 1),
+      data_((2 * kl + ku + 1) * n, 0.0) {}
 
 bool BandedMatrix::in_band(std::size_t r, std::size_t c) const noexcept {
   if (r >= n_ || c >= n_) return false;

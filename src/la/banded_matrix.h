@@ -45,24 +45,40 @@ class BandedMatrix {
 
   /// Direct access to the band storage for the LU factorization.
   /// Layout: entry (r, c) lives at storage(kl + ku + r - c, c).
+  ///
+  /// Storage is column-major (true LAPACK band layout): a column's band
+  /// entries are contiguous, so the factorization's pivot search,
+  /// multiplier scaling, trailing-column updates, and the forward
+  /// substitution all walk unit-stride memory — the shape the la::Backend
+  /// kernels want. The (band_row, col) indexing is unchanged from the old
+  /// row-major layout; only the linearization moved, so per-element
+  /// arithmetic (and therefore every factorization bit) is identical.
   [[nodiscard]] double& storage(std::size_t band_row, std::size_t col) noexcept {
-    return data_[band_row * n_ + col];
+    return data_[col * rows_ + band_row];
   }
   [[nodiscard]] double storage(std::size_t band_row,
                                std::size_t col) const noexcept {
-    return data_[band_row * n_ + col];
+    return data_[col * rows_ + band_row];
+  }
+
+  /// First band-storage element of column `col`; the column's
+  /// storage_rows() entries are contiguous from here.
+  [[nodiscard]] double* col_ptr(std::size_t col) noexcept {
+    return data_.data() + col * rows_;
+  }
+  [[nodiscard]] const double* col_ptr(std::size_t col) const noexcept {
+    return data_.data() + col * rows_;
   }
 
   /// Number of band-storage rows (= 2*kl + ku + 1).
-  [[nodiscard]] std::size_t storage_rows() const noexcept {
-    return 2 * kl_ + ku_ + 1;
-  }
+  [[nodiscard]] std::size_t storage_rows() const noexcept { return rows_; }
 
  private:
   std::size_t n_ = 0;
   std::size_t kl_ = 0;
   std::size_t ku_ = 0;
-  std::vector<double> data_;  // (2*kl+ku+1) × n, row-major
+  std::size_t rows_ = 1;      // 2*kl + ku + 1
+  std::vector<double> data_;  // (2*kl+ku+1) × n, column-major
 };
 
 }  // namespace oftec::la

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "la/backend.h"
 #include "util/obs.h"
 
 namespace oftec::la {
@@ -50,12 +51,16 @@ void BandedCholeskyNumeric::refactorize(const BandedMatrix& a) {
   }
   const std::size_t n = symbolic_->size();
   const std::size_t k = symbolic_->bandwidth();
+  const BackendOps& ops = backend();
+  const std::ptrdiff_t row_stride = 1 - static_cast<std::ptrdiff_t>(n);
   g_obs_refactorizations.add();
   factorized_ = false;
   factor_.assign(symbolic_->factor_storage(), 0.0);
   min_diag_ = std::numeric_limits<double>::infinity();
 
-  // Identical arithmetic to la::BandedCholesky, into reused storage.
+  // Identical arithmetic to la::BandedCholesky, into reused storage; the
+  // inner folds go through the backend's nmsub_fold like that class
+  // (scalar: seed-bit-identical; simd: deterministic 8-lane tree).
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t i_hi = std::min(n - 1, j + k);
     for (std::size_t i = j; i <= i_hi; ++i) {
@@ -66,8 +71,9 @@ void BandedCholeskyNumeric::refactorize(const BandedMatrix& a) {
   for (std::size_t j = 0; j < n; ++j) {
     double diag = l(j, j);
     const std::size_t m_lo = j > k ? j - k : 0;
-    for (std::size_t m = m_lo; m < j; ++m) {
-      diag -= l(j, m) * l(j, m);
+    if (j > m_lo) {
+      const double* pj = factor_.data() + (j - m_lo) * n + m_lo;
+      diag = ops.nmsub_fold(diag, j - m_lo, pj, row_stride, pj, row_stride);
     }
     if (!(diag > 0.0)) {
       throw std::runtime_error(
@@ -81,8 +87,11 @@ void BandedCholeskyNumeric::refactorize(const BandedMatrix& a) {
     for (std::size_t i = j + 1; i <= i_hi; ++i) {
       double acc = l(i, j);
       const std::size_t m_lo_i = i > k ? i - k : 0;
-      for (std::size_t m = std::max(m_lo, m_lo_i); m < j; ++m) {
-        acc -= l(i, m) * l(j, m);
+      const std::size_t m0 = std::max(m_lo, m_lo_i);
+      if (j > m0) {
+        acc = ops.nmsub_fold(acc, j - m0,
+                             factor_.data() + (i - m0) * n + m0, row_stride,
+                             factor_.data() + (j - m0) * n + m0, row_stride);
       }
       l(i, j) = acc / ljj;
     }
@@ -99,13 +108,17 @@ Vector BandedCholeskyNumeric::solve(const Vector& b) const {
   if (b.size() != n) {
     throw std::invalid_argument("BandedCholeskyNumeric::solve: size mismatch");
   }
+  const BackendOps& ops = backend();
+  const std::ptrdiff_t row_stride = 1 - static_cast<std::ptrdiff_t>(n);
   Vector x = b;
   // Forward: L y = b.
   for (std::size_t i = 0; i < n; ++i) {
     double acc = x[i];
     const std::size_t j_lo = i > k ? i - k : 0;
-    for (std::size_t j = j_lo; j < i; ++j) {
-      acc -= l(i, j) * x[j];
+    if (i > j_lo) {
+      acc = ops.nmsub_fold(acc, i - j_lo,
+                           factor_.data() + (i - j_lo) * n + j_lo, row_stride,
+                           x.data() + j_lo, 1);
     }
     x[i] = acc / l(i, i);
   }
@@ -113,8 +126,10 @@ Vector BandedCholeskyNumeric::solve(const Vector& b) const {
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = x[ii];
     const std::size_t i_hi = std::min(n - 1, ii + k);
-    for (std::size_t i = ii + 1; i <= i_hi; ++i) {
-      acc -= l(i, ii) * x[i];
+    if (i_hi > ii) {
+      acc = ops.nmsub_fold(acc, i_hi - ii, factor_.data() + n + ii,
+                           static_cast<std::ptrdiff_t>(n), x.data() + ii + 1,
+                           1);
     }
     x[ii] = acc / l(ii, ii);
   }

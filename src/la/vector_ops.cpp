@@ -3,22 +3,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/backend.h"
+
 namespace oftec::la {
 
-// The kernels hoist sizes and data pointers into locals so the inner loops
-// carry no per-iteration size() / operator[] re-derivation — these are the
-// BLAS-1 bodies under every CG iteration and transient step.
+// These wrappers validate shapes, then hand the hoisted pointers to the
+// active la::Backend kernel table (scalar reference or runtime-dispatched
+// SIMD — see backend.h) — these are the BLAS-1 bodies under every CG
+// iteration and transient step.
 
 double dot(const Vector& a, const Vector& b) {
   const std::size_t n = a.size();
   if (b.size() != n) {
     throw std::invalid_argument("dot: size mismatch");
   }
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
-  return acc;
+  return backend().dot(n, a.data(), b.data());
 }
 
 double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
@@ -34,9 +33,7 @@ void axpy(double alpha, const Vector& x, Vector& y) {
   if (y.size() != n) {
     throw std::invalid_argument("axpy: size mismatch");
   }
-  const double* px = x.data();
-  double* py = y.data();
-  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  backend().axpy(n, alpha, x.data(), y.data());
 }
 
 double axpy_dot(double alpha, const Vector& x, Vector& y) {
@@ -44,18 +41,11 @@ double axpy_dot(double alpha, const Vector& x, Vector& y) {
   if (y.size() != n) {
     throw std::invalid_argument("axpy_dot: size mismatch");
   }
-  const double* px = x.data();
-  double* py = y.data();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    py[i] += alpha * px[i];
-    acc += py[i] * py[i];
-  }
-  return acc;
+  return backend().axpy_dot(n, alpha, x.data(), y.data());
 }
 
 void scale(double alpha, Vector& x) {
-  for (double& v : x) v *= alpha;
+  backend().scale(x.size(), alpha, x.data());
 }
 
 double max_element_value(const Vector& a) {
@@ -85,13 +75,7 @@ double max_abs_diff(const Vector& a, const Vector& b) {
   if (b.size() != n) {
     throw std::invalid_argument("max_abs_diff: size mismatch");
   }
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double m = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    m = std::max(m, std::abs(pa[i] - pb[i]));
-  }
-  return m;
+  return backend().max_abs_diff(n, a.data(), b.data());
 }
 
 }  // namespace oftec::la

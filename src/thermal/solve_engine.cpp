@@ -40,6 +40,8 @@ const obs::Counter g_obs_direct_fallbacks =
     obs::counter("solve_engine.direct_fallbacks");
 const obs::Gauge g_obs_factor_hit_rate =
     obs::gauge("solve_engine.factor_hit_rate");
+const obs::Gauge g_obs_factor_shard_entries =
+    obs::gauge("solve_engine.factor_shard_entries");
 const obs::Histogram g_obs_cg_iterations = obs::histogram(
     "solve_engine.cg_iterations",
     {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0});
@@ -78,15 +80,34 @@ struct FactorEntry {
   std::shared_ptr<const la::BandedLu> lu;
 };
 
+/// Sharded LRU. Every direct solve in a batch takes the cache lock at least
+/// once; a single mutex serializes run_batch workers exactly where the
+/// engine is supposed to scale. Keys spread across independent shards by a
+/// hash of their bits, so concurrent lookups of different operating points
+/// contend only 1/kShards of the time. Correctness is unaffected: keys are
+/// exact, so whichever shard holds a key returns the factor of a
+/// bit-identical matrix, and eviction order never influences results.
 struct SolveEngine::FactorCache {
-  explicit FactorCache(std::size_t cap) : capacity(cap) {}
+  static constexpr std::size_t kShards = 8;
 
   using LruList = std::list<std::pair<FactorKey, FactorEntry>>;
 
-  std::mutex mutex;
-  LruList lru;  // front = most recently used
-  std::map<FactorKey, LruList::iterator> index;
-  std::size_t capacity;
+  struct Shard {
+    std::mutex mutex;
+    LruList lru;  // front = most recently used
+    std::map<FactorKey, LruList::iterator> index;
+    std::size_t capacity = 0;
+  };
+
+  explicit FactorCache(std::size_t cap) {
+    // Distribute the budget; every shard gets at least one slot when the
+    // cache is enabled at all so small capacities still cache something.
+    for (Shard& s : shards) {
+      s.capacity = cap == 0 ? 0 : std::max<std::size_t>(1, cap / kShards);
+    }
+  }
+
+  Shard shards[kShards];
 
   std::atomic<std::size_t> points{0};
   std::atomic<std::size_t> linear_solves{0};
@@ -95,12 +116,27 @@ struct SolveEngine::FactorCache {
   std::atomic<std::size_t> hits{0};
   std::atomic<std::size_t> direct_fallbacks{0};
 
+  [[nodiscard]] static std::size_t shard_of(const FactorKey& key) noexcept {
+    // FNV-1a over the key's IEEE bit words; the same key always lands in
+    // the same shard, neighbouring ω values land in different ones.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t w) {
+      h ^= w;
+      h *= 1099511628211ull;
+    };
+    mix(key.omega);
+    for (const std::uint64_t w : key.current) mix(w);
+    for (const std::uint64_t w : key.slope) mix(w);
+    return static_cast<std::size_t>(h % kShards);
+  }
+
   [[nodiscard]] bool find(const FactorKey& key, FactorEntry& out) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    const auto it = index.find(key);
-    if (it == index.end()) return false;
-    lru.splice(lru.begin(), lru, it->second);
-    out = lru.front().second;
+    Shard& s = shards[shard_of(key)];
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) return false;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    out = s.lru.front().second;
     hits.fetch_add(1, std::memory_order_relaxed);
     g_obs_factor_hits.add();
     return true;
@@ -116,27 +152,36 @@ struct SolveEngine::FactorCache {
   }
 
   void erase(const FactorKey& key) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    const auto it = index.find(key);
-    if (it == index.end()) return;
-    lru.erase(it->second);
-    index.erase(it);
+    Shard& s = shards[shard_of(key)];
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) return;
+    s.lru.erase(it->second);
+    s.index.erase(it);
   }
 
   void insert(FactorKey key, FactorEntry entry) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    if (capacity == 0) return;
-    if (const auto it = index.find(key); it != index.end()) {
-      // Another thread factored the same point concurrently; keep the
-      // incumbent (identical by construction) and refresh its recency.
-      lru.splice(lru.begin(), lru, it->second);
-      return;
+    Shard& s = shards[shard_of(key)];
+    std::size_t entries = 0;
+    {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      if (s.capacity == 0) return;
+      if (const auto it = s.index.find(key); it != s.index.end()) {
+        // Another thread factored the same point concurrently; keep the
+        // incumbent (identical by construction) and refresh its recency.
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        return;
+      }
+      s.lru.emplace_front(std::move(key), std::move(entry));
+      s.index.emplace(s.lru.front().first, s.lru.begin());
+      if (s.lru.size() > s.capacity) {
+        s.index.erase(s.lru.back().first);
+        s.lru.pop_back();
+      }
+      entries = s.lru.size();
     }
-    lru.emplace_front(std::move(key), std::move(entry));
-    index.emplace(lru.front().first, lru.begin());
-    if (lru.size() > capacity) {
-      index.erase(lru.back().first);
-      lru.pop_back();
+    if (obs::enabled()) {
+      g_obs_factor_shard_entries.set(static_cast<double>(entries));
     }
   }
 };

@@ -106,10 +106,20 @@ SteadyResult SteadySolver::solve_cells(double omega,
     return true;
   };
 
+  // An outer tolerance near the iterative solver's own noise floor needs a
+  // deterministic inner solve: successive BiCGStab iterates wobble by about
+  // the relative-residual tolerance, so a sub-microkelvin outer loop can
+  // limit-cycle on that noise instead of converging (the solution is
+  // correct; the ΔT test never settles). The pivoted direct solver is an
+  // exact function of the linearization, so the fixed point is stationary.
+  const bool iterative_usable =
+      options_.prefer_iterative &&
+      options_.tolerance > 1e3 * options_.iterative_tolerance;
+
   auto solve_linear = [&](la::Vector& out) -> bool {
     const AssembledSystem sys =
         model_->assemble(omega, cell_current, dynamic_, taylor);
-    if (options_.prefer_iterative) {
+    if (iterative_usable) {
       la::IterativeOptions iopts;
       iopts.tolerance = options_.iterative_tolerance;
       iopts.max_iterations = 4 * sys.rhs.size();

@@ -23,6 +23,8 @@ const obs::Counter g_obs_factor_hits =
     obs::counter("transient_engine.factor_hits");
 const obs::Counter g_obs_self_heals =
     obs::counter("transient_engine.self_heals");
+const obs::Counter g_obs_slot_invalidations =
+    obs::counter("transient_engine.slot_invalidations");
 const obs::Counter g_obs_batches = obs::counter("transient_engine.batches");
 const obs::Gauge g_obs_steps_per_s =
     obs::gauge("transient_engine.steps_per_s");
@@ -142,12 +144,31 @@ void TransientStepper::relinearize_if_drifted() {
           config_.relinearization_threshold) {
     return;
   }
+  bool slopes_changed = false;
   for (std::size_t i = 0; i < cells_; ++i) {
     taylor_[i] = power::tangent_linearize(leakage_[i], chip_[i]);
-    key_slopes_[i] = bits_of(taylor_[i].a);
+    const std::uint64_t bits = bits_of(taylor_[i].a);
+    slopes_changed |= bits != key_slopes_[i];
+    key_slopes_[i] = bits;
   }
   lin_chip_ = chip_;
   have_linearization_ = true;
+  if (!slopes_changed) return;
+  // New slopes make every factor keyed on the old slopes unreachable for
+  // this trace, yet "used" slots survive LRU preference — so at
+  // relinearization threshold 0 (every step re-linearizes) eviction used to
+  // cycle round-robin through all slots, streaming the full multi-slot
+  // factor working set each step and running *slower* than the reference's
+  // single recycled buffer. Invalidating the stale slots steers lru_slot()
+  // back to one cache-warm buffer. Pure cache policy: factors are exact
+  // functions of their keys, so results are unchanged bit-for-bit.
+  for (FactorSlot& slot : slots_) {
+    if (slot.used && slot.key_slopes != key_slopes_) {
+      slot.used = false;
+      ++n_slot_invalidations_;
+      g_obs_slot_invalidations.add();
+    }
+  }
 }
 
 void TransientStepper::assemble_matrix(double omega, double current,
@@ -407,6 +428,7 @@ class TransientEngine::StepperPool {
   std::atomic<std::size_t> factorizations{0};
   std::atomic<std::size_t> factor_hits{0};
   std::atomic<std::size_t> self_heals{0};
+  std::atomic<std::size_t> slot_invalidations{0};
 
  private:
   const ThermalModel* model_;
@@ -541,6 +563,7 @@ TransientResult TransientEngine::run_impl(
   const std::size_t fact0 = stepper->factorizations();
   const std::size_t hits0 = stepper->factor_hits();
   const std::size_t heals0 = stepper->self_heals();
+  const std::size_t invals0 = stepper->slot_invalidations();
   const util::Stopwatch watch;
 
   const auto finish = [&]() {
@@ -548,11 +571,13 @@ TransientResult TransientEngine::run_impl(
     const std::size_t facts = stepper->factorizations() - fact0;
     const std::size_t hits = stepper->factor_hits() - hits0;
     const std::size_t heals = stepper->self_heals() - heals0;
+    const std::size_t invals = stepper->slot_invalidations() - invals0;
     steppers_->runs.fetch_add(1, std::memory_order_relaxed);
     steppers_->steps.fetch_add(steps, std::memory_order_relaxed);
     steppers_->factorizations.fetch_add(facts, std::memory_order_relaxed);
     steppers_->factor_hits.fetch_add(hits, std::memory_order_relaxed);
     steppers_->self_heals.fetch_add(heals, std::memory_order_relaxed);
+    steppers_->slot_invalidations.fetch_add(invals, std::memory_order_relaxed);
     g_obs_runs.add();
     g_obs_steps.add(steps);
     g_obs_factorizations.add(facts);
@@ -614,6 +639,8 @@ TransientEngineStats TransientEngine::stats() const {
       steppers_->factorizations.load(std::memory_order_relaxed);
   s.factor_hits = steppers_->factor_hits.load(std::memory_order_relaxed);
   s.self_heals = steppers_->self_heals.load(std::memory_order_relaxed);
+  s.slot_invalidations =
+      steppers_->slot_invalidations.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -623,6 +650,7 @@ void TransientEngine::reset_stats() const {
   steppers_->factorizations.store(0, std::memory_order_relaxed);
   steppers_->factor_hits.store(0, std::memory_order_relaxed);
   steppers_->self_heals.store(0, std::memory_order_relaxed);
+  steppers_->slot_invalidations.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace oftec::thermal

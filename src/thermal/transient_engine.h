@@ -133,6 +133,9 @@ class TransientStepper {
   [[nodiscard]] std::size_t self_heals() const noexcept {
     return n_self_heals_;
   }
+  [[nodiscard]] std::size_t slot_invalidations() const noexcept {
+    return n_slot_invalidations_;
+  }
 
  private:
   struct FactorSlot {
@@ -188,6 +191,7 @@ class TransientStepper {
   std::size_t n_factorizations_ = 0;
   std::size_t n_factor_hits_ = 0;
   std::size_t n_self_heals_ = 0;
+  std::size_t n_slot_invalidations_ = 0;
 };
 
 /// One independent trace for TransientEngine::run_batch. The control must be
@@ -206,6 +210,7 @@ struct TransientEngineStats {
   std::size_t factorizations = 0;
   std::size_t factor_hits = 0;
   std::size_t self_heals = 0;
+  std::size_t slot_invalidations = 0;
 };
 
 /// Drop-in fast path for TransientSolver: same construction signature, same

@@ -6,10 +6,12 @@
 #include "serve/resilient_client.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "la/backend.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/fault.h"
@@ -170,6 +172,46 @@ TEST_F(ChaosServeTest, FullChaosSweepNeverReturnsAWrongAnswer) {
   EXPECT_GT(calm.max_chip_temperature_k, 300.0);
   (void)structured_failures;
   server.stop();
+}
+
+TEST_F(ChaosServeTest, LoopbackRepliesBitIdenticalUnderSimdBackend) {
+  // The serve stack inherits the kernel backend of its process; under the
+  // simd kernels a loopback solve must agree bit for bit with a repeat of
+  // itself and the transient session must replay identically after a reset
+  // — the wire adds serialization, never arithmetic.
+  if (!la::simd_supported()) {
+    GTEST_SKIP() << "no simd backend on this machine";
+  }
+  la::install_backend("simd");
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  for (int i = 0; i < 4; ++i) {
+    const double omega = (0.4 + 0.1 * i) * chip.omega_max;
+    const SolveReply a = client.solve(chip.session, omega, 0.4);
+    const SolveReply b = client.solve(chip.session, omega, 0.4);
+    EXPECT_EQ(a.max_chip_temperature_k, b.max_chip_temperature_k);
+    EXPECT_EQ(a.leakage_w, b.leakage_w);
+    EXPECT_EQ(a.tec_w, b.tec_w);
+  }
+
+  TransientParams tp;
+  tp.session = chip.session;
+  tp.omega = 0.5 * chip.omega_max;
+  tp.current = 0.2;
+  tp.duration_s = 0.05;
+  tp.time_step_s = 5e-3;
+  tp.reset = true;
+  const TransientReply t1 = client.transient(tp);
+  const TransientReply t2 = client.transient(tp);
+  EXPECT_EQ(t1.peak_max_chip_temperature_k, t2.peak_max_chip_temperature_k);
+  EXPECT_EQ(t1.time_s, t2.time_s);
+
+  EXPECT_TRUE(client.unbind(chip.session));
+  server.stop();
+  la::install_backend(std::getenv("OFTEC_LA_BACKEND"));
 }
 
 TEST_F(ChaosServeTest, SlowAndFailingWriterStillDrainsOnStop) {

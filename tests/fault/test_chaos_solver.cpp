@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <new>
 #include <vector>
 
 #include "../core/test_fixtures.h"
 #include "core/cooling_system.h"
+#include "la/backend.h"
 #include "core/dtm_loop.h"
 #include "thermal/solve_engine.h"
 #include "thermal/transient_engine.h"
@@ -177,6 +179,90 @@ TEST_F(ChaosSolverTest, CorruptedTransientFactorSelfHealsBitIdentically) {
   for (std::size_t i = 0; i < clean.final_temperatures.size(); ++i) {
     EXPECT_EQ(healed.final_temperatures[i], clean.final_temperatures[i]);
   }
+}
+
+TEST_F(ChaosSolverTest, SimdUnavailableFaultDegradesDispatchToScalar) {
+  // A machine whose simd path is unusable (masked CPUID, microcode disable)
+  // must come up on the scalar kernels with a warning, not abort — and the
+  // solver's answers must not depend on which way dispatch went, because
+  // scalar is the reference semantics.
+  const core::CoolingSystem system =
+      make_system(workload::Benchmark::kSusan);
+  const thermal::OperatingPoint p{0.5 * system.omega_max(), 0.5};
+
+  la::install_backend("scalar");
+  const thermal::SteadyResult scalar_result = system.engine().solve(p);
+  ASSERT_EQ(scalar_result.status, SolveStatus::kOk);
+
+  (void)fault::arm("la.backend.simd_unavailable", 1.0, 11);
+  const la::BackendOps& degraded = la::install_backend("simd");
+  EXPECT_GT(fault::fires("la.backend.simd_unavailable"), 0u);
+  EXPECT_EQ(degraded.kind, la::BackendKind::kScalar);
+
+  const thermal::SteadyResult degraded_result = system.engine().solve(p);
+  EXPECT_EQ(degraded_result.status, SolveStatus::kOk);
+  EXPECT_EQ(degraded_result.max_chip_temperature,
+            scalar_result.max_chip_temperature);
+  ASSERT_EQ(degraded_result.temperatures.size(),
+            scalar_result.temperatures.size());
+  for (std::size_t i = 0; i < scalar_result.temperatures.size(); ++i) {
+    EXPECT_EQ(degraded_result.temperatures[i], scalar_result.temperatures[i]);
+  }
+
+  // Disarm and re-request simd: dispatch recovers to the wide kernels.
+  fault::disarm_all();
+  const la::BackendOps& recovered = la::install_backend("simd");
+  if (la::simd_supported()) {
+    EXPECT_EQ(recovered.kind, la::BackendKind::kSimd);
+  } else {
+    EXPECT_EQ(recovered.kind, la::BackendKind::kScalar);
+  }
+  la::install_backend(std::getenv("OFTEC_LA_BACKEND"));
+}
+
+TEST_F(ChaosSolverTest, TransientSelfHealStaysBitIdenticalUnderSimd) {
+  // The factor-corrupt self-heal contract is backend-independent: under the
+  // simd kernels the healed rerun must still match that backend's own clean
+  // trajectory bit for bit (the heal refactorizes through the same table).
+  if (!la::simd_supported()) {
+    GTEST_SKIP() << "no simd backend on this machine";
+  }
+  la::install_backend("simd");
+  const core::CoolingSystem system(
+      fp(), core::testing::benchmark_power(workload::Benchmark::kSusan),
+      leakage(), coarse_config());
+  thermal::TransientOptions opts;
+  opts.time_step = 10e-3;
+  opts.duration = 0.3;
+  opts.relinearization_threshold = 0.1;
+  const thermal::ControlSetting setting{0.6 * system.omega_max(), 0.0};
+  const auto constant = [setting](double, double) { return setting; };
+
+  const thermal::TransientEngine engine(
+      system.thermal_model(), system.cell_dynamic_power(),
+      system.cell_leakage(), opts);
+  const thermal::TransientResult clean =
+      engine.run_closed_loop(constant, engine.ambient_state());
+  ASSERT_FALSE(clean.runaway);
+  ASSERT_GT(engine.stats().factor_hits, 0u);  // the fault path is reachable
+  engine.reset_stats();
+
+  (void)fault::arm("transient_engine.factor_corrupt", 1.0, 7);
+  const thermal::TransientResult healed =
+      engine.run_closed_loop(constant, engine.ambient_state());
+  EXPECT_GT(fault::fires("transient_engine.factor_corrupt"), 0u);
+  EXPECT_GT(engine.stats().self_heals, 0u);
+  EXPECT_FALSE(healed.runaway);
+  ASSERT_EQ(healed.samples.size(), clean.samples.size());
+  for (std::size_t i = 0; i < clean.samples.size(); ++i) {
+    EXPECT_EQ(healed.samples[i].max_chip_temperature,
+              clean.samples[i].max_chip_temperature);
+  }
+  ASSERT_EQ(healed.final_temperatures.size(), clean.final_temperatures.size());
+  for (std::size_t i = 0; i < clean.final_temperatures.size(); ++i) {
+    EXPECT_EQ(healed.final_temperatures[i], clean.final_temperatures[i]);
+  }
+  la::install_backend(std::getenv("OFTEC_LA_BACKEND"));
 }
 
 TEST_F(ChaosSolverTest, AllocFailureSurfacesAndEngineStaysUsable) {

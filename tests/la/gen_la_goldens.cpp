@@ -1,0 +1,66 @@
+// Regenerates tests/la/goldens/la_scalar.txt — the bit-exact outputs of the
+// scalar solver stack over the frozen cases in golden_systems.h.
+//
+// The checked-in file was produced at the seed revision, *before* the
+// column-major band storage and the la::Backend seam existed; the parity
+// suite uses it to prove the scalar backend still reproduces those bits.
+// Rerun this tool only when deliberately adding new cases (append-only) —
+// regenerating existing lines after a numerics change would defeat the test.
+//
+// Usage: gen_la_goldens <output-file>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "la/banded_cholesky.h"
+#include "la/banded_lu.h"
+#include "tests/la/golden_systems.h"
+
+int main(int argc, char** argv) {
+  using namespace oftec::la;
+  using namespace oftec::la::testing;
+  if (argc != 2) {
+    std::cerr << "usage: gen_la_goldens <output-file>\n";
+    return 2;
+  }
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::cerr << "gen_la_goldens: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  out << "# scalar-backend goldens; doubles as IEEE-754 hex. Append-only.\n";
+
+  for (const auto& s : lu_golden_specs()) {
+    const BandedCase c = make_banded_case(s.seed, s.n, s.kl, s.ku, s.boost);
+    const BandedLu lu(c.a);
+    const Vector x = lu.solve(c.b);
+    out << c.name << " pivot " << hex_double(lu.min_abs_pivot()) << " x";
+    for (const double v : x) out << ' ' << hex_double(v);
+    out << '\n';
+  }
+
+  for (const auto& s : spd_golden_specs()) {
+    const BandedCase c = make_spd_case(s.seed, s.n, s.k);
+    const BandedCholesky chol(c.a);
+    const Vector x = chol.solve(c.b);
+    out << c.name << " diag " << hex_double(chol.min_diagonal()) << " x";
+    for (const double v : x) out << ' ' << hex_double(v);
+    out << '\n';
+  }
+
+  for (const auto& s : vec_golden_specs()) {
+    const VectorCase c = make_vector_case(s.seed, s.n);
+    out << c.name << " dot " << hex_double(dot(c.x, c.y));
+    Vector y = c.y;
+    axpy(c.alpha, c.x, y);
+    out << " axpy";
+    for (const double v : y) out << ' ' << hex_double(v);
+    y = c.y;
+    const double ad = axpy_dot(c.alpha, c.x, y);
+    out << " axpy_dot " << hex_double(ad);
+    out << " mad " << hex_double(max_abs_diff(c.x, c.y)) << '\n';
+  }
+
+  std::cout << "wrote " << argv[1] << "\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Deterministic test-system builders and hex codecs shared by the
+// backend-parity suite and the golden generator (gen_la_goldens).
+//
+// The golden file tests/la/goldens/la_scalar.txt pins the *bits* the scalar
+// backend produced at the seed revision (before the column-major band
+// storage and the backend seam landed). The generator rebuilds each case
+// from a named seed; the parity suite replays the same builders and asserts
+// the scalar backend still reproduces every value exactly. Doubles travel as
+// 16-hex-digit IEEE-754 payloads so the comparison is bit-level, not
+// tolerance-level.
+//
+// Keep the builders frozen: changing any Rng draw order silently retires the
+// goldens. New cases append; existing cases never change.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "la/banded_matrix.h"
+#include "la/vector_ops.h"
+#include "util/rng.h"
+
+namespace oftec::la::testing {
+
+inline std::string hex_double(double v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+inline double unhex_double(const std::string& s) {
+  if (s.size() != 16) throw std::invalid_argument("unhex_double: bad token");
+  return std::bit_cast<double>(
+      static_cast<std::uint64_t>(std::stoull(s, nullptr, 16)));
+}
+
+/// One randomized banded general system, deterministic in `seed`.
+struct BandedCase {
+  std::string name;
+  BandedMatrix a;
+  Vector b;
+};
+
+/// General (possibly unsymmetric-band) system for the LU goldens. The
+/// `diag_boost` knob controls conditioning: 3.0 gives a comfortably
+/// nonsingular matrix, small values force heavy pivoting and near-singular
+/// behaviour without actually crossing into singularity.
+inline BandedCase make_banded_case(std::uint64_t seed, std::size_t n,
+                                   std::size_t kl, std::size_t ku,
+                                   double diag_boost) {
+  util::Rng rng(seed);
+  BandedCase c;
+  c.name = "lu_s" + std::to_string(seed) + "_n" + std::to_string(n) + "_kl" +
+           std::to_string(kl) + "_ku" + std::to_string(ku);
+  c.a = BandedMatrix(n, kl, ku);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!c.a.in_band(i, j)) continue;
+      c.a.at(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    c.a.at(i, i) += diag_boost;
+  }
+  c.b.resize(n);
+  for (double& v : c.b) v = rng.uniform(-10.0, 10.0);
+  return c;
+}
+
+/// Symmetric positive-definite system (diagonally dominant) for the Cholesky
+/// goldens; bandwidth k on both sides.
+inline BandedCase make_spd_case(std::uint64_t seed, std::size_t n,
+                                std::size_t k) {
+  util::Rng rng(seed);
+  BandedCase c;
+  c.name = "spd_s" + std::to_string(seed) + "_n" + std::to_string(n) + "_k" +
+           std::to_string(k);
+  c.a = BandedMatrix(n, k, k);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i_hi = (j + k < n) ? j + k : n - 1;
+    for (std::size_t i = j + 1; i <= i_hi; ++i) {
+      const double v = rng.uniform(-1.0, 1.0);
+      c.a.at(i, j) = v;
+      c.a.at(j, i) = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && c.a.in_band(i, j)) row += (c.a.get(i, j) < 0.0)
+                                                  ? -c.a.get(i, j)
+                                                  : c.a.get(i, j);
+    }
+    c.a.at(i, i) = row + rng.uniform(0.5, 1.5);
+  }
+  c.b.resize(n);
+  for (double& v : c.b) v = rng.uniform(-10.0, 10.0);
+  return c;
+}
+
+/// Paired random vectors for the BLAS-1 kernel goldens.
+struct VectorCase {
+  std::string name;
+  Vector x;
+  Vector y;
+  double alpha = 0.0;
+};
+
+inline VectorCase make_vector_case(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  VectorCase c;
+  c.name = "vec_s" + std::to_string(seed) + "_n" + std::to_string(n);
+  c.x.resize(n);
+  c.y.resize(n);
+  for (double& v : c.x) v = rng.uniform(-1.0, 1.0);
+  for (double& v : c.y) v = rng.uniform(-1.0, 1.0);
+  c.alpha = rng.uniform(-2.0, 2.0);
+  return c;
+}
+
+/// The frozen golden case lists. Append only.
+struct LuSpec { std::uint64_t seed; std::size_t n, kl, ku; double boost; };
+inline const std::vector<LuSpec>& lu_golden_specs() {
+  static const std::vector<LuSpec> specs = {
+      {101, 1, 0, 0, 3.0},    {102, 5, 1, 1, 3.0},   {103, 8, 2, 1, 3.0},
+      {104, 12, 3, 3, 3.0},   {105, 30, 5, 5, 3.0},  {106, 64, 7, 7, 3.0},
+      {107, 90, 10, 10, 3.0}, {108, 40, 1, 2, 3.0},  {109, 25, 7, 3, 3.0},
+      {110, 16, 15, 15, 3.0}, {111, 20, 2, 2, 0.05}, {112, 33, 4, 4, 0.01},
+      {113, 48, 6, 2, 1e-4},  {114, 7, 3, 1, 1e-6},
+  };
+  return specs;
+}
+struct SpdSpec { std::uint64_t seed; std::size_t n, k; };
+inline const std::vector<SpdSpec>& spd_golden_specs() {
+  static const std::vector<SpdSpec> specs = {
+      {201, 1, 0},  {202, 6, 1},  {203, 12, 2},  {204, 30, 4},
+      {205, 64, 9}, {206, 90, 12}, {207, 17, 16},
+  };
+  return specs;
+}
+struct VecSpec { std::uint64_t seed; std::size_t n; };
+inline const std::vector<VecSpec>& vec_golden_specs() {
+  static const std::vector<VecSpec> specs = {
+      {301, 1}, {302, 7}, {303, 8}, {304, 9}, {305, 63},
+      {306, 64}, {307, 65}, {308, 903}, {309, 8192},
+  };
+  return specs;
+}
+
+}  // namespace oftec::la::testing

@@ -1,0 +1,401 @@
+// Differential tests for the la::Backend seam (docs/solver.md, "Kernel
+// backends"). Three contracts, in decreasing strictness:
+//
+//   1. Scalar is the seed. The scalar backend must reproduce, bit for bit,
+//      the outputs the solvers produced before the column-major storage and
+//      the backend seam existed (tests/la/goldens/la_scalar.txt, generated
+//      at the seed revision by gen_la_goldens).
+//   2. Simd is deterministic. For a fixed table, identical inputs give
+//      identical bits across repeated runs and across threads; and the AVX2
+//      and AVX-512 flavors — which realize the same fixed 8-lane reduction
+//      tree — give identical bits to *each other*.
+//   3. Simd is ULP-close to scalar. Element-wise kernels (axpy, scale) are
+//      bit-identical; reductions reassociate, so they carry a bounded
+//      accumulation-error difference; end-to-end solves are compared by
+//      residual quality, which (unlike forward error) stays meaningful on
+//      the near-singular cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/backend.h"
+#include "la/banded_cholesky.h"
+#include "la/banded_lu.h"
+#include "la/vector_ops.h"
+#include "tests/la/golden_systems.h"
+
+namespace oftec::la {
+namespace {
+
+using testing::BandedCase;
+using testing::hex_double;
+using testing::lu_golden_specs;
+using testing::make_banded_case;
+using testing::make_spd_case;
+using testing::make_vector_case;
+using testing::spd_golden_specs;
+using testing::vec_golden_specs;
+using testing::VectorCase;
+
+/// Installs a backend for one test and restores the environment-selected
+/// backend on exit (install_backend(nullptr) re-resolves OFTEC_LA_BACKEND).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const char* spec) { install_backend(spec); }
+  ~ScopedBackend() { install_backend(std::getenv("OFTEC_LA_BACKEND")); }
+};
+
+double residual_inf(const BandedMatrix& a, const Vector& x, const Vector& b) {
+  const std::size_t n = a.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = b[i];
+    const std::size_t j_lo = i > a.lower_bandwidth() ? i - a.lower_bandwidth()
+                                                     : 0;
+    const std::size_t j_hi = std::min(n - 1, i + a.upper_bandwidth());
+    for (std::size_t j = j_lo; j <= j_hi; ++j) r -= a.get(i, j) * x[j];
+    worst = std::max(worst, std::abs(r));
+  }
+  return worst;
+}
+
+double norm_inf_banded(const BandedMatrix& a) {
+  const std::size_t n = a.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    const std::size_t j_lo = i > a.lower_bandwidth() ? i - a.lower_bandwidth()
+                                                     : 0;
+    const std::size_t j_hi = std::min(n - 1, i + a.upper_bandwidth());
+    for (std::size_t j = j_lo; j <= j_hi; ++j) row += std::abs(a.get(i, j));
+    worst = std::max(worst, row);
+  }
+  return worst;
+}
+
+/// A pivoted-LU (or Cholesky) solution is backward stable: its residual is
+/// O(n · eps · ‖A‖ · ‖x‖) independent of conditioning. Both backends must
+/// meet that bound — this is how the near-singular cases are judged, where
+/// comparing the solutions themselves would only measure κ(A).
+double stability_bound(const BandedCase& c, const Vector& x) {
+  const double eps = 2.220446049250313e-16;
+  return 64.0 * static_cast<double>(c.a.size()) * eps * norm_inf_banded(c.a) *
+             (norm_inf(x) + 1.0) +
+         1e-300;
+}
+
+// --------------------------------------------------------------------------
+// 1. Scalar == seed goldens, bit for bit
+// --------------------------------------------------------------------------
+
+std::map<std::string, std::vector<std::string>> load_goldens() {
+  const std::string path = std::string(OFTEC_LA_GOLDEN_DIR) + "/la_scalar.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::map<std::string, std::vector<std::string>> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string name, tok;
+    ss >> name;
+    std::vector<std::string> toks;
+    while (ss >> tok) toks.push_back(tok);
+    lines.emplace(std::move(name), std::move(toks));
+  }
+  return lines;
+}
+
+TEST(BackendGoldens, ScalarLuBitIdenticalToSeed) {
+  const ScopedBackend scalar("scalar");
+  const auto goldens = load_goldens();
+  for (const auto& s : lu_golden_specs()) {
+    const BandedCase c = make_banded_case(s.seed, s.n, s.kl, s.ku, s.boost);
+    const auto it = goldens.find(c.name);
+    ASSERT_NE(it, goldens.end()) << "no golden line for " << c.name;
+    const std::vector<std::string>& t = it->second;
+    // Layout: pivot <hex> x <hex>*n
+    ASSERT_EQ(t.size(), 3 + s.n) << c.name;
+    const BandedLu lu(c.a);
+    EXPECT_EQ(hex_double(lu.min_abs_pivot()), t[1]) << c.name << " pivot";
+    const Vector x = lu.solve(c.b);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(hex_double(x[i]), t[3 + i]) << c.name << " x[" << i << "]";
+    }
+  }
+}
+
+TEST(BackendGoldens, ScalarCholeskyBitIdenticalToSeed) {
+  const ScopedBackend scalar("scalar");
+  const auto goldens = load_goldens();
+  for (const auto& s : spd_golden_specs()) {
+    const BandedCase c = make_spd_case(s.seed, s.n, s.k);
+    const auto it = goldens.find(c.name);
+    ASSERT_NE(it, goldens.end()) << "no golden line for " << c.name;
+    const std::vector<std::string>& t = it->second;
+    ASSERT_EQ(t.size(), 3 + s.n) << c.name;
+    const BandedCholesky chol(c.a);
+    EXPECT_EQ(hex_double(chol.min_diagonal()), t[1]) << c.name << " diag";
+    const Vector x = chol.solve(c.b);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(hex_double(x[i]), t[3 + i]) << c.name << " x[" << i << "]";
+    }
+  }
+}
+
+TEST(BackendGoldens, ScalarVectorKernelsBitIdenticalToSeed) {
+  const ScopedBackend scalar("scalar");
+  const auto goldens = load_goldens();
+  for (const auto& s : vec_golden_specs()) {
+    const VectorCase c = make_vector_case(s.seed, s.n);
+    const auto it = goldens.find(c.name);
+    ASSERT_NE(it, goldens.end()) << "no golden line for " << c.name;
+    const std::vector<std::string>& t = it->second;
+    // Layout: dot <hex> axpy <hex>*n axpy_dot <hex> mad <hex>
+    ASSERT_EQ(t.size(), 7 + s.n) << c.name;
+    EXPECT_EQ(hex_double(dot(c.x, c.y)), t[1]) << c.name << " dot";
+    Vector y = c.y;
+    axpy(c.alpha, c.x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_EQ(hex_double(y[i]), t[3 + i]) << c.name << " axpy[" << i << "]";
+    }
+    y = c.y;
+    EXPECT_EQ(hex_double(axpy_dot(c.alpha, c.x, y)), t[3 + s.n + 1])
+        << c.name << " axpy_dot";
+    EXPECT_EQ(hex_double(max_abs_diff(c.x, c.y)), t[3 + s.n + 3])
+        << c.name << " mad";
+  }
+}
+
+// --------------------------------------------------------------------------
+// 2. Scalar <-> simd parity
+// --------------------------------------------------------------------------
+
+TEST(BackendParity, ElementwiseKernelsBitIdentical) {
+  const BackendOps* simd = simd_backend();
+  if (simd == nullptr) GTEST_SKIP() << "no simd backend on this machine";
+  const BackendOps& scalar = scalar_backend();
+  for (const auto& s : vec_golden_specs()) {
+    const VectorCase c = make_vector_case(s.seed ^ 0xA5A5u, s.n);
+    Vector ys = c.y, yv = c.y;
+    scalar.axpy(s.n, c.alpha, c.x.data(), ys.data());
+    simd->axpy(s.n, c.alpha, c.x.data(), yv.data());
+    for (std::size_t i = 0; i < s.n; ++i) {
+      EXPECT_EQ(hex_double(ys[i]), hex_double(yv[i]))
+          << c.name << " axpy[" << i << "]";
+    }
+    Vector xs = c.x, xv = c.x;
+    scalar.scale(s.n, c.alpha, xs.data());
+    simd->scale(s.n, c.alpha, xv.data());
+    for (std::size_t i = 0; i < s.n; ++i) {
+      EXPECT_EQ(hex_double(xs[i]), hex_double(xv[i]))
+          << c.name << " scale[" << i << "]";
+    }
+  }
+}
+
+TEST(BackendParity, ReductionKernelsUlpBounded) {
+  const BackendOps* simd = simd_backend();
+  if (simd == nullptr) GTEST_SKIP() << "no simd backend on this machine";
+  const BackendOps& scalar = scalar_backend();
+  for (const auto& s : vec_golden_specs()) {
+    const VectorCase c = make_vector_case(s.seed ^ 0x5A5Au, s.n);
+    // Reassociating a length-n fold moves the result by at most
+    // O(n · eps · Σ|terms|); 16·n·eps leaves comfortable margin.
+    double mass = 0.0;
+    for (std::size_t i = 0; i < s.n; ++i) mass += std::abs(c.x[i] * c.y[i]);
+    const double bound =
+        16.0 * static_cast<double>(s.n + 1) * 2.22e-16 * (mass + 1.0);
+
+    EXPECT_NEAR(scalar.dot(s.n, c.x.data(), c.y.data()),
+                simd->dot(s.n, c.x.data(), c.y.data()), bound)
+        << c.name;
+    Vector ys = c.y, yv = c.y;
+    EXPECT_NEAR(scalar.axpy_dot(s.n, c.alpha, c.x.data(), ys.data()),
+                simd->axpy_dot(s.n, c.alpha, c.x.data(), yv.data()),
+        16.0 * static_cast<double>(s.n + 1) * 2.22e-16 *
+            (dot(ys, ys) + 1.0))
+        << c.name;
+    EXPECT_NEAR(scalar.nmsub_fold(1.5, s.n, c.x.data(), 1, c.y.data(), 1),
+                simd->nmsub_fold(1.5, s.n, c.x.data(), 1, c.y.data(), 1),
+                bound)
+        << c.name;
+    // max over |differences| picks one element — exact in any order.
+    EXPECT_EQ(hex_double(scalar.max_abs_diff(s.n, c.x.data(), c.y.data())),
+              hex_double(simd->max_abs_diff(s.n, c.x.data(), c.y.data())))
+        << c.name;
+  }
+}
+
+TEST(BackendParity, StridedFoldMatchesScalarUnderNegativeStride) {
+  const BackendOps* simd = simd_backend();
+  if (simd == nullptr) GTEST_SKIP() << "no simd backend on this machine";
+  const BackendOps& scalar = scalar_backend();
+  const VectorCase c = make_vector_case(777, 601);
+  // Walk both vectors backwards (the Cholesky row-walk shape).
+  const double* a_end = c.x.data() + 600;
+  const double* x_end = c.y.data() + 600;
+  const double s = scalar.nmsub_fold(0.25, 200, a_end, -3, x_end, -2);
+  const double v = simd->nmsub_fold(0.25, 200, a_end, -3, x_end, -2);
+  EXPECT_NEAR(s, v, 1e-12);
+}
+
+TEST(BackendParity, SolveResidualsBackwardStableUnderBothBackends) {
+  // Includes the near-singular cases (diag_boost down to 1e-6): there the
+  // two backends' *solutions* legitimately diverge by κ(A)·ULP, but both
+  // must still satisfy the backward-stability residual bound.
+  for (const auto& s : lu_golden_specs()) {
+    const BandedCase c = make_banded_case(s.seed, s.n, s.kl, s.ku, s.boost);
+    Vector xs, xv;
+    {
+      const ScopedBackend b("scalar");
+      xs = BandedLu(c.a).solve(c.b);
+    }
+    if (simd_supported()) {
+      const ScopedBackend b("simd");
+      xv = BandedLu(c.a).solve(c.b);
+    } else {
+      xv = xs;
+    }
+    EXPECT_LE(residual_inf(c.a, xs, c.b), stability_bound(c, xs)) << c.name;
+    EXPECT_LE(residual_inf(c.a, xv, c.b), stability_bound(c, xv)) << c.name;
+  }
+  for (const auto& s : spd_golden_specs()) {
+    const BandedCase c = make_spd_case(s.seed, s.n, s.k);
+    Vector xs, xv;
+    {
+      const ScopedBackend b("scalar");
+      xs = BandedCholesky(c.a).solve(c.b);
+    }
+    if (simd_supported()) {
+      const ScopedBackend b("simd");
+      xv = BandedCholesky(c.a).solve(c.b);
+    } else {
+      xv = xs;
+    }
+    EXPECT_LE(residual_inf(c.a, xs, c.b), stability_bound(c, xs)) << c.name;
+    EXPECT_LE(residual_inf(c.a, xv, c.b), stability_bound(c, xv)) << c.name;
+  }
+}
+
+TEST(BackendParity, WellConditionedSolutionsUlpClose) {
+  if (!simd_supported()) GTEST_SKIP() << "no simd backend on this machine";
+  for (const auto& s : lu_golden_specs()) {
+    if (s.boost < 1.0) continue;  // near-singular: judged by residual above
+    const BandedCase c = make_banded_case(s.seed, s.n, s.kl, s.ku, s.boost);
+    Vector xs, xv;
+    {
+      const ScopedBackend b("scalar");
+      xs = BandedLu(c.a).solve(c.b);
+    }
+    {
+      const ScopedBackend b("simd");
+      xv = BandedLu(c.a).solve(c.b);
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_NEAR(xs[i], xv[i], 1e-10 * (std::abs(xs[i]) + 1.0))
+          << c.name << " x[" << i << "]";
+    }
+  }
+}
+
+TEST(BackendParity, SingularMatrixThrowsUnderBothBackends) {
+  // Diagonal with one exactly-zero pivot and no sub-band fill to rescue it:
+  // the pivot search over column 3 finds nothing, under any backend.
+  BandedMatrix a(6, 2, 2);
+  for (std::size_t i = 0; i < 6; ++i) a.at(i, i) = (i == 3) ? 0.0 : 1.0;
+  const Vector b(6, 1.0);
+  {
+    const ScopedBackend scalar("scalar");
+    EXPECT_THROW(BandedLu lu(a), std::runtime_error);
+  }
+  if (simd_supported()) {
+    const ScopedBackend simd("simd");
+    EXPECT_THROW(BandedLu lu(a), std::runtime_error);
+  }
+}
+
+// --------------------------------------------------------------------------
+// 3. Determinism: per-backend repeatability, thread independence, and
+//    AVX2 == AVX-512
+// --------------------------------------------------------------------------
+
+std::vector<std::string> solve_fingerprint() {
+  std::vector<std::string> fp;
+  for (const auto& s : lu_golden_specs()) {
+    const BandedCase c = make_banded_case(s.seed, s.n, s.kl, s.ku, s.boost);
+    for (const double v : BandedLu(c.a).solve(c.b)) fp.push_back(hex_double(v));
+  }
+  for (const auto& s : spd_golden_specs()) {
+    const BandedCase c = make_spd_case(s.seed, s.n, s.k);
+    for (const double v : BandedCholesky(c.a).solve(c.b)) {
+      fp.push_back(hex_double(v));
+    }
+  }
+  return fp;
+}
+
+TEST(BackendDeterminism, RepeatedRunsBitIdenticalPerBackend) {
+  for (const char* spec : {"scalar", "simd"}) {
+    if (std::string(spec) == "simd" && !simd_supported()) continue;
+    const ScopedBackend b(spec);
+    EXPECT_EQ(solve_fingerprint(), solve_fingerprint()) << spec;
+  }
+}
+
+TEST(BackendDeterminism, ConcurrentThreadsBitIdenticalPerBackend) {
+  for (const char* spec : {"scalar", "simd"}) {
+    if (std::string(spec) == "simd" && !simd_supported()) continue;
+    const ScopedBackend b(spec);
+    const std::vector<std::string> reference = solve_fingerprint();
+    std::vector<std::vector<std::string>> got(4);
+    std::vector<std::thread> workers;
+    workers.reserve(got.size());
+    for (auto& slot : got) {
+      workers.emplace_back([&slot] { slot = solve_fingerprint(); });
+    }
+    for (auto& w : workers) w.join();
+    for (const auto& slot : got) EXPECT_EQ(slot, reference) << spec;
+  }
+}
+
+TEST(BackendDeterminism, Avx2AndAvx512BitIdentical) {
+  if (avx2_backend() == nullptr || avx512_backend() == nullptr) {
+    GTEST_SKIP() << "machine lacks one of the simd flavors";
+  }
+  std::vector<std::string> fp2, fp512;
+  {
+    const ScopedBackend b("avx2");
+    ASSERT_STREQ(backend().name, "simd-avx2");
+    fp2 = solve_fingerprint();
+  }
+  {
+    const ScopedBackend b("avx512");
+    ASSERT_STREQ(backend().name, "simd-avx512");
+    fp512 = solve_fingerprint();
+  }
+  EXPECT_EQ(fp2, fp512);
+}
+
+TEST(BackendDeterminism, InstallResolvesSpecs) {
+  const ScopedBackend restore("auto");  // restores env selection on exit
+  EXPECT_EQ(install_backend("scalar").kind, BackendKind::kScalar);
+  const BackendOps& table = install_backend("auto");
+  if (simd_supported()) {
+    EXPECT_EQ(table.kind, BackendKind::kSimd);
+  } else {
+    EXPECT_EQ(table.kind, BackendKind::kScalar);
+  }
+  // Unrecognized specs degrade to auto (with a logged warning), never crash.
+  EXPECT_EQ(install_backend("quantum").kind, table.kind);
+}
+
+}  // namespace
+}  // namespace oftec::la
