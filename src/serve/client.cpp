@@ -39,6 +39,10 @@ Client Client::connect(std::uint16_t port, Options options) {
 std::uint64_t Client::send(Request request) {
   request.id = next_id_++;
   if (request.deadline_ms == 0.0) request.deadline_ms = options_.deadline_ms;
+  if (request.trace_id.empty() && !next_trace_id_.empty()) {
+    request.trace_id = std::move(next_trace_id_);
+  }
+  next_trace_id_.clear();
   if (g_fault_send.should_fail()) {
     // Make the failure real, not just reported: a later recv() on this
     // connection must not return data for a request we claimed was lost.
@@ -111,6 +115,8 @@ Response Client::recv_for(std::uint64_t id) {
 util::json::Value Client::call(Request request) {
   const std::uint64_t id = send(std::move(request));
   Response response = recv_for(id);
+  last_timing_ = timing_of(response);
+  last_trace_id_ = response.trace_id;
   if (!response.ok) {
     ProtocolError err(response.error.code, response.error.message);
     err.set_id(response.id);
@@ -179,9 +185,22 @@ TransientReply Client::transient(const TransientParams& params) {
 }
 
 util::json::Value Client::stats(std::uint64_t session) {
+  StatsParams params;
+  params.session = session;
+  return stats(params);
+}
+
+util::json::Value Client::stats(const StatsParams& params) {
   Request req;
   req.type = RequestType::kStats;
-  req.params = SessionParams{session};
+  req.params = params;
+  return call(std::move(req));
+}
+
+util::json::Value Client::trace(const TraceParams& params) {
+  Request req;
+  req.type = RequestType::kTrace;
+  req.params = params;
   return call(std::move(req));
 }
 

@@ -100,8 +100,31 @@ class Client {
   [[nodiscard]] LutReply lut(std::uint64_t session,
                              const std::vector<double>& power_w);
   [[nodiscard]] TransientReply transient(const TransientParams& params);
-  /// Raw stats payload (see Server::stats_json). session 0 → server only.
+  /// Raw stats payload (see Server::handle_stats). session 0 → server only.
   [[nodiscard]] util::json::Value stats(std::uint64_t session = 0);
+  /// Full stats RPC: snapshot/delta-since-cursor views, JSON or Prometheus.
+  [[nodiscard]] util::json::Value stats(const StatsParams& params);
+  /// Slow-request exemplar dump (Chrome trace JSON under result["trace"]).
+  [[nodiscard]] util::json::Value trace(const TraceParams& params);
+
+  // --- trace context & server timing --------------------------------------
+
+  /// Attach `trace_id` to the next request sent (one-shot; a request that
+  /// already carries a trace_id wins). The server echoes it and tags any
+  /// exemplar it captures for that request.
+  void set_next_trace_id(std::string trace_id) {
+    next_trace_id_ = std::move(trace_id);
+  }
+
+  /// Server timing block from the most recent blocking RPC that completed
+  /// (ok or error); {present:false} when the server sent none.
+  [[nodiscard]] const TimingInfo& last_timing() const noexcept {
+    return last_timing_;
+  }
+  /// trace_id echoed on the most recent blocking RPC's response.
+  [[nodiscard]] const std::string& last_trace_id() const noexcept {
+    return last_trace_id_;
+  }
 
   // --- pipelining ---------------------------------------------------------
 
@@ -131,6 +154,9 @@ class Client {
   Options options_;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Response> strays_;
+  std::string next_trace_id_;  ///< applied to the next send(), then cleared
+  TimingInfo last_timing_;
+  std::string last_trace_id_;
 };
 
 }  // namespace oftec::serve

@@ -249,6 +249,56 @@ SessionParams parse_session_params(const json::Value& o, bool required) {
   return p;
 }
 
+json::Value stats_params_json(const StatsParams& p) {
+  json::Value o = json::Value::object();
+  if (p.session != 0) o["session"] = p.session;
+  if (p.view != "snapshot") o["view"] = p.view;
+  if (p.cursor != 0) o["cursor"] = p.cursor;
+  if (p.format != "json") o["format"] = p.format;
+  return o;
+}
+
+StatsParams parse_stats_params(const json::Value& o) {
+  StatsParams p;
+  // Every field optional: a pre-PR-7 peer sending {"session":n} (or nothing)
+  // still decodes, and unknown future keys are ignored.
+  if (o.find("session") != nullptr) p.session = require_uint(o, "session");
+  p.view = string_or(o, "view", "snapshot");
+  if (p.view != "snapshot" && p.view != "delta") {
+    bad("stats view must be \"snapshot\" or \"delta\"");
+  }
+  if (o.find("cursor") != nullptr) p.cursor = require_uint(o, "cursor");
+  p.format = string_or(o, "format", "json");
+  if (p.format != "json" && p.format != "prometheus") {
+    bad("stats format must be \"json\" or \"prometheus\"");
+  }
+  return p;
+}
+
+json::Value trace_params_json(const TraceParams& p) {
+  json::Value o = json::Value::object();
+  if (!p.trace_id.empty()) o["trace_id"] = p.trace_id;
+  if (p.limit != 0) o["limit"] = p.limit;
+  return o;
+}
+
+TraceParams parse_trace_params(const json::Value& o) {
+  TraceParams p;
+  p.trace_id = string_or(o, "trace_id", "");
+  if (p.trace_id.size() > 128) bad("trace_id exceeds 128 bytes");
+  if (o.find("limit") != nullptr) p.limit = require_uint(o, "limit");
+  return p;
+}
+
+/// Decode an optional trace-context string off the request envelope.
+std::string trace_string_or_empty(const json::Value& o, std::string_view key) {
+  std::string s = string_or(o, key, "");
+  if (s.size() > 128) {
+    bad("field \"" + std::string(key) + "\" exceeds 128 bytes");
+  }
+  return s;
+}
+
 json::Value sleep_params_json(const SleepParams& p) {
   json::Value o = json::Value::object();
   o["ms"] = p.ms;
@@ -277,6 +327,7 @@ const char* request_type_name(RequestType t) noexcept {
     case RequestType::kTransient: return "transient";
     case RequestType::kStats: return "stats";
     case RequestType::kHealth: return "health";
+    case RequestType::kTrace: return "trace";
     case RequestType::kSleep: return "sleep";
   }
   return "?";
@@ -287,7 +338,7 @@ std::optional<RequestType> request_type_by_name(std::string_view name) noexcept 
        {RequestType::kPing, RequestType::kBind, RequestType::kUnbind,
         RequestType::kSolve, RequestType::kControl, RequestType::kLut,
         RequestType::kTransient, RequestType::kStats, RequestType::kHealth,
-        RequestType::kSleep}) {
+        RequestType::kTrace, RequestType::kSleep}) {
     if (name == request_type_name(t)) return t;
   }
   return std::nullopt;
@@ -308,6 +359,8 @@ std::string encode_request(const Request& request) {
   o["id"] = request.id;
   o["type"] = request_type_name(request.type);
   if (request.deadline_ms > 0.0) o["deadline_ms"] = request.deadline_ms;
+  if (!request.trace_id.empty()) o["trace_id"] = request.trace_id;
+  if (!request.parent_span.empty()) o["parent_span"] = request.parent_span;
   switch (request.type) {
     case RequestType::kPing:
     case RequestType::kHealth:
@@ -330,9 +383,14 @@ std::string encode_request(const Request& request) {
           transient_params_json(std::get<TransientParams>(request.params));
       break;
     case RequestType::kUnbind:
-    case RequestType::kStats:
       o["params"] =
           session_params_json(std::get<SessionParams>(request.params));
+      break;
+    case RequestType::kStats:
+      o["params"] = stats_params_json(std::get<StatsParams>(request.params));
+      break;
+    case RequestType::kTrace:
+      o["params"] = trace_params_json(std::get<TraceParams>(request.params));
       break;
     case RequestType::kSleep:
       o["params"] = sleep_params_json(std::get<SleepParams>(request.params));
@@ -379,6 +437,8 @@ void decode_request_body(const json::Value& doc, Request& req) {
                         "unknown request type \"" + type_name + "\"");
   }
   req.type = *type;
+  req.trace_id = trace_string_or_empty(doc, "trace_id");
+  req.parent_span = trace_string_or_empty(doc, "parent_span");
   req.deadline_ms = number_or(doc, "deadline_ms", 0.0);
   if (!(req.deadline_ms >= 0.0 && req.deadline_ms <= kMaxDeadlineMs)) {
     // Also rejects NaN/inf (the JSON parser accepts e.g. 1e999 as +inf),
@@ -405,9 +465,8 @@ void decode_request_body(const json::Value& doc, Request& req) {
     case RequestType::kUnbind:
       req.params = parse_session_params(p, /*required=*/true);
       break;
-    case RequestType::kStats:
-      req.params = parse_session_params(p, /*required=*/false);
-      break;
+    case RequestType::kStats: req.params = parse_stats_params(p); break;
+    case RequestType::kTrace: req.params = parse_trace_params(p); break;
     case RequestType::kSleep: req.params = parse_sleep_params(p); break;
   }
 }
@@ -419,6 +478,8 @@ std::string encode_response(const Response& response) {
   o["v"] = kProtocolVersion;
   o["id"] = response.id;
   o["ok"] = response.ok;
+  if (!response.trace_id.empty()) o["trace_id"] = response.trace_id;
+  if (response.timing.is_object()) o["timing"] = response.timing;
   if (response.ok) {
     o["result"] = response.result;
   } else {
@@ -447,6 +508,11 @@ Response decode_response(std::string_view payload,
   }
   Response resp;
   resp.id = require_uint(doc, "id");
+  resp.trace_id = string_or(doc, "trace_id", "");
+  if (const json::Value* t = doc.find("timing");
+      t != nullptr && t->is_object()) {
+    resp.timing = *t;
+  }
   const json::Value& ok = require(doc, "ok");
   if (!ok.is_bool()) bad("field \"ok\" must be a bool");
   resp.ok = ok.as_bool();
@@ -480,6 +546,36 @@ Response make_ok_response(std::uint64_t id, util::json::Value result) {
   r.ok = true;
   r.result = std::move(result);
   return r;
+}
+
+util::json::Value timing_json(const TimingInfo& t) {
+  json::Value o = json::Value::object();
+  o["decode_us"] = t.decode_us;
+  o["queue_us"] = t.queue_us;
+  o["batch_us"] = t.batch_us;
+  o["solve_us"] = t.solve_us;
+  o["total_us"] = t.total_us;
+  return o;
+}
+
+TimingInfo parse_timing(const util::json::Value& v) {
+  TimingInfo t;
+  if (!v.is_object()) return t;
+  t.decode_us = number_or(v, "decode_us", 0.0);
+  t.queue_us = number_or(v, "queue_us", 0.0);
+  t.batch_us = number_or(v, "batch_us", 0.0);
+  t.solve_us = number_or(v, "solve_us", 0.0);
+  t.total_us = number_or(v, "total_us", 0.0);
+  t.present = true;
+  return t;
+}
+
+TimingInfo timing_of(const Response& response) noexcept {
+  try {
+    return parse_timing(response.timing);
+  } catch (...) {
+    return {};  // advisory block: malformed numbers read as absent
+  }
 }
 
 // --- result payloads -------------------------------------------------------

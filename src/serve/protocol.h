@@ -2,11 +2,20 @@
 // prefixed frames of wire.h. See docs/serving.md for the full specification.
 //
 // Request envelope:
-//   {"v":1, "id":<n>, "type":"<name>", "deadline_ms":<n>?, "params":{...}}
+//   {"v":1, "id":<n>, "type":"<name>", "deadline_ms":<n>?,
+//    "trace_id":"..."?, "parent_span":"..."?, "params":{...}}
 // Response envelope:
-//   {"v":1, "id":<n>, "ok":true,  "result":{...}}
+//   {"v":1, "id":<n>, "ok":true,  "result":{...},
+//    "trace_id":"..."?, "timing":{...}?}
 //   {"v":1, "id":<n>, "ok":false, "error":{"code":"...", "message":"...",
 //                                          "retry_after_ms":<n>?}}
+//
+// `trace_id`/`parent_span` are optional opaque strings (≤ 128 bytes) the
+// client attaches for distributed tracing; the server echoes `trace_id` on
+// the response and stamps a `timing` object (per-stage µs breakdown, see
+// TimingInfo). Peers that predate these fields interoperate unchanged:
+// extractors on both ends ignore unknown keys, and all four fields are
+// omitted from the wire when empty/absent.
 //
 // Responses are correlated by `id` (client-chosen, unique per connection)
 // and may arrive out of request order — the server coalesces concurrent
@@ -90,8 +99,9 @@ enum class RequestType {
   kControl,    ///< OFTEC decision (Opt 1) or min-temperature (Opt 2)
   kLut,        ///< nearest-neighbor LUT control lookup
   kTransient,  ///< advance the session's transient state under fixed (ω, I)
-  kStats,      ///< server + session counters (inline)
+  kStats,      ///< obs registry snapshot/delta + server counters (inline)
   kHealth,     ///< health/readiness probe, handled inline by the reader
+  kTrace,      ///< dump slow-request exemplars as Chrome trace JSON (inline)
   kSleep,      ///< test-only: occupy the executor for a fixed time
 };
 
@@ -149,7 +159,26 @@ struct TransientParams {
 };
 
 struct SessionParams {
-  std::uint64_t session = 0;  ///< unbind / stats ("session" optional there)
+  std::uint64_t session = 0;  ///< unbind
+};
+
+/// Live stats scrape. `view` selects a full registry snapshot or a delta
+/// since the snapshot stored under `cursor` (a token returned by a previous
+/// stats response; unknown/stale cursors degrade to a full snapshot with
+/// "delta": false so scrapers self-heal). `format` is "json" (structured
+/// obs snapshot) or "prometheus" (text exposition in result["text"]).
+struct StatsParams {
+  std::uint64_t session = 0;  ///< optional: include this session's detail
+  std::string view = "snapshot";  ///< "snapshot" | "delta"
+  std::uint64_t cursor = 0;       ///< delta base token; 0 = none
+  std::string format = "json";    ///< "json" | "prometheus"
+};
+
+/// Exemplar dump. Returns captured slow-request exemplars as Chrome
+/// trace_event JSON, optionally filtered to one trace id.
+struct TraceParams {
+  std::string trace_id;      ///< empty = all exemplars in the ring
+  std::uint64_t limit = 0;   ///< max exemplars returned; 0 = server default
 };
 
 struct SleepParams {
@@ -162,8 +191,14 @@ struct Request {
   /// Relative deadline [ms] from server-side arrival; 0 = none. Expired
   /// requests get kErrDeadlineExceeded instead of being executed.
   double deadline_ms = 0.0;
+  /// Optional distributed-tracing context (opaque, ≤ 128 bytes each; empty =
+  /// absent on the wire). The server echoes trace_id on the response and
+  /// tags slow-request exemplars with it.
+  std::string trace_id;
+  std::string parent_span;
   std::variant<std::monostate, BindParams, SolveParams, ControlParams,
-               LutParams, TransientParams, SessionParams, SleepParams>
+               LutParams, TransientParams, SessionParams, SleepParams,
+               StatsParams, TraceParams>
       params;
 };
 
@@ -183,7 +218,31 @@ struct Response {
   bool ok = false;
   util::json::Value result;  ///< object payload when ok
   ErrorInfo error;           ///< populated when !ok
+  std::string trace_id;      ///< echo of the request's trace_id (may be "")
+  /// Server-side per-stage timing breakdown (object; see timing_json), or
+  /// null when the server did not stamp one. Kept as raw JSON so unknown
+  /// future stages pass through; use timing_of() for the typed view.
+  util::json::Value timing;
 };
+
+/// Typed view of the response `timing` block. All values are microseconds
+/// measured on the server's monotonic clock. queue/batch/solve are disjoint
+/// stages of total (decode → write handoff), so their sum is ≤ total_us;
+/// the remainder is envelope decode/encode and scheduling slack.
+struct TimingInfo {
+  double decode_us = 0.0;  ///< frame decode + request parse
+  double queue_us = 0.0;   ///< admission queue wait (arrival → dequeue)
+  double batch_us = 0.0;   ///< batch formation wait (dequeue → execute)
+  double solve_us = 0.0;   ///< handler / engine execution
+  double total_us = 0.0;   ///< arrival → response handoff to the writer
+  bool present = false;    ///< false when the response carried no timing
+};
+
+[[nodiscard]] util::json::Value timing_json(const TimingInfo& t);
+[[nodiscard]] TimingInfo parse_timing(const util::json::Value& v);
+/// Extract the timing block from a decoded response ({present:false} when
+/// absent or malformed — timing is advisory, never a protocol error).
+[[nodiscard]] TimingInfo timing_of(const Response& response) noexcept;
 
 /// Typed views of response payloads (client-side convenience; the server
 /// encodes with the matching *_result() builders below so both ends share

@@ -62,6 +62,16 @@ void ResilientClient::record_transport_failure() {
   }
 }
 
+std::string ResilientClient::take_trace_id() {
+  if (!next_trace_id_.empty()) {
+    std::string id = std::move(next_trace_id_);
+    next_trace_id_.clear();
+    return id;
+  }
+  if (!options_.trace) return {};
+  return options_.trace_prefix + "-" + std::to_string(++trace_counter_);
+}
+
 template <typename Fn>
 auto ResilientClient::with_retry(bool retry_after_recv, Fn&& rpc)
     -> decltype(rpc(std::declval<Client&>())) {
@@ -70,6 +80,9 @@ auto ResilientClient::with_retry(bool retry_after_recv, Fn&& rpc)
     throw TransportError(TransportError::Kind::kConnect,
                          "oftec-serve: circuit breaker open");
   }
+  // One trace id per RPC, reapplied on every attempt so retries of the same
+  // logical request stitch together server-side.
+  const std::string trace_id = take_trace_id();
   const int max_attempts = std::max(1, options_.retry.max_attempts);
   for (int attempt = 0;; ++attempt) {
     // An RPC already committed to its retry loop waits out a breaker that
@@ -81,8 +94,11 @@ auto ResilientClient::with_retry(bool retry_after_recv, Fn&& rpc)
     if (attempt > 0) ++stats_.retries;
     try {
       Client& client = ensure_connected();
+      if (!trace_id.empty()) client.set_next_trace_id(trace_id);
       auto result = rpc(client);
       consecutive_failures_ = 0;  // half-open probe succeeded (or no fault)
+      last_timing_ = client.last_timing();
+      last_trace_id_ = client.last_trace_id();
       return result;
     } catch (const TransportError& e) {
       drop_connection();
@@ -98,6 +114,11 @@ auto ResilientClient::with_retry(bool retry_after_recv, Fn&& rpc)
       }
       std::this_thread::sleep_for(MsDouble(next_backoff_ms(attempt)));
     } catch (const ProtocolError& e) {
+      if (client_.has_value()) {
+        // The error response may still carry server timing — surface it.
+        last_timing_ = client_->last_timing();
+        last_trace_id_ = client_->last_trace_id();
+      }
       if (e.code() == kErrUnknownSession && bind_params_.has_value() &&
           attempt + 1 < max_attempts) {
         // The server lost its sessions (restart): re-issue the remembered
@@ -163,6 +184,14 @@ TransientReply ResilientClient::transient(TransientParams params) {
 
 util::json::Value ResilientClient::raw_stats(std::uint64_t session) {
   return with_retry(true, [&](Client& c) { return c.stats(session); });
+}
+
+util::json::Value ResilientClient::raw_stats(const StatsParams& params) {
+  return with_retry(true, [&](Client& c) { return c.stats(params); });
+}
+
+util::json::Value ResilientClient::raw_trace(const TraceParams& params) {
+  return with_retry(true, [&](Client& c) { return c.trace(params); });
 }
 
 bool ResilientClient::unbind(std::uint64_t session) {

@@ -66,10 +66,18 @@ class ResilientClient {
     Client::Options client;  ///< frame cap, deadline, recv timeout
     RetryPolicy retry;
     BreakerPolicy breaker;
+    /// Generate a trace id per RPC ("<trace_prefix>-<n>", deterministic
+    /// counter per client) when the caller did not set one — every attempt
+    /// of one RPC carries the same id, so server-side exemplars and logs
+    /// stitch retries together.
+    bool trace = false;
+    std::string trace_prefix = "oftec";
   };
 
   /// Remembers the target; connects lazily on the first RPC.
-  explicit ResilientClient(std::uint16_t port, Options options = {});
+  explicit ResilientClient(std::uint16_t port, Options options);
+  explicit ResilientClient(std::uint16_t port)
+      : ResilientClient(port, Options()) {}
 
   ResilientClient(ResilientClient&&) noexcept = default;
   ResilientClient& operator=(ResilientClient&&) noexcept = default;
@@ -90,10 +98,30 @@ class ResilientClient {
   /// (see header comment). params.session is overwritten with the tracked
   /// session.
   [[nodiscard]] TransientReply transient(TransientParams params);
-  /// Raw stats payload (see Server::stats_json). session 0 → server only.
+  /// Raw stats payload (see Server::handle_stats). session 0 → server only.
   [[nodiscard]] util::json::Value raw_stats(std::uint64_t session = 0);
+  /// Full stats RPC (snapshot/delta cursor views, JSON or Prometheus).
+  [[nodiscard]] util::json::Value raw_stats(const StatsParams& params);
+  /// Slow-request exemplar dump (Chrome trace JSON in result["trace"]).
+  [[nodiscard]] util::json::Value raw_trace(const TraceParams& params);
   /// True when the session existed server-side.
   bool unbind(std::uint64_t session);
+
+  /// Set the trace id attached to the next RPC (all of its retry attempts).
+  /// Overrides Options::trace generation for that one RPC.
+  void set_next_trace_id(std::string trace_id) {
+    next_trace_id_ = std::move(trace_id);
+  }
+
+  /// Server timing block from the last completed RPC attempt ({present:
+  /// false} when the server sent none or no RPC has completed yet).
+  [[nodiscard]] const TimingInfo& last_timing() const noexcept {
+    return last_timing_;
+  }
+  /// trace_id the last completed RPC carried (generated or caller-set).
+  [[nodiscard]] const std::string& last_trace_id() const noexcept {
+    return last_trace_id_;
+  }
 
   /// Session id currently tracked (changes after an automatic re-bind).
   [[nodiscard]] std::uint64_t session() const noexcept { return session_; }
@@ -128,6 +156,9 @@ class ResilientClient {
   void rebind_session();
   [[nodiscard]] double next_backoff_ms(int attempt);
   void record_transport_failure();
+  /// The trace id for the RPC entering with_retry (caller-set one-shot id,
+  /// a generated "<prefix>-<n>" when Options::trace is on, else "").
+  [[nodiscard]] std::string take_trace_id();
 
   std::uint16_t port_;
   Options options_;
@@ -139,6 +170,11 @@ class ResilientClient {
   int consecutive_failures_ = 0;
   Clock::time_point open_until_{};  ///< breaker closed when in the past
   Stats stats_;
+
+  std::string next_trace_id_;      ///< one-shot caller override
+  std::uint64_t trace_counter_ = 0;
+  TimingInfo last_timing_;
+  std::string last_trace_id_;
 };
 
 }  // namespace oftec::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <map>
 #include <stdexcept>
 #include <utility>
@@ -30,6 +31,27 @@ const obs::Histogram g_obs_batch_size = obs::histogram(
 const obs::Histogram g_obs_latency = obs::histogram(
     "serve.e2e_latency_us", obs::exponential_bounds(10.0, 4.0, 12));
 
+// Stage-attribution histograms: the e2e latency of every queued request is
+// decomposed into admission-queue wait, batch-formation wait, and handler
+// execution; writer flush time is attributed per frame. Stable names — the
+// cluster router (ROADMAP) aggregates these across workers.
+const obs::Histogram g_obs_queue_wait = obs::histogram(
+    "serve.queue_wait_us", obs::exponential_bounds(1.0, 4.0, 14));
+const obs::Histogram g_obs_batch_wait = obs::histogram(
+    "serve.batch_wait_us", obs::exponential_bounds(1.0, 4.0, 14));
+const obs::Histogram g_obs_solve = obs::histogram(
+    "serve.solve_us", obs::exponential_bounds(10.0, 4.0, 12));
+const obs::Histogram g_obs_write = obs::histogram(
+    "serve.write_us", obs::exponential_bounds(1.0, 4.0, 14));
+
+// Per-type request counters for the executed (queued) request types.
+const obs::Counter g_obs_req_solve = obs::counter("serve.requests.solve");
+const obs::Counter g_obs_req_bind = obs::counter("serve.requests.bind");
+const obs::Counter g_obs_req_control = obs::counter("serve.requests.control");
+const obs::Counter g_obs_req_lut = obs::counter("serve.requests.lut");
+const obs::Counter g_obs_req_transient =
+    obs::counter("serve.requests.transient");
+
 // Fault-injection sites (inert unless armed via OFTEC_FAULT / fault::arm).
 // Each one exercises a degradation path that real infrastructure hits:
 // transient accept() failures, socket-level read/write errors, a saturated
@@ -40,6 +62,20 @@ const fault::Site g_fault_write = fault::site("serve.write_error");
 const fault::Site g_fault_queue_full = fault::site("serve.queue_full");
 const fault::Site g_fault_exec = fault::site("serve.exec_fault");
 const fault::Site g_fault_slow_writer = fault::site("serve.slow_writer");
+const fault::Site g_fault_stats = fault::site("serve.stats_rpc");
+
+/// Microseconds between two stage stamps; 0 when either stage was never
+/// reached (default-constructed time_point) or the clock stepped backwards.
+[[nodiscard]] double stage_us(Clock::time_point from,
+                              Clock::time_point to) noexcept {
+  if (from == Clock::time_point{} || to == Clock::time_point{} || to < from) {
+    return 0.0;
+  }
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+                 .count()) /
+         1000.0;
+}
 
 }  // namespace
 
@@ -217,6 +253,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     n_requests_.fetch_add(1, std::memory_order_relaxed);
     g_obs_requests.add();
 
+    const Clock::time_point decode_start = Clock::now();
     Request request;
     try {
       request = decode_request(payload, options_.max_frame_bytes);
@@ -226,6 +263,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       conn->send(make_error_response(e.id(), e.code(), e.message()));
       continue;
     }
+    const Clock::time_point decode_end = Clock::now();
 
     if (handle_inline(request, conn)) continue;
 
@@ -239,7 +277,8 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     Pending item;
     item.request = std::move(request);
     item.connection = conn;
-    item.arrival = Clock::now();
+    item.decode_us = stage_us(decode_start, decode_end);
+    item.arrival = decode_end;
     item.deadline =
         item.request.deadline_ms > 0.0
             ? item.arrival + std::chrono::microseconds(static_cast<long long>(
@@ -271,8 +310,17 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
     if (g_fault_slow_writer.should_fail()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
-    if (g_fault_write.should_fail() ||
-        !write_frame(conn->socket.fd(), *message)) {
+    bool write_ok;
+    if (g_fault_write.should_fail()) {
+      write_ok = false;
+    } else if (obs::enabled()) {
+      const Clock::time_point t0 = Clock::now();
+      write_ok = write_frame(conn->socket.fd(), *message);
+      g_obs_write.observe(stage_us(t0, Clock::now()));
+    } else {
+      write_ok = write_frame(conn->socket.fd(), *message);
+    }
+    if (!write_ok) {
       // Peer is gone. Close the outbound queue immediately so every
       // blocked or future send() fails fast instead of waiting for queue
       // space that will never free up — otherwise a crashed client with a
@@ -294,22 +342,24 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
 
 bool Server::handle_inline(const Request& request,
                            const std::shared_ptr<Connection>& conn) {
+  Response response;
   switch (request.type) {
     case RequestType::kPing:
-      conn->send(make_ok_response(request.id, util::json::Value::object()));
-      return true;
-    case RequestType::kStats: {
-      const auto& params = std::get<SessionParams>(request.params);
-      conn->send(make_ok_response(request.id, stats_json(params.session)));
-      return true;
-    }
+      response = make_ok_response(request.id, util::json::Value::object());
+      break;
+    case RequestType::kStats:
+      response = handle_stats(request);
+      break;
+    case RequestType::kTrace:
+      response = handle_trace(request);
+      break;
     case RequestType::kUnbind: {
       const auto& params = std::get<SessionParams>(request.params);
       const bool removed = registry_.erase(params.session);
       util::json::Value result = util::json::Value::object();
       result["removed"] = removed;
-      conn->send(make_ok_response(request.id, std::move(result)));
-      return true;
+      response = make_ok_response(request.id, std::move(result));
+      break;
     }
     case RequestType::kHealth: {
       HealthReply reply;
@@ -320,12 +370,99 @@ bool Server::handle_inline(const Request& request,
       reply.sessions = registry_.size();
       reply.queue_depth = depth;
       reply.queue_capacity = queue_->capacity();
-      conn->send(make_ok_response(request.id, health_result_json(reply)));
-      return true;
+      response = make_ok_response(request.id, health_result_json(reply));
+      break;
     }
     default:
       return false;
   }
+  response.trace_id = request.trace_id;
+  conn->send(response);
+  return true;
+}
+
+Response Server::handle_stats(const Request& request) {
+  namespace json = util::json;
+  const auto& params = std::get<StatsParams>(request.params);
+  if (g_fault_stats.should_fail()) {
+    // The scrape path must be allowed to fail without touching anything the
+    // solve pipeline reads — chaos tests assert solves stay bit-identical.
+    return make_error_response(request.id, kErrInternal,
+                               "injected stats failure");
+  }
+
+  obs::Snapshot now_snap = obs::snapshot();
+  obs::Snapshot view;
+  bool is_delta = false;
+  if (params.view == "delta" && params.cursor != 0) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const auto it = stats_cursors_.find(params.cursor);
+    // Same epoch required: a reset_stats() between the two scrapes makes a
+    // subtraction meaningless, so degrade to a full snapshot (delta:false)
+    // and let the scraper re-baseline on the fresh cursor.
+    if (it != stats_cursors_.end() && it->second.epoch == now_snap.epoch) {
+      view = obs::delta(it->second, now_snap);
+      is_delta = true;
+    }
+  }
+  if (!is_delta) view = now_snap;
+
+  std::uint64_t cursor = 0;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    cursor = next_stats_cursor_++;
+    stats_cursors_[cursor] = std::move(now_snap);
+    while (stats_cursors_.size() > kMaxStatsCursors) {
+      stats_cursors_.erase(stats_cursors_.begin());  // evict oldest token
+    }
+  }
+
+  if (params.format == "prometheus") {
+    json::Value result = json::Value::object();
+    result["format"] = json::Value("prometheus");
+    result["content_type"] = json::Value("text/plain; version=0.0.4");
+    result["text"] = json::Value(obs::prometheus_text(view));
+    result["cursor"] = cursor;
+    result["delta"] = is_delta;
+    return make_ok_response(request.id, std::move(result));
+  }
+  json::Value root = stats_json(params.session);
+  root["obs"] = obs::snapshot_json(view);
+  root["cursor"] = cursor;
+  root["delta"] = is_delta;
+  return make_ok_response(request.id, std::move(root));
+}
+
+Response Server::handle_trace(const Request& request) {
+  namespace json = util::json;
+  const auto& params = std::get<TraceParams>(request.params);
+  constexpr std::uint64_t kMaxTraceLimit = 256;
+  const std::uint64_t limit =
+      params.limit == 0 ? kMaxTraceLimit
+                        : std::min(params.limit, kMaxTraceLimit);
+
+  std::vector<obs::Exemplar> filtered;
+  for (obs::Exemplar& e : obs::exemplars()) {
+    if (!params.trace_id.empty() && e.trace_id != params.trace_id) continue;
+    filtered.push_back(std::move(e));
+  }
+  if (filtered.size() > limit) {
+    // Keep the newest (exemplars() returns oldest first).
+    filtered.erase(filtered.begin(),
+                   filtered.end() - static_cast<std::ptrdiff_t>(limit));
+  }
+
+  const obs::ExemplarRingStats rs = obs::exemplar_ring_stats();
+  json::Value ring = json::Value::object();
+  ring["captured"] = rs.captured;
+  ring["dropped"] = rs.dropped;
+  ring["capacity"] = rs.capacity;
+
+  json::Value result = json::Value::object();
+  result["count"] = static_cast<std::uint64_t>(filtered.size());
+  result["ring"] = std::move(ring);
+  result["trace"] = obs::exemplar_trace_json(filtered);
+  return make_ok_response(request.id, std::move(result));
 }
 
 util::json::Value Server::stats_json(std::uint64_t session_id) const {
@@ -365,6 +502,13 @@ util::json::Value Server::stats_json(std::uint64_t session_id) const {
       sess["engine"] = std::move(engine);
       sess["evaluations"] = session->system().evaluation_count();
       sess["eval_cache_hits"] = session->system().cache_hits();
+      const Session::Activity& act = session->activity();
+      json::Value requests = json::Value::object();
+      requests["solve"] = act.solves.load(std::memory_order_relaxed);
+      requests["control"] = act.controls.load(std::memory_order_relaxed);
+      requests["lut"] = act.luts.load(std::memory_order_relaxed);
+      requests["transient"] = act.transients.load(std::memory_order_relaxed);
+      sess["requests"] = std::move(requests);
       root["session"] = std::move(sess);
     }
   }
@@ -379,6 +523,11 @@ void Server::batcher_loop() {
     carry.reset();
     if (!first.has_value()) break;  // closed and drained
     g_obs_queue_depth.set(static_cast<double>(queue_->size()));
+    // queue_out: end of admission-queue wait. A carried item keeps the
+    // stamp from the pop that actually dequeued it.
+    if (first->queue_out == Clock::time_point{}) {
+      first->queue_out = Clock::now();
+    }
 
     if (first->request.type == RequestType::kSolve) {
       std::vector<Pending> batch;
@@ -392,6 +541,7 @@ void Server::batcher_loop() {
             queue_->pop_for(std::chrono::duration_cast<std::chrono::microseconds>(
                 flush_at - now));
         if (!next.has_value()) break;  // flush window elapsed (or draining)
+        next->queue_out = Clock::now();
         if (next->request.type == RequestType::kSolve) {
           batch.push_back(std::move(*next));
         } else {
@@ -399,10 +549,13 @@ void Server::batcher_loop() {
           break;
         }
       }
+      const Clock::time_point formed = Clock::now();
+      for (Pending& item : batch) item.exec_start = formed;
       executing_.store(true, std::memory_order_release);
       execute_solve_batch(batch);
       executing_.store(false, std::memory_order_release);
     } else {
+      first->exec_start = Clock::now();
       executing_.store(true, std::memory_order_release);
       execute_single(*first);
       executing_.store(false, std::memory_order_release);
@@ -416,15 +569,48 @@ bool Server::expired(const Pending& item) {
 
 void Server::respond(const Pending& item, Response response) {
   response.id = item.request.id;
+  response.trace_id = item.request.trace_id;
+
+  const Clock::time_point now = Clock::now();
+  TimingInfo t;
+  t.present = true;
+  t.decode_us = item.decode_us;
+  t.queue_us = stage_us(item.arrival, item.queue_out);
+  t.batch_us = stage_us(item.queue_out, item.exec_start);
+  // An item answered mid-handler (error paths) has no solve_end stamp yet;
+  // close the stage at the response instead so time is never lost.
+  t.solve_us = stage_us(item.solve_start,
+                        item.solve_end == Clock::time_point{}
+                            ? now
+                            : item.solve_end);
+  t.total_us = stage_us(item.arrival, now);
+  response.timing = timing_json(t);
+
+  // Record observability BEFORE handing the reply to the writer: once a
+  // client holds a response, a kStats/kTrace scrape must already see this
+  // request's stage observations and exemplar. The cost ahead of send() is
+  // a few relaxed atomics plus (when capturing) one try-lock.
+  g_obs_latency.observe(t.total_us);
+  g_obs_queue_wait.observe(t.queue_us);
+  g_obs_solve.observe(t.solve_us);
+  if (item.request.type == RequestType::kSolve) {
+    g_obs_batch_wait.observe(t.batch_us);
+  }
+  if (obs::exemplars_active() && obs::should_capture_exemplar(t.total_us)) {
+    obs::Exemplar ex;
+    ex.trace_id = item.request.trace_id;
+    ex.name = request_type_name(item.request.type);
+    ex.start_us = obs::exemplar_now_us() - t.total_us;
+    ex.total_us = t.total_us;
+    ex.stages.push_back({"queue", 0.0, t.queue_us});
+    ex.stages.push_back({"batch", t.queue_us, t.batch_us});
+    ex.stages.push_back({"solve", t.queue_us + t.batch_us, t.solve_us});
+    (void)obs::record_exemplar(std::move(ex));
+  }
+
   item.connection->send(response);
   item.connection->end_request();
   n_completed_.fetch_add(1, std::memory_order_relaxed);
-  const double latency_us =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                           item.arrival)
-          .count() /
-      1000.0;
-  g_obs_latency.observe(latency_us);
 }
 
 void Server::execute_solve_batch(std::vector<Pending>& batch) {
@@ -493,8 +679,17 @@ void Server::execute_solve_batch(std::vector<Pending>& batch) {
       }
 
       if (points.empty()) continue;
+      g_obs_req_solve.add(points.size());
+      session->activity().solves.fetch_add(indices.size(),
+                                           std::memory_order_relaxed);
+      const Clock::time_point solve_start = Clock::now();
       const std::vector<thermal::SteadyResult> results =
           session->system().engine().solve_batch(points);
+      const Clock::time_point solve_end = Clock::now();
+      for (const std::size_t i : indices) {
+        batch[i].solve_start = solve_start;
+        batch[i].solve_end = solve_end;
+      }
 
       for (std::size_t k = 0; k < indices.size(); ++k) {
         if (answered[k]) continue;
@@ -536,6 +731,7 @@ void Server::execute_single(Pending& item) {
                                       "deadline expired while queued"));
     return;
   }
+  item.solve_start = Clock::now();
   try {
     if (g_fault_exec.should_fail()) {
       throw std::runtime_error("injected executor fault");
@@ -544,6 +740,8 @@ void Server::execute_single(Pending& item) {
       case RequestType::kBind: {
         const auto& params = std::get<BindParams>(item.request.params);
         const std::shared_ptr<Session> session = registry_.create(params);
+        g_obs_req_bind.add();
+        item.solve_end = Clock::now();
         respond(item,
                 make_ok_response(0, bind_result_json(session->describe())));
         return;
@@ -557,6 +755,8 @@ void Server::execute_single(Pending& item) {
                                             "unknown session"));
           return;
         }
+        g_obs_req_control.add();
+        session->activity().controls.fetch_add(1, std::memory_order_relaxed);
         ControlReply reply;
         reply.objective = params.objective;
         if (params.objective == "min_temperature") {
@@ -584,6 +784,7 @@ void Server::execute_single(Pending& item) {
           reply.runtime_ms = r.runtime_ms;
           reply.thermal_solves = r.thermal_solves;
         }
+        item.solve_end = Clock::now();
         respond(item, make_ok_response(0, control_result_json(reply)));
         return;
       }
@@ -613,6 +814,8 @@ void Server::execute_single(Pending& item) {
         for (std::size_t i = 0; i < params.power_w.size(); ++i) {
           query.set(i, params.power_w[i]);
         }
+        g_obs_req_lut.add();
+        session->activity().luts.fetch_add(1, std::memory_order_relaxed);
         const core::LutController::LookupResult r =
             session->lut()->lookup(query);
         LutReply reply;
@@ -621,6 +824,7 @@ void Server::execute_single(Pending& item) {
         reply.feasible = r.feasible;
         reply.entry_index = r.entry_index;
         reply.feature_distance = r.feature_distance;
+        item.solve_end = Clock::now();
         respond(item, make_ok_response(0, lut_result_json(reply)));
         return;
       }
@@ -633,7 +837,11 @@ void Server::execute_single(Pending& item) {
                                             "unknown session"));
           return;
         }
+        g_obs_req_transient.add();
+        session->activity().transients.fetch_add(1,
+                                                 std::memory_order_relaxed);
         const TransientReply reply = session->transient_step(params);
+        item.solve_end = Clock::now();
         respond(item, make_ok_response(0, transient_result_json(reply)));
         return;
       }

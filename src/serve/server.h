@@ -27,12 +27,19 @@
 // thread is joined before stop() returns.
 //
 // Observability: queue depth gauge, batch-size and end-to-end latency
-// histograms, shed/deadline/dedup counters and per-stage spans, all under
-// the "serve." prefix in the oftec::obs registry.
+// histograms, per-stage attribution histograms (serve.queue_wait_us /
+// serve.batch_wait_us / serve.solve_us / serve.write_us), per-type request
+// counters, shed/deadline/dedup counters and spans, all under the "serve."
+// prefix in the oftec::obs registry. Every queued response carries a
+// `timing` block with the same breakdown, kStats exposes the registry live
+// (JSON snapshot/delta-since-cursor or Prometheus text), and requests
+// slower than OFTEC_SLOW_REQ_US land in the exemplar ring, dumpable via
+// kTrace as Chrome trace JSON. See docs/observability.md.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -43,6 +50,7 @@
 #include "serve/session.h"
 #include "serve/wire.h"
 #include "util/json.h"
+#include "util/obs.h"
 
 namespace oftec::serve {
 
@@ -116,12 +124,19 @@ class Server {
  private:
   struct Connection;
 
-  /// One admitted request.
+  /// One admitted request. The extra time points are stage stamps for the
+  /// response `timing` block; a default-constructed time_point means "stage
+  /// never reached" and the stage reads as 0 in the breakdown.
   struct Pending {
     Request request;
     std::shared_ptr<Connection> connection;
+    double decode_us = 0.0;  ///< frame decode + request parse duration
     std::chrono::steady_clock::time_point arrival{};
-    std::chrono::steady_clock::time_point deadline{};  ///< max() = none
+    std::chrono::steady_clock::time_point deadline{};     ///< max() = none
+    std::chrono::steady_clock::time_point queue_out{};    ///< batcher pop
+    std::chrono::steady_clock::time_point exec_start{};   ///< batch formed
+    std::chrono::steady_clock::time_point solve_start{};  ///< handler enter
+    std::chrono::steady_clock::time_point solve_end{};    ///< handler exit
   };
 
   void acceptor_loop();
@@ -133,6 +148,8 @@ class Server {
   [[nodiscard]] bool handle_inline(const Request& request,
                                    const std::shared_ptr<Connection>& conn);
   [[nodiscard]] util::json::Value stats_json(std::uint64_t session_id) const;
+  [[nodiscard]] Response handle_stats(const Request& request);
+  [[nodiscard]] Response handle_trace(const Request& request);
 
   void execute_solve_batch(std::vector<Pending>& batch);
   void execute_single(Pending& item);
@@ -154,6 +171,14 @@ class Server {
   std::mutex stop_mutex_;  ///< serializes stop() (it joins threads)
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
+
+  /// Delta-scrape state: cursor token → the obs snapshot taken when that
+  /// token was handed out. Bounded (kMaxStatsCursors, oldest evicted) so a
+  /// scraper that never reuses cursors cannot grow server memory.
+  static constexpr std::size_t kMaxStatsCursors = 16;
+  mutable std::mutex stats_mutex_;
+  std::map<std::uint64_t, obs::Snapshot> stats_cursors_;
+  std::uint64_t next_stats_cursor_ = 1;
 
   // Counters (relaxed increments; counters() takes a consistent-enough
   // snapshot of independently updated fields).

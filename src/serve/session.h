@@ -16,6 +16,7 @@
 // stateful integration — concurrent steps would be meaningless).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,7 +63,23 @@ class Session {
   /// The bind response payload.
   [[nodiscard]] BindReply describe() const;
 
+  /// Per-session request counters, surfaced through the kStats session
+  /// block. Plain atomics on the session object (NOT dynamic obs metric
+  /// names: the obs registry is process-lifetime, so per-session names
+  /// would be unbounded cardinality on a long-lived server).
+  struct Activity {
+    std::atomic<std::uint64_t> solves{0};
+    std::atomic<std::uint64_t> controls{0};
+    std::atomic<std::uint64_t> luts{0};
+    std::atomic<std::uint64_t> transients{0};
+  };
+  [[nodiscard]] Activity& activity() noexcept { return activity_; }
+  [[nodiscard]] const Activity& activity() const noexcept {
+    return activity_;
+  }
+
  private:
+  Activity activity_;
   std::uint64_t id_;
   floorplan::Floorplan floorplan_;
   power::LeakageModel leakage_;

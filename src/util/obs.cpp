@@ -4,15 +4,18 @@
 #include <bit>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault.h"
 #include "util/json.h"
 
 namespace oftec::obs {
@@ -221,6 +224,12 @@ class Registry {
   std::vector<std::shared_ptr<Shard>> shards_;
   std::vector<std::shared_ptr<TraceBuffer>> buffers_;
   std::uint32_t next_thread_id_ = 0;
+  // Snapshot ordering state (see Snapshot::epoch / Snapshot::sequence).
+  // Both only move under mutex_, which build_snapshot and reset_all also
+  // hold while touching slots — so a snapshot's epoch is exactly the epoch
+  // its counter values belong to, even when reset() races a scrape.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t sequence_ = 0;
 };
 
 /// Thread-local handle caching direct slot pointers (index → cell) so the
@@ -282,6 +291,8 @@ Snapshot Registry::build_snapshot() {
   std::map<std::string, SpanAgg> span_totals;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    snap.epoch = epoch_;
+    snap.sequence = ++sequence_;
     for (const auto& def : metrics_) {
       if (def->kind == MetricKind::kCounter) {
         snap.counters[def->name] = sum_slot(def->slot);
@@ -332,6 +343,7 @@ Snapshot Registry::build_snapshot() {
 
 void Registry::reset_all() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  ++epoch_;
   for (const auto& shard : shards_) {
     for (const auto& chunk : shard->chunks) {
       if (!chunk) continue;
@@ -409,6 +421,42 @@ void span_end() {
   }
 }
 
+// --- exemplar ring ---------------------------------------------------------
+
+constexpr std::size_t kDefaultExemplarCapacity = 64;
+
+// Injectable failure of the exemplar path itself (OFTEC_FAULT=
+// obs.exemplar_ring:rate). A firing site drops the exemplar — observability
+// must degrade, never take the request path down with it.
+const fault::Site g_fault_exemplar_ring = fault::site("obs.exemplar_ring");
+
+std::atomic<std::uint64_t> g_slow_req_us{0};
+std::atomic<std::uint64_t> g_trace_sample{0};
+std::atomic<std::uint64_t> g_sample_counter{0};
+
+/// Fixed-capacity drop-oldest ring. `ring` is pre-reserved so the record
+/// path never allocates vector storage; `dropped` is atomic so the
+/// contention/fault drop path needs no lock at all.
+struct ExemplarRingState {
+  std::mutex mutex;
+  std::vector<Exemplar> ring;
+  std::size_t capacity = kDefaultExemplarCapacity;
+  std::size_t head = 0;  ///< oldest entry once the ring is full
+  std::uint64_t next_seq = 1;
+  std::uint64_t captured = 0;
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+[[nodiscard]] ExemplarRingState& ring_state() {
+  // Leaked for the same reason as the Registry: exit-time flushes.
+  static ExemplarRingState* const g = [] {
+    auto* s = new ExemplarRingState;
+    s->ring.reserve(s->capacity);
+    return s;
+  }();
+  return *g;
+}
+
 // --- environment wiring ----------------------------------------------------
 
 [[nodiscard]] bool truthy(const char* value) {
@@ -418,11 +466,22 @@ void span_end() {
   return !(v.empty() || v == "0" || v == "false" || v == "off" || v == "no");
 }
 
+[[nodiscard]] std::uint64_t env_u64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<std::uint64_t>(n) : 0;
+}
+
 struct EnvConfig {
   bool enable = false;
   bool trace = false;
   std::string report_path;
   std::string trace_path;
+  std::uint64_t slow_req_us = 0;
+  std::uint64_t trace_sample = 0;
+  std::uint64_t exemplar_cap = 0;  ///< 0 = keep the default
 };
 
 [[nodiscard]] const EnvConfig& env_config() {
@@ -438,6 +497,9 @@ struct EnvConfig {
       c.enable = true;
       c.trace = true;
     }
+    c.slow_req_us = env_u64("OFTEC_SLOW_REQ_US");
+    c.trace_sample = env_u64("OFTEC_TRACE_SAMPLE");
+    c.exemplar_cap = env_u64("OFTEC_EXEMPLAR_CAP");
     return c;
   }();
   return cfg;
@@ -450,6 +512,11 @@ struct EnvInit {
     const EnvConfig& cfg = env_config();
     if (cfg.enable) detail::g_enabled.store(true, std::memory_order_relaxed);
     if (cfg.trace) detail::g_tracing.store(true, std::memory_order_relaxed);
+    if (cfg.slow_req_us != 0) set_slow_request_threshold_us(cfg.slow_req_us);
+    if (cfg.trace_sample != 0) set_trace_sample_every(cfg.trace_sample);
+    if (cfg.exemplar_cap != 0) {
+      set_exemplar_capacity(static_cast<std::size_t>(cfg.exemplar_cap));
+    }
     if (!cfg.report_path.empty() || !cfg.trace_path.empty()) {
       std::atexit([] { flush(); });
     }
@@ -533,16 +600,85 @@ Span::~Span() {
   if (active_) span_end();
 }
 
-Snapshot snapshot() { return Registry::instance().build_snapshot(); }
+double HistogramSnapshot::quantile(double p) const noexcept {
+  if (count == 0 || counts.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (counts[i] == 0 || static_cast<double>(cum) < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: there is no upper edge to interpolate toward, so
+      // the best defensible estimate clamps to the highest finite bound.
+      break;
+    }
+    const double hi = bounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds[i - 1];
+    const double prev = static_cast<double>(cum - counts[i]);
+    const double frac = std::clamp(
+        (target - prev) / static_cast<double>(counts[i]), 0.0, 1.0);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : bounds.back();
+}
 
-void reset() { Registry::instance().reset_all(); }
+Snapshot delta(const Snapshot& from, const Snapshot& to) {
+  // A reset between the two snapshots restarted every stream at zero, so
+  // `to` already IS everything accumulated since `from`'s stream ended.
+  if (from.epoch != to.epoch) return to;
+  Snapshot d;
+  d.epoch = to.epoch;
+  d.sequence = to.sequence;
+  d.gauges = to.gauges;  // last-write-wins; a difference is meaningless
+  for (const auto& [name, v] : to.counters) {
+    const auto it = from.counters.find(name);
+    const std::uint64_t base = it == from.counters.end() ? 0 : it->second;
+    d.counters[name] = v >= base ? v - base : 0;  // saturate on torn reads
+  }
+  for (const auto& [name, h] : to.histograms) {
+    HistogramSnapshot dh;
+    dh.bounds = h.bounds;
+    dh.counts.assign(h.counts.size(), 0);
+    const auto it = from.histograms.find(name);
+    const HistogramSnapshot* base =
+        (it != from.histograms.end() &&
+         it->second.counts.size() == h.counts.size())
+            ? &it->second
+            : nullptr;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::uint64_t b = base ? base->counts[i] : 0;
+      dh.counts[i] = h.counts[i] >= b ? h.counts[i] - b : 0;
+      dh.count += dh.counts[i];
+    }
+    dh.sum = base ? h.sum - base->sum : h.sum;
+    d.histograms.emplace(name, std::move(dh));
+  }
+  std::map<std::string, const SpanStats*> from_spans;
+  for (const SpanStats& s : from.spans) from_spans.emplace(s.name, &s);
+  for (const SpanStats& s : to.spans) {
+    SpanStats ds = s;
+    if (const auto it = from_spans.find(s.name); it != from_spans.end()) {
+      const SpanStats& b = *it->second;
+      ds.count = s.count >= b.count ? s.count - b.count : 0;
+      ds.total_ms = std::max(0.0, s.total_ms - b.total_ms);
+      ds.self_ms = std::max(0.0, s.self_ms - b.self_ms);
+    }
+    if (ds.count != 0) d.spans.push_back(std::move(ds));
+  }
+  d.dropped_events = to.dropped_events >= from.dropped_events
+                         ? to.dropped_events - from.dropped_events
+                         : 0;
+  return d;
+}
 
-void write_report(std::ostream& os) {
-  const Snapshot snap = snapshot();
+util::json::Value snapshot_json(const Snapshot& snap) {
   util::json::Value root = util::json::Value::object();
-  root["version"] = util::json::Value(1);
-  root["tool"] = util::json::Value("oftec-obs");
-  root["enabled"] = util::json::Value(enabled());
+  root["epoch"] = util::json::Value(snap.epoch);
+  root["sequence"] = util::json::Value(snap.sequence);
 
   util::json::Value counters = util::json::Value::object();
   for (const auto& [name, value] : snap.counters) {
@@ -572,6 +708,89 @@ void write_report(std::ostream& os) {
     histograms[name] = std::move(entry);
   }
   root["histograms"] = std::move(histograms);
+  return root;
+}
+
+namespace {
+
+/// Prometheus metric-name sanitizer: [a-zA-Z0-9_:] survive, everything else
+/// (the registry's dots, mainly) becomes '_'; a leading digit gets a '_'
+/// prefix. Registry names are code-controlled, so collisions are a code
+/// review problem, not a runtime one.
+[[nodiscard]] std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+[[nodiscard]] std::string prom_num(double v) {
+  char buf[64];
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Snapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << "_total counter\n"
+       << n << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << prom_num(value) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size() && i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      os << n << "_bucket{le=\"" << prom_num(h.bounds[i]) << "\"} " << cum
+         << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << n << "_sum " << prom_num(h.sum) << "\n"
+       << n << "_count " << h.count << "\n";
+    if (h.count > 0) {
+      os << "# TYPE " << n << "_quantile gauge\n";
+      // Literal labels: %.17g would render 0.99 as 0.98999…, and the label
+      // is an identifier scrapers match on, not a measurement.
+      constexpr std::pair<const char*, double> kQuantiles[] = {
+          {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+      for (const auto& [label, q] : kQuantiles) {
+        os << n << "_quantile{q=\"" << label << "\"} "
+           << prom_num(h.quantile(q)) << "\n";
+      }
+    }
+  }
+}
+
+std::string prometheus_text(const Snapshot& snap) {
+  std::ostringstream os;
+  write_prometheus(os, snap);
+  return os.str();
+}
+
+Snapshot snapshot() { return Registry::instance().build_snapshot(); }
+
+void reset() { Registry::instance().reset_all(); }
+
+void write_report(std::ostream& os) {
+  const Snapshot snap = snapshot();
+  util::json::Value root = snapshot_json(snap);
+  root["version"] = util::json::Value(1);
+  root["tool"] = util::json::Value("oftec-obs");
+  root["enabled"] = util::json::Value(enabled());
 
   util::json::Value spans = util::json::Value::array();
   for (const SpanStats& s : snap.spans) {
@@ -638,5 +857,155 @@ void flush() {
 std::string report_path_from_env() { return env_config().report_path; }
 
 std::string trace_path_from_env() { return env_config().trace_path; }
+
+// ---------------------------------------------------------------------------
+// Slow-request exemplars
+// ---------------------------------------------------------------------------
+
+std::uint64_t record_exemplar(Exemplar exemplar) noexcept {
+  ExemplarRingState& st = ring_state();
+  if (g_fault_exemplar_ring.should_fail()) {
+    st.dropped.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  // try_lock, never lock: the caller is the serve hot path. Contention means
+  // another thread is recording or a dump is in flight — drop rather than
+  // stall a response.
+  std::unique_lock<std::mutex> lock(st.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    st.dropped.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  exemplar.seq = st.next_seq++;
+  ++st.captured;
+  const std::uint64_t seq = exemplar.seq;
+  if (st.ring.size() < st.capacity) {
+    st.ring.push_back(std::move(exemplar));  // no alloc: reserved to capacity
+  } else {
+    st.ring[st.head] = std::move(exemplar);  // drop-oldest
+    st.head = (st.head + 1) % st.capacity;
+  }
+  return seq;
+}
+
+std::vector<Exemplar> exemplars() {
+  ExemplarRingState& st = ring_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  std::vector<Exemplar> out;
+  out.reserve(st.ring.size());
+  for (std::size_t i = 0; i < st.ring.size(); ++i) {
+    out.push_back(st.ring[(st.head + i) % st.ring.size()]);
+  }
+  return out;
+}
+
+ExemplarRingStats exemplar_ring_stats() {
+  ExemplarRingState& st = ring_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  ExemplarRingStats stats;
+  stats.captured = st.captured;
+  stats.dropped = st.dropped.load(std::memory_order_relaxed);
+  stats.capacity = st.capacity;
+  return stats;
+}
+
+void set_exemplar_capacity(std::size_t capacity) {
+  ExemplarRingState& st = ring_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.capacity = std::max<std::size_t>(1, capacity);
+  st.ring.clear();
+  st.ring.reserve(st.capacity);
+  st.head = 0;
+}
+
+void clear_exemplars() {
+  ExemplarRingState& st = ring_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.ring.clear();
+  st.head = 0;
+  st.captured = 0;
+  st.dropped.store(0, std::memory_order_relaxed);
+}
+
+bool should_capture_exemplar(double total_us) noexcept {
+  const std::uint64_t slow = g_slow_req_us.load(std::memory_order_relaxed);
+  if (slow != 0 && total_us >= static_cast<double>(slow)) return true;
+  const std::uint64_t every = g_trace_sample.load(std::memory_order_relaxed);
+  if (every != 0 &&
+      g_sample_counter.fetch_add(1, std::memory_order_relaxed) % every == 0) {
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t slow_request_threshold_us() noexcept {
+  return g_slow_req_us.load(std::memory_order_relaxed);
+}
+
+void set_slow_request_threshold_us(std::uint64_t us) noexcept {
+  g_slow_req_us.store(us, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_sample_every() noexcept {
+  return g_trace_sample.load(std::memory_order_relaxed);
+}
+
+void set_trace_sample_every(std::uint64_t n) noexcept {
+  g_trace_sample.store(n, std::memory_order_relaxed);
+}
+
+bool exemplars_active() noexcept {
+  return g_slow_req_us.load(std::memory_order_relaxed) != 0 ||
+         g_trace_sample.load(std::memory_order_relaxed) != 0;
+}
+
+double exemplar_now_us() noexcept {
+  return static_cast<double>(now_ns()) * 1e-3;
+}
+
+util::json::Value exemplar_trace_json(const std::vector<Exemplar>& exemplars) {
+  util::json::Value events = util::json::Value::array();
+  for (const Exemplar& ex : exemplars) {
+    const auto tid = static_cast<std::int64_t>(ex.seq);
+    util::json::Value meta = util::json::Value::object();
+    meta["name"] = util::json::Value("thread_name");
+    meta["ph"] = util::json::Value("M");
+    meta["pid"] = util::json::Value(0);
+    meta["tid"] = util::json::Value(tid);
+    util::json::Value margs = util::json::Value::object();
+    std::string label = ex.trace_id.empty() ? ex.name : ex.trace_id;
+    margs["name"] = util::json::Value("trace " + label);
+    meta["args"] = std::move(margs);
+    events.push_back(std::move(meta));
+
+    util::json::Value root = util::json::Value::object();
+    root["name"] = util::json::Value(ex.name.empty() ? "request" : ex.name);
+    root["ph"] = util::json::Value("X");
+    root["pid"] = util::json::Value(0);
+    root["tid"] = util::json::Value(tid);
+    root["ts"] = util::json::Value(ex.start_us);
+    root["dur"] = util::json::Value(ex.total_us);
+    util::json::Value rargs = util::json::Value::object();
+    rargs["trace_id"] = util::json::Value(ex.trace_id);
+    rargs["seq"] = util::json::Value(ex.seq);
+    root["args"] = std::move(rargs);
+    events.push_back(std::move(root));
+
+    for (const ExemplarStage& stage : ex.stages) {
+      util::json::Value ev = util::json::Value::object();
+      ev["name"] = util::json::Value(stage.name);
+      ev["ph"] = util::json::Value("X");
+      ev["pid"] = util::json::Value(0);
+      ev["tid"] = util::json::Value(tid);
+      ev["ts"] = util::json::Value(ex.start_us + stage.start_us);
+      ev["dur"] = util::json::Value(stage.dur_us);
+      events.push_back(std::move(ev));
+    }
+  }
+  util::json::Value root = util::json::Value::object();
+  root["displayTimeUnit"] = util::json::Value("ms");
+  root["traceEvents"] = std::move(events);
+  return root;
+}
 
 }  // namespace oftec::obs

@@ -28,6 +28,11 @@
 //                        at exit (implies OFTEC_OBS=1)
 //   OFTEC_OBS_REPORT=p   write the JSON metrics report to `p` at exit
 //                        (implies OFTEC_OBS=1)
+//   OFTEC_SLOW_REQ_US=n  capture a request exemplar whenever a request's
+//                        end-to-end time meets/exceeds n µs (0/unset = off)
+//   OFTEC_TRACE_SAMPLE=n additionally capture every n-th candidate request
+//                        (deterministic 1-in-N; 0/unset = off)
+//   OFTEC_EXEMPLAR_CAP=n exemplar ring capacity (default 64)
 //
 // Overhead contract: when disabled, every instrumentation call is a single
 // relaxed atomic load plus a branch — no locks, no clock reads, and no
@@ -48,6 +53,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/json.h"
 
 namespace oftec::obs {
 
@@ -166,6 +173,13 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (overflow last)
   std::uint64_t count = 0;             ///< total observations
   double sum = 0.0;
+
+  /// Quantile estimate by linear interpolation within bucket bounds.
+  /// p is clamped to [0, 1]. The first bucket interpolates down to
+  /// min(0, bounds[0]); a quantile landing in the overflow bucket clamps to
+  /// the highest bound (the histogram carries no upper edge there). Returns
+  /// NaN when the histogram is empty.
+  [[nodiscard]] double quantile(double p) const noexcept;
 };
 
 struct SpanStats {
@@ -181,6 +195,15 @@ struct Snapshot {
   std::map<std::string, HistogramSnapshot> histograms;
   std::vector<SpanStats> spans;  ///< sorted by self_ms, descending
   std::uint64_t dropped_events = 0;  ///< trace events lost to the ring cap
+  /// Reset epoch the snapshot was taken in. reset() bumps the epoch under
+  /// the registry lock, so two snapshots with equal epochs are guaranteed to
+  /// observe the same (monotonically growing) counter stream and delta()
+  /// between them is meaningful. Differing epochs mean a reset intervened.
+  std::uint64_t epoch = 0;
+  /// Monotonic snapshot counter (process lifetime, never reset). Gives
+  /// scrapers a total order on snapshots even across reset() — the contract
+  /// long-lived servers need for cursor-based delta scrapes.
+  std::uint64_t sequence = 0;
 };
 
 /// Aggregate every shard (live and retired threads) into one view.
@@ -188,12 +211,36 @@ struct Snapshot {
 
 /// Zero all metrics and discard recorded span events/aggregates. Metric
 /// registrations survive. Call at quiescent points; concurrent updates are
-/// not lost crash-unsafely, merely attributed to the new epoch.
+/// not lost crash-unsafely, merely attributed to the new epoch. Bumps the
+/// snapshot epoch (see Snapshot::epoch).
 void reset();
+
+/// `to - from`, element-wise. Counter and histogram-bucket subtraction
+/// saturates at zero, so a scrape racing concurrent updates can never report
+/// a negative rate. When the epochs differ (a reset() intervened between the
+/// two snapshots), the delta is `to` itself — everything in `to` accumulated
+/// after the reset, so that IS the delta since `from`'s stream ended.
+/// Gauges are last-write-wins and simply take `to`'s values.
+[[nodiscard]] Snapshot delta(const Snapshot& from, const Snapshot& to);
 
 /// JSON metrics report (see docs/observability.md for the schema).
 void write_report(std::ostream& os);
 [[nodiscard]] bool write_report_file(const std::string& path);
+
+/// The metrics portion of a snapshot as a JSON object: {"epoch", "sequence",
+/// "counters": {...}, "gauges": {...}, "histograms": {name: {bounds, counts,
+/// count, sum}}}. This is the payload the serve stats RPC ships, and the
+/// shape write_report embeds.
+[[nodiscard]] util::json::Value snapshot_json(const Snapshot& snap);
+
+/// Prometheus text exposition (text/plain; version=0.0.4) of a snapshot.
+/// Dotted metric names map to underscored families (serve.queue_wait_us →
+/// serve_queue_wait_us); counters gain the conventional `_total` suffix;
+/// histograms render cumulative `_bucket{le=...}` series plus `_sum`/`_count`
+/// and a companion `<name>_quantile{q=...}` gauge family with p50/p95/p99
+/// estimated from the bucket bounds (HistogramSnapshot::quantile).
+void write_prometheus(std::ostream& os, const Snapshot& snap);
+[[nodiscard]] std::string prometheus_text(const Snapshot& snap);
 
 /// Chrome trace_event JSON — load in chrome://tracing or Perfetto.
 void write_chrome_trace(std::ostream& os);
@@ -210,5 +257,74 @@ void flush();
 /// Paths resolved from the environment at startup; empty when unset.
 [[nodiscard]] std::string report_path_from_env();
 [[nodiscard]] std::string trace_path_from_env();
+
+// ---------------------------------------------------------------------------
+// Slow-request exemplars
+// ---------------------------------------------------------------------------
+//
+// A small process-global ring of "exemplars" — per-request stage breakdowns
+// captured for requests that exceeded the slow threshold (OFTEC_SLOW_REQ_US)
+// or hit the deterministic 1-in-N sample (OFTEC_TRACE_SAMPLE). The ring is
+// lock-light: record() try-locks and drops the exemplar on contention or
+// when the obs.exemplar_ring fault site fires, so the request hot path can
+// never block on observability. At capacity the oldest exemplar is
+// overwritten (drop-oldest), keeping the freshest evidence.
+
+struct ExemplarStage {
+  std::string name;
+  double start_us = 0.0;  ///< offset from the exemplar's start
+  double dur_us = 0.0;
+};
+
+struct Exemplar {
+  std::uint64_t seq = 0;  ///< capture sequence, assigned by the ring
+  std::string trace_id;   ///< wire trace id (may be empty)
+  std::string name;       ///< e.g. the request type
+  double start_us = 0.0;  ///< process-lifetime timestamp (traces align)
+  double total_us = 0.0;
+  std::vector<ExemplarStage> stages;
+};
+
+/// Append an exemplar (drop-oldest at capacity). Never blocks: contention or
+/// an armed obs.exemplar_ring fault drops it instead. Returns the assigned
+/// capture sequence, or 0 when dropped.
+std::uint64_t record_exemplar(Exemplar exemplar) noexcept;
+
+/// Ring contents, oldest first.
+[[nodiscard]] std::vector<Exemplar> exemplars();
+
+struct ExemplarRingStats {
+  std::uint64_t captured = 0;   ///< exemplars accepted (incl. overwritten)
+  std::uint64_t dropped = 0;    ///< lost to contention or fault injection
+  std::uint64_t capacity = 0;
+};
+[[nodiscard]] ExemplarRingStats exemplar_ring_stats();
+
+/// Resize (and clear) the ring. Capacity 0 is clamped to 1.
+void set_exemplar_capacity(std::size_t capacity);
+void clear_exemplars();
+
+/// Capture policy. A request taking total_us qualifies when the slow
+/// threshold is set and met, or — failing that — when the deterministic
+/// sample counter (incremented only for requests not already slow-captured)
+/// hits a multiple of the 1-in-N period. Both knobs default off, so the
+/// steady-state cost with exemplars disabled is two relaxed loads.
+[[nodiscard]] bool should_capture_exemplar(double total_us) noexcept;
+[[nodiscard]] std::uint64_t slow_request_threshold_us() noexcept;
+void set_slow_request_threshold_us(std::uint64_t us) noexcept;
+[[nodiscard]] std::uint64_t trace_sample_every() noexcept;
+void set_trace_sample_every(std::uint64_t n) noexcept;
+/// True when either capture knob is on (cheap pre-check for callers that
+/// would otherwise assemble stage breakdowns for nothing).
+[[nodiscard]] bool exemplars_active() noexcept;
+
+/// Chrome trace_event JSON for a set of exemplars — each exemplar becomes
+/// its own named track (tid = seq) with one slice per stage. Loads directly
+/// in chrome://tracing / Perfetto; this is what the serve kTrace RPC returns.
+[[nodiscard]] util::json::Value exemplar_trace_json(
+    const std::vector<Exemplar>& exemplars);
+
+/// Timestamp on the same process-lifetime clock exemplars use [µs].
+[[nodiscard]] double exemplar_now_us() noexcept;
 
 }  // namespace oftec::obs

@@ -5,8 +5,10 @@
 // be invisible to the caller modulo a re-bind, with bit-identical results.
 #include "serve/resilient_client.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,6 +17,8 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/fault.h"
+#include "util/json.h"
+#include "util/obs.h"
 
 namespace oftec::serve {
 namespace {
@@ -23,13 +27,20 @@ using namespace std::chrono_literals;
 
 class ChaosServeTest : public ::testing::Test {
  protected:
-  void SetUp() override {
+  void SetUp() override { quiesce(); }
+  void TearDown() override { quiesce(); }
+  /// Faults disarmed AND observability back to its dark defaults: the
+  /// exemplar-ring tests below reconfigure process-global obs state, and an
+  /// ASSERT early-return must not leak that into the next suite.
+  static void quiesce() {
     fault::disarm_all();
     fault::reset_counters();
-  }
-  void TearDown() override {
-    fault::disarm_all();
-    fault::reset_counters();
+    obs::set_enabled(false);
+    obs::set_slow_request_threshold_us(0);
+    obs::set_trace_sample_every(0);
+    obs::set_exemplar_capacity(64);
+    obs::clear_exemplars();
+    obs::reset();
   }
 };
 
@@ -212,6 +223,119 @@ TEST_F(ChaosServeTest, LoopbackRepliesBitIdenticalUnderSimdBackend) {
   EXPECT_TRUE(client.unbind(chip.session));
   server.stop();
   la::install_backend(std::getenv("OFTEC_LA_BACKEND"));
+}
+
+TEST_F(ChaosServeTest, FailingStatsScrapeNeverPerturbsSolves) {
+  // The observability plane must be strictly read-only with respect to the
+  // solve pipeline: with the stats RPC failing at the acceptance rate, a
+  // scraper hammering kStats concurrently with solves must change nothing —
+  // answers stay bit-identical to the faultless baseline.
+  obs::set_enabled(true);
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  std::vector<SolveReply> baseline;
+  for (int i = 0; i < 6; ++i) {
+    baseline.push_back(
+        client.solve(chip.session, (0.3 + 0.05 * i) * chip.omega_max, 0.0));
+  }
+
+  (void)fault::arm("serve.stats_rpc", 0.1, 41);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::atomic<std::uint64_t> injected{0};
+  std::thread scraper([&] {
+    Client prober = Client::connect(server.port());
+    std::uint64_t cursor = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      StatsParams params;
+      params.view = "delta";
+      params.cursor = cursor;
+      try {
+        const util::json::Value result = prober.stats(params);
+        cursor =
+            static_cast<std::uint64_t>(result.find("cursor")->as_number());
+      } catch (const ProtocolError& e) {
+        // The injected failure is structured and scoped to the scrape.
+        EXPECT_EQ(e.code(), kErrInternal);
+        injected.fetch_add(1, std::memory_order_relaxed);
+      }
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      const SolveReply r =
+          client.solve(chip.session, (0.3 + 0.05 * i) * chip.omega_max, 0.0);
+      EXPECT_EQ(r.runaway, baseline[i].runaway);
+      EXPECT_EQ(r.max_chip_temperature_k, baseline[i].max_chip_temperature_k);
+      EXPECT_EQ(r.leakage_w, baseline[i].leakage_w);
+      EXPECT_EQ(r.tec_w, baseline[i].tec_w);
+      EXPECT_EQ(r.fan_w, baseline[i].fan_w);
+    }
+  }
+  stop.store(true);
+  scraper.join();
+  EXPECT_GT(scrapes.load(), 0u);
+  fault::disarm_all();
+
+  // The scrape path itself recovers once the fault clears.
+  Client prober = Client::connect(server.port());
+  EXPECT_NE(prober.stats(StatsParams{}).find("cursor"), nullptr);
+  obs::set_enabled(false);
+  obs::reset();
+  server.stop();
+}
+
+TEST_F(ChaosServeTest, FullExemplarRingDropsOldestAndNeverBlocksSolves) {
+  // A tiny ring under every-request capture overflows immediately; the
+  // contract is drop-oldest (freshest evidence kept), zero blocking, and
+  // the armed obs.exemplar_ring fault degrades capture — never the request.
+  obs::set_enabled(true);
+  obs::set_exemplar_capacity(4);
+  obs::set_slow_request_threshold_us(1);
+  Server server;
+  server.start();
+  Client client = Client::connect(server.port());
+  const BindReply chip = client.bind(susan_bind());
+
+  for (int i = 0; i < 12; ++i) {
+    client.set_next_trace_id("flood-" + std::to_string(i));
+    (void)client.solve(chip.session,
+                       (0.30 + 0.02 * i) * chip.omega_max, 0.0);
+  }
+  obs::ExemplarRingStats rs = obs::exemplar_ring_stats();
+  EXPECT_GE(rs.captured, 12u);  // every solve qualified (plus the bind)
+  EXPECT_EQ(rs.capacity, 4u);
+  const std::vector<obs::Exemplar> kept = obs::exemplars();
+  ASSERT_EQ(kept.size(), 4u);
+  // Drop-oldest: the survivors are the freshest captures, oldest first.
+  EXPECT_EQ(kept.back().trace_id, "flood-11");
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_GT(kept[i].seq, kept[i - 1].seq);
+  }
+
+  // With the ring fault armed at full rate every capture is dropped, and
+  // requests keep completing with correct answers.
+  (void)fault::arm("obs.exemplar_ring", 1.0, 42);
+  const std::uint64_t dropped_before = obs::exemplar_ring_stats().dropped;
+  const SolveReply a =
+      client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  const SolveReply b =
+      client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_EQ(a.max_chip_temperature_k, b.max_chip_temperature_k);
+  EXPECT_GT(obs::exemplar_ring_stats().dropped, dropped_before);
+  fault::disarm_all();
+
+  obs::set_slow_request_threshold_us(0);
+  obs::set_exemplar_capacity(64);
+  obs::clear_exemplars();
+  obs::set_enabled(false);
+  obs::reset();
+  server.stop();
 }
 
 TEST_F(ChaosServeTest, SlowAndFailingWriterStillDrainsOnStop) {

@@ -8,6 +8,9 @@
 #include <limits>
 #include <string>
 #include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "serve/wire.h"
@@ -61,26 +64,39 @@ TEST(ServeProtocol, BindRequestRoundTrip) {
   EXPECT_EQ(p.lut_training[1], "susan");
 }
 
+/// The Request envelope grew optional trace-context members, so positional
+/// aggregates stopped being readable — build by field instead.
+template <typename Params>
+Request make_request(std::uint64_t id, RequestType type, Params&& params) {
+  Request req;
+  req.id = id;
+  req.type = type;
+  req.params = std::forward<Params>(params);
+  return req;
+}
+
 TEST(ServeProtocol, AllRequestTypesSurviveEncodeDecode) {
   std::vector<Request> requests;
-  requests.push_back({1, RequestType::kPing, 0.0, {}});
-  Request bind{2, RequestType::kBind, 0.0, {}};
+  requests.push_back(make_request(1, RequestType::kPing, std::monostate{}));
   BindParams bp;
   bp.power_w = {1.0, 2.0, 3.0};
-  bind.params = bp;
-  requests.push_back(bind);
-  requests.push_back({3, RequestType::kUnbind, 0.0, SessionParams{5}});
-  requests.push_back({4, RequestType::kSolve, 0.0, SolveParams{5, 100.0, 1.0}});
+  requests.push_back(make_request(2, RequestType::kBind, bp));
+  requests.push_back(make_request(3, RequestType::kUnbind, SessionParams{5}));
   requests.push_back(
-      {5, RequestType::kControl, 0.0, ControlParams{5, "min_temperature"}});
-  requests.push_back({6, RequestType::kLut, 0.0, LutParams{5, {1.0, 2.0}}});
+      make_request(4, RequestType::kSolve, SolveParams{5, 100.0, 1.0}));
+  requests.push_back(make_request(5, RequestType::kControl,
+                                  ControlParams{5, "min_temperature"}));
+  requests.push_back(
+      make_request(6, RequestType::kLut, LutParams{5, {1.0, 2.0}}));
   TransientParams tp;
   tp.session = 5;
   tp.omega = 200.0;
   tp.duration_s = 0.1;
-  requests.push_back({7, RequestType::kTransient, 0.0, tp});
-  requests.push_back({8, RequestType::kStats, 0.0, SessionParams{0}});
-  requests.push_back({9, RequestType::kSleep, 0.0, SleepParams{15.0}});
+  requests.push_back(make_request(7, RequestType::kTransient, tp));
+  requests.push_back(make_request(8, RequestType::kStats, StatsParams{}));
+  requests.push_back(make_request(9, RequestType::kSleep, SleepParams{15.0}));
+  requests.push_back(make_request(10, RequestType::kHealth, std::monostate{}));
+  requests.push_back(make_request(11, RequestType::kTrace, TraceParams{}));
 
   for (const Request& req : requests) {
     const Request back = decode_request(encode_request(req), kMax);
@@ -202,6 +218,158 @@ TEST(ServeProtocol, DecodeErrorCarriesRequestId) {
   } catch (const ProtocolError& e) {
     EXPECT_EQ(e.id(), 0u);  // id never decoded
   }
+}
+
+// --- trace context & timing (PR 7) -----------------------------------------
+
+TEST(ServeProtocol, TraceContextRoundTripsOnRequests) {
+  Request req;
+  req.id = 12;
+  req.type = RequestType::kSolve;
+  req.trace_id = "client-abc-42";
+  req.parent_span = "span-7";
+  req.params = SolveParams{3, 100.0, 0.5};
+
+  const Request back = decode_request(encode_request(req), kMax);
+  EXPECT_EQ(back.trace_id, "client-abc-42");
+  EXPECT_EQ(back.parent_span, "span-7");
+}
+
+TEST(ServeProtocol, EmptyTraceContextIsOmittedFromTheWire) {
+  Request req;
+  req.id = 1;
+  req.type = RequestType::kPing;
+  const std::string wire = encode_request(req);
+  // Backward compatibility is symmetric: we only *emit* the new envelope
+  // keys when they carry something, so an old peer never sees them.
+  EXPECT_EQ(wire.find("trace_id"), std::string::npos);
+  EXPECT_EQ(wire.find("parent_span"), std::string::npos);
+
+  Response resp = make_ok_response(1, util::json::Value::object());
+  const std::string resp_wire = encode_response(resp);
+  EXPECT_EQ(resp_wire.find("trace_id"), std::string::npos);
+  EXPECT_EQ(resp_wire.find("timing"), std::string::npos);
+}
+
+TEST(ServeProtocol, V1PeerWithoutTraceFieldsStillDecodes) {
+  // A pre-trace-context peer sends the bare v1 envelope; both directions
+  // must parse, with the new fields reading as absent.
+  const Request req =
+      decode_request(R"({"v":1,"id":3,"type":"ping"})", kMax);
+  EXPECT_TRUE(req.trace_id.empty());
+  EXPECT_TRUE(req.parent_span.empty());
+
+  const Response resp = decode_response(
+      R"({"v":1,"id":3,"ok":true,"result":{}})", kMax);
+  EXPECT_TRUE(resp.trace_id.empty());
+  EXPECT_FALSE(timing_of(resp).present);
+}
+
+TEST(ServeProtocol, OversizedTraceContextIsRejected) {
+  const std::string big(129, 'x');
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"ping","trace_id":")" + big + R"("})",
+      kErrBadRequest);
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"ping","parent_span":")" + big + R"("})",
+      kErrBadRequest);
+  // Exactly 128 bytes is legal.
+  const std::string ok(128, 'y');
+  const Request req = decode_request(
+      R"({"v":1,"id":1,"type":"ping","trace_id":")" + ok + R"("})", kMax);
+  EXPECT_EQ(req.trace_id, ok);
+}
+
+TEST(ServeProtocol, ResponseTimingBlockRoundTrips) {
+  TimingInfo t;
+  t.decode_us = 12.5;
+  t.queue_us = 100.25;
+  t.batch_us = 3.0;
+  t.solve_us = 850.75;
+  t.total_us = 1000.5;
+  Response resp = make_ok_response(5, util::json::Value::object());
+  resp.trace_id = "rt-1";
+  resp.timing = timing_json(t);
+
+  const Response back = decode_response(encode_response(resp), kMax);
+  EXPECT_EQ(back.trace_id, "rt-1");
+  const TimingInfo tb = timing_of(back);
+  ASSERT_TRUE(tb.present);
+  EXPECT_DOUBLE_EQ(tb.decode_us, 12.5);
+  EXPECT_DOUBLE_EQ(tb.queue_us, 100.25);
+  EXPECT_DOUBLE_EQ(tb.batch_us, 3.0);
+  EXPECT_DOUBLE_EQ(tb.solve_us, 850.75);
+  EXPECT_DOUBLE_EQ(tb.total_us, 1000.5);
+}
+
+TEST(ServeProtocol, TimingBlockIsAdvisoryNeverAProtocolError) {
+  // A garbage timing member must not break response decoding: non-objects
+  // are ignored at decode time, and malformed members inside an object
+  // read as absent via timing_of.
+  const Response non_object = decode_response(
+      R"({"v":1,"id":1,"ok":true,"result":{},"timing":"oops"})", kMax);
+  EXPECT_FALSE(timing_of(non_object).present);
+
+  const Response bad_member = decode_response(
+      R"({"v":1,"id":1,"ok":true,"result":{},"timing":{"total_us":"x"}})",
+      kMax);
+  EXPECT_FALSE(timing_of(bad_member).present);
+}
+
+TEST(ServeProtocol, StatsParamsRoundTripAndDefaults) {
+  // Defaults encode to an empty params object — indistinguishable from a
+  // pre-trace-context stats request on the wire.
+  Request req = make_request(1, RequestType::kStats, StatsParams{});
+  Request back = decode_request(encode_request(req), kMax);
+  {
+    const auto& p = std::get<StatsParams>(back.params);
+    EXPECT_EQ(p.session, 0u);
+    EXPECT_EQ(p.view, "snapshot");
+    EXPECT_EQ(p.cursor, 0u);
+    EXPECT_EQ(p.format, "json");
+  }
+
+  StatsParams full;
+  full.session = 9;
+  full.view = "delta";
+  full.cursor = 17;
+  full.format = "prometheus";
+  req.params = full;
+  back = decode_request(encode_request(req), kMax);
+  {
+    const auto& p = std::get<StatsParams>(back.params);
+    EXPECT_EQ(p.session, 9u);
+    EXPECT_EQ(p.view, "delta");
+    EXPECT_EQ(p.cursor, 17u);
+    EXPECT_EQ(p.format, "prometheus");
+  }
+
+  // The legacy shape (bare {"session":n}) still decodes as StatsParams.
+  const Request legacy = decode_request(
+      R"({"v":1,"id":2,"type":"stats","params":{"session":4}})", kMax);
+  EXPECT_EQ(std::get<StatsParams>(legacy.params).session, 4u);
+
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"stats","params":{"view":"sideways"}})",
+      kErrBadRequest);
+  expect_decode_error(
+      R"({"v":1,"id":1,"type":"stats","params":{"format":"xml"}})",
+      kErrBadRequest);
+}
+
+TEST(ServeProtocol, TraceParamsRoundTrip) {
+  TraceParams params;
+  params.trace_id = "hunt-me";
+  params.limit = 12;
+  const Request req = make_request(1, RequestType::kTrace, params);
+  const Request back = decode_request(encode_request(req), kMax);
+  const auto& p = std::get<TraceParams>(back.params);
+  EXPECT_EQ(p.trace_id, "hunt-me");
+  EXPECT_EQ(p.limit, 12u);
+
+  expect_decode_error(R"({"v":1,"id":1,"type":"trace","params":{"trace_id":")" +
+                          std::string(129, 'z') + R"("}})",
+                      kErrBadRequest);
 }
 
 // --- framing over a real loopback connection -------------------------------

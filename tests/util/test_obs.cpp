@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/fault.h"
 #include "util/json.h"
 
 namespace {
@@ -320,6 +323,192 @@ TEST_F(ObsTest, HistogramRegistrationValidatesBounds) {
                std::invalid_argument);
 }
 
+// --- quantile estimation ---------------------------------------------------
+
+TEST_F(ObsTest, QuantileOfEmptyHistogramIsNaN) {
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {0, 0, 0};
+  h.count = 0;
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  HistogramSnapshot empty;  // no buckets at all
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+}
+
+TEST_F(ObsTest, QuantileInterpolatesWithinASingleBucket) {
+  HistogramSnapshot h;
+  h.bounds = {10.0};
+  h.counts = {4, 0};
+  h.count = 4;
+  // The first bucket interpolates down to min(0, bound).
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  // p outside [0, 1] clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), 10.0);
+}
+
+TEST_F(ObsTest, QuantileSpansMultipleBuckets) {
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {2, 2, 0, 0};
+  h.count = 4;
+  // Median sits exactly on the edge of the first bucket...
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // ...and p75 is three quarters of the way up: halfway into bucket 2.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 1.5);
+}
+
+TEST_F(ObsTest, QuantileInOverflowBucketClampsToHighestBound) {
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {0, 0, 5};
+  h.count = 5;
+  // No upper edge to interpolate toward: clamp, don't invent.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+// --- snapshot sequencing, reset epochs, deltas -----------------------------
+
+TEST_F(ObsTest, SnapshotSequenceIsMonotonicAndEpochBumpsOnReset) {
+  const Snapshot s1 = snapshot();
+  const Snapshot s2 = snapshot();
+  EXPECT_GT(s2.sequence, s1.sequence);
+  EXPECT_EQ(s2.epoch, s1.epoch);
+
+  reset();
+  const Snapshot s3 = snapshot();
+  EXPECT_GT(s3.epoch, s2.epoch);
+  // The sequence is process-lifetime: reset() must NOT restart it, or
+  // scrapers lose their total order on snapshots.
+  EXPECT_GT(s3.sequence, s2.sequence);
+}
+
+TEST_F(ObsTest, DeltaSubtractsCountersAndHistograms) {
+  const Counter c = counter("test.obs.delta_ctr");
+  const Histogram h = histogram("test.obs.delta_hist", {1.0, 2.0});
+  set_enabled(true);
+  c.add(5);
+  h.observe(0.5);
+  const Snapshot from = snapshot();
+  c.add(3);
+  h.observe(1.5);
+  h.observe(100.0);
+  const Snapshot to = snapshot();
+
+  const Snapshot d = delta(from, to);
+  EXPECT_EQ(d.counters.at("test.obs.delta_ctr"), 3u);
+  const HistogramSnapshot& dh = d.histograms.at("test.obs.delta_hist");
+  EXPECT_EQ(dh.counts[0], 0u);
+  EXPECT_EQ(dh.counts[1], 1u);
+  EXPECT_EQ(dh.counts[2], 1u);
+  EXPECT_EQ(dh.count, 2u);
+  EXPECT_DOUBLE_EQ(dh.sum, 101.5);
+}
+
+TEST_F(ObsTest, DeltaSaturatesInsteadOfUnderflowing) {
+  // A hand-built regression (to < from) must clamp to zero, never wrap to
+  // ~1.8e19 — this is what makes a scrape racing updates safe to render.
+  Snapshot from;
+  from.epoch = 1;
+  from.counters["c"] = 10;
+  Snapshot to;
+  to.epoch = 1;
+  to.counters["c"] = 3;
+  EXPECT_EQ(delta(from, to).counters.at("c"), 0u);
+}
+
+TEST_F(ObsTest, DeltaAcrossResetIsTheNewSnapshotItself) {
+  const Counter c = counter("test.obs.delta_reset");
+  set_enabled(true);
+  c.add(5);
+  const Snapshot from = snapshot();
+  reset();
+  c.add(2);
+  const Snapshot to = snapshot();
+  ASSERT_NE(from.epoch, to.epoch);
+  // Everything in `to` accumulated after the reset, so it IS the delta.
+  EXPECT_EQ(delta(from, to).counters.at("test.obs.delta_reset"), 2u);
+}
+
+TEST_F(ObsTest, DeltaIsImmuneToResetRacingTheScrape) {
+  // One thread hammers the counter and resets at arbitrary points; the
+  // scraping thread computes deltas between snapshot pairs. The contract:
+  // no delta may ever exceed what was added between the two snapshots
+  // (i.e. no underflow artifacts), regardless of interleaving.
+  const Counter c = counter("test.obs.race_ctr");
+  set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.add();
+      if (++i % 1000 == 0) reset();
+    }
+  });
+  for (int k = 0; k < 200; ++k) {
+    const Snapshot from = snapshot();
+    const Snapshot to = snapshot();
+    EXPECT_GT(to.sequence, from.sequence);
+    const Snapshot d = delta(from, to);
+    const auto it = d.counters.find("test.obs.race_ctr");
+    if (it != d.counters.end()) {
+      // Far below any underflow wraparound; generous for scheduler stalls.
+      EXPECT_LT(it->second, 100000000u);
+    }
+  }
+  stop.store(true);
+  churner.join();
+}
+
+TEST_F(ObsTest, SnapshotJsonCarriesTheStatsRpcShape) {
+  const Counter c = counter("test.obs.json_ctr");
+  set_enabled(true);
+  c.add(2);
+  const util::json::Value doc = snapshot_json(snapshot());
+  ASSERT_TRUE(doc.is_object());
+  for (const char* key :
+       {"epoch", "sequence", "counters", "gauges", "histograms"}) {
+    EXPECT_NE(doc.find(key), nullptr) << "missing member " << key;
+  }
+  EXPECT_DOUBLE_EQ(doc.find("counters")->find("test.obs.json_ctr")->as_number(),
+                   2.0);
+}
+
+TEST_F(ObsTest, PrometheusExpositionIsWellFormed) {
+  const Counter c = counter("test.obs.prom_ctr");
+  const Histogram h = histogram("test.obs.prom_hist", {1.0, 2.0});
+  set_enabled(true);
+  c.add(7);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  const std::string text = prometheus_text(snapshot());
+  // Dotted names become underscored families; counters gain _total.
+  EXPECT_NE(text.find("# TYPE test_obs_prom_ctr_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_ctr_total 7"), std::string::npos);
+  // Histograms render cumulative buckets with the +Inf catch-all...
+  EXPECT_NE(text.find("# TYPE test_obs_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_hist_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_hist_sum"), std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_hist_count 3"), std::string::npos);
+  // ...plus the companion quantile gauges (only for non-empty histograms).
+  EXPECT_NE(text.find("test_obs_prom_hist_quantile{q=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_hist_quantile{q=\"0.99\"}"),
+            std::string::npos);
+}
+
 TEST_F(ObsTest, DisabledModeRecordsNothing) {
   const Counter c = counter("test.obs.dark");
   set_enabled(false);
@@ -332,6 +521,147 @@ TEST_F(ObsTest, DisabledModeRecordsNothing) {
   for (const SpanStats& s : snap.spans) {
     EXPECT_NE(s.name, "test.obs.dark_span");
   }
+}
+
+// --- slow-request exemplar ring --------------------------------------------
+
+/// Exemplar state is process-global like the metrics registry; start and end
+/// every test with the knobs off and the ring empty at default capacity.
+class ExemplarTest : public ObsTest {
+ protected:
+  void SetUp() override {
+    ObsTest::SetUp();
+    reset_exemplars();
+  }
+  void TearDown() override {
+    reset_exemplars();
+    ObsTest::TearDown();
+  }
+  static void reset_exemplars() {
+    fault::disarm_all();
+    set_slow_request_threshold_us(0);
+    set_trace_sample_every(0);
+    set_exemplar_capacity(64);
+    clear_exemplars();
+  }
+  static Exemplar make(const std::string& trace_id, double total_us) {
+    Exemplar e;
+    e.trace_id = trace_id;
+    e.name = "solve";
+    e.start_us = exemplar_now_us();
+    e.total_us = total_us;
+    e.stages = {{"queue", 0.0, total_us / 2}, {"solve", total_us / 2,
+                                               total_us / 2}};
+    return e;
+  }
+};
+
+TEST_F(ExemplarTest, RingDropsOldestAtCapacity) {
+  set_exemplar_capacity(4);
+  std::vector<std::uint64_t> seqs;
+  for (int i = 0; i < 10; ++i) {
+    seqs.push_back(record_exemplar(make("t" + std::to_string(i), 100.0)));
+    EXPECT_NE(seqs.back(), 0u);
+  }
+  const std::vector<Exemplar> kept = exemplars();
+  ASSERT_EQ(kept.size(), 4u);
+  // Oldest-first iteration over the 4 freshest captures.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].seq, seqs[6 + i]);
+    EXPECT_EQ(kept[i].trace_id, "t" + std::to_string(6 + i));
+  }
+  const ExemplarRingStats rs = exemplar_ring_stats();
+  EXPECT_EQ(rs.captured, 10u);
+  EXPECT_EQ(rs.dropped, 0u);
+  EXPECT_EQ(rs.capacity, 4u);
+}
+
+TEST_F(ExemplarTest, ArmedFaultSiteDropsInsteadOfRecording) {
+  (void)fault::arm("obs.exemplar_ring", 1.0, 7);
+  EXPECT_EQ(record_exemplar(make("doomed", 50.0)), 0u);
+  fault::disarm_all();
+  EXPECT_NE(record_exemplar(make("fine", 50.0)), 0u);
+
+  const ExemplarRingStats rs = exemplar_ring_stats();
+  EXPECT_EQ(rs.captured, 1u);
+  EXPECT_EQ(rs.dropped, 1u);
+  ASSERT_EQ(exemplars().size(), 1u);
+  EXPECT_EQ(exemplars()[0].trace_id, "fine");
+}
+
+TEST_F(ExemplarTest, CapturePolicyIsSlowThresholdOrDeterministicSample) {
+  EXPECT_FALSE(exemplars_active());
+  EXPECT_FALSE(should_capture_exemplar(1e9));  // both knobs off
+
+  set_slow_request_threshold_us(100);
+  EXPECT_TRUE(exemplars_active());
+  EXPECT_TRUE(should_capture_exemplar(100.0));   // at threshold
+  EXPECT_TRUE(should_capture_exemplar(5000.0));  // above
+  EXPECT_FALSE(should_capture_exemplar(99.0));   // below, no sampler
+
+  // 1-in-3 sampling fires on a fixed stride of the fast requests.
+  set_slow_request_threshold_us(0);
+  set_trace_sample_every(3);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) fired += should_capture_exemplar(1.0) ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(ExemplarTest, TraceJsonIsValidChromeTraceEvents) {
+  Exemplar e = make("chrome-1", 240.0);
+  e.seq = record_exemplar(e);
+  ASSERT_NE(e.seq, 0u);
+
+  const util::json::Value doc = exemplar_trace_json(exemplars());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const util::json::Value* events = doc.find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  std::size_t slices = 0;
+  bool saw_metadata = false;
+  bool saw_stage = false;
+  for (const util::json::Value& ev : events->as_array()) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string ph = ev.find("ph")->as_string();
+    if (ph == "M") saw_metadata = true;
+    if (ph != "X") continue;
+    ++slices;
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("dur"), nullptr);
+    ASSERT_NE(ev.find("pid"), nullptr);
+    ASSERT_NE(ev.find("tid"), nullptr);
+    saw_stage |= ev.find("name")->as_string() == "queue";
+  }
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_TRUE(saw_stage);
+  EXPECT_GE(slices, 3u);  // root + two stages
+}
+
+TEST_F(ExemplarTest, RecordingNeverBlocksUnderContention) {
+  // Writers racing the ring must always terminate promptly: any record may
+  // be dropped on try-lock contention, but none may block. The sum of
+  // captured and dropped accounts for every attempt.
+  set_exemplar_capacity(8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Exemplar e;
+        e.trace_id = "w" + std::to_string(t);
+        e.name = "solve";
+        e.total_us = 10.0;
+        (void)record_exemplar(std::move(e));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const ExemplarRingStats rs = exemplar_ring_stats();
+  EXPECT_EQ(rs.captured + rs.dropped,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(exemplars().size(), 8u);
 }
 
 }  // namespace

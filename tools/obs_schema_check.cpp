@@ -1,6 +1,6 @@
 // Validates oftec observability artifacts in CI (tools/run_obs_smoke.cmake).
 //
-// Two modes:
+// Three modes:
 //   obs_schema_check <schema.json> <report.json>
 //     Validate a metrics report against a subset-JSON-Schema document
 //     (supported keywords: type, required, properties, items, minItems).
@@ -8,11 +8,19 @@
 //     Structural check of a Chrome trace_event file: top-level object with a
 //     "traceEvents" array whose entries carry name/ph/pid/tid (and ts/dur for
 //     complete "X" events) — the shape chrome://tracing and Perfetto load.
+//   obs_schema_check --prom <exposition.txt>
+//     Structural check of a Prometheus text exposition (version 0.0.4): legal
+//     metric names, parsable sample values, every sample covered by a # TYPE
+//     declaration, and for each histogram family the le="+Inf" bucket,
+//     _sum, and _count series with bucket counts cumulative.
 //
 // Exit code 0 = valid; 1 = violations (printed to stderr); 2 = usage/IO.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -144,6 +152,145 @@ void validate_trace(const Value& root) {
   }
 }
 
+// --- Prometheus text exposition --------------------------------------------
+
+[[nodiscard]] bool legal_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool parse_sample_value(const std::string& text, double& out) {
+  if (text == "NaN" || text == "+Inf" || text == "-Inf") {
+    out = 0.0;  // representable specials; magnitude is irrelevant here
+    return true;
+  }
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+/// Structural validation of a text exposition; appends to g_errors.
+void validate_prometheus(const std::string& text) {
+  std::map<std::string, std::string> declared;  // family -> type
+  // Histogram bookkeeping: last cumulative bucket value, and which of the
+  // mandatory companion series each family has produced.
+  std::map<std::string, double> last_bucket;
+  std::set<std::string> saw_inf_bucket, saw_sum, saw_count;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool any_sample = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = "line " + std::to_string(lineno);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, keyword, family, type;
+      ls >> hash >> keyword >> family >> type;
+      if (keyword == "TYPE") {
+        if (!legal_metric_name(family) || type.empty()) {
+          report(where, "malformed TYPE declaration: " + line);
+        } else if (declared.count(family) != 0) {
+          report(where, "duplicate TYPE declaration for " + family);
+        } else {
+          declared[family] = type;
+        }
+      }
+      continue;  // other comments are free-form
+    }
+
+    // Sample line: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    std::string name;
+    std::string rest;
+    if (brace != std::string::npos && (space == std::string::npos ||
+                                       brace < space)) {
+      name = line.substr(0, brace);
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        report(where, "unterminated label set: " + line);
+        continue;
+      }
+      rest = line.substr(close + 1);
+    } else if (space != std::string::npos) {
+      name = line.substr(0, space);
+      rest = line.substr(space);
+    } else {
+      report(where, "sample without a value: " + line);
+      continue;
+    }
+    if (!legal_metric_name(name)) {
+      report(where, "illegal metric name \"" + name + "\"");
+      continue;
+    }
+    while (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+    double value = 0.0;
+    if (!parse_sample_value(rest, value)) {
+      report(where, "unparsable sample value \"" + rest + "\"");
+      continue;
+    }
+    any_sample = true;
+
+    // Resolve the family: histogram series carry a suffix.
+    std::string family = name;
+    bool is_bucket = false;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string stem = name.substr(0, name.size() - s.size());
+        if (declared.count(stem) != 0 && declared[stem] == "histogram") {
+          family = stem;
+          is_bucket = s == "_bucket";
+          if (s == "_sum") saw_sum.insert(stem);
+          if (s == "_count") saw_count.insert(stem);
+        }
+        break;
+      }
+    }
+    if (declared.count(family) == 0) {
+      report(where, "sample \"" + name + "\" has no TYPE declaration");
+      continue;
+    }
+    if (is_bucket) {
+      // Cumulative within the family: counts may never decrease, and the
+      // exposition must close with the le="+Inf" catch-all.
+      const auto it = last_bucket.find(family);
+      if (it != last_bucket.end() && value < it->second) {
+        report(where, "bucket counts for " + family + " are not cumulative");
+      }
+      last_bucket[family] = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf_bucket.insert(family);
+      }
+    }
+  }
+
+  if (!any_sample) report("$", "exposition contains no samples");
+  for (const auto& [family, type] : declared) {
+    if (type != "histogram") continue;
+    if (saw_inf_bucket.count(family) == 0) {
+      report("$", "histogram " + family + " lacks an le=\"+Inf\" bucket");
+    }
+    if (saw_sum.count(family) == 0) {
+      report("$", "histogram " + family + " lacks a _sum series");
+    }
+    if (saw_count.count(family) == 0) {
+      report("$", "histogram " + family + " lacks a _count series");
+    }
+  }
+}
+
 [[nodiscard]] bool read_file(const char* path, std::string& out) {
   std::ifstream in(path);
   if (!in) return false;
@@ -175,6 +322,13 @@ int main(int argc, char** argv) {
     Value trace;
     if (!parse_file(argv[2], trace)) return 2;
     validate_trace(trace);
+  } else if (argc == 3 && std::strcmp(argv[1], "--prom") == 0) {
+    std::string text;
+    if (!read_file(argv[2], text)) {
+      std::fprintf(stderr, "obs_schema_check: cannot read %s\n", argv[2]);
+      return 2;
+    }
+    validate_prometheus(text);
   } else if (argc == 3) {
     Value schema, document;
     if (!parse_file(argv[1], schema) || !parse_file(argv[2], document)) {
@@ -184,7 +338,8 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "usage: obs_schema_check <schema.json> <document.json>\n"
-                 "       obs_schema_check --trace <trace.json>\n");
+                 "       obs_schema_check --trace <trace.json>\n"
+                 "       obs_schema_check --prom <exposition.txt>\n");
     return 2;
   }
 

@@ -12,12 +12,23 @@
 //   oftec_client lut    --port N --session S --power "w0,w1,..."
 //   oftec_client transient --port N --session S --omega W --current I
 //                       --duration T [--step DT] [--reset]
-//   oftec_client stats  --port N [--session S]
+//   oftec_client stats  --port N [--session S] [--view snapshot|delta]
+//                       [--cursor C] [--prom]
+//   oftec_client top    --port N [--session S] [--interval-ms N] [--count N]
+//   oftec_client trace  --port N [--id TRACE_ID] [--limit N] [--out FILE]
+//
+// `top` renders a live refreshing stats view (server counters plus stage
+// latency quantiles computed from the obs histograms) using delta scrapes,
+// so the numbers are per-interval rates. `trace` dumps the server's
+// slow-request exemplar ring as Chrome trace_event JSON (load the file in
+// chrome://tracing or Perfetto).
 //
 // Every RPC command also accepts resilience flags:
 //   --retries N      total attempts per RPC (default 1 = no retry)
 //   --backoff-ms X   initial retry backoff, doubling per attempt (default 5)
 //   --timeout-ms X   per-receive timeout; 0 = block forever (default 0)
+//   --trace-id X     trace id attached to the RPC (echoed by the server)
+//   --timing         print the server's per-stage timing block to stderr
 //
 // `serve` runs a daemon on the loopback interface until SIGINT/SIGTERM;
 // every other command connects, performs one RPC, prints the reply, and
@@ -39,9 +50,12 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "serve/client.h"
 #include "serve/resilient_client.h"
 #include "serve/server.h"
+#include "util/obs.h"
 #include "util/strings.h"
 #include "util/units.h"
 
@@ -56,7 +70,7 @@ void on_signal(int) { g_stop.store(true); }
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: oftec_client <serve|ping|bind|unbind|solve|control|"
-               "lut|transient|stats> [--flag value ...]\n"
+               "lut|transient|stats|top|trace> [--flag value ...]\n"
                "see the header of tools/oftec_client.cpp for details\n");
   std::exit(2);
 }
@@ -126,7 +140,28 @@ serve::ResilientClient connect_from(
   opts.retry.initial_backoff_ms = num_flag(flags, "backoff-ms", 5.0);
   opts.client.recv_timeout_ms =
       static_cast<long>(num_flag(flags, "timeout-ms", 0.0));
-  return serve::ResilientClient(static_cast<std::uint16_t>(port), opts);
+  serve::ResilientClient client(static_cast<std::uint16_t>(port), opts);
+  if (has_flag(flags, "trace-id")) {
+    client.set_next_trace_id(flags.at("trace-id"));
+  }
+  return client;
+}
+
+/// --timing: print the server's stage breakdown for the RPC that just ran.
+void report_timing(const serve::ResilientClient& client,
+                   const std::map<std::string, std::string>& flags) {
+  if (!has_flag(flags, "timing")) return;
+  const serve::TimingInfo& t = client.last_timing();
+  if (!t.present) {
+    std::fprintf(stderr, "timing: (server sent no timing block)\n");
+    return;
+  }
+  std::fprintf(stderr,
+               "timing: total=%.1f us (decode=%.1f queue=%.1f batch=%.1f "
+               "solve=%.1f)%s%s\n",
+               t.total_us, t.decode_us, t.queue_us, t.batch_us, t.solve_us,
+               client.last_trace_id().empty() ? "" : "  trace_id=",
+               client.last_trace_id().c_str());
 }
 
 int cmd_serve(const std::map<std::string, std::string>& flags) {
@@ -228,6 +263,7 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
                 r.leakage_w, r.tec_w, r.fan_w,
                 static_cast<unsigned long long>(r.iterations));
   }
+  report_timing(client, flags);
   return 0;
 }
 
@@ -244,6 +280,7 @@ int cmd_control(const std::map<std::string, std::string>& flags) {
               units::kelvin_to_celsius(r.max_chip_temperature_k),
               r.leakage_w + r.tec_w + r.fan_w, r.runtime_ms,
               static_cast<unsigned long long>(r.thermal_solves));
+  report_timing(client, flags);
   return 0;
 }
 
@@ -286,9 +323,158 @@ int cmd_transient(const std::map<std::string, std::string>& flags) {
 
 int cmd_stats(const std::map<std::string, std::string>& flags) {
   serve::ResilientClient client = connect_from(flags);
+  serve::StatsParams params;
+  params.session =
+      static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
+  params.view = flag_or(flags, "view", "snapshot");
+  params.cursor = static_cast<std::uint64_t>(num_flag(flags, "cursor", 0.0));
+  if (has_flag(flags, "prom")) params.format = "prometheus";
+  const util::json::Value r = client.raw_stats(params);
+  if (params.format == "prometheus") {
+    const util::json::Value* text = r.find("text");
+    std::printf("%s", text != nullptr && text->is_string()
+                          ? text->as_string().c_str()
+                          : "");
+  } else {
+    std::printf("%s\n", r.dump().c_str());
+  }
+  return 0;
+}
+
+// --- top: live refreshing stats view ---------------------------------------
+
+/// Rebuild an obs::HistogramSnapshot from a stats response's obs block so
+/// the client can reuse HistogramSnapshot::quantile.
+obs::HistogramSnapshot histogram_from_json(const util::json::Value& entry) {
+  obs::HistogramSnapshot h;
+  if (const util::json::Value* bounds = entry.find("bounds");
+      bounds != nullptr && bounds->is_array()) {
+    for (const util::json::Value& b : bounds->as_array()) {
+      if (b.is_number()) h.bounds.push_back(b.as_number());
+    }
+  }
+  if (const util::json::Value* counts = entry.find("counts");
+      counts != nullptr && counts->is_array()) {
+    for (const util::json::Value& c : counts->as_array()) {
+      if (c.is_number()) {
+        h.counts.push_back(static_cast<std::uint64_t>(c.as_number()));
+      }
+    }
+  }
+  if (const util::json::Value* count = entry.find("count");
+      count != nullptr && count->is_number()) {
+    h.count = static_cast<std::uint64_t>(count->as_number());
+  }
+  if (const util::json::Value* sum = entry.find("sum");
+      sum != nullptr && sum->is_number()) {
+    h.sum = sum->as_number();
+  }
+  return h;
+}
+
+double server_counter(const util::json::Value& root, const char* key) {
+  const util::json::Value* server = root.find("server");
+  if (server == nullptr) return 0.0;
+  const util::json::Value* v = server->find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+void render_top(const util::json::Value& r, double interval_s,
+                bool is_delta) {
+  std::printf("\x1b[H\x1b[2J");  // home + clear
+  std::printf("oftec-serve top — %s view, %.1fs interval\n\n",
+              is_delta ? "delta" : "snapshot", interval_s);
+  std::printf("  requests=%.0f  admitted=%.0f  completed=%.0f  shed=%.0f  "
+              "batches=%.0f  queue=%.0f  sessions=%.0f\n",
+              server_counter(r, "requests"), server_counter(r, "admitted"),
+              server_counter(r, "completed"), server_counter(r, "shed"),
+              server_counter(r, "batches"), server_counter(r, "queue_depth"),
+              server_counter(r, "sessions"));
+  if (is_delta && interval_s > 0.0) {
+    std::printf("  rate: %.1f req/s, %.1f completed/s\n",
+                server_counter(r, "requests") / interval_s,
+                server_counter(r, "completed") / interval_s);
+  }
+
+  const util::json::Value* obs_block = r.find("obs");
+  const util::json::Value* hists =
+      obs_block != nullptr ? obs_block->find("histograms") : nullptr;
+  std::printf("\n  %-24s %10s %10s %10s %10s\n", "stage [us]", "count",
+              "p50", "p95", "p99");
+  for (const char* name :
+       {"serve.queue_wait_us", "serve.batch_wait_us", "serve.solve_us",
+        "serve.write_us", "serve.e2e_latency_us"}) {
+    const util::json::Value* entry =
+        hists != nullptr ? hists->find(name) : nullptr;
+    if (entry == nullptr) continue;
+    const obs::HistogramSnapshot h = histogram_from_json(*entry);
+    if (h.count == 0) {
+      std::printf("  %-24s %10s\n", name, "-");
+      continue;
+    }
+    std::printf("  %-24s %10llu %10.1f %10.1f %10.1f\n", name,
+                static_cast<unsigned long long>(h.count), h.quantile(0.5),
+                h.quantile(0.95), h.quantile(0.99));
+  }
+  std::fflush(stdout);
+}
+
+int cmd_top(const std::map<std::string, std::string>& flags) {
+  serve::ResilientClient client = connect_from(flags);
+  const double interval_ms = num_flag(flags, "interval-ms", 1000.0);
+  const int count = static_cast<int>(num_flag(flags, "count", 0.0));
   const auto session =
       static_cast<std::uint64_t>(num_flag(flags, "session", 0.0));
-  std::printf("%s\n", client.raw_stats(session).dump().c_str());
+  std::signal(SIGINT, on_signal);
+
+  std::uint64_t cursor = 0;
+  for (int i = 0; (count == 0 || i < count) && !g_stop.load(); ++i) {
+    serve::StatsParams params;
+    params.session = session;
+    params.view = cursor != 0 ? "delta" : "snapshot";
+    params.cursor = cursor;
+    const util::json::Value r = client.raw_stats(params);
+    if (const util::json::Value* c = r.find("cursor");
+        c != nullptr && c->is_number()) {
+      cursor = static_cast<std::uint64_t>(c->as_number());
+    }
+    const util::json::Value* delta = r.find("delta");
+    render_top(r, interval_ms / 1000.0,
+               delta != nullptr && delta->is_bool() && delta->as_bool());
+    if (count != 0 && i + 1 >= count) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long long>(interval_ms)));
+  }
+  return 0;
+}
+
+int cmd_trace(const std::map<std::string, std::string>& flags) {
+  serve::ResilientClient client = connect_from(flags);
+  serve::TraceParams params;
+  params.trace_id = flag_or(flags, "id", "");
+  params.limit = static_cast<std::uint64_t>(num_flag(flags, "limit", 0.0));
+  const util::json::Value r = client.raw_trace(params);
+
+  const util::json::Value* trace = r.find("trace");
+  if (trace == nullptr) {
+    std::fprintf(stderr, "error: trace response missing \"trace\"\n");
+    return kExitError;
+  }
+  const std::string out = flag_or(flags, "out", "");
+  if (out.empty()) {
+    std::printf("%s\n", trace->dump().c_str());
+  } else {
+    std::ofstream os(out);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return kExitError;
+    }
+    os << trace->dump() << '\n';
+    const util::json::Value* n = r.find("count");
+    std::printf("wrote %s (%.0f exemplars) — open in chrome://tracing\n",
+                out.c_str(),
+                n != nullptr && n->is_number() ? n->as_number() : 0.0);
+  }
   return 0;
 }
 
@@ -310,6 +496,8 @@ int main(int argc, char** argv) {
     if (command == "lut") return cmd_lut(flags);
     if (command == "transient") return cmd_transient(flags);
     if (command == "stats") return cmd_stats(flags);
+    if (command == "top") return cmd_top(flags);
+    if (command == "trace") return cmd_trace(flags);
   } catch (const serve::TransportError& e) {
     std::fprintf(stderr, "error [transport/%s]: %s\n",
                  serve::to_string(e.kind()), e.what());

@@ -1,0 +1,51 @@
+# CI smoke for the serve observability surface (registered as ctest
+# `obs_smoke_serve`, tier1). serve_obs_smoke runs a loopback server, checks
+# the wire-level contract itself (timing on every solve, bit-identical
+# results with observability on/off, kStats snapshot + delta views), and
+# writes two artifacts this script then validates structurally:
+#   - the Prometheus text exposition, via obs_schema_check --prom;
+#   - the kTrace Chrome trace_event dump, via obs_schema_check --trace.
+#
+# Invoked as:
+#   cmake -DSMOKE_BIN=... -DCHECKER=... -DWORK_DIR=...
+#         -P run_serve_obs_smoke.cmake
+foreach(var SMOKE_BIN CHECKER WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_serve_obs_smoke.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(PROM "${WORK_DIR}/serve_stats.prom")
+set(TRACE "${WORK_DIR}/serve_trace.json")
+file(REMOVE "${PROM}" "${TRACE}")
+
+execute_process(
+  COMMAND "${SMOKE_BIN}" "${PROM}" "${TRACE}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve_obs_smoke failed with exit code ${rc}")
+endif()
+
+foreach(artifact "${PROM}" "${TRACE}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "expected artifact was not written: ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CHECKER}" --prom "${PROM}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "Prometheus exposition failed validation: ${PROM}")
+endif()
+
+execute_process(
+  COMMAND "${CHECKER}" --trace "${TRACE}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "kTrace Chrome trace failed validation: ${TRACE}")
+endif()
+
+message(STATUS "serve obs smoke OK: ${PROM} and ${TRACE} validated")
