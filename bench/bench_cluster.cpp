@@ -1,0 +1,213 @@
+// bench_cluster — the sharded serve cluster at scale, gated on bit-identity.
+//
+// A 4-worker loopback cluster carries thousands of concurrent sessions
+// (well past what one worker's session registry would hold) while plain
+// protocol-v1 clients bind, solve, and unbind through the router exactly as
+// they would against a single oftec-serve. The acceptance gate is hard:
+// every solve that completes must be bit-identical to the same (spec, ω, I)
+// solved on a standalone single-node server — the cluster adds routing and
+// supervision, never arithmetic. Any mismatch (or any lost request) makes
+// the binary exit non-zero.
+//
+// Sessions cycle through a few distinct chip specs at small grids, so the
+// run measures routing/sharding overhead rather than thermal-model build
+// time, and per-worker factor caches stay warm the way a long-running
+// service's would.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace oftec;
+
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kThreads = 16;
+constexpr std::size_t kSessionsPerThread = 128;
+constexpr std::size_t kSessions = kThreads * kSessionsPerThread;  // 2048
+constexpr std::size_t kSolvesPerSession = 3;
+
+/// The distinct chip specs sessions cycle through (small grids: the bench
+/// measures the cluster, not the thermal-model builder).
+std::vector<serve::BindParams> spec_set() {
+  std::vector<serve::BindParams> specs;
+  for (const std::size_t grid : {4u, 5u, 6u}) {
+    serve::BindParams p;
+    p.benchmark = "susan";
+    p.grid_nx = grid;
+    p.grid_ny = grid;
+    p.direct_solve = true;
+    specs.push_back(p);
+  }
+  return specs;
+}
+
+struct Expected {
+  double omega_max = 0.0;
+  std::vector<serve::SolveReply> replies;  // one per solve point
+};
+
+double point_omega(const Expected& e, std::size_t i) {
+  return (0.35 + 0.15 * static_cast<double>(i)) * e.omega_max;
+}
+
+bool same_bits(const serve::SolveReply& a, const serve::SolveReply& b) {
+  return a.runaway == b.runaway &&
+         a.max_chip_temperature_k == b.max_chip_temperature_k &&
+         a.leakage_w == b.leakage_w && a.tec_w == b.tec_w &&
+         a.fan_w == b.fan_w;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "cluster",
+      "a 4-worker cluster carries 2048 concurrent sessions bit-identically "
+      "to a single oftec-serve node");
+
+  const std::vector<serve::BindParams> specs = spec_set();
+
+  // Single-node reference: one session per distinct spec, solved directly.
+  std::vector<Expected> expected(specs.size());
+  {
+    serve::Server reference;
+    reference.start();
+    serve::Client client = serve::Client::connect(reference.port());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const serve::BindReply chip = client.bind(specs[s]);
+      expected[s].omega_max = chip.omega_max;
+      for (std::size_t i = 0; i < kSolvesPerSession; ++i) {
+        expected[s].replies.push_back(
+            client.solve(chip.session, point_omega(expected[s], i), 0.2));
+      }
+    }
+    reference.stop();
+  }
+
+  cluster::ClusterOptions opts;
+  opts.supervisor.workers = kWorkers;
+  // 2048 sessions shard to ~512 per worker; leave registry headroom for
+  // imbalance (the ring guarantees ~15 %, not zero).
+  opts.supervisor.worker_server.max_sessions = 1024;
+  cluster::Cluster cluster(opts);
+  cluster.start();
+
+  std::atomic<std::uint64_t> solves_ok{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> errors{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        serve::Client client = serve::Client::connect(cluster.port());
+        // Bind this thread's sessions pipelined: all of them are live on
+        // the cluster at once.
+        std::vector<std::uint64_t> bind_ids;
+        std::vector<std::size_t> session_spec;
+        bind_ids.reserve(kSessionsPerThread);
+        for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+          const std::size_t which = (t * kSessionsPerThread + s) % specs.size();
+          serve::Request bind;
+          bind.type = serve::RequestType::kBind;
+          bind.params = specs[which];
+          bind_ids.push_back(client.send(std::move(bind)));
+          session_spec.push_back(which);
+        }
+        std::vector<std::uint64_t> sessions(kSessionsPerThread, 0);
+        for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+          const serve::Response r = client.recv_for(bind_ids[s]);
+          if (!r.ok) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          sessions[s] = serve::parse_bind_reply(r.result).session;
+        }
+
+        // Solve every session at the reference points, pipelined per
+        // round, and compare bits on collection.
+        for (std::size_t i = 0; i < kSolvesPerSession; ++i) {
+          std::vector<std::uint64_t> ids(kSessionsPerThread, 0);
+          for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+            if (sessions[s] == 0) continue;
+            const Expected& e = expected[session_spec[s]];
+            ids[s] = client.send_solve(sessions[s], point_omega(e, i), 0.2);
+          }
+          for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+            if (ids[s] == 0) continue;
+            const serve::Response r = client.recv_for(ids[s]);
+            if (!r.ok) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            const serve::SolveReply got = serve::parse_solve_reply(r.result);
+            const Expected& e = expected[session_spec[s]];
+            if (same_bits(got, e.replies[i])) {
+              solves_ok.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+
+        for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+          if (sessions[s] != 0) (void)client.unbind(sessions[s]);
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "client thread failed: %s\n", e.what());
+        errors.fetch_add(1000000, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  const cluster::Router::Counters rc = cluster.router().counters();
+  std::printf("%zu sessions over %zu workers (%zu client threads), "
+              "%zu solves/session\n",
+              kSessions, kWorkers, kThreads, kSolvesPerSession);
+  std::printf("wall %.1f ms  (%.0f solves/s)\n", wall_ms,
+              1000.0 * static_cast<double>(solves_ok.load()) / wall_ms);
+  std::printf("router: forwarded=%llu shed=%llu migrations=%llu "
+              "transport_errors=%llu\n",
+              static_cast<unsigned long long>(rc.forwarded),
+              static_cast<unsigned long long>(rc.shed),
+              static_cast<unsigned long long>(rc.migrations),
+              static_cast<unsigned long long>(rc.transport_errors));
+  for (const auto& w : cluster.supervisor().snapshot()) {
+    std::printf("  worker %u: port %u  state=%s  sessions(peak probe)=%llu\n",
+                w.slot, w.port, cluster::worker_state_name(w.state),
+                static_cast<unsigned long long>(w.load.sessions));
+  }
+
+  const std::uint64_t want = kSessions * kSolvesPerSession;
+  std::printf("\nbit-identical solves: %llu/%llu  mismatches=%llu  "
+              "errors=%llu\n",
+              static_cast<unsigned long long>(solves_ok.load()),
+              static_cast<unsigned long long>(want),
+              static_cast<unsigned long long>(mismatches.load()),
+              static_cast<unsigned long long>(errors.load()));
+  cluster.stop();
+
+  if (mismatches.load() != 0 || errors.load() != 0 ||
+      solves_ok.load() != want) {
+    std::printf("FAIL: cluster results are not bit-identical to "
+                "single-node\n");
+    return 1;
+  }
+  std::printf("OK: every solve bit-identical to the single-node "
+              "reference\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "cluster/cluster.h"
+
+#include <utility>
+
+namespace oftec::cluster {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  SupervisorOptions sup = options_.supervisor;
+  WorkerFactory factory;  // default: in-process from sup.worker_server
+  if (!options_.attach_ports.empty()) {
+    sup.workers = options_.attach_ports.size();
+    const std::vector<std::uint16_t> ports = options_.attach_ports;
+    factory = [ports](std::uint32_t slot,
+                      std::uint16_t /*port*/) -> std::unique_ptr<Worker> {
+      return std::make_unique<AttachedWorker>(ports[slot]);
+    };
+  }
+  supervisor_ = std::make_unique<Supervisor>(sup, std::move(factory));
+  router_ = std::make_unique<Router>(options_.router, *supervisor_);
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  supervisor_->start();
+  // One synchronous probe pass before the router opens: admission control
+  // and health aggregation start from real load data, not zeroes.
+  supervisor_->probe_now();
+  router_->start();
+}
+
+void Cluster::stop() {
+  router_->stop();
+  supervisor_->stop();
+}
+
+}  // namespace oftec::cluster

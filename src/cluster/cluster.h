@@ -1,0 +1,61 @@
+// oftec-cluster: one object that wires the supervisor (N workers + health
+// probing + restart) to the router (protocol-v1 front end with placement,
+// migration, and admission control). See docs/cluster.md for architecture.
+//
+// Spawn mode (the default) runs stock in-process oftec-serve workers built
+// from a ServerOptions template — what the tests, the chaos suite,
+// bench_cluster, and `oftec_client cluster --workers N` use. Attach mode
+// fronts externally managed oftec-serve processes by port; those are
+// probed but never restarted from here.
+//
+//   ClusterOptions opts;
+//   opts.supervisor.workers = 4;
+//   Cluster cluster(opts);
+//   cluster.start();
+//   Client c = Client::connect(cluster.port());   // protocol v1, unchanged
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/supervisor.h"
+
+namespace oftec::cluster {
+
+struct ClusterOptions {
+  SupervisorOptions supervisor;
+  RouterOptions router;
+  /// Non-empty = attach mode: front these externally managed oftec-serve
+  /// ports instead of spawning workers (supervisor.workers is ignored).
+  std::vector<std::uint16_t> attach_ports;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();  ///< implies stop()
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Spawn/attach workers, start probing, open the router port.
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return router_->running(); }
+
+  /// The port protocol-v1 clients connect to.
+  [[nodiscard]] std::uint16_t port() const noexcept { return router_->port(); }
+
+  [[nodiscard]] Supervisor& supervisor() noexcept { return *supervisor_; }
+  [[nodiscard]] Router& router() noexcept { return *router_; }
+
+ private:
+  ClusterOptions options_;
+  std::unique_ptr<Supervisor> supervisor_;
+  std::unique_ptr<Router> router_;
+};
+
+}  // namespace oftec::cluster

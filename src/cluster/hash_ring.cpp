@@ -1,0 +1,74 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oftec::cluster {
+
+namespace {
+
+/// SplitMix64 finalizer: a strong 64-bit mixer with no state, giving the
+/// ring a platform-independent, allocation-free hash.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+std::uint64_t HashRing::hash_key(std::uint64_t key) noexcept {
+  // Domain-separate keys from ring points so a session id can never be
+  // systematically co-located with a node's points.
+  return mix64(key ^ 0x73657373696f6e73ull);  // "sessions"
+}
+
+std::uint64_t HashRing::hash_point(std::uint32_t node_id,
+                                   std::uint32_t replica) noexcept {
+  return mix64((static_cast<std::uint64_t>(node_id) << 32) |
+               static_cast<std::uint64_t>(replica));
+}
+
+void HashRing::add_node(std::uint32_t node_id) {
+  if (contains(node_id)) return;
+  nodes_.insert(std::upper_bound(nodes_.begin(), nodes_.end(), node_id),
+                node_id);
+  points_.reserve(points_.size() + virtual_nodes_);
+  for (std::uint32_t r = 0; r < virtual_nodes_; ++r) {
+    const Point p{hash_point(node_id, r), node_id};
+    points_.insert(std::upper_bound(points_.begin(), points_.end(), p), p);
+  }
+}
+
+void HashRing::remove_node(std::uint32_t node_id) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node_id);
+  if (it == nodes_.end() || *it != node_id) return;
+  nodes_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [node_id](const Point& p) {
+                                 return p.node == node_id;
+                               }),
+                points_.end());
+}
+
+bool HashRing::contains(std::uint32_t node_id) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node_id);
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key) const {
+  if (points_.empty()) {
+    throw std::logic_error("HashRing::owner on an empty ring");
+  }
+  const std::uint64_t h = hash_key(key);
+  // First point with hash >= h; wrap to the ring start past the last point.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  return it == points_.end() ? points_.front().node : it->node;
+}
+
+}  // namespace oftec::cluster

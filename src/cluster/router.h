@@ -1,0 +1,206 @@
+// Cluster front-end router: speaks wire protocol v1 on its own loopback
+// port and proxies every request to one of the supervisor's workers, so
+// existing clients (and the whole tools/tests surface) talk to a sharded
+// cluster without changing a byte of what they send.
+//
+// Placement. The router owns the session-id namespace: kBind assigns a
+// router-side id, hashes it onto the consistent-hash ring (one ring node
+// per worker slot), forwards the bind to the owning worker, caches the
+// chip spec, and rewrites the reply's `session` to the router id. Every
+// later request carrying that session is rewritten to the worker-side id
+// and forwarded to the same slot — placement is a pure function of the
+// router id, so it survives router-internal data-structure churn and is
+// reproducible across runs.
+//
+// Migration. A worker restart loses its sessions. The first forward that
+// comes back kErrUnknownSession triggers replay: the router re-issues the
+// cached bind against the (restarted, same-port) worker, swaps in the new
+// worker-side id, and retries the original request. Solves are pure
+// functions of (spec, ω, I), so results across a migration are
+// bit-identical; transient session *state* is not migrated — a migrated
+// transient session restarts from ambient (documented in docs/cluster.md).
+//
+// Admission. Before forwarding work the router sheds deterministically —
+// kErrOverloaded with a retry_after_ms hint — when the cluster-wide
+// inflight count crosses max_inflight, or when the target worker's probed
+// queue depth plus the router's own inflight toward it crosses
+// admission_fraction of the worker's queue capacity. Transport failures
+// that survive the forwarder's retries surface the same way, so a
+// ResilientClient pointed at the router rides out worker deaths with
+// nothing but (retried) transient errors.
+//
+// Aggregation. kPing is answered inline. kHealth summarizes the cluster
+// (healthy = any worker alive; depth/capacity summed across workers).
+// kStats returns {"router": {...}, "workers": [{slot, port, state, ...,
+// stats}]}. kTrace concatenates every worker's exemplar dump so plain
+// `oftec_client trace` works unchanged. kSleep round-robins.
+//
+// Fault site: cluster.proxy_write — a forward fails as if the worker
+// connection broke (surfaces as kErrOverloaded after retries).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/supervisor.h"
+#include "serve/protocol.h"
+#include "serve/resilient_client.h"
+#include "serve/wire.h"
+
+namespace oftec::cluster {
+
+struct RouterOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via Router::port())
+  std::size_t max_frame_bytes = serve::kDefaultMaxFrameBytes;
+  /// Cluster-wide inflight cap; 0 = sum of probed worker queue capacities
+  /// (no cap until the first probes land).
+  std::size_t max_inflight = 0;
+  /// Per-worker shed threshold: shed when router-inflight + probed depth
+  /// reaches this fraction of the worker's queue capacity.
+  double admission_fraction = 0.9;
+  /// Backpressure hint stamped on every shed/unavailable error.
+  double retry_after_ms = 25.0;
+  /// Receive timeout for one forwarded RPC attempt [ms].
+  long forward_timeout_ms = 10000;
+  /// Attempts per forward (transport retries inside the ResilientClient).
+  int forward_attempts = 4;
+  std::size_t ring_virtual_nodes = HashRing::kDefaultVirtualNodes;
+};
+
+class Router {
+ public:
+  /// `supervisor` must outlive the router and should be started first (the
+  /// router reads worker ports and probed load from it).
+  Router(RouterOptions options, Supervisor& supervisor);
+  ~Router();  ///< implies stop()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Router-side sessions currently bound (cluster-wide).
+  [[nodiscard]] std::size_t session_count() const;
+
+  /// Slot a router session id maps to on the ring (placement preview —
+  /// also valid for ids that are not bound).
+  [[nodiscard]] std::uint32_t owner_slot(std::uint64_t router_session) const {
+    return ring_.owner(router_session);
+  }
+
+  struct Counters {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t forwarded = 0;  ///< requests proxied to a worker
+    std::uint64_t shed = 0;       ///< kErrOverloaded from admission control
+    std::uint64_t migrations = 0; ///< session replays after a worker restart
+    std::uint64_t transport_errors = 0;  ///< forwards dead after retries
+    std::uint64_t protocol_errors = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  /// One bound session: the cached spec is everything needed to recreate
+  /// it on a replacement worker.
+  struct SessionEntry {
+    serve::BindParams spec;
+    std::uint32_t slot = 0;
+    std::mutex mu;  ///< serializes migration; guards worker_session
+    std::uint64_t worker_session = 0;
+  };
+
+  /// Per-connection forwarding state: one lazily-connected ResilientClient
+  /// per worker slot (clients are not thread-safe; connections are).
+  struct ConnState {
+    std::vector<std::unique_ptr<serve::ResilientClient>> workers;
+  };
+
+  struct Connection {
+    serve::Socket socket;
+    std::thread thread;
+  };
+
+  void acceptor_loop();
+  void connection_loop(const std::shared_ptr<Connection>& conn);
+
+  [[nodiscard]] serve::Response handle(const serve::Request& request,
+                                       ConnState& state);
+  [[nodiscard]] serve::Response handle_bind(const serve::Request& request,
+                                            ConnState& state);
+  [[nodiscard]] serve::Response handle_session_request(
+      const serve::Request& request, ConnState& state);
+  [[nodiscard]] serve::Response handle_health(const serve::Request& request);
+  [[nodiscard]] serve::Response handle_stats(const serve::Request& request,
+                                             ConnState& state);
+  [[nodiscard]] serve::Response handle_trace(const serve::Request& request,
+                                             ConnState& state);
+  [[nodiscard]] serve::Response handle_sleep(const serve::Request& request,
+                                             ConnState& state);
+
+  /// The per-connection client for `slot` (created on first use; sticky
+  /// ports make the cached client valid across worker restarts).
+  serve::ResilientClient& worker_client(ConnState& state, std::uint32_t slot);
+
+  /// Forward `request` to `slot` through the fault site + retry stack.
+  /// Throws ProtocolError / TransportError like Client::call.
+  util::json::Value forward(ConnState& state, std::uint32_t slot,
+                            serve::Request request, bool retry_after_recv);
+
+  /// Admission decision for one unit of work bound for `slot`. Returns an
+  /// error response to send (shed), or nullopt to admit.
+  [[nodiscard]] std::optional<serve::Response> admission_check(
+      std::uint64_t id, std::uint32_t slot);
+
+  /// Replay the cached bind for `entry` on its worker (after a restart).
+  /// Precondition: caller holds entry.mu and saw worker_session == stale.
+  void migrate_locked(SessionEntry& entry, ConnState& state);
+
+  [[nodiscard]] std::shared_ptr<SessionEntry> find_session(
+      std::uint64_t router_session) const;
+
+  RouterOptions options_;
+  Supervisor& supervisor_;
+  HashRing ring_;
+
+  serve::Listener listener_;
+  std::uint16_t port_ = 0;
+  std::chrono::steady_clock::time_point started_at_{};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions_;
+  std::atomic<std::uint64_t> next_session_{1};
+
+  std::atomic<std::uint64_t> total_inflight_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slot_inflight_;
+  std::atomic<std::uint64_t> round_robin_{0};
+
+  std::atomic<std::uint64_t> n_connections_{0};
+  std::atomic<std::uint64_t> n_requests_{0};
+  std::atomic<std::uint64_t> n_forwarded_{0};
+  std::atomic<std::uint64_t> n_shed_{0};
+  std::atomic<std::uint64_t> n_migrations_{0};
+  std::atomic<std::uint64_t> n_transport_errors_{0};
+  std::atomic<std::uint64_t> n_protocol_errors_{0};
+};
+
+}  // namespace oftec::cluster

@@ -1,0 +1,242 @@
+#include "cluster/supervisor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/fault.h"
+#include "util/log.h"
+#include "util/obs.h"
+
+namespace oftec::cluster {
+
+namespace {
+
+const fault::Site g_fault_spawn = fault::site("cluster.worker_spawn");
+const fault::Site g_fault_probe = fault::site("cluster.probe_timeout");
+
+const obs::Counter g_obs_probes = obs::counter("cluster.probes");
+const obs::Counter g_obs_probe_failures =
+    obs::counter("cluster.probe_failures");
+const obs::Counter g_obs_restarts = obs::counter("cluster.worker_restarts");
+const obs::Gauge g_obs_alive = obs::gauge("cluster.workers_alive");
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options, WorkerFactory factory)
+    : options_(options),
+      factory_(factory ? std::move(factory)
+                       : in_process_worker_factory(options.worker_server)) {
+  slots_.resize(options_.workers == 0 ? 1 : options_.workers);
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stopping_.store(false, std::memory_order_release);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!try_spawn(i)) {
+      log::warn("cluster: worker ", i,
+                " failed to spawn; prober will retry");
+    }
+  }
+  prober_ = std::thread([this] { prober_loop(); });
+}
+
+void Supervisor::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  wake_.notify_all();
+  if (prober_.joinable()) prober_.join();
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (Slot& slot : slots_) slot.worker.reset();  // drains owned servers
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+std::uint16_t Supervisor::port_of(std::uint32_t slot) const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return slot < slots_.size() ? slots_[slot].port : 0;
+}
+
+Supervisor::WorkerInfo Supervisor::info(std::uint32_t slot) const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  WorkerInfo out;
+  if (slot >= slots_.size()) return out;
+  const Slot& s = slots_[slot];
+  out.slot = slot;
+  out.port = s.port;
+  out.state = s.state;
+  out.load = s.load;
+  out.consecutive_failures = s.consecutive_failures;
+  out.restarts = s.restarts;
+  out.restartable = s.worker == nullptr || s.worker->restartable();
+  return out;
+}
+
+std::vector<Supervisor::WorkerInfo> Supervisor::snapshot() const {
+  std::vector<WorkerInfo> out;
+  out.reserve(slots_.size());
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) out.push_back(info(i));
+  return out;
+}
+
+std::uint64_t Supervisor::restarts() const {
+  return total_restarts_.load(std::memory_order_relaxed);
+}
+
+void Supervisor::kill_worker(std::uint32_t slot) {
+  // Stop the server outside state_mutex_: kill() drains the worker's
+  // threads, and a router thread may be blocked reading info() meanwhile.
+  Worker* victim = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (slot >= slots_.size() || slots_[slot].worker == nullptr) return;
+    victim = slots_[slot].worker.get();
+  }
+  victim->kill();
+  log::info("cluster: worker ", slot, " killed (chaos hook)");
+}
+
+void Supervisor::probe_now() { probe_pass(); }
+
+void Supervisor::prober_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    probe_pass();
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_.wait_for(lock,
+                   std::chrono::milliseconds(options_.probe_interval_ms),
+                   [this] { return stopping_.load(std::memory_order_acquire); });
+  }
+}
+
+void Supervisor::probe_pass() {
+  const std::lock_guard<std::mutex> pass_lock(pass_mutex_);
+  std::size_t alive = 0;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    bool needs_spawn = false;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      needs_spawn = slots_[i].worker == nullptr;
+    }
+    if (needs_spawn) {
+      if (try_spawn(i)) {
+        log::info("cluster: worker ", i, " respawned on port ",
+                  port_of(i));
+      }
+    } else {
+      probe_slot(i);
+    }
+    if (info(i).state == WorkerState::kAlive) ++alive;
+  }
+  g_obs_alive.set(static_cast<double>(alive));
+}
+
+bool Supervisor::try_spawn(std::uint32_t i) {
+  std::uint16_t port = 0;
+  bool is_restart = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    port = slots_[i].port;  // sticky: 0 only before the first spawn
+    is_restart = slots_[i].ever_spawned;
+  }
+  std::unique_ptr<Worker> worker;
+  try {
+    if (g_fault_spawn.should_fail()) {
+      throw std::runtime_error("injected worker spawn failure");
+    }
+    worker = factory_(i, port);
+  } catch (const std::exception& e) {
+    log::warn("cluster: spawning worker ", i, " failed: ", e.what());
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    slots_[i].state = WorkerState::kDead;
+    return false;
+  }
+  const std::uint16_t bound = worker->port();
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Slot& slot = slots_[i];
+    slot.worker = std::move(worker);
+    slot.port = bound;
+    slot.state = WorkerState::kStarting;
+    slot.load = WorkerLoad{};
+    slot.consecutive_failures = 0;
+    slot.ever_spawned = true;
+    if (is_restart) {
+      ++slot.restarts;
+      total_restarts_.fetch_add(1, std::memory_order_relaxed);
+      g_obs_restarts.add();
+    }
+  }
+  return true;
+}
+
+void Supervisor::probe_slot(std::uint32_t i) {
+  std::uint16_t port = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    port = slots_[i].port;
+  }
+  g_obs_probes.add();
+
+  std::optional<serve::HealthReply> health;
+  try {
+    if (g_fault_probe.should_fail()) {
+      throw serve::TransportError(serve::TransportError::Kind::kTimeout,
+                                  "injected probe timeout");
+    }
+    // One connection per probe: simple, and it exercises exactly the path
+    // a freshly restarted worker must serve first.
+    serve::Client::Options copts;
+    copts.recv_timeout_ms = options_.probe_timeout_ms;
+    serve::Client probe = serve::Client::connect(port, copts);
+    health = probe.health();
+  } catch (const std::exception&) {
+    health.reset();
+  }
+
+  bool declare_dead = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Slot& slot = slots_[i];
+    if (health.has_value()) {
+      slot.consecutive_failures = 0;
+      slot.load.accepting = health->accepting;
+      slot.load.sessions = health->sessions;
+      slot.load.active_sessions = health->active_sessions;
+      slot.load.queue_depth = health->queue_depth;
+      slot.load.queue_capacity = health->queue_capacity;
+      slot.load.uptime_ms = health->uptime_ms;
+      slot.state = health->healthy
+                       ? (health->accepting ? WorkerState::kAlive
+                                            : WorkerState::kDegraded)
+                       : WorkerState::kDegraded;
+      return;
+    }
+    g_obs_probe_failures.add();
+    ++slot.consecutive_failures;
+    if (slot.consecutive_failures >= options_.fail_threshold) {
+      slot.state = WorkerState::kDead;
+      declare_dead = slot.worker != nullptr && slot.worker->restartable();
+    }
+  }
+  if (!declare_dead) return;
+
+  // Death confirmed on a restartable worker: destroy the old incarnation
+  // (frees its sticky port) and spawn the replacement immediately, outside
+  // state_mutex_ — destruction drains the old server's threads.
+  log::warn("cluster: worker ", i, " declared dead after ",
+            options_.fail_threshold, " failed probes; restarting");
+  std::unique_ptr<Worker> old;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    old = std::move(slots_[i].worker);
+  }
+  old.reset();
+  if (try_spawn(i)) {
+    log::info("cluster: worker ", i, " restarted on port ", port_of(i));
+  }
+}
+
+}  // namespace oftec::cluster

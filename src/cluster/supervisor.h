@@ -1,0 +1,144 @@
+// Worker supervisor: spawns N oftec-serve workers, probes their health on a
+// fixed cadence, and restarts dead ones in place.
+//
+// One prober thread drives everything. Each pass, per worker slot:
+//
+//   * a missing worker (initial spawn failed, or the previous incarnation
+//     was destroyed after death) is respawned on its sticky port — the
+//     port assigned at first spawn never changes, so the router's cached
+//     addresses stay valid across restarts;
+//   * otherwise the worker is probed with one inline kHealth RPC (bounded
+//     by probe_timeout_ms). Success refreshes the slot's WorkerLoad
+//     (queue depth, active sessions, uptime — the extended health fields)
+//     and marks it kAlive, or kDegraded when the worker answers but is not
+//     accepting. Failure increments a consecutive-failure count; at
+//     fail_threshold the slot is marked kDead and, when restartable, the
+//     old incarnation is destroyed and a replacement spawned immediately.
+//
+// A restarted worker comes up empty — its sessions are gone. That is by
+// design: session state lives at the router (the cached chip spec), which
+// replays registration on the first kErrUnknownSession it sees. The
+// supervisor's only migration duty is making the replacement reachable at
+// the old address quickly.
+//
+// Fault sites (deterministic, OFTEC_FAULT-selectable):
+//   cluster.worker_spawn   spawning a replacement fails (retried next pass)
+//   cluster.probe_timeout  a probe is treated as timed out without I/O
+//
+// Thread-safety: all public methods are safe from any thread. probe_now()
+// runs one synchronous pass (the chaos tests use it to make failover
+// timing deterministic).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cluster/worker.h"
+#include "serve/client.h"
+
+namespace oftec::cluster {
+
+struct SupervisorOptions {
+  std::size_t workers = 2;
+  /// Template for spawned workers (port is overridden per slot).
+  serve::ServerOptions worker_server;
+  std::uint64_t probe_interval_ms = 100;
+  long probe_timeout_ms = 250;  ///< per-probe receive timeout
+  /// Consecutive failed probes before a worker is declared dead.
+  int fail_threshold = 3;
+};
+
+class Supervisor {
+ public:
+  /// `factory` defaults to in-process workers built from
+  /// options.worker_server.
+  explicit Supervisor(SupervisorOptions options, WorkerFactory factory = {});
+  ~Supervisor();  ///< implies stop()
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawn every worker and launch the prober. Initial spawn failures do
+  /// not throw — the slot starts dead and the prober keeps retrying.
+  void start();
+
+  /// Stop probing and destroy owned workers (drains their servers).
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t worker_count() const { return slots_.size(); }
+
+  /// Sticky port of a slot (0 until its first successful spawn).
+  [[nodiscard]] std::uint16_t port_of(std::uint32_t slot) const;
+
+  /// Everything the router's placement and admission logic reads.
+  struct WorkerInfo {
+    std::uint32_t slot = 0;
+    std::uint16_t port = 0;
+    WorkerState state = WorkerState::kStarting;
+    WorkerLoad load;              ///< from the last successful probe
+    int consecutive_failures = 0;
+    std::uint64_t restarts = 0;   ///< replacements spawned after death
+    bool restartable = true;
+  };
+  [[nodiscard]] WorkerInfo info(std::uint32_t slot) const;
+  [[nodiscard]] std::vector<WorkerInfo> snapshot() const;
+
+  /// Total replacements spawned (across all slots).
+  [[nodiscard]] std::uint64_t restarts() const;
+
+  /// Chaos hook: hard-stop a worker's server without telling the prober —
+  /// exactly what a crash looks like. Probes then fail, the slot crosses
+  /// fail_threshold, and a replacement is spawned on the sticky port.
+  void kill_worker(std::uint32_t slot);
+
+  /// Run one synchronous probe pass (spawn-heal + probe every slot).
+  void probe_now();
+
+  [[nodiscard]] const SupervisorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Worker> worker;  ///< null while spawn keeps failing
+    std::uint16_t port = 0;          ///< sticky after the first spawn
+    WorkerState state = WorkerState::kStarting;
+    WorkerLoad load;
+    int consecutive_failures = 0;
+    std::uint64_t restarts = 0;
+    bool ever_spawned = false;
+  };
+
+  void prober_loop();
+  void probe_pass();
+  /// Spawn (or respawn) slot `i`'s worker; false on failure.
+  bool try_spawn(std::uint32_t i);
+  /// One kHealth probe against slot `i`; updates state/load.
+  void probe_slot(std::uint32_t i);
+
+  SupervisorOptions options_;
+  WorkerFactory factory_;
+
+  mutable std::mutex state_mutex_;  ///< guards slots_
+  std::vector<Slot> slots_;
+
+  std::mutex pass_mutex_;  ///< serializes probe passes (loop vs probe_now)
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> total_restarts_{0};
+  std::thread prober_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+};
+
+}  // namespace oftec::cluster

@@ -1,0 +1,31 @@
+#include "cluster/worker.h"
+
+namespace oftec::cluster {
+
+const char* worker_state_name(WorkerState s) noexcept {
+  switch (s) {
+    case WorkerState::kStarting: return "starting";
+    case WorkerState::kAlive: return "alive";
+    case WorkerState::kDegraded: return "degraded";
+    case WorkerState::kDead: return "dead";
+  }
+  return "?";
+}
+
+InProcessWorker::InProcessWorker(const serve::ServerOptions& options)
+    : server_(options) {
+  server_.start();
+}
+
+InProcessWorker::~InProcessWorker() { server_.stop(); }
+
+WorkerFactory in_process_worker_factory(serve::ServerOptions options) {
+  return [options](std::uint32_t /*slot*/,
+                   std::uint16_t port) -> std::unique_ptr<Worker> {
+    serve::ServerOptions opts = options;
+    opts.port = port;
+    return std::make_unique<InProcessWorker>(opts);
+  };
+}
+
+}  // namespace oftec::cluster

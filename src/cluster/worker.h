@@ -1,0 +1,116 @@
+// Worker handles for the oftec cluster: the supervisor's view of one
+// oftec-serve instance.
+//
+// Two concrete kinds:
+//
+//   InProcessWorker — a stock serve::Server the supervisor spawns inside
+//     this process. Restartable: on death the supervisor destroys it and
+//     spawns a replacement on the SAME port (SO_REUSEADDR makes the rebind
+//     race-free on loopback), so the router's per-worker clients reconnect
+//     without any address book update. This is the mode tests, the chaos
+//     suite, and bench_cluster use, and what `oftec_client cluster
+//     --workers N` runs. NOTE: in-process workers share this process's
+//     obs registry — their Server::counters() are per-instance, but the
+//     "obs" histogram block of a kStats reply is process-global. Run
+//     workers as separate `oftec_client serve` processes (attach mode) for
+//     fully isolated per-worker observability.
+//
+//   AttachedWorker — an externally managed oftec-serve (its own process,
+//     started by an operator or an init system) the supervisor only probes.
+//     Not restartable from here: on death the supervisor marks it dead and
+//     keeps probing until it comes back.
+//
+// A WorkerFactory abstracts spawning so tests can inject failures or custom
+// configurations; the default factory builds InProcessWorkers from a
+// ServerOptions template.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "serve/server.h"
+
+namespace oftec::cluster {
+
+/// Supervisor-assigned lifecycle state, driven by health probes.
+enum class WorkerState {
+  kStarting,  ///< spawned, no successful probe yet
+  kAlive,     ///< probing healthy and accepting
+  kDegraded,  ///< probing healthy but not accepting (saturated / draining)
+  kDead,      ///< probe failures crossed the threshold (or spawn failed)
+};
+
+[[nodiscard]] const char* worker_state_name(WorkerState s) noexcept;
+
+/// Placement-relevant load data from the last successful (extended) kHealth
+/// probe — one inline round trip per worker per probe interval.
+struct WorkerLoad {
+  bool accepting = false;
+  std::uint64_t sessions = 0;
+  std::uint64_t active_sessions = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  double uptime_ms = 0.0;
+};
+
+/// One supervised oftec-serve instance.
+class Worker {
+ public:
+  virtual ~Worker() = default;
+
+  /// Loopback port the worker serves on.
+  [[nodiscard]] virtual std::uint16_t port() const = 0;
+
+  /// True when the supervisor can replace this worker after death.
+  [[nodiscard]] virtual bool restartable() const = 0;
+
+  /// Hard-stop the instance (chaos hook / shutdown). For attached workers
+  /// this is a no-op — their lifetime belongs to someone else.
+  virtual void kill() = 0;
+};
+
+/// A serve::Server owned by this process.
+class InProcessWorker final : public Worker {
+ public:
+  /// Binds and starts immediately; throws on bind failure.
+  explicit InProcessWorker(const serve::ServerOptions& options);
+  ~InProcessWorker() override;
+
+  [[nodiscard]] std::uint16_t port() const override { return server_.port(); }
+  [[nodiscard]] bool restartable() const override { return true; }
+  void kill() override { server_.stop(); }
+
+  [[nodiscard]] serve::Server& server() noexcept { return server_; }
+
+ private:
+  serve::Server server_;
+};
+
+/// An externally managed worker the supervisor only probes.
+class AttachedWorker final : public Worker {
+ public:
+  explicit AttachedWorker(std::uint16_t port) : port_(port) {}
+
+  [[nodiscard]] std::uint16_t port() const override { return port_; }
+  [[nodiscard]] bool restartable() const override { return false; }
+  void kill() override {}  // not ours to stop
+
+ private:
+  std::uint16_t port_;
+};
+
+/// Spawn a worker for `slot`. `port` is 0 on the first spawn (ephemeral;
+/// the supervisor records what was bound) and the previous port on a
+/// respawn, so replacements come up at the address the router already
+/// dials. Throws on spawn failure (the supervisor retries on its probe
+/// cadence; see fault site cluster.worker_spawn).
+using WorkerFactory = std::function<std::unique_ptr<Worker>(
+    std::uint32_t slot, std::uint16_t port)>;
+
+/// Default factory: InProcessWorkers from a ServerOptions template (the
+/// template's port field is overridden per spawn).
+[[nodiscard]] WorkerFactory in_process_worker_factory(
+    serve::ServerOptions options);
+
+}  // namespace oftec::cluster

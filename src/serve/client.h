@@ -142,13 +142,16 @@ class Client {
   /// The response for a specific id, buffering out-of-order arrivals.
   [[nodiscard]] Response recv_for(std::uint64_t id);
 
+  /// Raw blocking RPC: send() + recv_for() + unwrap. Returns the result
+  /// payload of an ok response, or throws ProtocolError built from the
+  /// error response (retry_after_ms and id preserved). The typed RPC
+  /// methods above are sugar over this; the cluster router uses it directly
+  /// to proxy arbitrary decoded requests bit-identically.
+  util::json::Value call(Request request);
+
  private:
   Client(Socket socket, Options options)
       : socket_(std::move(socket)), options_(options) {}
-
-  /// send() + recv_for() + unwrap: returns the result payload or throws
-  /// ProtocolError built from the error response.
-  util::json::Value call(Request request);
 
   Socket socket_;
   Options options_;

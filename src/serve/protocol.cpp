@@ -725,8 +725,10 @@ util::json::Value health_result_json(const HealthReply& r) {
   o["healthy"] = r.healthy;
   o["accepting"] = r.accepting;
   o["sessions"] = r.sessions;
+  o["active_sessions"] = r.active_sessions;
   o["queue_depth"] = r.queue_depth;
   o["queue_capacity"] = r.queue_capacity;
+  o["uptime_ms"] = r.uptime_ms;
   return o;
 }
 
@@ -737,6 +739,12 @@ HealthReply parse_health_reply(const util::json::Value& v) {
   r.sessions = require_uint(v, "sessions");
   r.queue_depth = require_uint(v, "queue_depth");
   r.queue_capacity = require_uint(v, "queue_capacity");
+  // Load fields added for the cluster prober: optional for v1 interop with
+  // servers that predate them.
+  if (v.find("active_sessions") != nullptr) {
+    r.active_sessions = require_uint(v, "active_sessions");
+  }
+  r.uptime_ms = number_or(v, "uptime_ms", 0.0);
   return r;
 }
 

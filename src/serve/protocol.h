@@ -300,12 +300,22 @@ struct TransientReply {
 /// the reader answered at all; `accepting` distinguishes readiness — false
 /// once a shutdown has begun or the admission queue is saturated, signaling
 /// clients to back off before they are shed.
+///
+/// The reply also carries placement-relevant load data so a cluster router's
+/// prober learns everything it needs in one inline round trip (no separate
+/// kStats scrape): `active_sessions` counts sessions that have served at
+/// least one request, `queue_depth`/`queue_capacity` describe admission
+/// headroom, and `uptime_ms` distinguishes a long-lived worker from one that
+/// just restarted (and therefore lost its sessions). The three new fields
+/// are optional on the wire — a v1 peer that predates them parses as 0.
 struct HealthReply {
   bool healthy = false;
   bool accepting = false;
   std::uint64_t sessions = 0;
+  std::uint64_t active_sessions = 0;  ///< sessions with ≥ 1 served request
   std::uint64_t queue_depth = 0;
   std::uint64_t queue_capacity = 0;
+  double uptime_ms = 0.0;  ///< ms since the server's start()
 };
 
 // ---------------------------------------------------------------------------

@@ -182,6 +182,13 @@ TransientReply ResilientClient::transient(TransientParams params) {
   });
 }
 
+util::json::Value ResilientClient::call(Request request,
+                                        bool retry_after_recv) {
+  return with_retry(retry_after_recv, [&](Client& c) {
+    return c.call(request);  // copy per attempt: send() mutates id/trace
+  });
+}
+
 util::json::Value ResilientClient::raw_stats(std::uint64_t session) {
   return with_retry(true, [&](Client& c) { return c.stats(session); });
 }

@@ -98,6 +98,16 @@ class ResilientClient {
   /// (see header comment). params.session is overwritten with the tracked
   /// session.
   [[nodiscard]] TransientReply transient(TransientParams params);
+  /// Raw resilient RPC over an arbitrary decoded request — the cluster
+  /// router's proxy path. The request is forwarded as-is (the underlying
+  /// Client assigns a fresh id; an already-set trace_id survives). When
+  /// `retry_after_recv` is false the RPC is only retried after failures
+  /// that provably did not execute (the `transient` rule). NOTE: unlike the
+  /// typed RPCs, no session rewriting or automatic re-bind happens here —
+  /// the caller owns session placement.
+  [[nodiscard]] util::json::Value call(Request request,
+                                       bool retry_after_recv = true);
+
   /// Raw stats payload (see Server::handle_stats). session 0 → server only.
   [[nodiscard]] util::json::Value raw_stats(std::uint64_t session = 0);
   /// Full stats RPC (snapshot/delta cursor views, JSON or Prometheus).

@@ -139,6 +139,7 @@ Server::~Server() { stop(); }
 void Server::start() {
   listener_ = Listener::listen_loopback(options_.port);
   port_ = listener_.port();
+  started_at_ = Clock::now();
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { acceptor_loop(); });
   batcher_ = std::thread([this] { batcher_loop(); });
@@ -368,8 +369,10 @@ bool Server::handle_inline(const Request& request,
       reply.accepting = !stopping_.load(std::memory_order_acquire) &&
                         !queue_->closed() && depth < queue_->capacity();
       reply.sessions = registry_.size();
+      reply.active_sessions = registry_.active_count();
       reply.queue_depth = depth;
       reply.queue_capacity = queue_->capacity();
+      reply.uptime_ms = stage_us(started_at_, Clock::now()) / 1000.0;
       response = make_ok_response(request.id, health_result_json(reply));
       break;
     }

@@ -159,6 +159,7 @@ class Server {
   ServerOptions options_;
   Listener listener_;
   std::uint16_t port_ = 0;
+  std::chrono::steady_clock::time_point started_at_{};  ///< stamped by start()
   SessionRegistry registry_;
   std::unique_ptr<BoundedQueue<Pending>> queue_;
 

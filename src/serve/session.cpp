@@ -194,4 +194,19 @@ std::size_t SessionRegistry::size() const {
   return sessions_.size();
 }
 
+std::size_t SessionRegistry::active_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& [id, session] : sessions_) {
+    const Session::Activity& a = session->activity();
+    const std::uint64_t total =
+        a.solves.load(std::memory_order_relaxed) +
+        a.controls.load(std::memory_order_relaxed) +
+        a.luts.load(std::memory_order_relaxed) +
+        a.transients.load(std::memory_order_relaxed);
+    if (total > 0) ++active;
+  }
+  return active;
+}
+
 }  // namespace oftec::serve

@@ -112,6 +112,11 @@ class SessionRegistry {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Sessions that have served at least one request (any type) — the
+  /// "active" load signal the extended kHealth reply carries so a cluster
+  /// prober can tell hot workers from ones merely holding idle binds.
+  [[nodiscard]] std::size_t active_count() const;
+
  private:
   const std::size_t max_sessions_;
   mutable std::mutex mutex_;

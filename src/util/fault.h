@@ -21,6 +21,12 @@
 //   serve.slow_writer          writer stalls before each frame (slow client)
 //   client.send_fail           client-side send fails (transport error)
 //   client.recv_fail           client-side receive fails (transport error)
+//   cluster.worker_spawn       spawning a cluster worker fails (retried on
+//                              the supervisor's probe cadence)
+//   cluster.probe_timeout      a worker health probe is treated as timed
+//                              out without any I/O
+//   cluster.proxy_write        the router's forward to a worker fails
+//                              (surfaces as kErrOverloaded + retry_after_ms)
 //
 // Selection is environment-driven — `OFTEC_FAULT=spec[,spec...]` where each
 // spec is `site:rate[:seed]` (rate in [0,1]; site may end in `*` to match a

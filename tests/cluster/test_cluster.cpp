@@ -1,0 +1,255 @@
+// End-to-end tests for the oftec cluster: a protocol-v1 client pointed at
+// the router must see exactly the single-node contract — bit-identical
+// solves, the same error codes — while sessions shard across workers,
+// migrate transparently after a worker death, and admission control sheds
+// deterministically before any worker saturates.
+#include "cluster/cluster.h"
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace oftec::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::BindParams;
+using serve::BindReply;
+using serve::Client;
+using serve::ProtocolError;
+using serve::SolveReply;
+
+constexpr std::size_t kGrid = 8;  // keeps each solve at ~a millisecond
+
+BindParams susan_bind() {
+  BindParams params;
+  params.benchmark = "susan";
+  params.grid_nx = kGrid;
+  params.grid_ny = kGrid;
+  return params;
+}
+
+/// Cluster tuned for deterministic tests: the background prober is parked
+/// on a long interval and every pass is driven explicitly via probe_now().
+ClusterOptions test_options(std::size_t workers) {
+  ClusterOptions opts;
+  opts.supervisor.workers = workers;
+  opts.supervisor.probe_interval_ms = 60000;
+  opts.supervisor.probe_timeout_ms = 250;
+  opts.supervisor.fail_threshold = 2;
+  return opts;
+}
+
+void expect_same_solve(const SolveReply& a, const SolveReply& b) {
+  EXPECT_EQ(a.runaway, b.runaway);
+  EXPECT_EQ(a.max_chip_temperature_k, b.max_chip_temperature_k);
+  EXPECT_EQ(a.leakage_w, b.leakage_w);
+  EXPECT_EQ(a.tec_w, b.tec_w);
+  EXPECT_EQ(a.fan_w, b.fan_w);
+}
+
+TEST(ClusterLoopback, SolvesBitIdenticalToSingleNodeAcrossShards) {
+  // Reference: one stock server, one session, direct solves.
+  serve::Server reference;
+  reference.start();
+  Client ref_client = Client::connect(reference.port());
+  const BindReply ref_chip = ref_client.bind(susan_bind());
+
+  std::vector<SolveReply> expected;
+  for (int i = 0; i < 6; ++i) {
+    expected.push_back(ref_client.solve(
+        ref_chip.session, (0.3 + 0.1 * i) * ref_chip.omega_max, 0.2));
+  }
+
+  // Cluster: 4 workers, 8 sessions sharded by the ring.
+  Cluster cluster(test_options(4));
+  cluster.start();
+  Client client = Client::connect(cluster.port());
+  client.ping();
+
+  std::vector<BindReply> chips;
+  std::set<std::uint32_t> slots;
+  for (int s = 0; s < 8; ++s) {
+    chips.push_back(client.bind(susan_bind()));
+    slots.insert(cluster.router().owner_slot(chips.back().session));
+  }
+  EXPECT_GT(slots.size(), 1u) << "8 sessions should shard across workers";
+  EXPECT_EQ(cluster.router().session_count(), 8u);
+
+  for (const BindReply& chip : chips) {
+    EXPECT_EQ(chip.omega_max, ref_chip.omega_max);
+    for (int i = 0; i < 6; ++i) {
+      const SolveReply r = client.solve(
+          chip.session, (0.3 + 0.1 * i) * chip.omega_max, 0.2);
+      expect_same_solve(r, expected[static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_GT(cluster.router().counters().forwarded, 0u);
+  EXPECT_EQ(cluster.router().counters().shed, 0u);
+
+  cluster.stop();
+  reference.stop();
+}
+
+TEST(ClusterLoopback, UnbindMirrorsSingleNodeSemantics) {
+  Cluster cluster(test_options(2));
+  cluster.start();
+  Client client = Client::connect(cluster.port());
+
+  const BindReply chip = client.bind(susan_bind());
+  EXPECT_EQ(cluster.router().session_count(), 1u);
+  EXPECT_TRUE(client.unbind(chip.session));
+  EXPECT_FALSE(client.unbind(chip.session));  // ok + removed=false, not error
+  EXPECT_EQ(cluster.router().session_count(), 0u);
+
+  try {
+    (void)client.solve(chip.session, 100.0, 0.0);
+    FAIL() << "solve on an unbound session must fail";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::kErrUnknownSession);
+  }
+  client.ping();  // connection survived the structured error
+  cluster.stop();
+}
+
+TEST(ClusterLoopback, SessionMigratesBitIdenticallyAfterWorkerDeath) {
+  Cluster cluster(test_options(2));
+  cluster.start();
+  Client client = Client::connect(cluster.port());
+
+  const BindReply chip = client.bind(susan_bind());
+  const std::uint32_t victim = cluster.router().owner_slot(chip.session);
+
+  std::vector<SolveReply> before;
+  for (int i = 0; i < 4; ++i) {
+    before.push_back(
+        client.solve(chip.session, (0.4 + 0.1 * i) * chip.omega_max, 0.3));
+  }
+
+  // Crash the owning worker; two explicit probe passes cross the failure
+  // threshold and respawn a replacement on the sticky port.
+  cluster.supervisor().kill_worker(victim);
+  cluster.supervisor().probe_now();
+  cluster.supervisor().probe_now();
+  EXPECT_GE(cluster.supervisor().restarts(), 1u);
+  EXPECT_EQ(cluster.supervisor().port_of(victim),
+            cluster.supervisor().info(victim).port);
+
+  // The very next solve rides through: the router sees kErrUnknownSession
+  // from the fresh worker, replays the cached bind, and retries — the
+  // client keeps its session id and gets the same bits.
+  for (int i = 0; i < 4; ++i) {
+    const SolveReply r =
+        client.solve(chip.session, (0.4 + 0.1 * i) * chip.omega_max, 0.3);
+    expect_same_solve(r, before[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_GE(cluster.router().counters().migrations, 1u);
+  cluster.stop();
+}
+
+TEST(ClusterLoopback, ShedsDeterministicallyAtTheInflightCap) {
+  ClusterOptions opts = test_options(2);
+  opts.supervisor.worker_server.enable_test_requests = true;
+  opts.router.max_inflight = 1;
+  opts.router.retry_after_ms = 25.0;
+  Cluster cluster(opts);
+  cluster.start();
+
+  // Occupy the single inflight slot with a pipelined sleep...
+  Client busy = Client::connect(cluster.port());
+  serve::Request nap;
+  nap.type = serve::RequestType::kSleep;
+  nap.params = serve::SleepParams{400.0};
+  const std::uint64_t nap_id = busy.send(std::move(nap));
+  std::this_thread::sleep_for(100ms);
+
+  // ...so the next unit of work is shed with the backpressure hint.
+  Client second = Client::connect(cluster.port());
+  try {
+    (void)second.bind(susan_bind());
+    FAIL() << "bind past the inflight cap must shed";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::kErrOverloaded);
+    EXPECT_EQ(e.retry_after_ms(), 25.0);
+  }
+  EXPECT_GE(cluster.router().counters().shed, 1u);
+
+  // The occupied slot drains and the cluster accepts work again.
+  const serve::Response napped = busy.recv_for(nap_id);
+  EXPECT_TRUE(napped.ok);
+  const BindReply chip = second.bind(susan_bind());
+  EXPECT_GT(chip.session, 0u);
+  cluster.stop();
+}
+
+TEST(ClusterLoopback, HealthAndStatsAggregateTheWholeCluster) {
+  Cluster cluster(test_options(3));
+  cluster.start();
+  Client client = Client::connect(cluster.port());
+
+  serve::HealthReply h = client.health();
+  EXPECT_TRUE(h.healthy);
+  EXPECT_TRUE(h.accepting);
+  EXPECT_EQ(h.sessions, 0u);
+  EXPECT_GT(h.queue_capacity, 0u);  // summed across probed workers
+  EXPECT_GT(h.uptime_ms, 0.0);
+
+  (void)client.bind(susan_bind());
+  (void)client.bind(susan_bind());
+  h = client.health();
+  EXPECT_EQ(h.sessions, 2u);
+
+  const util::json::Value stats = client.stats(serve::StatsParams{});
+  ASSERT_NE(stats.find("cluster"), nullptr);
+  EXPECT_TRUE(stats.find("cluster")->as_bool());
+  ASSERT_NE(stats.find("router"), nullptr);
+  EXPECT_EQ(stats.find("router")->find("workers")->as_number(), 3.0);
+  EXPECT_EQ(stats.find("router")->find("sessions")->as_number(), 2.0);
+  ASSERT_NE(stats.find("workers"), nullptr);
+  ASSERT_EQ(stats.find("workers")->as_array().size(), 3u);
+  for (const util::json::Value& w : stats.find("workers")->as_array()) {
+    EXPECT_EQ(w.find("state")->as_string(), "alive");
+    ASSERT_NE(w.find("stats"), nullptr) << "live workers embed their stats";
+    EXPECT_NE(w.find("stats")->find("server"), nullptr);
+  }
+  cluster.stop();
+}
+
+TEST(ClusterLoopback, AttachModeFrontsExternallyManagedServers) {
+  // Two stock servers someone else owns; the cluster only probes them.
+  serve::Server a;
+  serve::Server b;
+  a.start();
+  b.start();
+
+  ClusterOptions opts = test_options(2);
+  opts.attach_ports = {a.port(), b.port()};
+  Cluster cluster(opts);
+  cluster.start();
+
+  Client client = Client::connect(cluster.port());
+  const BindReply chip = client.bind(susan_bind());
+  const SolveReply direct_check =
+      client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(direct_check.runaway);
+  Client ca = Client::connect(a.port());
+  Client cb = Client::connect(b.port());
+  EXPECT_EQ(ca.health().sessions + cb.health().sessions, 1u)
+      << "the bind landed on exactly one attached server";
+
+  cluster.stop();
+  // Attached servers outlive the cluster — they were never owned by it.
+  Client still_up = Client::connect(a.port());
+  still_up.ping();
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace oftec::cluster

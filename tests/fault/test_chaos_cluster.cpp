@@ -1,0 +1,231 @@
+// Chaos tests for the cluster stack: with the cluster.* fault sites armed
+// at the acceptance rate (10 %, fixed seeds) and workers being killed and
+// restarted mid-traffic, resilient clients pointed at the router must see
+// zero lost sessions — only retryable transient errors — and every solve
+// that completes must be bit-identical to the faultless single-node answer.
+#include "cluster/cluster.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/resilient_client.h"
+#include "serve/server.h"
+#include "util/fault.h"
+#include "util/obs.h"
+
+namespace oftec::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::BindParams;
+using serve::BindReply;
+using serve::ProtocolError;
+using serve::ResilientClient;
+using serve::SolveReply;
+using serve::TransportError;
+
+class ChaosClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { quiesce(); }
+  void TearDown() override { quiesce(); }
+  static void quiesce() {
+    fault::disarm_all();
+    fault::reset_counters();
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+BindParams susan_bind() {
+  BindParams params;
+  params.benchmark = "susan";
+  params.grid_nx = 8;
+  params.grid_ny = 8;
+  return params;
+}
+
+/// Many attempts, short sleeps: a worker death plus its probe-driven
+/// restart must fit inside one RPC's retry budget.
+ResilientClient::Options chaos_options() {
+  ResilientClient::Options o;
+  o.retry.max_attempts = 30;
+  o.retry.initial_backoff_ms = 1.0;
+  o.retry.max_backoff_ms = 20.0;
+  o.breaker.failure_threshold = 8;
+  o.breaker.open_ms = 10.0;
+  return o;
+}
+
+TEST_F(ChaosClusterTest, SpawnFaultsDelayWorkersWithoutKillingTheCluster) {
+  // Every spawn fails at first: the cluster comes up with dead slots, the
+  // router sheds (structured, retryable), and once the fault clears the
+  // prober heals the fleet and traffic flows.
+  (void)fault::arm("cluster.worker_spawn", 1.0, 11);
+  ClusterOptions opts;
+  opts.supervisor.workers = 2;
+  opts.supervisor.probe_interval_ms = 60000;  // passes driven explicitly
+  opts.supervisor.fail_threshold = 2;
+  Cluster cluster(opts);
+  cluster.start();
+  EXPECT_EQ(cluster.supervisor().info(0).state, WorkerState::kDead);
+  EXPECT_EQ(cluster.supervisor().info(1).state, WorkerState::kDead);
+
+  serve::Client client = serve::Client::connect(cluster.port());
+  try {
+    (void)client.bind(susan_bind());
+    FAIL() << "bind with no spawned workers must shed, not hang";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::kErrOverloaded);
+    EXPECT_GT(e.retry_after_ms(), 0.0);
+  }
+
+  fault::disarm_all();
+  cluster.supervisor().probe_now();  // heals: spawns both workers
+  cluster.supervisor().probe_now();  // probes them alive
+  EXPECT_EQ(cluster.supervisor().info(0).state, WorkerState::kAlive);
+  EXPECT_EQ(cluster.supervisor().info(1).state, WorkerState::kAlive);
+
+  const BindReply chip = client.bind(susan_bind());
+  const SolveReply r = client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(r.runaway);
+  cluster.stop();
+}
+
+TEST_F(ChaosClusterTest, ProbeTimeoutsAloneNeverRestartAHealthyWorker) {
+  // Injected probe timeouts below the failure threshold must not cross it:
+  // the slot degrades on paper but the worker is never torn down, and
+  // in-flight traffic is untouched.
+  ClusterOptions opts;
+  opts.supervisor.workers = 2;
+  opts.supervisor.probe_interval_ms = 60000;
+  opts.supervisor.fail_threshold = 3;
+  Cluster cluster(opts);
+  cluster.start();
+  serve::Client client = serve::Client::connect(cluster.port());
+  const BindReply chip = client.bind(susan_bind());
+  const SolveReply baseline =
+      client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+
+  (void)fault::arm("cluster.probe_timeout", 1.0, 12);
+  cluster.supervisor().probe_now();
+  cluster.supervisor().probe_now();  // 2 failures < threshold 3
+  fault::disarm_all();
+  EXPECT_EQ(cluster.supervisor().restarts(), 0u);
+
+  cluster.supervisor().probe_now();  // clean probe resets the count
+  EXPECT_EQ(cluster.supervisor().info(0).consecutive_failures, 0);
+
+  const SolveReply after =
+      client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_EQ(after.max_chip_temperature_k, baseline.max_chip_temperature_k);
+  EXPECT_EQ(cluster.router().counters().migrations, 0u);
+  cluster.stop();
+}
+
+TEST_F(ChaosClusterTest, KillRestartMidTrafficLosesNoSessionAtTenPercent) {
+  // The acceptance scenario: cluster.* sites armed at 10 %, workers killed
+  // mid-traffic and restarted by the prober, resilient clients hammering
+  // solves the whole time. Permitted outcomes per request: success with
+  // the exact faultless bits, or a retryable transient the client absorbs.
+  // A lost session (unknown_session surfacing to the caller) fails the
+  // test — the router's replay must hide every migration.
+  serve::Server reference;
+  reference.start();
+  std::vector<SolveReply> expected;
+  double omega_max = 0.0;
+  {
+    serve::Client ref = serve::Client::connect(reference.port());
+    const BindReply chip = ref.bind(susan_bind());
+    omega_max = chip.omega_max;
+    for (int i = 0; i < 5; ++i) {
+      expected.push_back(
+          ref.solve(chip.session, (0.3 + 0.1 * i) * omega_max, 0.25));
+    }
+  }
+  reference.stop();
+
+  ClusterOptions opts;
+  opts.supervisor.workers = 2;
+  opts.supervisor.probe_interval_ms = 20;  // prober races the traffic
+  opts.supervisor.probe_timeout_ms = 250;
+  opts.supervisor.fail_threshold = 2;
+  Cluster cluster(opts);
+  cluster.start();
+
+  (void)fault::arm("cluster.proxy_write", 0.1, 31);
+  (void)fault::arm("cluster.probe_timeout", 0.1, 32);
+  (void)fault::arm("cluster.worker_spawn", 0.1, 33);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> transient_errors{0};
+  std::atomic<bool> lost_session{false};
+  std::vector<std::thread> traffic;
+  traffic.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    traffic.emplace_back([&, t] {
+      ResilientClient::Options copts = chaos_options();
+      copts.retry.jitter_seed = 100 + static_cast<std::uint64_t>(t);
+      ResilientClient client(cluster.port(), copts);
+      const BindReply chip = client.bind(susan_bind());
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < 5; ++i) {
+          try {
+            const SolveReply r =
+                client.solve((0.3 + 0.1 * i) * omega_max, 0.25);
+            const SolveReply& want = expected[static_cast<std::size_t>(i)];
+            EXPECT_EQ(r.runaway, want.runaway);
+            EXPECT_EQ(r.max_chip_temperature_k, want.max_chip_temperature_k);
+            EXPECT_EQ(r.leakage_w, want.leakage_w);
+            EXPECT_EQ(r.tec_w, want.tec_w);
+            EXPECT_EQ(r.fan_w, want.fan_w);
+            completed.fetch_add(1, std::memory_order_relaxed);
+          } catch (const ProtocolError& e) {
+            if (e.code() == serve::kErrUnknownSession) {
+              lost_session.store(true, std::memory_order_relaxed);
+            }
+            transient_errors.fetch_add(1, std::memory_order_relaxed);
+          } catch (const TransportError&) {
+            transient_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // Session survives the round: chip.session is still the id the
+        // router knows us by (the client never rebinds — the ROUTER does).
+        EXPECT_GT(chip.session, 0u);
+      }
+    });
+  }
+
+  // Chaos driver: kill alternating workers under live traffic; the prober
+  // (20 ms cadence) detects and respawns on the sticky port each time.
+  for (int round = 0; round < 4; ++round) {
+    std::this_thread::sleep_for(150ms);
+    cluster.supervisor().kill_worker(static_cast<std::uint32_t>(round % 2));
+  }
+
+  for (std::thread& t : traffic) t.join();
+  fault::disarm_all();
+
+  EXPECT_FALSE(lost_session.load())
+      << "a migration leaked kErrUnknownSession to a client";
+  EXPECT_GT(completed.load(), 0u);
+  EXPECT_GE(cluster.supervisor().restarts(), 1u)
+      << "the chaos driver should have forced at least one restart";
+
+  // After the storm: faults off, fleet healed, fresh traffic is exact.
+  cluster.supervisor().probe_now();
+  cluster.supervisor().probe_now();
+  ResilientClient calm(cluster.port(), chaos_options());
+  (void)calm.bind(susan_bind());
+  const SolveReply r = calm.solve(0.5 * omega_max, 0.25);
+  EXPECT_EQ(r.max_chip_temperature_k, expected[2].max_chip_temperature_k);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace oftec::cluster

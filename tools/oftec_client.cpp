@@ -1,6 +1,10 @@
-// oftec_client — command-line front end for oftec-serve.
+// oftec_client — command-line front end for oftec-serve and oftec-cluster.
 //
 //   oftec_client serve  [--port N] [--batch N] [--delay-us N] [--queue N]
+//   oftec_client cluster [--port N] [--workers N | --attach "p1,p2,..."]
+//                       [--batch N] [--delay-us N] [--queue N] [--sessions N]
+//                       [--probe-interval-ms N] [--probe-timeout-ms N]
+//                       [--fail-threshold N]
 //   oftec_client ping   --port N
 //   oftec_client health --port N
 //   oftec_client bind   --port N (--benchmark NAME | --power "w0,w1,...")
@@ -15,13 +19,22 @@
 //   oftec_client stats  --port N [--session S] [--view snapshot|delta]
 //                       [--cursor C] [--prom]
 //   oftec_client top    --port N [--session S] [--interval-ms N] [--count N]
+//                       [--cluster]
 //   oftec_client trace  --port N [--id TRACE_ID] [--limit N] [--out FILE]
+//
+// `cluster` runs a sharded multi-worker daemon behind one router port:
+// either spawning --workers in-process oftec-serve workers (default) or
+// fronting externally managed servers listed in --attach. Clients speak
+// plain protocol v1 to it, unchanged.
 //
 // `top` renders a live refreshing stats view (server counters plus stage
 // latency quantiles computed from the obs histograms) using delta scrapes,
-// so the numbers are per-interval rates. `trace` dumps the server's
-// slow-request exemplar ring as Chrome trace_event JSON (load the file in
-// chrome://tracing or Perfetto).
+// so the numbers are per-interval rates. Pointed at a cluster (or with
+// --cluster), it instead renders the router counters, a per-worker summary
+// table, and per-worker stage quantiles side by side (snapshot view — the
+// cluster stats response aggregates workers with independent cursors).
+// `trace` dumps the server's slow-request exemplar ring as Chrome
+// trace_event JSON (load the file in chrome://tracing or Perfetto).
 //
 // Every RPC command also accepts resilience flags:
 //   --retries N      total attempts per RPC (default 1 = no retry)
@@ -52,6 +65,7 @@
 
 #include <fstream>
 
+#include "cluster/cluster.h"
 #include "serve/client.h"
 #include "serve/resilient_client.h"
 #include "serve/server.h"
@@ -69,8 +83,8 @@ void on_signal(int) { g_stop.store(true); }
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: oftec_client <serve|ping|bind|unbind|solve|control|"
-               "lut|transient|stats|top|trace> [--flag value ...]\n"
+               "usage: oftec_client <serve|cluster|ping|bind|unbind|solve|"
+               "control|lut|transient|stats|top|trace> [--flag value ...]\n"
                "see the header of tools/oftec_client.cpp for details\n");
   std::exit(2);
 }
@@ -191,6 +205,64 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(c.requests),
               static_cast<unsigned long long>(c.shed),
               static_cast<unsigned long long>(c.batches));
+  return 0;
+}
+
+int cmd_cluster(const std::map<std::string, std::string>& flags) {
+  cluster::ClusterOptions opts;
+  opts.router.port =
+      static_cast<std::uint16_t>(num_flag(flags, "port", 0.0));
+  if (has_flag(flags, "attach")) {
+    for (const std::string& tok : util::split(flags.at("attach"), ',')) {
+      opts.attach_ports.push_back(static_cast<std::uint16_t>(
+          std::stoul(std::string(util::trim(tok)))));
+    }
+  } else {
+    opts.supervisor.workers =
+        static_cast<std::size_t>(num_flag(flags, "workers", 2.0));
+  }
+  opts.supervisor.worker_server.max_batch_size =
+      static_cast<std::size_t>(num_flag(flags, "batch", 16.0));
+  opts.supervisor.worker_server.max_delay_us =
+      static_cast<std::uint64_t>(num_flag(flags, "delay-us", 2000.0));
+  opts.supervisor.worker_server.max_queue_depth =
+      static_cast<std::size_t>(num_flag(flags, "queue", 256.0));
+  opts.supervisor.worker_server.max_sessions =
+      static_cast<std::size_t>(num_flag(flags, "sessions", 64.0));
+  opts.supervisor.probe_interval_ms = static_cast<std::uint64_t>(
+      num_flag(flags, "probe-interval-ms", 100.0));
+  opts.supervisor.probe_timeout_ms =
+      static_cast<long>(num_flag(flags, "probe-timeout-ms", 250.0));
+  opts.supervisor.fail_threshold =
+      static_cast<int>(num_flag(flags, "fail-threshold", 3.0));
+
+  cluster::Cluster cluster(opts);
+  cluster.start();
+  std::printf("oftec-cluster listening on 127.0.0.1:%u "
+              "(%zu %s workers, Ctrl-C to stop)\n",
+              cluster.port(), cluster.supervisor().worker_count(),
+              opts.attach_ports.empty() ? "spawned" : "attached");
+  for (const auto& w : cluster.supervisor().snapshot()) {
+    std::printf("  worker %u: 127.0.0.1:%u (%s)\n", w.slot, w.port,
+                cluster::worker_state_name(w.state));
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  cluster.stop();
+  const cluster::Router::Counters c = cluster.router().counters();
+  std::printf("forwarded %llu requests (%llu shed, %llu migrations, "
+              "%llu worker restarts)\n",
+              static_cast<unsigned long long>(c.forwarded),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.migrations),
+              static_cast<unsigned long long>(
+                  cluster.supervisor().restarts()));
   return 0;
 }
 
@@ -419,6 +491,88 @@ void render_top(const util::json::Value& r, double interval_s,
   std::fflush(stdout);
 }
 
+double number_at(const util::json::Value* obj, const char* key) {
+  const util::json::Value* v = obj != nullptr ? obj->find(key) : nullptr;
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+/// Cluster view: router counters, a per-worker summary table, then the
+/// serve stage quantiles per worker side by side. Quantiles come from each
+/// worker's embedded stats block; with in-process spawned workers those
+/// share one obs registry (the columns agree), while attached external
+/// servers report genuinely per-process histograms.
+void render_cluster_top(const util::json::Value& r, double interval_s) {
+  std::printf("\x1b[H\x1b[2J");  // home + clear
+  const util::json::Value* router = r.find("router");
+  std::printf("oftec-cluster top — snapshot view, %.1fs interval\n\n",
+              interval_s);
+  std::printf("  workers=%.0f  sessions=%.0f  inflight=%.0f  "
+              "forwarded=%.0f  shed=%.0f  migrations=%.0f  restarts=%.0f\n",
+              number_at(router, "workers"), number_at(router, "sessions"),
+              number_at(router, "inflight"), number_at(router, "forwarded"),
+              number_at(router, "shed"), number_at(router, "migrations"),
+              number_at(router, "worker_restarts"));
+
+  const util::json::Value* workers = r.find("workers");
+  if (workers == nullptr || !workers->is_array()) return;
+  const auto& list = workers->as_array();
+
+  std::printf("\n  %4s %6s %-9s %9s %11s %9s %9s %9s\n", "slot", "port",
+              "state", "sessions", "queue", "inflight", "restarts",
+              "requests");
+  for (const util::json::Value& w : list) {
+    const util::json::Value* state = w.find("state");
+    const util::json::Value* stats = w.find("stats");
+    const util::json::Value* server =
+        stats != nullptr ? stats->find("server") : nullptr;
+    std::printf("  %4.0f %6.0f %-9s %9.0f %5.0f/%-5.0f %9.0f %9.0f %9.0f\n",
+                number_at(&w, "slot"), number_at(&w, "port"),
+                state != nullptr && state->is_string()
+                    ? state->as_string().c_str()
+                    : "?",
+                number_at(&w, "sessions"), number_at(&w, "queue_depth"),
+                number_at(&w, "queue_capacity"), number_at(&w, "inflight"),
+                number_at(&w, "restarts"), number_at(server, "requests"));
+  }
+
+  std::printf("\n  %-22s", "stage [us] p50/p95");
+  for (const util::json::Value& w : list) {
+    char label[16];
+    std::snprintf(label, sizeof label, "w%.0f", number_at(&w, "slot"));
+    std::printf(" %16s", label);
+  }
+  std::printf("\n");
+  for (const char* name :
+       {"serve.queue_wait_us", "serve.batch_wait_us", "serve.solve_us",
+        "serve.write_us", "serve.e2e_latency_us"}) {
+    std::printf("  %-22s", name);
+    for (const util::json::Value& w : list) {
+      const util::json::Value* stats = w.find("stats");
+      const util::json::Value* obs_block =
+          stats != nullptr ? stats->find("obs") : nullptr;
+      const util::json::Value* hists =
+          obs_block != nullptr ? obs_block->find("histograms") : nullptr;
+      const util::json::Value* entry =
+          hists != nullptr ? hists->find(name) : nullptr;
+      if (entry == nullptr) {
+        std::printf(" %16s", "-");
+        continue;
+      }
+      const obs::HistogramSnapshot h = histogram_from_json(*entry);
+      if (h.count == 0) {
+        std::printf(" %16s", "-");
+        continue;
+      }
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.1f/%.1f", h.quantile(0.5),
+                    h.quantile(0.95));
+      std::printf(" %16s", cell);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
 int cmd_top(const std::map<std::string, std::string>& flags) {
   serve::ResilientClient client = connect_from(flags);
   const double interval_ms = num_flag(flags, "interval-ms", 1000.0);
@@ -434,13 +588,24 @@ int cmd_top(const std::map<std::string, std::string>& flags) {
     params.view = cursor != 0 ? "delta" : "snapshot";
     params.cursor = cursor;
     const util::json::Value r = client.raw_stats(params);
-    if (const util::json::Value* c = r.find("cursor");
-        c != nullptr && c->is_number()) {
-      cursor = static_cast<std::uint64_t>(c->as_number());
+    if (r.find("cluster") != nullptr) {
+      // Cluster responses aggregate workers with independent cursors, so
+      // the view stays snapshot (cursor is never advanced).
+      render_cluster_top(r, interval_ms / 1000.0);
+    } else {
+      if (has_flag(flags, "cluster") && i == 0) {
+        std::fprintf(stderr,
+                     "note: --cluster given but the server replied with "
+                     "single-node stats\n");
+      }
+      if (const util::json::Value* c = r.find("cursor");
+          c != nullptr && c->is_number()) {
+        cursor = static_cast<std::uint64_t>(c->as_number());
+      }
+      const util::json::Value* delta = r.find("delta");
+      render_top(r, interval_ms / 1000.0,
+                 delta != nullptr && delta->is_bool() && delta->as_bool());
     }
-    const util::json::Value* delta = r.find("delta");
-    render_top(r, interval_ms / 1000.0,
-               delta != nullptr && delta->is_bool() && delta->as_bool());
     if (count != 0 && i + 1 >= count) break;
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<long long>(interval_ms)));
@@ -487,6 +652,7 @@ int main(int argc, char** argv) {
       parse_flags(argc, argv, 2);
   try {
     if (command == "serve") return cmd_serve(flags);
+    if (command == "cluster") return cmd_cluster(flags);
     if (command == "ping") return cmd_ping(flags);
     if (command == "health") return cmd_health(flags);
     if (command == "bind") return cmd_bind(flags);
