@@ -1,6 +1,9 @@
 #include "cluster/cluster.h"
 
+#include <stdexcept>
 #include <utility>
+
+#include "util/log.h"
 
 namespace oftec::cluster {
 
@@ -14,6 +17,8 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
                       std::uint16_t /*port*/) -> std::unique_ptr<Worker> {
       return std::make_unique<AttachedWorker>(ports[slot]);
     };
+  } else if (options_.worker_mode == WorkerMode::kProcess) {
+    factory = process_worker_factory(options_.process);
   }
   supervisor_ = std::make_unique<Supervisor>(sup, std::move(factory));
   router_ = std::make_unique<Router>(options_.router, *supervisor_);
@@ -32,6 +37,35 @@ void Cluster::start() {
 void Cluster::stop() {
   router_->stop();
   supervisor_->stop();
+}
+
+std::uint32_t Cluster::add_worker() {
+  if (!options_.attach_ports.empty()) {
+    throw std::runtime_error(
+        "cluster: add_worker is not available in attach mode");
+  }
+  const std::uint32_t slot = supervisor_->add_worker();  // throws on failure
+  // Probe before routing to it: admission reads real load, and the ring
+  // only gains a worker that actually answers kHealth.
+  supervisor_->probe_now();
+  const Router::RebalanceReport report = router_->add_worker_slot(slot);
+  log::info("cluster: scale-up to ", supervisor_->worker_count(),
+            " workers moved ", report.moved, "/", report.total_sessions,
+            " sessions");
+  return slot;
+}
+
+Router::RebalanceReport Cluster::remove_worker(std::uint32_t slot) {
+  if (!options_.attach_ports.empty()) {
+    throw std::runtime_error(
+        "cluster: remove_worker is not available in attach mode");
+  }
+  // Order matters: the ring stops producing the slot first (and the
+  // router's inflight toward it drains), so the worker teardown below
+  // never cuts an admitted request.
+  const Router::RebalanceReport report = router_->remove_worker_slot(slot);
+  supervisor_->remove_worker(slot);
+  return report;
 }
 
 }  // namespace oftec::cluster

@@ -2,11 +2,23 @@
 // probing + restart) to the router (protocol-v1 front end with placement,
 // migration, and admission control). See docs/cluster.md for architecture.
 //
-// Spawn mode (the default) runs stock in-process oftec-serve workers built
-// from a ServerOptions template — what the tests, the chaos suite,
-// bench_cluster, and `oftec_client cluster --workers N` use. Attach mode
-// fronts externally managed oftec-serve processes by port; those are
-// probed but never restarted from here.
+// Three worker modes:
+//   * kSpawn (default) runs stock in-process oftec-serve workers built from
+//     a ServerOptions template — what most tests, the chaos suite,
+//     bench_cluster, and `oftec_client cluster --workers N` use.
+//   * kProcess fork/execs one real `oftec_client serve` child per slot
+//     (ProcessWorker): OS-level isolation, so a worker segfault or SIGKILL
+//     cannot take the router down, and crashes are detected instantly via
+//     waitpid instead of waiting out probe failures.
+//   * attach mode (attach_ports non-empty, overrides worker_mode) fronts
+//     externally managed oftec-serve processes by port; those are probed
+//     but never restarted from here.
+//
+// Topology changes at runtime: add_worker() spawns a new slot, waits for it
+// to probe healthy, and extends the router's ring (rehoming the ~1/N
+// sessions it now owns); remove_worker() drains-and-rehomes the slot's
+// sessions, waits out its inflight, then retires the worker. Both are safe
+// during live traffic and not available in attach mode.
 //
 //   ClusterOptions opts;
 //   opts.supervisor.workers = 4;
@@ -19,16 +31,28 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/process_worker.h"
 #include "cluster/router.h"
 #include "cluster/supervisor.h"
 
 namespace oftec::cluster {
 
+/// How the supervisor materializes a worker slot.
+enum class WorkerMode {
+  kSpawn,    ///< in-process Server (shared address space, fastest)
+  kProcess,  ///< fork/exec'd oftec_client serve child (OS isolation)
+};
+
 struct ClusterOptions {
   SupervisorOptions supervisor;
   RouterOptions router;
+  WorkerMode worker_mode = WorkerMode::kSpawn;
+  /// Process-mode knobs (binary resolution, readiness timeout); used only
+  /// when worker_mode == kProcess.
+  ProcessWorkerOptions process;
   /// Non-empty = attach mode: front these externally managed oftec-serve
-  /// ports instead of spawning workers (supervisor.workers is ignored).
+  /// ports instead of spawning workers (supervisor.workers and worker_mode
+  /// are ignored).
   std::vector<std::uint16_t> attach_ports;
 };
 
@@ -48,6 +72,16 @@ class Cluster {
 
   /// The port protocol-v1 clients connect to.
   [[nodiscard]] std::uint16_t port() const noexcept { return router_->port(); }
+
+  /// Scale up by one worker during live traffic: spawn, probe until
+  /// healthy, extend the ring, rehome the sessions it now owns. Returns the
+  /// new slot id. Throws in attach mode or if the spawn fails.
+  std::uint32_t add_worker();
+
+  /// Scale down: rehome every session off `slot`, drain its inflight, then
+  /// retire the worker. Returns the rebalance outcome. Throws in attach
+  /// mode or when removing the last worker.
+  Router::RebalanceReport remove_worker(std::uint32_t slot);
 
   [[nodiscard]] Supervisor& supervisor() noexcept { return *supervisor_; }
   [[nodiscard]] Router& router() noexcept { return *router_; }

@@ -1,0 +1,219 @@
+#include "cluster/journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/fault.h"
+#include "util/log.h"
+
+namespace oftec::cluster {
+
+namespace {
+
+const fault::Site g_fault_journal = fault::site("cluster.journal_write");
+
+constexpr std::string_view kMagic = "OFJ1";
+/// Journal payloads are tiny kBind/kUnbind requests; this bound only guards
+/// the decoder against a corrupt length explosion.
+constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 20;
+
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+[[nodiscard]] std::string bind_payload(std::uint64_t router_session,
+                                       const serve::BindParams& spec) {
+  serve::Request r;
+  r.id = router_session;  // the id field carries the router session id
+  r.type = serve::RequestType::kBind;
+  r.params = spec;
+  return serve::encode_request(r);
+}
+
+[[nodiscard]] std::string unbind_payload(std::uint64_t router_session) {
+  serve::Request r;
+  r.id = router_session;
+  r.type = serve::RequestType::kUnbind;
+  serve::SessionParams p;
+  p.session = router_session;
+  r.params = p;
+  return serve::encode_request(r);
+}
+
+}  // namespace
+
+BindJournal::BindJournal(Options options) : options_(std::move(options)) {}
+
+BindJournal::~BindJournal() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::map<std::uint64_t, serve::BindParams> BindJournal::replay() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  live_.clear();
+  dead_records_ = 0;
+  if (!enabled()) return live_;
+
+  std::ifstream in(options_.path);
+  std::size_t applied = 0;
+  if (in.good()) {
+    std::string line;
+    while (std::getline(in, line)) {
+      // "OFJ1 <hex64> <payload>" — anything off-spec ends the replay: after
+      // a torn write the remainder of the file is untrustworthy.
+      if (line.size() < kMagic.size() + 1 + 16 + 1 ||
+          line.compare(0, kMagic.size(), kMagic) != 0) {
+        log::warn("cluster: journal ", options_.path,
+                  ": corrupt record after ", applied,
+                  " good ones; stopping replay");
+        break;
+      }
+      const std::string_view hex(line.data() + kMagic.size() + 1, 16);
+      const std::string_view payload(line.data() + kMagic.size() + 1 + 17,
+                                     line.size() - kMagic.size() - 18);
+      std::uint64_t want = 0;
+      try {
+        want = std::stoull(std::string(hex), nullptr, 16);
+      } catch (const std::exception&) {
+        log::warn("cluster: journal ", options_.path,
+                  ": bad checksum field; stopping replay");
+        break;
+      }
+      if (fnv1a64(payload) != want) {
+        log::warn("cluster: journal ", options_.path,
+                  ": checksum mismatch after ", applied,
+                  " good records; stopping replay");
+        break;
+      }
+      try {
+        const serve::Request r =
+            serve::decode_request(payload, kMaxRecordBytes);
+        if (r.type == serve::RequestType::kBind) {
+          live_[r.id] = std::get<serve::BindParams>(r.params);
+        } else if (r.type == serve::RequestType::kUnbind) {
+          live_.erase(r.id);
+        }
+        ++applied;
+      } catch (const std::exception& e) {
+        log::warn("cluster: journal ", options_.path,
+                  ": undecodable record (", e.what(), "); stopping replay");
+        break;
+      }
+    }
+  }
+  in.close();
+
+  // Recovery always rewrites: drops tombstones, drops any corrupt tail, and
+  // leaves a clean file for the append handle.
+  compact_locked();
+  if (!live_.empty()) {
+    log::info("cluster: journal ", options_.path, " recovered ",
+              live_.size(), " live sessions");
+  }
+  return live_;
+}
+
+bool BindJournal::append_locked(const std::string& payload) {
+  if (file_ == nullptr) {
+    file_ = std::fopen(options_.path.c_str(), "a");
+    if (file_ == nullptr) {
+      ++write_failures_;
+      log::warn("cluster: journal ", options_.path, ": open failed");
+      return false;
+    }
+  }
+  if (g_fault_journal.should_fail()) {
+    ++write_failures_;
+    log::warn("cluster: journal ", options_.path,
+              ": injected write failure (durability degraded)");
+    return false;
+  }
+  const std::string line = std::string(kMagic) + " " +
+                           hex64(fnv1a64(payload)) + " " + payload + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    ++write_failures_;
+    log::warn("cluster: journal ", options_.path,
+              ": write failed (durability degraded)");
+    return false;
+  }
+  return true;
+}
+
+bool BindJournal::append_bind(std::uint64_t router_session,
+                              const serve::BindParams& spec) {
+  if (!enabled()) return true;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  live_[router_session] = spec;
+  return append_locked(bind_payload(router_session, spec));
+}
+
+bool BindJournal::append_unbind(std::uint64_t router_session) {
+  if (!enabled()) return true;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (live_.erase(router_session) == 0) return true;  // never journaled
+  const bool ok = append_locked(unbind_payload(router_session));
+  if (++dead_records_ >= options_.compact_threshold) compact_locked();
+  return ok;
+}
+
+std::size_t BindJournal::live_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+void BindJournal::compact_locked() {
+  if (!enabled()) return;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string tmp = options_.path + ".tmp";
+  {
+    std::ostringstream out;
+    for (const auto& [sid, spec] : live_) {
+      const std::string payload = bind_payload(sid, spec);
+      out << kMagic << ' ' << hex64(fnv1a64(payload)) << ' ' << payload
+          << '\n';
+    }
+    std::ofstream f(tmp, std::ios::trunc);
+    f << out.str();
+    f.flush();
+    if (!f.good()) {
+      ++write_failures_;
+      log::warn("cluster: journal compaction write to ", tmp, " failed");
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    ++write_failures_;
+    log::warn("cluster: journal compaction rename failed");
+    std::remove(tmp.c_str());
+    return;
+  }
+  dead_records_ = 0;
+}
+
+}  // namespace oftec::cluster

@@ -1,0 +1,94 @@
+// BindJournal: durable session specs for the cluster router.
+//
+// The router's session cache — (router id → chip spec, placement) — is the
+// one piece of cluster state that exists nowhere else: workers can be
+// rebuilt from it, but losing it strands every client with a dangling
+// session id. The journal closes that hole with the cheapest durable shape
+// that works: an append-only text file of checksummed records,
+//
+//   OFJ1 <fnv1a64-hex> <payload-json>\n
+//
+// where the payload is a stock protocol-v1 kBind or kUnbind request encoded
+// by serve::encode_request — the same codec the wire uses, so the journal
+// needs no schema of its own and round-trips bit-exact `%.17g` doubles. The
+// request's `id` field carries the router session id.
+//
+// replay() streams the file, applies binds and unbinds in order, and stops
+// at the first corrupt or truncated record (a torn final write is data loss
+// of that one record, never a parse error cascade). A restarted router
+// rebinds lazily: recovered sessions get placement from the deterministic
+// ring and a worker_session of 0, and the first forward replays the cached
+// bind against the owning worker (see Router::handle_session_request).
+//
+// Compaction: unbind appends a tombstone; when dead records outnumber
+// compact_threshold the whole file is rewritten from the live map via
+// tmp-file + rename (atomic on POSIX), so the journal's size tracks live
+// sessions, not session churn.
+//
+// Durability degrades, availability does not: an append failure (disk full,
+// fault site cluster.journal_write) logs and drops the record — binds keep
+// serving, they just will not survive a router restart.
+//
+// Thread-safety: all methods lock internally; append order = apply order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace oftec::cluster {
+
+class BindJournal {
+ public:
+  struct Options {
+    std::string path;  ///< empty = journaling disabled (all ops no-op)
+    /// Rewrite the file once this many dead (unbound) records accumulate.
+    std::size_t compact_threshold = 64;
+  };
+
+  explicit BindJournal(Options options);
+  ~BindJournal();
+
+  BindJournal(const BindJournal&) = delete;
+  BindJournal& operator=(const BindJournal&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return !options_.path.empty(); }
+
+  /// Load the journal from disk into the live map (call before serving).
+  /// Returns the recovered sessions in id order. Tolerates a missing file
+  /// (fresh start) and truncated/corrupt tails (stops there).
+  [[nodiscard]] std::map<std::uint64_t, serve::BindParams> replay();
+
+  /// Record a successful bind. False if the write failed (logged; the
+  /// session stays live in memory regardless).
+  bool append_bind(std::uint64_t router_session,
+                   const serve::BindParams& spec);
+
+  /// Record an unbind; compacts when enough dead records accumulate.
+  bool append_unbind(std::uint64_t router_session);
+
+  /// Sessions currently live according to the journal.
+  [[nodiscard]] std::size_t live_count() const;
+
+  /// Journal appends that failed (durability gaps; mirrored to the log).
+  [[nodiscard]] std::uint64_t write_failures() const noexcept {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool append_locked(const std::string& payload);
+  void compact_locked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;  ///< open append handle (null when disabled)
+  std::map<std::uint64_t, serve::BindParams> live_;
+  std::size_t dead_records_ = 0;
+  std::atomic<std::uint64_t> write_failures_{0};
+};
+
+}  // namespace oftec::cluster

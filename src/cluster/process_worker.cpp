@@ -1,0 +1,231 @@
+#include "cluster/process_worker.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "serve/client.h"
+#include "util/fault.h"
+#include "util/log.h"
+
+namespace oftec::cluster {
+
+namespace {
+
+const fault::Site g_fault_exec = fault::site("cluster.exec_spawn");
+
+using Clock = std::chrono::steady_clock;
+
+/// Read from `fd` until a '\n', EOF, or `deadline`; returns the line seen so
+/// far (without the newline). Empty string = nothing arrived.
+std::string read_line_deadline(int fd, Clock::time_point deadline) {
+  std::string line;
+  char ch = 0;
+  while (true) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count();
+    if (remaining <= 0) return line;
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, static_cast<int>(remaining));
+    if (pr == 0) return line;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return line;
+    }
+    const ssize_t r = ::read(fd, &ch, 1);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return line;  // EOF (child died or never wrote) or error
+    }
+    if (ch == '\n') return line;
+    line.push_back(ch);
+  }
+}
+
+/// Blocking waitpid tolerant of EINTR.
+void reap_blocking(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+std::string ProcessWorker::resolve_binary(const std::string& hint) {
+  if (!hint.empty()) return hint;
+  if (const char* env = std::getenv("OFTEC_WORKER_BIN");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  // `oftec_client cluster --process` re-execs itself as the workers.
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  throw std::runtime_error(
+      "cluster: no worker binary (set ProcessWorkerOptions::binary or "
+      "$OFTEC_WORKER_BIN)");
+}
+
+ProcessWorker::ProcessWorker(const ProcessWorkerOptions& options,
+                             std::uint16_t port)
+    : options_(options) {
+  if (g_fault_exec.should_fail()) {
+    throw std::runtime_error("injected exec spawn failure");
+  }
+  const std::string binary = resolve_binary(options_.binary);
+
+  int pipefd[2];
+  if (::pipe2(pipefd, O_CLOEXEC) != 0) {
+    throw std::runtime_error(std::string("cluster: pipe2() failed: ") +
+                             std::strerror(errno));
+  }
+
+  std::vector<std::string> argv_store;
+  argv_store.push_back(binary);
+  argv_store.push_back("serve");
+  argv_store.push_back("--port");
+  argv_store.push_back(std::to_string(port));
+  argv_store.push_back("--ready-fd");
+  argv_store.push_back(std::to_string(pipefd[1]));
+  for (const std::string& a : options_.extra_args) argv_store.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(argv_store.size() + 1);
+  for (std::string& s : argv_store) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    throw std::runtime_error(std::string("cluster: fork() failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls between fork and exec: clear
+    // CLOEXEC on the readiness fd so it survives exec, then become the
+    // worker. _exit (not exit) on failure — no atexit handlers of a
+    // half-copied parent.
+    ::fcntl(pipefd[1], F_SETFD, 0);
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);
+  }
+
+  // Parent.
+  ::close(pipefd[1]);
+  pid_ = pid;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.ready_timeout_ms);
+  const std::string line = read_line_deadline(pipefd[0], deadline);
+  ::close(pipefd[0]);
+
+  std::uint16_t bound = 0;
+  if (line.rfind("PORT ", 0) == 0) {
+    bound = static_cast<std::uint16_t>(
+        std::strtoul(line.c_str() + 5, nullptr, 10));
+  }
+  if (bound == 0) {
+    ::kill(pid_, SIGKILL);
+    reap_blocking(pid_);
+    reaped_ = true;
+    throw std::runtime_error(
+        "cluster: worker process failed the readiness handshake (" +
+        (line.empty() ? std::string("no output") : "got \"" + line + "\"") +
+        ")");
+  }
+  port_ = bound;
+
+  // The pipe proves the child started a listener; one kHealth round trip
+  // proves it is actually answering protocol v1 before the supervisor
+  // advertises the slot.
+  bool confirmed = false;
+  while (Clock::now() < deadline) {
+    try {
+      serve::Client::Options copts;
+      copts.recv_timeout_ms = 250;
+      serve::Client probe = serve::Client::connect(port_, copts);
+      (void)probe.health();
+      confirmed = true;
+      break;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  if (!confirmed) {
+    ::kill(pid_, SIGKILL);
+    reap_blocking(pid_);
+    reaped_ = true;
+    throw std::runtime_error(
+        "cluster: worker process bound port " + std::to_string(port_) +
+        " but never answered kHealth");
+  }
+  log::info("cluster: worker process ", static_cast<long>(pid_),
+            " ready on port ", port_);
+}
+
+ProcessWorker::~ProcessWorker() {
+  if (pid_ < 0 || reaped_) return;
+  // Polite shutdown: SIGTERM triggers the worker CLI's graceful drain; only
+  // escalate when the grace period runs out.
+  ::kill(pid_, SIGTERM);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.term_grace_ms);
+  while (Clock::now() < deadline) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_ || (r < 0 && errno != EINTR)) {
+      reaped_ = true;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(pid_, SIGKILL);
+  reap_blocking(pid_);
+  reaped_ = true;
+}
+
+void ProcessWorker::kill() {
+  if (pid_ >= 0 && !reaped_) ::kill(pid_, SIGKILL);
+}
+
+std::optional<ExitInfo> ProcessWorker::try_reap() {
+  if (pid_ < 0 || reaped_) return {};
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r != pid_) return {};  // still running (or EINTR/ECHILD — retry later)
+  reaped_ = true;
+  ExitInfo info;
+  if (WIFSIGNALED(status)) {
+    info.signaled = true;
+    info.value = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    info.signaled = false;
+    info.value = WEXITSTATUS(status);
+  }
+  return info;
+}
+
+WorkerFactory process_worker_factory(ProcessWorkerOptions options) {
+  return [options](std::uint32_t /*slot*/,
+                   std::uint16_t port) -> std::unique_ptr<Worker> {
+    return std::make_unique<ProcessWorker>(options, port);
+  };
+}
+
+}  // namespace oftec::cluster

@@ -1,0 +1,82 @@
+// ProcessWorker: a supervised oftec-serve running as a real child process.
+//
+// Spawn sequence (constructor; throws on any failure):
+//
+//   1. pipe2(O_CLOEXEC) — the readiness channel. The write end's CLOEXEC
+//      flag is cleared in the child so it survives exec; every other
+//      inherited descriptor closes automatically.
+//   2. fork() + execv(binary, {"serve", "--port", N, "--ready-fd", W, ...})
+//      where `binary` resolves explicit option → $OFTEC_WORKER_BIN →
+//      /proc/self/exe (the natural default when `oftec_client cluster
+//      --process` is the parent).
+//   3. Parent blocks (bounded by ready_timeout_ms) until the child's
+//      serve::Server writes "PORT <bound>\n" and closes the pipe. EOF or
+//      timeout without the line means the child failed to come up; it is
+//      SIGKILLed, reaped, and the constructor throws.
+//   4. One kHealth round trip confirms the port actually answers protocol
+//      v1 before the supervisor is told the worker exists.
+//
+// kill() sends SIGKILL (the chaos semantics: a crash, not a shutdown).
+// try_reap() is waitpid(WNOHANG) translated to ExitInfo — the supervisor
+// uses it to see crashes immediately instead of waiting out fail_threshold
+// probes. The destructor is the polite path: SIGTERM, a bounded grace wait
+// for the child's drain, SIGKILL escalation, final reap — a ProcessWorker
+// never outlives its handle and never leaves a zombie.
+//
+// Fault site: cluster.exec_spawn — the fork/exec step fails (the supervisor
+// retries on its probe cadence, same as cluster.worker_spawn).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/worker.h"
+
+namespace oftec::cluster {
+
+struct ProcessWorkerOptions {
+  /// Worker executable. Empty = $OFTEC_WORKER_BIN, then /proc/self/exe.
+  std::string binary;
+  /// Extra argv entries appended after "serve --port N --ready-fd W"
+  /// (e.g. {"--max-sessions", "4096"}).
+  std::vector<std::string> extra_args;
+  /// Deadline for the readiness handshake + health confirmation [ms].
+  long ready_timeout_ms = 5000;
+  /// Grace period between SIGTERM and SIGKILL at destruction [ms].
+  long term_grace_ms = 2000;
+};
+
+class ProcessWorker final : public Worker {
+ public:
+  /// Fork/exec and wait for readiness; throws std::runtime_error on spawn,
+  /// handshake, or health-confirmation failure (no child survives a throw).
+  ProcessWorker(const ProcessWorkerOptions& options, std::uint16_t port);
+  ~ProcessWorker() override;
+
+  [[nodiscard]] std::uint16_t port() const override { return port_; }
+  [[nodiscard]] bool restartable() const override { return true; }
+  void kill() override;  ///< SIGKILL — crash semantics, no drain
+  [[nodiscard]] std::optional<ExitInfo> try_reap() override;
+
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+
+  /// The binary a default-constructed options block would exec (what the
+  /// CLI prints and tests probe for existence).
+  [[nodiscard]] static std::string resolve_binary(const std::string& hint);
+
+ private:
+  ProcessWorkerOptions options_;
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  bool reaped_ = false;  ///< waitpid already collected the child
+};
+
+/// Factory spawning ProcessWorkers (ClusterOptions::worker_mode = kProcess).
+[[nodiscard]] WorkerFactory process_worker_factory(
+    ProcessWorkerOptions options);
+
+}  // namespace oftec::cluster

@@ -1,5 +1,6 @@
 #include "cluster/router.h"
 
+#include <algorithm>
 #include <exception>
 #include <string>
 #include <utility>
@@ -20,10 +21,12 @@ using serve::TransportError;
 namespace json = oftec::util::json;
 
 const fault::Site g_fault_proxy = fault::site("cluster.proxy_write");
+const fault::Site g_fault_rehome = fault::site("cluster.rehome_replay");
 
 const obs::Counter g_obs_forwarded = obs::counter("cluster.forwarded");
 const obs::Counter g_obs_shed = obs::counter("cluster.shed");
 const obs::Counter g_obs_migrations = obs::counter("cluster.migrations");
+const obs::Counter g_obs_rehomed = obs::counter("cluster.rehomed");
 
 using Clock = std::chrono::steady_clock;
 
@@ -102,13 +105,16 @@ class InflightGuard {
 Router::Router(RouterOptions options, Supervisor& supervisor)
     : options_(options),
       supervisor_(supervisor),
-      ring_(options.ring_virtual_nodes) {
+      ring_(options.ring_virtual_nodes),
+      journal_(BindJournal::Options{options.journal_path,
+                                    options.journal_compact_threshold}) {
   for (std::uint32_t i = 0; i < supervisor_.worker_count(); ++i) {
     ring_.add_node(i);
   }
-  slot_inflight_ = std::make_unique<std::atomic<std::uint64_t>[]>(
-      supervisor_.worker_count());
-  for (std::uint32_t i = 0; i < supervisor_.worker_count(); ++i) {
+  // Preallocated so topology growth never reallocates the atomics the
+  // request path touches lock-free.
+  slot_inflight_ = std::make_unique<std::atomic<std::uint64_t>[]>(kMaxSlots);
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
     slot_inflight_[i].store(0, std::memory_order_relaxed);
   }
 }
@@ -118,6 +124,32 @@ Router::~Router() { stop(); }
 void Router::start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
   stopping_.store(false, std::memory_order_release);
+
+  // Journal recovery before the listener opens: every previously bound
+  // session is resolvable from the first accepted frame. Placement comes
+  // from the deterministic ring; materialization on the worker is lazy
+  // (worker_session = 0 → bind replay on first use).
+  if (journal_.enabled()) {
+    const auto recovered = journal_.replay();
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    std::uint64_t max_id = 0;
+    for (const auto& [sid, spec] : recovered) {
+      auto entry = std::make_shared<SessionEntry>();
+      entry->spec = spec;
+      {
+        const std::lock_guard<std::mutex> ring_lock(ring_mutex_);
+        entry->slot = ring_.owner(sid);
+      }
+      entry->worker_session = 0;
+      sessions_.emplace(sid, std::move(entry));
+      max_id = std::max(max_id, sid);
+    }
+    if (!recovered.empty()) {
+      next_session_.store(max_id + 1, std::memory_order_relaxed);
+      n_recovered_.fetch_add(recovered.size(), std::memory_order_relaxed);
+    }
+  }
+
   listener_ = serve::Listener::listen_loopback(options_.port);
   port_ = listener_.port();
   started_at_ = Clock::now();
@@ -144,15 +176,25 @@ void Router::stop() {
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     connections_.clear();
   }
+  {
+    // Admin forwarding clients dial worker ports that are about to close.
+    const std::lock_guard<std::mutex> lock(topology_mutex_);
+    admin_state_.workers.clear();
+  }
   running_.store(false, std::memory_order_release);
   log::info("cluster: router stopped (forwarded=", n_forwarded_.load(),
             ", shed=", n_shed_.load(), ", migrations=", n_migrations_.load(),
-            ")");
+            ", rehomed=", n_rehomed_.load(), ")");
 }
 
 std::size_t Router::session_count() const {
   const std::lock_guard<std::mutex> lock(sessions_mutex_);
   return sessions_.size();
+}
+
+std::uint32_t Router::owner_slot(std::uint64_t router_session) const {
+  const std::lock_guard<std::mutex> lock(ring_mutex_);
+  return ring_.owner(router_session);
 }
 
 Router::Counters Router::counters() const {
@@ -162,8 +204,11 @@ Router::Counters Router::counters() const {
   c.forwarded = n_forwarded_.load(std::memory_order_relaxed);
   c.shed = n_shed_.load(std::memory_order_relaxed);
   c.migrations = n_migrations_.load(std::memory_order_relaxed);
+  c.rehomed = n_rehomed_.load(std::memory_order_relaxed);
+  c.recovered = n_recovered_.load(std::memory_order_relaxed);
   c.transport_errors = n_transport_errors_.load(std::memory_order_relaxed);
   c.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
+  c.journal_write_failures = journal_.write_failures();
   return c;
 }
 
@@ -188,7 +233,6 @@ void Router::acceptor_loop() {
 
 void Router::connection_loop(const std::shared_ptr<Connection>& conn) {
   ConnState state;
-  state.workers.resize(supervisor_.worker_count());
   std::string payload;
   while (!stopping_.load(std::memory_order_acquire)) {
     const serve::ReadStatus status = serve::read_frame(
@@ -246,6 +290,9 @@ Response Router::handle(const Request& request, ConnState& state) {
 
 serve::ResilientClient& Router::worker_client(ConnState& state,
                                               std::uint32_t slot) {
+  if (slot >= state.workers.size()) {
+    state.workers.resize(slot + 1);  // topology grew since this connection
+  }
   auto& client = state.workers[slot];
   if (client == nullptr) {
     serve::ResilientClient::Options copts;
@@ -291,6 +338,19 @@ std::optional<Response> Router::admission_check(std::uint64_t id,
                                       "worker unavailable",
                                       options_.retry_after_ms);
   }
+  if (info.state == WorkerState::kCrashLooping ||
+      info.state == WorkerState::kRetired) {
+    // A crash-looping slot's respawn is gated by supervisor backoff —
+    // dialing it would just burn the forward retry budget. Shed with the
+    // standard hint; the client's backoff outlives short crash loops.
+    n_shed_.fetch_add(1, std::memory_order_relaxed);
+    g_obs_shed.add();
+    return serve::make_error_response(
+        id, serve::kErrOverloaded,
+        info.state == WorkerState::kRetired ? "worker retired"
+                                            : "worker crash-looping",
+        options_.retry_after_ms);
+  }
 
   // Cluster-wide cap: explicit, or the sum of probed worker capacities
   // (unknown capacities contribute nothing, so there is no cap until the
@@ -331,7 +391,7 @@ std::optional<Response> Router::admission_check(std::uint64_t id,
 Response Router::handle_bind(const Request& request, ConnState& state) {
   const std::uint64_t router_session =
       next_session_.fetch_add(1, std::memory_order_relaxed);
-  const std::uint32_t slot = ring_.owner(router_session);
+  const std::uint32_t slot = owner_slot(router_session);
   if (auto shed = admission_check(request.id, slot)) return *shed;
   const InflightGuard guard(total_inflight_, slot_inflight_[slot]);
 
@@ -347,6 +407,8 @@ Response Router::handle_bind(const Request& request, ConnState& state) {
       const std::lock_guard<std::mutex> lock(sessions_mutex_);
       sessions_.emplace(router_session, std::move(entry));
     }
+    journal_.append_bind(router_session,
+                         std::get<serve::BindParams>(request.params));
     // The client sees the router's id; the worker-side id never escapes.
     result["session"] = router_session;
     return serve::make_ok_response(request.id, std::move(result));
@@ -368,9 +430,10 @@ void Router::migrate_locked(SessionEntry& entry, ConnState& state) {
   bind.params = entry.spec;
   json::Value result = forward(state, entry.slot, std::move(bind), true);
   entry.worker_session = serve::parse_bind_reply(result).session;
+  ++entry.gen;
   n_migrations_.fetch_add(1, std::memory_order_relaxed);
   g_obs_migrations.add();
-  log::info("cluster: migrated a session to restarted worker ", entry.slot,
+  log::info("cluster: migrated a session to worker ", entry.slot,
             " (worker session ", entry.worker_session, ")");
 }
 
@@ -390,8 +453,30 @@ Response Router::handle_session_request(const Request& request,
         request.id, serve::kErrUnknownSession,
         "unknown session " + std::to_string(router_session));
   }
-  if (auto shed = admission_check(request.id, entry->slot)) return *shed;
-  const InflightGuard guard(total_inflight_, slot_inflight_[entry->slot]);
+
+  if (request.type == RequestType::kUnbind) {
+    // A session that was never materialized on its worker (journal
+    // recovery, failed rehome) has nothing worker-side to tear down.
+    const std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->worker_session == 0) {
+      {
+        const std::lock_guard<std::mutex> slock(sessions_mutex_);
+        sessions_.erase(router_session);
+      }
+      journal_.append_unbind(router_session);
+      json::Value result = json::Value::object();
+      result["removed"] = true;
+      return serve::make_ok_response(request.id, std::move(result));
+    }
+  }
+
+  std::uint32_t admit_slot = 0;
+  {
+    const std::lock_guard<std::mutex> lock(entry->mu);
+    admit_slot = entry->slot;
+  }
+  if (auto shed = admission_check(request.id, admit_slot)) return *shed;
+  const InflightGuard guard(total_inflight_, slot_inflight_[admit_slot]);
 
   // kTransient mutates worker-side state: never retry an attempt whose
   // fate is unknown (mirrors ResilientClient's rule).
@@ -400,30 +485,49 @@ Response Router::handle_session_request(const Request& request,
   // Forward; on kErrUnknownSession the worker restarted and lost the
   // session — replay the cached bind and retry with the fresh id. Two
   // attempts suffice: a second unknown-session means the worker died
-  // *again* mid-migration, which the client's own retry absorbs.
+  // *again* mid-migration, which the client's own retry absorbs. Placement
+  // is re-read under the session mutex each attempt, so a concurrent
+  // rebalance moves this request to the session's new home.
   try {
     for (int attempt = 0;; ++attempt) {
       Request towork = request;
+      std::uint32_t slot = 0;
       std::uint64_t wsid = 0;
+      std::uint64_t gen = 0;
       {
         const std::lock_guard<std::mutex> lock(entry->mu);
+        if (entry->worker_session == 0) {
+          // Lazy rebind: materialize the recovered session before its
+          // first real request (throws into the handlers below on failure).
+          migrate_locked(*entry, state);
+        }
+        slot = entry->slot;
         wsid = entry->worker_session;
+        gen = entry->gen;
       }
       set_session(towork, wsid);
       try {
         json::Value result =
-            forward(state, entry->slot, std::move(towork), retry_after_recv);
+            forward(state, slot, std::move(towork), retry_after_recv);
         if (request.type == RequestType::kUnbind) {
-          const std::lock_guard<std::mutex> lock(sessions_mutex_);
-          sessions_.erase(router_session);
+          {
+            const std::lock_guard<std::mutex> lock(sessions_mutex_);
+            sessions_.erase(router_session);
+          }
+          journal_.append_unbind(router_session);
         }
         return serve::make_ok_response(request.id, std::move(result));
       } catch (const ProtocolError& e) {
         if (e.code() != serve::kErrUnknownSession || attempt >= 1) throw;
         const std::lock_guard<std::mutex> lock(entry->mu);
-        // Another connection may have migrated while we were forwarding —
-        // only replay if the stale id is still current.
-        if (entry->worker_session == wsid) migrate_locked(*entry, state);
+        // Another connection may have migrated (or a rebalance rehomed the
+        // session) while we were forwarding — replay only if the placement
+        // generation is unchanged. Comparing worker ids is not enough: a
+        // restarted worker reuses the same small ids (ABA), which would
+        // double-bind the session under a concurrent replay race.
+        if (entry->gen == gen) {
+          migrate_locked(*entry, state);
+        }
       }
     }
   } catch (const ProtocolError& e) {
@@ -438,11 +542,119 @@ Response Router::handle_session_request(const Request& request,
   }
 }
 
+Router::RebalanceReport Router::rebalance_to(HashRing next) {
+  // Caller holds topology_mutex_. Snapshot the sessions, flip the ring so
+  // new binds land on the new topology, then rehome the delta.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<SessionEntry>>> snap;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    snap.assign(sessions_.begin(), sessions_.end());
+  }
+  RebalanceReport report;
+  report.total_sessions = snap.size();
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    ring_ = std::move(next);
+  }
+  for (const auto& [sid, entry] : snap) {
+    const std::uint32_t new_owner = owner_slot(sid);
+    const std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->slot == new_owner) continue;
+    ++report.moved;
+    const std::uint32_t old_slot = entry->slot;
+    const std::uint64_t old_wsid = entry->worker_session;
+    // Drain-and-rehome under the session mutex: requests that already read
+    // the old placement finish on the old owner (still serving); every
+    // request behind this lock sees the new one. Results stay bit-identical
+    // because a solve is a pure function of (spec, ω, I).
+    try {
+      if (g_fault_rehome.should_fail()) {
+        throw TransportError(TransportError::Kind::kSend,
+                             "injected rehome replay failure");
+      }
+      Request bind;
+      bind.type = RequestType::kBind;
+      bind.params = entry->spec;
+      json::Value result =
+          forward(admin_state_, new_owner, std::move(bind), true);
+      entry->worker_session = serve::parse_bind_reply(result).session;
+    } catch (const std::exception& e) {
+      // The move still happens; materialization falls back to the lazy
+      // sentinel and heals on the session's next request.
+      entry->worker_session = 0;
+      ++report.replay_failures;
+      log::warn("cluster: rehome replay to worker ", new_owner,
+                " failed (", e.what(), "); session will rebind lazily");
+    }
+    entry->slot = new_owner;
+    ++entry->gen;
+    n_rehomed_.fetch_add(1, std::memory_order_relaxed);
+    g_obs_rehomed.add();
+    if (old_wsid != 0) {
+      // Best-effort: free the old owner's registry slot. Failure is
+      // harmless — a stale worker-side session idles until that worker
+      // restarts or hits its session cap eviction.
+      try {
+        Request unb;
+        unb.type = RequestType::kUnbind;
+        serve::SessionParams p;
+        p.session = old_wsid;
+        unb.params = p;
+        (void)forward(admin_state_, old_slot, std::move(unb), true);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  return report;
+}
+
+Router::RebalanceReport Router::add_worker_slot(std::uint32_t slot) {
+  if (slot >= kMaxSlots) {
+    throw std::runtime_error("cluster: slot id exceeds Router::kMaxSlots");
+  }
+  const std::lock_guard<std::mutex> lock(topology_mutex_);
+  HashRing next = [&] {
+    const std::lock_guard<std::mutex> ring_lock(ring_mutex_);
+    return ring_;
+  }();
+  next.add_node(slot);
+  const RebalanceReport report = rebalance_to(std::move(next));
+  log::info("cluster: ring extended with worker ", slot, " (",
+            report.moved, "/", report.total_sessions, " sessions rehomed)");
+  return report;
+}
+
+Router::RebalanceReport Router::remove_worker_slot(std::uint32_t slot) {
+  const std::lock_guard<std::mutex> lock(topology_mutex_);
+  HashRing next = [&] {
+    const std::lock_guard<std::mutex> ring_lock(ring_mutex_);
+    return ring_;
+  }();
+  next.remove_node(slot);
+  if (next.empty()) {
+    throw std::runtime_error("cluster: cannot remove the last worker");
+  }
+  const RebalanceReport report = rebalance_to(std::move(next));
+  // Drain: requests that read their placement before the flip are still
+  // completing against the old owner — wait them out so the caller can
+  // retire the worker without cutting live requests.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  while (slot_inflight_[slot].load(std::memory_order_relaxed) > 0 &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  log::info("cluster: ring shrunk by worker ", slot, " (",
+            report.moved, "/", report.total_sessions, " sessions rehomed)");
+  return report;
+}
+
 Response Router::handle_health(const Request& request) {
   serve::HealthReply reply;
   reply.healthy = false;
   reply.accepting = false;
   for (const auto& w : supervisor_.snapshot()) {
+    if (w.state == WorkerState::kRetired) continue;
     if (w.state == WorkerState::kAlive || w.state == WorkerState::kDegraded) {
       reply.healthy = true;
     }
@@ -489,9 +701,13 @@ Response Router::handle_stats(const Request& request, ConnState& state) {
     router["forwarded"] = c.forwarded;
     router["shed"] = c.shed;
     router["migrations"] = c.migrations;
+    router["rehomed"] = c.rehomed;
+    router["recovered"] = c.recovered;
     router["transport_errors"] = c.transport_errors;
     router["protocol_errors"] = c.protocol_errors;
     router["worker_restarts"] = supervisor_.restarts();
+    router["journal_enabled"] = journal_.enabled();
+    router["journal_write_failures"] = c.journal_write_failures;
   }
 
   json::Value workers = json::Value::array();
@@ -501,13 +717,22 @@ Response Router::handle_stats(const Request& request, ConnState& state) {
     entry["port"] = w.port;
     entry["state"] = worker_state_name(w.state);
     entry["restarts"] = w.restarts;
+    entry["crash_streak"] = w.consecutive_crashes;
+    if (w.last_exit.has_value()) {
+      json::Value exit = json::Value::object();
+      exit["signaled"] = w.last_exit->signaled;
+      exit["value"] = w.last_exit->value;
+      entry["last_exit"] = std::move(exit);
+    }
     entry["sessions"] = w.load.sessions;
     entry["active_sessions"] = w.load.active_sessions;
     entry["queue_depth"] = w.load.queue_depth;
     entry["queue_capacity"] = w.load.queue_capacity;
     entry["uptime_ms"] = w.load.uptime_ms;
     entry["inflight"] = slot_inflight_[w.slot].load(std::memory_order_relaxed);
-    if (w.port != 0 && w.state != WorkerState::kDead) {
+    if (w.port != 0 && w.state != WorkerState::kDead &&
+        w.state != WorkerState::kCrashLooping &&
+        w.state != WorkerState::kRetired) {
       Request fwd;
       fwd.type = RequestType::kStats;
       serve::StatsParams p = params;
@@ -533,7 +758,11 @@ Response Router::handle_trace(const Request& request, ConnState& state) {
   json::Value merged = json::Value::array();
   std::uint64_t dropped = 0;
   for (const auto& w : supervisor_.snapshot()) {
-    if (w.port == 0 || w.state == WorkerState::kDead) continue;
+    if (w.port == 0 || w.state == WorkerState::kDead ||
+        w.state == WorkerState::kCrashLooping ||
+        w.state == WorkerState::kRetired) {
+      continue;
+    }
     Request fwd;
     fwd.type = RequestType::kTrace;
     fwd.params = std::get<serve::TraceParams>(request.params);
@@ -560,9 +789,20 @@ Response Router::handle_trace(const Request& request, ConnState& state) {
 }
 
 Response Router::handle_sleep(const Request& request, ConnState& state) {
-  const std::uint32_t slot = static_cast<std::uint32_t>(
+  // Round-robin over the slots actually on the ring (retired ones are off
+  // it, crash-looping ones are shed by admission below).
+  std::vector<std::uint32_t> candidates;
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    candidates = ring_.nodes();
+  }
+  if (candidates.empty()) {
+    return serve::make_error_response(request.id, serve::kErrOverloaded,
+                                      "no workers", options_.retry_after_ms);
+  }
+  const std::uint32_t slot = candidates[static_cast<std::size_t>(
       round_robin_.fetch_add(1, std::memory_order_relaxed) %
-      supervisor_.worker_count());
+      candidates.size())];
   if (auto shed = admission_check(request.id, slot)) return *shed;
   const InflightGuard guard(total_inflight_, slot_inflight_[slot]);
   try {

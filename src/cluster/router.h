@@ -8,9 +8,9 @@
 // per worker slot), forwards the bind to the owning worker, caches the
 // chip spec, and rewrites the reply's `session` to the router id. Every
 // later request carrying that session is rewritten to the worker-side id
-// and forwarded to the same slot — placement is a pure function of the
-// router id, so it survives router-internal data-structure churn and is
-// reproducible across runs.
+// and forwarded to the session's current slot — placement is a pure
+// function of the router id and the ring topology, so it is reproducible
+// across runs and across a router restart.
 //
 // Migration. A worker restart loses its sessions. The first forward that
 // comes back kErrUnknownSession triggers replay: the router re-issues the
@@ -19,24 +19,47 @@
 // functions of (spec, ω, I), so results across a migration are
 // bit-identical; transient session *state* is not migrated — a migrated
 // transient session restarts from ambient (documented in docs/cluster.md).
+// A worker_session of 0 is the lazy-rebind sentinel: the session is known
+// (from journal recovery or a failed rehome) but not yet materialized on
+// its worker, and the next forward replays the bind first.
+//
+// Rebalancing. add_worker_slot()/remove_worker_slot() change the ring at
+// runtime: the router computes the ownership delta against a copy of the
+// ring, flips the new topology in, then drains-and-rehomes each moving
+// session — the cached bind is replayed on the new owner under the
+// per-session mutex (in-flight requests finish wherever they already read
+// their placement), the slot/worker-id pair is swapped atomically, and the
+// old worker gets a best-effort unbind. Consistent hashing bounds movement
+// to ~sessions/N for a topology change of one node. remove_worker_slot
+// additionally waits for the retired slot's router-side inflight to drain
+// so the caller can destroy the worker without cutting live requests.
+//
+// Durability. With RouterOptions::journal_path set, every successful bind
+// is appended to a checksummed journal and every unbind tombstoned (see
+// journal.h). start() replays it: recovered sessions come back with their
+// ring placement and the lazy-rebind sentinel, so a restarted router
+// serves every previously bound session without client re-registration.
 //
 // Admission. Before forwarding work the router sheds deterministically —
 // kErrOverloaded with a retry_after_ms hint — when the cluster-wide
-// inflight count crosses max_inflight, or when the target worker's probed
+// inflight count crosses max_inflight, when the target worker's probed
 // queue depth plus the router's own inflight toward it crosses
-// admission_fraction of the worker's queue capacity. Transport failures
-// that survive the forwarder's retries surface the same way, so a
-// ResilientClient pointed at the router rides out worker deaths with
-// nothing but (retried) transient errors.
+// admission_fraction of the worker's queue capacity, or when the target
+// slot is crash-looping (respawn held back by supervisor backoff).
 //
 // Aggregation. kPing is answered inline. kHealth summarizes the cluster
 // (healthy = any worker alive; depth/capacity summed across workers).
 // kStats returns {"router": {...}, "workers": [{slot, port, state, ...,
 // stats}]}. kTrace concatenates every worker's exemplar dump so plain
-// `oftec_client trace` works unchanged. kSleep round-robins.
+// `oftec_client trace` works unchanged. kSleep round-robins over
+// non-retired slots.
 //
-// Fault site: cluster.proxy_write — a forward fails as if the worker
-// connection broke (surfaces as kErrOverloaded after retries).
+// Fault sites: cluster.proxy_write — a forward fails as if the worker
+// connection broke (surfaces as kErrOverloaded after retries);
+// cluster.rehome_replay — a rebalance bind replay fails (the session falls
+// back to the lazy-rebind sentinel and heals on first use);
+// cluster.journal_write — a journal append fails (durability degrades,
+// serving does not).
 #pragma once
 
 #include <atomic>
@@ -45,11 +68,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/hash_ring.h"
+#include "cluster/journal.h"
 #include "cluster/supervisor.h"
 #include "serve/protocol.h"
 #include "serve/resilient_client.h"
@@ -73,10 +98,21 @@ struct RouterOptions {
   /// Attempts per forward (transport retries inside the ResilientClient).
   int forward_attempts = 4;
   std::size_t ring_virtual_nodes = HashRing::kDefaultVirtualNodes;
+  /// Bind journal path; empty = session specs are memory-only (a router
+  /// restart strands bound sessions, pre-PR-9 behavior).
+  std::string journal_path;
+  std::size_t journal_compact_threshold = 64;
+  /// How long remove_worker_slot waits for the retired slot's inflight to
+  /// drain before giving up and proceeding [ms].
+  long drain_timeout_ms = 10000;
 };
 
 class Router {
  public:
+  /// Hard cap on worker slots (preallocated inflight accounting — lock-free
+  /// on the request path while the topology grows at runtime).
+  static constexpr std::size_t kMaxSlots = 1024;
+
   /// `supervisor` must outlive the router and should be started first (the
   /// router reads worker ports and probed load from it).
   Router(RouterOptions options, Supervisor& supervisor);
@@ -98,9 +134,23 @@ class Router {
 
   /// Slot a router session id maps to on the ring (placement preview —
   /// also valid for ids that are not bound).
-  [[nodiscard]] std::uint32_t owner_slot(std::uint64_t router_session) const {
-    return ring_.owner(router_session);
-  }
+  [[nodiscard]] std::uint32_t owner_slot(std::uint64_t router_session) const;
+
+  /// Outcome of one topology change (the <2/N movement-bound evidence).
+  struct RebalanceReport {
+    std::size_t total_sessions = 0;  ///< sessions bound when the ring flipped
+    std::size_t moved = 0;           ///< sessions whose owner changed
+    std::size_t replay_failures = 0; ///< rehomes deferred to lazy rebind
+  };
+
+  /// Extend the ring with `slot` (already spawned and probed) and rehome
+  /// the sessions it now owns. Safe during live traffic.
+  RebalanceReport add_worker_slot(std::uint32_t slot);
+
+  /// Shrink the ring: move every session off `slot`, then wait for the
+  /// router's inflight toward it to drain. The caller retires the worker
+  /// afterwards. Safe during live traffic.
+  RebalanceReport remove_worker_slot(std::uint32_t slot);
 
   struct Counters {
     std::uint64_t connections = 0;
@@ -108,19 +158,27 @@ class Router {
     std::uint64_t forwarded = 0;  ///< requests proxied to a worker
     std::uint64_t shed = 0;       ///< kErrOverloaded from admission control
     std::uint64_t migrations = 0; ///< session replays after a worker restart
+    std::uint64_t rehomed = 0;    ///< sessions moved by planned rebalances
+    std::uint64_t recovered = 0;  ///< sessions replayed from the journal
     std::uint64_t transport_errors = 0;  ///< forwards dead after retries
     std::uint64_t protocol_errors = 0;
+    std::uint64_t journal_write_failures = 0;
   };
   [[nodiscard]] Counters counters() const;
 
  private:
   /// One bound session: the cached spec is everything needed to recreate
-  /// it on a replacement worker.
+  /// it on a replacement worker. `mu` serializes migration/rehome and
+  /// guards slot + worker_session (worker_session == 0 = lazy rebind).
+  /// `gen` counts placement changes: a restarted worker hands out the same
+  /// small session ids again, so "did someone migrate while I was
+  /// forwarding?" must compare generations, not worker ids (ABA).
   struct SessionEntry {
     serve::BindParams spec;
+    std::mutex mu;
     std::uint32_t slot = 0;
-    std::mutex mu;  ///< serializes migration; guards worker_session
     std::uint64_t worker_session = 0;
+    std::uint64_t gen = 0;
   };
 
   /// Per-connection forwarding state: one lazily-connected ResilientClient
@@ -165,16 +223,27 @@ class Router {
   [[nodiscard]] std::optional<serve::Response> admission_check(
       std::uint64_t id, std::uint32_t slot);
 
-  /// Replay the cached bind for `entry` on its worker (after a restart).
-  /// Precondition: caller holds entry.mu and saw worker_session == stale.
+  /// Replay the cached bind for `entry` on its current slot (worker
+  /// restart, lazy rebind). Precondition: caller holds entry.mu.
   void migrate_locked(SessionEntry& entry, ConnState& state);
+
+  /// Shared guts of add/remove_worker_slot: swap in `next` ring, rehome
+  /// every session whose owner changed.
+  RebalanceReport rebalance_to(HashRing next);
 
   [[nodiscard]] std::shared_ptr<SessionEntry> find_session(
       std::uint64_t router_session) const;
 
   RouterOptions options_;
   Supervisor& supervisor_;
+
+  mutable std::mutex ring_mutex_;  ///< guards ring_ (reads on bind path)
   HashRing ring_;
+
+  std::mutex topology_mutex_;  ///< serializes rebalances; guards admin_state_
+  ConnState admin_state_;      ///< rehome/unbind forwarding (not per-conn)
+
+  BindJournal journal_;
 
   serve::Listener listener_;
   std::uint16_t port_ = 0;
@@ -199,6 +268,8 @@ class Router {
   std::atomic<std::uint64_t> n_forwarded_{0};
   std::atomic<std::uint64_t> n_shed_{0};
   std::atomic<std::uint64_t> n_migrations_{0};
+  std::atomic<std::uint64_t> n_rehomed_{0};
+  std::atomic<std::uint64_t> n_recovered_{0};
   std::atomic<std::uint64_t> n_transport_errors_{0};
   std::atomic<std::uint64_t> n_protocol_errors_{0};
 };

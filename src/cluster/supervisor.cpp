@@ -1,5 +1,6 @@
 #include "cluster/supervisor.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -18,7 +19,15 @@ const obs::Counter g_obs_probes = obs::counter("cluster.probes");
 const obs::Counter g_obs_probe_failures =
     obs::counter("cluster.probe_failures");
 const obs::Counter g_obs_restarts = obs::counter("cluster.worker_restarts");
+const obs::Counter g_obs_crashes = obs::counter("cluster.worker_crashes");
 const obs::Gauge g_obs_alive = obs::gauge("cluster.workers_alive");
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 }  // namespace
 
@@ -34,7 +43,7 @@ Supervisor::~Supervisor() { stop(); }
 void Supervisor::start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
   stopping_.store(false, std::memory_order_release);
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+  for (std::uint32_t i = 0; i < worker_count(); ++i) {
     if (!try_spawn(i)) {
       log::warn("cluster: worker ", i,
                 " failed to spawn; prober will retry");
@@ -48,11 +57,20 @@ void Supervisor::stop() {
   stopping_.store(true, std::memory_order_release);
   wake_.notify_all();
   if (prober_.joinable()) prober_.join();
+  // Destroy workers outside state_mutex_: teardown drains server threads
+  // (or waits on a child process), and observers may be reading info().
+  std::vector<std::unique_ptr<Worker>> doomed;
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
-    for (Slot& slot : slots_) slot.worker.reset();  // drains owned servers
+    for (Slot& slot : slots_) doomed.push_back(std::move(slot.worker));
   }
+  doomed.clear();
   running_.store(false, std::memory_order_release);
+}
+
+std::size_t Supervisor::worker_count() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return slots_.size();
 }
 
 std::uint16_t Supervisor::port_of(std::uint32_t slot) const {
@@ -72,13 +90,16 @@ Supervisor::WorkerInfo Supervisor::info(std::uint32_t slot) const {
   out.consecutive_failures = s.consecutive_failures;
   out.restarts = s.restarts;
   out.restartable = s.worker == nullptr || s.worker->restartable();
+  out.consecutive_crashes = s.consecutive_crashes;
+  out.last_exit = s.last_exit;
   return out;
 }
 
 std::vector<Supervisor::WorkerInfo> Supervisor::snapshot() const {
   std::vector<WorkerInfo> out;
-  out.reserve(slots_.size());
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) out.push_back(info(i));
+  const std::size_t n = worker_count();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(info(i));
   return out;
 }
 
@@ -86,9 +107,49 @@ std::uint64_t Supervisor::restarts() const {
   return total_restarts_.load(std::memory_order_relaxed);
 }
 
+std::uint32_t Supervisor::add_worker() {
+  // pass_mutex_ keeps the prober from spotting the half-added slot and
+  // racing a second spawn for it.
+  const std::lock_guard<std::mutex> pass_lock(pass_mutex_);
+  std::uint32_t slot = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  if (!try_spawn(slot)) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    slots_.pop_back();  // scale-up failed: leave the topology unchanged
+    throw std::runtime_error("cluster: add_worker spawn failed");
+  }
+  log::info("cluster: worker ", slot, " added on port ", port_of(slot));
+  return slot;
+}
+
+void Supervisor::remove_worker(std::uint32_t slot) {
+  // Exclude a concurrent probe pass: the prober holds a raw Worker* while
+  // reaping/probing, so destruction must never race it.
+  const std::lock_guard<std::mutex> pass_lock(pass_mutex_);
+  std::unique_ptr<Worker> doomed;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (slot >= slots_.size() || slots_[slot].retired) return;
+    Slot& s = slots_[slot];
+    s.retired = true;
+    s.state = WorkerState::kRetired;
+    s.load = WorkerLoad{};
+    doomed = std::move(s.worker);
+  }
+  doomed.reset();  // drains (in-process) or SIGTERMs + reaps (process)
+  log::info("cluster: worker ", slot, " retired");
+}
+
 void Supervisor::kill_worker(std::uint32_t slot) {
-  // Stop the server outside state_mutex_: kill() drains the worker's
-  // threads, and a router thread may be blocked reading info() meanwhile.
+  // Serialized against probe passes (and remove_worker) so the raw pointer
+  // below cannot dangle; kill() itself runs outside state_mutex_ because it
+  // drains the worker's threads and a router thread may be blocked reading
+  // info() meanwhile.
+  const std::lock_guard<std::mutex> pass_lock(pass_mutex_);
   Worker* victim = nullptr;
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
@@ -111,22 +172,102 @@ void Supervisor::prober_loop() {
   }
 }
 
+std::uint64_t Supervisor::backoff_ms(std::uint32_t slot, int crashes) const {
+  // First death in a streak restarts immediately: the common case is an
+  // isolated crash and fast failover wins. From the second on, exponential
+  // with a cap plus up to +25% deterministic jitter so a fleet of
+  // crash-looping slots never respawns in lockstep.
+  if (crashes < 2) return 0;
+  const int exp = std::min(crashes - 2, 30);
+  std::uint64_t base = options_.restart_backoff_initial_ms
+                       << static_cast<unsigned>(exp);
+  base = std::min(base, options_.restart_backoff_max_ms);
+  const std::uint64_t h = mix64(options_.backoff_jitter_seed ^
+                                (static_cast<std::uint64_t>(slot) << 32) ^
+                                static_cast<std::uint64_t>(crashes));
+  return base + (base / 4 > 0 ? h % (base / 4) : 0);
+}
+
+void Supervisor::handle_death(std::uint32_t i,
+                              std::optional<ExitInfo> exit_info) {
+  std::unique_ptr<Worker> old;
+  int crashes = 0;
+  std::uint64_t delay = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Slot& slot = slots_[i];
+    old = std::move(slot.worker);
+    // Streak bookkeeping: a short-lived incarnation extends the streak, a
+    // stable one starts a fresh streak at 1.
+    const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - slot.spawned_at)
+                            .count();
+    slot.consecutive_crashes =
+        (uptime >= 0 &&
+         static_cast<std::uint64_t>(uptime) < options_.stable_uptime_ms)
+            ? slot.consecutive_crashes + 1
+            : 1;
+    crashes = slot.consecutive_crashes;
+    slot.last_exit = exit_info;
+    delay = backoff_ms(i, crashes);
+    slot.next_restart_at = Clock::now() + std::chrono::milliseconds(delay);
+    slot.state = crashes >= options_.crash_loop_threshold
+                     ? WorkerState::kCrashLooping
+                     : WorkerState::kDead;
+    slot.load = WorkerLoad{};
+  }
+  if (exit_info.has_value()) g_obs_crashes.add();
+  old.reset();  // outside the lock: teardown drains threads / reaps a pid
+
+  if (exit_info.has_value()) {
+    log::warn("cluster: worker ", i,
+              exit_info->signaled ? " killed by signal " : " exited with ",
+              exit_info->value, " (crash streak ", crashes, ")");
+  }
+  if (delay == 0) {
+    if (try_spawn(i)) {
+      log::info("cluster: worker ", i, " restarted on port ", port_of(i));
+    }
+  } else {
+    log::warn("cluster: worker ", i, " respawn delayed ", delay,
+              "ms (crash streak ", crashes, ")");
+  }
+}
+
 void Supervisor::probe_pass() {
   const std::lock_guard<std::mutex> pass_lock(pass_mutex_);
+  const std::size_t n = worker_count();
   std::size_t alive = 0;
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+  for (std::uint32_t i = 0; i < n; ++i) {
     bool needs_spawn = false;
+    bool gate_open = true;
+    Worker* worker = nullptr;
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);
-      needs_spawn = slots_[i].worker == nullptr;
+      const Slot& slot = slots_[i];
+      if (slot.retired) continue;
+      needs_spawn = slot.worker == nullptr;
+      gate_open = Clock::now() >= slot.next_restart_at;
+      worker = slot.worker.get();
     }
     if (needs_spawn) {
-      if (try_spawn(i)) {
+      // Respect the crash-loop backoff gate; plain spawn failures
+      // (factory threw — nothing ever ran) retry every pass as before.
+      if (gate_open && try_spawn(i)) {
         log::info("cluster: worker ", i, " respawned on port ",
                   port_of(i));
       }
     } else {
-      probe_slot(i);
+      // A reaped exit is a crash seen instantly — no need to burn
+      // fail_threshold probes on a corpse. Safe without state_mutex_:
+      // worker destruction only happens on this (pass-serialized) path or
+      // in stop()/remove_worker, which never race a live pass for the
+      // same slot.
+      if (std::optional<ExitInfo> exit_info = worker->try_reap()) {
+        handle_death(i, exit_info);
+      } else {
+        probe_slot(i);
+      }
     }
     if (info(i).state == WorkerState::kAlive) ++alive;
   }
@@ -150,7 +291,9 @@ bool Supervisor::try_spawn(std::uint32_t i) {
   } catch (const std::exception& e) {
     log::warn("cluster: spawning worker ", i, " failed: ", e.what());
     const std::lock_guard<std::mutex> lock(state_mutex_);
-    slots_[i].state = WorkerState::kDead;
+    if (slots_[i].state != WorkerState::kCrashLooping) {
+      slots_[i].state = WorkerState::kDead;
+    }
     return false;
   }
   const std::uint16_t bound = worker->port();
@@ -163,6 +306,8 @@ bool Supervisor::try_spawn(std::uint32_t i) {
     slot.load = WorkerLoad{};
     slot.consecutive_failures = 0;
     slot.ever_spawned = true;
+    slot.spawned_at = Clock::now();
+    slot.next_restart_at = Clock::time_point{};
     if (is_restart) {
       ++slot.restarts;
       total_restarts_.fetch_add(1, std::memory_order_relaxed);
@@ -212,31 +357,31 @@ void Supervisor::probe_slot(std::uint32_t i) {
                        ? (health->accepting ? WorkerState::kAlive
                                             : WorkerState::kDegraded)
                        : WorkerState::kDegraded;
+      // Surviving the stability window ends the crash streak — the next
+      // death starts over at streak 1 (immediate respawn).
+      const auto uptime =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - slot.spawned_at)
+              .count();
+      if (slot.consecutive_crashes > 0 && uptime >= 0 &&
+          static_cast<std::uint64_t>(uptime) >= options_.stable_uptime_ms) {
+        slot.consecutive_crashes = 0;
+        slot.last_exit.reset();
+      }
       return;
     }
     g_obs_probe_failures.add();
     ++slot.consecutive_failures;
     if (slot.consecutive_failures >= options_.fail_threshold) {
-      slot.state = WorkerState::kDead;
       declare_dead = slot.worker != nullptr && slot.worker->restartable();
+      if (!declare_dead) slot.state = WorkerState::kDead;
     }
   }
   if (!declare_dead) return;
 
-  // Death confirmed on a restartable worker: destroy the old incarnation
-  // (frees its sticky port) and spawn the replacement immediately, outside
-  // state_mutex_ — destruction drains the old server's threads.
   log::warn("cluster: worker ", i, " declared dead after ",
             options_.fail_threshold, " failed probes; restarting");
-  std::unique_ptr<Worker> old;
-  {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
-    old = std::move(slots_[i].worker);
-  }
-  old.reset();
-  if (try_spawn(i)) {
-    log::info("cluster: worker ", i, " restarted on port ", port_of(i));
-  }
+  handle_death(i, std::nullopt);
 }
 
 }  // namespace oftec::cluster

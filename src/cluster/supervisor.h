@@ -3,17 +3,31 @@
 //
 // One prober thread drives everything. Each pass, per worker slot:
 //
+//   * retired slots (planned scale-down) are skipped forever;
+//   * a worker process that exited is reaped (try_reap) and handled as a
+//     crash *immediately* — the exit status/signal is recorded as last_exit
+//     and the slot goes straight to death handling without waiting out
+//     fail_threshold probes (only process-backed workers report exits;
+//     in-process and attached workers fall back to probe death below);
 //   * a missing worker (initial spawn failed, or the previous incarnation
 //     was destroyed after death) is respawned on its sticky port — the
 //     port assigned at first spawn never changes, so the router's cached
-//     addresses stay valid across restarts;
+//     addresses stay valid across restarts — once its restart backoff
+//     deadline has passed;
 //   * otherwise the worker is probed with one inline kHealth RPC (bounded
-//     by probe_timeout_ms). Success refreshes the slot's WorkerLoad
-//     (queue depth, active sessions, uptime — the extended health fields)
-//     and marks it kAlive, or kDegraded when the worker answers but is not
-//     accepting. Failure increments a consecutive-failure count; at
-//     fail_threshold the slot is marked kDead and, when restartable, the
-//     old incarnation is destroyed and a replacement spawned immediately.
+//     by probe_timeout_ms). Success refreshes the slot's WorkerLoad and
+//     marks it kAlive/kDegraded; failure increments a consecutive-failure
+//     count, and at fail_threshold the slot is declared dead.
+//
+// Crash-loop backoff. Every death ends one incarnation; if that incarnation
+// survived less than stable_uptime_ms the crash streak increments, else it
+// resets to 1. The first death in a streak respawns immediately (fast
+// failover — the common case is an isolated crash); the n-th waits
+// min(restart_backoff_max_ms, initial · 2^(n-2)) plus deterministic jitter,
+// so a worker that dies on arrival cannot melt the prober loop with
+// back-to-back forks. At crash_loop_threshold the slot surfaces
+// kCrashLooping (the router sheds for it); a respawn that then survives
+// stable_uptime_ms clears the streak.
 //
 // A restarted worker comes up empty — its sessions are gone. That is by
 // design: session state lives at the router (the cached chip spec), which
@@ -21,8 +35,14 @@
 // supervisor's only migration duty is making the replacement reachable at
 // the old address quickly.
 //
+// Topology: add_worker() appends a slot and spawns it synchronously;
+// remove_worker() retires a slot (tombstone — indices never shift, so ring
+// node ids and sticky routing stay valid). The router drives both through
+// Cluster::add_worker / remove_worker, which also rehome sessions.
+//
 // Fault sites (deterministic, OFTEC_FAULT-selectable):
 //   cluster.worker_spawn   spawning a replacement fails (retried next pass)
+//   cluster.exec_spawn     process-mode fork/exec fails (same retry path)
 //   cluster.probe_timeout  a probe is treated as timed out without I/O
 //
 // Thread-safety: all public methods are safe from any thread. probe_now()
@@ -30,6 +50,7 @@
 // timing deterministic).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -51,6 +72,15 @@ struct SupervisorOptions {
   long probe_timeout_ms = 250;  ///< per-probe receive timeout
   /// Consecutive failed probes before a worker is declared dead.
   int fail_threshold = 3;
+  /// Backoff before the 2nd, 3rd, ... respawn in a crash streak [ms].
+  std::uint64_t restart_backoff_initial_ms = 100;
+  std::uint64_t restart_backoff_max_ms = 5000;
+  /// An incarnation surviving this long ends its slot's crash streak [ms].
+  std::uint64_t stable_uptime_ms = 2000;
+  /// Crash streak length at which the slot surfaces kCrashLooping.
+  int crash_loop_threshold = 3;
+  /// Seed for the deterministic backoff jitter stream.
+  std::uint64_t backoff_jitter_seed = 0x6261636b6f666673ull;
 };
 
 class Supervisor {
@@ -74,7 +104,9 @@ class Supervisor {
     return running_.load(std::memory_order_acquire);
   }
 
-  [[nodiscard]] std::size_t worker_count() const { return slots_.size(); }
+  /// Slots ever created, including retired tombstones (slot ids are dense
+  /// in [0, worker_count())).
+  [[nodiscard]] std::size_t worker_count() const;
 
   /// Sticky port of a slot (0 until its first successful spawn).
   [[nodiscard]] std::uint16_t port_of(std::uint32_t slot) const;
@@ -88,6 +120,8 @@ class Supervisor {
     int consecutive_failures = 0;
     std::uint64_t restarts = 0;   ///< replacements spawned after death
     bool restartable = true;
+    int consecutive_crashes = 0;  ///< current crash streak (0 = stable)
+    std::optional<ExitInfo> last_exit;  ///< how the last incarnation died
   };
   [[nodiscard]] WorkerInfo info(std::uint32_t slot) const;
   [[nodiscard]] std::vector<WorkerInfo> snapshot() const;
@@ -95,12 +129,20 @@ class Supervisor {
   /// Total replacements spawned (across all slots).
   [[nodiscard]] std::uint64_t restarts() const;
 
-  /// Chaos hook: hard-stop a worker's server without telling the prober —
-  /// exactly what a crash looks like. Probes then fail, the slot crosses
-  /// fail_threshold, and a replacement is spawned on the sticky port.
+  /// Append a new slot and spawn its worker synchronously. Returns the new
+  /// slot id. Throws if the spawn fails (no tombstone is left behind —
+  /// planned scale-up is allowed to fail loudly, unlike crash recovery).
+  std::uint32_t add_worker();
+
+  /// Retire a slot: destroy its worker (drains) and tombstone the index so
+  /// it is never probed or respawned again. Idempotent.
+  void remove_worker(std::uint32_t slot);
+
+  /// Chaos hook: hard-stop a worker without telling the prober — exactly
+  /// what a crash looks like (SIGKILL for process workers).
   void kill_worker(std::uint32_t slot);
 
-  /// Run one synchronous probe pass (spawn-heal + probe every slot).
+  /// Run one synchronous probe pass (reap + spawn-heal + probe every slot).
   void probe_now();
 
   [[nodiscard]] const SupervisorOptions& options() const noexcept {
@@ -108,6 +150,8 @@ class Supervisor {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Slot {
     std::unique_ptr<Worker> worker;  ///< null while spawn keeps failing
     std::uint16_t port = 0;          ///< sticky after the first spawn
@@ -116,6 +160,11 @@ class Supervisor {
     int consecutive_failures = 0;
     std::uint64_t restarts = 0;
     bool ever_spawned = false;
+    bool retired = false;
+    int consecutive_crashes = 0;
+    std::optional<ExitInfo> last_exit;
+    Clock::time_point spawned_at{};
+    Clock::time_point next_restart_at{};  ///< respawn gate (backoff)
   };
 
   void prober_loop();
@@ -124,6 +173,12 @@ class Supervisor {
   bool try_spawn(std::uint32_t i);
   /// One kHealth probe against slot `i`; updates state/load.
   void probe_slot(std::uint32_t i);
+  /// One incarnation of slot `i` is gone (reaped exit or probe threshold):
+  /// destroy it, advance the crash streak, respawn now or schedule backoff.
+  void handle_death(std::uint32_t i, std::optional<ExitInfo> exit_info);
+  /// Crash-streak backoff for streak length `crashes` (deterministic).
+  [[nodiscard]] std::uint64_t backoff_ms(std::uint32_t slot,
+                                         int crashes) const;
 
   SupervisorOptions options_;
   WorkerFactory factory_;

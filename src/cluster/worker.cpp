@@ -8,6 +8,8 @@ const char* worker_state_name(WorkerState s) noexcept {
     case WorkerState::kAlive: return "alive";
     case WorkerState::kDegraded: return "degraded";
     case WorkerState::kDead: return "dead";
+    case WorkerState::kCrashLooping: return "crash_looping";
+    case WorkerState::kRetired: return "retired";
   }
   return "?";
 }

@@ -1,7 +1,7 @@
 // Worker handles for the oftec cluster: the supervisor's view of one
 // oftec-serve instance.
 //
-// Two concrete kinds:
+// Three concrete kinds (ProcessWorker lives in process_worker.h):
 //
 //   InProcessWorker — a stock serve::Server the supervisor spawns inside
 //     this process. Restartable: on death the supervisor destroys it and
@@ -20,6 +20,12 @@
 //     Not restartable from here: on death the supervisor marks it dead and
 //     keeps probing until it comes back.
 //
+//   ProcessWorker — a fork()/exec()'d `oftec_client serve` child with true
+//     fault isolation and fully separate per-worker observability.
+//     Restartable on the sticky port like InProcessWorker, and the only
+//     kind whose try_reap() reports a real exit status/signal, which is
+//     what lets the supervisor tell a crash from a probe death.
+//
 // A WorkerFactory abstracts spawning so tests can inject failures or custom
 // configurations; the default factory builds InProcessWorkers from a
 // ServerOptions template.
@@ -28,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "serve/server.h"
 
@@ -35,10 +42,22 @@ namespace oftec::cluster {
 
 /// Supervisor-assigned lifecycle state, driven by health probes.
 enum class WorkerState {
-  kStarting,  ///< spawned, no successful probe yet
-  kAlive,     ///< probing healthy and accepting
-  kDegraded,  ///< probing healthy but not accepting (saturated / draining)
-  kDead,      ///< probe failures crossed the threshold (or spawn failed)
+  kStarting,      ///< spawned, no successful probe yet
+  kAlive,         ///< probing healthy and accepting
+  kDegraded,      ///< probing healthy but not accepting (saturated/draining)
+  kDead,          ///< probe failures crossed the threshold (or spawn failed)
+  kCrashLooping,  ///< crashing repeatedly; respawn held back by backoff
+  kRetired,       ///< removed by a planned scale-down; never respawned
+};
+
+/// How a worker process actually exited (process mode; see try_reap()).
+struct ExitInfo {
+  bool signaled = false;  ///< true: killed by `value` signal; false: exited
+  int value = 0;          ///< exit status or terminating signal number
+  /// Crash = anything but a voluntary clean exit.
+  [[nodiscard]] bool crashed() const noexcept {
+    return signaled || value != 0;
+  }
 };
 
 [[nodiscard]] const char* worker_state_name(WorkerState s) noexcept;
@@ -68,6 +87,12 @@ class Worker {
   /// Hard-stop the instance (chaos hook / shutdown). For attached workers
   /// this is a no-op — their lifetime belongs to someone else.
   virtual void kill() = 0;
+
+  /// Non-blocking exit check. Process-backed workers report how the child
+  /// died (once — a reaped pid is gone); in-process and attached workers
+  /// have no exit status and always return nullopt, so the supervisor falls
+  /// back to probe-death semantics for them.
+  [[nodiscard]] virtual std::optional<ExitInfo> try_reap() { return {}; }
 };
 
 /// A serve::Server owned by this process.

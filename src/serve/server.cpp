@@ -1,6 +1,9 @@
 #include "serve/server.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstddef>
 #include <map>
@@ -143,6 +146,17 @@ void Server::start() {
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { acceptor_loop(); });
   batcher_ = std::thread([this] { batcher_loop(); });
+  if (options_.ready_fd >= 0) {
+    // Readiness handshake: the supervising parent blocks on this pipe; the
+    // closed fd doubles as a liveness signal (EOF without PORT = bad start).
+    const std::string line = "PORT " + std::to_string(port_) + "\n";
+    ssize_t r;
+    do {
+      r = ::write(options_.ready_fd, line.data(), line.size());
+    } while (r < 0 && errno == EINTR);
+    ::close(options_.ready_fd);
+    options_.ready_fd = -1;
+  }
   log::info("serve: listening on 127.0.0.1:", port_,
             " (batch<=", options_.max_batch_size,
             ", delay<=", options_.max_delay_us,

@@ -69,6 +69,11 @@ struct ServerOptions {
   double shed_retry_after_ms = 5.0;
   /// Accept the test-only "sleep" request (deterministic overload tests).
   bool enable_test_requests = false;
+  /// Readiness handshake for process supervision: when >= 0, start() writes
+  /// "PORT <bound>\n" to this descriptor and closes it once the listener is
+  /// live. A parent that forked us can block on the pipe instead of polling
+  /// the port (see cluster::ProcessWorker).
+  int ready_fd = -1;
 };
 
 class Server {

@@ -10,8 +10,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -20,6 +22,24 @@ namespace oftec::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Every send in this file already passes MSG_NOSIGNAL, but third-party code
+// sharing the process (or a future write path) may not: a worker process
+// dying mid-write must never escalate to SIGPIPE killing router or peer.
+// Installed once at first socket/listener setup; never overrides a handler
+// the embedding application installed itself.
+void ignore_sigpipe_once() noexcept {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    struct sigaction cur {};
+    if (::sigaction(SIGPIPE, nullptr, &cur) == 0 &&
+        cur.sa_handler == SIG_DFL) {
+      struct sigaction ign {};
+      ign.sa_handler = SIG_IGN;
+      ::sigaction(SIGPIPE, &ign, nullptr);
+    }
+  });
+}
 
 /// recv() exactly `n` bytes, optionally bounded by `deadline`. 1 = ok,
 /// 0 = clean EOF before any byte, -1 = EOF mid-read (peer closed with a
@@ -111,6 +131,7 @@ void Socket::close() noexcept {
 }
 
 Socket Socket::connect_loopback(std::uint16_t port) {
+  ignore_sigpipe_once();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Socket();
   const sockaddr_in addr = loopback_addr(port);
@@ -142,6 +163,7 @@ Listener& Listener::operator=(Listener&& other) noexcept {
 }
 
 Listener Listener::listen_loopback(std::uint16_t port, int backlog) {
+  ignore_sigpipe_once();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("serve: socket() failed");
   const int one = 1;

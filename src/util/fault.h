@@ -27,6 +27,12 @@
 //                              out without any I/O
 //   cluster.proxy_write        the router's forward to a worker fails
 //                              (surfaces as kErrOverloaded + retry_after_ms)
+//   cluster.exec_spawn         process-mode fork/exec of a worker child
+//                              fails (retried like cluster.worker_spawn)
+//   cluster.journal_write      a bind-journal append fails (durability
+//                              degrades; serving continues)
+//   cluster.rehome_replay      a rebalance bind replay fails (the session
+//                              falls back to lazy rebind on first use)
 //
 // Selection is environment-driven — `OFTEC_FAULT=spec[,spec...]` where each
 // spec is `site:rate[:seed]` (rate in [0,1]; site may end in `*` to match a

@@ -5,8 +5,13 @@
 // that completes must be bit-identical to the faultless single-node answer.
 #include "cluster/cluster.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,6 +51,34 @@ BindParams susan_bind() {
   params.grid_nx = 8;
   params.grid_ny = 8;
   return params;
+}
+
+/// Path of the oftec_client binary for process-mode tests ("" when the
+/// build did not provide one).
+std::string process_binary() {
+#ifdef OFTEC_CLIENT_BIN
+  return OFTEC_CLIENT_BIN;
+#else
+  return "";
+#endif
+}
+
+#define SKIP_WITHOUT_WORKER_BINARY()                                     \
+  do {                                                                   \
+    if (process_binary().empty() ||                                     \
+        ::access(process_binary().c_str(), X_OK) != 0) {                 \
+      GTEST_SKIP() << "oftec_client binary not available for "          \
+                      "process-mode workers";                            \
+    }                                                                    \
+  } while (0)
+
+/// Fresh per-test journal path under the gtest temp dir (removes any
+/// leftover file from a previous run of the same pid).
+std::string fresh_journal(const char* tag) {
+  std::string path = ::testing::TempDir() + "oftec_chaos_" + tag + "_" +
+                     std::to_string(::getpid()) + ".ofj";
+  std::remove(path.c_str());
+  return path;
 }
 
 /// Many attempts, short sleeps: a worker death plus its probe-driven
@@ -153,6 +186,10 @@ TEST_F(ChaosClusterTest, KillRestartMidTrafficLosesNoSessionAtTenPercent) {
   opts.supervisor.probe_interval_ms = 20;  // prober races the traffic
   opts.supervisor.probe_timeout_ms = 250;
   opts.supervisor.fail_threshold = 2;
+  // The storm kills the same slots repeatedly; keep the crash-streak
+  // backoff inside the clients' retry budget (~600 ms per RPC).
+  opts.supervisor.restart_backoff_initial_ms = 1;
+  opts.supervisor.restart_backoff_max_ms = 10;
   Cluster cluster(opts);
   cluster.start();
 
@@ -225,6 +262,267 @@ TEST_F(ChaosClusterTest, KillRestartMidTrafficLosesNoSessionAtTenPercent) {
   const SolveReply r = calm.solve(0.5 * omega_max, 0.25);
   EXPECT_EQ(r.max_chip_temperature_k, expected[2].max_chip_temperature_k);
   cluster.stop();
+}
+
+void expect_same_solve(const SolveReply& got, const SolveReply& want) {
+  EXPECT_EQ(got.runaway, want.runaway);
+  EXPECT_EQ(got.max_chip_temperature_k, want.max_chip_temperature_k);
+  EXPECT_EQ(got.leakage_w, want.leakage_w);
+  EXPECT_EQ(got.tec_w, want.tec_w);
+  EXPECT_EQ(got.fan_w, want.fan_w);
+}
+
+TEST_F(ChaosClusterTest, ExecSpawnFaultThenHealInProcessMode) {
+  // Process-mode mirror of the spawn-fault test: with cluster.exec_spawn
+  // armed the fork/exec path refuses to launch children, the cluster comes
+  // up dead-but-shedding, and once the fault clears the prober fork/execs
+  // real workers and traffic flows.
+  SKIP_WITHOUT_WORKER_BINARY();
+  (void)fault::arm("cluster.exec_spawn", 1.0, 41);
+  ClusterOptions opts;
+  opts.supervisor.workers = 2;
+  opts.supervisor.probe_interval_ms = 60000;  // passes driven explicitly
+  opts.supervisor.fail_threshold = 2;
+  opts.worker_mode = WorkerMode::kProcess;
+  opts.process.binary = process_binary();
+  Cluster cluster(opts);
+  cluster.start();
+  EXPECT_EQ(cluster.supervisor().info(0).state, WorkerState::kDead);
+  EXPECT_EQ(cluster.supervisor().info(1).state, WorkerState::kDead);
+
+  serve::Client client = serve::Client::connect(cluster.port());
+  try {
+    (void)client.bind(susan_bind());
+    FAIL() << "bind with no exec'd workers must shed, not hang";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::kErrOverloaded);
+  }
+
+  fault::disarm_all();
+  cluster.supervisor().probe_now();  // heals: fork/execs both children
+  cluster.supervisor().probe_now();  // probes them alive
+  EXPECT_EQ(cluster.supervisor().info(0).state, WorkerState::kAlive);
+  EXPECT_EQ(cluster.supervisor().info(1).state, WorkerState::kAlive);
+
+  const BindReply chip = client.bind(susan_bind());
+  const SolveReply r = client.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(r.runaway);
+  cluster.stop();
+}
+
+TEST_F(ChaosClusterTest, RehomeReplayFaultFallsBackToLazyRebind) {
+  // With cluster.rehome_replay armed at 100 %, a remove_worker rebalance
+  // cannot materialize any moved session on its new owner. The contract:
+  // every move is still recorded (with replay_failures == moved), the
+  // sessions fall back to the lazy-rebind sentinel, and the first solve
+  // after the fault clears heals each one bit-identically.
+  ClusterOptions opts;
+  opts.supervisor.workers = 3;
+  opts.supervisor.probe_interval_ms = 60000;
+  opts.supervisor.fail_threshold = 2;
+  Cluster cluster(opts);
+  cluster.start();
+
+  serve::Client client = serve::Client::connect(cluster.port());
+  std::vector<BindReply> chips;
+  std::vector<SolveReply> baseline;
+  for (int i = 0; i < 8; ++i) {
+    chips.push_back(client.bind(susan_bind()));
+    baseline.push_back(
+        client.solve(chips.back().session, 0.5 * chips.back().omega_max, 0.25));
+  }
+  const std::uint32_t victim = cluster.router().owner_slot(chips[0].session);
+
+  (void)fault::arm("cluster.rehome_replay", 1.0, 42);
+  const Router::RebalanceReport report = cluster.remove_worker(victim);
+  fault::disarm_all();
+  EXPECT_GT(report.moved, 0u);
+  EXPECT_EQ(report.replay_failures, report.moved)
+      << "every rehome should have deferred to the lazy-rebind sentinel";
+  EXPECT_EQ(cluster.router().session_count(), chips.size());
+
+  // First use after the fault: the router replays the cached bind on the
+  // new owner before forwarding — no client-visible error, exact bits.
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const SolveReply healed =
+        client.solve(chips[i].session, 0.5 * chips[i].omega_max, 0.25);
+    expect_same_solve(healed, baseline[i]);
+    EXPECT_NE(cluster.router().owner_slot(chips[i].session), victim);
+  }
+  cluster.stop();
+}
+
+TEST_F(ChaosClusterTest, JournalWriteFaultDegradesDurabilityOnly) {
+  // A failing journal append must never fail the bind it records: serving
+  // continues (bit-exact), the failure is counted, and the degradation is
+  // visible only after a restart — the unjournaled sessions are gone.
+  const std::string journal = fresh_journal("durability");
+  ClusterOptions opts;
+  opts.supervisor.workers = 2;
+  opts.supervisor.probe_interval_ms = 60000;
+  opts.supervisor.fail_threshold = 2;
+  opts.router.journal_path = journal;
+
+  (void)fault::arm("cluster.journal_write", 1.0, 43);
+  std::vector<std::uint64_t> sessions;
+  {
+    Cluster cluster(opts);
+    cluster.start();
+    serve::Client client = serve::Client::connect(cluster.port());
+    for (int i = 0; i < 4; ++i) {
+      const BindReply chip = client.bind(susan_bind());
+      const SolveReply r =
+          client.solve(chip.session, 0.5 * chip.omega_max, 0.25);
+      EXPECT_FALSE(r.runaway);
+      sessions.push_back(chip.session);
+    }
+    EXPECT_GE(cluster.router().counters().journal_write_failures, 4u);
+    cluster.stop();
+  }
+  fault::disarm_all();
+
+  // Restart over the (empty) journal: nothing recovered, nothing corrupt —
+  // the router comes up clean and serves fresh binds normally.
+  Cluster restarted(opts);
+  restarted.start();
+  EXPECT_EQ(restarted.router().counters().recovered, 0u);
+  EXPECT_EQ(restarted.router().session_count(), 0u);
+  serve::Client client = serve::Client::connect(restarted.port());
+  const BindReply chip = client.bind(susan_bind());
+  const SolveReply r = client.solve(chip.session, 0.5 * chip.omega_max, 0.25);
+  EXPECT_FALSE(r.runaway);
+  restarted.stop();
+  std::remove(journal.c_str());
+}
+
+TEST_F(ChaosClusterTest, ProcessKillStormWithTopologyChangesLosesNothing) {
+  // The PR-9 acceptance scenario end to end: a process-mode cluster with a
+  // bind journal, cluster.* fault sites armed at 10 %, SIGKILLed workers
+  // mid-traffic PLUS one remove_worker and one add_worker — and afterwards
+  // a brand-new cluster restarted over the same journal must serve every
+  // previously bound session, bit-identically, without any client rebinding.
+  SKIP_WITHOUT_WORKER_BINARY();
+  serve::Server reference;
+  reference.start();
+  std::vector<SolveReply> expected;
+  double omega_max = 0.0;
+  {
+    serve::Client ref = serve::Client::connect(reference.port());
+    const BindReply chip = ref.bind(susan_bind());
+    omega_max = chip.omega_max;
+    for (int i = 0; i < 3; ++i) {
+      expected.push_back(
+          ref.solve(chip.session, (0.3 + 0.1 * i) * omega_max, 0.25));
+    }
+  }
+  reference.stop();
+
+  const std::string journal = fresh_journal("acceptance");
+  ClusterOptions opts;
+  opts.supervisor.workers = 3;
+  opts.supervisor.probe_interval_ms = 20;  // prober races the traffic
+  opts.supervisor.probe_timeout_ms = 250;
+  opts.supervisor.fail_threshold = 2;
+  opts.supervisor.restart_backoff_initial_ms = 1;
+  opts.supervisor.restart_backoff_max_ms = 10;
+  opts.worker_mode = WorkerMode::kProcess;
+  opts.process.binary = process_binary();
+  opts.router.journal_path = journal;
+
+  std::vector<std::uint64_t> sessions;
+  {
+    Cluster cluster(opts);
+    cluster.start();
+
+    (void)fault::arm("cluster.proxy_write", 0.1, 51);
+    (void)fault::arm("cluster.probe_timeout", 0.1, 52);
+    (void)fault::arm("cluster.rehome_replay", 0.1, 53);
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 5;
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<bool> lost_session{false};
+    std::mutex sessions_mu;
+    std::vector<std::thread> traffic;
+    traffic.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      traffic.emplace_back([&, t] {
+        ResilientClient::Options copts = chaos_options();
+        copts.retry.jitter_seed = 200 + static_cast<std::uint64_t>(t);
+        ResilientClient client(cluster.port(), copts);
+        const BindReply chip = client.bind(susan_bind());
+        {
+          std::lock_guard<std::mutex> lk(sessions_mu);
+          sessions.push_back(chip.session);
+        }
+        for (int round = 0; round < kRounds; ++round) {
+          for (int i = 0; i < 3; ++i) {
+            try {
+              const SolveReply r =
+                  client.solve((0.3 + 0.1 * i) * omega_max, 0.25);
+              expect_same_solve(r, expected[static_cast<std::size_t>(i)]);
+              completed.fetch_add(1, std::memory_order_relaxed);
+            } catch (const ProtocolError& e) {
+              if (e.code() == serve::kErrUnknownSession) {
+                lost_session.store(true, std::memory_order_relaxed);
+              }
+            } catch (const TransportError&) {
+              // retried away or absorbed; transport noise is permitted
+            }
+          }
+        }
+      });
+    }
+
+    // Chaos driver: SIGKILL workers under live traffic, then shrink and
+    // regrow the topology while the storm continues.
+    std::this_thread::sleep_for(150ms);
+    cluster.supervisor().kill_worker(0);
+    std::this_thread::sleep_for(150ms);
+    cluster.supervisor().kill_worker(1);
+    std::this_thread::sleep_for(150ms);
+    const Router::RebalanceReport removed = cluster.remove_worker(2);
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu);
+      EXPECT_EQ(removed.total_sessions, sessions.size());
+    }
+    std::this_thread::sleep_for(100ms);
+    const std::uint32_t added = cluster.add_worker();
+    EXPECT_GE(added, 3u);
+    std::this_thread::sleep_for(150ms);
+    cluster.supervisor().kill_worker(0);
+
+    for (std::thread& t : traffic) t.join();
+    fault::disarm_all();
+
+    EXPECT_FALSE(lost_session.load())
+        << "a crash/rebalance leaked kErrUnknownSession to a client";
+    EXPECT_GT(completed.load(), 0u);
+    EXPECT_GE(cluster.supervisor().restarts(), 1u);
+    EXPECT_EQ(cluster.router().session_count(), sessions.size());
+
+    // Calm after the storm: every session answers exactly, wherever the
+    // storm and the two topology changes left it.
+    serve::Client calm = serve::Client::connect(cluster.port());
+    for (const std::uint64_t sid : sessions) {
+      expect_same_solve(calm.solve(sid, 0.5 * omega_max, 0.25), expected[2]);
+    }
+    cluster.stop();
+  }
+
+  // Router restart from the journal: a brand-new cluster over the same
+  // journal recovers every bound session and serves it without any client
+  // re-registration (lazy rebind materializes each on first use).
+  Cluster restarted(opts);
+  restarted.start();
+  EXPECT_EQ(restarted.router().counters().recovered, sessions.size());
+  EXPECT_EQ(restarted.router().session_count(), sessions.size());
+  serve::Client client = serve::Client::connect(restarted.port());
+  for (const std::uint64_t sid : sessions) {
+    expect_same_solve(client.solve(sid, 0.5 * omega_max, 0.25), expected[2]);
+  }
+  restarted.stop();
+  std::remove(journal.c_str());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 
 #include <chrono>
+#include <csignal>
 #include <map>
 #include <thread>
 #include <vector>
@@ -457,6 +458,58 @@ TEST(ServeServer, CrashedClientWithResponseBacklogDoesNotWedgeServer) {
       15000ms);
 
   // The healthy client is unaffected, and shutdown drains without deadlock.
+  const SolveReply r = admin.solve(chip.session, 0.5 * chip.omega_max, 0.0);
+  EXPECT_FALSE(r.runaway);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+// A peer that resets the connection mid-reply must cost the server nothing
+// beyond that one connection. Writing into an RST'd socket raises SIGPIPE —
+// default action: kill the whole process — unless every send passes
+// MSG_NOSIGNAL and the socket layer has opted the process out as a
+// belt-and-braces default. This test pipelines solves on raw sockets and
+// slams each shut with an immediate RST while replies are in flight.
+TEST(ServeServer, PeerResetMidReplyDoesNotRaiseSigpipe) {
+  Server server;
+  server.start();
+  Client admin = Client::connect(server.port());
+  const BindReply chip = admin.bind(susan_bind());
+
+  for (int round = 0; round < 3; ++round) {
+    Socket doomed = Socket::connect_loopback(server.port());
+    ASSERT_TRUE(doomed.valid());
+    for (int i = 0; i < 8; ++i) {
+      Request req;
+      req.id = static_cast<std::uint64_t>(i + 1);
+      req.type = RequestType::kSolve;
+      req.params = SolveParams{chip.session, 0.5 * chip.omega_max, 0.0};
+      ASSERT_TRUE(write_frame(doomed.fd(), encode_request(req)));
+    }
+    // SO_LINGER with a zero timeout turns close() into an immediate RST,
+    // so the server's queued replies race against a dead connection.
+    struct linger hard_reset = {};
+    hard_reset.l_onoff = 1;
+    hard_reset.l_linger = 0;
+    ASSERT_EQ(::setsockopt(doomed.fd(), SOL_SOCKET, SO_LINGER, &hard_reset,
+                           sizeof hard_reset),
+              0);
+    doomed.close();
+  }
+
+  // The socket layer opted the process out of SIGPIPE when the first
+  // socket came up; the resets must not have re-armed it.
+  struct sigaction current = {};
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &current), 0);
+  EXPECT_EQ(current.sa_handler, SIG_IGN);
+
+  // Every admitted solve still completes (replies to the dead peers are
+  // discarded), the process is obviously still alive, and a healthy client
+  // sees an untouched server.
+  wait_until([&] {
+    const Server::Counters c = server.counters();
+    return c.completed >= c.admitted && server.queue_depth() == 0;
+  });
   const SolveReply r = admin.solve(chip.session, 0.5 * chip.omega_max, 0.0);
   EXPECT_FALSE(r.runaway);
   server.stop();

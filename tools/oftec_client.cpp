@@ -1,10 +1,14 @@
 // oftec_client — command-line front end for oftec-serve and oftec-cluster.
 //
 //   oftec_client serve  [--port N] [--batch N] [--delay-us N] [--queue N]
+//                       [--sessions N] [--ready-fd FD] [--test-requests]
 //   oftec_client cluster [--port N] [--workers N | --attach "p1,p2,..."]
+//                       [--process [--worker-bin PATH]] [--journal FILE]
 //                       [--batch N] [--delay-us N] [--queue N] [--sessions N]
 //                       [--probe-interval-ms N] [--probe-timeout-ms N]
-//                       [--fail-threshold N]
+//                       [--fail-threshold N] [--restart-backoff-ms N]
+//                       [--restart-backoff-max-ms N] [--stable-uptime-ms N]
+//                       [--crash-loop-threshold N]
 //   oftec_client ping   --port N
 //   oftec_client health --port N
 //   oftec_client bind   --port N (--benchmark NAME | --power "w0,w1,...")
@@ -23,9 +27,17 @@
 //   oftec_client trace  --port N [--id TRACE_ID] [--limit N] [--out FILE]
 //
 // `cluster` runs a sharded multi-worker daemon behind one router port:
-// either spawning --workers in-process oftec-serve workers (default) or
-// fronting externally managed servers listed in --attach. Clients speak
-// plain protocol v1 to it, unchanged.
+// spawning --workers in-process oftec-serve workers (default), fork/exec'ing
+// them as isolated `oftec_client serve` child processes (--process; crashes
+// are reaped instantly and respawned with crash-loop backoff), or fronting
+// externally managed servers listed in --attach. --journal FILE makes bound
+// session specs durable: a restarted cluster replays the journal and serves
+// every previously bound session without client re-registration. Clients
+// speak plain protocol v1 to it, unchanged.
+//
+// `serve --ready-fd FD` is the process-worker handshake: once the listener
+// is live the server writes "PORT <n>\n" to FD and closes it (the cluster
+// supervisor passes a pipe here; the banner is suppressed).
 //
 // `top` renders a live refreshing stats view (server counters plus stage
 // latency quantiles computed from the obs histograms) using delta scrapes,
@@ -43,7 +55,11 @@
 //   --trace-id X     trace id attached to the RPC (echoed by the server)
 //   --timing         print the server's per-stage timing block to stderr
 //
-// `serve` runs a daemon on the loopback interface until SIGINT/SIGTERM;
+// `serve` and `cluster` run daemons on the loopback interface until
+// SIGINT/SIGTERM — both signals mean the same thing: stop accepting, drain
+// in-flight work, print the final counters, exit 0 (handlers are installed
+// before the listener opens, so there is no window where SIGTERM kills the
+// daemon without a drain);
 // every other command connects, performs one RPC, prints the reply, and
 // exits with a code that scripts can branch on:
 //   0  success
@@ -80,6 +96,25 @@ using namespace oftec;
 std::atomic<bool> g_stop{false};
 
 void on_signal(int) { g_stop.store(true); }
+
+/// SIGINT and SIGTERM both mean "drain and exit". Installed via sigaction
+/// (not std::signal) so the disposition survives fork/exec races and
+/// syscalls restart instead of failing with EINTR; installed *before* the
+/// listener opens so an early SIGTERM still drains.
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void wait_for_stop() {
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
@@ -187,24 +222,33 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
       static_cast<std::uint64_t>(num_flag(flags, "delay-us", 2000.0));
   opts.max_queue_depth =
       static_cast<std::size_t>(num_flag(flags, "queue", 256.0));
+  opts.max_sessions =
+      static_cast<std::size_t>(num_flag(flags, "sessions", 64.0));
+  opts.enable_test_requests = has_flag(flags, "test-requests");
+  opts.ready_fd = static_cast<int>(num_flag(flags, "ready-fd", -1.0));
+  // Quiet when supervised: the readiness pipe carries the port, and the
+  // child's stdout interleaves with the parent's.
+  const bool supervised = opts.ready_fd >= 0;
+
+  install_stop_handlers();
   serve::Server server(opts);
   server.start();
-  std::printf("oftec-serve listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
-              server.port());
-  std::fflush(stdout);
-
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-  while (!g_stop.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  if (!supervised) {
+    std::printf("oftec-serve listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
+                server.port());
+    std::fflush(stdout);
   }
-  std::printf("draining...\n");
+
+  wait_for_stop();
+  if (!supervised) std::printf("draining...\n");
   server.stop();
-  const serve::Server::Counters c = server.counters();
-  std::printf("served %llu requests (%llu shed, %llu batches)\n",
-              static_cast<unsigned long long>(c.requests),
-              static_cast<unsigned long long>(c.shed),
-              static_cast<unsigned long long>(c.batches));
+  if (!supervised) {
+    const serve::Server::Counters c = server.counters();
+    std::printf("served %llu requests (%llu shed, %llu batches)\n",
+                static_cast<unsigned long long>(c.requests),
+                static_cast<unsigned long long>(c.shed),
+                static_cast<unsigned long long>(c.batches));
+  }
   return 0;
 }
 
@@ -235,32 +279,54 @@ int cmd_cluster(const std::map<std::string, std::string>& flags) {
       static_cast<long>(num_flag(flags, "probe-timeout-ms", 250.0));
   opts.supervisor.fail_threshold =
       static_cast<int>(num_flag(flags, "fail-threshold", 3.0));
+  opts.supervisor.restart_backoff_initial_ms = static_cast<std::uint64_t>(
+      num_flag(flags, "restart-backoff-ms", 100.0));
+  opts.supervisor.restart_backoff_max_ms = static_cast<std::uint64_t>(
+      num_flag(flags, "restart-backoff-max-ms", 5000.0));
+  opts.supervisor.stable_uptime_ms = static_cast<std::uint64_t>(
+      num_flag(flags, "stable-uptime-ms", 2000.0));
+  opts.supervisor.crash_loop_threshold =
+      static_cast<int>(num_flag(flags, "crash-loop-threshold", 3.0));
+  opts.router.journal_path = flag_or(flags, "journal", "");
 
+  const char* mode = "spawned";
+  if (!opts.attach_ports.empty()) {
+    mode = "attached";
+  } else if (has_flag(flags, "process")) {
+    opts.worker_mode = cluster::WorkerMode::kProcess;
+    opts.process.binary = flag_or(flags, "worker-bin", "");
+    // Child workers get the same serving knobs as in-process ones would.
+    opts.process.extra_args = {
+        "--batch", flag_or(flags, "batch", "16"),
+        "--delay-us", flag_or(flags, "delay-us", "2000"),
+        "--queue", flag_or(flags, "queue", "256"),
+        "--sessions", flag_or(flags, "sessions", "64")};
+    mode = "process";
+  }
+
+  install_stop_handlers();
   cluster::Cluster cluster(opts);
   cluster.start();
   std::printf("oftec-cluster listening on 127.0.0.1:%u "
               "(%zu %s workers, Ctrl-C to stop)\n",
-              cluster.port(), cluster.supervisor().worker_count(),
-              opts.attach_ports.empty() ? "spawned" : "attached");
+              cluster.port(), cluster.supervisor().worker_count(), mode);
   for (const auto& w : cluster.supervisor().snapshot()) {
     std::printf("  worker %u: 127.0.0.1:%u (%s)\n", w.slot, w.port,
                 cluster::worker_state_name(w.state));
   }
   std::fflush(stdout);
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-  while (!g_stop.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  }
+  wait_for_stop();
   std::printf("draining...\n");
   cluster.stop();
   const cluster::Router::Counters c = cluster.router().counters();
   std::printf("forwarded %llu requests (%llu shed, %llu migrations, "
-              "%llu worker restarts)\n",
+              "%llu rehomed, %llu recovered, %llu worker restarts)\n",
               static_cast<unsigned long long>(c.forwarded),
               static_cast<unsigned long long>(c.shed),
               static_cast<unsigned long long>(c.migrations),
+              static_cast<unsigned long long>(c.rehomed),
+              static_cast<unsigned long long>(c.recovered),
               static_cast<unsigned long long>(
                   cluster.supervisor().restarts()));
   return 0;
