@@ -1,5 +1,6 @@
 #include "la/backend.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -69,10 +70,90 @@ double scalar_nmsub_fold(double init, std::size_t n, const double* a,
   return acc;
 }
 
+void scalar_panel_update(std::size_t p, const double* alpha,
+                         const double* const* x, const std::size_t* len,
+                         double* y) {
+  // p successive axpys in s order: per destination element the sources
+  // apply ascending, which is the panel_update contract verbatim.
+  for (std::size_t s = 0; s < p; ++s) {
+    scalar_axpy(len[s], alpha[s], x[s], y);
+  }
+}
+
+void scalar_panel_fold(std::size_t p, const double* init, const double* a0,
+                       std::ptrdiff_t sa, std::size_t len0,
+                       std::size_t len_cap, const double* x, double* out) {
+  for (std::size_t s = 0; s < p; ++s) {
+    const std::size_t len = std::min(len0 + s, len_cap);
+    out[s] = scalar_nmsub_fold(init[s], len, a0 + s * sa, 1, x, 1);
+  }
+}
+
+void scalar_trsv_fwd(std::size_t n, std::size_t k, const double* factor,
+                     double* x) {
+  // Column-oriented forward substitution. Per element x[i] this subtracts
+  // l(i,j)·x[j] for j ascending and then divides by l(i,i) — the same
+  // per-element operation sequence as the seed's row folds, so the result
+  // is bit-identical to them (x[j]·l ≡ l·x[j]; y + (−a)·x ≡ y − a·x).
+  const std::size_t stride = k + 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* colj = factor + j * stride;
+    const double xj = x[j] / colj[0];
+    x[j] = xj;
+    const std::size_t sub = std::min(k, n - 1 - j);  // rows j+1..j+sub
+    scalar_axpy(sub, -xj, colj + 1, x + j + 1);
+  }
+}
+
+void scalar_trsv_bwd(std::size_t n, std::size_t k, const double* factor,
+                     double* x) {
+  // Row folds over contiguous factor columns (column ii of L is row ii of
+  // Lᵀ), sequential per row: the seed's exact back-substitution arithmetic.
+  const std::size_t stride = k + 1;
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* colii = factor + ii * stride;
+    const std::size_t len = std::min(k, n - 1 - ii);
+    const double acc = scalar_nmsub_fold(x[ii], len, colii + 1, 1,
+                                         x + ii + 1, 1);
+    x[ii] = acc / colii[0];
+  }
+}
+
+double scalar_cg_update(std::size_t n, double alpha, const double* p,
+                        const double* ap, double* x, double* r) {
+  // Interleaving the two independent destinations changes no per-element
+  // arithmetic: identical bits to axpy(alpha, p, x); axpy_dot(−alpha, ap, r).
+  const double nalpha = -alpha;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += alpha * p[i];
+    r[i] += nalpha * ap[i];
+    acc += r[i] * r[i];
+  }
+  return acc;
+}
+
+double scalar_precond_dot(std::size_t n, const double* d, const double* r,
+                          double* z) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = d[i] * r[i];
+    acc += r[i] * z[i];
+  }
+  return acc;
+}
+
+void scalar_search_dir_update(std::size_t n, double beta, const double* z,
+                              double* p) {
+  for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+}
+
 constexpr BackendOps kScalarOps = {
     "scalar",          BackendKind::kScalar, scalar_axpy,
     scalar_scale,      scalar_dot,           scalar_axpy_dot,
-    scalar_max_abs_diff, scalar_nmsub_fold,
+    scalar_max_abs_diff, scalar_nmsub_fold,  scalar_panel_update,
+    scalar_panel_fold, scalar_trsv_fwd,      scalar_trsv_bwd,
+    scalar_cg_update,  scalar_precond_dot,   scalar_search_dir_update,
 };
 
 // ---------------------------------------------------------------------------

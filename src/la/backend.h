@@ -66,6 +66,69 @@ struct BackendOps {
   /// by the simd backend. Strides are in elements and may be negative.
   double (*nmsub_fold)(double init, std::size_t n, const double* a,
                        std::ptrdiff_t sa, const double* x, std::ptrdiff_t sx);
+
+  // --- Panel primitives (PR 10). The factorizations feed whole multi-column
+  // --- updates through one call so the destination column stays in
+  // --- registers while contiguous source columns stream past it.
+
+  /// Multi-source fused axpy ("panel update"):
+  ///   for s = 0..p−1:  y[r] += alpha[s] · x[s][r]   for r < len[s],
+  /// where every source starts at the same destination element. For each
+  /// destination element the sources apply in ascending s, so the result is
+  /// bit-identical to p successive axpy calls in s order — element-wise on
+  /// every backend, hence bit-identical between scalar and simd. Sources
+  /// must not alias y; len[s] may be 0 (x[s] is then never dereferenced).
+  void (*panel_update)(std::size_t p, const double* alpha,
+                       const double* const* x, const std::size_t* len,
+                       double* y);
+
+  /// p independent negative-multiply-subtract folds of regularly strided,
+  /// contiguous source columns against one shared x:
+  ///   out[s] = init[s] − Σ_{i < len_s} a_s[i] · x[i],
+  /// with a_s = a0 + s·sa and len_s = min(len0 + s, len_cap). Each fold uses
+  /// nmsub_fold's arithmetic (scalar: sequential seed fold; simd: the fixed
+  /// 8-lane tree), so out[s] is bit-identical to p separate nmsub_fold calls
+  /// with unit strides.
+  void (*panel_fold)(std::size_t p, const double* init, const double* a0,
+                     std::ptrdiff_t sa, std::size_t len0, std::size_t len_cap,
+                     const double* x, double* out);
+
+  /// Fused forward substitution L y = b over a column-major band Cholesky
+  /// factor (column j is `factor + j·(k+1)`, diagonal first, rows
+  /// j..min(n−1, j+k)). In place: x holds b on entry, y on return. A
+  /// column-oriented sequence of axpys plus one division per diagonal —
+  /// element-wise, so bit-identical across backends (and to the seed's
+  /// row-fold forward substitution; see docs/solver.md).
+  void (*trsv_fwd)(std::size_t n, std::size_t k, const double* factor,
+                   double* x);
+
+  /// Fused backward substitution Lᵀ x = y over the same layout. Row folds
+  /// over contiguous factor columns: scalar folds sequentially (seed bits);
+  /// simd blocks 8 rows and folds their out-of-block contributions with the
+  /// 8-lane tree (deterministic, AVX2 ≡ AVX-512, ULP-bounded vs scalar).
+  void (*trsv_bwd)(std::size_t n, std::size_t k, const double* factor,
+                   double* x);
+
+  // --- Fused CG-iteration kernels (PR 10): one pass per vector touch.
+
+  /// Fused CG iterate/residual update: x[i] += alpha·p[i];
+  /// r[i] += (−alpha)·ap[i]; returns Σ r[i]² of the updated r. The x update
+  /// is element-wise; the r/Σ part is exactly axpy_dot(−alpha, ap, r), so
+  /// the result is bit-identical to the unfused axpy + axpy_dot pair on the
+  /// same backend.
+  double (*cg_update)(std::size_t n, double alpha, const double* p,
+                      const double* ap, double* x, double* r);
+
+  /// Fused Jacobi preconditioner apply + dot: z[i] = d[i]·r[i]; returns
+  /// Σ r[i]·z[i]. Bit-identical to the unfused element-wise product followed
+  /// by dot(r, z) on the same backend (same 8-lane tree in simd).
+  double (*precond_dot)(std::size_t n, const double* d, const double* r,
+                        double* z);
+
+  /// Search-direction refresh p[i] = z[i] + beta·p[i] (element-wise;
+  /// bit-identical across backends).
+  void (*search_dir_update)(std::size_t n, double beta, const double* z,
+                            double* p);
 };
 
 /// The active backend. Resolved from OFTEC_LA_BACKEND (else "auto") on first

@@ -27,6 +27,7 @@
 #include <immintrin.h>
 #endif
 
+#include <algorithm>
 #include <cstddef>
 
 namespace oftec::la::detail {
@@ -191,10 +192,250 @@ __attribute__((target("avx2"))) double avx2_nmsub_fold(double init,
   return acc;
 }
 
+// Multi-source fused axpy. The destination chunk rides in registers while
+// the sources stream past it; a source whose span ends inside the chunk
+// ("partial") is applied to memory in its turn — flush, scalar, reload —
+// so every destination element still sees its sources in ascending s order.
+// Element-wise (multiply-then-add per element), hence bit-identical to the
+// scalar reference regardless of the chunking.
+__attribute__((target("avx2"))) void avx2_panel_update(
+    std::size_t p, const double* alpha, const double* const* x,
+    const std::size_t* len, double* y) {
+  std::size_t max_len = 0;
+  for (std::size_t s = 0; s < p; ++s) max_len = std::max(max_len, len[s]);
+  std::size_t r0 = 0;
+  for (; r0 + 16 <= max_len; r0 += 16) {
+    __m256d acc0 = _mm256_loadu_pd(y + r0);
+    __m256d acc1 = _mm256_loadu_pd(y + r0 + 4);
+    __m256d acc2 = _mm256_loadu_pd(y + r0 + 8);
+    __m256d acc3 = _mm256_loadu_pd(y + r0 + 12);
+    for (std::size_t s = 0; s < p; ++s) {
+      const std::size_t ls = len[s];
+      if (ls <= r0) continue;
+      const double* xs = x[s];
+      if (ls >= r0 + 16) {
+        const __m256d va = _mm256_set1_pd(alpha[s]);
+        acc0 = _mm256_add_pd(acc0,
+                             _mm256_mul_pd(va, _mm256_loadu_pd(xs + r0)));
+        acc1 = _mm256_add_pd(acc1,
+                             _mm256_mul_pd(va, _mm256_loadu_pd(xs + r0 + 4)));
+        acc2 = _mm256_add_pd(acc2,
+                             _mm256_mul_pd(va, _mm256_loadu_pd(xs + r0 + 8)));
+        acc3 = _mm256_add_pd(acc3,
+                             _mm256_mul_pd(va, _mm256_loadu_pd(xs + r0 + 12)));
+      } else {
+        _mm256_storeu_pd(y + r0, acc0);
+        _mm256_storeu_pd(y + r0 + 4, acc1);
+        _mm256_storeu_pd(y + r0 + 8, acc2);
+        _mm256_storeu_pd(y + r0 + 12, acc3);
+        const double as = alpha[s];
+        for (std::size_t r = r0; r < ls; ++r) y[r] += as * xs[r];
+        acc0 = _mm256_loadu_pd(y + r0);
+        acc1 = _mm256_loadu_pd(y + r0 + 4);
+        acc2 = _mm256_loadu_pd(y + r0 + 8);
+        acc3 = _mm256_loadu_pd(y + r0 + 12);
+      }
+    }
+    _mm256_storeu_pd(y + r0, acc0);
+    _mm256_storeu_pd(y + r0 + 4, acc1);
+    _mm256_storeu_pd(y + r0 + 8, acc2);
+    _mm256_storeu_pd(y + r0 + 12, acc3);
+  }
+  for (; r0 + 4 <= max_len; r0 += 4) {
+    __m256d acc = _mm256_loadu_pd(y + r0);
+    for (std::size_t s = 0; s < p; ++s) {
+      const std::size_t ls = len[s];
+      if (ls <= r0) continue;
+      const double* xs = x[s];
+      if (ls >= r0 + 4) {
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(alpha[s]),
+                                               _mm256_loadu_pd(xs + r0)));
+      } else {
+        _mm256_storeu_pd(y + r0, acc);
+        const double as = alpha[s];
+        for (std::size_t r = r0; r < ls; ++r) y[r] += as * xs[r];
+        acc = _mm256_loadu_pd(y + r0);
+      }
+    }
+    _mm256_storeu_pd(y + r0, acc);
+  }
+  for (std::size_t s = 0; s < p; ++s) {
+    const double as = alpha[s];
+    const double* xs = x[s];
+    for (std::size_t r = r0; r < len[s]; ++r) y[r] += as * xs[r];
+  }
+}
+
+/// Contiguous nmsub fold — the unit-stride core of avx2_nmsub_fold
+/// (bit-identical to it for sa == sx == 1).
+__attribute__((target("avx2"))) double avx2_fold1(double init, std::size_t n,
+                                                  const double* a,
+                                                  const double* x) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc_lo = _mm256_sub_pd(
+        acc_lo, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(x + i)));
+    acc_hi = _mm256_sub_pd(
+        acc_hi, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                              _mm256_loadu_pd(x + i + 4)));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  double acc = init + combine8(lanes);
+  for (; i < n; ++i) acc -= a[i] * x[i];
+  return acc;
+}
+
+__attribute__((target("avx2"))) void avx2_panel_fold(
+    std::size_t p, const double* init, const double* a0, std::ptrdiff_t sa,
+    std::size_t len0, std::size_t len_cap, const double* x, double* out) {
+  for (std::size_t s = 0; s < p; ++s) {
+    out[s] = avx2_fold1(init[s], std::min(len0 + s, len_cap), a0 + s * sa, x);
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_trsv_fwd(std::size_t n,
+                                                   std::size_t k,
+                                                   const double* factor,
+                                                   double* x) {
+  const std::size_t stride = k + 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* colj = factor + j * stride;
+    const double xj = x[j] / colj[0];
+    x[j] = xj;
+    avx2_axpy(std::min(k, n - 1 - j), -xj, colj + 1, x + j + 1);
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_trsv_bwd(std::size_t n,
+                                                   std::size_t k,
+                                                   const double* factor,
+                                                   double* x) {
+  const std::size_t stride = k + 1;
+  if (k < 8) {
+    // Narrow band: per-row contiguous folds (a block's source pointers could
+    // step outside the factor storage when k is smaller than the block).
+    for (std::size_t ii = n; ii-- > 0;) {
+      const double* colii = factor + ii * stride;
+      const std::size_t len = std::min(k, n - 1 - ii);
+      x[ii] = avx2_fold1(x[ii], len, colii + 1, x + ii + 1) / colii[0];
+    }
+    return;
+  }
+  // Blocks of 8 rows: the 8 independent out-of-block ("far") contributions
+  // fold through panel_fold with the shared trailing x, then the in-block
+  // triangle resolves sequentially. AVX2 and AVX-512 share this exact block
+  // structure, so their results are bit-identical.
+  std::size_t hi = n;  // exclusive block top
+  while (hi > 0) {
+    const std::size_t lo = hi >= 8 ? hi - 8 : 0;
+    const std::size_t bw = hi - lo;
+    double init[8];
+    double far[8];
+    for (std::size_t s = 0; s < bw; ++s) init[s] = x[lo + s];
+    const double* a0 = factor + lo * stride + (hi - lo);
+    avx2_panel_fold(bw, init, a0, static_cast<std::ptrdiff_t>(k),
+                    lo + k + 1 - hi, n - hi, x + hi, far);
+    for (std::size_t s = bw; s-- > 0;) {
+      const std::size_t ii = lo + s;
+      const double* colii = factor + ii * stride;
+      double acc = far[s];
+      for (std::size_t i = ii + 1; i < hi; ++i) acc -= colii[i - ii] * x[i];
+      x[ii] = acc / colii[0];
+    }
+    hi = lo;
+  }
+}
+
+__attribute__((target("avx2"))) double avx2_cg_update(std::size_t n,
+                                                      double alpha,
+                                                      const double* p,
+                                                      const double* ap,
+                                                      double* x, double* r) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const __m256d vna = _mm256_set1_pd(-alpha);
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d vx0 = _mm256_loadu_pd(x + i);
+    vx0 = _mm256_add_pd(vx0, _mm256_mul_pd(va, _mm256_loadu_pd(p + i)));
+    _mm256_storeu_pd(x + i, vx0);
+    __m256d vx1 = _mm256_loadu_pd(x + i + 4);
+    vx1 = _mm256_add_pd(vx1, _mm256_mul_pd(va, _mm256_loadu_pd(p + i + 4)));
+    _mm256_storeu_pd(x + i + 4, vx1);
+    __m256d vr0 = _mm256_loadu_pd(r + i);
+    vr0 = _mm256_add_pd(vr0, _mm256_mul_pd(vna, _mm256_loadu_pd(ap + i)));
+    _mm256_storeu_pd(r + i, vr0);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(vr0, vr0));
+    __m256d vr1 = _mm256_loadu_pd(r + i + 4);
+    vr1 = _mm256_add_pd(vr1, _mm256_mul_pd(vna, _mm256_loadu_pd(ap + i + 4)));
+    _mm256_storeu_pd(r + i + 4, vr1);
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(vr1, vr1));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  double acc = combine8(lanes);
+  const double nalpha = -alpha;
+  for (; i < n; ++i) {
+    x[i] += alpha * p[i];
+    r[i] += nalpha * ap[i];
+    acc += r[i] * r[i];
+  }
+  return acc;
+}
+
+__attribute__((target("avx2"))) double avx2_precond_dot(std::size_t n,
+                                                        const double* d,
+                                                        const double* r,
+                                                        double* z) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d vr0 = _mm256_loadu_pd(r + i);
+    const __m256d vz0 = _mm256_mul_pd(_mm256_loadu_pd(d + i), vr0);
+    _mm256_storeu_pd(z + i, vz0);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(vr0, vz0));
+    const __m256d vr1 = _mm256_loadu_pd(r + i + 4);
+    const __m256d vz1 = _mm256_mul_pd(_mm256_loadu_pd(d + i + 4), vr1);
+    _mm256_storeu_pd(z + i + 4, vz1);
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(vr1, vz1));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  double acc = combine8(lanes);
+  for (; i < n; ++i) {
+    z[i] = d[i] * r[i];
+    acc += r[i] * z[i];
+  }
+  return acc;
+}
+
+__attribute__((target("avx2"))) void avx2_search_dir_update(std::size_t n,
+                                                            double beta,
+                                                            const double* z,
+                                                            double* p) {
+  const __m256d vb = _mm256_set1_pd(beta);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vp = _mm256_mul_pd(vb, _mm256_loadu_pd(p + i));
+    _mm256_storeu_pd(p + i, _mm256_add_pd(_mm256_loadu_pd(z + i), vp));
+  }
+  for (; i < n; ++i) p[i] = z[i] + beta * p[i];
+}
+
 constexpr BackendOps kAvx2Ops = {
     "simd-avx2",       BackendKind::kSimd, avx2_axpy,
     avx2_scale,        avx2_dot,           avx2_axpy_dot,
-    avx2_max_abs_diff, avx2_nmsub_fold,
+    avx2_max_abs_diff, avx2_nmsub_fold,    avx2_panel_update,
+    avx2_panel_fold,   avx2_trsv_fwd,      avx2_trsv_bwd,
+    avx2_cg_update,    avx2_precond_dot,   avx2_search_dir_update,
 };
 
 // ---------------------------------------------------------------------------
@@ -316,10 +557,219 @@ __attribute__((target("avx512f"))) double avx512_nmsub_fold(
   return acc;
 }
 
+// Panel/fused kernels — same structure as the avx2 flavors above. The
+// element-wise ones (panel_update, trsv_fwd, search_dir_update, the x-update
+// half of cg_update) are bit-identical to scalar whatever the vector width;
+// the reduction-bearing ones keep the fixed 8-lane tree (one __m512d here,
+// an __m256d pair in avx2), so avx2 ≡ avx512 bitwise throughout.
+__attribute__((target("avx512f"))) void avx512_panel_update(
+    std::size_t p, const double* alpha, const double* const* x,
+    const std::size_t* len, double* y) {
+  std::size_t max_len = 0;
+  for (std::size_t s = 0; s < p; ++s) max_len = std::max(max_len, len[s]);
+  std::size_t r0 = 0;
+  for (; r0 + 32 <= max_len; r0 += 32) {
+    __m512d acc0 = _mm512_loadu_pd(y + r0);
+    __m512d acc1 = _mm512_loadu_pd(y + r0 + 8);
+    __m512d acc2 = _mm512_loadu_pd(y + r0 + 16);
+    __m512d acc3 = _mm512_loadu_pd(y + r0 + 24);
+    for (std::size_t s = 0; s < p; ++s) {
+      const std::size_t ls = len[s];
+      if (ls <= r0) continue;
+      const double* xs = x[s];
+      if (ls >= r0 + 32) {
+        const __m512d va = _mm512_set1_pd(alpha[s]);
+        acc0 = _mm512_add_pd(acc0,
+                             _mm512_mul_pd(va, _mm512_loadu_pd(xs + r0)));
+        acc1 = _mm512_add_pd(acc1,
+                             _mm512_mul_pd(va, _mm512_loadu_pd(xs + r0 + 8)));
+        acc2 = _mm512_add_pd(acc2,
+                             _mm512_mul_pd(va, _mm512_loadu_pd(xs + r0 + 16)));
+        acc3 = _mm512_add_pd(acc3,
+                             _mm512_mul_pd(va, _mm512_loadu_pd(xs + r0 + 24)));
+      } else {
+        _mm512_storeu_pd(y + r0, acc0);
+        _mm512_storeu_pd(y + r0 + 8, acc1);
+        _mm512_storeu_pd(y + r0 + 16, acc2);
+        _mm512_storeu_pd(y + r0 + 24, acc3);
+        const double as = alpha[s];
+        for (std::size_t r = r0; r < ls; ++r) y[r] += as * xs[r];
+        acc0 = _mm512_loadu_pd(y + r0);
+        acc1 = _mm512_loadu_pd(y + r0 + 8);
+        acc2 = _mm512_loadu_pd(y + r0 + 16);
+        acc3 = _mm512_loadu_pd(y + r0 + 24);
+      }
+    }
+    _mm512_storeu_pd(y + r0, acc0);
+    _mm512_storeu_pd(y + r0 + 8, acc1);
+    _mm512_storeu_pd(y + r0 + 16, acc2);
+    _mm512_storeu_pd(y + r0 + 24, acc3);
+  }
+  for (; r0 + 8 <= max_len; r0 += 8) {
+    __m512d acc = _mm512_loadu_pd(y + r0);
+    for (std::size_t s = 0; s < p; ++s) {
+      const std::size_t ls = len[s];
+      if (ls <= r0) continue;
+      const double* xs = x[s];
+      if (ls >= r0 + 8) {
+        acc = _mm512_add_pd(acc, _mm512_mul_pd(_mm512_set1_pd(alpha[s]),
+                                               _mm512_loadu_pd(xs + r0)));
+      } else {
+        _mm512_storeu_pd(y + r0, acc);
+        const double as = alpha[s];
+        for (std::size_t r = r0; r < ls; ++r) y[r] += as * xs[r];
+        acc = _mm512_loadu_pd(y + r0);
+      }
+    }
+    _mm512_storeu_pd(y + r0, acc);
+  }
+  for (std::size_t s = 0; s < p; ++s) {
+    const double as = alpha[s];
+    const double* xs = x[s];
+    for (std::size_t r = r0; r < len[s]; ++r) y[r] += as * xs[r];
+  }
+}
+
+__attribute__((target("avx512f"))) double avx512_fold1(double init,
+                                                       std::size_t n,
+                                                       const double* a,
+                                                       const double* x) {
+  __m512d acc8 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc8 = _mm512_sub_pd(
+        acc8, _mm512_mul_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(x + i)));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc8);
+  double acc = init + combine8(lanes);
+  for (; i < n; ++i) acc -= a[i] * x[i];
+  return acc;
+}
+
+__attribute__((target("avx512f"))) void avx512_panel_fold(
+    std::size_t p, const double* init, const double* a0, std::ptrdiff_t sa,
+    std::size_t len0, std::size_t len_cap, const double* x, double* out) {
+  for (std::size_t s = 0; s < p; ++s) {
+    out[s] =
+        avx512_fold1(init[s], std::min(len0 + s, len_cap), a0 + s * sa, x);
+  }
+}
+
+__attribute__((target("avx512f"))) void avx512_trsv_fwd(std::size_t n,
+                                                        std::size_t k,
+                                                        const double* factor,
+                                                        double* x) {
+  const std::size_t stride = k + 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* colj = factor + j * stride;
+    const double xj = x[j] / colj[0];
+    x[j] = xj;
+    avx512_axpy(std::min(k, n - 1 - j), -xj, colj + 1, x + j + 1);
+  }
+}
+
+__attribute__((target("avx512f"))) void avx512_trsv_bwd(std::size_t n,
+                                                        std::size_t k,
+                                                        const double* factor,
+                                                        double* x) {
+  const std::size_t stride = k + 1;
+  if (k < 8) {
+    for (std::size_t ii = n; ii-- > 0;) {
+      const double* colii = factor + ii * stride;
+      const std::size_t len = std::min(k, n - 1 - ii);
+      x[ii] = avx512_fold1(x[ii], len, colii + 1, x + ii + 1) / colii[0];
+    }
+    return;
+  }
+  std::size_t hi = n;  // exclusive block top; must mirror avx2_trsv_bwd
+  while (hi > 0) {
+    const std::size_t lo = hi >= 8 ? hi - 8 : 0;
+    const std::size_t bw = hi - lo;
+    double init[8];
+    double far[8];
+    for (std::size_t s = 0; s < bw; ++s) init[s] = x[lo + s];
+    const double* a0 = factor + lo * stride + (hi - lo);
+    avx512_panel_fold(bw, init, a0, static_cast<std::ptrdiff_t>(k),
+                      lo + k + 1 - hi, n - hi, x + hi, far);
+    for (std::size_t s = bw; s-- > 0;) {
+      const std::size_t ii = lo + s;
+      const double* colii = factor + ii * stride;
+      double acc = far[s];
+      for (std::size_t i = ii + 1; i < hi; ++i) acc -= colii[i - ii] * x[i];
+      x[ii] = acc / colii[0];
+    }
+    hi = lo;
+  }
+}
+
+__attribute__((target("avx512f"))) double avx512_cg_update(
+    std::size_t n, double alpha, const double* p, const double* ap, double* x,
+    double* r) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  const __m512d vna = _mm512_set1_pd(-alpha);
+  __m512d acc8 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d vx = _mm512_loadu_pd(x + i);
+    vx = _mm512_add_pd(vx, _mm512_mul_pd(va, _mm512_loadu_pd(p + i)));
+    _mm512_storeu_pd(x + i, vx);
+    __m512d vr = _mm512_loadu_pd(r + i);
+    vr = _mm512_add_pd(vr, _mm512_mul_pd(vna, _mm512_loadu_pd(ap + i)));
+    _mm512_storeu_pd(r + i, vr);
+    acc8 = _mm512_add_pd(acc8, _mm512_mul_pd(vr, vr));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc8);
+  double acc = combine8(lanes);
+  const double nalpha = -alpha;
+  for (; i < n; ++i) {
+    x[i] += alpha * p[i];
+    r[i] += nalpha * ap[i];
+    acc += r[i] * r[i];
+  }
+  return acc;
+}
+
+__attribute__((target("avx512f"))) double avx512_precond_dot(std::size_t n,
+                                                             const double* d,
+                                                             const double* r,
+                                                             double* z) {
+  __m512d acc8 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d vr = _mm512_loadu_pd(r + i);
+    const __m512d vz = _mm512_mul_pd(_mm512_loadu_pd(d + i), vr);
+    _mm512_storeu_pd(z + i, vz);
+    acc8 = _mm512_add_pd(acc8, _mm512_mul_pd(vr, vz));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc8);
+  double acc = combine8(lanes);
+  for (; i < n; ++i) {
+    z[i] = d[i] * r[i];
+    acc += r[i] * z[i];
+  }
+  return acc;
+}
+
+__attribute__((target("avx512f"))) void avx512_search_dir_update(
+    std::size_t n, double beta, const double* z, double* p) {
+  const __m512d vb = _mm512_set1_pd(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d vp = _mm512_mul_pd(vb, _mm512_loadu_pd(p + i));
+    _mm512_storeu_pd(p + i, _mm512_add_pd(_mm512_loadu_pd(z + i), vp));
+  }
+  for (; i < n; ++i) p[i] = z[i] + beta * p[i];
+}
+
 constexpr BackendOps kAvx512Ops = {
-    "simd-avx512",       BackendKind::kSimd, avx512_axpy,
-    avx512_scale,        avx512_dot,         avx512_axpy_dot,
-    avx512_max_abs_diff, avx512_nmsub_fold,
+    "simd-avx512",       BackendKind::kSimd,  avx512_axpy,
+    avx512_scale,        avx512_dot,          avx512_axpy_dot,
+    avx512_max_abs_diff, avx512_nmsub_fold,   avx512_panel_update,
+    avx512_panel_fold,   avx512_trsv_fwd,     avx512_trsv_bwd,
+    avx512_cg_update,    avx512_precond_dot,  avx512_search_dir_update,
 };
 
 }  // namespace

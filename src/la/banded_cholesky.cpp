@@ -1,21 +1,19 @@
 #include "la/banded_cholesky.h"
 
-#include <cmath>
-#include <limits>
 #include <stdexcept>
 
 #include "la/backend.h"
+#include "la/cholesky_core.h"
 
 namespace oftec::la {
 
-// The factor is stored diagonal-major (l(i,j) = factor_[(i-j)*n + j]), so a
-// fixed-row walk l(i, m), m ascending, strides 1-n through storage and a
-// fixed-column walk l(i, ii), i ascending, strides +n. All four inner loops
-// — both factorization folds and both substitution folds — are
-// negative-multiply-subtract reductions, routed through the backend's
-// nmsub_fold. The scalar backend folds sequentially with the seed's exact
-// arithmetic (bit-identical); the simd backend uses its deterministic 8-lane
-// tree (ULP-bounded, see backend.h).
+// Factorization and solves run on the backend's panel kernels over the
+// column-major band layout (see la/cholesky_core.h for the layout and the
+// bit-exactness argument). The factorization and forward substitution are
+// element-wise — identical bits on every backend, and identical to the seed
+// implementation this class started as. Back substitution is a row fold:
+// scalar keeps the seed's sequential arithmetic; simd uses its deterministic
+// 8-lane tree (ULP-bounded, AVX2 ≡ AVX-512; see backend.h).
 
 BandedCholesky::BandedCholesky(const BandedMatrix& a)
     : n_(a.size()), k_(a.lower_bandwidth()) {
@@ -23,48 +21,11 @@ BandedCholesky::BandedCholesky(const BandedMatrix& a)
     throw std::invalid_argument(
         "BandedCholesky: matrix must have symmetric bandwidths");
   }
-  const BackendOps& ops = backend();
-  const std::ptrdiff_t row_stride = 1 - static_cast<std::ptrdiff_t>(n_);
   factor_.assign((k_ + 1) * n_, 0.0);
-  min_diag_ = std::numeric_limits<double>::infinity();
-
-  // Copy the lower band of A into the factor storage.
-  for (std::size_t j = 0; j < n_; ++j) {
-    const std::size_t i_hi = std::min(n_ - 1, j + k_);
-    for (std::size_t i = j; i <= i_hi; ++i) {
-      l(i, j) = a.get(i, j);
-    }
-  }
-
-  // Band Cholesky (unblocked, column version).
-  for (std::size_t j = 0; j < n_; ++j) {
-    double diag = l(j, j);
-    // Subtract Σ_{m} L(j,m)² for m in the band left of j.
-    const std::size_t m_lo = j > k_ ? j - k_ : 0;
-    if (j > m_lo) {
-      const double* pj = factor_.data() + (j - m_lo) * n_ + m_lo;
-      diag = ops.nmsub_fold(diag, j - m_lo, pj, row_stride, pj, row_stride);
-    }
-    if (!(diag > 0.0)) {
-      throw std::runtime_error("BandedCholesky: matrix not positive definite");
-    }
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    min_diag_ = std::min(min_diag_, ljj);
-
-    const std::size_t i_hi = std::min(n_ - 1, j + k_);
-    for (std::size_t i = j + 1; i <= i_hi; ++i) {
-      double acc = l(i, j);
-      const std::size_t m_lo_i = i > k_ ? i - k_ : 0;
-      const std::size_t m0 = std::max(m_lo, m_lo_i);
-      if (j > m0) {
-        acc = ops.nmsub_fold(acc, j - m0,
-                             factor_.data() + (i - m0) * n_ + m0, row_stride,
-                             factor_.data() + (j - m0) * n_ + m0, row_stride);
-      }
-      l(i, j) = acc / ljj;
-    }
-  }
+  detail::fill_lower_band(a, n_, k_, factor_.data());
+  min_diag_ = detail::banded_cholesky_factor_inplace(n_, k_, factor_.data(),
+                                                     backend(),
+                                                     "BandedCholesky");
 }
 
 Vector BandedCholesky::solve(const Vector& b) const {
@@ -72,30 +33,9 @@ Vector BandedCholesky::solve(const Vector& b) const {
     throw std::invalid_argument("BandedCholesky::solve: size mismatch");
   }
   const BackendOps& ops = backend();
-  const std::ptrdiff_t row_stride = 1 - static_cast<std::ptrdiff_t>(n_);
   Vector x = b;
-  // Forward: L y = b.
-  for (std::size_t i = 0; i < n_; ++i) {
-    double acc = x[i];
-    const std::size_t j_lo = i > k_ ? i - k_ : 0;
-    if (i > j_lo) {
-      acc = ops.nmsub_fold(acc, i - j_lo,
-                           factor_.data() + (i - j_lo) * n_ + j_lo, row_stride,
-                           x.data() + j_lo, 1);
-    }
-    x[i] = acc / l(i, i);
-  }
-  // Backward: Lᵀ x = y.
-  for (std::size_t ii = n_; ii-- > 0;) {
-    double acc = x[ii];
-    const std::size_t i_hi = std::min(n_ - 1, ii + k_);
-    if (i_hi > ii) {
-      acc = ops.nmsub_fold(acc, i_hi - ii, factor_.data() + n_ + ii,
-                           static_cast<std::ptrdiff_t>(n_), x.data() + ii + 1,
-                           1);
-    }
-    x[ii] = acc / l(ii, ii);
-  }
+  ops.trsv_fwd(n_, k_, factor_.data(), x.data());
+  ops.trsv_bwd(n_, k_, factor_.data(), x.data());
   return x;
 }
 

@@ -33,13 +33,11 @@ class BandedCholesky {
   [[nodiscard]] double min_diagonal() const noexcept { return min_diag_; }
 
  private:
-  /// L stored as (k+1) × n: entry L(i,j) for 0 ≤ i−j ≤ k at
-  /// factor_[(i-j)*n + j].
-  [[nodiscard]] double& l(std::size_t i, std::size_t j) noexcept {
-    return factor_[(i - j) * n_ + j];
-  }
+  /// L stored column-major banded: column j is contiguous at
+  /// factor_[j*(k+1)], diagonal first — entry L(i,j) for 0 ≤ i−j ≤ k at
+  /// factor_[j*(k+1) + (i-j)]. See la/cholesky_core.h.
   [[nodiscard]] double l(std::size_t i, std::size_t j) const noexcept {
-    return factor_[(i - j) * n_ + j];
+    return factor_[j * (k_ + 1) + (i - j)];
   }
 
   std::size_t n_ = 0;

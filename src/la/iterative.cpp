@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "la/backend.h"
 #include "util/fault.h"
 #include "util/obs.h"
 
@@ -43,14 +44,14 @@ struct IterTally {
   return out;
 }
 
-/// Initialize x and r = b − A·x from the optional warm start.
+/// Initialize x and r = b − A·x from the optional warm start. The warm
+/// residual goes through the fused CsrMatrix::residual_into (one pass, no
+/// temporary; bit-identical to the multiply + axpy(−1) it replaced).
 void init_iterate(const CsrMatrix& a, const Vector& b,
                   const IterativeOptions& opts, Vector& x, Vector& r) {
   if (opts.initial_guess != nullptr && opts.initial_guess->size() == b.size()) {
     x = *opts.initial_guess;
-    r = b;
-    const Vector ax = a.multiply(x);
-    axpy(-1.0, ax, r);
+    a.residual_into(b, x, r);
   } else {
     x.assign(b.size(), 0.0);
     r = b;
@@ -76,10 +77,13 @@ IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
   const std::size_t max_iter =
       opts.max_iterations != 0 ? opts.max_iterations : 10 * n;
   const Vector inv_d = jacobi_inverse_diagonal(a, opts.jacobi_precondition);
+  const BackendOps& ops = backend();
 
   IterativeResult res;
   const IterTally tally{g_obs_cg_solves, g_obs_cg_iterations, res};
-  Vector r;
+  CgWorkspace local;
+  CgWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
+  Vector& r = ws.r;
   init_iterate(a, b, opts, res.x, r);
   const double b_norm = norm2(b);
   if (b_norm == 0.0) {
@@ -93,27 +97,35 @@ IterativeResult solve_cg(const CsrMatrix& a, const Vector& b,
     return res;
   }
 
-  Vector z = apply_diag(inv_d, r);
-  Vector p = z;
-  double rz = dot(r, z);
+  // Every vector touch in the iteration is one fused backend pass:
+  //   multiply_dot      ap = A·p and p·ap          (1 pass over p, ap)
+  //   cg_update         x += αp, r −= α·ap, ‖r‖²   (1 pass over p/ap/x/r)
+  //   precond_dot       z = d∘r and r·z            (1 pass over r, z)
+  //   search_dir_update p = z + βp                 (1 pass over z, p)
+  // The scalar backend reproduces the unfused sequence bit for bit; the simd
+  // backend's reductions use its fixed 8-lane tree (see backend.h).
+  Vector& z = ws.z;
+  z.resize(n);
+  double rz = ops.precond_dot(n, inv_d.data(), r.data(), z.data());
+  Vector& p = ws.p;
+  p = z;
+  Vector& ap = ws.ap;
 
   for (std::size_t it = 0; it < max_iter; ++it) {
-    const Vector ap = a.multiply(p);
-    const double p_ap = dot(p, ap);
+    const double p_ap = a.multiply_dot(p, ap);
     if (p_ap <= 0.0) break;  // matrix not SPD — bail to caller
     const double alpha = rz / p_ap;
-    axpy(alpha, p, res.x);
     res.iterations = it + 1;
-    res.residual_norm = std::sqrt(axpy_dot(-alpha, ap, r));
+    res.residual_norm = std::sqrt(
+        ops.cg_update(n, alpha, p.data(), ap.data(), res.x.data(), r.data()));
     if (res.residual_norm <= opts.tolerance * b_norm) {
       res.converged = true;
       return res;
     }
-    z = apply_diag(inv_d, r);
-    const double rz_new = dot(r, z);
+    const double rz_new = ops.precond_dot(n, inv_d.data(), r.data(), z.data());
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    ops.search_dir_update(n, beta, z.data(), p.data());
   }
   res.residual_norm = norm2(r);
   return res;

@@ -22,6 +22,17 @@ struct IterativeResult {
   double residual_norm = 0.0;  ///< final ‖b − A·x‖₂
 };
 
+/// Reusable scratch for solve_cg. A caller that solves in a loop (the
+/// steady-state Newton iteration, transient stepping) passes one of these
+/// via IterativeOptions so the four iteration vectors are allocated once and
+/// recycled; results are bit-identical with or without it.
+struct CgWorkspace {
+  Vector r;   ///< residual
+  Vector z;   ///< preconditioned residual
+  Vector p;   ///< search direction
+  Vector ap;  ///< A·p
+};
+
 /// Options shared by both solvers.
 struct IterativeOptions {
   double tolerance = 1e-10;      ///< relative residual target ‖r‖/‖b‖
@@ -32,6 +43,9 @@ struct IterativeOptions {
   /// the guess is close — e.g. successive Newton linearizations of the
   /// steady-state thermal system. Not owned; must outlive the call.
   const Vector* initial_guess = nullptr;
+  /// Optional scratch reused across solve_cg calls (ignored by BiCGSTAB).
+  /// Not owned; must outlive the call.
+  CgWorkspace* workspace = nullptr;
 };
 
 /// Preconditioned conjugate gradient; caller asserts A is SPD.

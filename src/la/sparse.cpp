@@ -72,6 +72,38 @@ Vector CsrMatrix::multiply(const Vector& x) const {
   return y;
 }
 
+double CsrMatrix::multiply_dot(const Vector& x, Vector& y) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("CsrMatrix::multiply_dot: size mismatch");
+  }
+  y.resize(n_);
+  double dot_acc = 0.0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+    dot_acc += x[r] * acc;
+  }
+  return dot_acc;
+}
+
+void CsrMatrix::residual_into(const Vector& b, const Vector& x,
+                              Vector& r) const {
+  if (x.size() != n_ || b.size() != n_) {
+    throw std::invalid_argument("CsrMatrix::residual_into: size mismatch");
+  }
+  r.resize(n_);
+  for (std::size_t row = 0; row < n_; ++row) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    r[row] = b[row] - acc;
+  }
+}
+
 Vector CsrMatrix::diagonal() const {
   Vector d(n_, 0.0);
   for (std::size_t r = 0; r < n_; ++r) {

@@ -56,6 +56,18 @@ class CsrMatrix {
   /// y = A x.
   [[nodiscard]] Vector multiply(const Vector& x) const;
 
+  /// Fused matvec + dot: y = A x (y is resized) and returns Σ x[r]·y[r],
+  /// accumulated in ascending row order as each y[r] completes — the same
+  /// sequential arithmetic as multiply() followed by a scalar dot, with one
+  /// pass over x/y instead of two. Allocation-free once y has capacity.
+  double multiply_dot(const Vector& x, Vector& y) const;
+
+  /// Fused residual: r = b − A x (r is resized), each r[i] computed as
+  /// b[i] − (A x)[i] — bit-identical to multiply() followed by
+  /// axpy(−1, ax, r). Allocation-free once r has capacity. This is the
+  /// warm-start residual evaluation of the iterative solvers.
+  void residual_into(const Vector& b, const Vector& x, Vector& r) const;
+
   /// Diagonal entries (0 where absent) — Jacobi preconditioner input.
   [[nodiscard]] Vector diagonal() const;
 

@@ -1,10 +1,9 @@
 #include "la/split_cholesky.h"
 
-#include <cmath>
-#include <limits>
 #include <stdexcept>
 
 #include "la/backend.h"
+#include "la/cholesky_core.h"
 #include "util/obs.h"
 
 namespace oftec::la {
@@ -51,51 +50,17 @@ void BandedCholeskyNumeric::refactorize(const BandedMatrix& a) {
   }
   const std::size_t n = symbolic_->size();
   const std::size_t k = symbolic_->bandwidth();
-  const BackendOps& ops = backend();
-  const std::ptrdiff_t row_stride = 1 - static_cast<std::ptrdiff_t>(n);
   g_obs_refactorizations.add();
   factorized_ = false;
   factor_.assign(symbolic_->factor_storage(), 0.0);
-  min_diag_ = std::numeric_limits<double>::infinity();
 
-  // Identical arithmetic to la::BandedCholesky, into reused storage; the
-  // inner folds go through the backend's nmsub_fold like that class
-  // (scalar: seed-bit-identical; simd: deterministic 8-lane tree).
-  for (std::size_t j = 0; j < n; ++j) {
-    const std::size_t i_hi = std::min(n - 1, j + k);
-    for (std::size_t i = j; i <= i_hi; ++i) {
-      l(i, j) = a.get(i, j);
-    }
-  }
-
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = l(j, j);
-    const std::size_t m_lo = j > k ? j - k : 0;
-    if (j > m_lo) {
-      const double* pj = factor_.data() + (j - m_lo) * n + m_lo;
-      diag = ops.nmsub_fold(diag, j - m_lo, pj, row_stride, pj, row_stride);
-    }
-    if (!(diag > 0.0)) {
-      throw std::runtime_error(
-          "BandedCholeskyNumeric: matrix not positive definite");
-    }
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    min_diag_ = std::min(min_diag_, ljj);
-
-    const std::size_t i_hi = std::min(n - 1, j + k);
-    for (std::size_t i = j + 1; i <= i_hi; ++i) {
-      double acc = l(i, j);
-      const std::size_t m_lo_i = i > k ? i - k : 0;
-      const std::size_t m0 = std::max(m_lo, m_lo_i);
-      if (j > m0) {
-        acc = ops.nmsub_fold(acc, j - m0,
-                             factor_.data() + (i - m0) * n + m0, row_stride,
-                             factor_.data() + (j - m0) * n + m0, row_stride);
-      }
-      l(i, j) = acc / ljj;
-    }
-  }
+  // The shared panel-blocked core (la/cholesky_core.h) into reused storage:
+  // identical arithmetic, in identical order, to constructing a fresh
+  // la::BandedCholesky — and backend-invariant bits, since every operation
+  // is element-wise.
+  detail::fill_lower_band(a, n, k, factor_.data());
+  min_diag_ = detail::banded_cholesky_factor_inplace(
+      n, k, factor_.data(), backend(), "BandedCholeskyNumeric");
   factorized_ = true;
 }
 
@@ -109,30 +74,9 @@ Vector BandedCholeskyNumeric::solve(const Vector& b) const {
     throw std::invalid_argument("BandedCholeskyNumeric::solve: size mismatch");
   }
   const BackendOps& ops = backend();
-  const std::ptrdiff_t row_stride = 1 - static_cast<std::ptrdiff_t>(n);
   Vector x = b;
-  // Forward: L y = b.
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = x[i];
-    const std::size_t j_lo = i > k ? i - k : 0;
-    if (i > j_lo) {
-      acc = ops.nmsub_fold(acc, i - j_lo,
-                           factor_.data() + (i - j_lo) * n + j_lo, row_stride,
-                           x.data() + j_lo, 1);
-    }
-    x[i] = acc / l(i, i);
-  }
-  // Backward: Lᵀ x = y.
-  for (std::size_t ii = n; ii-- > 0;) {
-    double acc = x[ii];
-    const std::size_t i_hi = std::min(n - 1, ii + k);
-    if (i_hi > ii) {
-      acc = ops.nmsub_fold(acc, i_hi - ii, factor_.data() + n + ii,
-                           static_cast<std::ptrdiff_t>(n), x.data() + ii + 1,
-                           1);
-    }
-    x[ii] = acc / l(ii, ii);
-  }
+  ops.trsv_fwd(n, k, factor_.data(), x.data());
+  ops.trsv_bwd(n, k, factor_.data(), x.data());
   return x;
 }
 

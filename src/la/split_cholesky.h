@@ -75,11 +75,10 @@ class BandedCholeskyNumeric {
   [[nodiscard]] double min_diagonal() const noexcept { return min_diag_; }
 
  private:
-  [[nodiscard]] double& l(std::size_t i, std::size_t j) noexcept {
-    return factor_[(i - j) * symbolic_->size() + j];
-  }
+  /// Column-major banded factor, same layout as BandedCholesky
+  /// (la/cholesky_core.h): L(i,j) at factor_[j*(k+1) + (i-j)].
   [[nodiscard]] double l(std::size_t i, std::size_t j) const noexcept {
-    return factor_[(i - j) * symbolic_->size() + j];
+    return factor_[j * (symbolic_->bandwidth() + 1) + (i - j)];
   }
 
   std::shared_ptr<const BandedCholeskySymbolic> symbolic_;

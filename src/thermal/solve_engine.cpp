@@ -196,6 +196,7 @@ struct SolveEngine::Workspace {
   la::Vector cell_current;
   la::Vector warm;         // previous iterate for Krylov warm starts
   bool have_warm = false;  // reset at the start of every operating point
+  la::CgWorkspace cg;      // CG iteration vectors, reused across solves
 };
 
 // ---------------------------------------------------------------------------
@@ -331,6 +332,7 @@ bool SolveEngine::solve_linear(
     iopts.tolerance = tolerance;
     iopts.max_iterations = 4 * ws.csr.rhs.size();
     if (ws.have_warm) iopts.initial_guess = &ws.warm;
+    iopts.workspace = &ws.cg;  // allocation-free across the Newton loop
     // All operating-point terms are diagonal, so M stays symmetric and CG
     // applies; indefinite systems (near runaway) fail to converge and drop
     // to the pivoted direct path below.

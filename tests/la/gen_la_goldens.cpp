@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
     std::cerr << "gen_la_goldens: cannot open " << argv[1] << "\n";
     return 1;
   }
+  // Goldens pin *scalar* bits; never let OFTEC_LA_BACKEND leak simd in here.
+  install_backend("scalar");
   out << "# scalar-backend goldens; doubles as IEEE-754 hex. Append-only.\n";
 
   for (const auto& s : lu_golden_specs()) {
@@ -59,6 +61,24 @@ int main(int argc, char** argv) {
     const double ad = axpy_dot(c.alpha, c.x, y);
     out << " axpy_dot " << hex_double(ad);
     out << " mad " << hex_double(max_abs_diff(c.x, c.y)) << '\n';
+  }
+
+  for (const auto& s : large_spd_golden_specs()) {
+    const BandedCase c = make_spd_case(s.seed, s.n, s.k);
+    const BandedCholesky chol(c.a);
+    const Vector x = chol.solve(c.b);
+    out << c.name << " diag " << hex_double(chol.min_diagonal()) << " x";
+    for (const double v : x) out << ' ' << hex_double(v);
+    out << '\n';
+  }
+
+  for (const auto& s : kernel_golden_specs()) {
+    const KernelCase c = make_kernel_case(s.seed, s.n);
+    out << c.name;
+    for (const std::string& t : kernel_fingerprint(scalar_backend(), c)) {
+      out << ' ' << t;
+    }
+    out << '\n';
   }
 
   std::cout << "wrote " << argv[1] << "\n";

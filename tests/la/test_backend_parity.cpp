@@ -36,8 +36,13 @@ namespace {
 
 using testing::BandedCase;
 using testing::hex_double;
+using testing::kernel_fingerprint;
+using testing::kernel_golden_specs;
+using testing::KernelCase;
+using testing::large_spd_golden_specs;
 using testing::lu_golden_specs;
 using testing::make_banded_case;
+using testing::make_kernel_case;
 using testing::make_spd_case;
 using testing::make_vector_case;
 using testing::spd_golden_specs;
@@ -171,6 +176,38 @@ TEST(BackendGoldens, ScalarVectorKernelsBitIdenticalToSeed) {
         << c.name << " axpy_dot";
     EXPECT_EQ(hex_double(max_abs_diff(c.x, c.y)), t[3 + s.n + 3])
         << c.name << " mad";
+  }
+}
+
+TEST(BackendGoldens, ScalarPanelAndFusedKernelsBitIdenticalToGolden) {
+  const ScopedBackend scalar("scalar");
+  const auto goldens = load_goldens();
+  for (const auto& s : kernel_golden_specs()) {
+    const KernelCase c = make_kernel_case(s.seed, s.n);
+    const auto it = goldens.find(c.name);
+    ASSERT_NE(it, goldens.end()) << "no golden line for " << c.name;
+    EXPECT_EQ(it->second, kernel_fingerprint(scalar_backend(), c)) << c.name;
+  }
+}
+
+TEST(BackendGoldens, ScalarLargeBandCholeskyBitIdenticalToGolden) {
+  // Pins the panel-blocked factorization at the 32×32-floorplan bandwidth
+  // (k = 1025) — large enough that every blocking path (external source
+  // blocks, dest-panel edges, in-panel finalize) runs many times.
+  const ScopedBackend scalar("scalar");
+  const auto goldens = load_goldens();
+  for (const auto& s : large_spd_golden_specs()) {
+    const BandedCase c = make_spd_case(s.seed, s.n, s.k);
+    const auto it = goldens.find(c.name);
+    ASSERT_NE(it, goldens.end()) << "no golden line for " << c.name;
+    const std::vector<std::string>& t = it->second;
+    ASSERT_EQ(t.size(), 3 + s.n) << c.name;
+    const BandedCholesky chol(c.a);
+    EXPECT_EQ(hex_double(chol.min_diagonal()), t[1]) << c.name << " diag";
+    const Vector x = chol.solve(c.b);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(hex_double(x[i]), t[3 + i]) << c.name << " x[" << i << "]";
+    }
   }
 }
 
@@ -322,6 +359,234 @@ TEST(BackendParity, SingularMatrixThrowsUnderBothBackends) {
   }
 }
 
+TEST(BackendParity, PanelUpdateMatchesUnfusedAxpysBitIdentical) {
+  // panel_update's contract: identical bits to p successive axpys, on every
+  // backend — so it is also bit-identical *across* backends. The cases carry
+  // arbitrary non-monotone support lengths (including zero-length sources),
+  // which is exactly where the simd flush/reload chunking logic lives.
+  const BackendOps& scalar = scalar_backend();
+  const BackendOps* simd = simd_backend();
+  for (const auto& s : kernel_golden_specs()) {
+    const KernelCase c = make_kernel_case(s.seed ^ 0xC3C3u, s.n);
+    const double* xs[KernelCase::kSources];
+    for (std::size_t i = 0; i < KernelCase::kSources; ++i) {
+      xs[i] = c.src[i].data();
+    }
+    Vector ref = c.y;
+    for (std::size_t i = 0; i < KernelCase::kSources; ++i) {
+      scalar.axpy(c.src_len[i], c.src_alpha[i], xs[i], ref.data());
+    }
+    for (const BackendOps* ops : {&scalar, simd}) {
+      if (ops == nullptr) continue;
+      Vector y = c.y;
+      ops->panel_update(KernelCase::kSources, c.src_alpha.data(), xs,
+                        c.src_len.data(), y.data());
+      for (std::size_t i = 0; i < s.n; ++i) {
+        ASSERT_EQ(hex_double(ref[i]), hex_double(y[i]))
+            << c.name << " " << ops->name << " y[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(BackendParity, PanelFoldMatchesPerColumnFoldBitIdentical) {
+  // Per fold s, panel_fold must equal the same backend's unit-stride
+  // nmsub_fold bit for bit (that is how trsv_bwd stays deterministic); the
+  // scalar-vs-simd difference is reduction reassociation, ULP-bounded.
+  const BackendOps& scalar = scalar_backend();
+  const BackendOps* simd = simd_backend();
+  for (const auto& s : kernel_golden_specs()) {
+    if (s.n > 10000) continue;  // same code paths as 9219; keep the loop tight
+    const KernelCase c = make_kernel_case(s.seed ^ 0x3C3Cu, s.n);
+    const std::size_t p = std::min(KernelCase::kSources, s.n);
+    const std::size_t sa = std::max<std::size_t>(1, s.n / (2 * p));
+    const std::size_t len_cap = s.n - (p - 1) * sa;
+    const std::size_t len0 = std::max<std::size_t>(1, len_cap / 2);
+    double out_scalar[KernelCase::kSources] = {};
+    scalar.panel_fold(p, c.d.data(), c.src[1].data(), sa, len0, len_cap,
+                      c.x.data(), out_scalar);
+    for (std::size_t i = 0; i < p; ++i) {
+      const std::size_t len = std::min(len0 + i, len_cap);
+      const double one = scalar.nmsub_fold(c.d[i], len,
+                                           c.src[1].data() + i * sa, 1,
+                                           c.x.data(), 1);
+      ASSERT_EQ(hex_double(one), hex_double(out_scalar[i]))
+          << c.name << " scalar fold " << i;
+    }
+    if (simd == nullptr) continue;
+    double out_simd[KernelCase::kSources] = {};
+    simd->panel_fold(p, c.d.data(), c.src[1].data(), sa, len0, len_cap,
+                     c.x.data(), out_simd);
+    for (std::size_t i = 0; i < p; ++i) {
+      const std::size_t len = std::min(len0 + i, len_cap);
+      const double one = simd->nmsub_fold(c.d[i], len,
+                                          c.src[1].data() + i * sa, 1,
+                                          c.x.data(), 1);
+      ASSERT_EQ(hex_double(one), hex_double(out_simd[i]))
+          << c.name << " simd fold " << i;
+      EXPECT_NEAR(out_scalar[i], out_simd[i],
+                  16.0 * static_cast<double>(len + 1) * 2.22e-16 *
+                      (std::abs(out_scalar[i]) + static_cast<double>(len) + 1))
+          << c.name << " fold " << i;
+    }
+  }
+}
+
+TEST(BackendParity, FusedCgKernelsMatchUnfusedBitIdentical) {
+  // cg_update ≡ axpy + axpy_dot and precond_dot ≡ (z = d∘r) + dot, bit for
+  // bit on the *same* backend — the fusions may not change a single bit of
+  // the CG iteration relative to the unfused kernel sequence they replaced.
+  // search_dir_update is element-wise, hence also bit-identical *across*
+  // backends.
+  const BackendOps& scalar = scalar_backend();
+  const BackendOps* simd = simd_backend();
+  for (const auto& s : kernel_golden_specs()) {
+    const KernelCase c = make_kernel_case(s.seed ^ 0x7E7Eu, s.n);
+    const std::size_t n = s.n;
+    for (const BackendOps* ops : {&scalar, simd}) {
+      if (ops == nullptr) continue;
+      // cg_update: x += α·p, r += (−α)·ap, returns r·r.
+      Vector x_ref = c.x, r_ref = c.y;
+      ops->axpy(n, c.alpha, c.src[0].data(), x_ref.data());
+      const double rr_ref =
+          ops->axpy_dot(n, -c.alpha, c.src[1].data(), r_ref.data());
+      Vector x = c.x, r = c.y;
+      const double rr = ops->cg_update(n, c.alpha, c.src[0].data(),
+                                       c.src[1].data(), x.data(), r.data());
+      ASSERT_EQ(hex_double(rr_ref), hex_double(rr)) << c.name << " "
+                                                    << ops->name << " rr";
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hex_double(x_ref[i]), hex_double(x[i]))
+            << c.name << " " << ops->name << " x[" << i << "]";
+        ASSERT_EQ(hex_double(r_ref[i]), hex_double(r[i]))
+            << c.name << " " << ops->name << " r[" << i << "]";
+      }
+      // precond_dot: z = d∘r, returns r·z with the backend's dot tree.
+      Vector z_ref(n);
+      for (std::size_t i = 0; i < n; ++i) z_ref[i] = c.d[i] * c.y[i];
+      const double rz_ref = ops->dot(n, c.y.data(), z_ref.data());
+      Vector z(n);
+      const double rz = ops->precond_dot(n, c.d.data(), c.y.data(), z.data());
+      ASSERT_EQ(hex_double(rz_ref), hex_double(rz)) << c.name << " "
+                                                    << ops->name << " rz";
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hex_double(z_ref[i]), hex_double(z[i]))
+            << c.name << " " << ops->name << " z[" << i << "]";
+      }
+    }
+    // search_dir_update: p = z + β·p, element-wise multiply-then-add.
+    Vector p_ref = c.x;
+    for (std::size_t i = 0; i < n; ++i) p_ref[i] = c.y[i] + c.beta * p_ref[i];
+    for (const BackendOps* ops : {&scalar, simd}) {
+      if (ops == nullptr) continue;
+      Vector p = c.x;
+      ops->search_dir_update(n, c.beta, c.y.data(), p.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hex_double(p_ref[i]), hex_double(p[i]))
+            << c.name << " " << ops->name << " p[" << i << "]";
+      }
+    }
+  }
+}
+
+/// Deterministic well-conditioned lower-band factor in the column-major
+/// layout the trsv kernels consume (column j at factor + j·(k+1), diagonal
+/// first). Diagonals in [2,3], off-diagonals O(1/k): far from singular.
+std::vector<double> make_band_factor(std::uint64_t seed, std::size_t n,
+                                     std::size_t k) {
+  util::Rng rng(seed);
+  std::vector<double> f((k + 1) * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double* col = f.data() + j * (k + 1);
+    col[0] = rng.uniform(2.0, 3.0);
+    const std::size_t sub = std::min(k, n - 1 - j);
+    for (std::size_t r = 1; r <= sub; ++r) {
+      col[r] = rng.uniform(-1.0, 1.0) / static_cast<double>(k + 1);
+    }
+  }
+  return f;
+}
+
+TEST(BackendParity, TrsvForwardBitIdenticalBackwardUlpClose) {
+  // trsv_fwd is column-oriented (divide, then element-wise axpy) — identical
+  // bits on every backend. trsv_bwd folds rows, so scalar vs simd differ by
+  // reduction order only; the simd 8-row blocked form must still match
+  // scalar to high relative accuracy on well-conditioned factors. Sizes
+  // cover k < 8 (per-row fallback), k ≥ 8 (blocked panel_fold path), and n
+  // not a multiple of the block size.
+  const BackendOps* simd = simd_backend();
+  if (simd == nullptr) GTEST_SKIP() << "no simd backend on this machine";
+  const BackendOps& scalar = scalar_backend();
+  const struct { std::size_t n, k; } sizes[] = {
+      {5, 2}, {64, 7}, {65, 8}, {257, 33}, {903, 101},
+  };
+  std::uint64_t seed = 501;
+  for (const auto& sz : sizes) {
+    const std::vector<double> f = make_band_factor(seed, sz.n, sz.k);
+    const VectorCase rhs = make_vector_case(seed ^ 0xF0F0u, sz.n);
+    ++seed;
+    Vector xs = rhs.x, xv = rhs.x;
+    scalar.trsv_fwd(sz.n, sz.k, f.data(), xs.data());
+    simd->trsv_fwd(sz.n, sz.k, f.data(), xv.data());
+    for (std::size_t i = 0; i < sz.n; ++i) {
+      ASSERT_EQ(hex_double(xs[i]), hex_double(xv[i]))
+          << "fwd n=" << sz.n << " k=" << sz.k << " x[" << i << "]";
+    }
+    scalar.trsv_bwd(sz.n, sz.k, f.data(), xs.data());
+    simd->trsv_bwd(sz.n, sz.k, f.data(), xv.data());
+    for (std::size_t i = 0; i < sz.n; ++i) {
+      EXPECT_NEAR(xs[i], xv[i], 1e-11 * (std::abs(xs[i]) + 1.0))
+          << "bwd n=" << sz.n << " k=" << sz.k << " x[" << i << "]";
+    }
+    // Determinism: repeated simd runs are bit-identical.
+    Vector again = rhs.x;
+    simd->trsv_fwd(sz.n, sz.k, f.data(), again.data());
+    simd->trsv_bwd(sz.n, sz.k, f.data(), again.data());
+    for (std::size_t i = 0; i < sz.n; ++i) {
+      ASSERT_EQ(hex_double(xv[i]), hex_double(again[i]))
+          << "repeat n=" << sz.n << " k=" << sz.k << " x[" << i << "]";
+    }
+  }
+}
+
+TEST(BackendParity, GridSizeSweepSolvesStableAndDeterministic) {
+  // SPD systems at the exact (n, bandwidth) shapes the thermal module emits
+  // for 10×10, 16×16, and 32×32 floorplans (n = 9·cells + 3, k = cells + 1).
+  // The panel kernels must stay backward-stable, cross-backend ULP-close,
+  // and bit-deterministic at the sizes they were built for — not just on
+  // the small golden cases.
+  const struct { std::size_t n, k; } sizes[] = {
+      {903, 101}, {2307, 257}, {9219, 1025},
+  };
+  std::uint64_t seed = 901;
+  for (const auto& sz : sizes) {
+    const BandedCase c = make_spd_case(seed++, sz.n, sz.k);
+    Vector xs, xv;
+    {
+      const ScopedBackend b("scalar");
+      xs = BandedCholesky(c.a).solve(c.b);
+    }
+    EXPECT_LE(residual_inf(c.a, xs, c.b), stability_bound(c, xs)) << c.name;
+    if (!simd_supported()) continue;
+    {
+      const ScopedBackend b("simd");
+      const BandedCholesky chol(c.a);
+      xv = chol.solve(c.b);
+      // Bit-determinism of the full factor+solve pipeline at scale.
+      const Vector x2 = BandedCholesky(c.a).solve(c.b);
+      for (std::size_t i = 0; i < sz.n; ++i) {
+        ASSERT_EQ(hex_double(xv[i]), hex_double(x2[i]))
+            << c.name << " repeat x[" << i << "]";
+      }
+    }
+    EXPECT_LE(residual_inf(c.a, xv, c.b), stability_bound(c, xv)) << c.name;
+    for (std::size_t i = 0; i < sz.n; ++i) {
+      EXPECT_NEAR(xs[i], xv[i], 1e-9 * (std::abs(xs[i]) + 1.0))
+          << c.name << " x[" << i << "]";
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // 3. Determinism: per-backend repeatability, thread independence, and
 //    AVX2 == AVX-512
@@ -342,11 +607,31 @@ std::vector<std::string> solve_fingerprint() {
   return fp;
 }
 
+/// solve_fingerprint plus the large-bandwidth Cholesky case and every panel /
+/// fused kernel — the full bit surface of the currently installed backend.
+/// Kept separate from solve_fingerprint so the 4-thread determinism test
+/// stays fast.
+std::vector<std::string> extended_fingerprint() {
+  std::vector<std::string> fp = solve_fingerprint();
+  for (const auto& s : large_spd_golden_specs()) {
+    const BandedCase c = make_spd_case(s.seed, s.n, s.k);
+    for (const double v : BandedCholesky(c.a).solve(c.b)) {
+      fp.push_back(hex_double(v));
+    }
+  }
+  for (const auto& s : kernel_golden_specs()) {
+    const KernelCase c = make_kernel_case(s.seed, s.n);
+    const std::vector<std::string> kf = kernel_fingerprint(backend(), c);
+    fp.insert(fp.end(), kf.begin(), kf.end());
+  }
+  return fp;
+}
+
 TEST(BackendDeterminism, RepeatedRunsBitIdenticalPerBackend) {
   for (const char* spec : {"scalar", "simd"}) {
     if (std::string(spec) == "simd" && !simd_supported()) continue;
     const ScopedBackend b(spec);
-    EXPECT_EQ(solve_fingerprint(), solve_fingerprint()) << spec;
+    EXPECT_EQ(extended_fingerprint(), extended_fingerprint()) << spec;
   }
 }
 
@@ -370,16 +655,20 @@ TEST(BackendDeterminism, Avx2AndAvx512BitIdentical) {
   if (avx2_backend() == nullptr || avx512_backend() == nullptr) {
     GTEST_SKIP() << "machine lacks one of the simd flavors";
   }
+  // extended_fingerprint covers factor+trsv at the 32×32 bandwidth and every
+  // panel/fused kernel: both flavors realize the same fixed 8-lane reduction
+  // tree and the same 8-row trsv_bwd blocking, so the whole surface —
+  // reductions included — must agree bit for bit.
   std::vector<std::string> fp2, fp512;
   {
     const ScopedBackend b("avx2");
     ASSERT_STREQ(backend().name, "simd-avx2");
-    fp2 = solve_fingerprint();
+    fp2 = extended_fingerprint();
   }
   {
     const ScopedBackend b("avx512");
     ASSERT_STREQ(backend().name, "simd-avx512");
-    fp512 = solve_fingerprint();
+    fp512 = extended_fingerprint();
   }
   EXPECT_EQ(fp2, fp512);
 }
